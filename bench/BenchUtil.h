@@ -1,0 +1,81 @@
+//===- BenchUtil.h - Shared helpers for the reproduction benches --*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure reproduction binaries: timing with
+/// repetition, row printing, and the AQUAVOL_BENCH_FULL switch that lifts
+/// the default time caps (the full Enzyme10 LP runs for minutes by design;
+/// that is the paper's point).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUAVOL_BENCH_BENCHUTIL_H
+#define AQUAVOL_BENCH_BENCHUTIL_H
+
+#include "aqua/support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace benchutil {
+
+/// True when AQUAVOL_BENCH_FULL=1: no time caps, full problem sizes.
+inline bool fullRun() {
+  const char *Env = std::getenv("AQUAVOL_BENCH_FULL");
+  return Env && Env[0] == '1';
+}
+
+/// Median wall-clock seconds of \p Reps runs of \p Fn (after one warmup),
+/// in the spirit of the paper's "averaged over 10 runs".
+inline double medianSeconds(const std::function<void()> &Fn, int Reps = 5) {
+  Fn(); // Warmup.
+  std::vector<double> Times;
+  Times.reserve(Reps);
+  for (int I = 0; I < Reps; ++I) {
+    aqua::WallTimer T;
+    Fn();
+    Times.push_back(T.seconds());
+  }
+  std::sort(Times.begin(), Times.end());
+  return Times[Times.size() / 2];
+}
+
+/// One timed run (for expensive cases).
+inline double onceSeconds(const std::function<void()> &Fn) {
+  aqua::WallTimer T;
+  Fn();
+  return T.seconds();
+}
+
+inline void header(const std::string &Title) {
+  std::printf("\n=== %s ===\n", Title.c_str());
+}
+
+/// "paper vs measured" row.
+inline void paperRow(const char *What, const std::string &Paper,
+                     const std::string &Measured) {
+  std::printf("  %-46s paper: %-14s measured: %s\n", What, Paper.c_str(),
+              Measured.c_str());
+}
+
+inline std::string fmtSeconds(double S) {
+  char Buf[64];
+  if (S < 1e-3)
+    std::snprintf(Buf, sizeof(Buf), "%.0f us", S * 1e6);
+  else if (S < 1.0)
+    std::snprintf(Buf, sizeof(Buf), "%.2f ms", S * 1e3);
+  else
+    std::snprintf(Buf, sizeof(Buf), "%.2f s", S);
+  return Buf;
+}
+
+} // namespace benchutil
+
+#endif // AQUAVOL_BENCH_BENCHUTIL_H

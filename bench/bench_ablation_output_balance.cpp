@@ -1,0 +1,101 @@
+//===- bench_ablation_output_balance.cpp - Class-6 constraint ablation ------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation of the optional output-to-output balance constraints (Figure 3
+// class 6). The paper adds them because maximizing the *sum* of outputs
+// can otherwise "be skewed to produce very little of one output fluid and
+// much more of another". This bench quantifies that skew on the paper's
+// assays: the max/min output ratio without the constraints, with the
+// +-10% band, and with DAGSolve's exact output equalization.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Formulation.h"
+
+#include <limits>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace benchutil;
+
+namespace {
+
+/// Max/min ratio over the assay's (non-excess) outputs.
+double outputSkew(const AssayGraph &G, const VolumeAssignment &V) {
+  double Min = std::numeric_limits<double>::infinity(), Max = 0.0;
+  for (NodeId N : G.liveNodes()) {
+    if (!G.isLeaf(N) || G.node(N).Kind == NodeKind::Excess)
+      continue;
+    Min = std::min(Min, V.NodeVolumeNl[N]);
+    Max = std::max(Max, V.NodeVolumeNl[N]);
+  }
+  return Min > 0.0 ? Max / Min : std::numeric_limits<double>::infinity();
+}
+
+void runCase(const char *Name, const AssayGraph &G) {
+  MachineSpec Spec;
+
+  FormulationOptions NoBalance;
+  NoBalance.OutputBalance = false;
+  LPVolumeResult Free = solveRVolLP(G, Spec, NoBalance);
+
+  LPVolumeResult Banded = solveRVolLP(G, Spec); // +-10% default.
+
+  DagSolveResult DS = dagSolve(G, Spec);
+
+  std::printf("  %-10s", Name);
+  if (Free.Solution.Status == lp::SolveStatus::Optimal)
+    std::printf("  unbalanced LP: obj %8.1f nl, skew %6.2fx |",
+                Free.Solution.Objective, outputSkew(G, Free.Volumes));
+  else
+    std::printf("  unbalanced LP: %-21s |",
+                lp::solveStatusName(Free.Solution.Status));
+  if (Banded.Solution.Status == lp::SolveStatus::Optimal)
+    std::printf(" +-10%%: obj %8.1f nl, skew %5.2fx |",
+                Banded.Solution.Objective, outputSkew(G, Banded.Volumes));
+  else
+    std::printf(" +-10%%: %-24s |",
+                lp::solveStatusName(Banded.Solution.Status));
+  if (DS.Feasible)
+    std::printf(" DAGSolve: skew %.2fx\n", outputSkew(G, DS.Volumes));
+  else
+    std::printf(" DAGSolve: infeasible\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("Output-balance ablation (Figure 3 class 6)\n");
+  runCase("Fig2", assays::buildFigure2Example());
+  runCase("Glucose", assays::buildGlucoseAssay());
+
+  // A deliberately skew-prone assay: one cheap output and one that
+  // competes for a heavily shared reagent.
+  {
+    AssayGraph G;
+    NodeId A = G.addInput("A");
+    NodeId B = G.addInput("B");
+    NodeId Cheap = G.addMix("cheap", {{A, 1}, {B, 1}});
+    G.addUnary(NodeKind::Sense, "sense_cheap", Cheap);
+    for (int I = 0; I < 6; ++I) {
+      NodeId M = G.addMix("hungry" + std::to_string(I), {{A, 1}, {B, 9}});
+      G.addUnary(NodeKind::Sense, "sense_h" + std::to_string(I), M);
+    }
+    runCase("SkewProne", G);
+  }
+
+  std::printf("\nWithout class 6 the optimizer may starve some outputs to "
+              "fatten the sum; the\n+-10%% band (the paper's choice) caps "
+              "the skew at 1.1x-ish with little objective\nloss, and "
+              "DAGSolve's artificial equal-output constraint is the "
+              "limiting case.\n");
+  return 0;
+}

@@ -1,0 +1,58 @@
+//===- bench_ablation_presolve.cpp - LP presolve ablation -------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Ablation called out in DESIGN.md: how much of the LP solver's speed on
+// the volume-management formulations comes from the equality-substitution
+// presolve? The formulation is dominated by two-term ratio equalities and
+// node-yield definitions, exactly what the presolve eliminates; without
+// it the dense tableau roughly doubles in both dimensions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/Formulation.h"
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace benchutil;
+
+int main() {
+  MachineSpec Spec;
+  std::printf("LP presolve ablation (equality-substitution on/off)\n");
+  std::printf("  %-10s %7s %7s -> %7s %7s %14s %14s %8s\n", "assay", "rows",
+              "vars", "rows'", "vars'", "LP+presolve", "LP-presolve",
+              "speedup");
+
+  struct Case {
+    const char *Name;
+    int Dilutions;
+  };
+  for (const Case &C : {Case{"Glucose", 0}, Case{"Fig2", -1},
+                        Case{"Enzyme", 4}, Case{"Enzyme5", 5}}) {
+    AssayGraph G = C.Dilutions == 0    ? assays::buildGlucoseAssay()
+                   : C.Dilutions == -1 ? assays::buildFigure2Example()
+                                       : assays::buildEnzymeAssay(C.Dilutions);
+    Formulation F = buildVolumeModel(G, Spec);
+    lp::SolveInfo Info;
+    lp::SolverOptions On;
+    double WithP = medianSeconds([&] { lp::solve(F.Model, On, &Info); }, 5);
+    lp::SolverOptions Off;
+    Off.Presolve = false;
+    double WithoutP = medianSeconds([&] { lp::solve(F.Model, Off); }, 5);
+    std::printf("  %-10s %7d %7d -> %7d %7d %14s %14s %7.1fx\n", C.Name,
+                F.Model.numRows(), F.Model.numVars(), Info.ReducedRows,
+                Info.ReducedVars, fmtSeconds(WithP).c_str(),
+                fmtSeconds(WithoutP).c_str(), WithoutP / WithP);
+  }
+  std::printf("\nBoth configurations find the same optima (the test suite "
+              "checks this on random\nLPs); presolve is a constant-factor "
+              "lever, not a complexity change -- DAGSolve's\nadvantage "
+              "over either configuration is the algorithmic result.\n");
+  return 0;
+}

@@ -1,0 +1,122 @@
+//===- bench_biostream_baseline.cpp - BioStream baseline comparison ---------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Quantifies the Section 3.4.1 comparison against BioStream's fixed 1:1
+// mixing: "Because of their fixed-ratio mixing, achieving arbitrary mix
+// ratios always requires cascading (except for 1:1 mixing), which
+// executes on the slow fluid path, while our approach requires cascading
+// only for uncommon cases of extreme mix ratios."
+//
+// For a sweep of target ratios, compares AquaVol (direct variable-ratio
+// mix, or cascading only when the ratio is extreme) with BioStream chains
+// at 8 and 12 bits of precision: number of mix operations on the slow
+// fluid path, discarded volume per unit of product, and concentration
+// error.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/core/BioStream.h"
+#include "aqua/core/Cascading.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Report.h"
+#include "aqua/support/StringUtils.h"
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace benchutil;
+
+namespace {
+
+AssayGraph targetMix(std::int64_t P, std::int64_t Q, NodeId *MOut) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  *MOut = G.addMix("M", {{A, P}, {B, Q}}, 10.0);
+  G.addUnary(NodeKind::Sense, "out", *MOut);
+  return G;
+}
+
+struct Cost {
+  int Mixes = 0;
+  double DiscardPerOutput = 0.0; // Excess nl per nl of product.
+  double ErrorPct = 0.0;
+  bool Feasible = false;
+};
+
+Cost measure(const AssayGraph &G, double ErrorPct) {
+  Cost C;
+  C.ErrorPct = ErrorPct;
+  for (NodeId N : G.liveNodes())
+    if (G.node(N).Kind == NodeKind::Mix)
+      ++C.Mixes;
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  C.Feasible = R.Feasible;
+  if (!R.Feasible)
+    return C;
+  VolumeReport Rep = buildVolumeReport(G, R.Volumes);
+  C.DiscardPerOutput =
+      Rep.TotalOutputNl > 0.0 ? Rep.TotalExcessNl / Rep.TotalOutputNl : 0.0;
+  return C;
+}
+
+std::string fmtCost(const Cost &C) {
+  if (!C.Feasible)
+    return "    (infeasible)        ";
+  char Buf[80];
+  std::snprintf(Buf, sizeof(Buf), "%2d mixes %5.2f nl/nl %6.3f%%", C.Mixes,
+                C.DiscardPerOutput, C.ErrorPct);
+  return Buf;
+}
+
+} // namespace
+
+int main() {
+  std::printf("AquaVol vs BioStream-style fixed 1:1 mixing\n");
+  std::printf("  (per target ratio: fluid-path mixes, discarded volume per "
+              "unit product, error)\n\n");
+  std::printf("  %-8s | %-26s | %-26s | %-26s\n", "ratio", "AquaVol",
+              "BioStream 8-bit", "BioStream 12-bit");
+
+  struct Target {
+    std::int64_t P, Q;
+  };
+  for (const Target &T : {Target{1, 1}, Target{1, 3}, Target{1, 9},
+                          Target{3, 7}, Target{1, 99}, Target{1, 999}}) {
+    // AquaVol: one variable-ratio mix; cascade only when extreme.
+    NodeId M;
+    AssayGraph GA = targetMix(T.P, T.Q, &M);
+    if (mixSkew(GA, M) > Rational(20)) {
+      int Stages = chooseCascadeStages(T.P, T.Q, 20, 8);
+      cascadeMix(GA, M, Stages).unwrap();
+    }
+    Cost AquaCost = measure(GA, 0.0);
+
+    std::string Row = format("  %lld:%-6lld |", static_cast<long long>(T.P),
+                             static_cast<long long>(T.Q));
+    Row += " " + fmtCost(AquaCost) + " |";
+    for (int Bits : {8, 12}) {
+      NodeId MB;
+      AssayGraph GB = targetMix(T.P, T.Q, &MB);
+      auto Info = biostreamMix(GB, MB, Bits);
+      if (!Info.ok()) {
+        Row += format(" %-26s |", "(unrepresentable)");
+        continue;
+      }
+      Row += " " + fmtCost(measure(GB, Info->ErrorPct)) + " |";
+    }
+    std::printf("%s\n", Row.c_str());
+  }
+
+  std::printf("\nShape check (Section 3.4.1): AquaVol needs ONE fluid-path "
+              "mix for common ratios\nand cascades only extremes (exactly, "
+              "with bounded discard); fixed 1:1 mixing\npays a chain of "
+              "mixes and ~50%% discard at every stage for every non-dyadic\n"
+              "ratio, plus quantization error.\n");
+  return 0;
+}

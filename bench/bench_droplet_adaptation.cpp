@@ -1,0 +1,104 @@
+//===- bench_droplet_adaptation.cpp - Droplet-based adaptation --------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's closing remark made concrete: "our techniques may be adapted
+// for droplet-based LoCs." On a digital-microfluidic device volumes are
+// whole droplets, so DAGSolve's dispensing picks the lcm-of-denominators
+// scale and the assignment becomes *exact* (zero mix-ratio error -- the
+// flow device's §4.2 rounding error disappears), at the cost of droplet
+// population and routing steps on the electrode grid.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/Cascading.h"
+#include "aqua/droplet/Router.h"
+
+using namespace aqua;
+using namespace aqua::droplet;
+using namespace aqua::ir;
+using namespace benchutil;
+
+namespace {
+
+void runCase(const char *Name, const AssayGraph &G, const DmfSpec &Spec) {
+  auto A = dmfDagSolve(G, Spec);
+  if (!A.ok()) {
+    std::printf("  %-12s %s\n", Name, A.message().c_str());
+    return;
+  }
+  std::printf("  %-12s scale %4lld  max site %4lld droplets (%s), min edge "
+              "%3lld",
+              Name, static_cast<long long>(A->Scale),
+              static_cast<long long>(A->MaxSiteDroplets),
+              A->Feasible ? "fits" : "over capacity",
+              static_cast<long long>(A->MinEdgeDroplets));
+  if (!A->Feasible) {
+    std::printf("\n");
+    return;
+  }
+  auto Run = executeOnGrid(G, *A, Spec);
+  if (!Run.ok()) {
+    std::printf("  | grid: %s\n", Run.message().c_str());
+    return;
+  }
+  std::printf(" | grid: %lld steps, %d splits, %d merges, peak %d "
+              "droplets\n",
+              static_cast<long long>(Run->Steps), Run->Splits, Run->Merges,
+              Run->PeakDroplets);
+}
+
+} // namespace
+
+int main() {
+  DmfSpec Spec;
+  Spec.Width = 24;
+  Spec.Height = 24;
+  Spec.CapacityDroplets = 512;
+
+  header("Droplet-based adaptation (exact integer-droplet DAGSolve)");
+  std::printf("  grid %dx%d, per-site capacity %lld droplets\n\n",
+              Spec.Width, Spec.Height,
+              static_cast<long long>(Spec.CapacityDroplets));
+
+  runCase("Fig2", assays::buildFigure2Example(), Spec);
+  runCase("Glucose", assays::buildGlucoseAssay(), Spec);
+
+  // A cascaded extreme ratio on the droplet device.
+  {
+    AssayGraph G;
+    NodeId A = G.addInput("A");
+    NodeId B = G.addInput("B");
+    NodeId M = G.addMix("M", {{A, 1}, {B, 99}}, 1.0);
+    G.addUnary(NodeKind::Sense, "sense_R_1", M);
+    core::cascadeMix(G, M, 2).unwrap();
+    runCase("1:99 casc", G, Spec);
+  }
+
+  // The raw 1:999 dilution needs 1000 droplets at one site: over capacity,
+  // exactly the extreme-ratio failure mode of the flow device; cascading
+  // fixes it here too.
+  {
+    AssayGraph G;
+    NodeId A = G.addInput("A");
+    NodeId B = G.addInput("B");
+    NodeId M = G.addMix("M", {{A, 1}, {B, 999}}, 1.0);
+    G.addUnary(NodeKind::Sense, "sense_R_1", M);
+    runCase("1:999 raw", G, Spec);
+    core::cascadeMix(G, M, 3).unwrap();
+    runCase("1:999 casc", G, Spec);
+  }
+
+  std::printf("\nShape check: the same volume-management machinery carries "
+              "over -- Vnorms are\nunchanged, dispensing becomes exact "
+              "integer droplets, and extreme ratios\noverflow the per-site "
+              "capacity until cascading splits them, mirroring the\n"
+              "flow-based story. Mix-ratio error is zero by construction "
+              "(vs <=2%% with\nleast-count rounding).\n");
+  return 0;
+}

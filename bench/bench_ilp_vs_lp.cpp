@@ -1,0 +1,79 @@
+//===- bench_ilp_vs_lp.cpp - Section 4.3 ILP vs LP reproduction ------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the paper's closing Section 4.3 comparison: solving IVol
+// directly as an ILP versus the RVol LP + rounding. The paper (with
+// lp_solve 5.5): "Though the ILP solver achieved similar execution times
+// as the LP solver for the glucose assay, the ILP solver ran for hours
+// without generating a solution for the enzyme assay, whereas the LP
+// solver completed in 0.73 seconds."
+//
+// Our branch-and-bound runs under a node/time budget by default; the
+// reproduced shape is ILP ~ LP on Glucose and budget exhaustion on the
+// enzyme-scale instance.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/Formulation.h"
+#include "aqua/core/Manager.h"
+#include "aqua/lp/BranchAndBound.h"
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace benchutil;
+
+namespace {
+
+void runCase(const char *Name, const AssayGraph &G, double BudgetSec) {
+  MachineSpec Spec;
+
+  LPVolumeResult LP;
+  double LpSec = onceSeconds([&] { LP = solveRVolLP(G, Spec); });
+
+  FormulationOptions IntF;
+  IntF.UnitNl = Spec.LeastCountNl;
+  Formulation F = buildVolumeModel(G, Spec, IntF);
+  lp::IntOptions BB;
+  BB.TimeLimitSec = BudgetSec;
+  lp::IntSolution IS;
+  double IlpSec = onceSeconds([&] { IS = lp::solveInteger(F.Model, {}, BB); });
+
+  std::printf("  %-10s LP: %10s (%s)   ILP: %10s (%s, %lld nodes%s)\n", Name,
+              fmtSeconds(LpSec).c_str(),
+              lp::solveStatusName(LP.Solution.Status),
+              fmtSeconds(IlpSec).c_str(), lp::solveStatusName(IS.Status),
+              static_cast<long long>(IS.Nodes),
+              IS.HasIncumbent ? ", incumbent found" : ", no solution");
+}
+
+} // namespace
+
+int main() {
+  double Budget = fullRun() ? 3600.0 : 10.0;
+  std::printf("Section 4.3: IVol as ILP vs RVol as LP (ILP budget %.0f s)\n",
+              Budget);
+  runCase("Glucose", assays::buildGlucoseAssay(), Budget);
+  runCase("Fig2", assays::buildFigure2Example(), Budget);
+  // The raw enzyme IVol is infeasible (both solvers prove it instantly);
+  // the paper's hours-long ILP run corresponds to the feasible,
+  // transformed assay, where branch-and-bound's tree explodes.
+  runCase("Enzyme/raw", assays::buildEnzymeAssay(4), Budget);
+  {
+    core::ManagerResult VM =
+        core::manageVolumes(assays::buildEnzymeAssay(4), MachineSpec{});
+    if (VM.Feasible)
+      runCase("Enzyme/xf", VM.Graph, Budget);
+  }
+  std::printf("\nShape check (paper): ILP is tolerable on the small glucose "
+              "assay but fails to\nproduce a proven solution on the enzyme "
+              "assay within any reasonable budget,\nwhile LP finishes in "
+              "well under a second.\n");
+  return 0;
+}

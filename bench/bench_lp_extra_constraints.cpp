@@ -1,0 +1,61 @@
+//===- bench_lp_extra_constraints.cpp - Section 4.3 ablation ---------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Regenerates the Section 4.3 ablation: does LP get competitive with
+// DAGSolve if it is given DAGSolve's two artificial constraints (flow
+// conservation and output equalization)? The paper: "Though the additional
+// constraints result in some improvement in LP's run time ... LP remained
+// significantly slower than DAGSolve with a minimum slowdown of 60x (as
+// compared to 80x without the additional constraints)."
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Formulation.h"
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace benchutil;
+
+int main() {
+  MachineSpec Spec;
+
+  std::printf("Section 4.3: LP with DAGSolve's artificial constraints\n");
+  std::printf("  %-10s %12s %14s %14s %10s %10s\n", "assay", "DAGSolve",
+              "LP (plain)", "LP (+extra)", "plain/DAG", "extra/DAG");
+
+  struct Case {
+    const char *Name;
+    int Dilutions;
+  };
+  for (const Case &C : {Case{"Glucose", 0}, Case{"Enzyme", 4},
+                        Case{"Enzyme6", 6}}) {
+    AssayGraph G = C.Dilutions == 0 ? assays::buildGlucoseAssay()
+                                    : assays::buildEnzymeAssay(C.Dilutions);
+    double Dag = medianSeconds([&] { dagSolve(G, Spec); }, 9);
+    double Plain = medianSeconds([&] { solveRVolLP(G, Spec); }, 5);
+
+    FormulationOptions Extra;
+    Extra.FlowConservation = true;
+    Extra.EqualOutputs = true;
+    double WithExtra =
+        medianSeconds([&] { solveRVolLP(G, Spec, Extra); }, 5);
+
+    std::printf("  %-10s %12s %14s %14s %9.0fx %9.0fx\n", C.Name,
+                fmtSeconds(Dag).c_str(), fmtSeconds(Plain).c_str(),
+                fmtSeconds(WithExtra).c_str(), Plain / Dag, WithExtra / Dag);
+  }
+
+  std::printf("\nShape check (paper): the extra constraints help LP "
+              "somewhat, but the gap to\nDAGSolve stays orders of "
+              "magnitude (>= ~60x there) -- DAGSolve's advantage is\n"
+              "algorithmic, not an artifact of the constraint set.\n");
+  return 0;
+}

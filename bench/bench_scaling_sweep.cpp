@@ -1,0 +1,85 @@
+//===- bench_scaling_sweep.cpp - Enzyme-N scaling sweep ---------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The Enzyme10 narrative as a sweep: the enzyme assay generalized to N
+// dilutions per reagent (N^3 combination mixes). DAGSolve visits each node
+// and edge twice -- linear time; LP's effort grows superlinearly with the
+// formulation, which is how the paper motivates DAGSolve as the run-time
+// option ("confirming that DAGSolve scales better than LP for large
+// problem sizes").
+//
+// LP runs under a per-size time budget by default and is skipped once two
+// consecutive sizes blow the budget; AQUAVOL_BENCH_FULL=1 removes caps.
+//
+// The sweep uses the mild-dilution variant of the assay (every dilution at
+// most 1:9) so the LP is feasible and the simplex iterates to optimality
+// -- the raw 1:999 series is LP-infeasible, which a solver proves quickly
+// and which would understate LP's cost; the paper's 1211 s Enzyme10 run
+// was an optimizing solve.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Formulation.h"
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace benchutil;
+
+int main() {
+  // A wide-capacity device (1000 nl reservoirs): with the paper's 100 nl
+  // the big sweep sizes are LP-infeasible outright (27 dilutions exhaust
+  // one diluent reservoir), which the solver proves quickly -- feasible
+  // instances are what exercise an optimizing LP run.
+  MachineSpec Spec;
+  Spec.MaxCapacityNl = 1000.0;
+  double Budget = fullRun() ? 0.0 : 10.0;
+  int Blown = 0;
+
+  std::printf("Enzyme-N scaling sweep (N dilutions -> N^3 combinations)\n");
+  std::printf("  %3s %7s %7s %9s %12s %14s %10s\n", "N", "nodes", "edges",
+              "LP-cons", "DAGSolve", "LP", "pivots");
+
+  for (int N : {2, 3, 4, 5, 6, 7, 8, 10}) {
+    AssayGraph G = assays::buildEnzymeAssay(N, /*MaxRatioExp=*/1);
+    double Dag = medianSeconds([&] { dagSolve(G, Spec); },
+                               N <= 6 ? 7 : 3);
+
+    std::string LpStr = "skipped";
+    std::string Pivots = "-";
+    Formulation F = buildVolumeModel(G, Spec);
+    if (Blown < 2) {
+      lp::SolverOptions SOpts;
+      SOpts.Simplex.TimeLimitSec = Budget;
+      lp::Solution Sol;
+      double Sec = onceSeconds([&] { Sol = lp::solve(F.Model, SOpts); });
+      bool Finished = Sol.Status == lp::SolveStatus::Optimal ||
+                      Sol.Status == lp::SolveStatus::Infeasible;
+      if (Finished) {
+        LpStr = fmtSeconds(Sec) + " (" +
+                lp::solveStatusName(Sol.Status) + ")";
+        Blown = 0;
+      } else {
+        LpStr = std::string("> ") + fmtSeconds(Budget) + " budget";
+        ++Blown;
+      }
+      Pivots = std::to_string(Sol.Iterations);
+    }
+    std::printf("  %3d %7d %7d %9d %12s %14s %10s\n", N, G.numNodes(),
+                G.numEdges(), F.CountedConstraints,
+                fmtSeconds(Dag).c_str(), LpStr.c_str(), Pivots.c_str());
+  }
+
+  std::printf("\nShape check: DAGSolve's time grows linearly in nodes+edges "
+              "(~N^3); LP grows\nmuch faster in wall time per instance, "
+              "reproducing the paper's Enzyme10 gap\n(1.57 s vs >20 min on "
+              "their hardware).\n");
+  return 0;
+}

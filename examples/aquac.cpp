@@ -1,0 +1,199 @@
+//===- aquac.cpp - The AquaVol assay compiler driver -----------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// aquac: compile an assay source file to AIS with automatic volume
+// management.
+//
+//   aquac FILE.assay [--emit-dag] [--emit-dot] [--emit-ais] [--relative]
+//                    [--simulate] [--capacity NL] [--least-count NL]
+//
+// With no --emit flag, prints managed AIS. `--relative` skips volume
+// management and emits the paper-style relative-volume code; `--simulate`
+// also executes the program on the AquaCore simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/codegen/AISParser.h"
+#include "aqua/codegen/Codegen.h"
+#include "aqua/codegen/Schedule.h"
+#include "aqua/core/Manager.h"
+#include "aqua/core/Report.h"
+#include "aqua/lang/Lower.h"
+#include "aqua/runtime/Simulator.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace aqua;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s FILE.assay [--emit-dag] [--emit-dot] [--emit-ais]\n"
+               "          [--relative] [--simulate] [--report] [--schedule]"
+               " [--capacity NL] [--least-count NL]\n"
+               "       %s --run-ais FILE.ais   (execute textual AIS)\n",
+               Argv0, Argv0);
+  return 2;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  bool EmitDag = false, EmitDot = false, Relative = false, Simulate = false;
+  bool RunAIS = false;
+  bool Report = false;
+  bool PrintSchedule = false;
+  core::MachineSpec Spec;
+
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--run-ais"))
+      RunAIS = true;
+    else if (!std::strcmp(argv[I], "--emit-dag"))
+      EmitDag = true;
+    else if (!std::strcmp(argv[I], "--emit-dot"))
+      EmitDot = true;
+    else if (!std::strcmp(argv[I], "--emit-ais"))
+      ; // Default output.
+    else if (!std::strcmp(argv[I], "--report"))
+      Report = true;
+    else if (!std::strcmp(argv[I], "--schedule"))
+      PrintSchedule = true;
+    else if (!std::strcmp(argv[I], "--relative"))
+      Relative = true;
+    else if (!std::strcmp(argv[I], "--simulate"))
+      Simulate = true;
+    else if (!std::strcmp(argv[I], "--capacity") && I + 1 < argc)
+      Spec.MaxCapacityNl = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--least-count") && I + 1 < argc)
+      Spec.LeastCountNl = std::atof(argv[++I]);
+    else if (argv[I][0] == '-')
+      return usage(argv[0]);
+    else
+      Path = argv[I];
+  }
+  if (!Path)
+    return usage(argv[0]);
+
+  std::ifstream File(Path);
+  if (!File) {
+    std::fprintf(stderr, "aquac: cannot open '%s'\n", Path);
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+
+  if (RunAIS) {
+    auto Prog = codegen::parseAIS(Buffer.str());
+    if (!Prog.ok()) {
+      std::fprintf(stderr, "%s:%s\n", Path, Prog.message().c_str());
+      return 1;
+    }
+    runtime::SimOptions SO;
+    SO.Spec = Spec;
+    SO.EnableRegeneration = false; // Parsed AIS has no DAG provenance.
+    runtime::SimResult S = runtime::simulate(*Prog, SO);
+    std::printf("simulation: %s, %d instructions, %.0f s wet time\n",
+                S.Completed ? "completed" : S.Error.c_str(),
+                S.InstructionsExecuted, S.FluidSeconds);
+    for (const runtime::SenseReading &R : S.Senses)
+      std::printf("sense %s: %.2f nl\n", R.Name.c_str(), R.VolumeNl);
+    return S.Completed ? 0 : 1;
+  }
+
+  auto Lowered = lang::compileAssay(Buffer.str());
+  if (!Lowered.ok()) {
+    std::fprintf(stderr, "%s:%s\n", Path, Lowered.message().c_str());
+    return 1;
+  }
+
+  if (EmitDag) {
+    std::printf("%s", Lowered->Graph.str().c_str());
+    return 0;
+  }
+  if (EmitDot) {
+    std::printf("%s", Lowered->Graph.dot().c_str());
+    return 0;
+  }
+
+  const ir::AssayGraph *Graph = &Lowered->Graph;
+  core::ManagerResult VM;
+  core::VolumeAssignment Metered;
+  codegen::CodegenOptions CG;
+  if (!Relative) {
+    bool HasUnknown = false;
+    for (ir::NodeId N : Lowered->Graph.liveNodes())
+      if (Lowered->Graph.node(N).UnknownVolume)
+        HasUnknown = true;
+    if (HasUnknown) {
+      std::fprintf(stderr,
+                   "aquac: note: assay has run-time-unknown volumes; "
+                   "emitting relative AIS (use the partition API for "
+                   "deferred dispensing)\n");
+      Relative = true;
+    }
+  }
+  if (!Relative) {
+    VM = core::manageVolumes(Lowered->Graph, Spec);
+    if (!VM.Feasible) {
+      std::fprintf(stderr,
+                   "aquac: no feasible volume assignment; decision log:\n%s",
+                   VM.Log.c_str());
+      return 1;
+    }
+    Graph = &VM.Graph;
+    Metered = core::integerToNl(VM.Graph, VM.Rounded, Spec);
+    CG.Mode = codegen::VolumeMode::Managed;
+    CG.Volumes = &Metered;
+  }
+
+  if (PrintSchedule) {
+    const ir::AssayGraph &SchedGraph =
+        Relative ? Lowered->Graph : VM.Graph;
+    auto Sched = codegen::scheduleAssay(SchedGraph);
+    if (!Sched.ok()) {
+      std::fprintf(stderr, "aquac: %s\n", Sched.message().c_str());
+      return 1;
+    }
+    std::printf("%s", Sched->str(SchedGraph).c_str());
+    return 0;
+  }
+
+  if (Report) {
+    if (Relative) {
+      std::fprintf(stderr, "aquac: --report needs managed volumes\n");
+      return 1;
+    }
+    core::VolumeReport Rep = core::buildVolumeReport(VM.Graph, VM.Volumes);
+    std::printf("%s", Rep.str().c_str());
+    return 0;
+  }
+
+  auto Prog = codegen::generateAIS(*Graph, {}, CG);
+  if (!Prog.ok()) {
+    std::fprintf(stderr, "aquac: %s\n", Prog.message().c_str());
+    return 1;
+  }
+  std::printf("%s", Prog->str().c_str());
+
+  if (Simulate) {
+    runtime::SimOptions SO;
+    SO.Spec = Spec;
+    SO.Graph = Graph;
+    runtime::SimResult S = runtime::simulate(*Prog, SO);
+    std::printf("\n; simulation: %s, %d instructions, %d regenerations, "
+                "%.0f s wet time\n",
+                S.Completed ? "completed" : S.Error.c_str(),
+                S.InstructionsExecuted, S.Regenerations, S.FluidSeconds);
+    for (const runtime::SenseReading &R : S.Senses)
+      std::printf("; sense %s: %.2f nl\n", R.Name.c_str(), R.VolumeNl);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+//===- droplet_demo.cpp - Volume management on a droplet device ------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's closing remark in action: the glucose assay compiled for a
+// digital-microfluidic (droplet) device. DAGSolve's Vnorm pass carries
+// over unchanged; dispensing becomes exact whole droplets, and the
+// electrode-grid router executes the assay under the static fluidic
+// constraint.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/droplet/Router.h"
+#include "aqua/lang/Lower.h"
+
+#include <cstdio>
+
+using namespace aqua;
+using namespace aqua::droplet;
+using namespace aqua::ir;
+
+int main() {
+  auto L = lang::compileAssay(assays::glucoseSource());
+  if (!L.ok()) {
+    std::fprintf(stderr, "compile error: %s\n", L.message().c_str());
+    return 1;
+  }
+
+  DmfSpec Spec;
+  Spec.Width = 24;
+  Spec.Height = 24;
+  Spec.CapacityDroplets = 512;
+  Spec.DropletNl = 10.0;
+
+  auto A = dmfDagSolve(L->Graph, Spec);
+  if (!A.ok()) {
+    std::fprintf(stderr, "droplet solve failed: %s\n", A.message().c_str());
+    return 1;
+  }
+  std::printf("=== Integer-droplet volume assignment ===\n");
+  std::printf("scale: %lld droplets per Vnorm unit; feasible: %s\n",
+              static_cast<long long>(A->Scale), A->Feasible ? "yes" : "no");
+  for (NodeId N : L->Graph.liveNodes()) {
+    if (L->Graph.node(N).Kind == NodeKind::Sense)
+      continue;
+    std::printf("  %-16s %5lld droplets (%.0f nl)\n",
+                L->Graph.node(N).Name.c_str(),
+                static_cast<long long>(A->NodeDroplets[N]),
+                static_cast<double>(A->NodeDroplets[N]) * Spec.DropletNl);
+  }
+  std::printf("mix ratios are exact: droplet counts ARE the ratios "
+              "(no least-count rounding error)\n\n");
+
+  if (!A->Feasible) {
+    std::printf("per-site capacity exceeded; cascade the extreme mixes "
+                "first (see bench_droplet_adaptation)\n");
+    return 0;
+  }
+
+  auto Run = executeOnGrid(L->Graph, *A, Spec);
+  if (!Run.ok()) {
+    std::fprintf(stderr, "grid execution failed: %s\n",
+                 Run.message().c_str());
+    return 1;
+  }
+  std::printf("=== Electrode-grid execution (%dx%d) ===\n", Spec.Width,
+              Spec.Height);
+  std::printf("steps (actuations): %lld\n",
+              static_cast<long long>(Run->Steps));
+  std::printf("dispenses %d, splits %d, merges %d, senses %d, peak %d "
+              "droplets in flight\n",
+              Run->Dispenses, Run->Splits, Run->Merges, Run->Senses,
+              Run->PeakDroplets);
+  return 0;
+}

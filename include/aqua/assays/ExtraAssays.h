@@ -1,0 +1,61 @@
+//===- aqua/assays/ExtraAssays.h - Additional realistic assays ---*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assays beyond the paper's three benchmarks, drawn from the application
+/// domains its introduction motivates ("drug discovery, virology, clinical
+/// applications, genomics, biochemistry"). They stress different corners
+/// of volume management and double as integration workloads:
+///
+///  * `bradfordProtein` -- a Bradford protein quantitation: a 6-point BSA
+///    standard curve plus triplicate samples against one dye reagent
+///    (a heavily shared reagent, like glucose's but wider);
+///  * `pcrMasterMix`  -- PCR master-mix preparation and aliquoting: one
+///    deeply mixed cocktail split across many reactions (a single
+///    numerously-used intermediate, replication's natural habitat);
+///  * `micPanel`      -- a minimum-inhibitory-concentration panel: a long
+///    two-fold serial dilution chain where each step feeds the next
+///    (chained intermediate uses rather than fan-out);
+///  * `immunoassay`   -- a sandwich immunoassay with two affinity
+///    separations and wash steps (unknown volumes mid-assay, partitioned
+///    run-time dispensing).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_ASSAYS_EXTRAASSAYS_H
+#define AQUA_ASSAYS_EXTRAASSAYS_H
+
+#include "aqua/ir/AssayGraph.h"
+
+namespace aqua::assays {
+
+/// Bradford protein assay: \p StandardPoints calibration dilutions of the
+/// BSA standard (1:1, 1:3, 1:7, ... against diluent) each mixed 1:50 into
+/// the dye reagent, plus \p SampleReplicates sample readings.
+ir::AssayGraph buildBradfordProtein(int StandardPoints = 6,
+                                    int SampleReplicates = 3);
+
+/// PCR master-mix prep: buffer, dNTPs, primers, polymerase and water
+/// mixed into one cocktail, aliquoted into \p Reactions reactions, each
+/// mixed 9:1 with template and sensed (fluorescence).
+ir::AssayGraph buildPcrMasterMix(int Reactions = 12);
+
+/// MIC panel: a chain of \p Steps two-fold dilutions of the antibiotic,
+/// each mixed 1:1 with inoculum and sensed.
+ir::AssayGraph buildMicPanel(int Steps = 8);
+
+/// Sandwich immunoassay: sample binds a capture matrix (affinity
+/// separation, unknown volume), elutes, binds a detection matrix (second
+/// separation), and is sensed -- two partition boundaries.
+ir::AssayGraph buildImmunoassay();
+
+/// Source text of the Bradford assay in the assay language (the others
+/// exercise the builder API).
+const char *bradfordSource();
+
+} // namespace aqua::assays
+
+#endif // AQUA_ASSAYS_EXTRAASSAYS_H

@@ -1,0 +1,57 @@
+//===- aqua/assays/PaperAssays.h - The paper's benchmark assays --*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Programmatic builders for the assays the paper evaluates (Section 4.1,
+/// Figures 2, 9, 10, 11), plus their source text in the assay language.
+/// Tests cross-check the language frontend against these builders, and the
+/// bench harness reproduces Table 2 and Figures 12-14 from them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_ASSAYS_PAPERASSAYS_H
+#define AQUA_ASSAYS_PAPERASSAYS_H
+
+#include "aqua/ir/AssayGraph.h"
+
+#include <string>
+
+namespace aqua::assays {
+
+/// The running example of Figures 2, 3 and 5: inputs A, B, C;
+/// K = A:B 1:4, L = B:C 2:1, M = K:L 2:1, N = L:C 2:3.
+/// Named node ids are returned for tests that check exact Vnorms.
+struct Figure2Nodes {
+  ir::NodeId A, B, C, K, L, M, N;
+};
+ir::AssayGraph buildFigure2Example(Figure2Nodes *Nodes = nullptr);
+
+/// The glucose assay (Figure 9): four glucose/reagent calibration dilutions
+/// (1:1, 1:2, 1:4, 1:8) plus a sample/reagent 1:1 mix, each optically
+/// sensed. Fully static; Figure 12 reports its volume assignment.
+ir::AssayGraph buildGlucoseAssay();
+
+/// The glycomics assay (Figure 10): affinity separation, PNGase-F
+/// digestion, two LC separations -- three statically-unknown output
+/// volumes, partitioning the DAG into the four partitions of Figure 13.
+ir::AssayGraph buildGlycomicsAssay();
+
+/// The enzyme-kinetics assay (Figure 11), generalized to \p Dilutions
+/// serial dilutions per reagent (4 in the paper's "Enzyme", 10 in
+/// "Enzyme10"). Dilution i uses ratio 1:(10^i - 1), capped at
+/// 1:(10^MaxRatioExp - 1) to keep LP coefficients well-scaled for very
+/// large instances; the paper's sizes (4 dilutions) are unaffected.
+ir::AssayGraph buildEnzymeAssay(int Dilutions = 4, int MaxRatioExp = 4);
+
+/// Source text of the three assays in the AquaVol assay language
+/// (Figures 9a, 10a, 11a).
+const char *glucoseSource();
+const char *glycomicsSource();
+const char *enzymeSource();
+
+} // namespace aqua::assays
+
+#endif // AQUA_ASSAYS_PAPERASSAYS_H

@@ -1,0 +1,118 @@
+//===- aqua/codegen/AIS.h - AquaCore Instruction Set -------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The AquaCore Instruction Set (AIS) of Section 2.1 / Table 1, in the
+/// structured form shared by the code generator, the textual emitter, and
+/// the runtime simulator.
+///
+/// AIS's distinguishing features (Section 2.1): *storage-less operands* --
+/// the operand space names functional units as well as reservoirs, so one
+/// instruction can forward its output directly into the next unit -- and
+/// *variable/relative volumes* -- most instructions operate on whatever
+/// volume is present, and `move` optionally carries either a relative part
+/// count or (after volume management) an absolute metered volume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CODEGEN_AIS_H
+#define AQUA_CODEGEN_AIS_H
+
+#include "aqua/ir/AssayGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace aqua::codegen {
+
+/// Kinds of addressable locations in the PLoC.
+enum class LocKind {
+  None,
+  Reservoir, ///< s1, s2, ...
+  InputPort, ///< ip1, ip2, ... (external fluid supply).
+  Mixer,     ///< mixer1, ...
+  Heater,    ///< heater1, ...
+  Sensor,    ///< sensor1, ...
+  Separator, ///< separator1, ... with matrix/pusher/out1 sub-ports.
+  OutputPort ///< op1, ... (waste / product collection).
+};
+
+/// Sub-port of a separator.
+enum class SubPort { None, Matrix, Pusher, Out1 };
+
+/// An addressable location (the AIS operand id space).
+struct Loc {
+  LocKind Kind = LocKind::None;
+  int Index = 0; ///< 1-based unit number.
+  SubPort Sub = SubPort::None;
+
+  bool valid() const { return Kind != LocKind::None; }
+  friend bool operator==(const Loc &A, const Loc &B) {
+    return A.Kind == B.Kind && A.Index == B.Index && A.Sub == B.Sub;
+  }
+  /// Renders as "mixer1", "separator2.out1", "s4", "ip3", ...
+  std::string str() const;
+};
+
+/// AIS opcodes (Table 1 plus the separate.LC variant the paper adds for
+/// glycomics).
+enum class Opcode {
+  Input,       ///< input sX, ipY          -- load an input fluid.
+  Move,        ///< move dst, src[, rel]   -- transfer (relative volume).
+  MoveAbs,     ///< move-abs dst, src, vol -- metered absolute transfer (nl).
+  Mix,         ///< mix unit, seconds
+  Incubate,    ///< incubate unit, temp, seconds
+  SeparateAF,  ///< separate.AF unit, seconds
+  SeparateLC,  ///< separate.LC unit, seconds
+  SenseOD,     ///< sense.OD unit, result
+  SenseFL,     ///< sense.FL unit, result
+  Concentrate, ///< concentrate unit, temp, seconds
+  Output,      ///< output opX, src        -- deliver to an output port.
+};
+
+/// Returns the AIS mnemonic for \p Op.
+const char *opcodeName(Opcode Op);
+
+/// One AIS instruction.
+struct Instruction {
+  Opcode Op = Opcode::Move;
+  Loc Dst;
+  Loc Src;
+  /// Relative volume part count (Move) -- the paper's `move mixer1, s2, 4`.
+  /// 0 means "move everything".
+  std::int64_t RelParts = 0;
+  /// Absolute metered volume in nl (MoveAbs); 0 on other opcodes.
+  double VolumeNl = 0.0;
+  double Seconds = 0.0;
+  double TempC = 0.0;
+  /// Human-readable annotation: the fluid name for Input, the result
+  /// variable for senses.
+  std::string Note;
+  /// The assay-DAG node this instruction helps materialize; the runtime's
+  /// regeneration engine re-executes by backward slice over this field.
+  ir::NodeId Node = ir::InvalidNode;
+
+  /// Renders one line of paper-style AIS text.
+  std::string str() const;
+};
+
+/// A generated AIS program plus its resource usage.
+struct AISProgram {
+  std::vector<Instruction> Instrs;
+  int UsedReservoirs = 0;
+  int UsedMixers = 0;
+  int UsedHeaters = 0;
+  int UsedSensors = 0;
+  int UsedSeparators = 0;
+  int UsedInputPorts = 0;
+
+  /// Renders the whole program in the style of Figures 9b/10b/11b.
+  std::string str() const;
+};
+
+} // namespace aqua::codegen
+
+#endif // AQUA_CODEGEN_AIS_H

@@ -1,0 +1,36 @@
+//===- aqua/codegen/AISParser.h - AIS text parser -----------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for textual AIS, the inverse of AISProgram::str(). Lets programs
+/// emitted by `aquac` (or written by hand, as in the paper's figures) be
+/// loaded back and executed on the simulator. Instructions parsed from
+/// text carry no DAG provenance, so regeneration is unavailable for them
+/// unless the caller re-attaches node ids.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CODEGEN_AISPARSER_H
+#define AQUA_CODEGEN_AISPARSER_H
+
+#include "aqua/codegen/AIS.h"
+#include "aqua/support/Error.h"
+
+#include <string_view>
+
+namespace aqua::codegen {
+
+/// Parses textual AIS. Blank lines and `;` comments (full-line or
+/// trailing) are ignored. Diagnostics carry the 1-based line number.
+Expected<AISProgram> parseAIS(std::string_view Text);
+
+/// Parses one location operand ("s4", "ip2", "mixer1", "separator2.out1",
+/// "op1"). Returns an invalid Loc on malformed input.
+Loc parseLoc(std::string_view Text);
+
+} // namespace aqua::codegen
+
+#endif // AQUA_CODEGEN_AISPARSER_H

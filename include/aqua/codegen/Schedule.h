@@ -1,0 +1,71 @@
+//===- aqua/codegen/Schedule.h - Wet-path operation scheduling ---*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resource-constrained list scheduling of assay operations onto the
+/// PLoC's functional units — an extension beyond the paper (which executes
+/// sequentially): AquaCore has several mixers/heaters/sensors, and
+/// independent operations (e.g. the enzyme assay's 64 combination mixes)
+/// can overlap on the slow fluidic datapath.
+///
+/// The scheduler is a classic critical-path list scheduler: operations
+/// become ready when their producers finish, are prioritized by longest
+/// path to a sink, and claim the earliest-free unit of their kind.
+/// Transfers are charged per operand. The result reports the parallel
+/// makespan next to the serial wet time, which the simulator's sequential
+/// execution realizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CODEGEN_SCHEDULE_H
+#define AQUA_CODEGEN_SCHEDULE_H
+
+#include "aqua/codegen/Codegen.h"
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/support/Error.h"
+
+namespace aqua::codegen {
+
+/// Scheduling knobs.
+struct ScheduleOptions {
+  MachineLayout Layout;
+  /// Seconds charged per fluid transfer (same default as the simulator).
+  double MoveSeconds = 2.0;
+};
+
+/// One scheduled operation.
+struct ScheduledOp {
+  ir::NodeId Node = ir::InvalidNode;
+  double StartSec = 0.0;
+  double EndSec = 0.0;
+  LocKind UnitKind = LocKind::None;
+  int UnitIndex = 0; ///< 1-based; 0 for operations needing no unit.
+};
+
+/// A complete schedule.
+struct Schedule {
+  std::vector<ScheduledOp> Ops;
+  /// Parallel completion time.
+  double MakespanSeconds = 0.0;
+  /// Sum of all operation durations (the sequential baseline).
+  double SerialSeconds = 0.0;
+  /// Longest dependence chain ignoring resources (the lower bound).
+  double CriticalPathSeconds = 0.0;
+
+  double speedup() const {
+    return MakespanSeconds > 0.0 ? SerialSeconds / MakespanSeconds : 1.0;
+  }
+  /// Gantt-style rendering, one line per operation.
+  std::string str(const ir::AssayGraph &G) const;
+};
+
+/// Schedules \p G's operations. The graph must verify.
+Expected<Schedule> scheduleAssay(const ir::AssayGraph &G,
+                                 const ScheduleOptions &Opts = {});
+
+} // namespace aqua::codegen
+
+#endif // AQUA_CODEGEN_SCHEDULE_H

@@ -1,0 +1,60 @@
+//===- aqua/core/BioStream.h - BioStream 1:1 mixing baseline -----*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The BioStream mixing model (Thies/Urbanski et al.), the baseline the
+/// paper contrasts with in Section 3.4.1: "they allow mixing only in a
+/// 1:1 ratio, and discard half of the output of the mix ... achieving
+/// arbitrary mix ratios always requires cascading (except for 1:1
+/// mixing), which executes on the slow fluid path, while our approach
+/// requires cascading only for uncommon cases of extreme mix ratios."
+///
+/// A target concentration c of fluid A in B is approximated to k binary
+/// digits as round(c * 2^k) / 2^k and realized as a chain of k 1:1 mixes
+/// (interpolating serial dilution): processing the bits LSB-first, each
+/// step mixes the running intermediate 1:1 with pure A (bit=1) or pure B
+/// (bit=0), carrying half forward and discarding the other half.
+///
+/// This module rewrites a two-input mix into that form so the trade-off
+/// is measurable on real DAGs: operation counts, discarded volume, and
+/// concentration error versus AquaVol's variable-ratio mixing (exact, one
+/// mix) and cascading (exact, only for extreme ratios).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_BIOSTREAM_H
+#define AQUA_CORE_BIOSTREAM_H
+
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/support/Error.h"
+
+namespace aqua::core {
+
+/// Outcome of a BioStream rewrite.
+struct BioStreamInfo {
+  /// 1:1 mix stages created (the final stage reuses the original node).
+  std::vector<ir::NodeId> Stages;
+  /// Excess nodes discarding half of each non-final stage.
+  std::vector<ir::NodeId> ExcessNodes;
+  /// The realized concentration of the small fluid (m / 2^Bits).
+  Rational Achieved = Rational(0);
+  /// The assay's exact target concentration.
+  Rational Target = Rational(0);
+  /// |Achieved - Target| / Target, in percent.
+  double ErrorPct = 0.0;
+};
+
+/// Rewrites two-input mix \p M into a chain of 1:1 mixes approximating its
+/// ratio to \p Bits binary digits. Requires 1 <= Bits <= 24 and a
+/// two-input mix whose smaller fraction is representable (rounds to
+/// neither 0 nor 1 at the chosen precision). Fails for NoExcess fluids:
+/// the model is built on discarding.
+Expected<BioStreamInfo> biostreamMix(ir::AssayGraph &G, ir::NodeId M,
+                                     int Bits);
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_BIOSTREAM_H

@@ -1,0 +1,78 @@
+//===- aqua/core/Cascading.h - Extreme-ratio cascading -----------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cascaded mixing for extreme mix ratios (Section 3.4.1, Figure 7).
+///
+/// A mix ratio beyond what the hardware's least-count/capacity range can
+/// meter in one step is split into a cascade: `A:B = 1:99` becomes
+/// `C = A:B 1:9` followed by `C:B 1:9`, with 9/10 of the intermediate C
+/// deliberately discarded through an Excess node. The discarded fraction
+/// is known a priori, which is what lets DAGSolve (whose flow-conservation
+/// constraint otherwise forbids excess production) handle cascades.
+///
+/// Stage boundaries are chosen as integer part counts so all edge fractions
+/// stay exact rationals; when the ratio total is a perfect k-th power the
+/// stages come out equal (1:999 with three stages gives the paper's three
+/// 1:9 mixes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_CASCADING_H
+#define AQUA_CORE_CASCADING_H
+
+#include "aqua/core/MachineSpec.h"
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace aqua::core {
+
+/// Computes cascade stage boundaries for a mix with reduced integer parts
+/// \p Small : \p Large, using \p Stages stages. Returns the cumulative part
+/// counts a_0=Small < a_1 < ... < a_Stages = Small+Large; stage i mixes the
+/// previous intermediate (a_{i-1} parts) with the large fluid
+/// (a_i - a_{i-1} parts). Boundaries are near-geometric so stage skews
+/// balance, and exactly geometric (equal stages) when possible.
+std::vector<std::int64_t> cascadeBoundaries(std::int64_t Small,
+                                            std::int64_t Large, int Stages);
+
+/// Result of cascading one mix.
+struct CascadeInfo {
+  /// The stage mix nodes, first to last; the last is the original node.
+  std::vector<ir::NodeId> StageMixes;
+  /// The excess nodes attached to the intermediates.
+  std::vector<ir::NodeId> ExcessNodes;
+};
+
+/// Replaces two-input mix \p M with a \p Stages-stage cascade in place.
+/// The original node id remains the final stage (out-edges untouched).
+/// Fails if \p M is not a two-input mix, if any involved fluid is marked
+/// NoExcess, or if the stage count cannot split the ratio.
+Expected<CascadeInfo> cascadeMix(ir::AssayGraph &G, ir::NodeId M, int Stages);
+
+/// Smallest stage count such that every stage's skew (large:small parts)
+/// stays at or below \p MaxStageSkew, capped at \p MaxStages.
+int chooseCascadeStages(std::int64_t Small, std::int64_t Large,
+                        std::int64_t MaxStageSkew, int MaxStages);
+
+/// The skew of a mix node: largest in-edge fraction over smallest.
+Rational mixSkew(const ir::AssayGraph &G, ir::NodeId M);
+
+/// Rewrites a k-input mix (k > 2) into a chain of two-input mixes with the
+/// same final composition, combining the two smallest contributions first
+/// (which concentrates the extremeness into one binary mix that cascading
+/// can then split). Returns the intermediate mix nodes created; the
+/// original node remains the final mix. Volumetrically exact: every
+/// source's share of the final mixture is unchanged.
+Expected<std::vector<ir::NodeId>> binarizeMix(ir::AssayGraph &G,
+                                              ir::NodeId M);
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_CASCADING_H

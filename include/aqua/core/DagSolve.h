@@ -1,0 +1,109 @@
+//===- aqua/core/DagSolve.h - Linear-time volume assignment ------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// DAGSolve, the paper's linear-complexity solver for Rational Volume
+/// Management (Section 3.3, Figure 4).
+///
+/// DAGSolve over-constrains RVol with (1) fixed relative output proportions
+/// and (2) flow conservation at intermediate nodes, which reduces volume
+/// assignment to two linear passes:
+///
+///   * a backward pass, in reverse topological order, computing each node's
+///     and edge's `Vnorm` -- its volume relative to the outputs (outputs
+///     get Vnorm 1, a node's Vnorm is the sum of its out-edge Vnorms, an
+///     in-edge's Vnorm is its ratio times the node's input Vnorm);
+///   * a forward dispensing pass that pins the largest Vnorm to the machine
+///     capacity and scales everything else proportionally.
+///
+/// Excess nodes created by cascading are special-cased exactly as in
+/// Section 3.4.1: their Vnorm derives from the already-computed source
+/// node instead of the backward recurrence.
+///
+/// A result is infeasible when some dispensed edge falls below the least
+/// count; the Figure 6 hierarchy then falls back to LP (see Manager.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_DAGSOLVE_H
+#define AQUA_CORE_DAGSOLVE_H
+
+#include "aqua/core/MachineSpec.h"
+#include "aqua/core/VolumeAssignment.h"
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/support/Rational.h"
+
+#include <optional>
+#include <vector>
+
+namespace aqua::core {
+
+/// Optional knobs for DAGSolve.
+struct DagSolveOptions {
+  /// Per-output relative proportions. Outputs not listed get weight 1.
+  /// (The paper: "the Vnorms could be set to arbitrary values to produce
+  /// outputs in arbitrary ratios"; equal weights are the default.)
+  std::vector<std::pair<ir::NodeId, Rational>> OutputWeights;
+
+  /// If set, dispensing pins this node's Vnorm to PinnedVolumeNl instead of
+  /// pinning the maximum Vnorm to the machine capacity. Used by the §3.5
+  /// loop strategy ("pick the output node with the smallest Vnorm and
+  /// assign it the programmer-specified volume").
+  std::optional<ir::NodeId> PinnedNode;
+  double PinnedVolumeNl = 0.0;
+};
+
+/// Result of a DAGSolve run: exact relative volumes plus the dispensed
+/// absolute assignment.
+struct DagSolveResult {
+  /// True when every dispensed edge meets the least count and no node
+  /// exceeds capacity.
+  bool Feasible = false;
+
+  /// Exact relative volumes, indexed by slot id (dead slots zero).
+  /// NodeVnorm is the node's *output* volume; a node's input-side relative
+  /// volume is NodeVnorm / OutFraction.
+  std::vector<Rational> NodeVnorm;
+  std::vector<Rational> EdgeVnorm;
+
+  /// The largest input-side Vnorm and its node (pinned to capacity by the
+  /// default dispensing).
+  Rational MaxVnorm = Rational(0);
+  ir::NodeId MaxVnormNode = ir::InvalidNode;
+
+  /// Absolute volumes in nanoliters.
+  VolumeAssignment Volumes;
+
+  /// Smallest dispensed edge volume and where it occurs.
+  double MinDispenseNl = 0.0;
+  ir::EdgeId MinEdge = -1;
+};
+
+/// Runs DAGSolve on \p G (which must verify()) for machine \p Spec.
+DagSolveResult dagSolve(const ir::AssayGraph &G, const MachineSpec &Spec,
+                        const DagSolveOptions &Opts = {});
+
+/// Computes only the backward (Vnorm) pass; fills NodeVnorm/EdgeVnorm and
+/// MaxVnorm. Partition handling (§3.5) runs this at compile time and defers
+/// dispensing to run time.
+void computeVnorms(const ir::AssayGraph &G, const DagSolveOptions &Opts,
+                   DagSolveResult &Result);
+
+/// Dispenses absolute volumes given Vnorms: every node/edge gets
+/// `Vnorm * NlPerVnorm` nanoliters. Returns the assignment; the caller
+/// checks feasibility.
+VolumeAssignment dispenseVolumes(const ir::AssayGraph &G,
+                                 const DagSolveResult &Vnorms,
+                                 double NlPerVnorm);
+
+/// The input-side relative volume of \p N: what the functional unit holds
+/// while the operation runs (output Vnorm divided by the yield fraction).
+Rational nodeInputVnorm(const ir::AssayGraph &G, ir::NodeId N,
+                        const DagSolveResult &Vnorms);
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_DAGSOLVE_H

@@ -1,0 +1,102 @@
+//===- aqua/core/Formulation.h - ILP/LP formulation of IVol/RVol -*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the paper's ILP/LP formulation (Section 3.2, Figure 3) from an
+/// assay DAG. Six constraint classes over edge-volume and node-volume
+/// variables:
+///
+///   1. minimum volume      -- every edge at least the least count;
+///   2. maximum capacity    -- in-edge volumes of a node fit the hardware;
+///   3. non-deficit         -- a fluid's uses don't exceed its volume;
+///   4. ratio               -- in-edges in the assay's mix ratio;
+///   5. node output-to-input-- output volume as a fraction of input;
+///   6. output-to-output    -- (optional) outputs within a fixed percentage
+///                             of each other, to avoid skewed solutions.
+///
+/// Objective: maximize the sum of output volumes. RVol solves this as an LP
+/// in nanoliters; IVol keeps volumes in least-count units and requires
+/// integrality (branch-and-bound).
+///
+/// The options can also add DAGSolve's two artificial constraints (flow
+/// conservation and output equalization) for the Section 4.3 ablation,
+/// where the paper shows LP remains ~60x slower than DAGSolve even with
+/// them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_FORMULATION_H
+#define AQUA_CORE_FORMULATION_H
+
+#include "aqua/core/MachineSpec.h"
+#include "aqua/core/VolumeAssignment.h"
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/lp/Solver.h"
+
+#include <vector>
+
+namespace aqua::core {
+
+/// Options controlling formulation construction.
+struct FormulationOptions {
+  /// Emit class-6 rows bounding every output within +-OutputBalancePct
+  /// percent of a reference output.
+  bool OutputBalance = true;
+  double OutputBalancePct = 10.0;
+
+  /// DAGSolve's artificial constraints, for the Section 4.3 ablation.
+  bool FlowConservation = false; ///< Non-deficit rows become equalities.
+  bool EqualOutputs = false;     ///< All outputs exactly equal.
+
+  /// Per-node upper bounds in nl (constrained inputs of a partition whose
+  /// available volume was measured at run time, Section 3.5).
+  std::vector<std::pair<ir::NodeId, double>> NodeUpperBoundNl;
+
+  /// Measurement unit for the model's volume variables, in nl. 1.0 gives
+  /// the RVol LP in nanoliters; set to the least count (and require
+  /// integrality) for the IVol ILP.
+  double UnitNl = 1.0;
+};
+
+/// A built formulation: the LP model plus variable maps back to the DAG.
+struct Formulation {
+  lp::Model Model;
+  /// Slot-indexed variable ids (-1 for dead slots).
+  std::vector<lp::VarId> EdgeVar;
+  std::vector<lp::VarId> NodeVar;
+  /// Constraint count in the paper's accounting (classes 1-6, counting the
+  /// per-edge minimum-volume constraints even though the solver carries
+  /// them as variable bounds). This is the Table 2 "LP constraints" figure.
+  int CountedConstraints = 0;
+};
+
+/// Builds the Figure 3 formulation for \p G on machine \p Spec.
+Formulation buildVolumeModel(const ir::AssayGraph &G, const MachineSpec &Spec,
+                             const FormulationOptions &Opts = {});
+
+/// Converts an LP solution over \p F back to per-node/per-edge volumes in
+/// nanoliters.
+VolumeAssignment extractAssignment(const ir::AssayGraph &G,
+                                   const Formulation &F,
+                                   const lp::Solution &Sol,
+                                   const FormulationOptions &Opts = {});
+
+/// Result of solving RVol with the LP hierarchy level.
+struct LPVolumeResult {
+  lp::Solution Solution;
+  VolumeAssignment Volumes;
+  int CountedConstraints = 0;
+  lp::SolveInfo Info;
+};
+
+/// Convenience: build + solve the RVol LP and extract volumes.
+LPVolumeResult solveRVolLP(const ir::AssayGraph &G, const MachineSpec &Spec,
+                           const FormulationOptions &FOpts = {},
+                           const lp::SolverOptions &SOpts = {});
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_FORMULATION_H

@@ -1,0 +1,51 @@
+//===- aqua/core/MachineSpec.h - PLoC hardware parameters --------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hardware parameters volume management must respect: maximum capacity
+/// of reservoirs and functional units, and the minimum transport resolution
+/// ("least count") imposed by the metering pumps. Defaults follow Section
+/// 4.2 of the paper: 100 nl capacity, 100 pl least count (PDMS valves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_MACHINESPEC_H
+#define AQUA_CORE_MACHINESPEC_H
+
+#include <cstdint>
+
+namespace aqua::core {
+
+/// Resource budget used when checking that cascading / static replication
+/// still fits on the device (Section 3.4.2: "the replicated code may exceed
+/// the PLoC's resources. In such cases, compilation fails.").
+struct ResourceLimits {
+  /// Input reservoirs available for replicated input fluids.
+  int MaxInputs = 64;
+  /// Total operations the device can stage (generous default).
+  int MaxNodes = 1 << 20;
+};
+
+/// Hardware description of the target programmable lab-on-a-chip.
+struct MachineSpec {
+  /// Maximum capacity of any reservoir or functional unit, in nanoliters.
+  double MaxCapacityNl = 100.0;
+  /// Minimum transport resolution (least count), in nanoliters.
+  double LeastCountNl = 0.1;
+  ResourceLimits Limits;
+
+  /// Number of least-count units in the maximum capacity.
+  std::int64_t capacityUnits() const {
+    return static_cast<std::int64_t>(MaxCapacityNl / LeastCountNl + 0.5);
+  }
+
+  /// Converts nanoliters to (unrounded) least-count units.
+  double toUnits(double Nl) const { return Nl / LeastCountNl; }
+};
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_MACHINESPEC_H

@@ -1,0 +1,83 @@
+//===- aqua/core/Manager.h - Volume-management hierarchy ---------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The volume-management hierarchy of Figure 6: try DAGSolve; fall back to
+/// LP when DAGSolve's artificial constraints sacrifice a feasible solution;
+/// when neither finds one, transform the DAG -- cascading for extreme mix
+/// ratios, static replication for numerous uses -- and re-enter the
+/// hierarchy. When everything fails the assay still runs: the runtime's
+/// reactive regeneration (the BioStream baseline) is the backstop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_MANAGER_H
+#define AQUA_CORE_MANAGER_H
+
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Formulation.h"
+#include "aqua/core/Rounding.h"
+#include "aqua/ir/AssayGraph.h"
+
+#include <string>
+
+namespace aqua::core {
+
+/// Which level of the hierarchy produced the final assignment.
+enum class SolveMethod {
+  DagSolve, ///< The linear-time solver (Section 3.3).
+  LP,       ///< The LP fallback on the Figure 3 formulation.
+};
+
+/// Options for the hierarchy driver.
+struct ManagerOptions {
+  /// Fall back to LP when DAGSolve underflows.
+  bool UseLPFallback = true;
+  /// Permit the cascading transform (Section 3.4.1).
+  bool AllowCascading = true;
+  /// Permit static replication (Section 3.4.2).
+  bool AllowReplication = true;
+  /// Upper bound on transform/re-solve iterations.
+  int MaxIterations = 32;
+  /// A mix whose large:small ratio exceeds this is "extreme" and gets
+  /// cascaded; stage counts are chosen so each stage stays at or below it.
+  std::int64_t CascadeSkewThreshold = 20;
+  int MaxCascadeStages = 8;
+  /// After a feasible solution is found, keep replicating the
+  /// capacity-pinned node (raising every dispensed volume) until the mean
+  /// least-count rounding error drops to this target (§4.2's "below 2%"),
+  /// up to MaxErrorRefineSteps extra replications. Set the target negative
+  /// to disable refinement.
+  double TargetMeanRoundErrorPct = 2.0;
+  int MaxErrorRefineSteps = 6;
+  lp::SolverOptions LPOptions;
+  DagSolveOptions DagOptions;
+};
+
+/// Result of running the hierarchy.
+struct ManagerResult {
+  bool Feasible = false;
+  SolveMethod Method = SolveMethod::DagSolve;
+  /// The (possibly transformed) graph the assignment refers to.
+  ir::AssayGraph Graph;
+  /// RVol volumes in nanoliters.
+  VolumeAssignment Volumes;
+  /// IVol assignment after least-count rounding.
+  IntegerAssignment Rounded;
+  int CascadesApplied = 0;
+  int ReplicationsApplied = 0;
+  double MinDispenseNl = 0.0;
+  /// Human-readable decision trace.
+  std::string Log;
+};
+
+/// Runs the Figure 6 hierarchy on a copy of \p G.
+ManagerResult manageVolumes(const ir::AssayGraph &G, const MachineSpec &Spec,
+                            const ManagerOptions &Opts = {});
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_MANAGER_H

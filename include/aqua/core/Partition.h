@@ -1,0 +1,103 @@
+//===- aqua/core/Partition.h - Statically-unknown volumes --------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Handling for statically-unknown output volumes (Section 3.5, Figures 8
+/// and 13).
+///
+/// Some operations -- most commonly separations -- produce a volume that
+/// cannot be known until run time. Volume assignment is split: the
+/// out-edges of unknown-volume nodes are cut, partitioning the DAG; Vnorm
+/// computation stays at compile time (per partition, each normalized to its
+/// own leaves), while absolute dispensing is deferred to run time, when the
+/// measured volumes are available.
+///
+/// Each cut edge's sink side becomes a *constrained input*: unlike a true
+/// input port (which can draw anything up to the hardware maximum), a
+/// constrained input is limited to the volume actually produced upstream.
+/// A produced fluid with uses in multiple partitions cannot wait for the
+/// later partitions' demands, so all its out-edges are cut and its volume
+/// is split conservatively 1/N per use (merging m same-partition uses into
+/// a single m/N constrained input -- the paper's refinement). An input
+/// fluid used by several partitions is likewise split by use count
+/// (glycomics' buffer3a becomes two 50 nl constrained inputs).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_PARTITION_H
+#define AQUA_CORE_PARTITION_H
+
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/MachineSpec.h"
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/support/Error.h"
+
+#include <string>
+#include <vector>
+
+namespace aqua::core {
+
+/// The compile-time plan for an assay with unknown-volume operations.
+struct PartitionPlan {
+  /// A source whose available volume is constrained (not a free port).
+  struct ConstrainedInput {
+    /// The stand-in node in the partitioned graph.
+    ir::NodeId Node = ir::InvalidNode;
+    /// The node (in the same graph) whose dispensed/measured output feeds
+    /// this input; for split input fluids, the original (now dead) input.
+    ir::NodeId Source = ir::InvalidNode;
+    /// Fraction of the source's volume this input receives.
+    Rational Share = Rational(1);
+    /// True when Source is an input port fluid (availability is
+    /// Share * hardware maximum, fixed at compile time).
+    bool FromInputPort = false;
+  };
+
+  /// One partition: a connected region whose dispensing happens together.
+  struct Part {
+    int Wave = 0;
+    std::vector<ir::NodeId> Members;
+    /// Indices into PartitionPlan::Inputs of this partition's constrained
+    /// inputs.
+    std::vector<int> InputRefs;
+    /// Largest input-side Vnorm among members (capacity-binding).
+    Rational MaxInputVnorm = Rational(0);
+  };
+
+  /// The partitioned graph: a copy of the original with cut edges rerouted
+  /// through constrained-input nodes.
+  ir::AssayGraph Graph;
+  /// Compile-time Vnorms over `Graph` (each partition normalized to its
+  /// own leaf set).
+  DagSolveResult Vnorms;
+  std::vector<ConstrainedInput> Inputs;
+  /// Partitions ordered by execution wave.
+  std::vector<Part> Parts;
+  /// Partition index per live node of `Graph`.
+  std::vector<int> NodePartition;
+
+  /// Renders a per-partition summary (members, constrained inputs, Vnorms).
+  std::string str() const;
+};
+
+/// Builds the partition plan for \p G. Succeeds with a single partition and
+/// no constrained inputs when the graph has no unknown-volume nodes.
+Expected<PartitionPlan> buildPartitionPlan(const ir::AssayGraph &G,
+                                           const MachineSpec &Spec);
+
+/// Run-time dispensing for one partition. \p AvailableNl holds the
+/// available volume for every constrained input of the plan (indexed like
+/// PartitionPlan::Inputs; entries for other partitions are ignored).
+/// Produces absolute volumes for the partition's members; other slots stay
+/// zero. The scale is the minimum of the capacity-driven scale and each
+/// constrained input's available/Vnorm ratio (Section 3.5).
+VolumeAssignment dispensePartition(const PartitionPlan &Plan, int PartIndex,
+                                   const std::vector<double> &AvailableNl,
+                                   const MachineSpec &Spec);
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_PARTITION_H

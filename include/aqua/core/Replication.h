@@ -1,0 +1,47 @@
+//===- aqua/core/Replication.h - Static replication --------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static replication for numerously-used fluids (Section 3.4.2).
+///
+/// When a fluid has so many uses that even a full reservoir underflows
+/// per-use, the producing node is replicated and the uses are distributed
+/// as evenly as possible across the replicas. Replicas share the original
+/// node's predecessors (increasing *their* use counts); if underflow
+/// persists, the volume-management driver replicates the now-critical
+/// predecessor on the next iteration -- the paper's "replicate another
+/// level in the DAG" -- rather than copying the whole backward slice at
+/// once. Replication is a pure graph transformation, so the LP formulation
+/// applies to the replicated DAG unchanged, and the added resource demand
+/// is statically known.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_REPLICATION_H
+#define AQUA_CORE_REPLICATION_H
+
+#include "aqua/core/MachineSpec.h"
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/support/Error.h"
+
+#include <vector>
+
+namespace aqua::core {
+
+/// Replicates \p N so that \p Copies instances exist (the original plus
+/// Copies-1 clones), distributing N's out-edges round-robin. Fails when \p
+/// Copies < 2, when \p N is an Excess node or has fewer live out-edges than
+/// \p Copies, or when the result exceeds \p Spec's resource limits
+/// ("compilation fails", Section 3.4.2).
+///
+/// \returns all replica node ids (original first).
+Expected<std::vector<ir::NodeId>> replicateNode(ir::AssayGraph &G,
+                                                ir::NodeId N, int Copies,
+                                                const MachineSpec &Spec);
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_REPLICATION_H

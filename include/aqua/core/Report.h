@@ -1,0 +1,59 @@
+//===- aqua/core/Report.h - Volume-management reporting ----------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable accounting of a volume assignment: per-fluid production,
+/// consumption, deliberate excess and leftover, plus assay-level totals.
+/// `aquac --report` prints this; it is how an assay developer sees where
+/// the reagents go and what cascading costs in discarded fluid.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_REPORT_H
+#define AQUA_CORE_REPORT_H
+
+#include "aqua/core/VolumeAssignment.h"
+#include "aqua/ir/AssayGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace aqua::core {
+
+/// Accounting for one fluid (one producing node).
+struct FluidUsage {
+  ir::NodeId Node = ir::InvalidNode;
+  std::string Name;
+  int Uses = 0;             ///< Non-excess consumers.
+  double ProducedNl = 0.0;  ///< The node's output volume.
+  double ConsumedNl = 0.0;  ///< Volume drawn by real uses.
+  double ExcessNl = 0.0;    ///< Deliberately discarded (cascade excess).
+  double LeftoverNl = 0.0;  ///< Produced - consumed - excess (residue).
+  /// ConsumedNl / ProducedNl in [0,1]; 1 for fully-used fluids.
+  double utilization() const {
+    return ProducedNl > 0.0 ? ConsumedNl / ProducedNl : 0.0;
+  }
+};
+
+/// Assay-level volume accounting.
+struct VolumeReport {
+  std::vector<FluidUsage> Fluids;
+  double TotalInputNl = 0.0;   ///< Drawn from input ports.
+  double TotalOutputNl = 0.0;  ///< Delivered at leaves (senses/products).
+  double TotalExcessNl = 0.0;  ///< Cascade discards.
+  double TotalLeftoverNl = 0.0;
+
+  /// Tabular rendering.
+  std::string str() const;
+};
+
+/// Builds the report for assignment \p V over \p G.
+VolumeReport buildVolumeReport(const ir::AssayGraph &G,
+                               const VolumeAssignment &V);
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_REPORT_H

@@ -1,0 +1,56 @@
+//===- aqua/core/Rounding.h - RVol to IVol rounding --------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rounding a rational (RVol) volume assignment to integer multiples of the
+/// hardware least count, producing an IVol assignment (Section 3.2; error
+/// evaluation in Section 4.2).
+///
+/// "Simple rounding of the RVol results to the nearest integers may cause
+/// inaccuracies in mix ratios. ... the underlying chemistry is inherently
+/// tolerant of small imprecisions ... the errors for our benchmarks were
+/// below 2%."  The rounding here is the paper's simple
+/// nearest-least-count-multiple scheme, plus the error metric used to
+/// evaluate it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_ROUNDING_H
+#define AQUA_CORE_ROUNDING_H
+
+#include "aqua/core/MachineSpec.h"
+#include "aqua/core/VolumeAssignment.h"
+#include "aqua/ir/AssayGraph.h"
+
+namespace aqua::core {
+
+/// Rounds \p RVol to the nearest least-count multiples. Node volumes are
+/// recomputed as the (rounded) sums of their in-edge volumes scaled by the
+/// node's output fraction, so the integer assignment is self-consistent;
+/// a conservation pass then trims rounded-up out-edges (largest surplus
+/// first) wherever the consumers' integer demand would exceed the
+/// producer's integer volume -- without this, "rounding up causes more
+/// input fluids to be consumed ... which may lead to underflow" (§3.2).
+/// Sets the ratio-error and underflow/overflow diagnostics.
+IntegerAssignment roundToLeastCount(const ir::AssayGraph &G,
+                                    const VolumeAssignment &RVol,
+                                    const MachineSpec &Spec);
+
+/// Converts an integer (least-count-unit) assignment back to nanoliters,
+/// e.g. to feed managed code generation.
+VolumeAssignment integerToNl(const ir::AssayGraph &G,
+                             const IntegerAssignment &IVol,
+                             const MachineSpec &Spec);
+
+/// Relative mix-ratio error of an integer assignment: for every in-edge of
+/// every mix node, compares the achieved input fraction against the exact
+/// assay fraction. Returns {max%, mean%} over all such edges.
+std::pair<double, double> mixRatioErrorPct(const ir::AssayGraph &G,
+                                           const IntegerAssignment &IVol);
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_ROUNDING_H

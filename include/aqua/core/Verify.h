@@ -1,0 +1,64 @@
+//===- aqua/core/Verify.h - Volume-assignment verification -------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Independent verification of a volume assignment against the IVol/RVol
+/// constraint classes of Figure 3, producing one diagnostic per violation.
+/// VolumeAssignment::feasible answers yes/no; this reports *what* is wrong
+/// and by how much -- the tool an assay developer (or a property test)
+/// reaches for when an assignment is rejected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_VERIFY_H
+#define AQUA_CORE_VERIFY_H
+
+#include "aqua/core/MachineSpec.h"
+#include "aqua/core/VolumeAssignment.h"
+#include "aqua/ir/AssayGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace aqua::core {
+
+/// One constraint violation.
+struct Violation {
+  /// Which Figure 3 constraint class was violated (1..6), or 0 for
+  /// structural problems (vector sizes, negative volumes).
+  int ConstraintClass = 0;
+  /// The offending node or edge.
+  ir::NodeId Node = ir::InvalidNode;
+  ir::EdgeId Edge = -1;
+  /// How far past the constraint, in nl (or relative for ratios).
+  double Magnitude = 0.0;
+  std::string Message;
+};
+
+/// Verification knobs.
+struct VerifyOptions {
+  /// Absolute slack allowed on volume constraints, in nl.
+  double ToleranceNl = 1e-6;
+  /// Relative slack allowed on mix ratios (the §4.2 rounding tolerance);
+  /// 0.02 accepts the paper's "below 2%" rounding error.
+  double RatioTolerance = 1e-9;
+  /// Check class 6 (output balance) with this band; negative disables.
+  double OutputBalancePct = -1.0;
+};
+
+/// Checks \p V against every constraint class for \p G on \p Spec.
+/// Returns all violations (empty = the assignment is valid).
+std::vector<Violation> verifyAssignment(const ir::AssayGraph &G,
+                                        const VolumeAssignment &V,
+                                        const MachineSpec &Spec,
+                                        const VerifyOptions &Opts = {});
+
+/// Renders violations one per line.
+std::string violationsToString(const std::vector<Violation> &Violations);
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_VERIFY_H

@@ -1,0 +1,62 @@
+//===- aqua/core/VolumeAssignment.h - Volume assignment result ---*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The product of volume management: an absolute volume for every node and
+/// every edge of an assay DAG, in nanoliters (RVol) and, after rounding, in
+/// integer least-count units (IVol).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CORE_VOLUMEASSIGNMENT_H
+#define AQUA_CORE_VOLUMEASSIGNMENT_H
+
+#include "aqua/core/MachineSpec.h"
+#include "aqua/ir/AssayGraph.h"
+
+#include <string>
+#include <vector>
+
+namespace aqua::core {
+
+/// Rational (RVol) volume assignment, indexed by node/edge slot ids of the
+/// graph it was computed for (dead slots hold zero).
+struct VolumeAssignment {
+  std::vector<double> NodeVolumeNl;
+  std::vector<double> EdgeVolumeNl;
+
+  /// The smallest dispensed (edge) volume, in nl; +inf if no live edges.
+  double minDispenseNl(const ir::AssayGraph &G) const;
+
+  /// The largest node volume, in nl.
+  double maxNodeVolumeNl(const ir::AssayGraph &G) const;
+
+  /// True if every live edge is at least \p Spec's least count (with a
+  /// small tolerance) and no node exceeds capacity.
+  bool feasible(const ir::AssayGraph &G, const MachineSpec &Spec) const;
+
+  /// Tabular rendering for logs and benches.
+  std::string str(const ir::AssayGraph &G) const;
+};
+
+/// Integer (IVol) volume assignment in least-count units, produced by
+/// rounding an RVol assignment (see Rounding.h).
+struct IntegerAssignment {
+  std::vector<std::int64_t> NodeUnits;
+  std::vector<std::int64_t> EdgeUnits;
+  /// Largest relative mix-ratio error introduced by rounding, in percent.
+  double MaxRatioErrorPct = 0.0;
+  /// Mean relative mix-ratio error across all mix in-edges, in percent.
+  double MeanRatioErrorPct = 0.0;
+  /// True if rounding pushed some edge below one unit or some node above
+  /// capacity.
+  bool Underflow = false;
+  bool Overflow = false;
+};
+
+} // namespace aqua::core
+
+#endif // AQUA_CORE_VOLUMEASSIGNMENT_H

@@ -1,0 +1,72 @@
+//===- aqua/droplet/Dmf.h - Droplet-based (DMF) adaptation -------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adaptation of volume management to droplet-based (digital
+/// microfluidic) labs-on-a-chip -- the paper's closing remark: "We focus
+/// on flow-based devices, though our techniques may be adapted for
+/// droplet-based LoCs."
+///
+/// On a DMF device fluid moves as discrete droplets on an electrode grid,
+/// so volumes are *integer droplet counts* rather than least-count
+/// multiples: IVol's integrality constraint becomes structural. DAGSolve
+/// adapts exactly: the backward Vnorm pass is unchanged, and dispensing
+/// picks the scale `s = lcm(denominators of all Vnorms)` -- the smallest
+/// scale at which every edge and node volume is a whole number of
+/// droplets. The assignment is *exact* (zero mix-ratio error, unlike the
+/// least-count rounding of the flow-based device); it is infeasible when
+/// the required droplet count at the fullest node exceeds the device's
+/// per-site droplet capacity, which is when cascading/replication apply,
+/// just as in the flow-based case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_DROPLET_DMF_H
+#define AQUA_DROPLET_DMF_H
+
+#include "aqua/core/DagSolve.h"
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/support/Error.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace aqua::droplet {
+
+/// Digital-microfluidic device parameters.
+struct DmfSpec {
+  /// Electrode grid dimensions.
+  int Width = 16;
+  int Height = 16;
+  /// Largest droplet (in unit droplets) one site/operation may hold --
+  /// the DMF analogue of the flow device's maximum capacity.
+  std::int64_t CapacityDroplets = 64;
+  /// Unit droplet volume in nl (for reporting only).
+  double DropletNl = 10.0;
+};
+
+/// An exact integer-droplet volume assignment.
+struct DmfAssignment {
+  bool Feasible = false;
+  /// The chosen scale: droplets per unit of Vnorm.
+  std::int64_t Scale = 0;
+  /// Whole-droplet volumes, indexed by graph slots.
+  std::vector<std::int64_t> NodeDroplets;
+  std::vector<std::int64_t> EdgeDroplets;
+  /// Largest per-site droplet count (must fit CapacityDroplets).
+  std::int64_t MaxSiteDroplets = 0;
+  std::int64_t MinEdgeDroplets = 0;
+};
+
+/// Computes the integer-droplet adaptation of DAGSolve for \p G.
+/// The graph must verify; unknown-volume nodes are not supported on the
+/// droplet device (their run-time measurement has no DMF analogue here).
+Expected<DmfAssignment> dmfDagSolve(const ir::AssayGraph &G,
+                                    const DmfSpec &Spec);
+
+} // namespace aqua::droplet
+
+#endif // AQUA_DROPLET_DMF_H

@@ -1,0 +1,64 @@
+//===- aqua/droplet/Router.h - Electrode-grid droplet routing ----*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A behavioural executor for the droplet device: runs an assay DAG with
+/// an exact integer-droplet assignment on a 2-D electrode grid.
+///
+/// Model (standard digital-microfluidics abstractions):
+///  * droplets occupy one electrode each and move one cell per step
+///    (4-neighbourhood);
+///  * the *static fluidic constraint* keeps parked droplets at Chebyshev
+///    distance >= 2 so they never merge unintentionally, and a moving
+///    droplet keeps the same clearance from every droplet except its merge
+///    target;
+///  * operations happen in place: operand droplets are split off their
+///    source, routed to the operation's site and merged there; waste and
+///    cascade excess are split off and disposed;
+///  * input fluids dispense at ports on the west edge, sensing happens at
+///    the east edge.
+///
+/// Routing is per-droplet BFS (droplets move one at a time, so paths only
+/// avoid parked droplets). The stats report electrode actuation steps,
+/// split/merge/dispense counts and the peak droplet population -- the
+/// DMF cost model in which the flow-based vs droplet-based trade-offs of
+/// the paper's related work are usually discussed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_DROPLET_ROUTER_H
+#define AQUA_DROPLET_ROUTER_H
+
+#include "aqua/droplet/Dmf.h"
+
+#include <string>
+
+namespace aqua::droplet {
+
+/// Outcome of a grid execution.
+struct DmfRunStats {
+  bool Completed = false;
+  std::string Error;
+  /// Total droplet-movement steps (electrode actuations).
+  std::int64_t Steps = 0;
+  int Dispenses = 0;
+  int Splits = 0;
+  int Merges = 0;
+  int Senses = 0;
+  /// Largest number of droplets parked on the grid at once.
+  int PeakDroplets = 0;
+};
+
+/// Executes \p G with assignment \p A on \p Spec's grid. Fails when the
+/// grid is too congested to place or route a droplet (a bigger grid or a
+/// smaller assay is needed).
+Expected<DmfRunStats> executeOnGrid(const ir::AssayGraph &G,
+                                    const DmfAssignment &A,
+                                    const DmfSpec &Spec);
+
+} // namespace aqua::droplet
+
+#endif // AQUA_DROPLET_ROUTER_H

@@ -1,0 +1,137 @@
+//===- aqua/lang/AST.h - Assay language AST ----------------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract syntax tree for the assay language. The language separates
+/// "wet" fluid operations (MIX, SEPARATE, INCUBATE, CONCENTRATE, SENSE)
+/// from "dry" integer bookkeeping (assignments, loop arithmetic), mirroring
+/// the AquaCore split between the fluidic datapath and electronic control.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LANG_AST_H
+#define AQUA_LANG_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aqua::lang {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A dry (integer) expression: literals, scalar/array variable references,
+/// and the four arithmetic operators. Evaluated at compile time during
+/// loop unrolling.
+struct Expr {
+  enum class Kind { Number, VarRef, BinOp };
+  Kind K = Kind::Number;
+  int Line = 0;
+
+  std::int64_t Value = 0;        ///< Number.
+  std::string Name;              ///< VarRef.
+  std::vector<ExprPtr> Indices;  ///< VarRef subscripts.
+  char Op = 0;                   ///< BinOp: one of + - * /.
+  ExprPtr Lhs, Rhs;
+};
+
+/// A reference to a fluid: `it` (the previous statement's product), a named
+/// fluid, or an element of a fluid array.
+struct FluidRef {
+  bool IsIt = false;
+  std::string Name;
+  std::vector<ExprPtr> Indices;
+  int Line = 0;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One statement. A single tagged struct keeps the frontend compact; only
+/// the fields of the active kind are populated.
+struct Stmt {
+  enum class Kind {
+    FluidDecl,
+    VarDecl,
+    DryAssign,
+    Mix,
+    Separate,
+    Incubate,
+    Concentrate,
+    Sense,
+    For,
+    If,
+  };
+  Kind K = Kind::FluidDecl;
+  int Line = 0;
+
+  /// FluidDecl / VarDecl: declared names with optional array dimensions.
+  struct Decl {
+    std::string Name;
+    std::vector<std::int64_t> Dims;
+  };
+  std::vector<Decl> Decls;
+
+  /// DryAssign: Target = Value.
+  FluidRef Target;
+  ExprPtr Value;
+
+  /// Mix: optional result binding, 2+ operands, optional ratios (default
+  /// all-1), mixing duration.
+  std::optional<FluidRef> MixResult;
+  std::vector<FluidRef> Operands;
+  std::vector<ExprPtr> Ratios;
+  ExprPtr Seconds;
+
+  /// Separate / Incubate / Concentrate / Sense input fluid.
+  FluidRef Input;
+
+  /// Separate: LC (chromatography) vs AF (affinity); matrix and pusher
+  /// fluids; output bindings.
+  bool IsLC = false;
+  std::string MatrixName;
+  std::string UsingName;
+  std::string EffluentName;
+  std::string WasteName;
+
+  /// Incubate / Concentrate temperature.
+  ExprPtr Temp;
+
+  /// Separate / Concentrate: optional programmer yield hint
+  /// "YIELD p OF q" (Section 3.5) -- the output is expected to be p/q of
+  /// the input, making the operation's volume statically known.
+  ExprPtr YieldNum, YieldDen;
+
+  /// Sense: flavor ("OD" or "FL") and result variable.
+  std::string SenseFlavor;
+  FluidRef SenseInto;
+
+  /// For loop: unrolled at compile time.
+  std::string LoopVar;
+  ExprPtr From, To;
+  std::vector<StmtPtr> Body;
+
+  /// If statement: Cond is a dry expression evaluated at compile time
+  /// (non-zero selects Body, zero selects ElseBody), or the `?` marker for
+  /// a run-time-unknown condition (UnknownCond), in which case both paths
+  /// are conservatively included for volume purposes (Section 3.5).
+  ExprPtr Cond;
+  bool UnknownCond = false;
+  std::vector<StmtPtr> ElseBody;
+};
+
+/// A parsed assay.
+struct Program {
+  std::string Name;
+  std::vector<StmtPtr> Stmts;
+};
+
+} // namespace aqua::lang
+
+#endif // AQUA_LANG_AST_H

@@ -1,0 +1,96 @@
+//===- aqua/lang/Lexer.h - Assay language lexer ------------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the assay specification language of Section 4.1 ("We
+/// define a simple high-level language to specify the assays. Our syntax is
+/// similar to the specification format used in conventional assays.").
+/// Keywords follow the paper's upper-case style (MIX, SEPARATE, ...);
+/// `--` introduces a comment to end of line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LANG_LEXER_H
+#define AQUA_LANG_LEXER_H
+
+#include "aqua/support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua::lang {
+
+/// Token kinds of the assay language.
+enum class TokenKind {
+  Identifier,
+  Integer,
+  // Keywords.
+  KwAssay,
+  KwStart,
+  KwEnd,
+  KwFluid,
+  KwVar,
+  KwMix,
+  KwAnd,
+  KwIn,
+  KwRatios,
+  KwFor,
+  KwSense,
+  KwOptical,
+  KwFluorescence,
+  KwInto,
+  KwSeparate,
+  KwLCSeparate,
+  KwMatrix,
+  KwUsing,
+  KwIncubate,
+  KwConcentrate,
+  KwAt,
+  KwFrom,
+  KwTo,
+  KwEndFor,
+  KwYield,
+  KwOf,
+  KwIf,
+  KwElse,
+  KwEndIf,
+  KwIt,
+  // Punctuation and operators.
+  Semicolon,
+  Comma,
+  Colon,
+  Equals,
+  LBracket,
+  RBracket,
+  Plus,
+  Minus,
+  Star,
+  Slash,
+  Question,
+  Eof,
+};
+
+/// Returns a printable name for \p K (used in diagnostics).
+const char *tokenKindName(TokenKind K);
+
+/// A lexed token with its source location (1-based line/column).
+struct Token {
+  TokenKind Kind = TokenKind::Eof;
+  std::string Text;
+  std::int64_t IntValue = 0;
+  int Line = 0;
+  int Col = 0;
+};
+
+/// Tokenizes \p Source. Fails on unknown characters or malformed numbers;
+/// the diagnostic carries the line/column.
+Expected<std::vector<Token>> tokenize(std::string_view Source);
+
+} // namespace aqua::lang
+
+#endif // AQUA_LANG_LEXER_H

@@ -1,0 +1,60 @@
+//===- aqua/lang/Lower.h - AST to Assay DAG lowering -------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Semantic analysis and lowering from the assay AST to the Assay DAG.
+///
+/// Dry (integer) variables are evaluated at compile time and FOR loops are
+/// fully unrolled (Section 3.5: "Loops with statically-known number of
+/// iterations can be unrolled that many times and handled by DAGSolve") --
+/// the enzyme assay's dilution ratios (1:inhibitor_diluent) become the
+/// concrete 1:1, 1:9, 1:99, 1:999 series this way. Fluids that are used
+/// but never produced are the assay's input fluids and become Input nodes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LANG_LOWER_H
+#define AQUA_LANG_LOWER_H
+
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/lang/AST.h"
+#include "aqua/support/Error.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua::lang {
+
+/// A SENSE statement's destination, kept for code generation (the AIS
+/// `sense.OD sensor, Result` operand).
+struct SenseRecord {
+  ir::NodeId Node;
+  /// Flattened result variable, e.g. "RESULT[1][2][3]".
+  std::string ResultName;
+};
+
+/// The product of lowering: the DAG plus the metadata code generation
+/// needs.
+struct LoweredAssay {
+  std::string Name;
+  ir::AssayGraph Graph;
+  /// Input nodes in first-use order (AIS `input sN, ipN` emission order).
+  std::vector<ir::NodeId> Inputs;
+  std::vector<SenseRecord> Senses;
+};
+
+/// Lowers a parsed program. Reports semantic errors (undeclared names,
+/// array bounds, non-positive ratios, reuse of waste streams, ...) with
+/// source lines.
+Expected<LoweredAssay> lowerAssay(const Program &P);
+
+/// Convenience: parse + lower.
+Expected<LoweredAssay> compileAssay(std::string_view Source);
+
+} // namespace aqua::lang
+
+#endif // AQUA_LANG_LOWER_H

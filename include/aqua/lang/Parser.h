@@ -1,0 +1,46 @@
+//===- aqua/lang/Parser.h - Assay language parser ----------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the assay language.
+///
+/// Grammar sketch (terminals in caps, `--` comments handled by the lexer):
+///
+///   program    := ASSAY id START stmt* END
+///   stmt       := fluid decls ';' | VAR decls ';'
+///               | ref '=' (mix | dryexpr) ';'
+///               | mix ';' | separate ';' | incubate ';'
+///               | concentrate ';' | sense ';'
+///               | FOR id FROM expr TO expr START stmt* ENDFOR
+///   mix        := MIX ref (AND ref)+ (IN RATIOS expr (':' expr)+)? FOR expr
+///   separate   := (SEPARATE|LCSEPARATE) ref MATRIX id USING id FOR expr
+///                 INTO id AND id
+///   incubate   := INCUBATE ref AT expr FOR expr
+///   concentrate:= CONCENTRATE ref AT expr FOR expr
+///   sense      := SENSE (OPTICAL|FLUORESCENCE) ref INTO ref
+///   ref        := 'it' | id ('[' expr ']')*
+///
+/// Semicolons may be omitted immediately before END/ENDFOR (Figure 10a's
+/// final statement does this).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LANG_PARSER_H
+#define AQUA_LANG_PARSER_H
+
+#include "aqua/lang/AST.h"
+#include "aqua/support/Error.h"
+
+#include <string_view>
+
+namespace aqua::lang {
+
+/// Parses assay source text into an AST. Diagnostics carry line:column.
+Expected<Program> parseAssay(std::string_view Source);
+
+} // namespace aqua::lang
+
+#endif // AQUA_LANG_PARSER_H

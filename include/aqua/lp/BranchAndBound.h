@@ -1,0 +1,57 @@
+//===- aqua/lp/BranchAndBound.h - ILP via branch-and-bound -------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer linear programming by LP-based branch-and-bound.
+///
+/// The paper's IVol formulation is an ILP; the authors solved it with
+/// lp_solve 5.5 and found it "ran for hours without generating a solution"
+/// on the enzyme assay while plain LP finished in under a second (Section
+/// 4.3). This solver reproduces that behaviour: exact on small instances,
+/// budget-limited on large ones.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LP_BRANCHANDBOUND_H
+#define AQUA_LP_BRANCHANDBOUND_H
+
+#include "aqua/lp/Solver.h"
+
+namespace aqua::lp {
+
+/// Options for the integer solver.
+struct IntOptions {
+  SolverOptions LP;
+  /// Maximum branch-and-bound nodes; 0 means unlimited.
+  std::int64_t MaxNodes = 0;
+  /// Wall-clock budget in seconds; 0 means unlimited.
+  double TimeLimitSec = 0.0;
+  /// A value within IntTol of an integer counts as integral.
+  double IntTol = 1e-6;
+};
+
+/// Result of an integer solve.
+struct IntSolution {
+  /// Optimal when proven; IterationLimit/TimeLimit when a budget expired
+  /// (the incumbent, if any, is still reported); Infeasible when proven.
+  SolveStatus Status = SolveStatus::Infeasible;
+  /// True when an integral incumbent was found (even if not proven optimal).
+  bool HasIncumbent = false;
+  double Objective = 0.0;
+  std::vector<double> Values;
+  std::int64_t Nodes = 0;
+  double Seconds = 0.0;
+};
+
+/// Solves \p M with integrality required on every variable whose entry in
+/// \p IsInteger is true. \p IsInteger must have one entry per variable, or
+/// be empty to require integrality on all variables.
+IntSolution solveInteger(const Model &M, const std::vector<bool> &IsInteger,
+                         const IntOptions &Opts = {});
+
+} // namespace aqua::lp
+
+#endif // AQUA_LP_BRANCHANDBOUND_H

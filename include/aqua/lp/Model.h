@@ -1,0 +1,131 @@
+//===- aqua/lp/Model.h - Linear program description --------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// In-memory description of a linear program: bounded continuous variables,
+/// sparse linear rows, and a linear objective. The volume-management
+/// formulation (PLDI 2008, Figure 3) is built on top of this model, and the
+/// Simplex and BranchAndBound solvers consume it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LP_MODEL_H
+#define AQUA_LP_MODEL_H
+
+#include <cassert>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace aqua::lp {
+
+/// Index of a variable within a Model.
+using VarId = int;
+/// Index of a row (constraint) within a Model.
+using RowId = int;
+
+/// Positive infinity, used for absent variable bounds.
+inline constexpr double Infinity = std::numeric_limits<double>::infinity();
+
+/// Direction of a linear constraint row.
+enum class RowKind {
+  LE, ///< sum(coef * var) <= rhs
+  GE, ///< sum(coef * var) >= rhs
+  EQ, ///< sum(coef * var) == rhs
+};
+
+/// One term of a sparse linear expression.
+struct Term {
+  VarId Var;
+  double Coef;
+};
+
+/// A sparse linear constraint.
+struct Row {
+  std::string Name;
+  RowKind Kind;
+  double Rhs;
+  std::vector<Term> Terms;
+};
+
+/// A continuous decision variable with (possibly infinite) bounds.
+struct Variable {
+  std::string Name;
+  double Lower = 0.0;
+  double Upper = Infinity;
+  double ObjCoef = 0.0;
+};
+
+/// A linear program: maximize (or minimize) a linear objective subject to
+/// sparse linear rows and variable bounds.
+class Model {
+public:
+  /// Adds a variable with bounds [Lower, Upper] and objective coefficient
+  /// \p ObjCoef. Returns its id.
+  VarId addVar(std::string Name, double Lower = 0.0, double Upper = Infinity,
+               double ObjCoef = 0.0) {
+    assert(Lower <= Upper && "inverted variable bounds");
+    Vars.push_back(Variable{std::move(Name), Lower, Upper, ObjCoef});
+    return static_cast<VarId>(Vars.size()) - 1;
+  }
+
+  /// Adds a constraint row. \p Terms may list a variable at most once.
+  RowId addRow(std::string Name, RowKind Kind, double Rhs,
+               std::vector<Term> Terms) {
+    Rows.push_back(Row{std::move(Name), Kind, Rhs, std::move(Terms)});
+    return static_cast<RowId>(Rows.size()) - 1;
+  }
+
+  /// Sets the optimization direction. The default is maximization (the
+  /// paper's objective maximizes total output volume).
+  void setMaximize(bool Max) { MaximizeFlag = Max; }
+  bool isMaximize() const { return MaximizeFlag; }
+
+  /// Sets the objective coefficient of \p Var.
+  void setObjCoef(VarId Var, double Coef) { Vars[Var].ObjCoef = Coef; }
+
+  /// Tightens the lower bound of \p Var to at least \p Lower.
+  void tightenLower(VarId Var, double Lower) {
+    if (Lower > Vars[Var].Lower)
+      Vars[Var].Lower = Lower;
+  }
+
+  /// Tightens the upper bound of \p Var to at most \p Upper.
+  void tightenUpper(VarId Var, double Upper) {
+    if (Upper < Vars[Var].Upper)
+      Vars[Var].Upper = Upper;
+  }
+
+  int numVars() const { return static_cast<int>(Vars.size()); }
+  int numRows() const { return static_cast<int>(Rows.size()); }
+
+  const Variable &var(VarId V) const { return Vars[V]; }
+  Variable &var(VarId V) { return Vars[V]; }
+  const Row &row(RowId R) const { return Rows[R]; }
+  Row &row(RowId R) { return Rows[R]; }
+
+  const std::vector<Variable> &vars() const { return Vars; }
+  const std::vector<Row> &rows() const { return Rows; }
+
+  /// Evaluates the objective at \p Values (one value per variable).
+  double objectiveValue(const std::vector<double> &Values) const;
+
+  /// Returns the largest absolute constraint/bound violation at \p Values.
+  /// Useful for validating solver output in tests.
+  double maxViolation(const std::vector<double> &Values) const;
+
+  /// Renders the model in a human-readable LP-like format.
+  std::string str() const;
+
+private:
+  std::vector<Variable> Vars;
+  std::vector<Row> Rows;
+  bool MaximizeFlag = true;
+};
+
+} // namespace aqua::lp
+
+#endif // AQUA_LP_MODEL_H

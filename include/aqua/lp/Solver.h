@@ -1,0 +1,43 @@
+//===- aqua/lp/Solver.h - Presolve-enabled LP entry point --------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The user-facing LP entry point: presolve, simplex, postsolve.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LP_SOLVER_H
+#define AQUA_LP_SOLVER_H
+
+#include "aqua/lp/Presolve.h"
+#include "aqua/lp/Simplex.h"
+
+namespace aqua::lp {
+
+/// Options for the full solve pipeline.
+struct SolverOptions {
+  SolveOptions Simplex;
+  /// Run equality-substitution presolve before the simplex.
+  bool Presolve = true;
+};
+
+/// Extra information about a solve beyond the Solution itself.
+struct SolveInfo {
+  PresolveStats Presolve;
+  int ReducedRows = 0;
+  int ReducedVars = 0;
+};
+
+/// Solves \p M (presolve + two-phase simplex + postsolve). Values in the
+/// returned Solution are indexed by the original model's variables, and the
+/// objective is evaluated on the original model. \p Info, when non-null,
+/// receives presolve statistics.
+Solution solve(const Model &M, const SolverOptions &Opts = {},
+               SolveInfo *Info = nullptr);
+
+} // namespace aqua::lp
+
+#endif // AQUA_LP_SOLVER_H

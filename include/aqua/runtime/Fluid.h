@@ -1,0 +1,49 @@
+//===- aqua/runtime/Fluid.h - Simulated fluid state --------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simulated fluid: a volume plus a composition vector mapping input
+/// fluid names to their fractions. Composition tracking is what lets
+/// end-to-end tests verify that mix ratios actually reach the sensors
+/// (e.g. the glucose assay's 1:8 dilution senses a glucose fraction of
+/// 1/9), and what the Section 4.2 rounding-error experiment measures.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_RUNTIME_FLUID_H
+#define AQUA_RUNTIME_FLUID_H
+
+#include <map>
+#include <string>
+
+namespace aqua::runtime {
+
+/// A quantity of (possibly mixed) fluid.
+struct Fluid {
+  double VolumeNl = 0.0;
+  /// Input-fluid name -> fraction of this fluid's volume; fractions sum to
+  /// 1 for non-empty fluids.
+  std::map<std::string, double> Composition;
+
+  bool empty() const { return VolumeNl <= 1e-12; }
+
+  /// Creates a pure fluid of \p Volume nl named \p Name.
+  static Fluid pure(std::string Name, double VolumeNl);
+
+  /// Merges \p Other into this fluid (volume-weighted composition).
+  void add(const Fluid &Other);
+
+  /// Splits off \p VolumeNl (clamped to the available volume) and returns
+  /// it; composition is preserved on both sides.
+  Fluid take(double VolumeNl);
+
+  /// Fraction of \p Name in this fluid (0 if absent).
+  double fractionOf(const std::string &Name) const;
+};
+
+} // namespace aqua::runtime
+
+#endif // AQUA_RUNTIME_FLUID_H

@@ -1,0 +1,116 @@
+//===- aqua/support/Error.h - Recoverable error handling --------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lightweight recoverable-error types, modeled on LLVM's Error/Expected but
+/// without exceptions or RTTI. A `Status` carries success or a message; an
+/// `Expected<T>` carries a value or a message. Recoverable errors in AquaVol
+/// are things like malformed assay source, infeasible volume assignments, or
+/// machine-resource exhaustion; invariant violations abort via Fatal.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SUPPORT_ERROR_H
+#define AQUA_SUPPORT_ERROR_H
+
+#include "aqua/support/Fatal.h"
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace aqua {
+
+/// Success-or-message result for operations with no payload.
+class Status {
+public:
+  /// Constructs a success value.
+  static Status success() { return Status(); }
+
+  /// Constructs a failure with diagnostic \p Msg (lower-case first word, no
+  /// trailing period, per the error-message style guide).
+  static Status error(std::string Msg) {
+    Status S;
+    S.Msg = std::move(Msg);
+    return S;
+  }
+
+  bool ok() const { return !Msg.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  /// Returns the diagnostic message; only valid on failure.
+  const std::string &message() const {
+    assert(!ok() && "message() on success status");
+    return *Msg;
+  }
+
+private:
+  Status() = default;
+  std::optional<std::string> Msg;
+};
+
+/// Value-or-message result.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs a failure from a failed Status.
+  Expected(Status S) : Err(std::move(S)) {
+    assert(!Err->ok() && "Expected built from success status");
+  }
+
+  /// Constructs a failure with diagnostic \p Msg.
+  static Expected<T> error(std::string Msg) {
+    return Expected<T>(Status::error(std::move(Msg)));
+  }
+
+  bool ok() const { return Value.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T &get() {
+    assert(ok() && "get() on failed Expected");
+    return *Value;
+  }
+  const T &get() const {
+    assert(ok() && "get() on failed Expected");
+    return *Value;
+  }
+
+  T &operator*() { return get(); }
+  const T &operator*() const { return get(); }
+  T *operator->() { return &get(); }
+  const T *operator->() const { return &get(); }
+
+  /// Returns the diagnostic message; only valid on failure.
+  const std::string &message() const {
+    assert(!ok() && "message() on success Expected");
+    return Err->message();
+  }
+
+  /// Converts the failure into a Status (failure only).
+  Status takeStatus() const {
+    assert(!ok() && "takeStatus() on success Expected");
+    return *Err;
+  }
+
+  /// Unwraps, aborting with the diagnostic if this is a failure. For tool
+  /// and test code where the value is known to be present.
+  T &unwrap() {
+    if (!ok())
+      reportFatalError(Err->message());
+    return *Value;
+  }
+
+private:
+  std::optional<T> Value;
+  std::optional<Status> Err;
+};
+
+} // namespace aqua
+
+#endif // AQUA_SUPPORT_ERROR_H

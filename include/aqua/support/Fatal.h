@@ -1,0 +1,31 @@
+//===- aqua/support/Fatal.h - Fatal errors and unreachable ------*- C++-*-===//
+//
+// Part of AquaVol, a reproduction of "Automatic Volume Management for
+// Programmable Microfluidics" (PLDI 2008). MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Termination helpers for programmatic errors (invariant violations).
+/// Recoverable errors (bad assay source, infeasible volume assignment) use
+/// aqua/support/Error.h instead.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SUPPORT_FATAL_H
+#define AQUA_SUPPORT_FATAL_H
+
+#include <string_view>
+
+namespace aqua {
+
+/// Prints \p Msg to stderr and aborts. Used for invariant violations that
+/// indicate a bug in AquaVol itself, never for user-input errors.
+[[noreturn]] void reportFatalError(std::string_view Msg);
+
+} // namespace aqua
+
+/// Marks a point in the code that must never be reached.
+#define AQUA_UNREACHABLE(Msg) ::aqua::reportFatalError("unreachable: " Msg)
+
+#endif // AQUA_SUPPORT_FATAL_H

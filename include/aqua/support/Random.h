@@ -1,0 +1,54 @@
+//===- aqua/support/Random.h - Deterministic RNG ----------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic pseudo-random generator (SplitMix64). Used by the
+/// runtime simulator for physically-unknowable quantities (separation output
+/// fractions) and by property tests; seeding is always explicit so every run
+/// is reproducible.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SUPPORT_RANDOM_H
+#define AQUA_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace aqua {
+
+/// SplitMix64 pseudo-random number generator.
+class SplitMix64 {
+public:
+  explicit SplitMix64(std::uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64-bit value.
+  std::uint64_t next() {
+    std::uint64_t Z = (State += 0x9E3779B97F4A7C15ULL);
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBULL;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Returns a double uniform in [0, 1).
+  double nextUnit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns an integer uniform in [Lo, Hi] (inclusive).
+  std::int64_t nextInRange(std::int64_t Lo, std::int64_t Hi) {
+    assert(Lo <= Hi && "empty range");
+    std::uint64_t Span = static_cast<std::uint64_t>(Hi - Lo) + 1;
+    return Lo + static_cast<std::int64_t>(next() % Span);
+  }
+
+private:
+  std::uint64_t State;
+};
+
+} // namespace aqua
+
+#endif // AQUA_SUPPORT_RANDOM_H

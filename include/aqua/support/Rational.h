@@ -1,0 +1,112 @@
+//===- aqua/support/Rational.h - Exact rational arithmetic ------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Exact rational arithmetic over 64-bit integers with 128-bit intermediates.
+///
+/// DAGSolve (PLDI 2008, Figure 4) propagates relative volumes ("Vnorm")
+/// through the assay DAG as products and sums of mix-ratio fractions.
+/// Computing these exactly lets the test suite check the paper's worked
+/// example literally (e.g. Vnorm(L) = 11/15 in Figure 5) and keeps the
+/// dispensing pass free of floating-point drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SUPPORT_RATIONAL_H
+#define AQUA_SUPPORT_RATIONAL_H
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+namespace aqua {
+
+/// An exact rational number `Num/Den` with `Den > 0` and gcd(Num, Den) == 1.
+///
+/// All operations normalize their result. Intermediate products are computed
+/// in 128-bit arithmetic; a result whose reduced numerator or denominator
+/// does not fit in 64 bits is a fatal error (assay DAGs keep values tiny in
+/// practice -- ratios are small integers and graphs have bounded depth).
+class Rational {
+public:
+  /// Constructs zero.
+  constexpr Rational() : Num(0), Den(1) {}
+
+  /// Constructs the integer \p N.
+  constexpr Rational(std::int64_t N) : Num(N), Den(1) {}
+
+  /// Constructs \p N / \p D. \p D must be non-zero.
+  Rational(std::int64_t N, std::int64_t D);
+
+  std::int64_t numerator() const { return Num; }
+  std::int64_t denominator() const { return Den; }
+
+  bool isZero() const { return Num == 0; }
+  bool isNegative() const { return Num < 0; }
+  bool isInteger() const { return Den == 1; }
+
+  /// Converts to the nearest double.
+  double toDouble() const {
+    return static_cast<double>(Num) / static_cast<double>(Den);
+  }
+
+  /// Returns the multiplicative inverse. This value must be non-zero.
+  Rational reciprocal() const;
+
+  /// Returns the absolute value.
+  Rational abs() const { return Num < 0 ? Rational(-Num, Den) : *this; }
+
+  /// Returns the largest integer <= this value.
+  std::int64_t floor() const;
+
+  /// Returns the smallest integer >= this value.
+  std::int64_t ceil() const;
+
+  /// Rounds to the nearest integer (half away from zero).
+  std::int64_t roundNearest() const;
+
+  /// Renders as "n" for integers, "n/d" otherwise.
+  std::string str() const;
+
+  Rational operator-() const { return Rational(-Num, Den); }
+
+  friend Rational operator+(const Rational &A, const Rational &B);
+  friend Rational operator-(const Rational &A, const Rational &B);
+  friend Rational operator*(const Rational &A, const Rational &B);
+  friend Rational operator/(const Rational &A, const Rational &B);
+
+  Rational &operator+=(const Rational &B) { return *this = *this + B; }
+  Rational &operator-=(const Rational &B) { return *this = *this - B; }
+  Rational &operator*=(const Rational &B) { return *this = *this * B; }
+  Rational &operator/=(const Rational &B) { return *this = *this / B; }
+
+  friend bool operator==(const Rational &A, const Rational &B) {
+    return A.Num == B.Num && A.Den == B.Den;
+  }
+
+  friend std::strong_ordering operator<=>(const Rational &A,
+                                          const Rational &B);
+
+private:
+  // Reduces a 128-bit fraction and range-checks the result.
+  static Rational makeReduced(__int128 N, __int128 D);
+
+  std::int64_t Num;
+  std::int64_t Den;
+};
+
+inline Rational min(const Rational &A, const Rational &B) {
+  return A < B ? A : B;
+}
+
+inline Rational max(const Rational &A, const Rational &B) {
+  return A < B ? B : A;
+}
+
+} // namespace aqua
+
+#endif // AQUA_SUPPORT_RATIONAL_H

@@ -1,0 +1,42 @@
+//===- aqua/support/StringUtils.h - String helpers --------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string formatting and manipulation helpers shared across AquaVol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SUPPORT_STRINGUTILS_H
+#define AQUA_SUPPORT_STRINGUTILS_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua {
+
+/// printf-style formatting into a std::string.
+std::string format(const char *Fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Formats \p Value with \p Digits fractional digits, trimming trailing
+/// zeros (e.g. 3.30 -> "3.3", 13.00 -> "13").
+std::string formatTrimmed(double Value, int Digits);
+
+/// Joins \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts, std::string_view Sep);
+
+/// Splits \p Text on \p Sep, keeping empty fields.
+std::vector<std::string> split(std::string_view Text, char Sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view Text);
+
+/// True if \p Text starts with \p Prefix.
+bool startsWith(std::string_view Text, std::string_view Prefix);
+
+} // namespace aqua
+
+#endif // AQUA_SUPPORT_STRINGUTILS_H

@@ -1,0 +1,42 @@
+//===- aqua/support/Timer.h - Wall-clock timing ------------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic wall-clock timer used by the Table 2 run-time experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SUPPORT_TIMER_H
+#define AQUA_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace aqua {
+
+/// Measures elapsed wall-clock time from construction (or last reset()).
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace aqua
+
+#endif // AQUA_SUPPORT_TIMER_H

@@ -1,0 +1,155 @@
+//===- ExtraAssays.cpp - Additional realistic assays ----------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/assays/ExtraAssays.h"
+
+#include "aqua/support/StringUtils.h"
+
+using namespace aqua;
+using namespace aqua::assays;
+using namespace aqua::ir;
+
+AssayGraph aqua::assays::buildBradfordProtein(int StandardPoints,
+                                              int SampleReplicates) {
+  AssayGraph G;
+  NodeId Bsa = G.addInput("BSA_standard");
+  NodeId Diluent = G.addInput("diluent");
+  NodeId Dye = G.addInput("dye_reagent");
+  NodeId Sample = G.addInput("sample");
+
+  // Standard curve: 1:(2^i - 1) dilutions (1:1, 1:3, 1:7, ...), each
+  // mixed 1:50 into the dye.
+  std::int64_t Parts = 1;
+  for (int I = 1; I <= StandardPoints; ++I) {
+    NodeId Dil = G.addMix(format("std_dil%d", I),
+                          {{Bsa, 1}, {Diluent, Parts}}, 15.0);
+    NodeId Rxn = G.addMix(format("std_rxn%d", I), {{Dil, 1}, {Dye, 50}},
+                          300.0);
+    NodeId Sense =
+        G.addUnary(NodeKind::Sense, format("sense_Std_%d", I), Rxn);
+    G.node(Sense).Params.Flavor = "OD";
+    Parts = Parts * 2 + 1;
+  }
+  for (int I = 1; I <= SampleReplicates; ++I) {
+    NodeId Rxn = G.addMix(format("smp_rxn%d", I), {{Sample, 1}, {Dye, 50}},
+                          300.0);
+    NodeId Sense =
+        G.addUnary(NodeKind::Sense, format("sense_Smp_%d", I), Rxn);
+    G.node(Sense).Params.Flavor = "OD";
+  }
+  return G;
+}
+
+AssayGraph aqua::assays::buildPcrMasterMix(int Reactions) {
+  AssayGraph G;
+  NodeId Buffer = G.addInput("pcr_buffer");
+  NodeId Dntps = G.addInput("dNTPs");
+  NodeId Primers = G.addInput("primers");
+  NodeId Polymerase = G.addInput("polymerase");
+  NodeId Water = G.addInput("water");
+  NodeId Template = G.addInput("template");
+
+  // The cocktail: 10 buffer : 8 dNTPs : 4 primers : 1 polymerase : 27
+  // water (a typical 2x master mix profile).
+  NodeId Master = G.addMix("master_mix",
+                           {{Buffer, 10},
+                            {Dntps, 8},
+                            {Primers, 4},
+                            {Polymerase, 1},
+                            {Water, 27}},
+                           60.0);
+  for (int I = 1; I <= Reactions; ++I) {
+    NodeId Rxn = G.addMix(format("rxn%d", I), {{Master, 9}, {Template, 1}},
+                          30.0);
+    NodeId Cycle = G.addUnary(NodeKind::Incubate,
+                              format("thermocycle%d", I), Rxn);
+    G.node(Cycle).Params.TempC = 95.0;
+    G.node(Cycle).Params.Seconds = 5400.0;
+    NodeId Sense =
+        G.addUnary(NodeKind::Sense, format("sense_Ct_%d", I), Cycle);
+    G.node(Sense).Params.Flavor = "FL";
+  }
+  return G;
+}
+
+AssayGraph aqua::assays::buildMicPanel(int Steps) {
+  AssayGraph G;
+  NodeId Drug = G.addInput("antibiotic");
+  NodeId Broth = G.addInput("broth");
+  NodeId Inoculum = G.addInput("inoculum");
+
+  // Two-fold serial dilution chain: each step feeds the next, so every
+  // intermediate has two uses (the next dilution and its own reaction).
+  NodeId Prev = Drug;
+  for (int I = 1; I <= Steps; ++I) {
+    NodeId Dil =
+        G.addMix(format("dil%d", I), {{Prev, 1}, {Broth, 1}}, 10.0);
+    NodeId Well = G.addMix(format("well%d", I), {{Dil, 1}, {Inoculum, 1}},
+                           20.0);
+    NodeId Grown = G.addUnary(NodeKind::Incubate,
+                              format("grow%d", I), Well);
+    G.node(Grown).Params.TempC = 37.0;
+    G.node(Grown).Params.Seconds = 3600.0;
+    NodeId Sense =
+        G.addUnary(NodeKind::Sense, format("sense_MIC_%d", I), Grown);
+    G.node(Sense).Params.Flavor = "OD";
+    Prev = Dil;
+  }
+  return G;
+}
+
+AssayGraph aqua::assays::buildImmunoassay() {
+  AssayGraph G;
+  NodeId Sample = G.addInput("serum");
+  NodeId Binding = G.addInput("binding_buffer");
+  NodeId Elution = G.addInput("elution_buffer");
+  NodeId Conjugate = G.addInput("conjugate");
+  NodeId Substrate = G.addInput("substrate");
+
+  NodeId Bind1 = G.addMix("bind1", {{Sample, 1}, {Binding, 1}}, 60.0);
+  NodeId Capture = G.addUnary(NodeKind::Separate, "captured", Bind1);
+  G.node(Capture).UnknownVolume = true;
+  G.node(Capture).Params.Flavor = "AF";
+  G.node(Capture).Params.Matrix = "capture_antibody";
+  G.node(Capture).Params.Pusher = "wash_buffer";
+  G.node(Capture).Params.Seconds = 600.0;
+
+  NodeId Eluted = G.addMix("eluted", {{Capture, 1}, {Elution, 2}}, 120.0);
+  NodeId Labeled =
+      G.addMix("labeled", {{Eluted, 5}, {Conjugate, 1}}, 300.0);
+  NodeId Detect = G.addUnary(NodeKind::Separate, "detected", Labeled);
+  G.node(Detect).UnknownVolume = true;
+  G.node(Detect).Params.Flavor = "AF";
+  G.node(Detect).Params.Matrix = "detect_antibody";
+  G.node(Detect).Params.Pusher = "wash_buffer";
+  G.node(Detect).Params.Seconds = 600.0;
+
+  NodeId Developed =
+      G.addMix("developed", {{Detect, 1}, {Substrate, 3}}, 300.0);
+  NodeId Sense = G.addUnary(NodeKind::Sense, "sense_Titer_1", Developed);
+  G.node(Sense).Params.Flavor = "OD";
+  return G;
+}
+
+const char *aqua::assays::bradfordSource() {
+  return R"(ASSAY bradford START
+fluid BSA_standard, diluent, dye_reagent, sample;
+fluid dil[6];
+VAR i, parts, Std[6], Smp[3];
+parts = 1;
+FOR i FROM 1 TO 6 START
+  dil[i] = MIX BSA_standard AND diluent IN RATIOS 1 : parts FOR 15;
+  MIX dil[i] AND dye_reagent IN RATIOS 1 : 50 FOR 300;
+  SENSE OPTICAL it INTO Std[i];
+  parts = parts * 2 + 1;
+ENDFOR
+FOR i FROM 1 TO 3 START
+  MIX sample AND dye_reagent IN RATIOS 1 : 50 FOR 300;
+  SENSE OPTICAL it INTO Smp[i];
+ENDFOR
+END
+)";
+}

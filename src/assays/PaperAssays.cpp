@@ -1,0 +1,237 @@
+//===- PaperAssays.cpp - The paper's benchmark assays --------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/assays/PaperAssays.h"
+
+#include "aqua/support/StringUtils.h"
+
+using namespace aqua;
+using namespace aqua::assays;
+using namespace aqua::ir;
+
+AssayGraph aqua::assays::buildFigure2Example(Figure2Nodes *Nodes) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId C = G.addInput("C");
+  NodeId K = G.addMix("K", {{A, 1}, {B, 4}});
+  NodeId L = G.addMix("L", {{B, 2}, {C, 1}});
+  NodeId M = G.addMix("M", {{K, 2}, {L, 1}});
+  NodeId N = G.addMix("N", {{L, 2}, {C, 3}});
+  if (Nodes)
+    *Nodes = Figure2Nodes{A, B, C, K, L, M, N};
+  return G;
+}
+
+AssayGraph aqua::assays::buildGlucoseAssay() {
+  AssayGraph G;
+  NodeId Glucose = G.addInput("Glucose");
+  NodeId Reagent = G.addInput("Reagent");
+  NodeId Sample = G.addInput("Sample");
+
+  const char *Names[] = {"a", "b", "c", "d"};
+  std::int64_t ReagentParts[] = {1, 2, 4, 8};
+  for (int I = 0; I < 4; ++I) {
+    NodeId Mix = G.addMix(Names[I], {{Glucose, 1}, {Reagent, ReagentParts[I]}},
+                          /*Seconds=*/10.0);
+    NodeId Sense = G.addUnary(NodeKind::Sense,
+                              format("sense_Result_%d", I + 1), Mix);
+    G.node(Sense).Params.Flavor = "OD";
+  }
+  NodeId E = G.addMix("e", {{Sample, 1}, {Reagent, 1}}, /*Seconds=*/10.0);
+  NodeId Sense = G.addUnary(NodeKind::Sense, "sense_Result_5", E);
+  G.node(Sense).Params.Flavor = "OD";
+  return G;
+}
+
+AssayGraph aqua::assays::buildGlycomicsAssay() {
+  AssayGraph G;
+  NodeId Buf1a = G.addInput("buffer1a");
+  NodeId Sample = G.addInput("sample");
+  NodeId Buf2 = G.addInput("buffer2");
+  NodeId Buf3a = G.addInput("buffer3a");
+  NodeId Buf4 = G.addInput("buffer4");
+  NodeId Buf5 = G.addInput("buffer5");
+  NodeId NaOH = G.addInput("NaOH");
+
+  // MIX buffer1a AND sample FOR 30.
+  NodeId Mix1 = G.addMix("mix1", {{Buf1a, 1}, {Sample, 1}}, 30.0);
+  // SEPARATE it MATRIX lectin USING buffer1b FOR 30 INTO effluent AND waste.
+  NodeId Eff1 = G.addUnary(NodeKind::Separate, "effluent", Mix1);
+  G.node(Eff1).UnknownVolume = true;
+  G.node(Eff1).Params.Flavor = "AF";
+  G.node(Eff1).Params.Seconds = 30.0;
+  G.node(Eff1).Params.Matrix = "lectin";
+  G.node(Eff1).Params.Pusher = "buffer1b";
+
+  // MIX effluent AND buffer2 FOR 30; INCUBATE it AT 37 FOR 30.
+  NodeId Mix2 = G.addMix("mix2", {{Eff1, 1}, {Buf2, 1}}, 30.0);
+  NodeId Incub = G.addUnary(NodeKind::Incubate, "digest", Mix2);
+  G.node(Incub).Params.TempC = 37.0;
+  G.node(Incub).Params.Seconds = 30.0;
+
+  // MIX it AND buffer3a IN RATIOS 1:10 FOR 30; LCSEPARATE ... FOR 30.
+  NodeId Mix3 = G.addMix("mix3", {{Incub, 1}, {Buf3a, 10}}, 30.0);
+  NodeId Eff2 = G.addUnary(NodeKind::Separate, "effluent2", Mix3);
+  G.node(Eff2).UnknownVolume = true;
+  G.node(Eff2).Params.Flavor = "LC";
+  G.node(Eff2).Params.Seconds = 30.0;
+  G.node(Eff2).Params.Matrix = "C_18";
+  G.node(Eff2).Params.Pusher = "buffer3b";
+
+  // MIX effluent2 AND buffer4 AND NaOH IN RATIOS 1:100:1 FOR 30;
+  // MIX it AND buffer3a FOR 30; LCSEPARATE ... FOR 2400.
+  NodeId Mix4 =
+      G.addMix("mix4", {{Eff2, 1}, {Buf4, 100}, {NaOH, 1}}, 30.0);
+  NodeId Mix5 = G.addMix("mix5", {{Mix4, 1}, {Buf3a, 1}}, 30.0);
+  NodeId Eff3 = G.addUnary(NodeKind::Separate, "effluent3", Mix5);
+  G.node(Eff3).UnknownVolume = true;
+  G.node(Eff3).Params.Flavor = "LC";
+  G.node(Eff3).Params.Seconds = 2400.0;
+  G.node(Eff3).Params.Matrix = "C_18";
+  G.node(Eff3).Params.Pusher = "buffer3b";
+
+  // MIX effluent3 AND buffer5 FOR 30.
+  G.addMix("mix6", {{Eff3, 1}, {Buf5, 1}}, 30.0);
+  return G;
+}
+
+AssayGraph aqua::assays::buildEnzymeAssay(int Dilutions, int MaxRatioExp) {
+  AssayGraph G;
+  NodeId Inhibitor = G.addInput("inhibitor");
+  NodeId Enzyme = G.addInput("enzyme");
+  NodeId Substrate = G.addInput("substrate");
+  NodeId Diluent = G.addInput("diluent");
+
+  // Serial dilutions: iteration j mixes reagent:diluent 1:(10^(j-1) - 1),
+  // with the first iteration degenerating to 1:1 as in Figure 11a.
+  auto DiluentParts = [MaxRatioExp](int J) {
+    int Exp = J - 1;
+    if (Exp > MaxRatioExp)
+      Exp = MaxRatioExp;
+    std::int64_t Parts = 1;
+    for (int I = 0; I < Exp; ++I)
+      Parts *= 10;
+    return Parts > 1 ? Parts - 1 : 1;
+  };
+
+  struct Reagent {
+    NodeId Source;
+    const char *Name;
+  };
+  Reagent Reagents[] = {{Inhibitor, "inh"}, {Enzyme, "enz"},
+                        {Substrate, "sub"}};
+  std::vector<std::vector<NodeId>> Dil(3);
+  for (int R = 0; R < 3; ++R)
+    for (int J = 1; J <= Dilutions; ++J)
+      Dil[R].push_back(G.addMix(format("%s_dil%d", Reagents[R].Name, J),
+                                {{Reagents[R].Source, 1},
+                                 {Diluent, DiluentParts(J)}},
+                                /*Seconds=*/30.0));
+
+  // All combinations: mix 1:1:1, incubate, sense.
+  for (int I = 0; I < Dilutions; ++I)
+    for (int J = 0; J < Dilutions; ++J)
+      for (int K = 0; K < Dilutions; ++K) {
+        NodeId Mix = G.addMix(format("combo_%d_%d_%d", I + 1, J + 1, K + 1),
+                              {{Dil[0][I], 1}, {Dil[1][J], 1}, {Dil[2][K], 1}},
+                              /*Seconds=*/60.0);
+        NodeId Inc = G.addUnary(NodeKind::Incubate,
+                                format("inc_%d_%d_%d", I + 1, J + 1, K + 1),
+                                Mix);
+        G.node(Inc).Params.TempC = 37.0;
+        G.node(Inc).Params.Seconds = 300.0;
+        NodeId Sense = G.addUnary(
+            NodeKind::Sense,
+            format("sense_RESULT_%d_%d_%d", I + 1, J + 1, K + 1), Inc);
+        G.node(Sense).Params.Flavor = "OD";
+      }
+  return G;
+}
+
+const char *aqua::assays::glucoseSource() {
+  return R"(ASSAY glucose START
+fluid Glucose, Reagent, Sample;
+fluid a, b, c, d, e;
+VAR Result[5];
+a = MIX Glucose AND Reagent IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO Result[1];
+b = MIX Glucose AND Reagent IN RATIOS 1 : 2 FOR 10;
+SENSE OPTICAL it INTO Result[2];
+c = MIX Glucose AND Reagent IN RATIOS 1 : 4 FOR 10;
+SENSE OPTICAL it INTO Result[3];
+d = MIX Glucose AND Reagent IN RATIOS 1 : 8 FOR 10;
+SENSE OPTICAL it INTO Result[4];
+e = MIX Sample AND Reagent IN RATIOS 1 : 1 FOR 10;
+SENSE OPTICAL it INTO Result[5];
+END
+)";
+}
+
+const char *aqua::assays::glycomicsSource() {
+  return R"(ASSAY glycomics START
+fluid buffer1a, buffer1b, buffer2; --buffer2 has PNGanF
+fluid buffer3a, buffer3b, buffer4, buffer5;
+fluid sample, lectin, C_18, NaOH;
+fluid effluent, effluent2, effluent3, waste, waste2, waste3;
+MIX buffer1a AND sample FOR 30;
+SEPARATE it MATRIX lectin USING buffer1b FOR 30 INTO effluent AND waste;
+MIX effluent AND buffer2 FOR 30;
+INCUBATE it AT 37 FOR 30;
+MIX it AND buffer3a IN RATIOS 1:10 FOR 30;
+LCSEPARATE it MATRIX C_18 USING buffer3b FOR 30 INTO effluent2 AND waste2;
+MIX effluent2 AND buffer4 AND NaOH IN RATIOS 1:100:1 FOR 30;
+MIX it AND buffer3a FOR 30;
+LCSEPARATE it MATRIX C_18 USING buffer3b FOR 2400 INTO effluent3 AND waste3;
+MIX effluent3 AND buffer5 FOR 30
+END
+)";
+}
+
+const char *aqua::assays::enzymeSource() {
+  return R"(ASSAY enzyme_test START
+VAR inhibitor_diluent, enzyme_diluent, substrate_diluent;
+VAR i, j, k, temp, RESULT[4][4][4];
+fluid Diluted_Inhibitor[4], Diluted_Enzyme[4];
+fluid Diluted_Substrate[4];
+fluid inhibitor, enzyme, diluent, substrate;
+inhibitor_diluent = 1;
+enzyme_diluent = 1;
+substrate_diluent = 1;
+temp = 1;
+FOR i FROM 1 TO 4 START --inhibitor
+  Diluted_Inhibitor[i] = MIX inhibitor AND diluent
+      IN RATIOS 1:inhibitor_diluent FOR 30;
+  temp = temp * 10;
+  inhibitor_diluent = temp - 1;
+ENDFOR
+temp = 1;
+FOR j FROM 1 TO 4 START --enzyme
+  Diluted_Enzyme[j] = MIX enzyme AND diluent
+      IN RATIOS 1:enzyme_diluent FOR 30;
+  temp = temp * 10;
+  enzyme_diluent = temp - 1;
+ENDFOR
+temp = 1;
+FOR k FROM 1 TO 4 START --substrate
+  Diluted_Substrate[k] = MIX substrate AND diluent
+      IN RATIOS 1:substrate_diluent FOR 30;
+  temp = temp * 10;
+  substrate_diluent = temp - 1;
+ENDFOR
+FOR i FROM 1 TO 4 START --inhibitor
+  FOR j FROM 1 TO 4 START --enzyme
+    FOR k FROM 1 TO 4 START --substrate
+      MIX Diluted_Inhibitor[i] AND Diluted_Enzyme[j]
+          AND Diluted_Substrate[k] FOR 60;
+      INCUBATE it AT 37 FOR 300;
+      SENSE OPTICAL it INTO RESULT[i][j][k];
+    ENDFOR
+  ENDFOR
+ENDFOR
+END
+)";
+}

@@ -1,0 +1,124 @@
+//===- AIS.cpp - AquaCore Instruction Set ---------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/codegen/AIS.h"
+
+#include "aqua/support/StringUtils.h"
+
+using namespace aqua;
+using namespace aqua::codegen;
+
+std::string Loc::str() const {
+  std::string Base;
+  switch (Kind) {
+  case LocKind::None:
+    return "<none>";
+  case LocKind::Reservoir:
+    return format("s%d", Index);
+  case LocKind::InputPort:
+    return format("ip%d", Index);
+  case LocKind::OutputPort:
+    return format("op%d", Index);
+  case LocKind::Mixer:
+    Base = format("mixer%d", Index);
+    break;
+  case LocKind::Heater:
+    Base = format("heater%d", Index);
+    break;
+  case LocKind::Sensor:
+    Base = format("sensor%d", Index);
+    break;
+  case LocKind::Separator:
+    Base = format("separator%d", Index);
+    break;
+  }
+  switch (Sub) {
+  case SubPort::None:
+    return Base;
+  case SubPort::Matrix:
+    return Base + ".matrix";
+  case SubPort::Pusher:
+    return Base + ".pusher";
+  case SubPort::Out1:
+    return Base + ".out1";
+  }
+  AQUA_UNREACHABLE("bad SubPort");
+}
+
+const char *aqua::codegen::opcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Input:
+    return "input";
+  case Opcode::Move:
+    return "move";
+  case Opcode::MoveAbs:
+    return "move-abs";
+  case Opcode::Mix:
+    return "mix";
+  case Opcode::Incubate:
+    return "incubate";
+  case Opcode::SeparateAF:
+    return "separate.AF";
+  case Opcode::SeparateLC:
+    return "separate.LC";
+  case Opcode::SenseOD:
+    return "sense.OD";
+  case Opcode::SenseFL:
+    return "sense.FL";
+  case Opcode::Concentrate:
+    return "concentrate";
+  case Opcode::Output:
+    return "output";
+  }
+  AQUA_UNREACHABLE("bad Opcode");
+}
+
+std::string Instruction::str() const {
+  switch (Op) {
+  case Opcode::Input:
+    return format("input %s, %s%s%s", Dst.str().c_str(), Src.str().c_str(),
+                  Note.empty() ? "" : " ;", Note.c_str());
+  case Opcode::Move:
+    if (RelParts > 0)
+      return format("move %s, %s, %lld", Dst.str().c_str(),
+                    Src.str().c_str(), static_cast<long long>(RelParts));
+    return format("move %s, %s", Dst.str().c_str(), Src.str().c_str());
+  case Opcode::MoveAbs:
+    return format("move-abs %s, %s, %s", Dst.str().c_str(),
+                  Src.str().c_str(), formatTrimmed(VolumeNl, 4).c_str());
+  case Opcode::Mix:
+    return format("mix %s, %s", Dst.str().c_str(),
+                  formatTrimmed(Seconds, 1).c_str());
+  case Opcode::Incubate:
+    return format("incubate %s, %s, %s", Dst.str().c_str(),
+                  formatTrimmed(TempC, 1).c_str(),
+                  formatTrimmed(Seconds, 1).c_str());
+  case Opcode::SeparateAF:
+  case Opcode::SeparateLC:
+    return format("%s %s, %s", opcodeName(Op), Dst.str().c_str(),
+                  formatTrimmed(Seconds, 1).c_str());
+  case Opcode::SenseOD:
+  case Opcode::SenseFL:
+    return format("%s %s, %s", opcodeName(Op), Dst.str().c_str(),
+                  Note.c_str());
+  case Opcode::Concentrate:
+    return format("concentrate %s, %s, %s", Dst.str().c_str(),
+                  formatTrimmed(TempC, 1).c_str(),
+                  formatTrimmed(Seconds, 1).c_str());
+  case Opcode::Output:
+    return format("output %s, %s", Dst.str().c_str(), Src.str().c_str());
+  }
+  AQUA_UNREACHABLE("bad Opcode");
+}
+
+std::string AISProgram::str() const {
+  std::string Out;
+  for (const Instruction &I : Instrs) {
+    Out += I.str();
+    Out += "\n";
+  }
+  return Out;
+}

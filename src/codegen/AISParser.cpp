@@ -1,0 +1,209 @@
+//===- AISParser.cpp - AIS text parser ------------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/codegen/AISParser.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace aqua;
+using namespace aqua::codegen;
+
+namespace {
+
+/// Splits an instruction line into mnemonic and comma-separated operands.
+struct Line {
+  std::string Mnemonic;
+  std::vector<std::string> Operands;
+  std::string Comment;
+};
+
+Line splitLine(std::string_view Text) {
+  Line L;
+  // Trailing comment: " ;note".
+  size_t Semi = Text.find(';');
+  if (Semi != std::string_view::npos) {
+    L.Comment = std::string(trim(Text.substr(Semi + 1)));
+    Text = Text.substr(0, Semi);
+  }
+  Text = trim(Text);
+  size_t Space = Text.find(' ');
+  if (Space == std::string_view::npos) {
+    L.Mnemonic = std::string(Text);
+    return L;
+  }
+  L.Mnemonic = std::string(Text.substr(0, Space));
+  for (const std::string &Op : split(Text.substr(Space + 1), ','))
+    L.Operands.emplace_back(trim(Op));
+  return L;
+}
+
+bool parseNumber(const std::string &Text, double &Out) {
+  char *End = nullptr;
+  Out = std::strtod(Text.c_str(), &End);
+  return End && *End == '\0' && !Text.empty();
+}
+
+} // namespace
+
+Loc aqua::codegen::parseLoc(std::string_view Text) {
+  Loc L;
+  auto Suffix = [&](std::string_view Prefix, LocKind Kind) -> bool {
+    if (!startsWith(Text, Prefix))
+      return false;
+    std::string_view Rest = Text.substr(Prefix.size());
+    // Optional sub-port.
+    size_t Dot = Rest.find('.');
+    std::string_view Num = Dot == std::string_view::npos
+                               ? Rest
+                               : Rest.substr(0, Dot);
+    if (Num.empty() ||
+        !std::all_of(Num.begin(), Num.end(),
+                     [](char C) { return C >= '0' && C <= '9'; }))
+      return false;
+    L.Kind = Kind;
+    L.Index = std::atoi(std::string(Num).c_str());
+    if (Dot != std::string_view::npos) {
+      std::string_view Sub = Rest.substr(Dot + 1);
+      if (Sub == "matrix")
+        L.Sub = SubPort::Matrix;
+      else if (Sub == "pusher")
+        L.Sub = SubPort::Pusher;
+      else if (Sub == "out1")
+        L.Sub = SubPort::Out1;
+      else
+        return false;
+    }
+    return true;
+  };
+  // Longest prefixes first ("separator" before "s").
+  if (Suffix("separator", LocKind::Separator) ||
+      Suffix("mixer", LocKind::Mixer) || Suffix("heater", LocKind::Heater) ||
+      Suffix("sensor", LocKind::Sensor) || Suffix("ip", LocKind::InputPort) ||
+      Suffix("op", LocKind::OutputPort) || Suffix("s", LocKind::Reservoir))
+    return L;
+  return Loc{};
+}
+
+Expected<AISProgram> aqua::codegen::parseAIS(std::string_view Text) {
+  using RetTy = Expected<AISProgram>;
+  AISProgram Prog;
+  int LineNo = 0;
+
+  auto NoteResource = [&Prog](const Loc &L) {
+    switch (L.Kind) {
+    case LocKind::Reservoir:
+      Prog.UsedReservoirs = std::max(Prog.UsedReservoirs, L.Index);
+      break;
+    case LocKind::Mixer:
+      Prog.UsedMixers = std::max(Prog.UsedMixers, L.Index);
+      break;
+    case LocKind::Heater:
+      Prog.UsedHeaters = std::max(Prog.UsedHeaters, L.Index);
+      break;
+    case LocKind::Sensor:
+      Prog.UsedSensors = std::max(Prog.UsedSensors, L.Index);
+      break;
+    case LocKind::Separator:
+      Prog.UsedSeparators = std::max(Prog.UsedSeparators, L.Index);
+      break;
+    case LocKind::InputPort:
+      Prog.UsedInputPorts = std::max(Prog.UsedInputPorts, L.Index);
+      break;
+    default:
+      break;
+    }
+  };
+
+  for (const std::string &Raw : split(Text, '\n')) {
+    ++LineNo;
+    std::string_view Trimmed = trim(Raw);
+    if (Trimmed.empty() || Trimmed[0] == ';')
+      continue;
+    Line L = splitLine(Trimmed);
+    auto Err = [&](const char *Msg) {
+      return RetTy::error(format("line %d: %s", LineNo, Msg));
+    };
+
+    Instruction I;
+    I.Note = L.Comment;
+
+    auto NeedOps = [&](size_t Min, size_t Max) {
+      return L.Operands.size() >= Min && L.Operands.size() <= Max;
+    };
+    auto Dst = [&](int Idx) { return parseLoc(L.Operands[Idx]); };
+
+    if (L.Mnemonic == "input") {
+      if (!NeedOps(2, 2))
+        return Err("input needs 2 operands");
+      I.Op = Opcode::Input;
+      I.Dst = Dst(0);
+      I.Src = Dst(1);
+    } else if (L.Mnemonic == "move" || L.Mnemonic == "move-abs") {
+      if (!NeedOps(2, 3))
+        return Err("move needs 2 or 3 operands");
+      I.Op = L.Mnemonic == "move" ? Opcode::Move : Opcode::MoveAbs;
+      I.Dst = Dst(0);
+      I.Src = Dst(1);
+      if (L.Operands.size() == 3) {
+        double V;
+        if (!parseNumber(L.Operands[2], V))
+          return Err("malformed volume operand");
+        if (I.Op == Opcode::Move)
+          I.RelParts = static_cast<std::int64_t>(V);
+        else
+          I.VolumeNl = V;
+      } else if (I.Op == Opcode::MoveAbs) {
+        return Err("move-abs needs an absolute volume");
+      }
+    } else if (L.Mnemonic == "mix") {
+      if (!NeedOps(2, 2) || !parseNumber(L.Operands[1], I.Seconds))
+        return Err("mix needs a unit and a duration");
+      I.Op = Opcode::Mix;
+      I.Dst = Dst(0);
+    } else if (L.Mnemonic == "incubate" || L.Mnemonic == "concentrate") {
+      if (!NeedOps(3, 3) || !parseNumber(L.Operands[1], I.TempC) ||
+          !parseNumber(L.Operands[2], I.Seconds))
+        return Err("incubate/concentrate needs unit, temp, duration");
+      I.Op = L.Mnemonic == "incubate" ? Opcode::Incubate
+                                      : Opcode::Concentrate;
+      I.Dst = Dst(0);
+    } else if (L.Mnemonic == "separate.AF" || L.Mnemonic == "separate.LC") {
+      if (!NeedOps(2, 2) || !parseNumber(L.Operands[1], I.Seconds))
+        return Err("separate needs a unit and a duration");
+      I.Op = L.Mnemonic == "separate.AF" ? Opcode::SeparateAF
+                                         : Opcode::SeparateLC;
+      I.Dst = Dst(0);
+    } else if (L.Mnemonic == "sense.OD" || L.Mnemonic == "sense.FL") {
+      if (!NeedOps(2, 2))
+        return Err("sense needs a unit and a result name");
+      I.Op = L.Mnemonic == "sense.OD" ? Opcode::SenseOD : Opcode::SenseFL;
+      I.Dst = Dst(0);
+      I.Note = L.Operands[1];
+    } else if (L.Mnemonic == "output") {
+      if (!NeedOps(2, 2))
+        return Err("output needs 2 operands");
+      I.Op = Opcode::Output;
+      I.Dst = Dst(0);
+      I.Src = Dst(1);
+    } else {
+      return Err("unknown mnemonic");
+    }
+
+    if (!I.Dst.valid())
+      return Err("malformed destination operand");
+    if ((I.Op == Opcode::Input || I.Op == Opcode::Move ||
+         I.Op == Opcode::MoveAbs || I.Op == Opcode::Output) &&
+        !I.Src.valid())
+      return Err("malformed source operand");
+    NoteResource(I.Dst);
+    NoteResource(I.Src);
+    Prog.Instrs.push_back(std::move(I));
+  }
+  return Prog;
+}

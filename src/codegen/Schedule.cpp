@@ -1,0 +1,193 @@
+//===- Schedule.cpp - Wet-path operation scheduling ------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/codegen/Schedule.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+using namespace aqua;
+using namespace aqua::codegen;
+using namespace aqua::ir;
+
+namespace {
+
+/// The unit kind an operation occupies (None for inputs/excess, which
+/// need no functional unit).
+LocKind unitKindFor(const Node &Nd) {
+  switch (Nd.Kind) {
+  case NodeKind::Mix:
+    return LocKind::Mixer;
+  case NodeKind::Incubate:
+    return LocKind::Heater;
+  case NodeKind::Sense:
+    return LocKind::Sensor;
+  case NodeKind::Separate:
+    return Nd.Params.Flavor == "CONC" ? LocKind::Heater
+                                      : LocKind::Separator;
+  case NodeKind::Input:
+  case NodeKind::Output:
+  case NodeKind::Excess:
+    return LocKind::None;
+  }
+  AQUA_UNREACHABLE("bad NodeKind");
+}
+
+/// Wet duration of one operation: operand transfers plus the operation
+/// itself (mirrors the simulator's timing model).
+double durationFor(const AssayGraph &G, NodeId N, double MoveSeconds) {
+  const Node &Nd = G.node(N);
+  switch (Nd.Kind) {
+  case NodeKind::Input:
+    return MoveSeconds; // Port fill.
+  case NodeKind::Excess:
+    return 0.0; // Discard happens with the producer's bookkeeping.
+  case NodeKind::Output:
+    return MoveSeconds;
+  case NodeKind::Sense:
+    return MoveSeconds * static_cast<double>(G.inEdges(N).size()) + 1.0;
+  case NodeKind::Mix:
+  case NodeKind::Incubate:
+    return MoveSeconds * static_cast<double>(G.inEdges(N).size()) +
+           Nd.Params.Seconds;
+  case NodeKind::Separate: {
+    // Matrix and pusher loads are transfers too.
+    int Loads = static_cast<int>(G.inEdges(N).size());
+    if (!Nd.Params.Matrix.empty())
+      ++Loads;
+    if (!Nd.Params.Pusher.empty())
+      ++Loads;
+    return MoveSeconds * Loads + Nd.Params.Seconds;
+  }
+  }
+  AQUA_UNREACHABLE("bad NodeKind");
+}
+
+} // namespace
+
+Expected<Schedule> aqua::codegen::scheduleAssay(const AssayGraph &G,
+                                                const ScheduleOptions &Opts) {
+  if (Status S = G.verify(); !S.ok())
+    return Expected<Schedule>::error("invalid assay graph: " + S.message());
+
+  Schedule Sched;
+  std::vector<NodeId> Topo = G.topologicalOrder();
+
+  // Durations and the critical-path priority (longest path to a sink).
+  std::vector<double> Duration(G.numNodeSlots(), 0.0);
+  std::vector<double> Priority(G.numNodeSlots(), 0.0);
+  for (NodeId N : Topo) {
+    Duration[N] = durationFor(G, N, Opts.MoveSeconds);
+    Sched.SerialSeconds += Duration[N];
+  }
+  for (auto It = Topo.rbegin(); It != Topo.rend(); ++It) {
+    NodeId N = *It;
+    double Best = 0.0;
+    for (EdgeId E : G.outEdges(N))
+      Best = std::max(Best, Priority[G.edge(E).Dst]);
+    Priority[N] = Duration[N] + Best;
+    Sched.CriticalPathSeconds =
+        std::max(Sched.CriticalPathSeconds, Priority[N]);
+  }
+
+  // Unit pools: next-free time per instance.
+  auto PoolSize = [&](LocKind Kind) {
+    switch (Kind) {
+    case LocKind::Mixer:
+      return Opts.Layout.Mixers;
+    case LocKind::Heater:
+      return Opts.Layout.Heaters;
+    case LocKind::Sensor:
+      return Opts.Layout.Sensors;
+    case LocKind::Separator:
+      return Opts.Layout.Separators;
+    default:
+      return 0;
+    }
+  };
+  std::map<LocKind, std::vector<double>> FreeAt;
+  for (LocKind Kind : {LocKind::Mixer, LocKind::Heater, LocKind::Sensor,
+                       LocKind::Separator}) {
+    if (PoolSize(Kind) <= 0)
+      return Expected<Schedule>::error(
+          "machine has no instance of a required unit kind");
+    FreeAt[Kind].assign(PoolSize(Kind), 0.0);
+  }
+
+  // List scheduling: ready ops by (priority desc, id asc).
+  std::vector<int> Pending(G.numNodeSlots(), 0);
+  std::vector<double> ReadyAt(G.numNodeSlots(), 0.0);
+  auto Cmp = [&](NodeId A, NodeId B) {
+    if (Priority[A] != Priority[B])
+      return Priority[A] < Priority[B]; // Max-heap on priority.
+    return A > B;
+  };
+  std::priority_queue<NodeId, std::vector<NodeId>, decltype(Cmp)> Ready(Cmp);
+  for (NodeId N : Topo) {
+    Pending[N] = static_cast<int>(G.inEdges(N).size());
+    if (Pending[N] == 0)
+      Ready.push(N);
+  }
+
+  std::vector<double> EndTime(G.numNodeSlots(), 0.0);
+  int Scheduled = 0;
+  while (!Ready.empty()) {
+    NodeId N = Ready.top();
+    Ready.pop();
+    ++Scheduled;
+
+    LocKind Kind = unitKindFor(G.node(N));
+    ScheduledOp Op;
+    Op.Node = N;
+    Op.UnitKind = Kind;
+    double Start = ReadyAt[N];
+    if (Kind != LocKind::None) {
+      // Earliest-free instance.
+      std::vector<double> &Pool = FreeAt[Kind];
+      size_t BestUnit = 0;
+      for (size_t I = 1; I < Pool.size(); ++I)
+        if (Pool[I] < Pool[BestUnit])
+          BestUnit = I;
+      Start = std::max(Start, Pool[BestUnit]);
+      Pool[BestUnit] = Start + Duration[N];
+      Op.UnitIndex = static_cast<int>(BestUnit) + 1;
+    }
+    Op.StartSec = Start;
+    Op.EndSec = Start + Duration[N];
+    EndTime[N] = Op.EndSec;
+    Sched.MakespanSeconds = std::max(Sched.MakespanSeconds, Op.EndSec);
+    Sched.Ops.push_back(Op);
+
+    for (EdgeId E : G.outEdges(N)) {
+      NodeId Dst = G.edge(E).Dst;
+      ReadyAt[Dst] = std::max(ReadyAt[Dst], Op.EndSec);
+      if (--Pending[Dst] == 0)
+        Ready.push(Dst);
+    }
+  }
+  if (Scheduled != G.numNodes())
+    return Expected<Schedule>::error("cycle in assay graph");
+  return Sched;
+}
+
+std::string Schedule::str(const AssayGraph &G) const {
+  std::string Out =
+      format("makespan %.0f s, serial %.0f s, critical path %.0f s, "
+             "speedup %.2fx\n",
+             MakespanSeconds, SerialSeconds, CriticalPathSeconds, speedup());
+  for (const ScheduledOp &Op : Ops) {
+    std::string Unit =
+        Op.UnitKind == LocKind::None
+            ? std::string("-")
+            : Loc{Op.UnitKind, Op.UnitIndex, SubPort::None}.str();
+    Out += format("  %8.0f .. %8.0f  %-10s %s\n", Op.StartSec, Op.EndSec,
+                  Unit.c_str(), G.node(Op.Node).Name.c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,66 @@
+//===- Report.cpp - Volume-management reporting ----------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Report.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+VolumeReport aqua::core::buildVolumeReport(const AssayGraph &G,
+                                           const VolumeAssignment &V) {
+  VolumeReport R;
+  for (NodeId N : G.liveNodes()) {
+    const Node &Nd = G.node(N);
+    if (Nd.Kind == NodeKind::Excess)
+      continue;
+
+    FluidUsage U;
+    U.Node = N;
+    U.Name = Nd.Name;
+    U.ProducedNl = V.NodeVolumeNl[N];
+    for (EdgeId E : G.outEdges(N)) {
+      if (G.node(G.edge(E).Dst).Kind == NodeKind::Excess) {
+        U.ExcessNl += V.EdgeVolumeNl[E];
+      } else {
+        ++U.Uses;
+        U.ConsumedNl += V.EdgeVolumeNl[E];
+      }
+    }
+    // A leaf's volume is the delivered product, not leftover residue.
+    U.LeftoverNl = G.isLeaf(N)
+                       ? 0.0
+                       : std::max(0.0, U.ProducedNl - U.ConsumedNl -
+                                           U.ExcessNl);
+
+    if (Nd.Kind == NodeKind::Input)
+      R.TotalInputNl += U.ProducedNl;
+    if (G.isLeaf(N))
+      R.TotalOutputNl += U.ProducedNl;
+    R.TotalExcessNl += U.ExcessNl;
+    R.TotalLeftoverNl += U.LeftoverNl;
+    R.Fluids.push_back(std::move(U));
+  }
+  return R;
+}
+
+std::string VolumeReport::str() const {
+  std::string Out = format("  %-22s %5s %10s %10s %9s %9s %6s\n", "fluid",
+                           "uses", "produced", "consumed", "excess",
+                           "leftover", "util");
+  for (const FluidUsage &U : Fluids)
+    Out += format("  %-22s %5d %8.2f nl %8.2f nl %6.2f nl %6.2f nl %5.0f%%\n",
+                  U.Name.c_str(), U.Uses, U.ProducedNl, U.ConsumedNl,
+                  U.ExcessNl, U.LeftoverNl, U.utilization() * 100.0);
+  Out += format("  totals: input %.2f nl, outputs %.2f nl, excess %.2f nl, "
+                "leftover %.2f nl\n",
+                TotalInputNl, TotalOutputNl, TotalExcessNl, TotalLeftoverNl);
+  return Out;
+}

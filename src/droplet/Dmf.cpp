@@ -1,0 +1,81 @@
+//===- Dmf.cpp - Droplet-based (DMF) adaptation ----------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/droplet/Dmf.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <numeric>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::droplet;
+using namespace aqua::ir;
+
+Expected<DmfAssignment> aqua::droplet::dmfDagSolve(const AssayGraph &G,
+                                                   const DmfSpec &Spec) {
+  using RetTy = Expected<DmfAssignment>;
+  if (Status S = G.verify(); !S.ok())
+    return RetTy::error("invalid assay graph: " + S.message());
+  for (NodeId N : G.liveNodes())
+    if (G.node(N).UnknownVolume)
+      return RetTy::error(
+          format("node '%s' has a run-time-unknown volume; not supported "
+                 "on the droplet device",
+                 G.node(N).Name.c_str()));
+
+  // The backward Vnorm pass is the flow-based DAGSolve's, unchanged.
+  DagSolveResult Vnorms;
+  computeVnorms(G, DagSolveOptions{}, Vnorms);
+  if (Vnorms.MaxVnorm.isZero())
+    return RetTy::error("degenerate assay: no outputs");
+
+  // Dispensing: the smallest scale at which every volume is a whole
+  // number of droplets is the lcm of the Vnorm denominators.
+  std::int64_t Scale = 1;
+  auto FoldDenominator = [&Scale](const Rational &V) -> bool {
+    if (V.isZero())
+      return true;
+    std::int64_t Den = V.denominator();
+    std::int64_t Gcd = std::gcd(Scale, Den);
+    // Overflow guard: assays with pathological denominators are rejected
+    // rather than silently wrapped.
+    if (Scale > (std::int64_t(1) << 40) / (Den / Gcd))
+      return false;
+    Scale = Scale / Gcd * Den;
+    return true;
+  };
+  for (NodeId N : G.liveNodes())
+    if (!FoldDenominator(Vnorms.NodeVnorm[N]))
+      return RetTy::error("droplet scale overflow (denominators too wild)");
+  for (EdgeId E : G.liveEdges())
+    if (!FoldDenominator(Vnorms.EdgeVnorm[E]))
+      return RetTy::error("droplet scale overflow (denominators too wild)");
+
+  DmfAssignment A;
+  A.Scale = Scale;
+  A.NodeDroplets.assign(G.numNodeSlots(), 0);
+  A.EdgeDroplets.assign(G.numEdgeSlots(), 0);
+  A.MinEdgeDroplets = std::numeric_limits<std::int64_t>::max();
+  for (NodeId N : G.liveNodes()) {
+    Rational D = Vnorms.NodeVnorm[N] * Rational(Scale);
+    assert(D.isInteger() && "scale must clear all denominators");
+    A.NodeDroplets[N] = D.numerator();
+    // The site capacity binds on the input side (what the merge site
+    // holds while the operation runs).
+    Rational In = nodeInputVnorm(G, N, Vnorms) * Rational(Scale);
+    A.MaxSiteDroplets = std::max(A.MaxSiteDroplets, In.ceil());
+  }
+  for (EdgeId E : G.liveEdges()) {
+    Rational D = Vnorms.EdgeVnorm[E] * Rational(Scale);
+    assert(D.isInteger() && "scale must clear all denominators");
+    A.EdgeDroplets[E] = D.numerator();
+    A.MinEdgeDroplets = std::min(A.MinEdgeDroplets, A.EdgeDroplets[E]);
+  }
+
+  A.Feasible = A.MaxSiteDroplets <= Spec.CapacityDroplets;
+  return A;
+}

@@ -1,0 +1,271 @@
+//===- Router.cpp - Electrode-grid droplet routing -------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/droplet/Router.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+using namespace aqua;
+using namespace aqua::droplet;
+using namespace aqua::ir;
+
+namespace {
+
+struct Cell {
+  int X = -1, Y = -1;
+  bool valid() const { return X >= 0; }
+  friend bool operator==(const Cell &A, const Cell &B) {
+    return A.X == B.X && A.Y == B.Y;
+  }
+};
+
+int chebyshev(const Cell &A, const Cell &B) {
+  return std::max(std::abs(A.X - B.X), std::abs(A.Y - B.Y));
+}
+
+/// A parked droplet.
+struct Droplet {
+  Cell At;
+  std::int64_t Units = 0;
+};
+
+class Executor {
+public:
+  Executor(const AssayGraph &G, const DmfAssignment &A, const DmfSpec &Spec)
+      : G(G), A(A), Spec(Spec) {}
+
+  Expected<DmfRunStats> run();
+
+private:
+  bool inBounds(const Cell &C) const {
+    return C.X >= 0 && C.X < Spec.Width && C.Y >= 0 && C.Y < Spec.Height;
+  }
+
+  /// True when \p C keeps the static fluidic constraint w.r.t. every
+  /// parked droplet except \p Skip1/\p Skip2.
+  bool clearOf(const Cell &C, int Skip1 = -1, int Skip2 = -1) const {
+    for (const auto &[Id, D] : Parked) {
+      if (Id == Skip1 || Id == Skip2)
+        continue;
+      if (chebyshev(C, D.At) < 2)
+        return false;
+    }
+    return true;
+  }
+
+  /// First free cell (row-major) satisfying the constraint.
+  Cell findFreeSite() const {
+    for (int Y = 0; Y < Spec.Height; ++Y)
+      for (int X = 2; X < Spec.Width - 2; ++X) {
+        Cell C{X, Y};
+        if (clearOf(C))
+          return C;
+      }
+    return Cell{};
+  }
+
+  /// BFS route from \p From to \p To for droplet \p Self; \p MergeTarget
+  /// (or -1) is the droplet it may approach and land on. Returns path
+  /// length, or -1 when unroutable.
+  int route(const Cell &From, const Cell &To, int Self, int MergeTarget);
+
+  /// Splits \p Units off droplet \p SrcId into a fresh droplet parked on a
+  /// clear neighbour cell; returns its id or -1.
+  int splitOff(int SrcId, std::int64_t Units);
+
+  /// Disposes droplet \p Id in place (to waste).
+  void dispose(int Id) { Parked.erase(Id); }
+
+  int park(Cell At, std::int64_t Units) {
+    int Id = NextId++;
+    Parked[Id] = Droplet{At, Units};
+    Stats.PeakDroplets =
+        std::max(Stats.PeakDroplets, static_cast<int>(Parked.size()));
+    return Id;
+  }
+
+  const AssayGraph &G;
+  const DmfAssignment &A;
+  const DmfSpec &Spec;
+  DmfRunStats Stats;
+
+  std::map<int, Droplet> Parked;
+  std::map<NodeId, int> ValueDroplet; // Produced fluid -> droplet id.
+  int NextId = 0;
+  int NextPortY = 0;
+  int NextSenseY = 0;
+};
+
+int Executor::route(const Cell &From, const Cell &To, int Self,
+                    int MergeTarget) {
+  auto Key = [this](const Cell &C) { return C.Y * Spec.Width + C.X; };
+  std::vector<int> Dist(Spec.Width * Spec.Height, -1);
+  std::queue<Cell> Queue;
+  Dist[Key(From)] = 0;
+  Queue.push(From);
+  while (!Queue.empty()) {
+    Cell C = Queue.front();
+    Queue.pop();
+    if (C == To)
+      return Dist[Key(C)];
+    const int DX[] = {1, -1, 0, 0};
+    const int DY[] = {0, 0, 1, -1};
+    for (int Dir = 0; Dir < 4; ++Dir) {
+      Cell N{C.X + DX[Dir], C.Y + DY[Dir]};
+      if (!inBounds(N) || Dist[Key(N)] >= 0)
+        continue;
+      // The target cell itself is reachable only as the merge landing.
+      bool IsLanding = N == To;
+      if (!IsLanding && !clearOf(N, Self, MergeTarget))
+        continue;
+      if (IsLanding && MergeTarget < 0 && !clearOf(N, Self))
+        continue;
+      Dist[Key(N)] = Dist[Key(C)] + 1;
+      Queue.push(N);
+    }
+  }
+  return -1;
+}
+
+int Executor::splitOff(int SrcId, std::int64_t Units) {
+  Droplet &Src = Parked[SrcId];
+  assert(Src.Units >= Units && "splitting more than the droplet holds");
+  const int DX[] = {1, -1, 0, 0, 1, 1, -1, -1};
+  const int DY[] = {0, 0, 1, -1, 1, -1, 1, -1};
+  for (int Dir = 0; Dir < 8; ++Dir) {
+    Cell N{Src.At.X + DX[Dir], Src.At.Y + DY[Dir]};
+    if (!inBounds(N) || !clearOf(N, SrcId))
+      continue;
+    Src.Units -= Units;
+    ++Stats.Splits;
+    ++Stats.Steps; // The split actuation.
+    int Id = park(N, Units);
+    if (Src.Units == 0) {
+      // Fully consumed: the remainder vanishes with the last split.
+      dispose(SrcId);
+    }
+    return Id;
+  }
+  return -1;
+}
+
+Expected<DmfRunStats> Executor::run() {
+  for (NodeId N : G.topologicalOrder()) {
+    const Node &Nd = G.node(N);
+    switch (Nd.Kind) {
+    case NodeKind::Input: {
+      // Dispense at a west-edge port.
+      if (NextPortY >= Spec.Height)
+        return Expected<DmfRunStats>::error("out of input ports");
+      Cell Port{0, NextPortY};
+      NextPortY += 2; // Keep the fluidic spacing between ports.
+      if (!clearOf(Port))
+        return Expected<DmfRunStats>::error("input port blocked");
+      ++Stats.Dispenses;
+      ValueDroplet[N] = park(Port, A.NodeDroplets[N]);
+      break;
+    }
+
+    case NodeKind::Excess: {
+      // The producer's excess share: split it off and dispose.
+      EdgeId E = G.inEdges(N)[0];
+      int SrcId = ValueDroplet[G.edge(E).Src];
+      int Id = splitOff(SrcId, A.EdgeDroplets[E]);
+      if (Id < 0)
+        return Expected<DmfRunStats>::error("no room to split excess");
+      dispose(Id);
+      break;
+    }
+
+    case NodeKind::Mix:
+    case NodeKind::Incubate:
+    case NodeKind::Separate:
+    case NodeKind::Sense:
+    case NodeKind::Output: {
+      // Pick the operation site: sense/output at the east edge, others
+      // anywhere clear.
+      Cell Site;
+      if (Nd.Kind == NodeKind::Sense || Nd.Kind == NodeKind::Output) {
+        while (NextSenseY < Spec.Height &&
+               !clearOf(Cell{Spec.Width - 1, NextSenseY}))
+          NextSenseY += 2;
+        if (NextSenseY >= Spec.Height)
+          return Expected<DmfRunStats>::error("out of sense sites");
+        Site = Cell{Spec.Width - 1, NextSenseY};
+      } else {
+        Site = findFreeSite();
+        if (!Site.valid())
+          return Expected<DmfRunStats>::error(
+              "grid too congested to place an operation site");
+      }
+
+      // Bring every operand's portion to the site, merging on arrival.
+      int SiteDroplet = -1;
+      for (EdgeId E : G.inEdges(N)) {
+        int SrcId = ValueDroplet[G.edge(E).Src];
+        if (!Parked.count(SrcId))
+          return Expected<DmfRunStats>::error(
+              format("operand of '%s' already consumed", Nd.Name.c_str()));
+        int Portion = splitOff(SrcId, A.EdgeDroplets[E]);
+        if (Portion < 0)
+          return Expected<DmfRunStats>::error("no room to split an operand");
+        int Len = route(Parked[Portion].At, Site, Portion, SiteDroplet);
+        if (Len < 0)
+          return Expected<DmfRunStats>::error(
+              format("unroutable transfer for '%s'", Nd.Name.c_str()));
+        Stats.Steps += Len;
+        if (SiteDroplet < 0) {
+          Parked[Portion].At = Site;
+          SiteDroplet = Portion;
+        } else {
+          Parked[SiteDroplet].Units += Parked[Portion].Units;
+          dispose(Portion);
+          ++Stats.Merges;
+        }
+      }
+      if (SiteDroplet < 0)
+        return Expected<DmfRunStats>::error(
+            format("operation '%s' has no operands", Nd.Name.c_str()));
+
+      // Yield: separations shed their waste fraction.
+      std::int64_t Keep = A.NodeDroplets[N];
+      Droplet &D = Parked[SiteDroplet];
+      if (D.Units > Keep) {
+        ++Stats.Splits;
+        ++Stats.Steps;
+        D.Units = Keep;
+      }
+
+      if (Nd.Kind == NodeKind::Sense || Nd.Kind == NodeKind::Output) {
+        ++Stats.Senses;
+        dispose(SiteDroplet);
+        NextSenseY += 2;
+      } else {
+        ValueDroplet[N] = SiteDroplet;
+      }
+      break;
+    }
+    }
+  }
+  Stats.Completed = true;
+  return Stats;
+}
+
+} // namespace
+
+Expected<DmfRunStats> aqua::droplet::executeOnGrid(const AssayGraph &G,
+                                                   const DmfAssignment &A,
+                                                   const DmfSpec &Spec) {
+  if (!A.Feasible)
+    return Expected<DmfRunStats>::error(
+        "assignment infeasible for the droplet device");
+  Executor E(G, A, Spec);
+  return E.run();
+}

@@ -1,0 +1,269 @@
+//===- Lexer.cpp - Assay language lexer ----------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lang/Lexer.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cerrno>
+#include <cstdlib>
+#include <map>
+
+using namespace aqua;
+using namespace aqua::lang;
+
+const char *aqua::lang::tokenKindName(TokenKind K) {
+  switch (K) {
+  case TokenKind::Identifier:
+    return "identifier";
+  case TokenKind::Integer:
+    return "integer";
+  case TokenKind::KwAssay:
+    return "ASSAY";
+  case TokenKind::KwStart:
+    return "START";
+  case TokenKind::KwEnd:
+    return "END";
+  case TokenKind::KwFluid:
+    return "fluid";
+  case TokenKind::KwVar:
+    return "VAR";
+  case TokenKind::KwMix:
+    return "MIX";
+  case TokenKind::KwAnd:
+    return "AND";
+  case TokenKind::KwIn:
+    return "IN";
+  case TokenKind::KwRatios:
+    return "RATIOS";
+  case TokenKind::KwFor:
+    return "FOR";
+  case TokenKind::KwSense:
+    return "SENSE";
+  case TokenKind::KwOptical:
+    return "OPTICAL";
+  case TokenKind::KwFluorescence:
+    return "FLUORESCENCE";
+  case TokenKind::KwInto:
+    return "INTO";
+  case TokenKind::KwSeparate:
+    return "SEPARATE";
+  case TokenKind::KwLCSeparate:
+    return "LCSEPARATE";
+  case TokenKind::KwMatrix:
+    return "MATRIX";
+  case TokenKind::KwUsing:
+    return "USING";
+  case TokenKind::KwIncubate:
+    return "INCUBATE";
+  case TokenKind::KwConcentrate:
+    return "CONCENTRATE";
+  case TokenKind::KwAt:
+    return "AT";
+  case TokenKind::KwFrom:
+    return "FROM";
+  case TokenKind::KwTo:
+    return "TO";
+  case TokenKind::KwEndFor:
+    return "ENDFOR";
+  case TokenKind::KwYield:
+    return "YIELD";
+  case TokenKind::KwOf:
+    return "OF";
+  case TokenKind::KwIf:
+    return "IF";
+  case TokenKind::KwElse:
+    return "ELSE";
+  case TokenKind::KwEndIf:
+    return "ENDIF";
+  case TokenKind::KwIt:
+    return "it";
+  case TokenKind::Semicolon:
+    return ";";
+  case TokenKind::Comma:
+    return ",";
+  case TokenKind::Colon:
+    return ":";
+  case TokenKind::Equals:
+    return "=";
+  case TokenKind::LBracket:
+    return "[";
+  case TokenKind::RBracket:
+    return "]";
+  case TokenKind::Plus:
+    return "+";
+  case TokenKind::Minus:
+    return "-";
+  case TokenKind::Star:
+    return "*";
+  case TokenKind::Slash:
+    return "/";
+  case TokenKind::Question:
+    return "?";
+  case TokenKind::Eof:
+    return "<eof>";
+  }
+  AQUA_UNREACHABLE("bad TokenKind");
+}
+
+static const std::map<std::string, TokenKind, std::less<>> &keywordMap() {
+  static const std::map<std::string, TokenKind, std::less<>> Map = {
+      {"ASSAY", TokenKind::KwAssay},
+      {"START", TokenKind::KwStart},
+      {"END", TokenKind::KwEnd},
+      {"fluid", TokenKind::KwFluid},
+      {"FLUID", TokenKind::KwFluid},
+      {"VAR", TokenKind::KwVar},
+      {"MIX", TokenKind::KwMix},
+      {"AND", TokenKind::KwAnd},
+      {"IN", TokenKind::KwIn},
+      {"RATIOS", TokenKind::KwRatios},
+      {"FOR", TokenKind::KwFor},
+      {"SENSE", TokenKind::KwSense},
+      {"OPTICAL", TokenKind::KwOptical},
+      {"FLUORESCENCE", TokenKind::KwFluorescence},
+      {"INTO", TokenKind::KwInto},
+      {"SEPARATE", TokenKind::KwSeparate},
+      {"LCSEPARATE", TokenKind::KwLCSeparate},
+      {"MATRIX", TokenKind::KwMatrix},
+      {"USING", TokenKind::KwUsing},
+      {"INCUBATE", TokenKind::KwIncubate},
+      {"CONCENTRATE", TokenKind::KwConcentrate},
+      {"AT", TokenKind::KwAt},
+      {"FROM", TokenKind::KwFrom},
+      {"TO", TokenKind::KwTo},
+      {"ENDFOR", TokenKind::KwEndFor},
+      {"YIELD", TokenKind::KwYield},
+      {"OF", TokenKind::KwOf},
+      {"IF", TokenKind::KwIf},
+      {"ELSE", TokenKind::KwElse},
+      {"ENDIF", TokenKind::KwEndIf},
+      {"it", TokenKind::KwIt},
+  };
+  return Map;
+}
+
+Expected<std::vector<Token>> aqua::lang::tokenize(std::string_view Source) {
+  using RetTy = Expected<std::vector<Token>>;
+  std::vector<Token> Tokens;
+  int Line = 1, Col = 1;
+  size_t I = 0;
+
+  auto Advance = [&](size_t Count = 1) {
+    for (size_t J = 0; J < Count && I < Source.size(); ++J, ++I) {
+      if (Source[I] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+  };
+
+  while (I < Source.size()) {
+    char C = Source[I];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance();
+      continue;
+    }
+    // Comments: `--` to end of line.
+    if (C == '-' && I + 1 < Source.size() && Source[I + 1] == '-') {
+      while (I < Source.size() && Source[I] != '\n')
+        Advance();
+      continue;
+    }
+
+    Token T;
+    T.Line = Line;
+    T.Col = Col;
+
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+      size_t Start = I;
+      while (I < Source.size() &&
+             (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+              Source[I] == '_'))
+        Advance();
+      T.Text = std::string(Source.substr(Start, I - Start));
+      auto It = keywordMap().find(T.Text);
+      T.Kind = It != keywordMap().end() ? It->second : TokenKind::Identifier;
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = I;
+      while (I < Source.size() &&
+             std::isdigit(static_cast<unsigned char>(Source[I])))
+        Advance();
+      if (I < Source.size() &&
+          (std::isalpha(static_cast<unsigned char>(Source[I])) ||
+           Source[I] == '_'))
+        return RetTy::error(format("%d:%d: malformed number", T.Line, T.Col));
+      T.Kind = TokenKind::Integer;
+      T.Text = std::string(Source.substr(Start, I - Start));
+      errno = 0;
+      char *End = nullptr;
+      T.IntValue = std::strtoll(T.Text.c_str(), &End, 10);
+      if (errno == ERANGE || End != T.Text.c_str() + T.Text.size())
+        return RetTy::error(
+            format("%d:%d: integer literal too large", T.Line, T.Col));
+      Tokens.push_back(std::move(T));
+      continue;
+    }
+
+    switch (C) {
+    case ';':
+      T.Kind = TokenKind::Semicolon;
+      break;
+    case ',':
+      T.Kind = TokenKind::Comma;
+      break;
+    case ':':
+      T.Kind = TokenKind::Colon;
+      break;
+    case '=':
+      T.Kind = TokenKind::Equals;
+      break;
+    case '[':
+      T.Kind = TokenKind::LBracket;
+      break;
+    case ']':
+      T.Kind = TokenKind::RBracket;
+      break;
+    case '+':
+      T.Kind = TokenKind::Plus;
+      break;
+    case '-':
+      T.Kind = TokenKind::Minus;
+      break;
+    case '*':
+      T.Kind = TokenKind::Star;
+      break;
+    case '/':
+      T.Kind = TokenKind::Slash;
+      break;
+    case '?':
+      T.Kind = TokenKind::Question;
+      break;
+    default:
+      return RetTy::error(
+          format("%d:%d: unexpected character '%c'", Line, Col, C));
+    }
+    T.Text = std::string(1, C);
+    Advance();
+    Tokens.push_back(std::move(T));
+  }
+
+  Token Eof;
+  Eof.Kind = TokenKind::Eof;
+  Eof.Line = Line;
+  Eof.Col = Col;
+  Tokens.push_back(Eof);
+  return Tokens;
+}

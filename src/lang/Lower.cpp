@@ -1,0 +1,499 @@
+//===- Lower.cpp - AST to Assay DAG lowering -----------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lang/Lower.h"
+
+#include "aqua/lang/Parser.h"
+#include "aqua/support/StringUtils.h"
+
+#include <map>
+#include <set>
+
+using namespace aqua;
+using namespace aqua::ir;
+using namespace aqua::lang;
+
+namespace {
+
+/// Upper bound on unrolled wet operations, to catch runaway loop bounds.
+constexpr int MaxWetOps = 1 << 20;
+
+class Lowerer {
+public:
+  Expected<LoweredAssay> run(const Program &P) {
+    Result.Name = P.Name;
+    for (const StmtPtr &S : P.Stmts)
+      if (!lowerStmt(*S))
+        return Expected<LoweredAssay>::error(Diag);
+    if (Status V = Result.Graph.verify(); !V.ok())
+      return Expected<LoweredAssay>::error("lowered graph invalid: " +
+                                           V.message());
+    return Expected<LoweredAssay>(std::move(Result));
+  }
+
+private:
+  bool fail(int Line, const std::string &Msg) {
+    if (Diag.empty())
+      Diag = format("%d: %s", Line, Msg.c_str());
+    return false;
+  }
+
+  // ----- Dry evaluation -------------------------------------------------
+
+  bool evalExpr(const Expr &E, std::int64_t &Out);
+  bool flattenKey(const std::string &Name, const std::vector<ExprPtr> &Indices,
+                  const std::vector<std::int64_t> &Dims, int Line,
+                  std::string &Key);
+
+  // ----- Fluid resolution -----------------------------------------------
+
+  /// Resolves a fluid reference used as an operand, creating an Input node
+  /// on the first use of a never-produced declared fluid.
+  bool resolveOperand(const FluidRef &Ref, NodeId &Out);
+
+  bool applyYieldHint(const Stmt &S, ir::Node &N);
+  bool lowerStmt(const Stmt &S);
+  bool lowerMix(const Stmt &S);
+  bool lowerSeparate(const Stmt &S);
+  bool lowerUnaryOp(const Stmt &S);
+  bool lowerSense(const Stmt &S);
+  bool lowerDryAssign(const Stmt &S);
+  bool lowerFor(const Stmt &S);
+
+  bool countWetOp(int Line) {
+    if (++WetOps > MaxWetOps)
+      return fail(Line, "assay exceeds the unrolled-operation budget");
+    return true;
+  }
+
+  LoweredAssay Result;
+  std::string Diag;
+
+  std::map<std::string, std::vector<std::int64_t>> FluidDecls;
+  std::map<std::string, std::vector<std::int64_t>> VarDecls;
+  std::map<std::string, std::int64_t> DryValues;
+  std::map<std::string, NodeId> FluidBindings;
+  /// Fluids ever produced anywhere (never rolled back): a later unbound
+  /// use of one is a branch-escape error, not an implicit input.
+  std::set<std::string> EverProduced;
+  std::set<std::string> WasteNames;
+  NodeId It = InvalidNode;
+  int MixCounter = 0;
+  int IncubateCounter = 0;
+  int ConcentrateCounter = 0;
+  int WetOps = 0;
+};
+
+bool Lowerer::evalExpr(const Expr &E, std::int64_t &Out) {
+  switch (E.K) {
+  case Expr::Kind::Number:
+    Out = E.Value;
+    return true;
+  case Expr::Kind::VarRef: {
+    auto DeclIt = VarDecls.find(E.Name);
+    if (DeclIt == VarDecls.end()) {
+      if (FluidDecls.count(E.Name))
+        return fail(E.Line,
+                    format("fluid '%s' used in a dry expression",
+                           E.Name.c_str()));
+      return fail(E.Line, format("undeclared variable '%s'", E.Name.c_str()));
+    }
+    std::string Key;
+    if (!flattenKey(E.Name, E.Indices, DeclIt->second, E.Line, Key))
+      return false;
+    auto ValIt = DryValues.find(Key);
+    if (ValIt == DryValues.end())
+      return fail(E.Line,
+                  format("variable '%s' read before assignment", Key.c_str()));
+    Out = ValIt->second;
+    return true;
+  }
+  case Expr::Kind::BinOp: {
+    std::int64_t L, R;
+    if (!evalExpr(*E.Lhs, L) || !evalExpr(*E.Rhs, R))
+      return false;
+    switch (E.Op) {
+    case '+':
+      Out = L + R;
+      return true;
+    case '-':
+      Out = L - R;
+      return true;
+    case '*':
+      Out = L * R;
+      return true;
+    case '/':
+      if (R == 0)
+        return fail(E.Line, "division by zero in dry expression");
+      Out = L / R;
+      return true;
+    default:
+      return fail(E.Line, "unknown operator");
+    }
+  }
+  }
+  AQUA_UNREACHABLE("bad Expr kind");
+}
+
+bool Lowerer::flattenKey(const std::string &Name,
+                         const std::vector<ExprPtr> &Indices,
+                         const std::vector<std::int64_t> &Dims, int Line,
+                         std::string &Key) {
+  if (Indices.size() != Dims.size())
+    return fail(Line, format("'%s' expects %zu subscripts, got %zu",
+                             Name.c_str(), Dims.size(), Indices.size()));
+  Key = Name;
+  for (size_t I = 0; I < Indices.size(); ++I) {
+    std::int64_t Idx;
+    if (!evalExpr(*Indices[I], Idx))
+      return false;
+    // Assay arrays are 1-based (Figure 9a indexes Result[1]..Result[5]).
+    if (Idx < 1 || Idx > Dims[I])
+      return fail(Line, format("index %lld out of range 1..%lld for '%s'",
+                               static_cast<long long>(Idx),
+                               static_cast<long long>(Dims[I]), Name.c_str()));
+    Key += format("[%lld]", static_cast<long long>(Idx));
+  }
+  return true;
+}
+
+bool Lowerer::resolveOperand(const FluidRef &Ref, NodeId &Out) {
+  if (Ref.IsIt) {
+    if (It == InvalidNode)
+      return fail(Ref.Line, "'it' used before any fluid-producing statement");
+    Out = It;
+    return true;
+  }
+  auto DeclIt = FluidDecls.find(Ref.Name);
+  if (DeclIt == FluidDecls.end())
+    return fail(Ref.Line,
+                format("undeclared fluid '%s'", Ref.Name.c_str()));
+  std::string Key;
+  if (!flattenKey(Ref.Name, Ref.Indices, DeclIt->second, Ref.Line, Key))
+    return false;
+  if (WasteNames.count(Ref.Name))
+    return fail(Ref.Line,
+                format("waste stream '%s' cannot be reused", Ref.Name.c_str()));
+  auto BindIt = FluidBindings.find(Key);
+  if (BindIt != FluidBindings.end()) {
+    Out = BindIt->second;
+    return true;
+  }
+  // First use of a never-produced scalar fluid: an assay input.
+  if (EverProduced.count(Key))
+    return fail(Ref.Line,
+                format("fluid '%s' is only produced inside a run-time "
+                       "branch and cannot be used after it",
+                       Key.c_str()));
+  if (!Ref.Indices.empty())
+    return fail(Ref.Line,
+                format("fluid '%s' used before being produced", Key.c_str()));
+  NodeId In = Result.Graph.addInput(Key);
+  Result.Inputs.push_back(In);
+  FluidBindings[Key] = In;
+  Out = In;
+  return true;
+}
+
+bool Lowerer::lowerMix(const Stmt &S) {
+  if (!countWetOp(S.Line))
+    return false;
+  std::vector<MixPart> Parts;
+  for (size_t I = 0; I < S.Operands.size(); ++I) {
+    NodeId Src;
+    if (!resolveOperand(S.Operands[I], Src))
+      return false;
+    std::int64_t Ratio = 1;
+    if (!S.Ratios.empty() && !evalExpr(*S.Ratios[I], Ratio))
+      return false;
+    if (Ratio < 1)
+      return fail(S.Line, format("mix ratio part %lld must be positive",
+                                 static_cast<long long>(Ratio)));
+    Parts.push_back(MixPart{Src, Ratio});
+  }
+  // Mixing a fluid with itself is meaningless and would break the DAG.
+  for (size_t I = 0; I < Parts.size(); ++I)
+    for (size_t J = I + 1; J < Parts.size(); ++J)
+      if (Parts[I].Source == Parts[J].Source)
+        return fail(S.Line, "a MIX cannot use the same fluid twice");
+
+  std::string Name;
+  std::string BindKey;
+  if (S.MixResult) {
+    auto DeclIt = FluidDecls.find(S.MixResult->Name);
+    if (DeclIt == FluidDecls.end())
+      return fail(S.Line, format("undeclared fluid '%s'",
+                                 S.MixResult->Name.c_str()));
+    if (!flattenKey(S.MixResult->Name, S.MixResult->Indices, DeclIt->second,
+                    S.Line, BindKey))
+      return false;
+    Name = BindKey;
+  } else {
+    Name = format("mix%d", ++MixCounter);
+  }
+
+  double Seconds;
+  {
+    std::int64_t Sec;
+    if (!evalExpr(*S.Seconds, Sec))
+      return false;
+    Seconds = static_cast<double>(Sec);
+  }
+  NodeId Mix = Result.Graph.addMix(Name, Parts, Seconds);
+  if (!BindKey.empty()) {
+    FluidBindings[BindKey] = Mix;
+    EverProduced.insert(BindKey);
+  }
+  It = Mix;
+  return true;
+}
+
+bool Lowerer::applyYieldHint(const Stmt &S, Node &N) {
+  std::int64_t Num, Den;
+  if (!evalExpr(*S.YieldNum, Num) || !evalExpr(*S.YieldDen, Den))
+    return false;
+  if (Num < 1 || Den < Num)
+    return fail(S.Line, format("yield hint %lld OF %lld must satisfy "
+                               "1 <= p <= q",
+                               static_cast<long long>(Num),
+                               static_cast<long long>(Den)));
+  N.OutFraction = Rational(Num, Den);
+  N.UnknownVolume = false;
+  return true;
+}
+
+bool Lowerer::lowerSeparate(const Stmt &S) {
+  if (!countWetOp(S.Line))
+    return false;
+  NodeId In;
+  if (!resolveOperand(S.Input, In))
+    return false;
+  if (!FluidDecls.count(S.EffluentName))
+    return fail(S.Line,
+                format("undeclared fluid '%s'", S.EffluentName.c_str()));
+  if (!FluidDecls.count(S.WasteName))
+    return fail(S.Line, format("undeclared fluid '%s'", S.WasteName.c_str()));
+
+  NodeId Sep =
+      Result.Graph.addUnary(NodeKind::Separate, S.EffluentName, In);
+  Node &N = Result.Graph.node(Sep);
+  // A separation's output volume is unknown until run time (Section 3.5)
+  // unless the programmer supplies a yield hint ("we model such a hint as
+  // a node whose output shrinks the input volume in the specified ratio").
+  if (S.YieldNum) {
+    if (!applyYieldHint(S, N))
+      return false;
+  } else {
+    N.UnknownVolume = true;
+  }
+  N.Params.Flavor = S.IsLC ? "LC" : "AF";
+  N.Params.Matrix = S.MatrixName;
+  N.Params.Pusher = S.UsingName;
+  std::int64_t Sec;
+  if (!evalExpr(*S.Seconds, Sec))
+    return false;
+  N.Params.Seconds = static_cast<double>(Sec);
+
+  FluidBindings[S.EffluentName] = Sep;
+  EverProduced.insert(S.EffluentName);
+  WasteNames.insert(S.WasteName);
+  It = Sep;
+  return true;
+}
+
+bool Lowerer::lowerUnaryOp(const Stmt &S) {
+  if (!countWetOp(S.Line))
+    return false;
+  NodeId In;
+  if (!resolveOperand(S.Input, In))
+    return false;
+  bool IsIncubate = S.K == Stmt::Kind::Incubate;
+  std::string Name = IsIncubate
+                         ? format("incubate%d", ++IncubateCounter)
+                         : format("concentrate%d", ++ConcentrateCounter);
+  NodeId N = Result.Graph.addUnary(
+      IsIncubate ? NodeKind::Incubate : NodeKind::Separate, Name, In);
+  Node &Nd = Result.Graph.node(N);
+  std::int64_t Temp, Sec;
+  if (!evalExpr(*S.Temp, Temp) || !evalExpr(*S.Seconds, Sec))
+    return false;
+  Nd.Params.TempC = static_cast<double>(Temp);
+  Nd.Params.Seconds = static_cast<double>(Sec);
+  if (!IsIncubate) {
+    // Concentration removes solvent: the yield is physically unknown at
+    // compile time, like a separation -- unless hinted.
+    Nd.Params.Flavor = "CONC";
+    if (S.YieldNum) {
+      if (!applyYieldHint(S, Nd))
+        return false;
+    } else {
+      Nd.UnknownVolume = true;
+    }
+  }
+  It = N;
+  return true;
+}
+
+bool Lowerer::lowerSense(const Stmt &S) {
+  if (!countWetOp(S.Line))
+    return false;
+  NodeId In;
+  if (!resolveOperand(S.Input, In))
+    return false;
+  auto DeclIt = VarDecls.find(S.SenseInto.Name);
+  if (DeclIt == VarDecls.end())
+    return fail(S.Line, format("undeclared result variable '%s'",
+                               S.SenseInto.Name.c_str()));
+  std::string Key;
+  if (!flattenKey(S.SenseInto.Name, S.SenseInto.Indices, DeclIt->second,
+                  S.Line, Key))
+    return false;
+
+  // Node name "sense_RESULT_1_2_3" for RESULT[1][2][3]: codegen strips the
+  // prefix to print the sense destination operand.
+  std::string NodeName = "sense_" + S.SenseInto.Name;
+  {
+    std::string Rest = Key.substr(S.SenseInto.Name.size());
+    for (char C : Rest) {
+      if (C == '[')
+        NodeName += '_';
+      else if (C != ']')
+        NodeName += C;
+    }
+  }
+  NodeId Sense = Result.Graph.addUnary(NodeKind::Sense, NodeName, In);
+  Result.Graph.node(Sense).Params.Flavor = S.SenseFlavor;
+  Result.Senses.push_back(SenseRecord{Sense, Key});
+  // Sensing consumes its portion; `it` still refers to the sensed product
+  // in the paper's examples, so leave It unchanged.
+  return true;
+}
+
+bool Lowerer::lowerDryAssign(const Stmt &S) {
+  auto DeclIt = VarDecls.find(S.Target.Name);
+  if (DeclIt == VarDecls.end()) {
+    if (FluidDecls.count(S.Target.Name))
+      return fail(S.Line, format("fluid '%s' cannot be assigned a dry value",
+                                 S.Target.Name.c_str()));
+    return fail(S.Line,
+                format("undeclared variable '%s'", S.Target.Name.c_str()));
+  }
+  std::string Key;
+  if (!flattenKey(S.Target.Name, S.Target.Indices, DeclIt->second, S.Line,
+                  Key))
+    return false;
+  std::int64_t Value;
+  if (!evalExpr(*S.Value, Value))
+    return false;
+  DryValues[Key] = Value;
+  return true;
+}
+
+bool Lowerer::lowerFor(const Stmt &S) {
+  std::int64_t From, To;
+  if (!evalExpr(*S.From, From) || !evalExpr(*S.To, To))
+    return false;
+  // The loop variable is implicitly a scalar dry variable.
+  VarDecls.try_emplace(S.LoopVar, std::vector<std::int64_t>{});
+  if (!VarDecls[S.LoopVar].empty())
+    return fail(S.Line,
+                format("loop variable '%s' is an array", S.LoopVar.c_str()));
+  for (std::int64_t I = From; I <= To; ++I) {
+    DryValues[S.LoopVar] = I;
+    for (const StmtPtr &Body : S.Body)
+      if (!lowerStmt(*Body))
+        return false;
+  }
+  return true;
+}
+
+bool Lowerer::lowerStmt(const Stmt &S) {
+  switch (S.K) {
+  case Stmt::Kind::FluidDecl:
+    for (const Stmt::Decl &D : S.Decls) {
+      if (FluidDecls.count(D.Name) || VarDecls.count(D.Name))
+        return fail(S.Line, format("redeclaration of '%s'", D.Name.c_str()));
+      FluidDecls[D.Name] = D.Dims;
+    }
+    return true;
+  case Stmt::Kind::VarDecl:
+    for (const Stmt::Decl &D : S.Decls) {
+      if (FluidDecls.count(D.Name) || VarDecls.count(D.Name))
+        return fail(S.Line, format("redeclaration of '%s'", D.Name.c_str()));
+      VarDecls[D.Name] = D.Dims;
+    }
+    return true;
+  case Stmt::Kind::DryAssign:
+    return lowerDryAssign(S);
+  case Stmt::Kind::Mix:
+    return lowerMix(S);
+  case Stmt::Kind::Separate:
+    return lowerSeparate(S);
+  case Stmt::Kind::Incubate:
+  case Stmt::Kind::Concentrate:
+    return lowerUnaryOp(S);
+  case Stmt::Kind::Sense:
+    return lowerSense(S);
+  case Stmt::Kind::For:
+    return lowerFor(S);
+  case Stmt::Kind::If: {
+    if (S.UnknownCond) {
+      // Run-time condition (`IF ?`): "we conservatively include both if
+      // and else paths in our DAG" (Section 3.5) -- both branches' uses
+      // reserve volume. Fluids bound inside either branch do not escape
+      // (which branch ran is unknowable at compile time), so bindings and
+      // `it` are restored afterwards and later uses of branch-local
+      // results are diagnosed as undefined.
+      auto SavedBindings = FluidBindings;
+      auto SavedDry = DryValues;
+      NodeId SavedIt = It;
+      // Branch-local state is rolled back, but input fluids first used
+      // inside a branch are global (both branches draw from the same
+      // reservoir), so their bindings are re-applied after the rollback.
+      auto RestoreState = [&] {
+        FluidBindings = SavedBindings;
+        DryValues = SavedDry;
+        It = SavedIt;
+        for (NodeId In : Result.Inputs)
+          FluidBindings[Result.Graph.node(In).Name] = In;
+      };
+      for (const StmtPtr &Body : S.Body)
+        if (!lowerStmt(*Body))
+          return false;
+      RestoreState();
+      for (const StmtPtr &Body : S.ElseBody)
+        if (!lowerStmt(*Body))
+          return false;
+      RestoreState();
+      return true;
+    }
+    // Compile-time conditions (loop indices, accumulated counters):
+    // non-zero selects the THEN branch.
+    std::int64_t Cond;
+    if (!evalExpr(*S.Cond, Cond))
+      return false;
+    for (const StmtPtr &Body : (Cond != 0 ? S.Body : S.ElseBody))
+      if (!lowerStmt(*Body))
+        return false;
+    return true;
+  }
+  }
+  AQUA_UNREACHABLE("bad Stmt kind");
+}
+
+} // namespace
+
+Expected<LoweredAssay> aqua::lang::lowerAssay(const Program &P) {
+  Lowerer L;
+  return L.run(P);
+}
+
+Expected<LoweredAssay> aqua::lang::compileAssay(std::string_view Source) {
+  Expected<Program> P = parseAssay(Source);
+  if (!P.ok())
+    return Expected<LoweredAssay>::error(P.message());
+  return lowerAssay(*P);
+}

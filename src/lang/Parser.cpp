@@ -1,0 +1,450 @@
+//===- Parser.cpp - Assay language parser --------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lang/Parser.h"
+
+#include "aqua/lang/Lexer.h"
+#include "aqua/support/StringUtils.h"
+
+using namespace aqua;
+using namespace aqua::lang;
+
+namespace {
+
+/// Recursive-descent parser over the token stream. Every parse method
+/// returns false after calling fail(), which records the first diagnostic.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Tokens(std::move(Tokens)) {}
+
+  Expected<Program> run() {
+    Program P;
+    if (!parseProgram(P))
+      return Expected<Program>::error(Diag);
+    return Expected<Program>(std::move(P));
+  }
+
+private:
+  const Token &peek(int Ahead = 0) const {
+    size_t I = Pos + static_cast<size_t>(Ahead);
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  const Token &advance() { return Tokens[Pos++]; }
+  bool check(TokenKind K) const { return peek().Kind == K; }
+
+  bool fail(const std::string &Msg) {
+    if (Diag.empty())
+      Diag = format("%d:%d: %s", peek().Line, peek().Col, Msg.c_str());
+    return false;
+  }
+
+  bool expect(TokenKind K) {
+    if (!check(K))
+      return fail(format("expected '%s', found '%s'", tokenKindName(K),
+                         peek().Text.empty() ? tokenKindName(peek().Kind)
+                                             : peek().Text.c_str()));
+    advance();
+    return true;
+  }
+
+  bool accept(TokenKind K) {
+    if (!check(K))
+      return false;
+    advance();
+    return true;
+  }
+
+  /// Statement separator: ';', optional right before END/ENDFOR.
+  bool expectTerminator() {
+    if (accept(TokenKind::Semicolon))
+      return true;
+    if (check(TokenKind::KwEnd) || check(TokenKind::KwEndFor))
+      return true;
+    return fail("expected ';'");
+  }
+
+  bool parseProgram(Program &P);
+  bool parseStmtList(std::vector<StmtPtr> &Out, TokenKind Closer);
+  bool parseStmt(StmtPtr &Out);
+  bool parseDeclList(Stmt &S);
+  bool parseMixTail(Stmt &S);
+  bool parseFluidRef(FluidRef &Ref);
+  bool parseExpr(ExprPtr &Out);
+  bool parseTerm(ExprPtr &Out);
+  bool parsePrimary(ExprPtr &Out);
+
+  std::vector<Token> Tokens;
+  size_t Pos = 0;
+  std::string Diag;
+};
+
+bool Parser::parseProgram(Program &P) {
+  if (!expect(TokenKind::KwAssay))
+    return false;
+  if (!check(TokenKind::Identifier))
+    return fail("expected assay name");
+  P.Name = advance().Text;
+  if (!expect(TokenKind::KwStart))
+    return false;
+  if (!parseStmtList(P.Stmts, TokenKind::KwEnd))
+    return false;
+  return expect(TokenKind::KwEnd);
+}
+
+bool Parser::parseStmtList(std::vector<StmtPtr> &Out, TokenKind Closer) {
+  while (!check(Closer)) {
+    if (check(TokenKind::Eof))
+      return fail(format("expected '%s'", tokenKindName(Closer)));
+    StmtPtr S;
+    if (!parseStmt(S))
+      return false;
+    Out.push_back(std::move(S));
+  }
+  return true;
+}
+
+bool Parser::parseDeclList(Stmt &S) {
+  do {
+    if (!check(TokenKind::Identifier))
+      return fail("expected declared name");
+    Stmt::Decl D;
+    D.Name = advance().Text;
+    while (accept(TokenKind::LBracket)) {
+      if (!check(TokenKind::Integer))
+        return fail("expected array dimension");
+      D.Dims.push_back(advance().IntValue);
+      if (!expect(TokenKind::RBracket))
+        return false;
+    }
+    S.Decls.push_back(std::move(D));
+  } while (accept(TokenKind::Comma));
+  return expectTerminator();
+}
+
+bool Parser::parseFluidRef(FluidRef &Ref) {
+  Ref.Line = peek().Line;
+  if (accept(TokenKind::KwIt)) {
+    Ref.IsIt = true;
+    return true;
+  }
+  if (!check(TokenKind::Identifier))
+    return fail("expected fluid name or 'it'");
+  Ref.Name = advance().Text;
+  while (accept(TokenKind::LBracket)) {
+    ExprPtr Index;
+    if (!parseExpr(Index))
+      return false;
+    Ref.Indices.push_back(std::move(Index));
+    if (!expect(TokenKind::RBracket))
+      return false;
+  }
+  return true;
+}
+
+bool Parser::parseMixTail(Stmt &S) {
+  S.K = Stmt::Kind::Mix;
+  FluidRef First;
+  if (!parseFluidRef(First))
+    return false;
+  S.Operands.push_back(std::move(First));
+  while (accept(TokenKind::KwAnd)) {
+    FluidRef Ref;
+    if (!parseFluidRef(Ref))
+      return false;
+    S.Operands.push_back(std::move(Ref));
+  }
+  if (S.Operands.size() < 2)
+    return fail("a MIX needs at least two operands");
+  if (accept(TokenKind::KwIn)) {
+    if (!expect(TokenKind::KwRatios))
+      return false;
+    ExprPtr R;
+    if (!parseExpr(R))
+      return false;
+    S.Ratios.push_back(std::move(R));
+    while (accept(TokenKind::Colon)) {
+      ExprPtr Next;
+      if (!parseExpr(Next))
+        return false;
+      S.Ratios.push_back(std::move(Next));
+    }
+    if (S.Ratios.size() != S.Operands.size())
+      return fail(format("MIX has %zu operands but %zu ratios",
+                         S.Operands.size(), S.Ratios.size()));
+  }
+  if (!expect(TokenKind::KwFor))
+    return false;
+  return parseExpr(S.Seconds);
+}
+
+bool Parser::parseStmt(StmtPtr &Out) {
+  auto S = std::make_unique<Stmt>();
+  S->Line = peek().Line;
+
+  switch (peek().Kind) {
+  case TokenKind::KwFluid:
+    advance();
+    S->K = Stmt::Kind::FluidDecl;
+    if (!parseDeclList(*S))
+      return false;
+    break;
+
+  case TokenKind::KwVar:
+    advance();
+    S->K = Stmt::Kind::VarDecl;
+    if (!parseDeclList(*S))
+      return false;
+    break;
+
+  case TokenKind::KwMix:
+    advance();
+    if (!parseMixTail(*S) || !expectTerminator())
+      return false;
+    break;
+
+  case TokenKind::KwSeparate:
+  case TokenKind::KwLCSeparate: {
+    S->K = Stmt::Kind::Separate;
+    S->IsLC = advance().Kind == TokenKind::KwLCSeparate;
+    if (!parseFluidRef(S->Input))
+      return false;
+    if (!expect(TokenKind::KwMatrix) || !check(TokenKind::Identifier))
+      return fail("expected matrix fluid name");
+    S->MatrixName = advance().Text;
+    if (!expect(TokenKind::KwUsing) || !check(TokenKind::Identifier))
+      return fail("expected pusher fluid name");
+    S->UsingName = advance().Text;
+    if (!expect(TokenKind::KwFor) || !parseExpr(S->Seconds))
+      return false;
+    if (accept(TokenKind::KwYield)) {
+      if (!parseExpr(S->YieldNum) || !expect(TokenKind::KwOf) ||
+          !parseExpr(S->YieldDen))
+        return false;
+    }
+    if (!expect(TokenKind::KwInto) || !check(TokenKind::Identifier))
+      return fail("expected effluent name");
+    S->EffluentName = advance().Text;
+    if (!expect(TokenKind::KwAnd) || !check(TokenKind::Identifier))
+      return fail("expected waste name");
+    S->WasteName = advance().Text;
+    if (!expectTerminator())
+      return false;
+    break;
+  }
+
+  case TokenKind::KwIncubate:
+  case TokenKind::KwConcentrate: {
+    S->K = peek().Kind == TokenKind::KwIncubate ? Stmt::Kind::Incubate
+                                                : Stmt::Kind::Concentrate;
+    advance();
+    if (!parseFluidRef(S->Input))
+      return false;
+    if (!expect(TokenKind::KwAt) || !parseExpr(S->Temp))
+      return false;
+    if (!expect(TokenKind::KwFor) || !parseExpr(S->Seconds))
+      return false;
+    if (accept(TokenKind::KwYield)) {
+      if (!parseExpr(S->YieldNum) || !expect(TokenKind::KwOf) ||
+          !parseExpr(S->YieldDen))
+        return false;
+    }
+    if (!expectTerminator())
+      return false;
+    break;
+  }
+
+  case TokenKind::KwSense: {
+    advance();
+    S->K = Stmt::Kind::Sense;
+    if (accept(TokenKind::KwOptical))
+      S->SenseFlavor = "OD";
+    else if (accept(TokenKind::KwFluorescence))
+      S->SenseFlavor = "FL";
+    else
+      return fail("expected OPTICAL or FLUORESCENCE");
+    if (!parseFluidRef(S->Input))
+      return false;
+    if (!expect(TokenKind::KwInto) || !parseFluidRef(S->SenseInto))
+      return false;
+    if (!expectTerminator())
+      return false;
+    break;
+  }
+
+  case TokenKind::KwFor: {
+    advance();
+    S->K = Stmt::Kind::For;
+    if (!check(TokenKind::Identifier))
+      return fail("expected loop variable");
+    S->LoopVar = advance().Text;
+    if (!expect(TokenKind::KwFrom) || !parseExpr(S->From))
+      return false;
+    if (!expect(TokenKind::KwTo) || !parseExpr(S->To))
+      return false;
+    if (!expect(TokenKind::KwStart))
+      return false;
+    if (!parseStmtList(S->Body, TokenKind::KwEndFor))
+      return false;
+    if (!expect(TokenKind::KwEndFor))
+      return false;
+    accept(TokenKind::Semicolon); // Optional after ENDFOR.
+    break;
+  }
+
+  case TokenKind::KwIf: {
+    advance();
+    S->K = Stmt::Kind::If;
+    if (accept(TokenKind::Question)) {
+      S->UnknownCond = true; // Run-time condition: include both paths.
+    } else if (!parseExpr(S->Cond)) {
+      return false;
+    }
+    if (!expect(TokenKind::KwStart))
+      return false;
+    // Body runs to ELSE or ENDIF.
+    while (!check(TokenKind::KwElse) && !check(TokenKind::KwEndIf)) {
+      if (check(TokenKind::Eof))
+        return fail("expected 'ENDIF'");
+      StmtPtr Body;
+      if (!parseStmt(Body))
+        return false;
+      S->Body.push_back(std::move(Body));
+    }
+    if (accept(TokenKind::KwElse)) {
+      while (!check(TokenKind::KwEndIf)) {
+        if (check(TokenKind::Eof))
+          return fail("expected 'ENDIF'");
+        StmtPtr Body;
+        if (!parseStmt(Body))
+          return false;
+        S->ElseBody.push_back(std::move(Body));
+      }
+    }
+    if (!expect(TokenKind::KwEndIf))
+      return false;
+    accept(TokenKind::Semicolon); // Optional after ENDIF.
+    break;
+  }
+
+  case TokenKind::Identifier: {
+    // `ref = MIX ...` or `ref = dry-expr`.
+    if (!parseFluidRef(S->Target))
+      return false;
+    if (!expect(TokenKind::Equals))
+      return false;
+    if (accept(TokenKind::KwMix)) {
+      if (!parseMixTail(*S))
+        return false;
+      S->MixResult = std::move(S->Target);
+      S->Target = FluidRef{};
+    } else {
+      S->K = Stmt::Kind::DryAssign;
+      if (!parseExpr(S->Value))
+        return false;
+    }
+    if (!expectTerminator())
+      return false;
+    break;
+  }
+
+  default:
+    return fail(format("unexpected token '%s'",
+                       peek().Text.empty() ? tokenKindName(peek().Kind)
+                                           : peek().Text.c_str()));
+  }
+
+  Out = std::move(S);
+  return true;
+}
+
+bool Parser::parseExpr(ExprPtr &Out) {
+  if (!parseTerm(Out))
+    return false;
+  while (check(TokenKind::Plus) || check(TokenKind::Minus)) {
+    char Op = advance().Text[0];
+    ExprPtr Rhs;
+    if (!parseTerm(Rhs))
+      return false;
+    auto Bin = std::make_unique<Expr>();
+    Bin->K = Expr::Kind::BinOp;
+    Bin->Op = Op;
+    Bin->Line = Out->Line;
+    Bin->Lhs = std::move(Out);
+    Bin->Rhs = std::move(Rhs);
+    Out = std::move(Bin);
+  }
+  return true;
+}
+
+bool Parser::parseTerm(ExprPtr &Out) {
+  if (!parsePrimary(Out))
+    return false;
+  while (check(TokenKind::Star) || check(TokenKind::Slash)) {
+    char Op = advance().Text[0];
+    ExprPtr Rhs;
+    if (!parsePrimary(Rhs))
+      return false;
+    auto Bin = std::make_unique<Expr>();
+    Bin->K = Expr::Kind::BinOp;
+    Bin->Op = Op;
+    Bin->Line = Out->Line;
+    Bin->Lhs = std::move(Out);
+    Bin->Rhs = std::move(Rhs);
+    Out = std::move(Bin);
+  }
+  return true;
+}
+
+bool Parser::parsePrimary(ExprPtr &Out) {
+  auto E = std::make_unique<Expr>();
+  E->Line = peek().Line;
+  if (check(TokenKind::Integer)) {
+    E->K = Expr::Kind::Number;
+    E->Value = advance().IntValue;
+    Out = std::move(E);
+    return true;
+  }
+  if (check(TokenKind::Minus)) {
+    // Unary minus: 0 - primary.
+    advance();
+    ExprPtr Inner;
+    if (!parsePrimary(Inner))
+      return false;
+    E->K = Expr::Kind::BinOp;
+    E->Op = '-';
+    E->Lhs = std::make_unique<Expr>();
+    E->Lhs->K = Expr::Kind::Number;
+    E->Lhs->Value = 0;
+    E->Rhs = std::move(Inner);
+    Out = std::move(E);
+    return true;
+  }
+  if (check(TokenKind::Identifier)) {
+    E->K = Expr::Kind::VarRef;
+    E->Name = advance().Text;
+    while (accept(TokenKind::LBracket)) {
+      ExprPtr Index;
+      if (!parseExpr(Index))
+        return false;
+      E->Indices.push_back(std::move(Index));
+      if (!expect(TokenKind::RBracket))
+        return false;
+    }
+    Out = std::move(E);
+    return true;
+  }
+  return fail("expected expression");
+}
+
+} // namespace
+
+Expected<Program> aqua::lang::parseAssay(std::string_view Source) {
+  Expected<std::vector<Token>> Tokens = tokenize(Source);
+  if (!Tokens.ok())
+    return Expected<Program>::error(Tokens.message());
+  Parser P(std::move(*Tokens));
+  return P.run();
+}

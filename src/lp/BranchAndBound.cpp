@@ -1,0 +1,156 @@
+//===- BranchAndBound.cpp - ILP via branch-and-bound -------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/BranchAndBound.h"
+
+#include "aqua/support/Timer.h"
+
+#include <cmath>
+#include <vector>
+
+using namespace aqua;
+using namespace aqua::lp;
+
+namespace {
+
+/// A pending subproblem: bound overrides on top of the root model.
+struct Node {
+  std::vector<std::pair<VarId, double>> LowerOverrides;
+  std::vector<std::pair<VarId, double>> UpperOverrides;
+};
+
+/// Returns the index of the most fractional integer-constrained variable,
+/// or -1 if all are integral within \p Tol.
+int pickBranchVar(const std::vector<double> &Values,
+                  const std::vector<bool> &IsInteger, double Tol) {
+  int Best = -1;
+  double BestDist = Tol;
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (!IsInteger[I])
+      continue;
+    double Frac = Values[I] - std::floor(Values[I]);
+    double Dist = std::min(Frac, 1.0 - Frac);
+    if (Dist > BestDist) {
+      BestDist = Dist;
+      Best = static_cast<int>(I);
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+IntSolution aqua::lp::solveInteger(const Model &M,
+                                   const std::vector<bool> &IsIntegerIn,
+                                   const IntOptions &Opts) {
+  WallTimer Timer;
+  IntSolution Result;
+
+  std::vector<bool> IsInteger = IsIntegerIn;
+  if (IsInteger.empty())
+    IsInteger.assign(M.numVars(), true);
+  assert(static_cast<int>(IsInteger.size()) == M.numVars() &&
+         "integrality mask size mismatch");
+
+  // Maximization sign: incumbent comparisons use Sign*objective so that
+  // larger is always better internally.
+  double Sign = M.isMaximize() ? 1.0 : -1.0;
+  double Incumbent = -Infinity;
+
+  std::vector<Node> Stack;
+  Stack.push_back(Node{});
+  bool Exhausted = true;
+
+  while (!Stack.empty()) {
+    if (Opts.MaxNodes > 0 && Result.Nodes >= Opts.MaxNodes) {
+      Exhausted = false;
+      break;
+    }
+    if (Opts.TimeLimitSec > 0.0 && Timer.seconds() > Opts.TimeLimitSec) {
+      Exhausted = false;
+      break;
+    }
+
+    Node N = std::move(Stack.back());
+    Stack.pop_back();
+    ++Result.Nodes;
+
+    Model Sub = M;
+    bool BadBounds = false;
+    for (auto &[V, L] : N.LowerOverrides) {
+      Sub.tightenLower(V, L);
+      if (Sub.var(V).Lower > Sub.var(V).Upper)
+        BadBounds = true;
+    }
+    for (auto &[V, U] : N.UpperOverrides) {
+      Sub.tightenUpper(V, U);
+      if (Sub.var(V).Lower > Sub.var(V).Upper)
+        BadBounds = true;
+    }
+    if (BadBounds)
+      continue;
+
+    SolverOptions LPOpts = Opts.LP;
+    if (Opts.TimeLimitSec > 0.0) {
+      double Remaining = Opts.TimeLimitSec - Timer.seconds();
+      if (LPOpts.Simplex.TimeLimitSec <= 0.0 ||
+          LPOpts.Simplex.TimeLimitSec > Remaining)
+        LPOpts.Simplex.TimeLimitSec = std::max(Remaining, 1e-3);
+    }
+    Solution Relax = solve(Sub, LPOpts);
+    if (Relax.Status == SolveStatus::Infeasible)
+      continue;
+    if (Relax.Status == SolveStatus::Unbounded) {
+      Result.Status = SolveStatus::Unbounded;
+      Result.Seconds = Timer.seconds();
+      return Result;
+    }
+    if (Relax.Status != SolveStatus::Optimal) {
+      // Budget expired inside the LP.
+      Exhausted = false;
+      break;
+    }
+
+    double Bound = Sign * Relax.Objective;
+    if (Bound <= Incumbent + 1e-9)
+      continue; // Pruned.
+
+    int BranchVar = pickBranchVar(Relax.Values, IsInteger, Opts.IntTol);
+    if (BranchVar < 0) {
+      // Integral: new incumbent.
+      Incumbent = Bound;
+      Result.HasIncumbent = true;
+      Result.Objective = Relax.Objective;
+      Result.Values = Relax.Values;
+      // Snap to exact integers for reporting.
+      for (size_t I = 0; I < Result.Values.size(); ++I)
+        if (IsInteger[I])
+          Result.Values[I] = std::round(Result.Values[I]);
+      continue;
+    }
+
+    double Val = Relax.Values[BranchVar];
+    Node Down = N, Up = N;
+    Down.UpperOverrides.push_back({BranchVar, std::floor(Val)});
+    Up.LowerOverrides.push_back({BranchVar, std::ceil(Val)});
+    // DFS: explore the branch nearest the LP value first.
+    if (Val - std::floor(Val) < 0.5) {
+      Stack.push_back(std::move(Up));
+      Stack.push_back(std::move(Down));
+    } else {
+      Stack.push_back(std::move(Down));
+      Stack.push_back(std::move(Up));
+    }
+  }
+
+  Result.Seconds = Timer.seconds();
+  if (Exhausted)
+    Result.Status =
+        Result.HasIncumbent ? SolveStatus::Optimal : SolveStatus::Infeasible;
+  else
+    Result.Status = SolveStatus::TimeLimit;
+  return Result;
+}

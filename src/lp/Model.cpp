@@ -1,0 +1,96 @@
+//===- Model.cpp - Linear program description ------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/Model.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <cmath>
+
+using namespace aqua;
+using namespace aqua::lp;
+
+double Model::objectiveValue(const std::vector<double> &Values) const {
+  assert(Values.size() == Vars.size() && "value vector size mismatch");
+  double Obj = 0.0;
+  for (size_t I = 0; I < Vars.size(); ++I)
+    Obj += Vars[I].ObjCoef * Values[I];
+  return Obj;
+}
+
+double Model::maxViolation(const std::vector<double> &Values) const {
+  assert(Values.size() == Vars.size() && "value vector size mismatch");
+  double Worst = 0.0;
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    const Variable &V = Vars[I];
+    if (V.Lower != -Infinity)
+      Worst = std::max(Worst, V.Lower - Values[I]);
+    if (V.Upper != Infinity)
+      Worst = std::max(Worst, Values[I] - V.Upper);
+  }
+  for (const Row &R : Rows) {
+    double Lhs = 0.0;
+    for (const Term &T : R.Terms)
+      Lhs += T.Coef * Values[T.Var];
+    switch (R.Kind) {
+    case RowKind::LE:
+      Worst = std::max(Worst, Lhs - R.Rhs);
+      break;
+    case RowKind::GE:
+      Worst = std::max(Worst, R.Rhs - Lhs);
+      break;
+    case RowKind::EQ:
+      Worst = std::max(Worst, std::fabs(Lhs - R.Rhs));
+      break;
+    }
+  }
+  return Worst;
+}
+
+std::string Model::str() const {
+  std::string Out = MaximizeFlag ? "maximize" : "minimize";
+  Out += "\n  ";
+  bool First = true;
+  for (size_t I = 0; I < Vars.size(); ++I) {
+    if (Vars[I].ObjCoef == 0.0)
+      continue;
+    if (!First)
+      Out += " + ";
+    Out += format("%g %s", Vars[I].ObjCoef, Vars[I].Name.c_str());
+    First = false;
+  }
+  if (First)
+    Out += "0";
+  Out += "\nsubject to\n";
+  for (const Row &R : Rows) {
+    Out += "  " + R.Name + ": ";
+    for (size_t I = 0; I < R.Terms.size(); ++I) {
+      if (I != 0)
+        Out += " + ";
+      Out += format("%g %s", R.Terms[I].Coef, Vars[R.Terms[I].Var].Name.c_str());
+    }
+    switch (R.Kind) {
+    case RowKind::LE:
+      Out += " <= ";
+      break;
+    case RowKind::GE:
+      Out += " >= ";
+      break;
+    case RowKind::EQ:
+      Out += " == ";
+      break;
+    }
+    Out += format("%g\n", R.Rhs);
+  }
+  Out += "bounds\n";
+  for (const Variable &V : Vars) {
+    Out += format("  %g <= %s", V.Lower, V.Name.c_str());
+    if (V.Upper != Infinity)
+      Out += format(" <= %g", V.Upper);
+    Out += "\n";
+  }
+  return Out;
+}

@@ -1,0 +1,279 @@
+//===- Presolve.cpp - Equality-substitution presolve ------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/Presolve.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace aqua;
+using namespace aqua::lp;
+
+namespace {
+
+constexpr double Eps = 1e-11;
+
+/// Mutable working form of the model during presolve. Rows keep their terms
+/// sorted by variable id with no duplicates and no ~zero coefficients.
+struct Work {
+  struct WRow {
+    RowKind Kind;
+    double Rhs;
+    std::vector<Term> Terms;
+    bool Alive = true;
+  };
+  struct WVar {
+    double Lower, Upper, ObjCoef;
+    bool Alive = true;
+  };
+
+  std::vector<WRow> Rows;
+  std::vector<WVar> Vars;
+  bool Infeasible = false;
+
+  explicit Work(const Model &M) {
+    Vars.reserve(M.numVars());
+    for (const Variable &V : M.vars())
+      Vars.push_back(WVar{V.Lower, V.Upper, V.ObjCoef, true});
+    Rows.reserve(M.numRows());
+    for (const Row &R : M.rows()) {
+      WRow W{R.Kind, R.Rhs, R.Terms, true};
+      normalize(W.Terms);
+      Rows.push_back(std::move(W));
+    }
+  }
+
+  static void normalize(std::vector<Term> &Terms) {
+    std::sort(Terms.begin(), Terms.end(),
+              [](const Term &A, const Term &B) { return A.Var < B.Var; });
+    size_t Out = 0;
+    for (size_t I = 0; I < Terms.size();) {
+      VarId V = Terms[I].Var;
+      double C = 0.0;
+      while (I < Terms.size() && Terms[I].Var == V)
+        C += Terms[I++].Coef;
+      if (std::fabs(C) > Eps)
+        Terms[Out++] = Term{V, C};
+    }
+    Terms.resize(Out);
+  }
+
+  /// Substitutes Var := Const + Expr into every row and the objective, then
+  /// kills the variable.
+  void substitute(VarId Var, double Const, const std::vector<Term> &Expr) {
+    for (WRow &R : Rows) {
+      if (!R.Alive)
+        continue;
+      auto It = std::find_if(R.Terms.begin(), R.Terms.end(),
+                             [&](const Term &T) { return T.Var == Var; });
+      if (It == R.Terms.end())
+        continue;
+      double C = It->Coef;
+      R.Terms.erase(It);
+      R.Rhs -= C * Const;
+      for (const Term &E : Expr)
+        R.Terms.push_back(Term{E.Var, C * E.Coef});
+      normalize(R.Terms);
+    }
+    double ObjC = Vars[Var].ObjCoef;
+    if (ObjC != 0.0)
+      for (const Term &E : Expr)
+        Vars[E.Var].ObjCoef += ObjC * E.Coef;
+    Vars[Var].Alive = false;
+  }
+
+  /// Folds the bounds of an eliminated variable Var = Const + Coef*Other
+  /// onto Other. Returns false if the LP becomes infeasible.
+  bool foldBounds(VarId Var, double Const, double Coef, VarId Other) {
+    double L = Vars[Var].Lower, U = Vars[Var].Upper;
+    // L <= Const + Coef*y <= U
+    if (Coef > 0) {
+      if (L != -Infinity)
+        Vars[Other].Lower = std::max(Vars[Other].Lower, (L - Const) / Coef);
+      if (U != Infinity)
+        Vars[Other].Upper = std::min(Vars[Other].Upper, (U - Const) / Coef);
+    } else {
+      if (L != -Infinity)
+        Vars[Other].Upper = std::min(Vars[Other].Upper, (L - Const) / Coef);
+      if (U != Infinity)
+        Vars[Other].Lower = std::max(Vars[Other].Lower, (U - Const) / Coef);
+    }
+    return Vars[Other].Lower <= Vars[Other].Upper + 1e-9;
+  }
+
+  /// True if `Const + Expr >= Bound` holds for every feasible point, using
+  /// only sign information (all coefficients nonnegative over nonnegative
+  /// variables).
+  bool provablyAtLeast(double Const, const std::vector<Term> &Expr,
+                       double Bound) const {
+    if (Bound == -Infinity)
+      return true;
+    for (const Term &T : Expr)
+      if (T.Coef < 0.0 || Vars[T.Var].Lower < 0.0)
+        return false;
+    return Const >= Bound - 1e-12;
+  }
+};
+
+} // namespace
+
+Presolved Presolved::run(const Model &M) {
+  Presolved P;
+  P.OriginalVarCount = M.numVars();
+  Work W(M);
+
+  bool Progress = true;
+  while (Progress && !W.Infeasible) {
+    Progress = false;
+    for (size_t RI = 0; RI < W.Rows.size(); ++RI) {
+      Work::WRow &R = W.Rows[RI];
+      if (!R.Alive || R.Kind != RowKind::EQ)
+        continue;
+
+      if (R.Terms.empty()) {
+        if (std::fabs(R.Rhs) > 1e-7)
+          W.Infeasible = true;
+        R.Alive = false;
+        ++P.Stats.RowsEliminated;
+        Progress = true;
+        continue;
+      }
+
+      if (R.Terms.size() == 1) {
+        // a*x = r fixes x.
+        VarId X = R.Terms[0].Var;
+        double Val = R.Rhs / R.Terms[0].Coef;
+        if (Val < W.Vars[X].Lower - 1e-9 || Val > W.Vars[X].Upper + 1e-9) {
+          W.Infeasible = true;
+          break;
+        }
+        Elimination E{X, Val, {}};
+        W.substitute(X, Val, {});
+        R.Alive = false;
+        P.Eliminations.push_back(std::move(E));
+        ++P.Stats.VarsEliminated;
+        ++P.Stats.RowsEliminated;
+        Progress = true;
+        continue;
+      }
+
+      if (R.Terms.size() == 2) {
+        // a*x + b*y = r  =>  x = r/a - (b/a)*y; fold x's bounds onto y.
+        VarId X = R.Terms[0].Var, Y = R.Terms[1].Var;
+        double A = R.Terms[0].Coef, B = R.Terms[1].Coef;
+        double Const = R.Rhs / A;
+        double Coef = -B / A;
+        if (!W.foldBounds(X, Const, Coef, Y)) {
+          W.Infeasible = true;
+          break;
+        }
+        Elimination E{X, Const, {Term{Y, Coef}}};
+        W.substitute(X, Const, E.Expr);
+        R.Alive = false;
+        P.Eliminations.push_back(std::move(E));
+        ++P.Stats.VarsEliminated;
+        ++P.Stats.RowsEliminated;
+        Progress = true;
+        continue;
+      }
+
+      // Multi-term equality: eliminate a variable whose bounds are provably
+      // satisfied by the defining expression (typical for node-volume
+      // definitions vol(v) = f * sum(in-edges) with vol(v) in [0, inf)).
+      int Pick = -1;
+      double Const = 0.0;
+      std::vector<Term> Expr;
+      for (size_t TI = 0; TI < R.Terms.size() && Pick < 0; ++TI) {
+        VarId X = R.Terms[TI].Var;
+        double A = R.Terms[TI].Coef;
+        if (W.Vars[X].Upper != Infinity)
+          continue;
+        double TryConst = R.Rhs / A;
+        std::vector<Term> TryExpr;
+        TryExpr.reserve(R.Terms.size() - 1);
+        for (size_t TJ = 0; TJ < R.Terms.size(); ++TJ)
+          if (TJ != TI)
+            TryExpr.push_back(Term{R.Terms[TJ].Var, -R.Terms[TJ].Coef / A});
+        if (!W.provablyAtLeast(TryConst, TryExpr, W.Vars[X].Lower))
+          continue;
+        Pick = static_cast<int>(TI);
+        Const = TryConst;
+        Expr = std::move(TryExpr);
+      }
+      if (Pick < 0)
+        continue;
+      VarId X = R.Terms[Pick].Var;
+      Elimination E{X, Const, Expr};
+      W.substitute(X, Const, Expr);
+      R.Alive = false;
+      P.Eliminations.push_back(std::move(E));
+      ++P.Stats.VarsEliminated;
+      ++P.Stats.RowsEliminated;
+      Progress = true;
+    }
+  }
+
+  P.Infeasible = W.Infeasible;
+  if (P.Infeasible)
+    return P;
+
+  // Build the reduced model with renumbered variables.
+  std::vector<int> NewIndex(M.numVars(), -1);
+  for (VarId V = 0; V < M.numVars(); ++V) {
+    if (!W.Vars[V].Alive)
+      continue;
+    NewIndex[V] = P.ReducedModel.addVar(M.var(V).Name, W.Vars[V].Lower,
+                                        W.Vars[V].Upper, W.Vars[V].ObjCoef);
+    P.AliveVars.push_back(V);
+  }
+  P.ReducedModel.setMaximize(M.isMaximize());
+  for (size_t RI = 0; RI < W.Rows.size(); ++RI) {
+    const Work::WRow &R = W.Rows[RI];
+    if (!R.Alive)
+      continue;
+    if (R.Terms.empty()) {
+      // Constant row: verify consistency and drop.
+      bool Ok = true;
+      switch (R.Kind) {
+      case RowKind::LE:
+        Ok = 0.0 <= R.Rhs + 1e-7;
+        break;
+      case RowKind::GE:
+        Ok = 0.0 >= R.Rhs - 1e-7;
+        break;
+      case RowKind::EQ:
+        Ok = std::fabs(R.Rhs) <= 1e-7;
+        break;
+      }
+      if (!Ok)
+        P.Infeasible = true;
+      continue;
+    }
+    std::vector<Term> Terms;
+    Terms.reserve(R.Terms.size());
+    for (const Term &T : R.Terms)
+      Terms.push_back(Term{NewIndex[T.Var], T.Coef});
+    P.ReducedModel.addRow(M.row(static_cast<RowId>(RI)).Name, R.Kind, R.Rhs,
+                          std::move(Terms));
+  }
+  return P;
+}
+
+std::vector<double>
+Presolved::postsolve(const std::vector<double> &ReducedValues) const {
+  assert(ReducedValues.size() == AliveVars.size() &&
+         "reduced value vector size mismatch");
+  std::vector<double> Full(OriginalVarCount, 0.0);
+  for (size_t I = 0; I < AliveVars.size(); ++I)
+    Full[AliveVars[I]] = ReducedValues[I];
+  for (auto It = Eliminations.rbegin(); It != Eliminations.rend(); ++It) {
+    double Val = It->Const;
+    for (const Term &T : It->Expr)
+      Val += T.Coef * Full[T.Var];
+    Full[It->Var] = Val;
+  }
+  return Full;
+}

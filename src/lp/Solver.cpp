@@ -1,0 +1,46 @@
+//===- Solver.cpp - Presolve-enabled LP entry point -------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/Solver.h"
+
+#include "aqua/support/Timer.h"
+
+using namespace aqua;
+using namespace aqua::lp;
+
+Solution aqua::lp::solve(const Model &M, const SolverOptions &Opts,
+                         SolveInfo *Info) {
+  WallTimer Timer;
+  if (!Opts.Presolve) {
+    Solution Sol = solveSimplex(M, Opts.Simplex);
+    Sol.Seconds = Timer.seconds();
+    return Sol;
+  }
+
+  Presolved P = Presolved::run(M);
+  if (Info) {
+    Info->Presolve = P.stats();
+    Info->ReducedRows = P.reduced().numRows();
+    Info->ReducedVars = P.reduced().numVars();
+  }
+  if (P.provenInfeasible()) {
+    Solution Sol;
+    Sol.Status = SolveStatus::Infeasible;
+    Sol.Seconds = Timer.seconds();
+    return Sol;
+  }
+
+  Solution Reduced = solveSimplex(P.reduced(), Opts.Simplex);
+  Solution Sol;
+  Sol.Status = Reduced.Status;
+  Sol.Iterations = Reduced.Iterations;
+  Sol.Seconds = Timer.seconds();
+  if (Reduced.Status == SolveStatus::Optimal) {
+    Sol.Values = P.postsolve(Reduced.Values);
+    Sol.Objective = M.objectiveValue(Sol.Values);
+  }
+  return Sol;
+}

@@ -1,0 +1,47 @@
+//===- Fluid.cpp - Simulated fluid state ----------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/runtime/Fluid.h"
+
+#include <algorithm>
+
+using namespace aqua::runtime;
+
+Fluid Fluid::pure(std::string Name, double VolumeNl) {
+  Fluid F;
+  F.VolumeNl = VolumeNl;
+  F.Composition[std::move(Name)] = 1.0;
+  return F;
+}
+
+void Fluid::add(const Fluid &Other) {
+  if (Other.empty())
+    return;
+  double Total = VolumeNl + Other.VolumeNl;
+  for (auto &[Name, Frac] : Composition)
+    Frac = Frac * VolumeNl / Total;
+  for (const auto &[Name, Frac] : Other.Composition)
+    Composition[Name] += Frac * Other.VolumeNl / Total;
+  VolumeNl = Total;
+}
+
+Fluid Fluid::take(double TakeNl) {
+  TakeNl = std::clamp(TakeNl, 0.0, VolumeNl);
+  Fluid Out;
+  Out.VolumeNl = TakeNl;
+  Out.Composition = Composition;
+  VolumeNl -= TakeNl;
+  if (VolumeNl <= 1e-12) {
+    VolumeNl = 0.0;
+    Composition.clear();
+  }
+  return Out;
+}
+
+double Fluid::fractionOf(const std::string &Name) const {
+  auto It = Composition.find(Name);
+  return It == Composition.end() ? 0.0 : It->second;
+}

@@ -1,0 +1,341 @@
+//===- Simulator.cpp - AquaCore PLoC simulator ----------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/runtime/Simulator.h"
+
+#include "aqua/support/Random.h"
+#include "aqua/support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+using namespace aqua;
+using namespace aqua::codegen;
+using namespace aqua::ir;
+using namespace aqua::runtime;
+
+namespace {
+
+/// Dense key for a location.
+int locKey(const Loc &L) {
+  return (static_cast<int>(L.Kind) << 20) | (L.Index << 4) |
+         static_cast<int>(L.Sub);
+}
+
+class Machine {
+public:
+  Machine(const AISProgram &Program, const SimOptions &Opts)
+      : Prog(Program), Opts(Opts), Rng(Opts.Seed) {
+    planRelativeMoves();
+    for (size_t I = 0; I < Prog.Instrs.size(); ++I) {
+      NodeId N = Prog.Instrs[I].Node;
+      if (N != InvalidNode)
+        NodeInstrs[N].push_back(static_cast<int>(I));
+    }
+  }
+
+  SimResult run() {
+    for (size_t I = 0; I < Prog.Instrs.size() && Result.Error.empty(); ++I)
+      exec(static_cast<int>(I), /*Depth=*/0);
+    Result.Completed = Result.Error.empty();
+    return std::move(Result);
+  }
+
+private:
+  void fail(int Idx, const std::string &Msg) {
+    if (Result.Error.empty())
+      Result.Error = format("instr %d (%s): %s", Idx,
+                            Prog.Instrs[Idx].str().c_str(), Msg.c_str());
+  }
+
+  double quantize(double VolNl) const {
+    double Lc = Opts.Spec.LeastCountNl;
+    return std::round(VolNl / Lc) * Lc;
+  }
+
+  Fluid &at(const Loc &L) { return Contents[locKey(L)]; }
+
+  /// Computes the planned absolute volume of every relative move: the
+  /// consuming unit is filled to capacity at the requested part ratio (the
+  /// naive no-volume-management policy).
+  void planRelativeMoves() {
+    Planned.assign(Prog.Instrs.size(), -1.0);
+    std::vector<char> Done(Prog.Instrs.size(), 0);
+    for (size_t I = 0; I < Prog.Instrs.size(); ++I) {
+      const Instruction &In = Prog.Instrs[I];
+      if (In.Op != Opcode::Move || In.RelParts <= 0 || Done[I])
+        continue;
+      // Gather the group of part-moves into the same unit up to the unit's
+      // operation instruction.
+      std::vector<size_t> Group;
+      std::int64_t Total = 0;
+      for (size_t J = I; J < Prog.Instrs.size(); ++J) {
+        const Instruction &C = Prog.Instrs[J];
+        bool SameUnit = C.Dst.Kind == In.Dst.Kind && C.Dst.Index == In.Dst.Index;
+        if (C.Op == Opcode::Move && SameUnit && C.RelParts > 0) {
+          Group.push_back(J);
+          Total += C.RelParts;
+          continue;
+        }
+        if (SameUnit && C.Op != Opcode::Move && C.Op != Opcode::MoveAbs &&
+            C.Op != Opcode::Input)
+          break; // The consuming operation.
+      }
+      for (size_t J : Group) {
+        Planned[J] = Opts.Spec.MaxCapacityNl *
+                     static_cast<double>(Prog.Instrs[J].RelParts) /
+                     static_cast<double>(Total);
+        Done[J] = 1;
+      }
+    }
+  }
+
+  /// Re-executes the production of the value written by instruction
+  /// \p WriterIdx. Returns false when regeneration is impossible.
+  bool regenerate(int WriterIdx, int Depth) {
+    if (Depth > 24)
+      return false;
+    const Instruction &W = Prog.Instrs[WriterIdx];
+    ++Result.Regenerations;
+
+    if (W.Op == Opcode::Input) {
+      exec(WriterIdx, Depth + 1);
+      return true;
+    }
+    if (!Opts.Graph || W.Node == InvalidNode)
+      return false;
+
+    // Re-execute the backward slice of the producing node, in program
+    // order. Functional-unit contents are stashed so in-flight values are
+    // not polluted, then merged back.
+    std::vector<std::pair<int, Fluid>> Stash;
+    for (auto &[Key, F] : Contents) {
+      LocKind Kind = static_cast<LocKind>(Key >> 20);
+      if (Kind == LocKind::Mixer || Kind == LocKind::Heater ||
+          Kind == LocKind::Sensor || Kind == LocKind::Separator) {
+        if (!F.empty())
+          Stash.emplace_back(Key, std::move(F));
+        F = Fluid();
+      }
+    }
+
+    std::set<int> Replay;
+    for (NodeId N : Opts.Graph->backwardSlice(W.Node)) {
+      auto It = NodeInstrs.find(N);
+      if (It == NodeInstrs.end())
+        continue;
+      for (int Idx : It->second)
+        Replay.insert(Idx);
+    }
+    for (int Idx : Replay) {
+      if (!Result.Error.empty())
+        return false;
+      exec(Idx, Depth + 1);
+    }
+
+    for (auto &[Key, F] : Stash) {
+      Fluid &Cur = Contents[Key];
+      if (!Cur.empty() && !F.empty())
+        ++Result.OverflowEvents; // Collision; merge (rare by construction).
+      Cur.add(F);
+    }
+    return true;
+  }
+
+  /// Transfers \p RequestNl (or everything when < 0) from Src to Dst.
+  void transfer(int Idx, const Loc &Src, const Loc &Dst, double RequestNl,
+                int Depth) {
+    double Lc = Opts.Spec.LeastCountNl;
+    Fluid &S = at(Src);
+
+    double Needed = RequestNl >= 0.0 ? quantize(RequestNl) : -1.0;
+    if (Needed >= 0.0 && Needed < Lc - 1e-12) {
+      // Below the hardware's metering resolution: nothing moves.
+      if (RequestNl > 1e-12)
+        ++Result.SubLeastCountMoves;
+      return;
+    }
+
+    // Shortage handling with reactive regeneration.
+    double Want = Needed >= 0.0 ? Needed : Lc;
+    if (S.VolumeNl + 1e-9 < Want)
+      ++Result.UnderflowEvents;
+    for (int Retry = 0; S.VolumeNl + 1e-9 < Want; ++Retry) {
+      if (!Opts.EnableRegeneration || Retry >= Opts.MaxRegenRetries)
+        break;
+      auto WriterIt = Writer.find(locKey(Src));
+      if (WriterIt == Writer.end())
+        break;
+      if (!regenerate(WriterIt->second, Depth))
+        break;
+    }
+
+    Fluid &D = at(Dst);
+    double Free = Dst.Kind == LocKind::OutputPort
+                      ? 1e18
+                      : Opts.Spec.MaxCapacityNl - D.VolumeNl;
+    double Amount = Needed >= 0.0 ? std::min(Needed, S.VolumeNl) : S.VolumeNl;
+    if (Amount > Free + 1e-9) {
+      ++Result.OverflowEvents;
+      Amount = std::max(0.0, std::floor(Free / Lc) * Lc);
+    }
+    if (Amount <= 1e-12)
+      return;
+    if (Dst.Kind == LocKind::OutputPort) {
+      S.take(Amount); // Delivered off-chip.
+    } else {
+      D.add(S.take(Amount));
+      Writer[locKey(Dst)] = Idx;
+    }
+    Result.FluidSeconds += Opts.MoveSeconds;
+  }
+
+  double separationYield() {
+    if (Opts.FixedSeparationYield >= 0.0)
+      return Opts.FixedSeparationYield;
+    return Opts.MinSeparationYield +
+           (Opts.MaxSeparationYield - Opts.MinSeparationYield) *
+               Rng.nextUnit();
+  }
+
+  void exec(int Idx, int Depth) {
+    if (!Result.Error.empty())
+      return;
+    const Instruction &I = Prog.Instrs[Idx];
+    ++Result.InstructionsExecuted;
+
+    switch (I.Op) {
+    case Opcode::Input: {
+      // Top the reservoir up from the external port (unbounded supply).
+      Fluid &D = at(I.Dst);
+      double Draw = quantize(Opts.Spec.MaxCapacityNl - D.VolumeNl);
+      if (Draw > 0.0) {
+        D.add(Fluid::pure(I.Note, Draw));
+        Result.InputDrawnNl[I.Note] += Draw;
+        Result.FluidSeconds += Opts.MoveSeconds;
+      }
+      Writer[locKey(I.Dst)] = Idx;
+      return;
+    }
+
+    case Opcode::Move:
+      transfer(Idx, I.Src, I.Dst,
+               I.RelParts > 0 ? Planned[Idx] : -1.0, Depth);
+      return;
+
+    case Opcode::MoveAbs:
+      transfer(Idx, I.Src, I.Dst, I.VolumeNl, Depth);
+      return;
+
+    case Opcode::Mix: {
+      if (at(I.Dst).empty()) {
+        fail(Idx, "mix on an empty unit");
+        return;
+      }
+      Result.FluidSeconds += I.Seconds;
+      Writer[locKey(I.Dst)] = Idx;
+      return;
+    }
+
+    case Opcode::Incubate: {
+      if (at(I.Dst).empty()) {
+        fail(Idx, "incubate on an empty unit");
+        return;
+      }
+      Result.FluidSeconds += I.Seconds;
+      Writer[locKey(I.Dst)] = Idx;
+      return;
+    }
+
+    case Opcode::Concentrate: {
+      Fluid &F = at(I.Dst);
+      if (F.empty()) {
+        fail(Idx, "concentrate on an empty unit");
+        return;
+      }
+      // Solvent removal: the retained volume fraction is unknowable at
+      // compile time; it comes from the seeded RNG (or the fixed yield).
+      double Keep = separationYield();
+      F.take(F.VolumeNl * (1.0 - Keep));
+      Result.FluidSeconds += I.Seconds;
+      Writer[locKey(I.Dst)] = Idx;
+      return;
+    }
+
+    case Opcode::SeparateAF:
+    case Opcode::SeparateLC: {
+      Fluid &Main = at(I.Dst);
+      if (Main.empty()) {
+        fail(Idx, "separate on an empty unit");
+        return;
+      }
+      Loc Out = I.Dst;
+      Out.Sub = SubPort::Out1;
+      double Yield = separationYield();
+      Fluid Effluent = Main.take(Main.VolumeNl * Yield);
+      Main = Fluid(); // The rest leaves as waste.
+      // The matrix and pusher are consumed by the separation.
+      Loc Matrix = I.Dst;
+      Matrix.Sub = SubPort::Matrix;
+      at(Matrix) = Fluid();
+      Loc Pusher = I.Dst;
+      Pusher.Sub = SubPort::Pusher;
+      at(Pusher) = Fluid();
+      at(Out) = std::move(Effluent);
+      Writer[locKey(Out)] = Idx;
+      Result.FluidSeconds += I.Seconds;
+      return;
+    }
+
+    case Opcode::SenseOD:
+    case Opcode::SenseFL: {
+      Fluid &F = at(I.Dst);
+      if (F.empty()) {
+        fail(Idx, "sense on an empty unit");
+        return;
+      }
+      SenseReading R;
+      R.Name = I.Note;
+      R.VolumeNl = F.VolumeNl;
+      R.Composition = F.Composition;
+      // During regeneration replays the sense itself is not repeated...
+      // but a replayed slice never contains a Sense (senses are leaves),
+      // so every execution records a fresh reading.
+      Result.Senses.push_back(std::move(R));
+      F = Fluid(); // Sensing consumes its sample.
+      Result.FluidSeconds += 1.0;
+      return;
+    }
+
+    case Opcode::Output: {
+      Fluid &S = at(I.Src);
+      S = Fluid();
+      Result.FluidSeconds += Opts.MoveSeconds;
+      return;
+    }
+    }
+    AQUA_UNREACHABLE("bad Opcode");
+  }
+
+  const AISProgram &Prog;
+  const SimOptions &Opts;
+  SplitMix64 Rng;
+  SimResult Result;
+
+  std::map<int, Fluid> Contents;
+  std::map<int, int> Writer; // locKey -> last producing instruction.
+  std::map<NodeId, std::vector<int>> NodeInstrs;
+  std::vector<double> Planned; // Per-instruction planned volume (relative).
+};
+
+} // namespace
+
+SimResult aqua::runtime::simulate(const AISProgram &Program,
+                                  const SimOptions &Opts) {
+  Machine M(Program, Opts);
+  return M.run();
+}

@@ -1,0 +1,16 @@
+//===- Fatal.cpp - Fatal errors and unreachable ---------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/support/Fatal.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+void aqua::reportFatalError(std::string_view Msg) {
+  std::fprintf(stderr, "aquavol fatal error: %.*s\n",
+               static_cast<int>(Msg.size()), Msg.data());
+  std::abort();
+}

@@ -1,0 +1,80 @@
+//===- StringUtils.cpp - String helpers -----------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/support/StringUtils.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace aqua;
+
+std::string aqua::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  va_list ArgsCopy;
+  va_copy(ArgsCopy, Args);
+  int Size = std::vsnprintf(nullptr, 0, Fmt, Args);
+  va_end(Args);
+  std::string Result(Size > 0 ? static_cast<size_t>(Size) : 0, '\0');
+  if (Size > 0)
+    std::vsnprintf(Result.data(), Result.size() + 1, Fmt, ArgsCopy);
+  va_end(ArgsCopy);
+  return Result;
+}
+
+std::string aqua::formatTrimmed(double Value, int Digits) {
+  std::string S = format("%.*f", Digits, Value);
+  if (S.find('.') == std::string::npos)
+    return S;
+  while (!S.empty() && S.back() == '0')
+    S.pop_back();
+  if (!S.empty() && S.back() == '.')
+    S.pop_back();
+  return S;
+}
+
+std::string aqua::join(const std::vector<std::string> &Parts,
+                       std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Result += Sep;
+    Result += Parts[I];
+  }
+  return Result;
+}
+
+std::vector<std::string> aqua::split(std::string_view Text, char Sep) {
+  std::vector<std::string> Parts;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Text.size(); ++I) {
+    if (I == Text.size() || Text[I] == Sep) {
+      Parts.emplace_back(Text.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Parts;
+}
+
+static bool isSpaceChar(char C) {
+  return C == ' ' || C == '\t' || C == '\n' || C == '\r' || C == '\f' ||
+         C == '\v';
+}
+
+std::string_view aqua::trim(std::string_view Text) {
+  size_t Begin = 0;
+  size_t End = Text.size();
+  while (Begin < End && isSpaceChar(Text[Begin]))
+    ++Begin;
+  while (End > Begin && isSpaceChar(Text[End - 1]))
+    --End;
+  return Text.substr(Begin, End - Begin);
+}
+
+bool aqua::startsWith(std::string_view Text, std::string_view Prefix) {
+  return Text.size() >= Prefix.size() &&
+         Text.substr(0, Prefix.size()) == Prefix;
+}

@@ -1,0 +1,189 @@
+//===- CodegenTest.cpp - AIS code generation tests ------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/codegen/Codegen.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Cascading.h"
+#include "aqua/core/Manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace aqua;
+using namespace aqua::codegen;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+namespace {
+
+std::map<Opcode, int> opcodeCounts(const AISProgram &P) {
+  std::map<Opcode, int> Counts;
+  for (const Instruction &I : P.Instrs)
+    ++Counts[I.Op];
+  return Counts;
+}
+
+} // namespace
+
+TEST(Codegen, GlucoseRelativeProgram) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  auto P = generateAIS(G);
+  ASSERT_TRUE(P.ok()) << P.message();
+
+  // 3 inputs; 5 mixes x (2 moves + mix); 5 senses x (move + sense).
+  auto Counts = opcodeCounts(*P);
+  EXPECT_EQ(Counts[Opcode::Input], 3);
+  EXPECT_EQ(Counts[Opcode::Mix], 5);
+  EXPECT_EQ(Counts[Opcode::Move], 5 * 2 + 5);
+  EXPECT_EQ(Counts[Opcode::SenseOD], 5);
+  EXPECT_EQ(P->Instrs.size(), 3u + 15u + 10u);
+
+  // Single-use mixes are forwarded unit-to-unit: one mixer, one sensor,
+  // only the three input reservoirs.
+  EXPECT_EQ(P->UsedReservoirs, 3);
+  EXPECT_EQ(P->UsedMixers, 1);
+  EXPECT_EQ(P->UsedSensors, 1);
+
+  // Paper-style text (Figure 9b).
+  std::string Text = P->str();
+  EXPECT_NE(Text.find("input s1, ip1 ;Glucose"), std::string::npos);
+  EXPECT_NE(Text.find("mix mixer1, 10"), std::string::npos);
+  EXPECT_NE(Text.find("move mixer1, s2, 8"), std::string::npos); // 1:8 mix.
+  EXPECT_NE(Text.find("sense.OD sensor1, Result_1"), std::string::npos);
+}
+
+TEST(Codegen, GlucoseManagedProgram) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  MachineSpec Spec;
+  DagSolveResult R = dagSolve(G, Spec);
+  ASSERT_TRUE(R.Feasible);
+
+  CodegenOptions Opts;
+  Opts.Mode = VolumeMode::Managed;
+  Opts.Volumes = &R.Volumes;
+  auto P = generateAIS(G, MachineLayout{}, Opts);
+  ASSERT_TRUE(P.ok()) << P.message();
+
+  // Operand moves carry metered volumes; every metered volume respects the
+  // least count.
+  int MeteredMoves = 0;
+  double MinVol = 1e9;
+  for (const Instruction &I : P->Instrs) {
+    if (I.Op != Opcode::MoveAbs)
+      continue;
+    ++MeteredMoves;
+    MinVol = std::min(MinVol, I.VolumeNl);
+  }
+  EXPECT_EQ(MeteredMoves, 15); // One per DAG edge.
+  EXPECT_NEAR(MinVol, 500.0 / 151.0, 1e-9); // Figure 12's 3.31 nl.
+}
+
+TEST(Codegen, GlycomicsUsesSeparators) {
+  AssayGraph G = assays::buildGlycomicsAssay();
+  auto P = generateAIS(G);
+  ASSERT_TRUE(P.ok()) << P.message();
+
+  auto Counts = opcodeCounts(*P);
+  // 7 declared inputs + lectin/buffer1b/C_18/buffer3b aux fluids.
+  EXPECT_EQ(Counts[Opcode::Input], 7 + 4);
+  EXPECT_EQ(Counts[Opcode::SeparateAF], 1);
+  EXPECT_EQ(Counts[Opcode::SeparateLC], 2);
+  // The final mix is an assay product, delivered to an output port.
+  EXPECT_EQ(Counts[Opcode::Output], 1);
+  EXPECT_GE(P->UsedSeparators, 1);
+
+  std::string Text = P->str();
+  EXPECT_NE(Text.find("separator1.matrix"), std::string::npos);
+  EXPECT_NE(Text.find("separator1.pusher"), std::string::npos);
+  EXPECT_NE(Text.find("separator1.out1"), std::string::npos);
+  EXPECT_NE(Text.find("incubate heater1, 37, 30"), std::string::npos);
+}
+
+TEST(Codegen, EnzymeReservoirAllocation) {
+  AssayGraph G = assays::buildEnzymeAssay(4);
+  auto P = generateAIS(G);
+  ASSERT_TRUE(P.ok()) << P.message();
+  // Peak pressure: 12 dilutions plus the still-live inputs, with freed
+  // input reservoirs recycled for later dilutions.
+  EXPECT_GE(P->UsedReservoirs, 12);
+  EXPECT_LE(P->UsedReservoirs, 16);
+  auto Counts = opcodeCounts(*P);
+  EXPECT_EQ(Counts[Opcode::Mix], 12 + 64);
+  EXPECT_EQ(Counts[Opcode::Incubate], 64);
+  EXPECT_EQ(Counts[Opcode::SenseOD], 64);
+}
+
+TEST(Codegen, ReservoirExhaustionReported) {
+  AssayGraph G = assays::buildEnzymeAssay(4);
+  MachineLayout Tiny;
+  Tiny.Reservoirs = 6;
+  auto P = generateAIS(G, Tiny);
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.message().find("reservoirs"), std::string::npos);
+}
+
+TEST(Codegen, CascadedGraphEmitsExcessToWaste) {
+  MachineSpec Spec;
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 99}}, 10.0);
+  G.addUnary(NodeKind::Sense, "sense_R_1", M);
+  ASSERT_TRUE(cascadeMix(G, M, 2).ok());
+
+  ManagerResult R = manageVolumes(G, Spec);
+  ASSERT_TRUE(R.Feasible);
+
+  CodegenOptions Opts;
+  Opts.Mode = VolumeMode::Managed;
+  Opts.Volumes = &R.Volumes;
+  auto P = generateAIS(R.Graph, MachineLayout{}, Opts);
+  ASSERT_TRUE(P.ok()) << P.message();
+  // The cascade intermediate's excess goes to the waste port.
+  auto Counts = opcodeCounts(*P);
+  EXPECT_GE(Counts[Opcode::Output], 1);
+}
+
+TEST(Codegen, ManagedModeRequiresVolumes) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  CodegenOptions Opts;
+  Opts.Mode = VolumeMode::Managed;
+  auto P = generateAIS(G, MachineLayout{}, Opts);
+  ASSERT_FALSE(P.ok());
+  EXPECT_NE(P.message().find("volume assignment"), std::string::npos);
+}
+
+TEST(Codegen, MixerParkingSpillsWhenExhausted) {
+  // Three mixes whose values are all alive before a final 3-input mix:
+  // with 2 mixers one parked value must spill to a reservoir.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M1 = G.addMix("m1", {{A, 1}, {B, 1}});
+  NodeId M2 = G.addMix("m2", {{A, 1}, {B, 2}});
+  NodeId M3 = G.addMix("m3", {{A, 1}, {B, 3}});
+  NodeId Final = G.addMix("final", {{M1, 1}, {M2, 1}, {M3, 1}});
+  G.addUnary(NodeKind::Sense, "sense_R_1", Final);
+  ASSERT_TRUE(G.verify().ok());
+
+  auto P = generateAIS(G);
+  ASSERT_TRUE(P.ok()) << P.message();
+  // A spill move into a reservoir beyond the two input reservoirs.
+  EXPECT_GE(P->UsedReservoirs, 3);
+  EXPECT_LE(P->UsedMixers, 2);
+}
+
+TEST(Codegen, LocAndOpcodeNames) {
+  EXPECT_EQ((Loc{LocKind::Reservoir, 4, SubPort::None}).str(), "s4");
+  EXPECT_EQ((Loc{LocKind::Separator, 2, SubPort::Out1}).str(),
+            "separator2.out1");
+  EXPECT_EQ((Loc{LocKind::InputPort, 3, SubPort::None}).str(), "ip3");
+  EXPECT_STREQ(opcodeName(Opcode::SeparateLC), "separate.LC");
+  EXPECT_STREQ(opcodeName(Opcode::MoveAbs), "move-abs");
+}

@@ -1,0 +1,108 @@
+//===- SchedulePropertyTest.cpp - Scheduler invariants on random DAGs ------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/codegen/Schedule.h"
+
+#include "aqua/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace aqua;
+using namespace aqua::codegen;
+using namespace aqua::ir;
+
+namespace {
+
+AssayGraph randomDag(SplitMix64 &Rng, int Ops) {
+  AssayGraph G;
+  std::vector<NodeId> Values;
+  for (int I = 0; I < 3; ++I)
+    Values.push_back(G.addInput("in" + std::to_string(I)));
+  for (int I = 0; I < Ops; ++I) {
+    std::int64_t Kind = Rng.nextInRange(0, 5);
+    NodeId A = Values[static_cast<size_t>(
+        Rng.nextInRange(0, static_cast<std::int64_t>(Values.size()) - 1))];
+    if (Kind <= 3) {
+      NodeId B = A;
+      while (B == A)
+        B = Values[static_cast<size_t>(Rng.nextInRange(
+            0, static_cast<std::int64_t>(Values.size()) - 1))];
+      Values.push_back(G.addMix("mix" + std::to_string(I),
+                                {{A, 1}, {B, Rng.nextInRange(1, 5)}},
+                                static_cast<double>(Rng.nextInRange(5, 90))));
+    } else if (Kind == 4) {
+      NodeId Inc =
+          G.addUnary(NodeKind::Incubate, "inc" + std::to_string(I), A);
+      G.node(Inc).Params.Seconds =
+          static_cast<double>(Rng.nextInRange(30, 300));
+      Values.push_back(Inc);
+    } else {
+      NodeId Sense = G.addUnary(NodeKind::Sense, "s" + std::to_string(I), A);
+      G.node(Sense).Params.Flavor = "OD";
+      (void)Sense; // Leaves stay leaves.
+    }
+  }
+  return G;
+}
+
+} // namespace
+
+class ScheduleProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ScheduleProperty, Invariants) {
+  SplitMix64 Rng(GetParam() * 2654435761u + 5u);
+  for (int Case = 0; Case < 20; ++Case) {
+    AssayGraph G = randomDag(Rng, static_cast<int>(Rng.nextInRange(4, 24)));
+    ASSERT_TRUE(G.verify().ok());
+    ScheduleOptions Opts;
+    Opts.Layout.Mixers = static_cast<int>(Rng.nextInRange(1, 3));
+    Opts.Layout.Heaters = static_cast<int>(Rng.nextInRange(1, 2));
+    Opts.Layout.Sensors = static_cast<int>(Rng.nextInRange(1, 2));
+    auto S = scheduleAssay(G, Opts);
+    ASSERT_TRUE(S.ok()) << S.message();
+
+    // Every live node scheduled exactly once.
+    EXPECT_EQ(S->Ops.size(), static_cast<size_t>(G.numNodes()));
+
+    // Bounds: critical path <= makespan <= serial.
+    EXPECT_GE(S->MakespanSeconds, S->CriticalPathSeconds - 1e-9);
+    EXPECT_LE(S->MakespanSeconds, S->SerialSeconds + 1e-9);
+
+    // Dependences respected.
+    std::map<NodeId, const ScheduledOp *> ByNode;
+    for (const ScheduledOp &Op : S->Ops)
+      ByNode[Op.Node] = &Op;
+    for (EdgeId E : G.liveEdges())
+      EXPECT_GE(ByNode[G.edge(E).Dst]->StartSec,
+                ByNode[G.edge(E).Src]->EndSec - 1e-9);
+
+    // No unit double-booked.
+    for (size_t I = 0; I < S->Ops.size(); ++I)
+      for (size_t J = I + 1; J < S->Ops.size(); ++J) {
+        const ScheduledOp &A = S->Ops[I], &B = S->Ops[J];
+        if (A.UnitKind == LocKind::None || A.UnitKind != B.UnitKind ||
+            A.UnitIndex != B.UnitIndex)
+          continue;
+        EXPECT_TRUE(A.EndSec <= B.StartSec + 1e-9 ||
+                    B.EndSec <= A.StartSec + 1e-9);
+      }
+
+    // Unit indices within the layout.
+    for (const ScheduledOp &Op : S->Ops) {
+      if (Op.UnitKind == LocKind::Mixer) {
+        EXPECT_LE(Op.UnitIndex, Opts.Layout.Mixers);
+      } else if (Op.UnitKind == LocKind::Heater) {
+        EXPECT_LE(Op.UnitIndex, Opts.Layout.Heaters);
+      } else if (Op.UnitKind == LocKind::Sensor) {
+        EXPECT_LE(Op.UnitIndex, Opts.Layout.Sensors);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScheduleProperty, ::testing::Range(0, 5));

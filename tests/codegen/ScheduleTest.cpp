@@ -1,0 +1,128 @@
+//===- ScheduleTest.cpp - Wet-path scheduler tests -------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/codegen/Schedule.h"
+
+#include "aqua/assays/PaperAssays.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace aqua;
+using namespace aqua::codegen;
+using namespace aqua::ir;
+
+namespace {
+
+/// No two operations may occupy the same unit instance at once, and every
+/// operation must start after its producers end.
+void checkScheduleValid(const AssayGraph &G, const Schedule &S) {
+  std::map<NodeId, const ScheduledOp *> ByNode;
+  for (const ScheduledOp &Op : S.Ops)
+    ByNode[Op.Node] = &Op;
+  for (EdgeId E : G.liveEdges()) {
+    const Edge &Ed = G.edge(E);
+    ASSERT_TRUE(ByNode.count(Ed.Src));
+    ASSERT_TRUE(ByNode.count(Ed.Dst));
+    EXPECT_GE(ByNode[Ed.Dst]->StartSec, ByNode[Ed.Src]->EndSec - 1e-9)
+        << G.node(Ed.Dst).Name << " starts before its producer ends";
+  }
+  for (size_t I = 0; I < S.Ops.size(); ++I)
+    for (size_t J = I + 1; J < S.Ops.size(); ++J) {
+      const ScheduledOp &A = S.Ops[I], &B = S.Ops[J];
+      if (A.UnitKind == LocKind::None || A.UnitKind != B.UnitKind ||
+          A.UnitIndex != B.UnitIndex)
+        continue;
+      bool Disjoint =
+          A.EndSec <= B.StartSec + 1e-9 || B.EndSec <= A.StartSec + 1e-9;
+      EXPECT_TRUE(Disjoint) << "unit double-booked";
+    }
+}
+
+} // namespace
+
+TEST(Schedule, ChainIsSequential) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M1 = G.addMix("m1", {{A, 1}, {B, 1}}, 10.0);
+  NodeId M2 = G.addMix("m2", {{M1, 1}, {B, 1}}, 10.0);
+  G.addUnary(NodeKind::Sense, "s", M2);
+
+  auto S = scheduleAssay(G);
+  ASSERT_TRUE(S.ok()) << S.message();
+  checkScheduleValid(G, *S);
+  // A pure chain cannot beat its critical path, which here is everything
+  // but the second (parallel) input fill.
+  EXPECT_NEAR(S->MakespanSeconds, S->CriticalPathSeconds, 1e-9);
+  EXPECT_LT(S->speedup(), 1.1);
+}
+
+TEST(Schedule, IndependentMixesOverlap) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  for (int I = 0; I < 8; ++I) {
+    NodeId M = G.addMix("m" + std::to_string(I), {{A, 1}, {B, 1}}, 60.0);
+    G.addUnary(NodeKind::Sense, "s" + std::to_string(I), M);
+  }
+  ScheduleOptions Two;
+  Two.Layout.Mixers = 2;
+  Two.Layout.Sensors = 2;
+  auto S2 = scheduleAssay(G, Two);
+  ASSERT_TRUE(S2.ok());
+  checkScheduleValid(G, *S2);
+
+  ScheduleOptions One;
+  One.Layout.Mixers = 1;
+  One.Layout.Sensors = 1;
+  auto S1 = scheduleAssay(G, One);
+  ASSERT_TRUE(S1.ok());
+  checkScheduleValid(G, *S1);
+
+  // Two mixers roughly halve the mixing backlog.
+  EXPECT_LT(S2->MakespanSeconds, 0.65 * S1->MakespanSeconds);
+  EXPECT_GT(S2->speedup(), S1->speedup());
+}
+
+TEST(Schedule, PaperAssaysScheduleValidly) {
+  for (int Which = 0; Which < 3; ++Which) {
+    AssayGraph G = Which == 0   ? assays::buildGlucoseAssay()
+                   : Which == 1 ? assays::buildGlycomicsAssay()
+                                : assays::buildEnzymeAssay(3);
+    auto S = scheduleAssay(G);
+    ASSERT_TRUE(S.ok()) << S.message();
+    checkScheduleValid(G, *S);
+    EXPECT_GE(S->MakespanSeconds, S->CriticalPathSeconds - 1e-9);
+    EXPECT_LE(S->MakespanSeconds, S->SerialSeconds + 1e-9);
+    EXPECT_FALSE(S->str(G).empty());
+  }
+}
+
+TEST(Schedule, EnzymeScalesWithMixers) {
+  AssayGraph G = assays::buildEnzymeAssay(4);
+  double Last = 1e18;
+  for (int Units : {1, 2, 4}) {
+    ScheduleOptions Opts;
+    Opts.Layout.Mixers = Units;
+    Opts.Layout.Heaters = Units;
+    Opts.Layout.Sensors = Units;
+    auto S = scheduleAssay(G, Opts);
+    ASSERT_TRUE(S.ok());
+    checkScheduleValid(G, *S);
+    EXPECT_LE(S->MakespanSeconds, Last + 1e-9);
+    Last = S->MakespanSeconds;
+  }
+}
+
+TEST(Schedule, MissingUnitKindReported) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  ScheduleOptions Opts;
+  Opts.Layout.Sensors = 0;
+  auto S = scheduleAssay(G, Opts);
+  ASSERT_FALSE(S.ok());
+}

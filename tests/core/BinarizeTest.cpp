@@ -1,0 +1,131 @@
+//===- BinarizeTest.cpp - K-ary mix binarization tests --------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Cascading.h"
+
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Manager.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+namespace {
+
+/// Forward composition pass (share of each input fluid in a node).
+std::map<std::string, double> compositionOf(const AssayGraph &G, NodeId N) {
+  std::map<NodeId, std::map<std::string, double>> Comp;
+  for (NodeId Id : G.topologicalOrder()) {
+    const Node &Nd = G.node(Id);
+    if (Nd.Kind == NodeKind::Input) {
+      Comp[Id][Nd.Name] = 1.0;
+      continue;
+    }
+    std::map<std::string, double> Mine;
+    for (EdgeId E : G.inEdges(Id)) {
+      double F = G.edge(E).Fraction.toDouble();
+      for (const auto &[Name, Frac] : Comp[G.edge(E).Src])
+        Mine[Name] += F * Frac;
+    }
+    Comp[Id] = std::move(Mine);
+  }
+  return Comp[N];
+}
+
+} // namespace
+
+TEST(Binarize, PreservesCompositionExactly) {
+  // Glycomics' 1:100:1 mix.
+  AssayGraph G;
+  NodeId A = G.addInput("eff");
+  NodeId B = G.addInput("buf4");
+  NodeId C = G.addInput("NaOH");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 100}, {C, 1}}, 30.0);
+  G.addUnary(NodeKind::Sense, "out", M);
+  auto Before = compositionOf(G, M);
+
+  auto Created = binarizeMix(G, M);
+  ASSERT_TRUE(Created.ok()) << Created.message();
+  ASSERT_TRUE(G.verify().ok()) << G.verify().message();
+  EXPECT_EQ(Created->size(), 1u); // 3 inputs -> one intermediate.
+  EXPECT_EQ(G.inEdges(M).size(), 2u);
+
+  auto After = compositionOf(G, M);
+  for (const char *Name : {"eff", "buf4", "NaOH"})
+    EXPECT_NEAR(After[Name], Before[Name], 1e-12) << Name;
+
+  // Huffman pairing merges the two 1-part fluids first: the intermediate
+  // is eff:NaOH at 1:1.
+  NodeId Mid = (*Created)[0];
+  for (EdgeId E : G.inEdges(Mid))
+    EXPECT_EQ(G.edge(E).Fraction, Rational(1, 2));
+}
+
+TEST(Binarize, FiveWayMix) {
+  AssayGraph G;
+  std::vector<MixPart> Parts;
+  for (int I = 0; I < 5; ++I)
+    Parts.push_back(MixPart{G.addInput("in" + std::to_string(I)), I + 1});
+  NodeId M = G.addMix("M", Parts, 10.0);
+  G.addUnary(NodeKind::Sense, "out", M);
+  auto Before = compositionOf(G, M);
+
+  auto Created = binarizeMix(G, M);
+  ASSERT_TRUE(Created.ok());
+  ASSERT_TRUE(G.verify().ok()) << G.verify().message();
+  EXPECT_EQ(Created->size(), 3u); // k-1-1 intermediates.
+  auto After = compositionOf(G, M);
+  for (const auto &[Name, Frac] : Before)
+    EXPECT_NEAR(After.at(Name), Frac, 1e-12) << Name;
+}
+
+TEST(Binarize, RejectsBinaryAndNonMix) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1}});
+  EXPECT_FALSE(binarizeMix(G, M).ok());
+  EXPECT_FALSE(binarizeMix(G, A).ok());
+}
+
+TEST(Binarize, ManagerHandlesModeratelyExtremeKaryMix) {
+  // 1:1500:2 defeats DAGSolve, but after binarization LP can exploit
+  // excess production of the intermediate -- the hierarchy stops at LP.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId C = G.addInput("C");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1500}, {C, 2}});
+  G.addUnary(NodeKind::Sense, "out", M);
+  ASSERT_FALSE(dagSolve(G, MachineSpec{}).Feasible);
+
+  ManagerResult R = manageVolumes(G, MachineSpec{});
+  ASSERT_TRUE(R.Feasible) << R.Log;
+  EXPECT_NE(R.Log.find("binarized"), std::string::npos) << R.Log;
+  EXPECT_GE(R.MinDispenseNl, MachineSpec{}.LeastCountNl - 1e-9);
+}
+
+TEST(Binarize, ManagerCascadesVeryExtremeKaryMix) {
+  // 1:50000:2 is beyond even LP's excess trick (the big side would need
+  // 1600+ nl); the driver must binarize and then cascade.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId C = G.addInput("C");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 50000}, {C, 2}});
+  G.addUnary(NodeKind::Sense, "out", M);
+
+  ManagerResult R = manageVolumes(G, MachineSpec{});
+  ASSERT_TRUE(R.Feasible) << R.Log;
+  EXPECT_NE(R.Log.find("binarized"), std::string::npos) << R.Log;
+  EXPECT_GT(R.CascadesApplied, 0) << R.Log;
+  EXPECT_GE(R.MinDispenseNl, MachineSpec{}.LeastCountNl - 1e-9);
+  EXPECT_TRUE(R.Graph.verify().ok());
+}

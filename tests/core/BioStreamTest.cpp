@@ -1,0 +1,142 @@
+//===- BioStreamTest.cpp - BioStream baseline tests -----------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/BioStream.h"
+
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Report.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+namespace {
+
+AssayGraph twoFluidMix(std::int64_t P, std::int64_t Q, NodeId *MOut) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, P}, {B, Q}}, 10.0);
+  G.addUnary(NodeKind::Sense, "out", M);
+  *MOut = M;
+  return G;
+}
+
+/// Share of input "A" in node N (forward composition pass, excess-blind).
+Rational shareOfA(const AssayGraph &G, NodeId N) {
+  std::vector<Rational> Comp(G.numNodeSlots(), Rational(0));
+  for (NodeId Id : G.topologicalOrder()) {
+    if (G.node(Id).Kind == NodeKind::Input) {
+      Comp[Id] = G.node(Id).Name == "A" ? Rational(1) : Rational(0);
+      continue;
+    }
+    Rational Mine(0);
+    for (EdgeId E : G.inEdges(Id))
+      Mine += G.edge(E).Fraction * Comp[G.edge(E).Src];
+    Comp[Id] = Mine;
+  }
+  return Comp[N];
+}
+
+} // namespace
+
+TEST(BioStream, ExactPowerOfTwoRatio) {
+  // 1:3 = concentration 1/4: exactly two 1:1 mixes, zero error.
+  NodeId M;
+  AssayGraph G = twoFluidMix(1, 3, &M);
+  auto Info = biostreamMix(G, M, 8);
+  ASSERT_TRUE(Info.ok()) << Info.message();
+  ASSERT_TRUE(G.verify().ok()) << G.verify().message();
+  EXPECT_EQ(Info->Achieved, Rational(1, 4));
+  EXPECT_EQ(Info->ErrorPct, 0.0);
+  EXPECT_EQ(Info->Stages.size(), 2u);
+  EXPECT_EQ(Info->ExcessNodes.size(), 1u);
+  EXPECT_EQ(shareOfA(G, M), Rational(1, 4));
+}
+
+TEST(BioStream, OneToOneIsSingleMix) {
+  NodeId M;
+  AssayGraph G = twoFluidMix(1, 1, &M);
+  auto Info = biostreamMix(G, M, 8);
+  ASSERT_TRUE(Info.ok());
+  EXPECT_EQ(Info->Stages.size(), 1u);
+  EXPECT_TRUE(Info->ExcessNodes.empty());
+  EXPECT_EQ(Info->Achieved, Rational(1, 2));
+}
+
+TEST(BioStream, ApproximatesNonDyadicRatio) {
+  // 1:9 = 0.1, not dyadic: 8 bits give 26/256 = 13/128 (1.56% error) and
+  // a chain of 7 mixes (denominator 2^7 after reduction).
+  NodeId M;
+  AssayGraph G = twoFluidMix(1, 9, &M);
+  auto Info = biostreamMix(G, M, 8);
+  ASSERT_TRUE(Info.ok()) << Info.message();
+  ASSERT_TRUE(G.verify().ok());
+  EXPECT_EQ(Info->Achieved, Rational(13, 128));
+  EXPECT_EQ(Info->Stages.size(), 7u);
+  EXPECT_NEAR(Info->ErrorPct, 1.5625, 1e-9);
+  // The realized composition matches the quantized target exactly.
+  EXPECT_EQ(shareOfA(G, M), Rational(13, 128));
+}
+
+TEST(BioStream, MorePrecisionLowersError) {
+  double LastErr = 1e9;
+  for (int Bits : {4, 8, 12, 16}) {
+    NodeId M;
+    AssayGraph G = twoFluidMix(1, 999, &M);
+    auto Info = biostreamMix(G, M, Bits);
+    if (!Info.ok())
+      continue; // Too coarse to represent 1/1000.
+    EXPECT_LE(Info->ErrorPct, LastErr + 1e-12);
+    LastErr = Info->ErrorPct;
+    EXPECT_TRUE(G.verify().ok());
+  }
+  EXPECT_LT(LastErr, 1.0);
+}
+
+TEST(BioStream, DiscardsHalfAtEveryIntermediate) {
+  NodeId M;
+  AssayGraph G = twoFluidMix(1, 9, &M);
+  ASSERT_TRUE(biostreamMix(G, M, 8).ok());
+  MachineSpec Spec;
+  DagSolveResult R = dagSolve(G, Spec);
+  ASSERT_TRUE(R.Feasible);
+  VolumeReport Rep = buildVolumeReport(G, R.Volumes);
+  // Intermediates run at 50% utilization; the excess total is substantial
+  // (the paper's argument against fixed-ratio mixing).
+  double Excess = 0.0;
+  for (const FluidUsage &U : Rep.Fluids) {
+    if (U.Name.find(".bs") == std::string::npos)
+      continue;
+    EXPECT_NEAR(U.utilization(), 0.5, 1e-9) << U.Name;
+    Excess += U.ExcessNl;
+  }
+  EXPECT_GT(Excess, 0.0);
+}
+
+TEST(BioStream, ErrorCases) {
+  NodeId M;
+  AssayGraph G = twoFluidMix(1, 9, &M);
+  EXPECT_FALSE(biostreamMix(G, M, 0).ok());
+  EXPECT_FALSE(biostreamMix(G, M, 99).ok());
+
+  // Unrepresentable at low precision: 1/1000 in 4 bits rounds to 0.
+  NodeId M2;
+  AssayGraph G2 = twoFluidMix(1, 1999, &M2);
+  auto R = biostreamMix(G2, M2, 4);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("not representable"), std::string::npos);
+
+  // No-excess fluids refuse the model.
+  NodeId M3;
+  AssayGraph G3 = twoFluidMix(1, 9, &M3);
+  for (NodeId N : G3.liveNodes())
+    if (G3.node(N).Name == "A")
+      G3.node(N).NoExcess = true;
+  EXPECT_FALSE(biostreamMix(G3, M3, 8).ok());
+}

@@ -1,0 +1,163 @@
+//===- CascadingTest.cpp - Cascaded mixing tests (Section 3.4.1) ---------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Cascading.h"
+
+#include "aqua/core/DagSolve.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+TEST(Cascading, BoundariesPerfectPowers) {
+  // 1:99 with two stages: the paper's two 1:9 mixes.
+  EXPECT_EQ(cascadeBoundaries(1, 99, 2), (std::vector<std::int64_t>{1, 10, 100}));
+  // 1:999 with three stages: the paper's three 1:9 mixes.
+  EXPECT_EQ(cascadeBoundaries(1, 999, 3),
+            (std::vector<std::int64_t>{1, 10, 100, 1000}));
+  EXPECT_EQ(cascadeBoundaries(1, 9999, 2),
+            (std::vector<std::int64_t>{1, 100, 10000}));
+}
+
+TEST(Cascading, BoundariesNonPowers) {
+  // 1:399 (the introduction's example) with two stages: balanced split.
+  std::vector<std::int64_t> B = cascadeBoundaries(1, 399, 2);
+  ASSERT_EQ(B.size(), 3u);
+  EXPECT_EQ(B[0], 1);
+  EXPECT_EQ(B[2], 400);
+  EXPECT_NEAR(static_cast<double>(B[1]), 20.0, 1.0); // sqrt(400).
+  // Strictly increasing always.
+  for (int S = 2; S <= 5; ++S) {
+    std::vector<std::int64_t> Bs = cascadeBoundaries(1, 999, S);
+    for (size_t I = 1; I < Bs.size(); ++I)
+      EXPECT_LT(Bs[I - 1], Bs[I]);
+  }
+}
+
+TEST(Cascading, ChooseStages) {
+  // With a stage-skew bound of 20: 1:99 needs 2 stages, 1:999 needs 3
+  // (factors 10 <= 21), 1:15 needs only 1.
+  EXPECT_EQ(chooseCascadeStages(1, 15, 20, 8), 1);
+  EXPECT_EQ(chooseCascadeStages(1, 99, 20, 8), 2);
+  EXPECT_EQ(chooseCascadeStages(1, 999, 20, 8), 3);
+  EXPECT_EQ(chooseCascadeStages(1, 9999, 20, 8), 4);
+  // The cap applies.
+  EXPECT_EQ(chooseCascadeStages(1, 999999999, 2, 3), 3);
+}
+
+TEST(Cascading, MixSkew) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 99}});
+  EXPECT_EQ(mixSkew(G, M), Rational(99));
+}
+
+TEST(Cascading, RewritesGraphCorrectly) {
+  // Figure 7: 1:99 into two 1:9 stages with a 9/10 excess.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 99}});
+  NodeId Out = G.addUnary(NodeKind::Sense, "out", M);
+
+  Expected<CascadeInfo> Info = cascadeMix(G, M, 2);
+  ASSERT_TRUE(Info.ok()) << Info.message();
+  ASSERT_TRUE(G.verify().ok()) << G.verify().message();
+  ASSERT_EQ(Info->StageMixes.size(), 2u);
+  ASSERT_EQ(Info->ExcessNodes.size(), 1u);
+  EXPECT_EQ(Info->StageMixes.back(), M); // Final stage keeps the node id.
+
+  NodeId C1 = Info->StageMixes[0];
+  NodeId X = Info->ExcessNodes[0];
+  // Stage 1 is A:B 1:9.
+  auto C1In = G.inEdges(C1);
+  ASSERT_EQ(C1In.size(), 2u);
+  EXPECT_EQ(G.edge(C1In[0]).Fraction, Rational(1, 10));
+  EXPECT_EQ(G.edge(C1In[1]).Fraction, Rational(9, 10));
+  // The excess share is the a-priori-known 9/10.
+  EXPECT_EQ(G.node(X).ExcessShare, Rational(9, 10));
+  // B now has two uses (stage 1 and the final stage).
+  EXPECT_EQ(G.outEdges(B).size(), 2u);
+
+  // DAGSolve on the cascade (Section 3.4.1 numbers): out=1, M=1, C1=1,
+  // excess=0.9, A=1/10.
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  EXPECT_EQ(R.NodeVnorm[C1], Rational(1));
+  EXPECT_EQ(R.NodeVnorm[X], Rational(9, 10));
+  EXPECT_EQ(R.NodeVnorm[A], Rational(1, 10));
+  (void)Out;
+}
+
+TEST(Cascading, ThreeStageCascadeOf999) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 999}});
+  G.addUnary(NodeKind::Sense, "out", M);
+
+  Expected<CascadeInfo> Info = cascadeMix(G, M, 3);
+  ASSERT_TRUE(Info.ok());
+  ASSERT_TRUE(G.verify().ok());
+  // All three stages are 1:9, and B now has three uses.
+  for (NodeId Stage : Info->StageMixes) {
+    auto In = G.inEdges(Stage);
+    Rational Small = min(G.edge(In[0]).Fraction, G.edge(In[1]).Fraction);
+    EXPECT_EQ(Small, Rational(1, 10));
+  }
+  EXPECT_EQ(G.outEdges(B).size(), 3u);
+  // Both intermediates discard 9/10.
+  for (NodeId X : Info->ExcessNodes)
+    EXPECT_EQ(G.node(X).ExcessShare, Rational(9, 10));
+
+  // Concentration is preserved exactly: A's share of the final mix is
+  // (1/10)^3 = 1/1000.
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  EXPECT_EQ(R.NodeVnorm[A], Rational(1, 10)); // 10x per stage: 1/10 vs 1/1000.
+}
+
+TEST(Cascading, CascadeFixesUnderflow) {
+  // 1:1999 is infeasible directly (smallest part 0.05 nl < least count)
+  // but feasible after cascading.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1999}});
+  G.addUnary(NodeKind::Sense, "out", M);
+  EXPECT_FALSE(dagSolve(G, MachineSpec{}).Feasible);
+
+  ASSERT_TRUE(cascadeMix(G, M, 2).ok());
+  ASSERT_TRUE(G.verify().ok());
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  EXPECT_TRUE(R.Feasible) << "min dispense " << R.MinDispenseNl;
+}
+
+TEST(Cascading, ErrorCases) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId C = G.addInput("C");
+  NodeId M3 = G.addMix("M3", {{A, 1}, {B, 1}, {C, 98}});
+  EXPECT_FALSE(cascadeMix(G, M3, 2).ok()); // Three inputs.
+
+  NodeId Even = G.addMix("Even", {{A, 1}, {B, 1}});
+  EXPECT_FALSE(cascadeMix(G, Even, 2).ok()); // Not skewed.
+
+  NodeId M = G.addMix("M", {{A, 1}, {B, 99}});
+  EXPECT_FALSE(cascadeMix(G, M, 1).ok()); // Too few stages.
+
+  // No-excess fluids refuse cascading.
+  NodeId D = G.addInput("D");
+  G.node(D).NoExcess = true;
+  NodeId MD = G.addMix("MD", {{D, 1}, {B, 99}});
+  Expected<CascadeInfo> R = cascadeMix(G, MD, 2);
+  ASSERT_FALSE(R.ok());
+  EXPECT_NE(R.message().find("no-excess"), std::string::npos);
+
+  EXPECT_FALSE(cascadeMix(G, A, 2).ok()); // Not a mix.
+}

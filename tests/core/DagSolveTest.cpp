@@ -1,0 +1,251 @@
+//===- DagSolveTest.cpp - DAGSolve tests (paper Figures 2, 5, 12, 14) ---------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/DagSolve.h"
+
+#include "aqua/assays/PaperAssays.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+namespace {
+
+EdgeId findEdge(const AssayGraph &G, NodeId Src, NodeId Dst) {
+  for (EdgeId E : G.liveEdges())
+    if (G.edge(E).Src == Src && G.edge(E).Dst == Dst)
+      return E;
+  return -1;
+}
+
+NodeId findNode(const AssayGraph &G, const std::string &Name) {
+  for (NodeId N : G.liveNodes())
+    if (G.node(N).Name == Name)
+      return N;
+  return InvalidNode;
+}
+
+} // namespace
+
+// The worked example of Figures 2 and 5: every Vnorm checked exactly.
+TEST(DagSolve, Figure5ExactVnorms) {
+  assays::Figure2Nodes N;
+  AssayGraph G = assays::buildFigure2Example(&N);
+  MachineSpec Spec; // 100 nl, 0.1 nl.
+  DagSolveResult R = dagSolve(G, Spec);
+
+  // Output nodes are normalized to 1.
+  EXPECT_EQ(R.NodeVnorm[N.M], Rational(1));
+  EXPECT_EQ(R.NodeVnorm[N.N], Rational(1));
+  // Figure 5(a): K = 2/3, L = 1/3 + 2/5 = 11/15.
+  EXPECT_EQ(R.NodeVnorm[N.K], Rational(2, 3));
+  EXPECT_EQ(R.NodeVnorm[N.L], Rational(11, 15));
+  // Inputs: A = 2/15, B = 8/15 + 22/45 = 46/45, C = 11/45 + 3/5 = 38/45.
+  EXPECT_EQ(R.NodeVnorm[N.A], Rational(2, 15));
+  EXPECT_EQ(R.NodeVnorm[N.B], Rational(46, 45));
+  EXPECT_EQ(R.NodeVnorm[N.C], Rational(38, 45));
+  // Edge Vnorms from the paper's walk-through.
+  EXPECT_EQ(R.EdgeVnorm[findEdge(G, N.B, N.L)], Rational(22, 45));
+  EXPECT_EQ(R.EdgeVnorm[findEdge(G, N.C, N.L)], Rational(11, 45));
+  EXPECT_EQ(R.EdgeVnorm[findEdge(G, N.A, N.K)], Rational(2, 15));
+  EXPECT_EQ(R.EdgeVnorm[findEdge(G, N.K, N.M)], Rational(2, 3));
+  EXPECT_EQ(R.EdgeVnorm[findEdge(G, N.L, N.N)], Rational(2, 5));
+
+  // B holds the maximum Vnorm and is pinned to the machine maximum.
+  EXPECT_EQ(R.MaxVnormNode, N.B);
+  EXPECT_EQ(R.MaxVnorm, Rational(46, 45));
+}
+
+TEST(DagSolve, Figure5DispensedVolumes) {
+  assays::Figure2Nodes N;
+  AssayGraph G = assays::buildFigure2Example(&N);
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  ASSERT_TRUE(R.Feasible);
+
+  // Figure 5(b), exact values (the paper prints them rounded to integers:
+  // 52, 48, 24, 13, 59, 65).
+  double Scale = 100.0 / (46.0 / 45.0);
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[N.B], 100.0, 1e-9);
+  EXPECT_NEAR(R.Volumes.EdgeVolumeNl[findEdge(G, N.B, N.K)],
+              8.0 / 15.0 * Scale, 1e-9); // 52.17
+  EXPECT_NEAR(R.Volumes.EdgeVolumeNl[findEdge(G, N.B, N.L)],
+              22.0 / 45.0 * Scale, 1e-9); // 47.83
+  EXPECT_NEAR(R.Volumes.EdgeVolumeNl[findEdge(G, N.C, N.L)],
+              11.0 / 45.0 * Scale, 1e-9); // 23.91
+  EXPECT_NEAR(R.Volumes.EdgeVolumeNl[findEdge(G, N.A, N.K)],
+              2.0 / 15.0 * Scale, 1e-9); // 13.04
+  EXPECT_NEAR(R.Volumes.EdgeVolumeNl[findEdge(G, N.C, N.N)],
+              3.0 / 5.0 * Scale, 1e-9); // 58.70
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[N.K], 2.0 / 3.0 * Scale, 1e-9); // 65.22
+
+  // Rounded to integers these are the paper's published numbers.
+  EXPECT_EQ(std::llround(R.Volumes.EdgeVolumeNl[findEdge(G, N.B, N.K)]), 52);
+  EXPECT_EQ(std::llround(R.Volumes.EdgeVolumeNl[findEdge(G, N.B, N.L)]), 48);
+  EXPECT_EQ(std::llround(R.Volumes.EdgeVolumeNl[findEdge(G, N.C, N.L)]), 24);
+  EXPECT_EQ(std::llround(R.Volumes.EdgeVolumeNl[findEdge(G, N.A, N.K)]), 13);
+  EXPECT_EQ(std::llround(R.Volumes.EdgeVolumeNl[findEdge(G, N.C, N.N)]), 59);
+  EXPECT_EQ(std::llround(R.Volumes.NodeVolumeNl[N.K]), 65);
+
+  EXPECT_NEAR(R.MinDispenseNl, 2.0 / 15.0 * Scale, 1e-9);
+}
+
+// Figure 12: glucose volume assignment. The paper reports the smallest
+// dispensed volume as 3.3 nl, well above the 0.1 nl least count, with no
+// run-time work needed.
+TEST(DagSolve, GlucoseFigure12) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  ASSERT_TRUE(R.Feasible);
+
+  NodeId Reagent = findNode(G, "Reagent");
+  NodeId Glucose = findNode(G, "Glucose");
+  NodeId Sample = findNode(G, "Sample");
+  // Reagent Vnorm = 1/2 + 2/3 + 4/5 + 8/9 + 1/2 = 151/45 (the maximum).
+  EXPECT_EQ(R.NodeVnorm[Reagent], Rational(151, 45));
+  EXPECT_EQ(R.MaxVnormNode, Reagent);
+  // Glucose = 1/2 + 1/3 + 1/5 + 1/9 = 103/90; Sample = 1/2.
+  EXPECT_EQ(R.NodeVnorm[Glucose], Rational(103, 90));
+  EXPECT_EQ(R.NodeVnorm[Sample], Rational(1, 2));
+
+  // Minimum dispense: glucose's edge into the 1:8 mix = (1/9) * 4500/151
+  // = 3.31 nl -- the paper's "smallest volume dispensed is 3.3 nl".
+  EXPECT_NEAR(R.MinDispenseNl, 500.0 / 151.0, 1e-9);
+  EXPECT_NEAR(R.MinDispenseNl, 3.31, 0.005);
+}
+
+// Figure 14(a): the enzyme assay before any transform. Dilutions sit at
+// Vnorm 16/3, the diluent dominates at ~54, and the 1:999 mix underflows at
+// 9.8 pl.
+TEST(DagSolve, EnzymeFigure14Initial) {
+  AssayGraph G = assays::buildEnzymeAssay(4);
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  EXPECT_FALSE(R.Feasible); // The 9.8 pl underflow.
+
+  NodeId Diluent = findNode(G, "diluent");
+  NodeId Dil999 = findNode(G, "enz_dil4");
+  ASSERT_NE(Diluent, InvalidNode);
+  ASSERT_NE(Dil999, InvalidNode);
+
+  // Every dilution is used in 16 of the 64 combination mixes at 1/3 each.
+  EXPECT_EQ(R.NodeVnorm[Dil999], Rational(16, 3));
+  // Diluent: 3 reagents x (1/2 + 9/10 + 99/100 + 999/1000) * 16/3 =
+  // 6778/125 = 54.224 (the paper rounds to 54).
+  EXPECT_EQ(R.NodeVnorm[Diluent], Rational(6778, 125));
+  EXPECT_EQ(R.MaxVnormNode, Diluent);
+
+  // Dilution volume 9.8 nl; enzyme input to the 1:999 mix 9.8 pl.
+  double Scale = 100.0 / (6778.0 / 125.0);
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[Dil999], 16.0 / 3.0 * Scale, 1e-9);
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[Dil999], 9.83, 0.01);
+  EXPECT_NEAR(R.MinDispenseNl, 16.0 / 3.0 / 1000.0 * Scale, 1e-9);
+  EXPECT_NEAR(R.MinDispenseNl * 1000.0, 9.83, 0.01); // In picoliters.
+
+  // Each combination mix splits a dilution into 0.6 nl portions and holds
+  // 1.8 nl total.
+  NodeId Combo = findNode(G, "combo_1_1_1");
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[Combo], 1.84, 0.01);
+}
+
+TEST(DagSolve, OutputWeightsSkewOutputs) {
+  assays::Figure2Nodes N;
+  AssayGraph G = assays::buildFigure2Example(&N);
+  DagSolveOptions Opts;
+  Opts.OutputWeights = {{N.M, Rational(3)}}; // Want 3x more M than N.
+  DagSolveResult R = dagSolve(G, MachineSpec{}, Opts);
+  EXPECT_EQ(R.NodeVnorm[N.M], Rational(3));
+  EXPECT_EQ(R.NodeVnorm[N.N], Rational(1));
+  EXPECT_EQ(R.NodeVnorm[N.K], Rational(2)); // 2/3 * 3.
+}
+
+TEST(DagSolve, PinnedNodeDispensing) {
+  assays::Figure2Nodes N;
+  AssayGraph G = assays::buildFigure2Example(&N);
+  DagSolveOptions Opts;
+  Opts.PinnedNode = N.M;
+  Opts.PinnedVolumeNl = 10.0; // Want exactly 10 nl of M.
+  DagSolveResult R = dagSolve(G, MachineSpec{}, Opts);
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[N.M], 10.0, 1e-9);
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[N.K], 20.0 / 3.0, 1e-9);
+  EXPECT_TRUE(R.Feasible);
+}
+
+TEST(DagSolve, SeparationYieldScalesInputSide) {
+  // A separate with known yield 1/2: to deliver V at the output its input
+  // must be 2V, and the input side binds the capacity.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId S = G.addUnary(NodeKind::Separate, "S", A);
+  G.node(S).OutFraction = Rational(1, 2);
+  G.addUnary(NodeKind::Sense, "out", S);
+  ASSERT_TRUE(G.verify().ok());
+
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.NodeVnorm[S], Rational(1));          // Output side.
+  EXPECT_EQ(nodeInputVnorm(G, S, R), Rational(2)); // Input side.
+  EXPECT_EQ(R.NodeVnorm[A], Rational(2));
+  // A is pinned at 100 nl; the separation yields 50 nl.
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[A], 100.0, 1e-9);
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[S], 50.0, 1e-9);
+}
+
+TEST(DagSolve, ExcessNodeDerivedFromSource) {
+  // Hand-built single cascade stage (Figure 7): C' = A:B 1:9, discard 9/10,
+  // final = C':B 1:9.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId C1 = G.addMix("C1", {{A, 1}, {B, 9}});
+  NodeId X = G.addNode(NodeKind::Excess, "X");
+  G.node(X).ExcessShare = Rational(9, 10);
+  G.addEdge(C1, X, Rational(1));
+  NodeId Final = G.addNode(NodeKind::Mix, "final");
+  G.addEdge(C1, Final, Rational(1, 10));
+  G.addEdge(B, Final, Rational(9, 10));
+  ASSERT_TRUE(G.verify().ok());
+
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  // Final output Vnorm 1; C' must produce 10x what the final stage uses:
+  // (1/10) / (1 - 9/10) = 1 -- "an excess node ... with Vnorm equal to
+  // 0.9 * Vnorm(C')".
+  EXPECT_EQ(R.NodeVnorm[Final], Rational(1));
+  EXPECT_EQ(R.NodeVnorm[C1], Rational(1));
+  EXPECT_EQ(R.NodeVnorm[X], Rational(9, 10));
+  // A into the cascade: 1/10 of C' = 1/10 -- a 10x amplification over the
+  // direct 1:99 mix's 1/100.
+  EXPECT_EQ(R.NodeVnorm[A], Rational(1, 10));
+  // B: 9/10 + 9/10 = 9/5.
+  EXPECT_EQ(R.NodeVnorm[B], Rational(9, 5));
+}
+
+TEST(DagSolve, UnderflowDetected) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  G.addMix("M", {{A, 1}, {B, 1999}}); // 1:1999 cannot be metered directly.
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_LT(R.MinDispenseNl, 0.1);
+}
+
+TEST(DagSolve, EmptyGraphInfeasible) {
+  AssayGraph G;
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  EXPECT_FALSE(R.Feasible);
+}
+
+TEST(DagSolve, VolumeAssignmentHelpers) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  EXPECT_TRUE(R.Volumes.feasible(G, MachineSpec{}));
+  EXPECT_NEAR(R.Volumes.minDispenseNl(G), R.MinDispenseNl, 1e-12);
+  EXPECT_GT(R.Volumes.maxNodeVolumeNl(G), 99.0);
+  EXPECT_FALSE(R.Volumes.str(G).empty());
+}

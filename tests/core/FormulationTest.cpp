@@ -1,0 +1,150 @@
+//===- FormulationTest.cpp - Figure 3 formulation tests ------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Formulation.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/lp/BranchAndBound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+TEST(Formulation, Figure2ConstraintAccounting) {
+  AssayGraph G = assays::buildFigure2Example();
+  Formulation F = buildVolumeModel(G, MachineSpec{});
+  // 8 edges (class 1) + 7 capacity (class 2) + 5 non-deficit (class 3, the
+  // two outputs have no uses) + 4 ratio (class 4, one per 2-input mix) +
+  // 4 yield (class 5, non-input nodes) + 2 output balance (class 6) = 30.
+  EXPECT_EQ(F.CountedConstraints, 8 + 7 + 5 + 4 + 4 + 2);
+  // The model itself carries class 1 as bounds, so rows = counted - |E|.
+  EXPECT_EQ(F.Model.numRows(), F.CountedConstraints - 8);
+  // One variable per edge and per node.
+  EXPECT_EQ(F.Model.numVars(), 8 + 7);
+}
+
+TEST(Formulation, LPSolvesFigure2) {
+  AssayGraph G = assays::buildFigure2Example();
+  MachineSpec Spec;
+  LPVolumeResult R = solveRVolLP(G, Spec);
+  ASSERT_EQ(R.Solution.Status, lp::SolveStatus::Optimal);
+  EXPECT_TRUE(R.Volumes.feasible(G, Spec));
+  EXPECT_GE(R.Volumes.minDispenseNl(G), Spec.LeastCountNl - 1e-9);
+  // LP maximizes output; with the +-10% balance both outputs approach the
+  // capacity-limited optimum and beat DAGSolve's equal-output assignment.
+  DagSolveResult DS = dagSolve(G, Spec);
+  EXPECT_GE(R.Solution.Objective + 1e-6,
+            DS.Volumes.maxNodeVolumeNl(G));
+}
+
+TEST(Formulation, LPRespectsRatios) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  MachineSpec Spec;
+  LPVolumeResult R = solveRVolLP(G, Spec);
+  ASSERT_EQ(R.Solution.Status, lp::SolveStatus::Optimal);
+  // Check the 1:8 mix's edges are exactly 1:8.
+  for (NodeId N : G.liveNodes()) {
+    if (G.node(N).Kind != NodeKind::Mix)
+      continue;
+    auto In = G.inEdges(N);
+    double Total = 0.0;
+    for (EdgeId E : In)
+      Total += R.Volumes.EdgeVolumeNl[E];
+    for (EdgeId E : In)
+      EXPECT_NEAR(R.Volumes.EdgeVolumeNl[E] / Total,
+                  G.edge(E).Fraction.toDouble(), 1e-7);
+  }
+}
+
+TEST(Formulation, EnzymeLPInfeasible) {
+  // Section 4.2: "we found that LP also fails" -- one diluent reservoir
+  // cannot cover the serial dilutions' demand (the 1:999 mix alone needs
+  // 99.9 nl of diluent at the least count).
+  AssayGraph G = assays::buildEnzymeAssay(4);
+  LPVolumeResult R = solveRVolLP(G, MachineSpec{});
+  EXPECT_EQ(R.Solution.Status, lp::SolveStatus::Infeasible);
+}
+
+TEST(Formulation, UnknownVolumeNodesUseYieldOne) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId S = G.addUnary(NodeKind::Separate, "S", A);
+  G.node(S).UnknownVolume = true;
+  G.node(S).OutFraction = Rational(1, 4); // Must be ignored: unknown.
+  G.addUnary(NodeKind::Sense, "out", S);
+  LPVolumeResult R = solveRVolLP(G, MachineSpec{});
+  ASSERT_EQ(R.Solution.Status, lp::SolveStatus::Optimal);
+  // Yield treated as 1: node S equals its in-edge volume.
+  for (EdgeId E : G.inEdges(S))
+    EXPECT_NEAR(R.Volumes.NodeVolumeNl[S], R.Volumes.EdgeVolumeNl[E], 1e-6);
+}
+
+TEST(Formulation, ConstrainedInputUpperBound) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1}});
+  G.addUnary(NodeKind::Sense, "out", M);
+  FormulationOptions FOpts;
+  FOpts.NodeUpperBoundNl = {{A, 7.0}}; // Only 7 nl of A available.
+  LPVolumeResult R = solveRVolLP(G, MachineSpec{}, FOpts);
+  ASSERT_EQ(R.Solution.Status, lp::SolveStatus::Optimal);
+  EXPECT_LE(R.Volumes.NodeVolumeNl[A], 7.0 + 1e-7);
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[M], 14.0, 1e-6);
+}
+
+TEST(Formulation, AblationConstraintsAddRows) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  Formulation Plain = buildVolumeModel(G, MachineSpec{});
+
+  FormulationOptions Extra;
+  Extra.FlowConservation = true;
+  Extra.EqualOutputs = true;
+  Formulation Constrained = buildVolumeModel(G, MachineSpec{}, Extra);
+  // Flow conservation converts rows in place; output equalization replaces
+  // the two balance rows per output with one equality.
+  EXPECT_LE(Constrained.Model.numRows(), Plain.Model.numRows());
+
+  // With DAGSolve's constraints, the LP solution matches DAGSolve exactly.
+  MachineSpec Spec;
+  lp::Solution S = lp::solve(Constrained.Model);
+  ASSERT_EQ(S.Status, lp::SolveStatus::Optimal);
+  VolumeAssignment LP = extractAssignment(G, Constrained, S, Extra);
+  DagSolveResult DS = dagSolve(G, Spec);
+  for (NodeId N : G.liveNodes()) {
+    if (G.isLeaf(N)) {
+      EXPECT_NEAR(LP.NodeVolumeNl[N], DS.Volumes.NodeVolumeNl[N], 1e-5);
+    }
+  }
+}
+
+TEST(Formulation, IVolIntegerSolveOnFigure2) {
+  // IVol as ILP: volumes in least-count units, integrality on everything.
+  AssayGraph G = assays::buildFigure2Example();
+  MachineSpec Spec;
+  FormulationOptions FOpts;
+  FOpts.UnitNl = Spec.LeastCountNl;
+  Formulation F = buildVolumeModel(G, Spec, FOpts);
+  lp::IntOptions Opts;
+  Opts.MaxNodes = 20000;
+  Opts.TimeLimitSec = 30.0;
+  lp::IntSolution S = lp::solveInteger(F.Model, {}, Opts);
+  ASSERT_TRUE(S.HasIncumbent);
+  // All volumes are integer multiples of the least count.
+  for (double V : S.Values)
+    EXPECT_NEAR(V, std::round(V), 1e-6);
+  VolumeAssignment A;
+  lp::Solution AsLP;
+  AsLP.Status = lp::SolveStatus::Optimal;
+  AsLP.Values = S.Values;
+  A = extractAssignment(G, F, AsLP, FOpts);
+  EXPECT_TRUE(A.feasible(G, Spec));
+}

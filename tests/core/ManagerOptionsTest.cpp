@@ -1,0 +1,87 @@
+//===- ManagerOptionsTest.cpp - Manager knob coverage ----------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Manager.h"
+
+#include "aqua/assays/PaperAssays.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+TEST(ManagerOptions, RefinementDisabledKeepsCoarseGranularity) {
+  MachineSpec Spec;
+  ManagerOptions NoRefine;
+  NoRefine.TargetMeanRoundErrorPct = -1.0;
+  ManagerResult Coarse =
+      manageVolumes(assays::buildEnzymeAssay(4), Spec, NoRefine);
+  ASSERT_TRUE(Coarse.Feasible);
+
+  ManagerResult Refined = manageVolumes(assays::buildEnzymeAssay(4), Spec);
+  ASSERT_TRUE(Refined.Feasible);
+  // Refinement strictly improves the rounding error.
+  EXPECT_LT(Refined.Rounded.MeanRatioErrorPct,
+            Coarse.Rounded.MeanRatioErrorPct);
+  EXPECT_GT(Refined.ReplicationsApplied, Coarse.ReplicationsApplied);
+}
+
+TEST(ManagerOptions, IterationBudgetLimitsTransforms) {
+  MachineSpec Spec;
+  ManagerOptions OneShot;
+  OneShot.MaxIterations = 1; // Only the initial solve; transforms apply
+                             // but are never re-solved.
+  ManagerResult R = manageVolumes(assays::buildEnzymeAssay(4), Spec, OneShot);
+  EXPECT_FALSE(R.Feasible);
+}
+
+TEST(ManagerOptions, LPFallbackCanBeDisabled) {
+  MachineSpec Spec;
+  ManagerOptions NoLP;
+  NoLP.UseLPFallback = false;
+  // Glucose never needs LP; identical result either way.
+  ManagerResult R = manageVolumes(assays::buildGlucoseAssay(), Spec, NoLP);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Method, SolveMethod::DagSolve);
+  EXPECT_EQ(R.Log.find("LP"), std::string::npos);
+}
+
+TEST(ManagerOptions, SkewThresholdControlsCascadeDepth) {
+  // A permissive threshold (1000) treats 1:999 as non-extreme: no
+  // cascading; the driver must fail on the single-use graph (replication
+  // cannot split one use).
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1999}});
+  G.addUnary(NodeKind::Sense, "out", M);
+
+  ManagerOptions Lax;
+  Lax.CascadeSkewThreshold = 5000;
+  ManagerResult R = manageVolumes(G, MachineSpec{}, Lax);
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_EQ(R.CascadesApplied, 0);
+
+  ManagerOptions Strict;
+  Strict.CascadeSkewThreshold = 10;
+  ManagerResult R2 = manageVolumes(G, MachineSpec{}, Strict);
+  ASSERT_TRUE(R2.Feasible) << R2.Log;
+  EXPECT_GE(R2.CascadesApplied, 1);
+}
+
+TEST(ManagerOptions, OutputWeightsFlowThrough) {
+  // DagOptions are forwarded: a 3:1 output weighting shows up in the
+  // final volumes.
+  assays::Figure2Nodes N;
+  AssayGraph G = assays::buildFigure2Example(&N);
+  ManagerOptions Opts;
+  Opts.DagOptions.OutputWeights = {{N.M, Rational(3)}};
+  ManagerResult R = manageVolumes(G, MachineSpec{}, Opts);
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_NEAR(R.Volumes.NodeVolumeNl[N.M] / R.Volumes.NodeVolumeNl[N.N], 3.0,
+              1e-9);
+}

@@ -1,0 +1,138 @@
+//===- ManagerTest.cpp - Volume-management hierarchy tests (Figure 6) ----------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Manager.h"
+
+#include "aqua/assays/PaperAssays.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+TEST(Manager, GlucoseSolvedByDagSolveDirectly) {
+  MachineSpec Spec;
+  ManagerResult R = manageVolumes(assays::buildGlucoseAssay(), Spec);
+  ASSERT_TRUE(R.Feasible) << R.Log;
+  EXPECT_EQ(R.Method, SolveMethod::DagSolve);
+  EXPECT_EQ(R.CascadesApplied, 0);
+  EXPECT_EQ(R.ReplicationsApplied, 0);
+  EXPECT_NEAR(R.MinDispenseNl, 3.31, 0.01);
+  EXPECT_FALSE(R.Rounded.Underflow);
+  EXPECT_LT(R.Rounded.MeanRatioErrorPct, 2.0);
+}
+
+TEST(Manager, Figure2SolvedByDagSolve) {
+  ManagerResult R = manageVolumes(assays::buildFigure2Example(), MachineSpec{});
+  ASSERT_TRUE(R.Feasible);
+  EXPECT_EQ(R.Method, SolveMethod::DagSolve);
+}
+
+TEST(Manager, EnzymeNeedsTransforms) {
+  // The raw enzyme assay defeats both DAGSolve (9.8 pl underflow) and LP
+  // (one diluent reservoir can't cover the serial dilutions). The driver
+  // must cascade the extreme mixes and end feasible.
+  MachineSpec Spec;
+  ManagerResult R = manageVolumes(assays::buildEnzymeAssay(4), Spec);
+  ASSERT_TRUE(R.Feasible) << R.Log;
+  EXPECT_GT(R.CascadesApplied, 0);
+  EXPECT_GE(R.MinDispenseNl, Spec.LeastCountNl - 1e-9);
+  EXPECT_TRUE(R.Graph.verify().ok());
+  // The transformed graph grew (cascade stages + excess nodes).
+  EXPECT_GT(R.Graph.numNodes(), assays::buildEnzymeAssay(4).numNodes());
+}
+
+TEST(Manager, LPFallbackBeatsDagSolve) {
+  // A graph where DAGSolve's equal-output constraint underflows but LP
+  // succeeds: output P is reached through a 1:49 dilution while output Q
+  // shares the same source fluid with heavy usage. DAGSolve forces P == Q
+  // volumes, starving P's small edge; LP may skew outputs.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  // P: needs 1/25 of its mix from A.
+  NodeId MixP = G.addMix("mixP", {{A, 1}, {B, 24}});
+  G.addUnary(NodeKind::Sense, "P", MixP);
+  // Q: many parallel uses of A at 1:1, forcing A's Vnorm to ~42.5 under
+  // DAGSolve's equal outputs, which starves P's 1:24 edge (0.092 nl); LP
+  // may instead shrink the Q outputs within the 10% balance band.
+  for (int I = 0; I < 85; ++I) {
+    NodeId MixQ = G.addMix("mixQ" + std::to_string(I), {{A, 1}, {B, 1}});
+    G.addUnary(NodeKind::Sense, "Q" + std::to_string(I), MixQ);
+  }
+  ASSERT_TRUE(G.verify().ok());
+
+  MachineSpec Spec;
+  DagSolveResult DS = dagSolve(G, Spec);
+  ASSERT_FALSE(DS.Feasible);
+
+  ManagerOptions Opts;
+  Opts.AllowCascading = false;
+  Opts.AllowReplication = false;
+  ManagerResult R = manageVolumes(G, Spec, Opts);
+  ASSERT_TRUE(R.Feasible) << R.Log;
+  EXPECT_EQ(R.Method, SolveMethod::LP);
+  EXPECT_GE(R.MinDispenseNl, Spec.LeastCountNl - 1e-9);
+}
+
+TEST(Manager, InfeasibleWithoutTransformsReportsFailure) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1999}});
+  G.addUnary(NodeKind::Sense, "out", M);
+
+  ManagerOptions Opts;
+  Opts.AllowCascading = false;
+  Opts.AllowReplication = false;
+  ManagerResult R = manageVolumes(G, MachineSpec{}, Opts);
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_NE(R.Log.find("giving up"), std::string::npos);
+}
+
+TEST(Manager, CascadingAloneFixesExtremeRatio) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1999}});
+  G.addUnary(NodeKind::Sense, "out", M);
+
+  ManagerResult R = manageVolumes(G, MachineSpec{});
+  ASSERT_TRUE(R.Feasible) << R.Log;
+  EXPECT_GE(R.CascadesApplied, 1);
+}
+
+TEST(Manager, NoExcessFluidFallsBackToOtherMeans) {
+  // With cascading forbidden by a no-excess fluid and replication unable to
+  // help a single-use ratio, the manager reports failure honestly.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  G.node(A).NoExcess = true;
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1999}});
+  G.addUnary(NodeKind::Sense, "out", M);
+
+  ManagerResult R = manageVolumes(G, MachineSpec{});
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_EQ(R.CascadesApplied, 0);
+}
+
+TEST(Manager, RoundedAssignmentConsistent) {
+  ManagerResult R = manageVolumes(assays::buildEnzymeAssay(4), MachineSpec{});
+  ASSERT_TRUE(R.Feasible);
+  // Rounded edge units reproduce node units through the graph.
+  for (NodeId N : R.Graph.liveNodes()) {
+    auto In = R.Graph.inEdges(N);
+    if (In.empty())
+      continue;
+    std::int64_t Sum = 0;
+    for (EdgeId E : In)
+      Sum += R.Rounded.EdgeUnits[E];
+    EXPECT_LE(Sum, MachineSpec{}.capacityUnits());
+  }
+  EXPECT_LT(R.Rounded.MeanRatioErrorPct, 2.0);
+}

@@ -1,0 +1,177 @@
+//===- PartitionPropertyTest.cpp - Partition plan invariants ---------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Invariants of the Section 3.5 partitioner on random DAGs with randomly
+// placed unknown-volume operations:
+//
+//  * every live node belongs to exactly one partition;
+//  * each constrained-input source's shares sum to exactly 1;
+//  * partitions execute in a valid topological order of their
+//    constrained-input dependencies (when that graph is acyclic);
+//  * dispensing never draws more from a constrained input than available.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Partition.h"
+#include "aqua/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+namespace {
+
+AssayGraph randomDagWithUnknowns(SplitMix64 &Rng, int Ops) {
+  AssayGraph G;
+  std::vector<NodeId> Values;
+  int Inputs = static_cast<int>(Rng.nextInRange(2, 4));
+  for (int I = 0; I < Inputs; ++I)
+    Values.push_back(G.addInput("in" + std::to_string(I)));
+  for (int I = 0; I < Ops; ++I) {
+    if (Rng.nextInRange(0, 4) == 0) {
+      NodeId S = Values[static_cast<size_t>(Rng.nextInRange(
+          0, static_cast<std::int64_t>(Values.size()) - 1))];
+      NodeId Sep =
+          G.addUnary(NodeKind::Separate, "sep" + std::to_string(I), S);
+      G.node(Sep).UnknownVolume = true;
+      Values.push_back(Sep);
+      continue;
+    }
+    NodeId A = Values[static_cast<size_t>(
+        Rng.nextInRange(0, static_cast<std::int64_t>(Values.size()) - 1))];
+    NodeId B = A;
+    while (B == A)
+      B = Values[static_cast<size_t>(
+          Rng.nextInRange(0, static_cast<std::int64_t>(Values.size()) - 1))];
+    Values.push_back(G.addMix("mix" + std::to_string(I),
+                              {{A, Rng.nextInRange(1, 9)},
+                               {B, Rng.nextInRange(1, 9)}}));
+  }
+  return G;
+}
+
+} // namespace
+
+class PartitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionProperty, PlanInvariants) {
+  SplitMix64 Rng(GetParam() * 65537u + 11u);
+  MachineSpec Spec;
+  for (int Case = 0; Case < 15; ++Case) {
+    AssayGraph G =
+        randomDagWithUnknowns(Rng, static_cast<int>(Rng.nextInRange(4, 16)));
+    ASSERT_TRUE(G.verify().ok());
+    auto Plan = buildPartitionPlan(G, Spec);
+    ASSERT_TRUE(Plan.ok()) << Plan.message() << "\n" << G.str();
+    const AssayGraph &PG = Plan->Graph;
+    ASSERT_TRUE(PG.verify().ok()) << PG.verify().message();
+
+    // Every live node in exactly one partition.
+    std::map<NodeId, int> Seen;
+    for (size_t P = 0; P < Plan->Parts.size(); ++P)
+      for (NodeId N : Plan->Parts[P].Members) {
+        EXPECT_EQ(Seen.count(N), 0u) << "node in two partitions";
+        Seen[N] = static_cast<int>(P);
+        EXPECT_EQ(Plan->NodePartition[N], static_cast<int>(P));
+      }
+    for (NodeId N : PG.liveNodes())
+      EXPECT_TRUE(Seen.count(N)) << "node in no partition: " << N;
+
+    // Shares per source sum to 1.
+    std::map<NodeId, Rational> ShareSum;
+    for (const auto &CI : Plan->Inputs)
+      ShareSum[CI.Source] += CI.Share;
+    for (const auto &[Source, Sum] : ShareSum)
+      EXPECT_EQ(Sum, Rational(1)) << PG.node(Source).Name;
+
+    // Execution-order soundness: when the partition dependency graph is
+    // acyclic (the overwhelmingly common case), every constrained input's
+    // producing partition must be scheduled strictly earlier; an input
+    // whose source shares the partition is the scale-invariant special
+    // case. Mutually-feeding same-wave partitions (a genuine cycle) have
+    // no valid order and are resolved by the executor at run time.
+    {
+      size_t Count = Plan->Parts.size();
+      std::vector<int> Pending(Count, 0);
+      std::vector<std::vector<int>> Succ(Count);
+      for (const auto &CI : Plan->Inputs) {
+        if (CI.FromInputPort)
+          continue;
+        int Src = Plan->NodePartition[CI.Source];
+        int Dst = Plan->NodePartition[CI.Node];
+        if (Src == Dst)
+          continue;
+        Succ[Src].push_back(Dst);
+        ++Pending[Dst];
+      }
+      std::vector<int> Ready;
+      for (size_t I = 0; I < Count; ++I)
+        if (Pending[I] == 0)
+          Ready.push_back(static_cast<int>(I));
+      size_t Done = 0;
+      for (size_t I = 0; I < Ready.size(); ++I, ++Done)
+        for (int S : Succ[Ready[I]])
+          if (--Pending[S] == 0)
+            Ready.push_back(S);
+      bool Acyclic = Done == Count;
+      if (Acyclic) {
+        for (const auto &CI : Plan->Inputs) {
+          if (CI.FromInputPort)
+            continue;
+          int SrcPart = Plan->NodePartition[CI.Source];
+          int DstPart = Plan->NodePartition[CI.Node];
+          if (SrcPart != DstPart) {
+            EXPECT_LT(SrcPart, DstPart)
+                << PG.node(CI.Source).Name << " feeds an earlier partition";
+          }
+        }
+      }
+    }
+
+    // Dispensing respects availability for every partition.
+    std::vector<double> Avail(Plan->Inputs.size(), -1.0);
+    for (size_t I = 0; I < Plan->Inputs.size(); ++I)
+      if (!Plan->Inputs[I].FromInputPort)
+        Avail[I] = 5.0 + static_cast<double>(Rng.nextInRange(0, 40));
+    for (size_t P = 0; P < Plan->Parts.size(); ++P) {
+      VolumeAssignment V =
+          dispensePartition(*Plan, static_cast<int>(P), Avail, Spec);
+      for (int Ref : Plan->Parts[P].InputRefs) {
+        const auto &CI = Plan->Inputs[Ref];
+        double Drawn = 0.0;
+        for (EdgeId E : PG.outEdges(CI.Node))
+          Drawn += V.EdgeVolumeNl[E];
+        double Limit;
+        if (CI.FromInputPort) {
+          Limit = CI.Share.toDouble() * Spec.MaxCapacityNl;
+        } else if (!CI.FromInputPort &&
+                   Plan->NodePartition[CI.Source] == static_cast<int>(P)) {
+          // Same-partition input: the limit is its share of the
+          // co-dispensed source volume, not the external measurement.
+          Limit = CI.Share.toDouble() * V.NodeVolumeNl[CI.Source];
+        } else {
+          Limit = Avail[Ref];
+        }
+        EXPECT_LE(Drawn, Limit + 1e-9)
+            << "partition " << P << " overdraws "
+            << PG.node(CI.Node).Name;
+      }
+      // Capacity respected.
+      for (NodeId N : Plan->Parts[P].Members) {
+        double In = 0.0;
+        for (EdgeId E : PG.inEdges(N))
+          In += V.EdgeVolumeNl[E];
+        EXPECT_LE(In, Spec.MaxCapacityNl + 1e-9);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PartitionProperty, ::testing::Range(0, 6));

@@ -1,0 +1,209 @@
+//===- PartitionTest.cpp - Statically-unknown volume tests (Section 3.5) -------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Partition.h"
+
+#include "aqua/assays/PaperAssays.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+namespace {
+
+NodeId findNode(const AssayGraph &G, const std::string &Name) {
+  for (NodeId N : G.liveNodes())
+    if (G.node(N).Name == Name)
+      return N;
+  return InvalidNode;
+}
+
+} // namespace
+
+TEST(Partition, FullyStaticGraphIsOnePartition) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  auto Plan = buildPartitionPlan(G, MachineSpec{});
+  ASSERT_TRUE(Plan.ok()) << Plan.message();
+  EXPECT_EQ(Plan->Parts.size(), 1u);
+  EXPECT_TRUE(Plan->Inputs.empty());
+}
+
+// Figure 13: the glycomics assay partitions into four pieces at the three
+// unknown-volume separations, buffer3a splits 50/50, and the X2 constrained
+// input carries Vnorm 1/204.
+TEST(Partition, GlycomicsFigure13) {
+  AssayGraph G = assays::buildGlycomicsAssay();
+  auto Plan = buildPartitionPlan(G, MachineSpec{});
+  ASSERT_TRUE(Plan.ok()) << Plan.message();
+  ASSERT_EQ(Plan->Parts.size(), 4u) << Plan->str();
+
+  const AssayGraph &PG = Plan->Graph;
+
+  // Partition waves 0..3 in order.
+  for (size_t I = 0; I < 4; ++I)
+    EXPECT_EQ(Plan->Parts[I].Wave, static_cast<int>(I));
+
+  // Three measured constrained inputs (the separation outputs) and two
+  // split halves of buffer3a.
+  int Measured = 0, PortSplit = 0;
+  for (const auto &CI : Plan->Inputs) {
+    if (CI.FromInputPort)
+      ++PortSplit;
+    else
+      ++Measured;
+  }
+  EXPECT_EQ(Measured, 3);
+  EXPECT_EQ(PortSplit, 2);
+
+  // buffer3a: each half gets share 1/2 ("each of which gets half the
+  // default maximum (i.e., 50 nl)").
+  for (const auto &CI : Plan->Inputs) {
+    if (!CI.FromInputPort)
+      continue;
+    EXPECT_EQ(PG.node(CI.Source).Name, "buffer3a");
+    EXPECT_EQ(CI.Share, Rational(1, 2));
+  }
+
+  // X2 = the constrained input fed by effluent2, used in partition 3's
+  // 1:100:1 mix: Vnorm 1/204.
+  NodeId Eff2 = findNode(PG, "effluent2");
+  ASSERT_NE(Eff2, InvalidNode);
+  NodeId X2 = InvalidNode;
+  for (const auto &CI : Plan->Inputs)
+    if (CI.Source == Eff2)
+      X2 = CI.Node;
+  ASSERT_NE(X2, InvalidNode);
+  EXPECT_EQ(Plan->Vnorms.NodeVnorm[X2], Rational(1, 204));
+
+  // Partition 2's dominant fluid is the 10/11 buffer3a half; partition 3's
+  // members include buffer4 at 25/51.
+  NodeId Buf4 = findNode(PG, "buffer4");
+  EXPECT_EQ(Plan->Vnorms.NodeVnorm[Buf4], Rational(25, 51));
+
+  // Each unknown separation is a leaf of its own partition with Vnorm 1.
+  for (const char *Name : {"effluent", "effluent2", "effluent3"}) {
+    NodeId S = findNode(PG, Name);
+    ASSERT_NE(S, InvalidNode);
+    EXPECT_EQ(Plan->Vnorms.NodeVnorm[S], Rational(1)) << Name;
+    EXPECT_TRUE(PG.isLeaf(S));
+  }
+}
+
+TEST(Partition, GlycomicsDispensing) {
+  AssayGraph G = assays::buildGlycomicsAssay();
+  MachineSpec Spec;
+  auto Plan = buildPartitionPlan(G, Spec);
+  ASSERT_TRUE(Plan.ok());
+
+  // Partition 0 has no constrained inputs: standard capacity dispensing.
+  VolumeAssignment P0 =
+      dispensePartition(*Plan, 0, std::vector<double>(Plan->Inputs.size(), -1.0),
+                        Spec);
+  NodeId Mix1 = findNode(Plan->Graph, "mix1");
+  EXPECT_NEAR(P0.NodeVolumeNl[Mix1], 100.0, 1e-9);
+
+  // Partition at wave 1 consumes the measured effluent volume. Feed it a
+  // generous measurement: capacity-limited.
+  std::vector<double> Avail(Plan->Inputs.size(), -1.0);
+  NodeId Eff1 = findNode(Plan->Graph, "effluent");
+  int Eff1Ref = -1;
+  for (size_t I = 0; I < Plan->Inputs.size(); ++I)
+    if (Plan->Inputs[I].Source == Eff1)
+      Eff1Ref = static_cast<int>(I);
+  ASSERT_GE(Eff1Ref, 0);
+
+  Avail[Eff1Ref] = 80.0;
+  VolumeAssignment P1 = dispensePartition(*Plan, 1, Avail, Spec);
+  // Partition 1's max Vnorm is buffer3a's half (10/11); a plentiful
+  // effluent leaves the buffer3a 50 nl cap binding: scale = 50/(10/11).
+  NodeId Mix3 = findNode(Plan->Graph, "mix3");
+  EXPECT_NEAR(P1.NodeVolumeNl[Mix3], 55.0, 1e-6);
+
+  // A scarce measurement binds instead: scale = 0.22/(1/22) = 4.84.
+  Avail[Eff1Ref] = 0.22;
+  VolumeAssignment P1Scarce = dispensePartition(*Plan, 1, Avail, Spec);
+  EXPECT_NEAR(P1Scarce.NodeVolumeNl[Mix3], 4.84, 1e-6);
+}
+
+TEST(Partition, CrossPartitionProducedFluidSplitsConservatively) {
+  // Figure 8: X is produced in wave 0 but one use transitively crosses an
+  // unknown separation; all of X's uses split 1/N.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId X = G.addMix("X", {{A, 1}, {B, 1}});
+  // Early use (wave 0).
+  NodeId Y = G.addMix("Y", {{X, 1}, {B, 1}});
+  NodeId U = G.addUnary(NodeKind::Separate, "U", Y);
+  G.node(U).UnknownVolume = true;
+  // Late use (wave 1): mixes X with U's measured output.
+  NodeId Late = G.addMix("late", {{X, 1}, {U, 1}});
+  G.addUnary(NodeKind::Sense, "out", Late);
+  ASSERT_TRUE(G.verify().ok());
+
+  auto Plan = buildPartitionPlan(G, MachineSpec{});
+  ASSERT_TRUE(Plan.ok()) << Plan.message();
+  // Cutting X's out-edges separates {A,X} from {B,Y,U}; the late mix forms
+  // the third partition.
+  EXPECT_EQ(Plan->Parts.size(), 3u) << Plan->str();
+
+  // X was cut: two constrained inputs of share 1/2 each (X', X'').
+  int XSplits = 0;
+  for (const auto &CI : Plan->Inputs)
+    if (CI.Source == X) {
+      ++XSplits;
+      EXPECT_EQ(CI.Share, Rational(1, 2));
+      EXPECT_FALSE(CI.FromInputPort);
+    }
+  EXPECT_EQ(XSplits, 2);
+  // X itself became a leaf of partition 0.
+  EXPECT_TRUE(Plan->Graph.isLeaf(X));
+
+  // U's measured output is a constrained input too.
+  int USplits = 0;
+  for (const auto &CI : Plan->Inputs)
+    if (CI.Source == U)
+      ++USplits;
+  EXPECT_EQ(USplits, 1);
+}
+
+TEST(Partition, SameWaveUsesMergeIntoOneConstrainedInput) {
+  // The m/N refinement: two same-partition uses of a cut fluid merge into
+  // a single constrained input with share m/N = 2/3.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId X = G.addMix("X", {{A, 1}, {B, 1}});
+  NodeId U = G.addUnary(NodeKind::Separate, "U", X);
+  G.node(U).UnknownVolume = true;
+  // Wave-1 consumers: two mixes both using X2 (the produced fluid)...
+  NodeId X2 = G.addMix("X2", {{A, 1}, {B, 1}});
+  NodeId M1 = G.addMix("m1", {{X2, 1}, {U, 1}});
+  NodeId M2 = G.addMix("m2", {{X2, 1}, {M1, 1}});
+  G.addUnary(NodeKind::Sense, "out", M2);
+  // ...and one wave-0 consumer.
+  NodeId M0 = G.addMix("m0", {{X2, 1}, {B, 1}});
+  NodeId S0 = G.addUnary(NodeKind::Separate, "S0", M0);
+  G.node(S0).UnknownVolume = true;
+  ASSERT_TRUE(G.verify().ok());
+
+  auto Plan = buildPartitionPlan(G, MachineSpec{});
+  ASSERT_TRUE(Plan.ok()) << Plan.message();
+
+  // X2's three uses split 1/3 each, but m1/m2 share a partition: one
+  // constrained input of 2/3 plus one of 1/3.
+  std::vector<Rational> Shares;
+  for (const auto &CI : Plan->Inputs)
+    if (CI.Source == X2)
+      Shares.push_back(CI.Share);
+  ASSERT_EQ(Shares.size(), 2u);
+  Rational Sum = Shares[0] + Shares[1];
+  EXPECT_EQ(Sum, Rational(1));
+  EXPECT_TRUE((Shares[0] == Rational(1, 3) && Shares[1] == Rational(2, 3)) ||
+              (Shares[0] == Rational(2, 3) && Shares[1] == Rational(1, 3)));
+}

@@ -1,0 +1,224 @@
+//===- PropertyTest.cpp - Invariants on random assay DAGs -----------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property tests over randomly generated assay DAGs:
+//
+//  * a feasible DAGSolve assignment satisfies every constraint of the
+//    Figure 3 formulation (checked by plugging the assignment into the
+//    generated LP model);
+//  * DAGSolve-feasible implies LP-feasible (DAGSolve only over-constrains,
+//    Section 3.3), and LP's output objective dominates DAGSolve's;
+//  * cascading preserves the final mixture's composition exactly;
+//  * replication preserves the aggregate Vnorm and graph validity;
+//  * conservation-aware rounding never lets integer demand exceed integer
+//    production.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Cascading.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Formulation.h"
+#include "aqua/core/Replication.h"
+#include "aqua/core/Rounding.h"
+#include "aqua/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+namespace {
+
+/// Generates a random valid assay DAG: a few inputs, then a mixture of
+/// mix/incubate/separate nodes over previously created values.
+AssayGraph randomDag(SplitMix64 &Rng, int Ops) {
+  AssayGraph G;
+  std::vector<NodeId> Values;
+  int Inputs = static_cast<int>(Rng.nextInRange(2, 4));
+  for (int I = 0; I < Inputs; ++I)
+    Values.push_back(G.addInput("in" + std::to_string(I)));
+
+  for (int I = 0; I < Ops; ++I) {
+    std::int64_t Kind = Rng.nextInRange(0, 9);
+    if (Kind <= 6 || Values.size() < 2) {
+      // Mix of 2-3 distinct sources with ratio parts 1..12.
+      int Arity = Values.size() >= 3 && Rng.nextInRange(0, 3) == 0 ? 3 : 2;
+      std::vector<NodeId> Sources;
+      while (static_cast<int>(Sources.size()) < Arity) {
+        NodeId S = Values[static_cast<size_t>(
+            Rng.nextInRange(0, static_cast<std::int64_t>(Values.size()) - 1))];
+        if (std::find(Sources.begin(), Sources.end(), S) == Sources.end())
+          Sources.push_back(S);
+      }
+      std::vector<MixPart> Parts;
+      for (NodeId S : Sources)
+        Parts.push_back(MixPart{S, Rng.nextInRange(1, 12)});
+      Values.push_back(G.addMix("mix" + std::to_string(I), Parts));
+    } else if (Kind == 7) {
+      NodeId S = Values[static_cast<size_t>(
+          Rng.nextInRange(0, static_cast<std::int64_t>(Values.size()) - 1))];
+      Values.push_back(
+          G.addUnary(NodeKind::Incubate, "inc" + std::to_string(I), S));
+    } else {
+      NodeId S = Values[static_cast<size_t>(
+          Rng.nextInRange(0, static_cast<std::int64_t>(Values.size()) - 1))];
+      NodeId Sep =
+          G.addUnary(NodeKind::Separate, "sep" + std::to_string(I), S);
+      G.node(Sep).OutFraction =
+          Rational(Rng.nextInRange(1, 3), 4); // Yield 1/4..3/4.
+      Values.push_back(Sep);
+    }
+  }
+  return G;
+}
+
+/// Plugs a volume assignment into the Figure 3 model's variable space.
+std::vector<double> toModelValues(const AssayGraph &G, const Formulation &F,
+                                  const VolumeAssignment &V) {
+  std::vector<double> Values(F.Model.numVars(), 0.0);
+  for (NodeId N : G.liveNodes())
+    Values[F.NodeVar[N]] = V.NodeVolumeNl[N];
+  for (EdgeId E : G.liveEdges())
+    Values[F.EdgeVar[E]] = V.EdgeVolumeNl[E];
+  return Values;
+}
+
+/// Forward composition pass: fraction of each *input fluid* in each node's
+/// product (excess edges don't matter; composition is volume-independent).
+std::map<std::string, double> compositionOf(const AssayGraph &G, NodeId N) {
+  std::map<NodeId, std::map<std::string, double>> Comp;
+  for (NodeId Id : G.topologicalOrder()) {
+    const Node &Nd = G.node(Id);
+    if (Nd.Kind == NodeKind::Input) {
+      Comp[Id][Nd.Name] = 1.0;
+      continue;
+    }
+    std::map<std::string, double> Mine;
+    for (EdgeId E : G.inEdges(Id)) {
+      double F = G.edge(E).Fraction.toDouble();
+      for (const auto &[Name, Frac] : Comp[G.edge(E).Src])
+        Mine[Name] += F * Frac;
+    }
+    Comp[Id] = std::move(Mine);
+  }
+  return Comp[N];
+}
+
+} // namespace
+
+class DagProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DagProperty, DagSolveSatisfiesFigure3Constraints) {
+  SplitMix64 Rng(GetParam() * 7919u + 101u);
+  MachineSpec Spec;
+  for (int Case = 0; Case < 20; ++Case) {
+    AssayGraph G = randomDag(Rng, static_cast<int>(Rng.nextInRange(3, 14)));
+    ASSERT_TRUE(G.verify().ok());
+    DagSolveResult R = dagSolve(G, Spec);
+    if (!R.Feasible)
+      continue;
+    Formulation F = buildVolumeModel(G, Spec);
+    std::vector<double> Values = toModelValues(G, F, R.Volumes);
+    EXPECT_LE(F.Model.maxViolation(Values), 1e-6)
+        << "case " << Case << "\n"
+        << G.str();
+  }
+}
+
+TEST_P(DagProperty, DagSolveFeasibleImpliesLPFeasible) {
+  SplitMix64 Rng(GetParam() * 104729u + 7u);
+  MachineSpec Spec;
+  for (int Case = 0; Case < 12; ++Case) {
+    AssayGraph G = randomDag(Rng, static_cast<int>(Rng.nextInRange(3, 10)));
+    DagSolveResult R = dagSolve(G, Spec);
+    LPVolumeResult LP = solveRVolLP(G, Spec);
+    if (R.Feasible) {
+      // DAGSolve over-constrains RVol: its solutions are LP-feasible, so
+      // LP must find one too, with at least as good an output objective.
+      ASSERT_EQ(LP.Solution.Status, lp::SolveStatus::Optimal)
+          << "case " << Case << "\n"
+          << G.str();
+      double DagObjective = 0.0;
+      for (NodeId N : G.liveNodes())
+        if (G.isLeaf(N) && G.node(N).Kind != NodeKind::Excess)
+          DagObjective += R.Volumes.NodeVolumeNl[N];
+      EXPECT_GE(LP.Solution.Objective + 1e-6, DagObjective);
+    }
+  }
+}
+
+TEST_P(DagProperty, CascadePreservesComposition) {
+  SplitMix64 Rng(GetParam() * 31337u + 3u);
+  for (int Case = 0; Case < 10; ++Case) {
+    AssayGraph G;
+    NodeId A = G.addInput("A");
+    NodeId B = G.addInput("B");
+    std::int64_t R = Rng.nextInRange(30, 2000);
+    NodeId M = G.addMix("M", {{A, 1}, {B, R}});
+    G.addUnary(NodeKind::Sense, "out", M);
+    auto Before = compositionOf(G, M);
+
+    int Stages = static_cast<int>(Rng.nextInRange(2, 4));
+    ASSERT_TRUE(cascadeMix(G, M, Stages).ok());
+    ASSERT_TRUE(G.verify().ok());
+    auto After = compositionOf(G, M);
+    // Composition is preserved exactly: A at 1/(R+1), B at R/(R+1).
+    EXPECT_NEAR(After["A"], Before["A"], 1e-12);
+    EXPECT_NEAR(After["B"], Before["B"], 1e-12);
+  }
+}
+
+TEST_P(DagProperty, ReplicationPreservesAggregateVnorm) {
+  SplitMix64 Rng(GetParam() * 271u + 13u);
+  MachineSpec Spec;
+  for (int Case = 0; Case < 10; ++Case) {
+    AssayGraph G = randomDag(Rng, static_cast<int>(Rng.nextInRange(6, 14)));
+    // Pick a node with >= 2 uses.
+    NodeId Target = InvalidNode;
+    for (NodeId N : G.liveNodes())
+      if (G.outEdges(N).size() >= 2)
+        Target = N;
+    if (Target == InvalidNode)
+      continue;
+    DagSolveResult Before = dagSolve(G, Spec);
+    Rational Sum = Before.NodeVnorm[Target];
+
+    auto Reps = replicateNode(G, Target, 2, Spec);
+    ASSERT_TRUE(Reps.ok()) << Reps.message();
+    ASSERT_TRUE(G.verify().ok()) << G.verify().message();
+    DagSolveResult After = dagSolve(G, Spec);
+    Rational NewSum(0);
+    for (NodeId Rep : *Reps)
+      NewSum += After.NodeVnorm[Rep];
+    EXPECT_EQ(NewSum, Sum) << "case " << Case;
+  }
+}
+
+TEST_P(DagProperty, RoundingConservesIntegerVolumes) {
+  SplitMix64 Rng(GetParam() * 7u + 77u);
+  MachineSpec Spec;
+  for (int Case = 0; Case < 15; ++Case) {
+    AssayGraph G = randomDag(Rng, static_cast<int>(Rng.nextInRange(4, 14)));
+    DagSolveResult R = dagSolve(G, Spec);
+    if (!R.Feasible)
+      continue;
+    IntegerAssignment I = roundToLeastCount(G, R.Volumes, Spec);
+    EXPECT_FALSE(I.Overflow);
+    for (NodeId N : G.liveNodes()) {
+      std::int64_t Demand = 0;
+      for (EdgeId E : G.outEdges(N))
+        if (G.node(G.edge(E).Dst).Kind != NodeKind::Excess)
+          Demand += I.EdgeUnits[E];
+      EXPECT_LE(Demand, I.NodeUnits[N])
+          << "node " << G.node(N).Name << " case " << Case;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DagProperty, ::testing::Range(0, 6));

@@ -1,0 +1,67 @@
+//===- ReportTest.cpp - Volume report tests --------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Report.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/Cascading.h"
+#include "aqua/core/DagSolve.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+TEST(Report, GlucoseAccounting) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  VolumeReport Rep = buildVolumeReport(G, R.Volumes);
+
+  // 13 non-excess nodes.
+  EXPECT_EQ(Rep.Fluids.size(), 13u);
+  // Reagent: 5 uses, produced 100 nl, fully consumed.
+  const FluidUsage *Reagent = nullptr;
+  for (const FluidUsage &U : Rep.Fluids)
+    if (U.Name == "Reagent")
+      Reagent = &U;
+  ASSERT_NE(Reagent, nullptr);
+  EXPECT_EQ(Reagent->Uses, 5);
+  EXPECT_NEAR(Reagent->ProducedNl, 100.0, 1e-9);
+  EXPECT_NEAR(Reagent->utilization(), 1.0, 1e-9);
+  EXPECT_NEAR(Reagent->ExcessNl, 0.0, 1e-12);
+
+  // Total input = Glucose + Reagent + Sample volumes.
+  EXPECT_NEAR(Rep.TotalInputNl, (103.0 / 90 + 151.0 / 45 + 0.5) *
+                                    (100.0 / (151.0 / 45)),
+              1e-6);
+  // DAGSolve conserves flow: no leftovers, no excess.
+  EXPECT_NEAR(Rep.TotalExcessNl, 0.0, 1e-9);
+  EXPECT_NEAR(Rep.TotalLeftoverNl, 0.0, 1e-9);
+  EXPECT_FALSE(Rep.str().empty());
+}
+
+TEST(Report, CascadeExcessIsAccounted) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 99}}, 10.0);
+  G.addUnary(NodeKind::Sense, "out", M);
+  ASSERT_TRUE(cascadeMix(G, M, 2).ok());
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  ASSERT_TRUE(R.Feasible);
+
+  VolumeReport Rep = buildVolumeReport(G, R.Volumes);
+  // The cascade intermediate discards 9/10 of its volume as excess.
+  const FluidUsage *Mid = nullptr;
+  for (const FluidUsage &U : Rep.Fluids)
+    if (U.Name == "M.casc1")
+      Mid = &U;
+  ASSERT_NE(Mid, nullptr);
+  EXPECT_NEAR(Mid->ExcessNl, 0.9 * Mid->ProducedNl, 1e-9);
+  EXPECT_NEAR(Mid->utilization(), 0.1, 1e-9);
+  EXPECT_GT(Rep.TotalExcessNl, 0.0);
+}

@@ -1,0 +1,113 @@
+//===- VerifyTest.cpp - Assignment verification tests ----------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/Verify.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Rounding.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+
+TEST(Verify, AcceptsDagSolveAssignments) {
+  for (int Which = 0; Which < 2; ++Which) {
+    AssayGraph G = Which == 0 ? assays::buildGlucoseAssay()
+                              : assays::buildFigure2Example();
+    MachineSpec Spec;
+    DagSolveResult R = dagSolve(G, Spec);
+    ASSERT_TRUE(R.Feasible);
+    auto Violations = verifyAssignment(G, R.Volumes, Spec);
+    EXPECT_TRUE(Violations.empty()) << violationsToString(Violations);
+
+    // DAGSolve's equal outputs satisfy even a 0%-band class 6.
+    VerifyOptions Strict;
+    Strict.OutputBalancePct = 0.0;
+    EXPECT_TRUE(verifyAssignment(G, R.Volumes, Spec, Strict).empty());
+  }
+}
+
+TEST(Verify, RoundedAssignmentPassesWithRatioTolerance) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  MachineSpec Spec;
+  DagSolveResult R = dagSolve(G, Spec);
+  IntegerAssignment I = roundToLeastCount(G, R.Volumes, Spec);
+  VolumeAssignment Metered = integerToNl(G, I, Spec);
+
+  // Exact ratio checking flags the rounding...
+  auto Exact = verifyAssignment(G, Metered, Spec);
+  bool HasClass4 = false;
+  for (const Violation &V : Exact)
+    if (V.ConstraintClass == 4)
+      HasClass4 = true;
+  EXPECT_TRUE(HasClass4);
+
+  // ...while the paper's 2% rounding tolerance accepts it.
+  VerifyOptions Lenient;
+  Lenient.RatioTolerance = 0.02;
+  auto Ok = verifyAssignment(G, Metered, Spec, Lenient);
+  EXPECT_TRUE(Ok.empty()) << violationsToString(Ok);
+}
+
+TEST(Verify, DiagnosesEachConstraintClass) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 3}});
+  G.addUnary(NodeKind::Sense, "out", M);
+  MachineSpec Spec;
+
+  VolumeAssignment V;
+  V.NodeVolumeNl.assign(G.numNodeSlots(), 0.0);
+  V.EdgeVolumeNl.assign(G.numEdgeSlots(), 0.0);
+  auto Edges = G.liveEdges(); // A->M, B->M, M->out.
+  V.EdgeVolumeNl[Edges[0]] = 0.05;  // Class 1: below least count.
+  V.EdgeVolumeNl[Edges[1]] = 150.0; // Class 2: M overflows; class 4: ratio.
+  V.EdgeVolumeNl[Edges[2]] = 70.0;
+  V.NodeVolumeNl[A] = 0.05;
+  V.NodeVolumeNl[B] = 20.0; // Class 3: uses 150 from 20.
+  V.NodeVolumeNl[M] = 60.0; // Class 5: 60 != 150.05 input.
+
+  auto Violations = verifyAssignment(G, V, Spec);
+  std::set<int> Classes;
+  for (const Violation &Viol : Violations)
+    Classes.insert(Viol.ConstraintClass);
+  for (int C : {1, 2, 3, 4, 5})
+    EXPECT_TRUE(Classes.count(C)) << "missing class " << C << "\n"
+                                  << violationsToString(Violations);
+  EXPECT_FALSE(violationsToString(Violations).empty());
+}
+
+TEST(Verify, SizeMismatchIsStructural) {
+  AssayGraph G = assays::buildFigure2Example();
+  VolumeAssignment V; // Empty vectors.
+  auto Violations = verifyAssignment(G, V, MachineSpec{});
+  ASSERT_EQ(Violations.size(), 1u);
+  EXPECT_EQ(Violations[0].ConstraintClass, 0);
+}
+
+TEST(Verify, OutputBalanceBand) {
+  assays::Figure2Nodes N;
+  AssayGraph G = assays::buildFigure2Example(&N);
+  MachineSpec Spec;
+  DagSolveOptions Opts;
+  Opts.OutputWeights = {{N.M, Rational(3)}}; // Deliberate 3:1 skew.
+  DagSolveResult R = dagSolve(G, Spec, Opts);
+
+  VerifyOptions Band;
+  Band.OutputBalancePct = 10.0;
+  auto Violations = verifyAssignment(G, R.Volumes, Spec, Band);
+  bool HasClass6 = false;
+  for (const Violation &V : Violations)
+    if (V.ConstraintClass == 6)
+      HasClass6 = true;
+  EXPECT_TRUE(HasClass6);
+}

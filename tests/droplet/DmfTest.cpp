@@ -1,0 +1,160 @@
+//===- DmfTest.cpp - Droplet adaptation tests ------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/droplet/Dmf.h"
+#include "aqua/droplet/Router.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/core/Cascading.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::droplet;
+using namespace aqua::ir;
+
+namespace {
+
+EdgeId findEdge(const AssayGraph &G, NodeId Src, NodeId Dst) {
+  for (EdgeId E : G.liveEdges())
+    if (G.edge(E).Src == Src && G.edge(E).Dst == Dst)
+      return E;
+  return -1;
+}
+
+} // namespace
+
+TEST(Dmf, Figure2ExactDropletCounts) {
+  // The Figure 2 example's Vnorm denominators have lcm 45, so the minimal
+  // whole-droplet dispensing is Vnorm * 45 -- an *exact* integer analogue
+  // of Figure 5(b).
+  assays::Figure2Nodes N;
+  AssayGraph G = assays::buildFigure2Example(&N);
+  DmfSpec Spec;
+  Spec.CapacityDroplets = 64;
+  auto A = dmfDagSolve(G, Spec);
+  ASSERT_TRUE(A.ok()) << A.message();
+  EXPECT_TRUE(A->Feasible);
+  EXPECT_EQ(A->Scale, 45);
+  EXPECT_EQ(A->EdgeDroplets[findEdge(G, N.A, N.K)], 6);  // 2/15 * 45.
+  EXPECT_EQ(A->EdgeDroplets[findEdge(G, N.B, N.K)], 24); // 8/15 * 45.
+  EXPECT_EQ(A->EdgeDroplets[findEdge(G, N.B, N.L)], 22); // 22/45 * 45.
+  EXPECT_EQ(A->EdgeDroplets[findEdge(G, N.C, N.L)], 11);
+  EXPECT_EQ(A->NodeDroplets[N.B], 46); // Max site population.
+  EXPECT_EQ(A->MaxSiteDroplets, 46);
+  EXPECT_EQ(A->MinEdgeDroplets, 6);
+}
+
+TEST(Dmf, CapacityBindsFeasibility) {
+  assays::Figure2Nodes N;
+  AssayGraph G = assays::buildFigure2Example(&N);
+  DmfSpec Tight;
+  Tight.CapacityDroplets = 45; // Below B's 46 droplets.
+  auto A = dmfDagSolve(G, Tight);
+  ASSERT_TRUE(A.ok());
+  EXPECT_FALSE(A->Feasible);
+}
+
+TEST(Dmf, GlucoseIsExact) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  DmfSpec Spec;
+  Spec.CapacityDroplets = 512;
+  auto A = dmfDagSolve(G, Spec);
+  ASSERT_TRUE(A.ok()) << A.message();
+  EXPECT_TRUE(A->Feasible);
+  // Reagent's Vnorm is 151/45; denominators lcm is 90; reagent needs
+  // 151/45 * 90 = 302 droplets.
+  EXPECT_EQ(A->Scale, 90);
+  EXPECT_EQ(A->MaxSiteDroplets, 302);
+  // Mix ratios are exact: zero rounding error by construction.
+  for (NodeId N : G.liveNodes()) {
+    if (G.node(N).Kind != NodeKind::Mix)
+      continue;
+    std::int64_t Total = 0;
+    for (EdgeId E : G.inEdges(N))
+      Total += A->EdgeDroplets[E];
+    for (EdgeId E : G.inEdges(N))
+      EXPECT_EQ(Rational(A->EdgeDroplets[E], Total), G.edge(E).Fraction);
+  }
+}
+
+TEST(Dmf, UnknownVolumeRejected) {
+  AssayGraph G = assays::buildGlycomicsAssay();
+  auto A = dmfDagSolve(G, DmfSpec{});
+  ASSERT_FALSE(A.ok());
+  EXPECT_NE(A.message().find("unknown"), std::string::npos);
+}
+
+TEST(DmfRouter, Figure2ExecutesOnGrid) {
+  AssayGraph G = assays::buildFigure2Example();
+  DmfSpec Spec;
+  Spec.Width = 16;
+  Spec.Height = 16;
+  auto A = dmfDagSolve(G, Spec);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(A->Feasible);
+
+  auto Run = executeOnGrid(G, *A, Spec);
+  ASSERT_TRUE(Run.ok()) << Run.message();
+  EXPECT_TRUE(Run->Completed);
+  EXPECT_EQ(Run->Dispenses, 3);
+  // Two outputs are leaves with no sense: they are Output-less mixes that
+  // stay parked; merges happen for every second+ operand: 4 mixes x 1.
+  EXPECT_EQ(Run->Merges, 4);
+  EXPECT_GT(Run->Steps, 0);
+  EXPECT_GT(Run->PeakDroplets, 2);
+}
+
+TEST(DmfRouter, GlucoseExecutesOnGrid) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  DmfSpec Spec;
+  Spec.Width = 20;
+  Spec.Height = 20;
+  Spec.CapacityDroplets = 512;
+  auto A = dmfDagSolve(G, Spec);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(A->Feasible);
+
+  auto Run = executeOnGrid(G, *A, Spec);
+  ASSERT_TRUE(Run.ok()) << Run.message();
+  EXPECT_EQ(Run->Dispenses, 3);
+  EXPECT_EQ(Run->Senses, 5);
+  EXPECT_EQ(Run->Merges, 5); // One per two-input mix.
+  EXPECT_GT(Run->Steps, 50);
+}
+
+TEST(DmfRouter, CascadedMixWithExcessExecutes) {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 99}}, 1.0);
+  G.addUnary(NodeKind::Sense, "sense_R_1", M);
+  ASSERT_TRUE(core::cascadeMix(G, M, 2).ok());
+
+  DmfSpec Spec;
+  Spec.Width = 24;
+  Spec.Height = 24;
+  Spec.CapacityDroplets = 512;
+  auto Asg = dmfDagSolve(G, Spec);
+  ASSERT_TRUE(Asg.ok()) << Asg.message();
+  ASSERT_TRUE(Asg->Feasible);
+  auto Run = executeOnGrid(G, *Asg, Spec);
+  ASSERT_TRUE(Run.ok()) << Run.message();
+  EXPECT_TRUE(Run->Completed);
+  EXPECT_GE(Run->Splits, 3); // Operand splits plus the excess discard.
+}
+
+TEST(DmfRouter, TinyGridReportsCongestion) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  DmfSpec Spec;
+  Spec.Width = 4;
+  Spec.Height = 3;
+  Spec.CapacityDroplets = 512;
+  auto A = dmfDagSolve(G, Spec);
+  ASSERT_TRUE(A.ok());
+  auto Run = executeOnGrid(G, *A, Spec);
+  EXPECT_FALSE(Run.ok());
+}

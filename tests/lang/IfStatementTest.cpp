@@ -1,0 +1,121 @@
+//===- IfStatementTest.cpp - IF/ELSE lowering tests -----------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lang/Lower.h"
+#include "aqua/lang/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::ir;
+using namespace aqua::lang;
+
+TEST(IfStatement, ParsesThenElse) {
+  auto P = parseAssay(R"(ASSAY t START
+fluid a, b;
+VAR x;
+x = 1;
+IF x START
+  MIX a AND b FOR 1;
+ELSE
+  MIX a AND b IN RATIOS 1 : 2 FOR 1;
+ENDIF
+END
+)");
+  ASSERT_TRUE(P.ok()) << P.message();
+  const Stmt &If = *P->Stmts[3];
+  ASSERT_EQ(If.K, Stmt::Kind::If);
+  EXPECT_EQ(If.Body.size(), 1u);
+  EXPECT_EQ(If.ElseBody.size(), 1u);
+}
+
+TEST(IfStatement, TakesThenBranchOnNonZero) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b;
+VAR x;
+x = 2;
+IF x - 1 START
+  MIX a AND b IN RATIOS 1 : 3 FOR 1;
+ELSE
+  MIX a AND b IN RATIOS 1 : 7 FOR 1;
+ENDIF
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  // Exactly one mix, with the THEN ratio 1:3.
+  int Mixes = 0;
+  for (NodeId N : L->Graph.liveNodes()) {
+    if (L->Graph.node(N).Kind != NodeKind::Mix)
+      continue;
+    ++Mixes;
+    Rational Small(1);
+    for (EdgeId E : L->Graph.inEdges(N))
+      Small = min(Small, L->Graph.edge(E).Fraction);
+    EXPECT_EQ(Small, Rational(1, 4));
+  }
+  EXPECT_EQ(Mixes, 1);
+}
+
+TEST(IfStatement, TakesElseBranchOnZero) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b;
+VAR x;
+x = 0;
+IF x START
+  MIX a AND b IN RATIOS 1 : 3 FOR 1;
+ELSE
+  MIX a AND b IN RATIOS 1 : 7 FOR 1;
+ENDIF
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  for (NodeId N : L->Graph.liveNodes()) {
+    if (L->Graph.node(N).Kind != NodeKind::Mix)
+      continue;
+    Rational Small(1);
+    for (EdgeId E : L->Graph.inEdges(N))
+      Small = min(Small, L->Graph.edge(E).Fraction);
+    EXPECT_EQ(Small, Rational(1, 8));
+  }
+}
+
+TEST(IfStatement, MissingElseIsEmpty) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b;
+VAR x;
+x = 0;
+IF x START
+  MIX a AND b FOR 1;
+ENDIF
+MIX a AND b FOR 2;
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  EXPECT_EQ(L->Graph.numNodes(), 3); // Two inputs + the trailing mix.
+}
+
+TEST(IfStatement, InsideLoopSelectsPerIteration) {
+  // Classic use: special-case one loop iteration.
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b;
+VAR i;
+FOR i FROM 1 TO 4 START
+  IF i - 1 START
+    MIX a AND b IN RATIOS 1 : i FOR 1;
+  ELSE
+    MIX a AND b FOR 1;
+  ENDIF
+ENDFOR
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  EXPECT_EQ(L->Graph.numNodes(), 2 + 4);
+}
+
+TEST(IfStatement, UnclosedIfReported) {
+  auto P = parseAssay("ASSAY t START VAR x; x = 1; IF x START END");
+  ASSERT_FALSE(P.ok());
+}

@@ -1,0 +1,169 @@
+//===- LexerParserTest.cpp - Assay language lexer/parser tests -----------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lang/Lexer.h"
+#include "aqua/lang/Parser.h"
+
+#include "aqua/assays/PaperAssays.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::lang;
+
+TEST(Lexer, BasicTokens) {
+  auto Tokens = tokenize("a = MIX x AND y IN RATIOS 1 : 42 FOR 10;");
+  ASSERT_TRUE(Tokens.ok()) << Tokens.message();
+  std::vector<TokenKind> Kinds;
+  for (const Token &T : *Tokens)
+    Kinds.push_back(T.Kind);
+  std::vector<TokenKind> Expected = {
+      TokenKind::Identifier, TokenKind::Equals,  TokenKind::KwMix,
+      TokenKind::Identifier, TokenKind::KwAnd,   TokenKind::Identifier,
+      TokenKind::KwIn,       TokenKind::KwRatios, TokenKind::Integer,
+      TokenKind::Colon,      TokenKind::Integer, TokenKind::KwFor,
+      TokenKind::Integer,    TokenKind::Semicolon, TokenKind::Eof};
+  EXPECT_EQ(Kinds, Expected);
+  EXPECT_EQ((*Tokens)[10].IntValue, 42);
+}
+
+TEST(Lexer, CommentsAndLocations) {
+  auto Tokens = tokenize("x -- a comment\ny");
+  ASSERT_TRUE(Tokens.ok());
+  ASSERT_EQ(Tokens->size(), 3u);
+  EXPECT_EQ((*Tokens)[0].Line, 1);
+  EXPECT_EQ((*Tokens)[1].Text, "y");
+  EXPECT_EQ((*Tokens)[1].Line, 2);
+}
+
+TEST(Lexer, RejectsUnknownCharacters) {
+  auto Tokens = tokenize("a @ b");
+  ASSERT_FALSE(Tokens.ok());
+  EXPECT_NE(Tokens.message().find("unexpected character"), std::string::npos);
+}
+
+TEST(Lexer, RejectsMalformedNumbers) {
+  auto Tokens = tokenize("12abc");
+  ASSERT_FALSE(Tokens.ok());
+  EXPECT_NE(Tokens.message().find("malformed number"), std::string::npos);
+}
+
+TEST(Parser, ParsesAllThreePaperAssays) {
+  for (const char *Src : {assays::glucoseSource(), assays::glycomicsSource(),
+                          assays::enzymeSource()}) {
+    auto P = parseAssay(Src);
+    ASSERT_TRUE(P.ok()) << P.message();
+  }
+}
+
+TEST(Parser, GlucoseShape) {
+  auto P = parseAssay(assays::glucoseSource());
+  ASSERT_TRUE(P.ok());
+  EXPECT_EQ(P->Name, "glucose");
+  // 2 fluid decls + 1 VAR decl + 5 mixes + 5 senses.
+  EXPECT_EQ(P->Stmts.size(), 13u);
+  const Stmt &Mix = *P->Stmts[3];
+  EXPECT_EQ(Mix.K, Stmt::Kind::Mix);
+  ASSERT_TRUE(Mix.MixResult.has_value());
+  EXPECT_EQ(Mix.MixResult->Name, "a");
+  EXPECT_EQ(Mix.Operands.size(), 2u);
+  EXPECT_EQ(Mix.Ratios.size(), 2u);
+}
+
+TEST(Parser, EnzymeLoops) {
+  auto P = parseAssay(assays::enzymeSource());
+  ASSERT_TRUE(P.ok());
+  int Loops = 0;
+  for (const StmtPtr &S : P->Stmts)
+    if (S->K == Stmt::Kind::For)
+      ++Loops;
+  EXPECT_EQ(Loops, 4); // Three dilution loops + the combination nest.
+}
+
+TEST(Parser, SeparateStatement) {
+  auto P = parseAssay(R"(ASSAY t START
+fluid a, b, eff, waste;
+MIX a AND b FOR 5;
+SEPARATE it MATRIX lectin USING b FOR 30 INTO eff AND waste;
+END
+)");
+  ASSERT_TRUE(P.ok()) << P.message();
+  const Stmt &Sep = *P->Stmts[2];
+  EXPECT_EQ(Sep.K, Stmt::Kind::Separate);
+  EXPECT_FALSE(Sep.IsLC);
+  EXPECT_TRUE(Sep.Input.IsIt);
+  EXPECT_EQ(Sep.MatrixName, "lectin");
+  EXPECT_EQ(Sep.UsingName, "b");
+  EXPECT_EQ(Sep.EffluentName, "eff");
+  EXPECT_EQ(Sep.WasteName, "waste");
+}
+
+TEST(Parser, MissingSemicolonBeforeEndIsAllowed) {
+  auto P = parseAssay("ASSAY t START\nfluid a, b;\nMIX a AND b FOR 1\nEND\n");
+  EXPECT_TRUE(P.ok()) << P.message();
+}
+
+TEST(Parser, DryExpressionsWithPrecedence) {
+  auto P = parseAssay(R"(ASSAY t START
+VAR x, y;
+x = 1 + 2 * 3;
+y = x - 4 / 2;
+END
+)");
+  ASSERT_TRUE(P.ok());
+  const Stmt &X = *P->Stmts[1];
+  ASSERT_EQ(X.K, Stmt::Kind::DryAssign);
+  // 1 + (2*3): root is '+'.
+  EXPECT_EQ(X.Value->K, Expr::Kind::BinOp);
+  EXPECT_EQ(X.Value->Op, '+');
+  EXPECT_EQ(X.Value->Rhs->Op, '*');
+}
+
+TEST(Parser, ErrorDiagnostics) {
+  struct Case {
+    const char *Src;
+    const char *Needle;
+  };
+  Case Cases[] = {
+      {"MIX a AND b FOR 1; END", "expected 'ASSAY'"},
+      {"ASSAY t START MIX a FOR 1; END", "at least two operands"},
+      {"ASSAY t START MIX a AND b IN RATIOS 1 FOR 1; END", "2 operands but 1"},
+      {"ASSAY t START fluid a b; END", "expected ';'"},
+      {"ASSAY t START SENSE it INTO r; END", "OPTICAL or FLUORESCENCE"},
+      {"ASSAY t START FOR i FROM 1 TO 2 START END", "unexpected token"},
+      {"ASSAY t START x = ; END", "expected expression"},
+  };
+  for (const Case &C : Cases) {
+    auto P = parseAssay(C.Src);
+    ASSERT_FALSE(P.ok()) << C.Src;
+    EXPECT_NE(P.message().find(C.Needle), std::string::npos)
+        << C.Src << " -> " << P.message();
+  }
+}
+
+TEST(Parser, MultiDimArrays) {
+  auto P = parseAssay(R"(ASSAY t START
+VAR R[2][3][4];
+VAR i;
+i = 1;
+R[1][2][3] = i * 7;
+END
+)");
+  ASSERT_TRUE(P.ok()) << P.message();
+  const Stmt &Decl = *P->Stmts[0];
+  ASSERT_EQ(Decl.Decls.size(), 1u);
+  EXPECT_EQ(Decl.Decls[0].Dims, (std::vector<std::int64_t>{2, 3, 4}));
+}
+
+TEST(Lexer, RejectsOutOfRangeIntegers) {
+  auto Tokens = tokenize("99999999999999999999999999");
+  ASSERT_FALSE(Tokens.ok());
+  EXPECT_NE(Tokens.message().find("too large"), std::string::npos);
+  // Near the limit is fine.
+  auto Ok = tokenize("9223372036854775807");
+  ASSERT_TRUE(Ok.ok());
+  EXPECT_EQ((*Ok)[0].IntValue, 9223372036854775807LL);
+}

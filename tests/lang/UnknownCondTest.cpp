@@ -1,0 +1,120 @@
+//===- UnknownCondTest.cpp - IF ? conservative inclusion tests -------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 3.5 unknown uses: "To handle if-then-else, we conservatively
+// include both if and else paths in our DAG". `IF ? START ... ELSE ...
+// ENDIF` marks a run-time condition; both branches' fluid uses reserve
+// volume.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/core/DagSolve.h"
+#include "aqua/lang/Lower.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace aqua::lang;
+
+TEST(UnknownCond, BothBranchesReserveVolume) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b;
+IF ? START
+  MIX a AND b IN RATIOS 1 : 3 FOR 1;
+ELSE
+  MIX a AND b IN RATIOS 3 : 1 FOR 1;
+ENDIF
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  // Both mixes are in the DAG.
+  int Mixes = 0;
+  for (NodeId N : L->Graph.liveNodes())
+    if (L->Graph.node(N).Kind == NodeKind::Mix)
+      ++Mixes;
+  EXPECT_EQ(Mixes, 2);
+
+  // Volume management reserves for both: each input covers both branches'
+  // demands (1/4 + 3/4 of equal-sized mixes each).
+  DagSolveResult R = dagSolve(L->Graph, MachineSpec{});
+  ASSERT_TRUE(R.Feasible);
+  for (NodeId N : L->Graph.liveNodes()) {
+    if (L->Graph.node(N).Kind == NodeKind::Input) {
+      EXPECT_EQ(R.NodeVnorm[N], Rational(1)); // 1/4 + 3/4.
+    }
+  }
+}
+
+TEST(UnknownCond, BranchBindingsDoNotEscape) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b, x;
+IF ? START
+  x = MIX a AND b FOR 1;
+ENDIF
+MIX x AND a FOR 1;
+END
+)");
+  ASSERT_FALSE(L.ok());
+  EXPECT_NE(L.message().find("x"), std::string::npos);
+}
+
+TEST(UnknownCond, ItDoesNotEscape) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b;
+IF ? START
+  MIX a AND b FOR 1;
+ENDIF
+MIX it AND a FOR 1;
+END
+)");
+  ASSERT_FALSE(L.ok());
+  EXPECT_NE(L.message().find("'it'"), std::string::npos);
+}
+
+TEST(UnknownCond, PreIfBindingsSurvive) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b, base;
+base = MIX a AND b FOR 1;
+IF ? START
+  MIX base AND a FOR 1;
+ELSE
+  MIX base AND b FOR 1;
+ENDIF
+MIX base AND a IN RATIOS 1 : 2 FOR 1;
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  // base has three uses: one per branch plus the trailing mix.
+  for (NodeId N : L->Graph.liveNodes()) {
+    if (L->Graph.node(N).Name == "base") {
+      EXPECT_EQ(L->Graph.outEdges(N).size(), 3u);
+    }
+  }
+}
+
+TEST(UnknownCond, DryStateIsBranchLocal) {
+  // A dry assignment inside an unknown branch must not leak (its value is
+  // unknowable at compile time).
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b;
+VAR x;
+x = 1;
+IF ? START
+  x = 5;
+ENDIF
+MIX a AND b IN RATIOS 1 : x FOR 1;
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  for (NodeId N : L->Graph.liveNodes()) {
+    if (L->Graph.node(N).Kind != NodeKind::Mix)
+      continue;
+    for (EdgeId E : L->Graph.inEdges(N))
+      EXPECT_EQ(L->Graph.edge(E).Fraction, Rational(1, 2)); // 1:1, not 1:5.
+  }
+}

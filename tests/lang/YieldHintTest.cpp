@@ -1,0 +1,105 @@
+//===- YieldHintTest.cpp - Section 3.5 yield hint tests --------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// "If the programmer can provide hints on approximate output volume
+// relative to input volume at the unknown-volume instruction ... we model
+// such a hint as a node whose output shrinks the input volume in the
+// specified ratio." (Section 3.5)
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lang/Lower.h"
+
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Partition.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace aqua::lang;
+
+namespace {
+
+NodeId findNode(const AssayGraph &G, const std::string &Name) {
+  for (NodeId N : G.liveNodes())
+    if (G.node(N).Name == Name)
+      return N;
+  return InvalidNode;
+}
+
+} // namespace
+
+TEST(YieldHint, SeparationBecomesStaticallyKnown) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b, eff, waste;
+MIX a AND b FOR 5;
+SEPARATE it MATRIX m USING b FOR 30 YIELD 1 OF 4 INTO eff AND waste;
+MIX eff AND a FOR 5;
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  NodeId Eff = findNode(L->Graph, "eff");
+  ASSERT_NE(Eff, InvalidNode);
+  EXPECT_FALSE(L->Graph.node(Eff).UnknownVolume);
+  EXPECT_EQ(L->Graph.node(Eff).OutFraction, Rational(1, 4));
+
+  // With the hint there is nothing statically unknown: a single partition.
+  auto Plan = buildPartitionPlan(L->Graph, MachineSpec{});
+  ASSERT_TRUE(Plan.ok());
+  EXPECT_EQ(Plan->Parts.size(), 1u);
+
+  // DAGSolve accounts for the shrink: eff's input side is 4x its output.
+  DagSolveResult R = dagSolve(L->Graph, MachineSpec{});
+  EXPECT_EQ(nodeInputVnorm(L->Graph, Eff, R),
+            R.NodeVnorm[Eff] * Rational(4));
+}
+
+TEST(YieldHint, ConcentrateHint) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b;
+MIX a AND b FOR 5;
+CONCENTRATE it AT 90 FOR 60 YIELD 3 OF 10;
+MIX it AND a FOR 5;
+END
+)");
+  ASSERT_TRUE(L.ok()) << L.message();
+  NodeId Conc = findNode(L->Graph, "concentrate1");
+  ASSERT_NE(Conc, InvalidNode);
+  EXPECT_FALSE(L->Graph.node(Conc).UnknownVolume);
+  EXPECT_EQ(L->Graph.node(Conc).OutFraction, Rational(3, 10));
+}
+
+TEST(YieldHint, WithoutHintStaysUnknown) {
+  auto L = compileAssay(R"(ASSAY t START
+fluid a, b, eff, waste;
+MIX a AND b FOR 5;
+SEPARATE it MATRIX m USING b FOR 30 INTO eff AND waste;
+MIX eff AND a FOR 5;
+END
+)");
+  ASSERT_TRUE(L.ok());
+  NodeId Eff = findNode(L->Graph, "eff");
+  EXPECT_TRUE(L->Graph.node(Eff).UnknownVolume);
+  auto Plan = buildPartitionPlan(L->Graph, MachineSpec{});
+  ASSERT_TRUE(Plan.ok());
+  EXPECT_EQ(Plan->Parts.size(), 2u);
+}
+
+TEST(YieldHint, InvalidHintsRejected) {
+  const char *Bad[] = {
+      "ASSAY t START fluid a, b, e, w; MIX a AND b FOR 1; "
+      "SEPARATE it MATRIX m USING b FOR 1 YIELD 0 OF 4 INTO e AND w; END",
+      "ASSAY t START fluid a, b, e, w; MIX a AND b FOR 1; "
+      "SEPARATE it MATRIX m USING b FOR 1 YIELD 5 OF 4 INTO e AND w; END",
+  };
+  for (const char *Src : Bad) {
+    auto L = compileAssay(Src);
+    ASSERT_FALSE(L.ok()) << Src;
+    EXPECT_NE(L.message().find("yield hint"), std::string::npos);
+  }
+}

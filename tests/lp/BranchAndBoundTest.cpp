@@ -1,0 +1,158 @@
+//===- BranchAndBoundTest.cpp - ILP branch-and-bound tests ---------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/BranchAndBound.h"
+#include "aqua/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace aqua;
+using namespace aqua::lp;
+
+TEST(BranchAndBound, KnapsackStyle) {
+  // max 5x + 4y  s.t.  6x + 5y <= 10, x,y >= 0 integer.
+  // LP relaxation: x = 5/3; ILP optimum: y = 2 (obj 8).
+  Model M;
+  M.addVar("x", 0.0, Infinity, 5.0);
+  M.addVar("y", 0.0, Infinity, 4.0);
+  M.addRow("cap", RowKind::LE, 10.0, {{0, 1.0}, {1, 5.0}});
+  M.row(0).Terms[0].Coef = 6.0;
+  IntSolution S = solveInteger(M, {});
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_TRUE(S.HasIncumbent);
+  EXPECT_NEAR(S.Objective, 8.0, 1e-6);
+  EXPECT_NEAR(S.Values[0], 0.0, 1e-9);
+  EXPECT_NEAR(S.Values[1], 2.0, 1e-9);
+}
+
+TEST(BranchAndBound, AlreadyIntegralRelaxation) {
+  Model M;
+  M.addVar("x", 0.0, 3.0, 1.0);
+  IntSolution S = solveInteger(M, {});
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 3.0, 1e-9);
+  EXPECT_EQ(S.Nodes, 1);
+}
+
+TEST(BranchAndBound, InfeasibleIsProven) {
+  Model M;
+  M.addVar("x", 0.0, Infinity, 1.0);
+  M.addRow("ge", RowKind::GE, 5.0, {{0, 1.0}});
+  M.addRow("le", RowKind::LE, 3.0, {{0, 1.0}});
+  IntSolution S = solveInteger(M, {});
+  EXPECT_EQ(S.Status, SolveStatus::Infeasible);
+  EXPECT_FALSE(S.HasIncumbent);
+}
+
+TEST(BranchAndBound, FractionalOnlyFeasibility) {
+  // 2x == 1 forces x = 0.5: LP feasible, ILP infeasible.
+  Model M;
+  M.addVar("x", 0.0, Infinity, 1.0);
+  M.addRow("eq", RowKind::EQ, 1.0, {{0, 2.0}});
+  IntSolution S = solveInteger(M, {});
+  EXPECT_EQ(S.Status, SolveStatus::Infeasible);
+}
+
+TEST(BranchAndBound, MixedIntegerMask) {
+  // y continuous, x integer: max x + y, x + y <= 2.5, x <= 1.7.
+  Model M;
+  M.addVar("x", 0.0, 1.7, 1.0);
+  M.addVar("y", 0.0, Infinity, 1.0);
+  M.addRow("cap", RowKind::LE, 2.5, {{0, 1.0}, {1, 1.0}});
+  IntSolution S = solveInteger(M, {true, false});
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 2.5, 1e-6);
+  EXPECT_NEAR(S.Values[0], std::round(S.Values[0]), 1e-9);
+}
+
+TEST(BranchAndBound, MinimizationDirection) {
+  // min 3x + 2y  s.t.  x + y >= 2.5, integers -> (0,3) or (1,2): obj 6 vs 7.
+  Model M;
+  M.setMaximize(false);
+  M.addVar("x", 0.0, Infinity, 3.0);
+  M.addVar("y", 0.0, Infinity, 2.0);
+  M.addRow("ge", RowKind::GE, 2.5, {{0, 1.0}, {1, 1.0}});
+  IntSolution S = solveInteger(M, {});
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 6.0, 1e-6);
+}
+
+TEST(BranchAndBound, NodeBudgetReportsTimeLimit) {
+  // A problem needing branching, with a 1-node budget.
+  Model M;
+  M.addVar("x", 0.0, Infinity, 5.0);
+  M.addVar("y", 0.0, Infinity, 4.0);
+  M.addRow("cap", RowKind::LE, 10.0, {{0, 6.0}, {1, 5.0}});
+  IntOptions Opts;
+  Opts.MaxNodes = 1;
+  IntSolution S = solveInteger(M, {}, Opts);
+  EXPECT_EQ(S.Status, SolveStatus::TimeLimit);
+}
+
+// Property sweep: B&B must match exhaustive search on small integer boxes.
+class BnBRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnBRandomTest, MatchesExhaustiveSearch) {
+  SplitMix64 Rng(static_cast<std::uint64_t>(GetParam()) * 104729 + 3);
+  for (int Case = 0; Case < 25; ++Case) {
+    int N = static_cast<int>(Rng.nextInRange(2, 3));
+    Model M;
+    M.setMaximize(true);
+    std::vector<std::int64_t> Hi(N);
+    for (int I = 0; I < N; ++I) {
+      Hi[I] = Rng.nextInRange(1, 4);
+      M.addVar("x" + std::to_string(I), 0.0, static_cast<double>(Hi[I]),
+               static_cast<double>(Rng.nextInRange(-3, 4)));
+    }
+    int R = static_cast<int>(Rng.nextInRange(1, 3));
+    for (int I = 0; I < R; ++I) {
+      std::vector<Term> Terms;
+      for (int V = 0; V < N; ++V) {
+        double C = static_cast<double>(Rng.nextInRange(-2, 3));
+        if (C != 0.0)
+          Terms.push_back(Term{V, C});
+      }
+      if (Terms.empty())
+        continue;
+      M.addRow("r" + std::to_string(I),
+               Rng.nextInRange(0, 1) ? RowKind::LE : RowKind::GE,
+               static_cast<double>(Rng.nextInRange(-4, 8)),
+               std::move(Terms));
+    }
+
+    // Exhaustive search over the integer box.
+    std::optional<double> Best;
+    std::vector<double> Point(N, 0.0);
+    auto Enumerate = [&](auto &&Self, int V) -> void {
+      if (V == N) {
+        if (M.maxViolation(Point) <= 1e-9) {
+          double Obj = M.objectiveValue(Point);
+          if (!Best || Obj > *Best)
+            Best = Obj;
+        }
+        return;
+      }
+      for (std::int64_t X = 0; X <= Hi[V]; ++X) {
+        Point[V] = static_cast<double>(X);
+        Self(Self, V + 1);
+      }
+    };
+    Enumerate(Enumerate, 0);
+
+    IntSolution S = solveInteger(M, {});
+    if (Best) {
+      ASSERT_EQ(S.Status, SolveStatus::Optimal) << M.str();
+      EXPECT_NEAR(S.Objective, *Best, 1e-6) << M.str();
+      EXPECT_LE(M.maxViolation(S.Values), 1e-6);
+    } else {
+      EXPECT_EQ(S.Status, SolveStatus::Infeasible) << M.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnBRandomTest, ::testing::Range(0, 6));

@@ -1,0 +1,113 @@
+//===- PresolveTest.cpp - Equality-substitution presolve tests -----------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/Presolve.h"
+#include "aqua/lp/Solver.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua::lp;
+
+TEST(Presolve, EliminatesTwoTermEquality) {
+  // max x + y  s.t.  x - 2y == 0, x + y <= 9, x >= 1.
+  Model M;
+  VarId X = M.addVar("x", 1.0, Infinity, 1.0);
+  VarId Y = M.addVar("y", 0.0, Infinity, 1.0);
+  M.addRow("def", RowKind::EQ, 0.0, {{X, 1.0}, {Y, -2.0}});
+  M.addRow("cap", RowKind::LE, 9.0, {{X, 1.0}, {Y, 1.0}});
+
+  Presolved P = Presolved::run(M);
+  EXPECT_FALSE(P.provenInfeasible());
+  EXPECT_EQ(P.stats().VarsEliminated, 1);
+  EXPECT_EQ(P.stats().RowsEliminated, 1);
+  EXPECT_EQ(P.reduced().numVars(), 1);
+  EXPECT_EQ(P.reduced().numRows(), 1);
+  // x's lower bound of 1 must fold onto y: x = 2y >= 1 -> y >= 0.5.
+  EXPECT_NEAR(P.reduced().var(0).Lower, 0.5, 1e-12);
+
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 9.0, 1e-8); // x=6, y=3.
+  EXPECT_NEAR(S.Values[X], 6.0, 1e-8);
+  EXPECT_NEAR(S.Values[Y], 3.0, 1e-8);
+}
+
+TEST(Presolve, EliminatesSingletonEquality) {
+  // 3x == 6 fixes x = 2.
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  M.addVar("y", 0.0, 5.0, 1.0);
+  M.addRow("fix", RowKind::EQ, 6.0, {{X, 3.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_EQ(P.stats().VarsEliminated, 1);
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 2.0, 1e-9);
+  EXPECT_NEAR(S.Objective, 7.0, 1e-8);
+}
+
+TEST(Presolve, SingletonOutOfBoundsIsInfeasible) {
+  Model M;
+  VarId X = M.addVar("x", 0.0, 1.0, 1.0);
+  M.addRow("fix", RowKind::EQ, 6.0, {{X, 3.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_TRUE(P.provenInfeasible());
+  EXPECT_EQ(solve(M).Status, SolveStatus::Infeasible);
+}
+
+TEST(Presolve, EliminatesDefinitionRow) {
+  // z == 0.5x + 0.5y with z unbounded above and z >= 0 provable.
+  Model M;
+  VarId X = M.addVar("x", 1.0, Infinity, 0.0);
+  VarId Y = M.addVar("y", 1.0, Infinity, 0.0);
+  VarId Z = M.addVar("z", 0.0, Infinity, 1.0);
+  M.addRow("def", RowKind::EQ, 0.0,
+           {{Z, 1.0}, {X, -0.5}, {Y, -0.5}});
+  M.addRow("cap", RowKind::LE, 10.0, {{X, 1.0}, {Y, 1.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_GE(P.stats().VarsEliminated, 1);
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 5.0, 1e-8);
+  EXPECT_NEAR(S.Values[Z], 5.0, 1e-8);
+  EXPECT_LE(M.maxViolation(S.Values), 1e-8);
+}
+
+TEST(Presolve, ChainsOfDefinitions) {
+  // a == 2b, b == 3c: both eliminated; max a with c <= 1 -> a = 6.
+  Model M;
+  VarId A = M.addVar("a", 0.0, Infinity, 1.0);
+  VarId B = M.addVar("b", 0.0, Infinity, 0.0);
+  VarId C = M.addVar("c", 0.0, 1.0, 0.0);
+  M.addRow("d1", RowKind::EQ, 0.0, {{A, 1.0}, {B, -2.0}});
+  M.addRow("d2", RowKind::EQ, 0.0, {{B, 1.0}, {C, -3.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_EQ(P.stats().VarsEliminated, 2);
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Values[A], 6.0, 1e-8);
+  EXPECT_NEAR(S.Values[B], 3.0, 1e-8);
+  EXPECT_NEAR(S.Values[C], 1.0, 1e-8);
+}
+
+TEST(Presolve, EmptyEqualityConsistency) {
+  Model M;
+  VarId X = M.addVar("x", 0.0, 4.0, 1.0);
+  // x - x == 1 reduces to 0 == 1: infeasible.
+  M.addRow("bad", RowKind::EQ, 1.0, {{X, 1.0}, {X, -1.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_TRUE(P.provenInfeasible());
+}
+
+TEST(Presolve, KeepsInequalitiesIntact) {
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  VarId Y = M.addVar("y", 0.0, Infinity, 1.0);
+  M.addRow("r", RowKind::LE, 3.0, {{X, 1.0}, {Y, 1.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_EQ(P.stats().VarsEliminated, 0);
+  EXPECT_EQ(P.reduced().numRows(), 1);
+}

@@ -1,0 +1,202 @@
+//===- SimplexPropertyTest.cpp - Randomized simplex validation ----------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Property test: on random small LPs with bounded variables, the simplex
+// must agree with brute-force vertex enumeration -- every optimum of a
+// bounded feasible LP lies at a vertex, i.e. at the intersection of n
+// active constraints.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/Solver.h"
+#include "aqua/support/Random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <optional>
+#include <vector>
+
+using namespace aqua;
+using namespace aqua::lp;
+
+namespace {
+
+struct HalfSpace {
+  std::vector<double> A; // A . x <= B (equalities become two half-spaces).
+  double B;
+  bool IsEquality;
+};
+
+/// Gathers rows and bounds as half-spaces.
+std::vector<HalfSpace> halfSpaces(const Model &M) {
+  int N = M.numVars();
+  std::vector<HalfSpace> Hs;
+  for (const Row &R : M.rows()) {
+    std::vector<double> A(N, 0.0);
+    for (const Term &T : R.Terms)
+      A[T.Var] += T.Coef;
+    switch (R.Kind) {
+    case RowKind::LE:
+      Hs.push_back({A, R.Rhs, false});
+      break;
+    case RowKind::GE: {
+      std::vector<double> Neg(N);
+      for (int I = 0; I < N; ++I)
+        Neg[I] = -A[I];
+      Hs.push_back({Neg, -R.Rhs, false});
+      break;
+    }
+    case RowKind::EQ:
+      Hs.push_back({A, R.Rhs, true});
+      break;
+    }
+  }
+  for (int I = 0; I < N; ++I) {
+    std::vector<double> Lo(N, 0.0), Hi(N, 0.0);
+    Lo[I] = -1.0;
+    Hi[I] = 1.0;
+    Hs.push_back({Lo, -M.var(I).Lower, false});
+    Hs.push_back({Hi, M.var(I).Upper, false});
+  }
+  return Hs;
+}
+
+/// Solves an n x n dense system; returns nullopt if singular.
+std::optional<std::vector<double>> solveSquare(std::vector<std::vector<double>> A,
+                                               std::vector<double> B) {
+  int N = static_cast<int>(B.size());
+  for (int Col = 0; Col < N; ++Col) {
+    int Piv = -1;
+    double Best = 1e-9;
+    for (int R = Col; R < N; ++R)
+      if (std::fabs(A[R][Col]) > Best) {
+        Best = std::fabs(A[R][Col]);
+        Piv = R;
+      }
+    if (Piv < 0)
+      return std::nullopt;
+    std::swap(A[Col], A[Piv]);
+    std::swap(B[Col], B[Piv]);
+    for (int R = 0; R < N; ++R) {
+      if (R == Col)
+        continue;
+      double F = A[R][Col] / A[Col][Col];
+      for (int C = Col; C < N; ++C)
+        A[R][C] -= F * A[Col][C];
+      B[R] -= F * B[Col];
+    }
+  }
+  std::vector<double> X(N);
+  for (int I = 0; I < N; ++I)
+    X[I] = B[I] / A[I][I];
+  return X;
+}
+
+/// Brute force: best feasible vertex objective, or nullopt if no feasible
+/// vertex exists. Only valid when all variables have finite bounds (the
+/// polytope is then bounded and vertex enumeration is complete).
+std::optional<double> bruteForceOptimum(const Model &M) {
+  int N = M.numVars();
+  std::vector<HalfSpace> Hs = halfSpaces(M);
+  int H = static_cast<int>(Hs.size());
+  std::optional<double> Best;
+
+  // Enumerate all N-subsets of half-spaces via simple recursion.
+  std::vector<int> Idx;
+  auto Recurse = [&](auto &&Self, int Start) -> void {
+    if (static_cast<int>(Idx.size()) == N) {
+      std::vector<std::vector<double>> A;
+      std::vector<double> B;
+      for (int I : Idx) {
+        A.push_back(Hs[I].A);
+        B.push_back(Hs[I].B);
+      }
+      auto X = solveSquare(A, B);
+      if (!X)
+        return;
+      // Feasibility w.r.t. every half-space (equalities both ways).
+      for (const HalfSpace &S : Hs) {
+        double Lhs = 0.0;
+        for (int I = 0; I < N; ++I)
+          Lhs += S.A[I] * (*X)[I];
+        double Slack = S.B - Lhs;
+        if (Slack < -1e-6)
+          return;
+        if (S.IsEquality && std::fabs(Slack) > 1e-6)
+          return;
+      }
+      double Obj = M.objectiveValue(*X);
+      double Signed = M.isMaximize() ? Obj : -Obj;
+      if (!Best || Signed > (M.isMaximize() ? *Best : -*Best))
+        Best = Obj;
+      return;
+    }
+    for (int I = Start; I < H; ++I) {
+      Idx.push_back(I);
+      Self(Self, I + 1);
+      Idx.pop_back();
+    }
+  };
+  Recurse(Recurse, 0);
+  return Best;
+}
+
+} // namespace
+
+class SimplexRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimplexRandomTest, MatchesBruteForce) {
+  SplitMix64 Rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 17);
+  int Cases = 40;
+  for (int Case = 0; Case < Cases; ++Case) {
+    int N = static_cast<int>(Rng.nextInRange(2, 3));
+    int R = static_cast<int>(Rng.nextInRange(1, 4));
+    Model M;
+    M.setMaximize(Rng.nextInRange(0, 1) == 1);
+    for (int I = 0; I < N; ++I) {
+      double Lo = static_cast<double>(Rng.nextInRange(0, 2));
+      double Hi = Lo + static_cast<double>(Rng.nextInRange(1, 6));
+      M.addVar("x" + std::to_string(I), Lo, Hi,
+               static_cast<double>(Rng.nextInRange(-3, 3)));
+    }
+    for (int I = 0; I < R; ++I) {
+      std::vector<Term> Terms;
+      for (int V = 0; V < N; ++V) {
+        double C = static_cast<double>(Rng.nextInRange(-3, 3));
+        if (C != 0.0)
+          Terms.push_back(Term{V, C});
+      }
+      if (Terms.empty())
+        continue;
+      RowKind Kind = static_cast<RowKind>(Rng.nextInRange(0, 2));
+      double Rhs = static_cast<double>(Rng.nextInRange(-6, 10));
+      M.addRow("r" + std::to_string(I), Kind, Rhs, std::move(Terms));
+    }
+
+    std::optional<double> Expected = bruteForceOptimum(M);
+    for (bool Presolve : {false, true}) {
+      SolverOptions Opts;
+      Opts.Presolve = Presolve;
+      Solution S = solve(M, Opts);
+      if (Expected) {
+        ASSERT_EQ(S.Status, SolveStatus::Optimal)
+            << "case " << Case << " presolve=" << Presolve << "\n"
+            << M.str();
+        EXPECT_NEAR(S.Objective, *Expected, 1e-6)
+            << "case " << Case << " presolve=" << Presolve << "\n"
+            << M.str();
+        EXPECT_LE(M.maxViolation(S.Values), 1e-6);
+      } else {
+        EXPECT_EQ(S.Status, SolveStatus::Infeasible)
+            << "case " << Case << " presolve=" << Presolve << "\n"
+            << M.str();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandomTest, ::testing::Range(0, 8));

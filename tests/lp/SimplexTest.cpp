@@ -1,0 +1,187 @@
+//===- SimplexTest.cpp - Two-phase simplex tests ------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/Simplex.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua::lp;
+
+namespace {
+
+Model twoVarModel() {
+  // max 3x + 2y  s.t.  x + y <= 4, x + 3y <= 6.
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 3.0);
+  VarId Y = M.addVar("y", 0.0, Infinity, 2.0);
+  M.addRow("r1", RowKind::LE, 4.0, {{X, 1.0}, {Y, 1.0}});
+  M.addRow("r2", RowKind::LE, 6.0, {{X, 1.0}, {Y, 3.0}});
+  return M;
+}
+
+} // namespace
+
+TEST(Simplex, SimpleMaximization) {
+  Model M = twoVarModel();
+  Solution S = solveSimplex(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 12.0, 1e-8); // x=4, y=0.
+  EXPECT_NEAR(S.Values[0], 4.0, 1e-8);
+  EXPECT_NEAR(S.Values[1], 0.0, 1e-8);
+  EXPECT_LE(M.maxViolation(S.Values), 1e-8);
+}
+
+TEST(Simplex, Minimization) {
+  // min x + 2y  s.t.  x + y >= 3, y >= 1.
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  VarId Y = M.addVar("y", 0.0, Infinity, 2.0);
+  M.setMaximize(false);
+  M.addRow("r1", RowKind::GE, 3.0, {{X, 1.0}, {Y, 1.0}});
+  M.addRow("r2", RowKind::GE, 1.0, {{Y, 1.0}});
+  Solution S = solveSimplex(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 4.0, 1e-8); // x=2, y=1.
+  EXPECT_NEAR(S.Values[0], 2.0, 1e-8);
+  EXPECT_NEAR(S.Values[1], 1.0, 1e-8);
+}
+
+TEST(Simplex, EqualityConstraints) {
+  // max x  s.t.  x - 2y == 0, x + y <= 9  ->  x=6, y=3.
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  VarId Y = M.addVar("y", 0.0, Infinity, 0.0);
+  M.addRow("def", RowKind::EQ, 0.0, {{X, 1.0}, {Y, -2.0}});
+  M.addRow("cap", RowKind::LE, 9.0, {{X, 1.0}, {Y, 1.0}});
+  Solution S = solveSimplex(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Values[0], 6.0, 1e-8);
+  EXPECT_NEAR(S.Values[1], 3.0, 1e-8);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  M.addRow("ge", RowKind::GE, 5.0, {{X, 1.0}});
+  M.addRow("le", RowKind::LE, 3.0, {{X, 1.0}});
+  EXPECT_EQ(solveSimplex(M).Status, SolveStatus::Infeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  M.addRow("ge", RowKind::GE, 1.0, {{X, 1.0}});
+  EXPECT_EQ(solveSimplex(M).Status, SolveStatus::Unbounded);
+}
+
+TEST(Simplex, LowerBoundsShifted) {
+  // max -x - y with x >= 2, y >= 3, x + y >= 6  ->  obj -6 at (2,4)/(3,3).
+  Model M;
+  VarId X = M.addVar("x", 2.0, Infinity, -1.0);
+  VarId Y = M.addVar("y", 3.0, Infinity, -1.0);
+  M.addRow("sum", RowKind::GE, 6.0, {{X, 1.0}, {Y, 1.0}});
+  Solution S = solveSimplex(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, -6.0, 1e-8);
+  EXPECT_GE(S.Values[0], 2.0 - 1e-9);
+  EXPECT_GE(S.Values[1], 3.0 - 1e-9);
+}
+
+TEST(Simplex, UpperBoundsBecomeRows) {
+  // max x + y with x <= 2.5, y <= 1.5 (variable bounds only).
+  Model M;
+  M.addVar("x", 0.0, 2.5, 1.0);
+  M.addVar("y", 0.0, 1.5, 1.0);
+  Solution S = solveSimplex(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 4.0, 1e-8);
+}
+
+TEST(Simplex, FreeVariable) {
+  // max x - y, y free, x <= 5, x - y <= 2  ->  x=5, y=3, obj 2.
+  Model M;
+  VarId X = M.addVar("x", 0.0, 5.0, 1.0);
+  VarId Y = M.addVar("y", -Infinity, Infinity, -1.0);
+  M.addRow("gap", RowKind::LE, 2.0, {{X, 1.0}, {Y, -1.0}});
+  Solution S = solveSimplex(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  // Every point with y = x - 2 is optimal (objective 2); the solver may
+  // pick any of them, including ones with negative y.
+  EXPECT_NEAR(S.Objective, 2.0, 1e-8);
+  EXPECT_LE(M.maxViolation(S.Values), 1e-7);
+}
+
+TEST(Simplex, NegativeRhsNormalization) {
+  // x - y <= -1 with x,y >= 0: y >= x + 1.
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  VarId Y = M.addVar("y", 0.0, 3.0, 0.0);
+  M.addRow("r", RowKind::LE, -1.0, {{X, 1.0}, {Y, -1.0}});
+  Solution S = solveSimplex(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 2.0, 1e-8); // x = y - 1 = 2 at y = 3.
+}
+
+TEST(Simplex, DegenerateBealeStyleTerminates) {
+  // A classically degenerate LP; the stall watchdog must switch to Bland's
+  // rule and terminate.
+  Model M;
+  VarId X1 = M.addVar("x1", 0.0, Infinity, 0.75);
+  VarId X2 = M.addVar("x2", 0.0, Infinity, -150.0);
+  VarId X3 = M.addVar("x3", 0.0, Infinity, 0.02);
+  VarId X4 = M.addVar("x4", 0.0, Infinity, -6.0);
+  M.addRow("r1", RowKind::LE, 0.0,
+           {{X1, 0.25}, {X2, -60.0}, {X3, -0.04}, {X4, 9.0}});
+  M.addRow("r2", RowKind::LE, 0.0,
+           {{X1, 0.5}, {X2, -90.0}, {X3, -0.02}, {X4, 3.0}});
+  M.addRow("r3", RowKind::LE, 1.0, {{X3, 1.0}});
+  SolveOptions Opts;
+  Opts.MaxIterations = 100000;
+  Solution S = solveSimplex(M, Opts);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 0.05, 1e-8);
+}
+
+TEST(Simplex, IterationLimitReported) {
+  Model M = twoVarModel();
+  SolveOptions Opts;
+  Opts.MaxIterations = 1;
+  Solution S = solveSimplex(M, Opts);
+  EXPECT_TRUE(S.Status == SolveStatus::IterationLimit ||
+              S.Status == SolveStatus::Optimal);
+}
+
+TEST(Simplex, MemoryBudgetEnforced) {
+  Model M = twoVarModel();
+  SolveOptions Opts;
+  Opts.MaxTableauBytes = 16;
+  EXPECT_EQ(solveSimplex(M, Opts).Status, SolveStatus::TooLarge);
+}
+
+TEST(Simplex, EmptyModelIsTriviallyOptimal) {
+  Model M;
+  M.addVar("x", 0.0, Infinity, -1.0); // max -x -> x = 0.
+  Solution S = solveSimplex(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 0.0, 1e-9);
+}
+
+TEST(Model, ViolationAndObjectiveHelpers) {
+  Model M = twoVarModel();
+  std::vector<double> Good{1.0, 1.0};
+  EXPECT_NEAR(M.objectiveValue(Good), 5.0, 1e-12);
+  EXPECT_LE(M.maxViolation(Good), 0.0 + 1e-12);
+  std::vector<double> Bad{5.0, 0.0};
+  EXPECT_NEAR(M.maxViolation(Bad), 1.0, 1e-12);
+  EXPECT_FALSE(M.str().empty());
+}
+
+TEST(Model, StatusNames) {
+  EXPECT_STREQ(solveStatusName(SolveStatus::Optimal), "optimal");
+  EXPECT_STREQ(solveStatusName(SolveStatus::Infeasible), "infeasible");
+  EXPECT_STREQ(solveStatusName(SolveStatus::Unbounded), "unbounded");
+  EXPECT_STREQ(solveStatusName(SolveStatus::TooLarge), "too-large");
+}

@@ -1,0 +1,131 @@
+//===- RationalTest.cpp - Exact rational arithmetic tests ---------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using aqua::Rational;
+
+TEST(Rational, DefaultIsZero) {
+  Rational R;
+  EXPECT_TRUE(R.isZero());
+  EXPECT_EQ(R.numerator(), 0);
+  EXPECT_EQ(R.denominator(), 1);
+}
+
+TEST(Rational, NormalizesSignAndGcd) {
+  EXPECT_EQ(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(-2, 4), Rational(-1, 2));
+  EXPECT_EQ(Rational(2, -4), Rational(-1, 2));
+  EXPECT_EQ(Rational(-2, -4), Rational(1, 2));
+  EXPECT_EQ(Rational(0, 7), Rational(0));
+  EXPECT_GT(Rational(3, -6).denominator(), 0);
+}
+
+TEST(Rational, Arithmetic) {
+  EXPECT_EQ(Rational(1, 3) + Rational(2, 5), Rational(11, 15));
+  EXPECT_EQ(Rational(1, 2) - Rational(1, 3), Rational(1, 6));
+  EXPECT_EQ(Rational(2, 3) * Rational(11, 15), Rational(22, 45));
+  EXPECT_EQ(Rational(1, 2) / Rational(3, 4), Rational(2, 3));
+  EXPECT_EQ(-Rational(1, 2), Rational(-1, 2));
+}
+
+TEST(Rational, PaperFigure5Arithmetic) {
+  // The exact Vnorm arithmetic of the paper's worked example.
+  Rational L = Rational(1, 3) + Rational(2, 5);
+  EXPECT_EQ(L, Rational(11, 15));
+  EXPECT_EQ(Rational(2, 3) * L, Rational(22, 45));
+  EXPECT_EQ(Rational(1, 3) * L, Rational(11, 45));
+  Rational B = Rational(4, 5) * Rational(2, 3) + Rational(2, 3) * L;
+  EXPECT_EQ(B, Rational(46, 45));
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(Rational(1, 3), Rational(1, 2));
+  EXPECT_GT(Rational(-1, 3), Rational(-1, 2));
+  EXPECT_LE(Rational(2, 4), Rational(1, 2));
+  EXPECT_EQ(Rational(7, 7), Rational(1));
+  EXPECT_LT(Rational(-5), Rational(0));
+}
+
+TEST(Rational, FloorCeilRound) {
+  EXPECT_EQ(Rational(7, 2).floor(), 3);
+  EXPECT_EQ(Rational(7, 2).ceil(), 4);
+  EXPECT_EQ(Rational(-7, 2).floor(), -4);
+  EXPECT_EQ(Rational(-7, 2).ceil(), -3);
+  EXPECT_EQ(Rational(5).floor(), 5);
+  EXPECT_EQ(Rational(5).ceil(), 5);
+  EXPECT_EQ(Rational(1, 3).roundNearest(), 0);
+  EXPECT_EQ(Rational(2, 3).roundNearest(), 1);
+  EXPECT_EQ(Rational(1, 2).roundNearest(), 1);  // Half away from zero.
+  EXPECT_EQ(Rational(-1, 2).roundNearest(), -1);
+  EXPECT_EQ(Rational(-2, 3).roundNearest(), -1);
+}
+
+TEST(Rational, Reciprocal) {
+  EXPECT_EQ(Rational(3, 4).reciprocal(), Rational(4, 3));
+  EXPECT_EQ(Rational(-2).reciprocal(), Rational(-1, 2));
+}
+
+TEST(Rational, AbsMinMax) {
+  EXPECT_EQ(Rational(-3, 7).abs(), Rational(3, 7));
+  EXPECT_EQ(aqua::min(Rational(1, 3), Rational(1, 4)), Rational(1, 4));
+  EXPECT_EQ(aqua::max(Rational(1, 3), Rational(1, 4)), Rational(1, 3));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(Rational(1, 2).toDouble(), 0.5);
+  EXPECT_NEAR(Rational(11, 15).toDouble(), 0.7333333, 1e-6);
+}
+
+TEST(Rational, Str) {
+  EXPECT_EQ(Rational(3).str(), "3");
+  EXPECT_EQ(Rational(11, 15).str(), "11/15");
+  EXPECT_EQ(Rational(-1, 2).str(), "-1/2");
+}
+
+TEST(RationalDeath, DivisionByZeroAborts) {
+  EXPECT_DEATH({ Rational R(1, 0); (void)R; }, "division by zero");
+  EXPECT_DEATH(
+      { Rational R = Rational(1) / Rational(0); (void)R; },
+      "division by zero");
+}
+
+TEST(RationalDeath, OverflowAborts) {
+  Rational Big(std::int64_t(1) << 62);
+  EXPECT_DEATH({ Rational R = Big * Big; (void)R; }, "overflow");
+}
+
+// Property sweep: field axioms on a grid of small rationals.
+class RationalPropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RationalPropertyTest, FieldProperties) {
+  auto [NumA, DenA] = GetParam();
+  Rational A(NumA, DenA);
+  for (int N = -3; N <= 3; ++N) {
+    for (int D = 1; D <= 4; ++D) {
+      Rational B(N, D);
+      EXPECT_EQ(A + B, B + A);
+      EXPECT_EQ(A * B, B * A);
+      EXPECT_EQ(A + B - B, A);
+      EXPECT_EQ((A + B) * Rational(2), A * Rational(2) + B * Rational(2));
+      if (!B.isZero()) {
+        EXPECT_EQ(A / B * B, A);
+      }
+      EXPECT_EQ(A * Rational(0), Rational(0));
+      EXPECT_EQ(A + Rational(0), A);
+      EXPECT_EQ(A * Rational(1), A);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, RationalPropertyTest,
+    ::testing::Values(std::pair{0, 1}, std::pair{1, 1}, std::pair{-1, 2},
+                      std::pair{7, 3}, std::pair{-9, 4}, std::pair{999, 1000},
+                      std::pair{1, 999}));

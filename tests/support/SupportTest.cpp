@@ -1,0 +1,90 @@
+//===- SupportTest.cpp - Error/String/Random/Timer tests ----------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/support/Error.h"
+#include "aqua/support/Random.h"
+#include "aqua/support/StringUtils.h"
+#include "aqua/support/Timer.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+
+TEST(Status, SuccessAndError) {
+  Status Ok = Status::success();
+  EXPECT_TRUE(Ok.ok());
+  EXPECT_TRUE(static_cast<bool>(Ok));
+  Status Err = Status::error("file missing");
+  EXPECT_FALSE(Err.ok());
+  EXPECT_EQ(Err.message(), "file missing");
+}
+
+TEST(Expected, ValueAndError) {
+  Expected<int> V(42);
+  EXPECT_TRUE(V.ok());
+  EXPECT_EQ(*V, 42);
+  Expected<int> E = Expected<int>::error("bad input");
+  EXPECT_FALSE(E.ok());
+  EXPECT_EQ(E.message(), "bad input");
+  EXPECT_FALSE(E.takeStatus().ok());
+}
+
+TEST(Expected, UnwrapAbortsOnError) {
+  Expected<int> E = Expected<int>::error("kaboom");
+  EXPECT_DEATH(E.unwrap(), "kaboom");
+}
+
+TEST(StringUtils, Format) {
+  EXPECT_EQ(format("%d + %d = %d", 1, 2, 3), "1 + 2 = 3");
+  EXPECT_EQ(format("%s", "x"), "x");
+  EXPECT_EQ(format("%.2f", 3.14159), "3.14");
+}
+
+TEST(StringUtils, FormatTrimmed) {
+  EXPECT_EQ(formatTrimmed(3.30, 2), "3.3");
+  EXPECT_EQ(formatTrimmed(13.00, 2), "13");
+  EXPECT_EQ(formatTrimmed(0.1, 4), "0.1");
+  EXPECT_EQ(formatTrimmed(65.217, 2), "65.22");
+}
+
+TEST(StringUtils, JoinSplitTrim) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  auto Parts = split("a,b,,c", ',');
+  ASSERT_EQ(Parts.size(), 4u);
+  EXPECT_EQ(Parts[2], "");
+  EXPECT_EQ(trim("  hi \n"), "hi");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_TRUE(startsWith("separate.LC", "separate"));
+  EXPECT_FALSE(startsWith("mix", "mixer"));
+}
+
+TEST(Random, Deterministic) {
+  SplitMix64 A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, UnitRangeAndIntRange) {
+  SplitMix64 R(123);
+  for (int I = 0; I < 1000; ++I) {
+    double U = R.nextUnit();
+    EXPECT_GE(U, 0.0);
+    EXPECT_LT(U, 1.0);
+    std::int64_t N = R.nextInRange(-3, 3);
+    EXPECT_GE(N, -3);
+    EXPECT_LE(N, 3);
+  }
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer T;
+  double S0 = T.seconds();
+  EXPECT_GE(S0, 0.0);
+  T.reset();
+  EXPECT_GE(T.millis(), 0.0);
+}
