@@ -1,0 +1,218 @@
+//===- aquad.cpp - The AquaVol assay-compilation service driver ------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// aquad: batch-compile a manifest of assays through the concurrent
+// compilation service and report throughput, cache effectiveness, and
+// latency percentiles.
+//
+//   aquad MANIFEST [--threads N] [--no-cache] [--max-entries N]
+//                  [--capacity NL] [--least-count NL]
+//
+// The manifest has one workload per line: a repeat count followed by an
+// assay source path or a builtin name (`builtin:glucose`,
+// `builtin:glycomics`, `builtin:enzyme`, `builtin:bradford`); `#` starts
+// a comment. Example:
+//
+//   # plate after plate of the same panels
+//   100 builtin:glucose
+//   40  assays/my_panel.assay
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/assays/ExtraAssays.h"
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/service/CompileService.h"
+#include "aqua/support/Timer.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace aqua;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s MANIFEST [--threads N] [--no-cache]"
+               " [--max-entries N] [--capacity NL] [--least-count NL]\n",
+               Argv0);
+  return 2;
+}
+
+/// Resolves a manifest entry to assay source text.
+bool resolveSource(const std::string &Spec, std::string &Source) {
+  if (Spec == "builtin:glucose") {
+    Source = assays::glucoseSource();
+    return true;
+  }
+  if (Spec == "builtin:glycomics") {
+    Source = assays::glycomicsSource();
+    return true;
+  }
+  if (Spec == "builtin:enzyme") {
+    Source = assays::enzymeSource();
+    return true;
+  }
+  if (Spec == "builtin:bradford") {
+    Source = assays::bradfordSource();
+    return true;
+  }
+  std::ifstream File(Spec);
+  if (!File)
+    return false;
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  Source = Buffer.str();
+  return true;
+}
+
+int parseInt(const char *Flag, const char *Text) {
+  char *End = nullptr;
+  long V = std::strtol(Text, &End, 10);
+  if (End == Text || *End || V < 0) {
+    std::fprintf(stderr, "aquad: %s expects a non-negative integer, got '%s'\n",
+                 Flag, Text);
+    std::exit(2);
+  }
+  return static_cast<int>(V);
+}
+
+double parseNl(const char *Flag, const char *Text) {
+  char *End = nullptr;
+  double V = std::strtod(Text, &End);
+  if (End == Text || *End || !(V > 0)) {
+    std::fprintf(stderr, "aquad: %s expects a positive volume in nl, got '%s'\n",
+                 Flag, Text);
+    std::exit(2);
+  }
+  return V;
+}
+
+double percentile(std::vector<double> Sorted, double P) {
+  if (Sorted.empty())
+    return 0.0;
+  std::size_t I = static_cast<std::size_t>(P * (Sorted.size() - 1) + 0.5);
+  return Sorted[std::min(I, Sorted.size() - 1)];
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const char *Path = nullptr;
+  service::ServiceOptions Options;
+  Options.Threads = 4;
+  core::MachineSpec Spec;
+
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
+      Options.Threads = parseInt("--threads", argv[++I]);
+    else if (!std::strcmp(argv[I], "--no-cache"))
+      Options.EnableCache = false;
+    else if (!std::strcmp(argv[I], "--max-entries") && I + 1 < argc)
+      Options.Cache.MaxEntries =
+          static_cast<std::size_t>(parseInt("--max-entries", argv[++I]));
+    else if (!std::strcmp(argv[I], "--capacity") && I + 1 < argc)
+      Spec.MaxCapacityNl = parseNl("--capacity", argv[++I]);
+    else if (!std::strcmp(argv[I], "--least-count") && I + 1 < argc)
+      Spec.LeastCountNl = parseNl("--least-count", argv[++I]);
+    else if (argv[I][0] == '-')
+      return usage(argv[0]);
+    else
+      Path = argv[I];
+  }
+  if (!Path)
+    return usage(argv[0]);
+
+  std::ifstream Manifest(Path);
+  if (!Manifest) {
+    std::fprintf(stderr, "aquad: cannot open manifest '%s'\n", Path);
+    return 1;
+  }
+
+  std::vector<service::CompileRequest> Batch;
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(Manifest, Line)) {
+    ++LineNo;
+    std::size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos || Line[First] == '#')
+      continue; // Blank or comment.
+    std::istringstream In(Line);
+    long Repeats = 0;
+    std::string What;
+    if (!(In >> Repeats >> What)) {
+      std::fprintf(stderr, "aquad: %s:%d: expected '<count> <assay>'\n", Path,
+                   LineNo);
+      return 1;
+    }
+    if (What.empty() || Repeats <= 0) {
+      std::fprintf(stderr, "aquad: %s:%d: expected '<count> <assay>'\n", Path,
+                   LineNo);
+      return 1;
+    }
+    std::string Source;
+    if (!resolveSource(What, Source)) {
+      std::fprintf(stderr, "aquad: %s:%d: cannot resolve '%s'\n", Path, LineNo,
+                   What.c_str());
+      return 1;
+    }
+    for (long R = 0; R < Repeats; ++R) {
+      service::CompileRequest Req;
+      Req.Name = What;
+      Req.Source = Source;
+      Req.Spec = Spec;
+      Batch.push_back(std::move(Req));
+    }
+  }
+  if (Batch.empty()) {
+    std::fprintf(stderr, "aquad: manifest is empty\n");
+    return 1;
+  }
+
+  std::size_t Submitted = Batch.size();
+  service::CompileService Service(Options);
+  WallTimer Wall;
+  std::vector<service::CompileResponse> Responses =
+      Service.compileBatch(std::move(Batch));
+  double WallSec = Wall.seconds();
+
+  std::size_t Failures = 0;
+  std::vector<double> Latencies;
+  Latencies.reserve(Responses.size());
+  for (const service::CompileResponse &R : Responses) {
+    Latencies.push_back(R.LatencySec);
+    if (!R.Ok) {
+      if (Failures < 5)
+        std::fprintf(stderr, "aquad: %s: %s\n", R.Name.c_str(),
+                     R.Error.c_str());
+      ++Failures;
+    }
+  }
+  std::sort(Latencies.begin(), Latencies.end());
+
+  service::ServiceStats Stats = Service.stats();
+  std::printf("aquad: %zu requests, %zu failed, %d threads, cache %s\n",
+              Submitted, Failures, std::max(1, Options.Threads),
+              Options.EnableCache ? "on" : "off");
+  std::printf("  wall time     %.3f s\n", WallSec);
+  std::printf("  throughput    %.1f assays/s\n",
+              WallSec > 0 ? Submitted / WallSec : 0.0);
+  std::printf("  cache         %.1f%% hit rate, %llu joins, %llu evictions\n",
+              Stats.Cache.hitRate() * 100.0,
+              static_cast<unsigned long long>(Stats.SingleFlightJoins),
+              static_cast<unsigned long long>(Stats.Cache.Evictions));
+  std::printf("  latency       p50 %.3f ms, p95 %.3f ms\n",
+              percentile(Latencies, 0.50) * 1e3,
+              percentile(Latencies, 0.95) * 1e3);
+  std::printf("  %s\n", Stats.str().c_str());
+  return Failures ? 1 : 0;
+}

@@ -1,0 +1,180 @@
+//===- aqua/service/CompileService.h - Concurrent compile service -*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A reusable, thread-safe assay-compilation service: the single-shot
+/// `parse -> lower -> manage -> codegen` pipeline of `examples/aquac.cpp`
+/// turned into a long-lived server object that accepts batches of requests
+/// and exploits the redundancy of real workloads (the same glucose panel
+/// submitted plate after plate) three ways:
+///
+///  1. a fixed-size worker pool drains a shared queue, so independent
+///     requests compile concurrently;
+///  2. a sharded LRU cache (SolveCache.h) memoizes the full compile
+///     artifact under the canonical request fingerprint (RequestKey.h);
+///  3. *single-flight* deduplication: when N requests with the same
+///     fingerprint are in flight at once, one worker solves and the other
+///     N-1 block on its result instead of re-solving -- the cold-cache
+///     thundering herd collapses to a single solve.
+///
+/// Thread-safety contract: every public method may be called from any
+/// thread. Artifacts are immutable and shared by `shared_ptr<const>`;
+/// callers must not mutate through the pointer. The destructor drains
+/// outstanding work and joins the workers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SERVICE_COMPILESERVICE_H
+#define AQUA_SERVICE_COMPILESERVICE_H
+
+#include "aqua/codegen/Codegen.h"
+#include "aqua/core/Manager.h"
+#include "aqua/ir/Canonical.h"
+#include "aqua/service/SolveCache.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace aqua::service {
+
+/// One unit of work: an assay (as source text or a pre-lowered DAG) plus
+/// the hardware and solver configuration to compile it for.
+struct CompileRequest {
+  /// Label echoed into the response; not part of the cache key.
+  std::string Name;
+  /// Assay-language source; used when Graph is null.
+  std::string Source;
+  /// Pre-lowered DAG; takes precedence over Source when set. Shared so a
+  /// batch of repeats does not copy the graph per request.
+  std::shared_ptr<const ir::AssayGraph> Graph;
+  core::MachineSpec Spec;
+  core::ManagerOptions Manage;
+  codegen::MachineLayout Layout;
+};
+
+/// One compile outcome.
+struct CompileResponse {
+  /// Request label, echoed.
+  std::string Name;
+  /// False on front-end errors (parse/lower) and on deterministic
+  /// pipeline failures (infeasible assignment, codegen exhaustion).
+  bool Ok = false;
+  std::string Error;
+  /// Canonical request fingerprint (zero when the front end failed before
+  /// a DAG existed).
+  ir::Fingerprint Key;
+  /// Served from the memoizing cache.
+  bool CacheHit = false;
+  /// Joined an identical in-flight solve (single-flight).
+  bool Deduplicated = false;
+  /// End-to-end service latency for this request, seconds.
+  double LatencySec = 0.0;
+  /// The compile artifact; null only when the front end failed.
+  std::shared_ptr<const CompileArtifact> Artifact;
+};
+
+/// Service configuration.
+struct ServiceOptions {
+  /// Worker threads (clamped to >= 1).
+  int Threads = 4;
+  /// Master switch for the memoizing cache *and* single-flight dedup;
+  /// off means every request runs the full pipeline (the baseline the
+  /// throughput bench compares against).
+  bool EnableCache = true;
+  CacheConfig Cache;
+};
+
+/// Aggregate service counters plus a snapshot of the cache counters.
+struct ServiceStats {
+  std::uint64_t Submitted = 0;
+  std::uint64_t Completed = 0;
+  std::uint64_t Failed = 0;
+  std::uint64_t CacheHits = 0;
+  std::uint64_t SingleFlightJoins = 0;
+  /// Sum of per-request service latencies, seconds (ScopedTimer-fed).
+  double TotalLatencySec = 0.0;
+  /// Seconds spent actually solving (cache misses only).
+  double SolveSec = 0.0;
+  CacheStats Cache;
+
+  std::string str() const;
+};
+
+/// The concurrent assay-compilation service.
+class CompileService {
+public:
+  explicit CompileService(const ServiceOptions &Options = {});
+  ~CompileService();
+
+  CompileService(const CompileService &) = delete;
+  CompileService &operator=(const CompileService &) = delete;
+
+  /// Enqueues one request; the future resolves when a worker finishes it.
+  std::future<CompileResponse> submit(CompileRequest Request);
+
+  /// Enqueues a whole batch and blocks until every request is done.
+  /// Responses are in request order.
+  std::vector<CompileResponse> compileBatch(std::vector<CompileRequest> Batch);
+
+  /// Runs one request synchronously on the calling thread (still goes
+  /// through cache and single-flight).
+  CompileResponse compileNow(const CompileRequest &Request);
+
+  ServiceStats stats() const;
+
+  const SolveCache &cache() const { return Cache; }
+
+private:
+  struct Job {
+    CompileRequest Request;
+    std::promise<CompileResponse> Promise;
+  };
+  /// Single-flight rendezvous for one fingerprint: the first arriving
+  /// worker publishes the artifact here; later arrivals wait on it.
+  struct Flight {
+    std::promise<std::shared_ptr<const CompileArtifact>> Promise;
+    std::shared_future<std::shared_ptr<const CompileArtifact>> Result;
+  };
+
+  void workerLoop();
+  CompileResponse process(const CompileRequest &Request);
+  /// The uncached pipeline tail: manage + codegen on a lowered graph.
+  std::shared_ptr<const CompileArtifact>
+  solveAndGenerate(const CompileRequest &Request, const ir::AssayGraph &G);
+
+  ServiceOptions Options;
+  SolveCache Cache;
+
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::deque<Job> Queue;
+  bool ShuttingDown = false;
+  std::vector<std::thread> Workers;
+
+  std::mutex FlightMutex;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> Flights;
+
+  std::atomic<std::uint64_t> Submitted{0};
+  std::atomic<std::uint64_t> Completed{0};
+  std::atomic<std::uint64_t> Failed{0};
+  std::atomic<std::uint64_t> CacheHits{0};
+  std::atomic<std::uint64_t> SingleFlightJoins{0};
+  std::atomic<double> TotalLatencySec{0.0};
+  std::atomic<double> SolveSec{0.0};
+};
+
+} // namespace aqua::service
+
+#endif // AQUA_SERVICE_COMPILESERVICE_H

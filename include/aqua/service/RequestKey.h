@@ -1,0 +1,47 @@
+//===- aqua/service/RequestKey.h - Canonical compile-request key -*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solve-cache key: a 128-bit fingerprint over everything that can
+/// change the output of the compile pipeline (parse -> lower -> manage ->
+/// codegen) -- the canonical structure of the assay DAG (insertion-order
+/// independent, see ir/Canonical.h), every `MachineSpec` field, every
+/// `ManagerOptions` field (including nested LP and DAGSolve options), and
+/// the codegen `MachineLayout`.
+///
+/// `DagSolveOptions` refers to nodes by id (`OutputWeights`, `PinnedNode`);
+/// ids are an insertion-order accident, so they are translated through the
+/// canonical node hashes before hashing -- two structurally identical
+/// requests that name the same *logical* node key identically, and requests
+/// that pin different logical nodes never collide.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SERVICE_REQUESTKEY_H
+#define AQUA_SERVICE_REQUESTKEY_H
+
+#include "aqua/codegen/Codegen.h"
+#include "aqua/core/Manager.h"
+#include "aqua/ir/Canonical.h"
+
+namespace aqua::service {
+
+/// Fingerprints a full compile request given the graph's canonical form
+/// (compute it once with `ir::canonicalize` and reuse it here).
+ir::Fingerprint requestFingerprint(const ir::CanonicalForm &Canon,
+                                   const core::MachineSpec &Spec,
+                                   const core::ManagerOptions &Opts,
+                                   const codegen::MachineLayout &Layout);
+
+/// Convenience overload that canonicalizes \p G internally.
+ir::Fingerprint requestFingerprint(const ir::AssayGraph &G,
+                                   const core::MachineSpec &Spec,
+                                   const core::ManagerOptions &Opts = {},
+                                   const codegen::MachineLayout &Layout = {});
+
+} // namespace aqua::service
+
+#endif // AQUA_SERVICE_REQUESTKEY_H

@@ -1,0 +1,153 @@
+//===- aqua/service/SolveCache.h - Sharded memoizing solve cache -*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A thread-safe, sharded, byte- and entry-budgeted LRU cache of compile
+/// artifacts, keyed on the canonical request fingerprint (see
+/// RequestKey.h). Real PLoC deployments re-submit structurally identical
+/// assays thousands of times (calibration reruns, plate after plate of the
+/// same panel); the volume-management hierarchy is deterministic, so its
+/// result can be memoized wholesale -- the managed graph, the volume
+/// assignment, and the generated AIS program.
+///
+/// Sharding: the key space is split across `CacheConfig::Shards`
+/// independently locked shards (the shard is chosen from the high bits of
+/// the fingerprint, which are uniformly distributed). Budgets are divided
+/// evenly among shards, so the entry budget should be a multiple of the
+/// shard count for exact LRU semantics; use one shard when deterministic
+/// whole-cache LRU order matters (tests do).
+///
+/// Values are immutable `shared_ptr<const CompileArtifact>`: a hit hands
+/// out a reference to the cached artifact with no copy, and eviction never
+/// invalidates an artifact a client still holds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_SERVICE_SOLVECACHE_H
+#define AQUA_SERVICE_SOLVECACHE_H
+
+#include "aqua/codegen/AIS.h"
+#include "aqua/core/Manager.h"
+#include "aqua/ir/Canonical.h"
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aqua::service {
+
+/// The memoized product of one compile: everything downstream of the
+/// canonical request key. Immutable once published to the cache.
+struct CompileArtifact {
+  /// False when the pipeline failed deterministically (infeasible volume
+  /// assignment, codegen resource exhaustion); such failures are cached
+  /// too -- re-solving an infeasible assay is as wasteful as re-solving a
+  /// feasible one.
+  bool Ok = false;
+  /// Diagnostic when !Ok (the manager's decision log or codegen error).
+  std::string Error;
+  /// True when the assay went through volume management (no statically
+  /// unknown volumes); false for relative-mode compiles.
+  bool Managed = false;
+  /// Hierarchy result; meaningful when Managed.
+  core::ManagerResult VM;
+  /// Metered per-edge volumes (nl) for VM.Graph; meaningful when Managed.
+  core::VolumeAssignment Metered;
+  /// The generated AIS program; meaningful when Ok.
+  codegen::AISProgram Program;
+
+  /// Rough heap footprint for the byte budget (strings + vectors; not
+  /// exact, but monotone in the real cost).
+  std::size_t approxBytes() const;
+};
+
+/// Cache sizing and sharding.
+struct CacheConfig {
+  /// Total entry budget across all shards (0 disables caching).
+  std::size_t MaxEntries = 1024;
+  /// Total approximate byte budget across all shards.
+  std::size_t MaxBytes = std::size_t(256) << 20;
+  /// Number of independently locked shards (clamped to >= 1).
+  int Shards = 8;
+};
+
+/// Aggregate counters across shards. Monotone except Entries/Bytes.
+struct CacheStats {
+  std::uint64_t Hits = 0;
+  std::uint64_t Misses = 0;
+  std::uint64_t Insertions = 0;
+  std::uint64_t Evictions = 0;
+  std::size_t Entries = 0;
+  std::size_t Bytes = 0;
+
+  double hitRate() const {
+    std::uint64_t Total = Hits + Misses;
+    return Total ? static_cast<double>(Hits) / Total : 0.0;
+  }
+};
+
+/// Sharded LRU map from fingerprint to compile artifact.
+class SolveCache {
+public:
+  explicit SolveCache(const CacheConfig &Config = {});
+
+  /// Returns the cached artifact or nullptr; a hit refreshes LRU recency.
+  std::shared_ptr<const CompileArtifact> lookup(const ir::Fingerprint &Key);
+
+  /// Publishes \p Value under \p Key (replacing any previous entry), then
+  /// evicts least-recently-used entries until the shard is within its
+  /// entry and byte budgets.
+  void insert(const ir::Fingerprint &Key,
+              std::shared_ptr<const CompileArtifact> Value);
+
+  /// Aggregated counters (consistent per shard, not across shards).
+  CacheStats stats() const;
+
+  /// Drops all entries (counters are retained).
+  void clear();
+
+private:
+  struct Entry {
+    ir::Fingerprint Key;
+    std::shared_ptr<const CompileArtifact> Value;
+    std::size_t Bytes = 0;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ir::Fingerprint &F) const {
+      return static_cast<std::size_t>(F.Hi ^ (F.Lo * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+  struct KeyEq {
+    bool operator()(const ir::Fingerprint &A, const ir::Fingerprint &B) const {
+      return A == B;
+    }
+  };
+  /// One shard: an LRU list (front = most recent) plus an index into it.
+  struct Shard {
+    mutable std::mutex Mutex;
+    std::list<Entry> LRU;
+    std::unordered_map<ir::Fingerprint, std::list<Entry>::iterator, KeyHash,
+                       KeyEq>
+        Index;
+    std::size_t Bytes = 0;
+    std::uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+  };
+
+  Shard &shardFor(const ir::Fingerprint &Key);
+  void evictOverBudgetLocked(Shard &S);
+
+  std::vector<std::unique_ptr<Shard>> Shards;
+  std::size_t MaxEntriesPerShard;
+  std::size_t MaxBytesPerShard;
+};
+
+} // namespace aqua::service
+
+#endif // AQUA_SERVICE_SOLVECACHE_H

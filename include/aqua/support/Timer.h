@@ -37,6 +37,30 @@ private:
   Clock::time_point Start;
 };
 
+/// Accumulates the lifetime of a scope into a `double` of seconds:
+///
+///   double SolveSec = 0.0;
+///   { ScopedTimer T(SolveSec); solve(); }  // SolveSec += elapsed
+///
+/// Used for latency accounting where one running total absorbs many
+/// scopes (the compilation service's per-stage timing).
+class ScopedTimer {
+public:
+  explicit ScopedTimer(double &Sink) : Sink(Sink) {}
+  ~ScopedTimer() { Sink += Timer.seconds(); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  /// Seconds elapsed so far in this scope (the sink is only updated at
+  /// scope exit).
+  double seconds() const { return Timer.seconds(); }
+
+private:
+  double &Sink;
+  WallTimer Timer;
+};
+
 } // namespace aqua
 
 #endif // AQUA_SUPPORT_TIMER_H

@@ -19,7 +19,9 @@ Expected<BioStreamInfo> aqua::core::biostreamMix(AssayGraph &G, NodeId M,
   using RetTy = Expected<BioStreamInfo>;
   if (Bits < 1 || Bits > 24)
     return RetTy::error("biostream precision must be 1..24 bits");
-  const Node &MN = G.node(M);
+  // By value: addNode below may grow the node table and invalidate
+  // references into it.
+  const Node MN = G.node(M);
   if (MN.Kind != NodeKind::Mix)
     return RetTy::error(format("node '%s' is not a mix", MN.Name.c_str()));
   std::vector<EdgeId> In = G.inEdges(M);

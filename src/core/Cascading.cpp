@@ -66,7 +66,9 @@ Rational aqua::core::mixSkew(const AssayGraph &G, NodeId M) {
 Expected<std::vector<NodeId>> aqua::core::binarizeMix(AssayGraph &G,
                                                       NodeId M) {
   using RetTy = Expected<std::vector<NodeId>>;
-  const Node &MN = G.node(M);
+  // By value: addNode below may grow the node table and invalidate
+  // references into it.
+  const Node MN = G.node(M);
   if (MN.Kind != NodeKind::Mix)
     return RetTy::error(format("node '%s' is not a mix", MN.Name.c_str()));
   std::vector<EdgeId> In = G.inEdges(M);
@@ -113,7 +115,9 @@ Expected<CascadeInfo> aqua::core::cascadeMix(AssayGraph &G, NodeId M,
                                              int Stages) {
   if (Stages < 2)
     return Expected<CascadeInfo>::error("cascade needs at least two stages");
-  const Node &MN = G.node(M);
+  // By value: addNode below may grow the node table and invalidate
+  // references into it.
+  const Node MN = G.node(M);
   if (MN.Kind != NodeKind::Mix)
     return Expected<CascadeInfo>::error(
         format("node '%s' is not a mix", MN.Name.c_str()));

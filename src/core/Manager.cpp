@@ -239,5 +239,8 @@ ManagerResult aqua::core::manageVolumes(const AssayGraph &G,
   }
 
   R.Feasible = false;
+  R.Log += format("hierarchy exhausted (iteration budget %d); no static "
+                  "assignment (regeneration backstop applies at run time)\n",
+                  Opts.MaxIterations);
   return R;
 }

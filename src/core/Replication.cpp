@@ -18,7 +18,9 @@ aqua::core::replicateNode(AssayGraph &G, NodeId N, int Copies,
   using RetTy = Expected<std::vector<NodeId>>;
   if (Copies < 2)
     return RetTy::error("replication needs at least two copies");
-  const Node &Nd = G.node(N);
+  // By value: addNode below may grow the node table and invalidate
+  // references into it.
+  const Node Nd = G.node(N);
   if (Nd.Kind == NodeKind::Excess)
     return RetTy::error("cannot replicate an excess node");
   std::vector<EdgeId> Outs = G.outEdges(N);

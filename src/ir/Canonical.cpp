@@ -1,0 +1,249 @@
+//===- Canonical.cpp - Canonical form & fingerprinting -------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/ir/Canonical.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+using namespace aqua;
+using namespace aqua::ir;
+
+namespace {
+
+/// splitmix64 finalizer: a fast full-avalanche 64-bit mixer.
+std::uint64_t mix64(std::uint64_t X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  X = (X ^ (X >> 27)) * 0x94d049bb133111ebULL;
+  return X ^ (X >> 31);
+}
+
+/// Order-dependent combine of a running hash with one word.
+std::uint64_t combine(std::uint64_t H, std::uint64_t V) {
+  return mix64(H ^ (V + 0x9e3779b97f4a7c15ULL + (H << 6) + (H >> 2)));
+}
+
+std::uint64_t hashBits(double V) {
+  if (V == 0.0)
+    V = 0.0; // Collapse -0.0 onto +0.0.
+  return std::bit_cast<std::uint64_t>(V);
+}
+
+std::uint64_t hashString(std::string_view S) {
+  // FNV-1a, then avalanched.
+  std::uint64_t H = 0xcbf29ce484222325ULL;
+  for (unsigned char C : S) {
+    H ^= C;
+    H *= 0x100000001b3ULL;
+  }
+  return mix64(H ^ S.size());
+}
+
+/// The insertion-order-free local signature of a node: everything volume
+/// management and code generation can observe about it in isolation.
+std::uint64_t localSignature(const Node &N) {
+  std::uint64_t H = mix64(static_cast<std::uint64_t>(N.Kind) + 1);
+  H = combine(H, hashString(N.Name));
+  H = combine(H, static_cast<std::uint64_t>(N.OutFraction.numerator()));
+  H = combine(H, static_cast<std::uint64_t>(N.OutFraction.denominator()));
+  H = combine(H, N.UnknownVolume ? 3 : 5);
+  H = combine(H, N.NoExcess ? 7 : 11);
+  H = combine(H, static_cast<std::uint64_t>(N.ExcessShare.numerator()));
+  H = combine(H, static_cast<std::uint64_t>(N.ExcessShare.denominator()));
+  H = combine(H, hashBits(N.Params.Seconds));
+  H = combine(H, hashBits(N.Params.TempC));
+  H = combine(H, hashString(N.Params.Flavor));
+  H = combine(H, hashString(N.Params.Matrix));
+  H = combine(H, hashString(N.Params.Pusher));
+  return H;
+}
+
+std::uint64_t hashFractionWith(std::uint64_t NeighborHash, const Rational &F) {
+  std::uint64_t H = NeighborHash;
+  H = combine(H, static_cast<std::uint64_t>(F.numerator()));
+  H = combine(H, static_cast<std::uint64_t>(F.denominator()));
+  return H;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// FingerprintHasher
+//===----------------------------------------------------------------------===//
+
+std::string Fingerprint::str() const {
+  return format("%016llx%016llx", static_cast<unsigned long long>(Hi),
+                static_cast<unsigned long long>(Lo));
+}
+
+FingerprintHasher::FingerprintHasher()
+    : A(0x6a09e667f3bcc908ULL), B(0xbb67ae8584caa73bULL) {}
+
+FingerprintHasher &FingerprintHasher::add(std::uint64_t V) {
+  A = combine(A, V);
+  B = combine(B, ~V);
+  return *this;
+}
+
+FingerprintHasher &FingerprintHasher::add(double V) {
+  return add(hashBits(V));
+}
+
+FingerprintHasher &FingerprintHasher::add(const Rational &V) {
+  add(static_cast<std::uint64_t>(V.numerator()));
+  return add(static_cast<std::uint64_t>(V.denominator()));
+}
+
+FingerprintHasher &FingerprintHasher::add(std::string_view S) {
+  return add(hashString(S));
+}
+
+Fingerprint FingerprintHasher::finish() const {
+  // One more avalanche so trailing adds influence every output bit.
+  return Fingerprint{mix64(A ^ (B << 1)), mix64(B ^ (A >> 1))};
+}
+
+//===----------------------------------------------------------------------===//
+// Canonicalization
+//===----------------------------------------------------------------------===//
+
+CanonicalForm aqua::ir::canonicalize(const AssayGraph &G) {
+  CanonicalForm C;
+  C.NodeRank.assign(G.numNodeSlots(), -1);
+  C.EdgeRank.assign(G.numEdgeSlots(), -1);
+  C.NodeHash.assign(G.numNodeSlots(), 0);
+
+  const std::vector<NodeId> Live = G.liveNodes();
+  const std::vector<EdgeId> LiveEdges = G.liveEdges();
+
+  // Round 0: purely local signatures.
+  for (NodeId N : Live)
+    C.NodeHash[N] = localSignature(G.node(N));
+
+  // Weisfeiler--Lehman refinement: absorb sorted neighborhood hashes.
+  // ceil(log2(N)) + 2 rounds let a label propagate across any path of the
+  // DAG's diameter in a balanced graph and separate chain positions.
+  int Rounds = 2;
+  for (std::size_t S = Live.size(); S > 1; S >>= 1)
+    ++Rounds;
+  std::vector<std::uint64_t> Next(C.NodeHash.size(), 0);
+  std::vector<std::uint64_t> Neighborhood;
+  for (int R = 0; R < Rounds; ++R) {
+    for (NodeId N : Live) {
+      std::uint64_t H = combine(C.NodeHash[N], 0x517cc1b727220a95ULL);
+      Neighborhood.clear();
+      for (EdgeId E : G.inEdges(N))
+        Neighborhood.push_back(
+            hashFractionWith(C.NodeHash[G.edge(E).Src], G.edge(E).Fraction));
+      std::sort(Neighborhood.begin(), Neighborhood.end());
+      for (std::uint64_t V : Neighborhood)
+        H = combine(H, V);
+      H = combine(H, 0x2545f4914f6cdd1dULL); // In/out separator.
+      Neighborhood.clear();
+      for (EdgeId E : G.outEdges(N))
+        Neighborhood.push_back(
+            hashFractionWith(C.NodeHash[G.edge(E).Dst], G.edge(E).Fraction));
+      std::sort(Neighborhood.begin(), Neighborhood.end());
+      for (std::uint64_t V : Neighborhood)
+        H = combine(H, V);
+      Next[N] = H;
+    }
+    for (NodeId N : Live)
+      C.NodeHash[N] = Next[N];
+  }
+
+  // Canonical node order: by final hash, with the node name and kind as
+  // readability tie-breakers (ties after that are automorphic in practice;
+  // any order yields an isomorphic canonical graph).
+  std::vector<NodeId> Order = Live;
+  std::sort(Order.begin(), Order.end(), [&](NodeId X, NodeId Y) {
+    if (C.NodeHash[X] != C.NodeHash[Y])
+      return C.NodeHash[X] < C.NodeHash[Y];
+    if (G.node(X).Name != G.node(Y).Name)
+      return G.node(X).Name < G.node(Y).Name;
+    return G.node(X).Kind < G.node(Y).Kind;
+  });
+  for (int Rank = 0; Rank < static_cast<int>(Order.size()); ++Rank)
+    C.NodeRank[Order[Rank]] = Rank;
+
+  // Canonical edge order: by (src rank, dst rank, fraction). Parallel
+  // edges with equal fractions are interchangeable.
+  std::vector<EdgeId> EdgeOrder = LiveEdges;
+  std::sort(EdgeOrder.begin(), EdgeOrder.end(), [&](EdgeId X, EdgeId Y) {
+    const Edge &EX = G.edge(X), &EY = G.edge(Y);
+    if (C.NodeRank[EX.Src] != C.NodeRank[EY.Src])
+      return C.NodeRank[EX.Src] < C.NodeRank[EY.Src];
+    if (C.NodeRank[EX.Dst] != C.NodeRank[EY.Dst])
+      return C.NodeRank[EX.Dst] < C.NodeRank[EY.Dst];
+    return EX.Fraction < EY.Fraction;
+  });
+  for (int Rank = 0; Rank < static_cast<int>(EdgeOrder.size()); ++Rank)
+    C.EdgeRank[EdgeOrder[Rank]] = Rank;
+
+  // The fingerprint hashes the sorted multiset of node hashes and edge
+  // hashes -- no insertion order, no slot ids, no dead slots.
+  FingerprintHasher FH;
+  FH.add(std::uint64_t(Live.size()));
+  FH.add(std::uint64_t(LiveEdges.size()));
+  std::vector<std::uint64_t> NodeHashes;
+  NodeHashes.reserve(Live.size());
+  for (NodeId N : Live)
+    NodeHashes.push_back(C.NodeHash[N]);
+  std::sort(NodeHashes.begin(), NodeHashes.end());
+  for (std::uint64_t H : NodeHashes)
+    FH.add(H);
+  std::vector<std::uint64_t> EdgeHashes;
+  EdgeHashes.reserve(LiveEdges.size());
+  for (EdgeId E : LiveEdges) {
+    std::uint64_t H = combine(C.NodeHash[G.edge(E).Src], 0x9ddfea08eb382d69ULL);
+    H = combine(H, C.NodeHash[G.edge(E).Dst]);
+    H = hashFractionWith(H, G.edge(E).Fraction);
+    EdgeHashes.push_back(H);
+  }
+  std::sort(EdgeHashes.begin(), EdgeHashes.end());
+  for (std::uint64_t H : EdgeHashes)
+    FH.add(H);
+  C.Hash = FH.finish();
+  return C;
+}
+
+AssayGraph aqua::ir::buildCanonicalGraph(const AssayGraph &G,
+                                         const CanonicalForm &C) {
+  // Invert the rank maps.
+  std::vector<NodeId> NodeAt(G.numNodes(), InvalidNode);
+  for (NodeId N = 0; N < G.numNodeSlots(); ++N)
+    if (C.NodeRank[N] >= 0)
+      NodeAt[C.NodeRank[N]] = N;
+  std::vector<EdgeId> EdgeAt(G.numEdges(), -1);
+  for (EdgeId E = 0; E < G.numEdgeSlots(); ++E)
+    if (C.EdgeRank[E] >= 0)
+      EdgeAt[C.EdgeRank[E]] = E;
+
+  AssayGraph Out;
+  for (NodeId Old : NodeAt) {
+    const Node &N = G.node(Old);
+    NodeId New = Out.addNode(N.Kind, N.Name);
+    Node &Copy = Out.node(New);
+    Copy.OutFraction = N.OutFraction;
+    Copy.UnknownVolume = N.UnknownVolume;
+    Copy.NoExcess = N.NoExcess;
+    Copy.ExcessShare = N.ExcessShare;
+    Copy.Params = N.Params;
+  }
+  for (EdgeId Old : EdgeAt) {
+    const Edge &E = G.edge(Old);
+    Out.addEdge(C.NodeRank[E.Src], C.NodeRank[E.Dst], E.Fraction);
+  }
+  return Out;
+}
+
+Fingerprint aqua::ir::fingerprintGraph(const AssayGraph &G) {
+  return canonicalize(G).Hash;
+}

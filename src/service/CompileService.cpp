@@ -1,0 +1,262 @@
+//===- CompileService.cpp - Concurrent compile service -------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/service/CompileService.h"
+
+#include "aqua/core/Rounding.h"
+#include "aqua/lang/Lower.h"
+#include "aqua/service/RequestKey.h"
+#include "aqua/support/StringUtils.h"
+#include "aqua/support/Timer.h"
+
+#include <algorithm>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+/// Lock-free accumulate for pre-C++20-atomic-float toolchains.
+void addDouble(std::atomic<double> &Sink, double V) {
+  double Old = Sink.load(std::memory_order_relaxed);
+  while (!Sink.compare_exchange_weak(Old, Old + V, std::memory_order_relaxed))
+    ;
+}
+
+bool hasUnknownVolumes(const ir::AssayGraph &G) {
+  for (ir::NodeId N : G.liveNodes())
+    if (G.node(N).UnknownVolume)
+      return true;
+  return false;
+}
+
+} // namespace
+
+std::string ServiceStats::str() const {
+  return format(
+      "submitted %llu, completed %llu (%llu failed), cache hits %llu "
+      "(%.1f%% hit rate), single-flight joins %llu, evictions %llu, "
+      "%zu cached entries (%.1f MiB), %.3f s solving, %.3f s total latency",
+      static_cast<unsigned long long>(Submitted),
+      static_cast<unsigned long long>(Completed),
+      static_cast<unsigned long long>(Failed),
+      static_cast<unsigned long long>(CacheHits), Cache.hitRate() * 100.0,
+      static_cast<unsigned long long>(SingleFlightJoins),
+      static_cast<unsigned long long>(Cache.Evictions), Cache.Entries,
+      static_cast<double>(Cache.Bytes) / (1024.0 * 1024.0), SolveSec,
+      TotalLatencySec);
+}
+
+CompileService::CompileService(const ServiceOptions &Options)
+    : Options(Options), Cache(Options.Cache) {
+  int Threads = std::max(1, Options.Threads);
+  Workers.reserve(Threads);
+  for (int I = 0; I < Threads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+CompileService::~CompileService() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    ShuttingDown = true;
+  }
+  QueueCV.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void CompileService::workerLoop() {
+  for (;;) {
+    Job J;
+    {
+      std::unique_lock<std::mutex> Lock(QueueMutex);
+      QueueCV.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      if (Queue.empty())
+        return; // Shutting down and drained.
+      J = std::move(Queue.front());
+      Queue.pop_front();
+    }
+    J.Promise.set_value(process(J.Request));
+  }
+}
+
+std::future<CompileResponse> CompileService::submit(CompileRequest Request) {
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  Job J;
+  J.Request = std::move(Request);
+  std::future<CompileResponse> Result = J.Promise.get_future();
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Queue.push_back(std::move(J));
+  }
+  QueueCV.notify_one();
+  return Result;
+}
+
+std::vector<CompileResponse>
+CompileService::compileBatch(std::vector<CompileRequest> Batch) {
+  std::vector<std::future<CompileResponse>> Futures;
+  Futures.reserve(Batch.size());
+  for (CompileRequest &R : Batch)
+    Futures.push_back(submit(std::move(R)));
+  std::vector<CompileResponse> Responses;
+  Responses.reserve(Futures.size());
+  for (std::future<CompileResponse> &F : Futures)
+    Responses.push_back(F.get());
+  return Responses;
+}
+
+CompileResponse CompileService::compileNow(const CompileRequest &Request) {
+  Submitted.fetch_add(1, std::memory_order_relaxed);
+  return process(Request);
+}
+
+std::shared_ptr<const CompileArtifact>
+CompileService::solveAndGenerate(const CompileRequest &Request,
+                                 const ir::AssayGraph &G) {
+  double Sec = 0.0;
+  auto Artifact = std::make_shared<CompileArtifact>();
+  {
+    ScopedTimer Timer(Sec);
+    if (hasUnknownVolumes(G)) {
+      // Run-time-unknown volumes: no static assignment exists; emit
+      // relative AIS (the partition API handles deferred dispensing).
+      auto Prog = codegen::generateAIS(G, Request.Layout, {});
+      if (Prog.ok()) {
+        Artifact->Ok = true;
+        Artifact->Program = std::move(*Prog);
+      } else {
+        Artifact->Error = Prog.message();
+      }
+    } else {
+      Artifact->Managed = true;
+      Artifact->VM = core::manageVolumes(G, Request.Spec, Request.Manage);
+      if (!Artifact->VM.Feasible) {
+        Artifact->Error =
+            "no feasible volume assignment; decision log:\n" +
+            Artifact->VM.Log;
+      } else {
+        Artifact->Metered = core::integerToNl(Artifact->VM.Graph,
+                                              Artifact->VM.Rounded,
+                                              Request.Spec);
+        codegen::CodegenOptions CG;
+        CG.Mode = codegen::VolumeMode::Managed;
+        CG.Volumes = &Artifact->Metered;
+        auto Prog =
+            codegen::generateAIS(Artifact->VM.Graph, Request.Layout, CG);
+        if (Prog.ok()) {
+          Artifact->Ok = true;
+          Artifact->Program = std::move(*Prog);
+        } else {
+          Artifact->Error = Prog.message();
+        }
+      }
+    }
+  }
+  addDouble(SolveSec, Sec);
+  return Artifact;
+}
+
+CompileResponse CompileService::process(const CompileRequest &Request) {
+  CompileResponse R;
+  R.Name = Request.Name;
+  double Latency = 0.0;
+  {
+    ScopedTimer Timer(Latency);
+
+    // ----- Front end: parse + lower, unless a DAG was supplied.
+    std::shared_ptr<const ir::AssayGraph> Graph = Request.Graph;
+    if (!Graph) {
+      auto Lowered = lang::compileAssay(Request.Source);
+      if (!Lowered.ok()) {
+        R.Error = Lowered.message();
+      } else {
+        Graph = std::make_shared<const ir::AssayGraph>(
+            std::move(Lowered->Graph));
+      }
+    }
+
+    if (Graph) {
+      // ----- Canonical fingerprint: the cache and dedup key.
+      ir::CanonicalForm Canon = ir::canonicalize(*Graph);
+      R.Key = requestFingerprint(Canon, Request.Spec, Request.Manage,
+                                 Request.Layout);
+
+      if (!Options.EnableCache) {
+        R.Artifact = solveAndGenerate(Request, *Graph);
+      } else if (auto Hit = Cache.lookup(R.Key)) {
+        R.CacheHit = true;
+        CacheHits.fetch_add(1, std::memory_order_relaxed);
+        R.Artifact = std::move(Hit);
+      } else {
+        // ----- Single-flight: at most one solve per fingerprint, ever.
+        // The solver publishes to the cache *before* retiring its flight
+        // (both flight transitions happen under FlightMutex), and a miss
+        // re-checks the cache under FlightMutex before opening a new
+        // flight -- so a request that finds neither a flight nor a cache
+        // entry is genuinely first.
+        std::shared_ptr<Flight> Mine, Theirs;
+        std::shared_ptr<const CompileArtifact> Raced;
+        {
+          std::lock_guard<std::mutex> Lock(FlightMutex);
+          auto It = Flights.find(R.Key.str());
+          if (It != Flights.end()) {
+            Theirs = It->second;
+          } else if ((Raced = Cache.lookup(R.Key))) {
+            ; // The flight we raced with retired between our first lookup
+              // and here; its artifact is already cached.
+          } else {
+            Mine = std::make_shared<Flight>();
+            Mine->Result = Mine->Promise.get_future().share();
+            Flights.emplace(R.Key.str(), Mine);
+          }
+        }
+        if (Raced) {
+          R.CacheHit = true;
+          CacheHits.fetch_add(1, std::memory_order_relaxed);
+          R.Artifact = std::move(Raced);
+        } else if (Theirs) {
+          R.Deduplicated = true;
+          SingleFlightJoins.fetch_add(1, std::memory_order_relaxed);
+          R.Artifact = Theirs->Result.get();
+        } else {
+          R.Artifact = solveAndGenerate(Request, *Graph);
+          Cache.insert(R.Key, R.Artifact);
+          {
+            std::lock_guard<std::mutex> Lock(FlightMutex);
+            Flights.erase(R.Key.str());
+          }
+          Mine->Promise.set_value(R.Artifact);
+        }
+      }
+
+      if (R.Artifact) {
+        R.Ok = R.Artifact->Ok;
+        if (!R.Ok)
+          R.Error = R.Artifact->Error;
+      }
+    }
+  }
+  R.LatencySec = Latency;
+  addDouble(TotalLatencySec, Latency);
+  Completed.fetch_add(1, std::memory_order_relaxed);
+  if (!R.Ok)
+    Failed.fetch_add(1, std::memory_order_relaxed);
+  return R;
+}
+
+ServiceStats CompileService::stats() const {
+  ServiceStats S;
+  S.Submitted = Submitted.load(std::memory_order_relaxed);
+  S.Completed = Completed.load(std::memory_order_relaxed);
+  S.Failed = Failed.load(std::memory_order_relaxed);
+  S.CacheHits = CacheHits.load(std::memory_order_relaxed);
+  S.SingleFlightJoins = SingleFlightJoins.load(std::memory_order_relaxed);
+  S.TotalLatencySec = TotalLatencySec.load(std::memory_order_relaxed);
+  S.SolveSec = SolveSec.load(std::memory_order_relaxed);
+  S.Cache = Cache.stats();
+  return S;
+}

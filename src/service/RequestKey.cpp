@@ -1,0 +1,112 @@
+//===- RequestKey.cpp - Canonical compile-request key --------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/service/RequestKey.h"
+
+#include <algorithm>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+/// Hashes a node reference insertion-order-independently: by the node's
+/// canonical refinement hash rather than its slot id.
+std::uint64_t canonicalNodeRef(const ir::CanonicalForm &Canon, ir::NodeId N) {
+  if (N < 0 || N >= static_cast<ir::NodeId>(Canon.NodeHash.size()))
+    return 0; // Invalid/dangling reference: stable sentinel.
+  return Canon.NodeHash[N];
+}
+
+void addSpec(ir::FingerprintHasher &H, const core::MachineSpec &Spec) {
+  H.add(Spec.MaxCapacityNl);
+  H.add(Spec.LeastCountNl);
+  H.add(Spec.Limits.MaxInputs);
+  H.add(Spec.Limits.MaxNodes);
+}
+
+void addLPOptions(ir::FingerprintHasher &H, const lp::SolverOptions &Opts) {
+  H.add(Opts.Simplex.TimeLimitSec);
+  H.add(Opts.Simplex.MaxIterations);
+  H.add(std::uint64_t(Opts.Simplex.MaxTableauBytes));
+  H.add(Opts.Simplex.StallThreshold);
+  H.add(Opts.Presolve);
+}
+
+void addDagOptions(ir::FingerprintHasher &H, const ir::CanonicalForm &Canon,
+                   const core::DagSolveOptions &Opts) {
+  // Output weights as a sorted multiset of (canonical node, weight).
+  std::vector<std::pair<std::uint64_t, Rational>> Weights;
+  Weights.reserve(Opts.OutputWeights.size());
+  for (const auto &[Node, Weight] : Opts.OutputWeights)
+    Weights.emplace_back(canonicalNodeRef(Canon, Node), Weight);
+  std::sort(Weights.begin(), Weights.end(),
+            [](const auto &A, const auto &B) {
+              if (A.first != B.first)
+                return A.first < B.first;
+              return A.second < B.second;
+            });
+  H.add(std::uint64_t(Weights.size()));
+  for (const auto &[Ref, Weight] : Weights) {
+    H.add(Ref);
+    H.add(Weight);
+  }
+  H.add(Opts.PinnedNode.has_value());
+  if (Opts.PinnedNode)
+    H.add(canonicalNodeRef(Canon, *Opts.PinnedNode));
+  H.add(Opts.PinnedVolumeNl);
+}
+
+void addManagerOptions(ir::FingerprintHasher &H,
+                       const ir::CanonicalForm &Canon,
+                       const core::ManagerOptions &Opts) {
+  H.add(Opts.UseLPFallback);
+  H.add(Opts.AllowCascading);
+  H.add(Opts.AllowReplication);
+  H.add(Opts.MaxIterations);
+  H.add(Opts.CascadeSkewThreshold);
+  H.add(Opts.MaxCascadeStages);
+  H.add(Opts.TargetMeanRoundErrorPct);
+  H.add(Opts.MaxErrorRefineSteps);
+  addLPOptions(H, Opts.LPOptions);
+  addDagOptions(H, Canon, Opts.DagOptions);
+}
+
+void addLayout(ir::FingerprintHasher &H, const codegen::MachineLayout &L) {
+  H.add(L.Reservoirs);
+  H.add(L.Mixers);
+  H.add(L.Heaters);
+  H.add(L.Sensors);
+  H.add(L.Separators);
+  H.add(L.InputPorts);
+  H.add(L.OutputPorts);
+}
+
+} // namespace
+
+ir::Fingerprint
+service::requestFingerprint(const ir::CanonicalForm &Canon,
+                            const core::MachineSpec &Spec,
+                            const core::ManagerOptions &Opts,
+                            const codegen::MachineLayout &Layout) {
+  ir::FingerprintHasher H;
+  // Domain tag so a request fingerprint never equals a bare graph one.
+  H.add(std::string_view("aqua.service.request.v1"));
+  H.add(Canon.Hash.Hi);
+  H.add(Canon.Hash.Lo);
+  addSpec(H, Spec);
+  addManagerOptions(H, Canon, Opts);
+  addLayout(H, Layout);
+  return H.finish();
+}
+
+ir::Fingerprint
+service::requestFingerprint(const ir::AssayGraph &G,
+                            const core::MachineSpec &Spec,
+                            const core::ManagerOptions &Opts,
+                            const codegen::MachineLayout &Layout) {
+  return requestFingerprint(ir::canonicalize(G), Spec, Opts, Layout);
+}

@@ -1,0 +1,129 @@
+//===- SolveCache.cpp - Sharded memoizing solve cache --------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/service/SolveCache.h"
+
+#include <algorithm>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+std::size_t stringBytes(const std::string &S) { return S.capacity(); }
+
+std::size_t graphBytes(const ir::AssayGraph &G) {
+  std::size_t Bytes = G.numNodeSlots() * sizeof(ir::Node) +
+                      G.numEdgeSlots() * sizeof(ir::Edge);
+  for (ir::NodeId N = 0; N < G.numNodeSlots(); ++N) {
+    const ir::Node &Nd = G.node(N);
+    Bytes += stringBytes(Nd.Name) + stringBytes(Nd.Params.Flavor) +
+             stringBytes(Nd.Params.Matrix) + stringBytes(Nd.Params.Pusher) +
+             (Nd.In.size() + Nd.Out.size()) * sizeof(ir::EdgeId);
+  }
+  return Bytes;
+}
+
+} // namespace
+
+std::size_t CompileArtifact::approxBytes() const {
+  std::size_t Bytes = sizeof(CompileArtifact);
+  Bytes += stringBytes(Error) + stringBytes(VM.Log);
+  Bytes += graphBytes(VM.Graph);
+  Bytes += (VM.Volumes.NodeVolumeNl.size() + VM.Volumes.EdgeVolumeNl.size() +
+            Metered.NodeVolumeNl.size() + Metered.EdgeVolumeNl.size()) *
+           sizeof(double);
+  Bytes += (VM.Rounded.NodeUnits.size() + VM.Rounded.EdgeUnits.size()) *
+           sizeof(std::int64_t);
+  Bytes += Program.Instrs.size() * sizeof(codegen::Instruction);
+  for (const codegen::Instruction &I : Program.Instrs)
+    Bytes += stringBytes(I.Note);
+  return Bytes;
+}
+
+SolveCache::SolveCache(const CacheConfig &Config) {
+  int NumShards = std::max(1, Config.Shards);
+  Shards.reserve(NumShards);
+  for (int I = 0; I < NumShards; ++I)
+    Shards.push_back(std::make_unique<Shard>());
+  MaxEntriesPerShard = std::max<std::size_t>(
+      Config.MaxEntries ? 1 : 0, Config.MaxEntries / NumShards);
+  MaxBytesPerShard = std::max<std::size_t>(1, Config.MaxBytes / NumShards);
+}
+
+SolveCache::Shard &SolveCache::shardFor(const ir::Fingerprint &Key) {
+  // The fingerprint is uniformly mixed; the top bits pick the shard.
+  return *Shards[(Key.Hi >> 32) % Shards.size()];
+}
+
+std::shared_ptr<const CompileArtifact>
+SolveCache::lookup(const ir::Fingerprint &Key) {
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end()) {
+    ++S.Misses;
+    return nullptr;
+  }
+  ++S.Hits;
+  // Refresh recency: move to the front of the LRU list.
+  S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
+  return It->second->Value;
+}
+
+void SolveCache::insert(const ir::Fingerprint &Key,
+                        std::shared_ptr<const CompileArtifact> Value) {
+  if (MaxEntriesPerShard == 0 || !Value)
+    return;
+  std::size_t Bytes = Value->approxBytes();
+  Shard &S = shardFor(Key);
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto It = S.Index.find(Key);
+  if (It != S.Index.end()) {
+    S.Bytes -= It->second->Bytes;
+    S.LRU.erase(It->second);
+    S.Index.erase(It);
+  }
+  S.LRU.push_front(Entry{Key, std::move(Value), Bytes});
+  S.Index.emplace(Key, S.LRU.begin());
+  S.Bytes += Bytes;
+  ++S.Insertions;
+  evictOverBudgetLocked(S);
+}
+
+void SolveCache::evictOverBudgetLocked(Shard &S) {
+  while (S.LRU.size() > MaxEntriesPerShard ||
+         (S.Bytes > MaxBytesPerShard && S.LRU.size() > 1)) {
+    const Entry &Victim = S.LRU.back();
+    S.Bytes -= Victim.Bytes;
+    S.Index.erase(Victim.Key);
+    S.LRU.pop_back();
+    ++S.Evictions;
+  }
+}
+
+CacheStats SolveCache::stats() const {
+  CacheStats Total;
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    Total.Hits += S->Hits;
+    Total.Misses += S->Misses;
+    Total.Insertions += S->Insertions;
+    Total.Evictions += S->Evictions;
+    Total.Entries += S->LRU.size();
+    Total.Bytes += S->Bytes;
+  }
+  return Total;
+}
+
+void SolveCache::clear() {
+  for (const std::unique_ptr<Shard> &S : Shards) {
+    std::lock_guard<std::mutex> Lock(S->Mutex);
+    S->LRU.clear();
+    S->Index.clear();
+    S->Bytes = 0;
+  }
+}

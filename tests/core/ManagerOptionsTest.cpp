@@ -39,6 +39,41 @@ TEST(ManagerOptions, IterationBudgetLimitsTransforms) {
   EXPECT_FALSE(R.Feasible);
 }
 
+TEST(ManagerOptions, ZeroIterationBudgetFailsWithDecisionLog) {
+  // MaxIterations = 0: the hierarchy never runs at all. The caller (and
+  // the compilation service, which surfaces Log as its error) must still
+  // get a non-empty decision trace explaining the exhaustion.
+  ManagerOptions None;
+  None.MaxIterations = 0;
+  ManagerResult R =
+      manageVolumes(assays::buildGlucoseAssay(), MachineSpec{}, None);
+  EXPECT_FALSE(R.Feasible);
+  EXPECT_FALSE(R.Log.empty());
+  EXPECT_NE(R.Log.find("hierarchy exhausted"), std::string::npos) << R.Log;
+}
+
+TEST(ManagerOptions, TransformsDisabledOnInfeasibleGraphFailsWithLog) {
+  // 1:1999 through a single use: DAGSolve underflows, LP cannot help, and
+  // with both transforms disabled the hierarchy is exhausted immediately.
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId M = G.addMix("M", {{A, 1}, {B, 1999}});
+  G.addUnary(NodeKind::Sense, "out", M);
+
+  ManagerOptions NoTransforms;
+  NoTransforms.AllowCascading = false;
+  NoTransforms.AllowReplication = false;
+  ManagerResult R = manageVolumes(G, MachineSpec{}, NoTransforms);
+  EXPECT_FALSE(R.Feasible);
+  ASSERT_FALSE(R.Log.empty());
+  // The trace records the failed solve attempts and the exhaustion.
+  EXPECT_NE(R.Log.find("DAGSolve underflow"), std::string::npos) << R.Log;
+  EXPECT_NE(R.Log.find("no transform applicable"), std::string::npos)
+      << R.Log;
+  EXPECT_NE(R.Log.find("hierarchy exhausted"), std::string::npos) << R.Log;
+}
+
 TEST(ManagerOptions, LPFallbackCanBeDisabled) {
   MachineSpec Spec;
   ManagerOptions NoLP;

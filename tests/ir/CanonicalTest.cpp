@@ -1,0 +1,148 @@
+//===- CanonicalTest.cpp - Canonical form & fingerprint tests --------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/ir/Canonical.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/support/Rational.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::ir;
+
+namespace {
+
+/// The Figure 2 example built in its natural order: inputs first, then
+/// mixes in dependency order.
+AssayGraph buildForward() {
+  AssayGraph G;
+  NodeId A = G.addInput("A");
+  NodeId B = G.addInput("B");
+  NodeId C = G.addInput("C");
+  NodeId K = G.addMix("K", {{A, 1}, {B, 4}});
+  NodeId L = G.addMix("L", {{B, 2}, {C, 1}});
+  G.addMix("M", {{K, 2}, {L, 1}});
+  G.addMix("N", {{L, 2}, {C, 3}});
+  return G;
+}
+
+/// The same structure with nodes and edges inserted in a scrambled order
+/// (mix nodes first, then inputs; edges interleaved backwards).
+AssayGraph buildScrambled() {
+  AssayGraph G;
+  NodeId N = G.addNode(NodeKind::Mix, "N");
+  NodeId M = G.addNode(NodeKind::Mix, "M");
+  NodeId L = G.addNode(NodeKind::Mix, "L");
+  NodeId K = G.addNode(NodeKind::Mix, "K");
+  NodeId C = G.addInput("C");
+  NodeId B = G.addInput("B");
+  NodeId A = G.addInput("A");
+  G.addEdge(C, N, Rational(3, 5));
+  G.addEdge(L, N, Rational(2, 5));
+  G.addEdge(L, M, Rational(1, 3));
+  G.addEdge(K, M, Rational(2, 3));
+  G.addEdge(C, L, Rational(1, 3));
+  G.addEdge(B, L, Rational(2, 3));
+  G.addEdge(B, K, Rational(4, 5));
+  G.addEdge(A, K, Rational(1, 5));
+  return G;
+}
+
+} // namespace
+
+TEST(Canonical, InsertionOrderInvariance) {
+  AssayGraph Forward = buildForward();
+  AssayGraph Scrambled = buildScrambled();
+  ASSERT_TRUE(Forward.verify().ok());
+  ASSERT_TRUE(Scrambled.verify().ok());
+  EXPECT_EQ(fingerprintGraph(Forward), fingerprintGraph(Scrambled));
+}
+
+TEST(Canonical, CanonicalGraphsAreByteIdentical) {
+  AssayGraph Forward = buildForward();
+  AssayGraph Scrambled = buildScrambled();
+  AssayGraph CF = buildCanonicalGraph(Forward, canonicalize(Forward));
+  AssayGraph CS = buildCanonicalGraph(Scrambled, canonicalize(Scrambled));
+  EXPECT_EQ(CF.str(), CS.str());
+  // Canonicalization preserves structure (and therefore the fingerprint).
+  EXPECT_TRUE(CF.verify().ok());
+  EXPECT_EQ(fingerprintGraph(CF), fingerprintGraph(Forward));
+}
+
+TEST(Canonical, DeadSlotsDoNotAffectFingerprint) {
+  AssayGraph Clean = buildForward();
+  // Same build plus a scratch subgraph that is then removed: dead slots
+  // remain but the live structure is identical.
+  AssayGraph Dirty = buildForward();
+  NodeId Tmp = Dirty.addInput("scratch");
+  NodeId Tmp2 = Dirty.addUnary(NodeKind::Sense, "scratch_sense", Tmp);
+  Dirty.removeNode(Tmp2);
+  Dirty.removeNode(Tmp);
+  ASSERT_GT(Dirty.numNodeSlots(), Clean.numNodeSlots());
+  EXPECT_EQ(fingerprintGraph(Clean), fingerprintGraph(Dirty));
+}
+
+TEST(Canonical, MixRatioChangesFingerprint) {
+  AssayGraph Base = buildForward();
+  AssayGraph Tweaked;
+  {
+    NodeId A = Tweaked.addInput("A");
+    NodeId B = Tweaked.addInput("B");
+    NodeId C = Tweaked.addInput("C");
+    NodeId K = Tweaked.addMix("K", {{A, 1}, {B, 5}}); // 1:4 -> 1:5.
+    NodeId L = Tweaked.addMix("L", {{B, 2}, {C, 1}});
+    Tweaked.addMix("M", {{K, 2}, {L, 1}});
+    Tweaked.addMix("N", {{L, 2}, {C, 3}});
+  }
+  EXPECT_NE(fingerprintGraph(Base), fingerprintGraph(Tweaked));
+}
+
+TEST(Canonical, NodeAttributesChangeFingerprint) {
+  AssayGraph Base = buildForward();
+
+  AssayGraph Renamed = buildForward();
+  Renamed.node(0).Name = "A2";
+  EXPECT_NE(fingerprintGraph(Base), fingerprintGraph(Renamed));
+
+  AssayGraph Flagged = buildForward();
+  Flagged.node(3).NoExcess = true;
+  EXPECT_NE(fingerprintGraph(Base), fingerprintGraph(Flagged));
+
+  AssayGraph Timed = buildForward();
+  Timed.node(3).Params.Seconds = 42.0;
+  EXPECT_NE(fingerprintGraph(Base), fingerprintGraph(Timed));
+
+  AssayGraph Yielding = buildForward();
+  Yielding.node(3).OutFraction = Rational(1, 2);
+  EXPECT_NE(fingerprintGraph(Base), fingerprintGraph(Yielding));
+}
+
+TEST(Canonical, DistinguishesChainPositions) {
+  // A chain of identically-named, identically-parameterized mixes: only
+  // the position in the chain distinguishes them; refinement must still
+  // separate a 3-chain from a 4-chain.
+  auto Chain = [](int Len) {
+    AssayGraph G;
+    NodeId Prev = G.addInput("in");
+    for (int I = 0; I < Len; ++I)
+      Prev = G.addUnary(NodeKind::Incubate, "stage", Prev);
+    return G;
+  };
+  EXPECT_NE(fingerprintGraph(Chain(3)), fingerprintGraph(Chain(4)));
+  EXPECT_EQ(fingerprintGraph(Chain(4)), fingerprintGraph(Chain(4)));
+}
+
+TEST(Canonical, PaperAssaysAreStableAndDistinct) {
+  Fingerprint Glucose = fingerprintGraph(assays::buildGlucoseAssay());
+  Fingerprint Glucose2 = fingerprintGraph(assays::buildGlucoseAssay());
+  EXPECT_EQ(Glucose, Glucose2);
+
+  Fingerprint Enzyme4 = fingerprintGraph(assays::buildEnzymeAssay(4));
+  Fingerprint Enzyme5 = fingerprintGraph(assays::buildEnzymeAssay(5));
+  EXPECT_NE(Glucose, Enzyme4);
+  EXPECT_NE(Enzyme4, Enzyme5);
+}

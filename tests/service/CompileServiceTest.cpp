@@ -1,0 +1,203 @@
+//===- CompileServiceTest.cpp - Concurrent compile-service tests -----------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/service/CompileService.h"
+
+#include "aqua/assays/ExtraAssays.h"
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/codegen/AISParser.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+CompileRequest sourceRequest(const char *Name, const char *Source) {
+  CompileRequest R;
+  R.Name = Name;
+  R.Source = Source;
+  return R;
+}
+
+CompileRequest graphRequest(const char *Name, ir::AssayGraph G) {
+  CompileRequest R;
+  R.Name = Name;
+  R.Graph = std::make_shared<const ir::AssayGraph>(std::move(G));
+  return R;
+}
+
+} // namespace
+
+TEST(CompileService, CompilesSourceEndToEnd) {
+  CompileService Service;
+  CompileResponse R = Service.compileNow(
+      sourceRequest("glucose", assays::glucoseSource()));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  ASSERT_NE(R.Artifact, nullptr);
+  EXPECT_TRUE(R.Artifact->Managed);
+  EXPECT_TRUE(R.Artifact->VM.Feasible);
+  EXPECT_FALSE(R.Artifact->Program.Instrs.empty());
+  EXPECT_NE(R.Key, ir::Fingerprint{}) << "key must be set on success";
+  // The generated program round-trips through the AIS parser.
+  EXPECT_TRUE(codegen::parseAIS(R.Artifact->Program.str()).ok());
+}
+
+TEST(CompileService, ParseErrorsAreReportedNotCached) {
+  CompileService Service;
+  CompileResponse R =
+      Service.compileNow(sourceRequest("broken", "ASSAY ( nonsense"));
+  EXPECT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Error.empty());
+  EXPECT_EQ(R.Artifact, nullptr);
+  EXPECT_EQ(Service.stats().Cache.Insertions, 0u);
+}
+
+TEST(CompileService, RepeatSubmissionsHitTheCache) {
+  ServiceOptions Options;
+  Options.Threads = 2;
+  CompileService Service(Options);
+  std::vector<CompileRequest> Batch;
+  for (int I = 0; I < 6; ++I)
+    Batch.push_back(graphRequest("glucose", assays::buildGlucoseAssay()));
+  std::vector<CompileResponse> Responses =
+      Service.compileBatch(std::move(Batch));
+  ASSERT_EQ(Responses.size(), 6u);
+  for (const CompileResponse &R : Responses)
+    EXPECT_TRUE(R.Ok) << R.Error;
+  ServiceStats S = Service.stats();
+  // Identical structure solves exactly once; everyone else is a hit or a
+  // single-flight join.
+  EXPECT_EQ(S.Cache.Insertions, 1u);
+  EXPECT_EQ(S.CacheHits + S.SingleFlightJoins, 5u);
+  EXPECT_EQ(S.Submitted, 6u);
+  EXPECT_EQ(S.Completed, 6u);
+  EXPECT_EQ(S.Failed, 0u);
+}
+
+TEST(CompileService, SingleFlightDedupUnderEightThreads) {
+  ServiceOptions Options;
+  Options.Threads = 8;
+  CompileService Service(Options);
+  // Eight threads submit the same (non-trivial) assay concurrently.
+  auto Graph = std::make_shared<const ir::AssayGraph>(
+      assays::buildEnzymeAssay(4));
+  std::vector<std::thread> Threads;
+  std::vector<CompileResponse> Responses(8);
+  for (int I = 0; I < 8; ++I)
+    Threads.emplace_back([&, I] {
+      CompileRequest R;
+      R.Name = "enzyme";
+      R.Graph = Graph;
+      Responses[I] = Service.submit(std::move(R)).get();
+    });
+  for (std::thread &T : Threads)
+    T.join();
+
+  for (const CompileResponse &R : Responses) {
+    EXPECT_TRUE(R.Ok) << R.Error;
+    ASSERT_NE(R.Artifact, nullptr);
+    EXPECT_TRUE(R.Artifact->VM.Feasible);
+  }
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Cache.Insertions, 1u) << "single-flight must solve once";
+  EXPECT_EQ(S.CacheHits + S.SingleFlightJoins, 7u);
+  EXPECT_EQ(S.Completed, 8u);
+}
+
+TEST(CompileService, CacheOffRunsEveryRequest) {
+  ServiceOptions Options;
+  Options.Threads = 2;
+  Options.EnableCache = false;
+  CompileService Service(Options);
+  std::vector<CompileRequest> Batch;
+  for (int I = 0; I < 4; ++I)
+    Batch.push_back(graphRequest("glucose", assays::buildGlucoseAssay()));
+  std::vector<CompileResponse> Responses =
+      Service.compileBatch(std::move(Batch));
+  for (const CompileResponse &R : Responses) {
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_FALSE(R.CacheHit);
+    EXPECT_FALSE(R.Deduplicated);
+  }
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.CacheHits, 0u);
+  EXPECT_EQ(S.Cache.Insertions, 0u);
+}
+
+TEST(CompileService, DistinctConfigurationsDoNotShareArtifacts) {
+  CompileService Service;
+  CompileRequest Coarse = graphRequest("glucose", assays::buildGlucoseAssay());
+  CompileRequest Fine = graphRequest("glucose", assays::buildGlucoseAssay());
+  Fine.Spec.LeastCountNl = 0.05;
+  CompileResponse R1 = Service.compileNow(Coarse);
+  CompileResponse R2 = Service.compileNow(Fine);
+  ASSERT_TRUE(R1.Ok && R2.Ok);
+  EXPECT_NE(R1.Key, R2.Key);
+  EXPECT_FALSE(R2.CacheHit);
+  EXPECT_EQ(Service.stats().Cache.Insertions, 2u);
+}
+
+TEST(CompileService, InfeasibleCompilesAreCachedFailures) {
+  // 1:1999 with one use and no transforms allowed is statically
+  // infeasible; the deterministic failure is memoized like a success.
+  ir::AssayGraph G;
+  ir::NodeId A = G.addInput("A");
+  ir::NodeId B = G.addInput("B");
+  ir::NodeId M = G.addMix("M", {{A, 1}, {B, 1999}});
+  G.addUnary(ir::NodeKind::Sense, "out", M);
+  CompileRequest R = graphRequest("skewed", std::move(G));
+  R.Manage.AllowCascading = false;
+  R.Manage.AllowReplication = false;
+
+  CompileService Service;
+  CompileResponse First = Service.compileNow(R);
+  EXPECT_FALSE(First.Ok);
+  EXPECT_NE(First.Error.find("no feasible volume assignment"),
+            std::string::npos);
+  CompileResponse Second = Service.compileNow(R);
+  EXPECT_FALSE(Second.Ok);
+  EXPECT_TRUE(Second.CacheHit) << "failures must be memoized too";
+  EXPECT_EQ(Service.stats().Cache.Insertions, 1u);
+}
+
+TEST(CompileService, UnknownVolumeAssaysCompileRelative) {
+  CompileService Service;
+  CompileResponse R = Service.compileNow(
+      graphRequest("glycomics", assays::buildGlycomicsAssay()));
+  ASSERT_TRUE(R.Ok) << R.Error;
+  EXPECT_FALSE(R.Artifact->Managed);
+  EXPECT_FALSE(R.Artifact->Program.Instrs.empty());
+}
+
+TEST(CompileService, MixedBatchKeepsRequestOrder) {
+  ServiceOptions Options;
+  Options.Threads = 4;
+  CompileService Service(Options);
+  std::vector<CompileRequest> Batch;
+  Batch.push_back(graphRequest("glucose", assays::buildGlucoseAssay()));
+  Batch.push_back(graphRequest("mic", assays::buildMicPanel(6)));
+  Batch.push_back(sourceRequest("bad", "not an assay"));
+  Batch.push_back(graphRequest("glucose", assays::buildGlucoseAssay()));
+  std::vector<CompileResponse> Responses =
+      Service.compileBatch(std::move(Batch));
+  ASSERT_EQ(Responses.size(), 4u);
+  EXPECT_EQ(Responses[0].Name, "glucose");
+  EXPECT_TRUE(Responses[0].Ok);
+  EXPECT_EQ(Responses[1].Name, "mic");
+  EXPECT_TRUE(Responses[1].Ok);
+  EXPECT_EQ(Responses[2].Name, "bad");
+  EXPECT_FALSE(Responses[2].Ok);
+  EXPECT_TRUE(Responses[3].Ok);
+  EXPECT_EQ(Service.stats().Failed, 1u);
+  for (const CompileResponse &R : Responses)
+    EXPECT_GE(R.LatencySec, 0.0);
+}

@@ -1,0 +1,136 @@
+//===- RequestKeyTest.cpp - Compile-request fingerprint tests --------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/service/RequestKey.h"
+
+#include "aqua/assays/PaperAssays.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+ir::AssayGraph graph() { return assays::buildGlucoseAssay(); }
+
+} // namespace
+
+TEST(RequestKey, DeterministicAcrossCalls) {
+  EXPECT_EQ(requestFingerprint(graph(), {}), requestFingerprint(graph(), {}));
+}
+
+TEST(RequestKey, EveryMachineSpecFieldIsKeyed) {
+  ir::AssayGraph G = graph();
+  ir::Fingerprint Base = requestFingerprint(G, {});
+
+  core::MachineSpec Capacity;
+  Capacity.MaxCapacityNl = 200.0;
+  EXPECT_NE(requestFingerprint(G, Capacity), Base);
+
+  core::MachineSpec LeastCount;
+  LeastCount.LeastCountNl = 0.05;
+  EXPECT_NE(requestFingerprint(G, LeastCount), Base);
+
+  core::MachineSpec Inputs;
+  Inputs.Limits.MaxInputs = 8;
+  EXPECT_NE(requestFingerprint(G, Inputs), Base);
+
+  core::MachineSpec Nodes;
+  Nodes.Limits.MaxNodes = 100;
+  EXPECT_NE(requestFingerprint(G, Nodes), Base);
+}
+
+TEST(RequestKey, EveryManagerOptionFieldIsKeyed) {
+  ir::AssayGraph G = graph();
+  core::MachineSpec Spec;
+  ir::Fingerprint Base = requestFingerprint(G, Spec);
+
+  {
+    core::ManagerOptions O;
+    O.UseLPFallback = false;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.AllowCascading = false;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.AllowReplication = false;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.MaxIterations = 7;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.CascadeSkewThreshold = 50;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.MaxCascadeStages = 3;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.TargetMeanRoundErrorPct = 1.0;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.MaxErrorRefineSteps = 1;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.LPOptions.Presolve = false;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.LPOptions.Simplex.MaxIterations = 1000;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+  {
+    core::ManagerOptions O;
+    O.DagOptions.PinnedNode = 0;
+    O.DagOptions.PinnedVolumeNl = 10.0;
+    EXPECT_NE(requestFingerprint(G, Spec, O), Base);
+  }
+}
+
+TEST(RequestKey, LayoutIsKeyed) {
+  ir::AssayGraph G = graph();
+  codegen::MachineLayout Small;
+  Small.Reservoirs = 4;
+  EXPECT_NE(requestFingerprint(G, {}, {}, Small), requestFingerprint(G, {}));
+}
+
+TEST(RequestKey, OutputWeightsAreKeyedByLogicalNode) {
+  // The same logical weighting expressed against two insertion orders of
+  // the same graph must produce the same key; weighting a *different*
+  // logical node must change it.
+  assays::Figure2Nodes N1;
+  ir::AssayGraph G1 = assays::buildFigure2Example(&N1);
+  assays::Figure2Nodes N2;
+  ir::AssayGraph G2 = assays::buildFigure2Example(&N2);
+
+  core::ManagerOptions W1;
+  W1.DagOptions.OutputWeights = {{N1.M, Rational(3)}};
+  core::ManagerOptions W2;
+  W2.DagOptions.OutputWeights = {{N2.M, Rational(3)}};
+  EXPECT_EQ(requestFingerprint(G1, {}, W1), requestFingerprint(G2, {}, W2));
+
+  core::ManagerOptions WOther;
+  WOther.DagOptions.OutputWeights = {{N2.N, Rational(3)}};
+  EXPECT_NE(requestFingerprint(G1, {}, W1),
+            requestFingerprint(G2, {}, WOther));
+}

@@ -1,0 +1,127 @@
+//===- SolveCacheTest.cpp - Sharded LRU solve-cache tests ------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/service/SolveCache.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+ir::Fingerprint key(std::uint64_t I) {
+  // Distinct, well-spread keys.
+  return ir::Fingerprint{I * 0x9e3779b97f4a7c15ULL + 1, I};
+}
+
+std::shared_ptr<const CompileArtifact> artifact(const std::string &Tag) {
+  auto A = std::make_shared<CompileArtifact>();
+  A->Ok = true;
+  A->Error = Tag; // Repurposed as an identity marker for the test.
+  return A;
+}
+
+/// One shard so whole-cache LRU order is exact.
+CacheConfig singleShard(std::size_t MaxEntries) {
+  CacheConfig C;
+  C.Shards = 1;
+  C.MaxEntries = MaxEntries;
+  return C;
+}
+
+} // namespace
+
+TEST(SolveCache, HitAndMissCounting) {
+  SolveCache Cache(singleShard(8));
+  EXPECT_EQ(Cache.lookup(key(1)), nullptr);
+  Cache.insert(key(1), artifact("one"));
+  auto Hit = Cache.lookup(key(1));
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Error, "one");
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits, 1u);
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.Insertions, 1u);
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_GT(S.Bytes, 0u);
+  EXPECT_DOUBLE_EQ(S.hitRate(), 0.5);
+}
+
+TEST(SolveCache, EvictsLeastRecentlyUsedAtEntryBudget) {
+  SolveCache Cache(singleShard(3));
+  Cache.insert(key(1), artifact("1"));
+  Cache.insert(key(2), artifact("2"));
+  Cache.insert(key(3), artifact("3"));
+  // Touch 1 so 2 becomes the LRU victim.
+  ASSERT_NE(Cache.lookup(key(1)), nullptr);
+  Cache.insert(key(4), artifact("4"));
+
+  EXPECT_EQ(Cache.lookup(key(2)), nullptr) << "LRU entry should be evicted";
+  EXPECT_NE(Cache.lookup(key(1)), nullptr);
+  EXPECT_NE(Cache.lookup(key(3)), nullptr);
+  EXPECT_NE(Cache.lookup(key(4)), nullptr);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_EQ(S.Entries, 3u);
+}
+
+TEST(SolveCache, ReinsertReplacesWithoutEviction) {
+  SolveCache Cache(singleShard(2));
+  Cache.insert(key(1), artifact("old"));
+  Cache.insert(key(1), artifact("new"));
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Evictions, 0u);
+  auto Hit = Cache.lookup(key(1));
+  ASSERT_NE(Hit, nullptr);
+  EXPECT_EQ(Hit->Error, "new");
+}
+
+TEST(SolveCache, ByteBudgetEvictsButKeepsAtLeastOne) {
+  CacheConfig C = singleShard(100);
+  C.MaxBytes = 1; // Every artifact is over budget on its own.
+  SolveCache Cache(C);
+  Cache.insert(key(1), artifact("1"));
+  EXPECT_EQ(Cache.stats().Entries, 1u) << "a lone over-budget entry stays";
+  Cache.insert(key(2), artifact("2"));
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Entries, 1u);
+  EXPECT_EQ(S.Evictions, 1u);
+  EXPECT_NE(Cache.lookup(key(2)), nullptr) << "most recent entry survives";
+}
+
+TEST(SolveCache, EvictedArtifactsSurviveForHolders) {
+  SolveCache Cache(singleShard(1));
+  Cache.insert(key(1), artifact("held"));
+  auto Held = Cache.lookup(key(1));
+  ASSERT_NE(Held, nullptr);
+  Cache.insert(key(2), artifact("evictor"));
+  EXPECT_EQ(Cache.lookup(key(1)), nullptr);
+  EXPECT_EQ(Held->Error, "held") << "eviction must not invalidate holders";
+}
+
+TEST(SolveCache, ShardedCountersAggregate) {
+  CacheConfig C;
+  C.Shards = 4;
+  C.MaxEntries = 64;
+  SolveCache Cache(C);
+  for (std::uint64_t I = 0; I < 32; ++I)
+    Cache.insert(key(I), artifact("x"));
+  for (std::uint64_t I = 0; I < 32; ++I)
+    EXPECT_NE(Cache.lookup(key(I)), nullptr);
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Insertions, 32u);
+  EXPECT_EQ(S.Hits, 32u);
+  EXPECT_EQ(S.Entries, 32u);
+
+  Cache.clear();
+  EXPECT_EQ(Cache.stats().Entries, 0u);
+  EXPECT_EQ(Cache.stats().Bytes, 0u);
+  EXPECT_EQ(Cache.stats().Insertions, 32u) << "clear() keeps counters";
+}
