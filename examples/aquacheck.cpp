@@ -1,0 +1,140 @@
+//===- aquacheck.cpp - Differential-testing harness driver ----------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// aquacheck: generate random valid assay programs and cross-check every
+// layer of the volume-management pipeline against the others (see
+// aqua/check/Oracles.h for the oracle lattice). Failures are shrunk to a
+// minimal repro and written to aqua-check-repro-<caseseed>.assay.
+//
+//   aquacheck [--seed N] [--cases N] [--difficulty 1..5]
+//             [--oracle name,name,...] [--no-shrink] [--no-repro]
+//             [--json] [--out FILE] [--repro-dir DIR]
+//             [--capacity NL] [--least-count NL]
+//   aquacheck --replay FILE.assay [--yield N/D] [--oracle ...]
+//
+// Exit status: 0 when every oracle passed, 1 on oracle failures, 2 on
+// usage errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/check/Harness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+using namespace aqua;
+using namespace aqua::check;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--seed N] [--cases N] [--difficulty 1..5]\n"
+      "          [--oracle name,...] [--no-shrink] [--no-repro] [--json]\n"
+      "          [--out FILE] [--repro-dir DIR] [--capacity NL]\n"
+      "          [--least-count NL]\n"
+      "       %s --replay FILE.assay [--yield N/D] [--oracle name,...]\n"
+      "oracles: frontend graph solvers assignment rounding simulation\n"
+      "         metamorphic cache\n",
+      Argv0, Argv0);
+  return 2;
+}
+
+void logLine(const std::string &Line) {
+  std::fprintf(stderr, "aquacheck: %s\n", Line.c_str());
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  HarnessOptions Opts;
+  Opts.Cases = 100;
+  const char *ReplayPath = nullptr;
+  const char *OutPath = nullptr;
+  bool Json = false;
+
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
+      Opts.Seed = std::strtoull(argv[++I], nullptr, 0);
+    else if (!std::strcmp(argv[I], "--cases") && I + 1 < argc)
+      Opts.Cases = std::atoi(argv[++I]);
+    else if (!std::strcmp(argv[I], "--difficulty") && I + 1 < argc)
+      Opts.Gen.Difficulty = std::atoi(argv[++I]);
+    else if (!std::strcmp(argv[I], "--oracle") && I + 1 < argc) {
+      auto Mask = parseOracleFilter(argv[++I]);
+      if (!Mask.ok()) {
+        std::fprintf(stderr, "aquacheck: %s\n", Mask.message().c_str());
+        return 2;
+      }
+      Opts.Check.Oracles = *Mask;
+    } else if (!std::strcmp(argv[I], "--no-shrink"))
+      Opts.Shrink = false;
+    else if (!std::strcmp(argv[I], "--no-repro"))
+      Opts.ReproDir.clear();
+    else if (!std::strcmp(argv[I], "--repro-dir") && I + 1 < argc)
+      Opts.ReproDir = argv[++I];
+    else if (!std::strcmp(argv[I], "--json"))
+      Json = true;
+    else if (!std::strcmp(argv[I], "--out") && I + 1 < argc)
+      OutPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--capacity") && I + 1 < argc)
+      Opts.Check.Spec.MaxCapacityNl = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--least-count") && I + 1 < argc)
+      Opts.Check.Spec.LeastCountNl = std::atof(argv[++I]);
+    else if (!std::strcmp(argv[I], "--replay") && I + 1 < argc)
+      ReplayPath = argv[++I];
+    else if (!std::strcmp(argv[I], "--yield") && I + 1 < argc) {
+      long long N = 1, D = 2;
+      if (std::sscanf(argv[++I], "%lld/%lld", &N, &D) != 2 || D <= 0) {
+        std::fprintf(stderr, "aquacheck: bad --yield (want N/D)\n");
+        return 2;
+      }
+      Opts.Check.FixedYield =
+          static_cast<double>(N) / static_cast<double>(D);
+    } else
+      return usage(argv[0]);
+  }
+
+  if (ReplayPath) {
+    std::ifstream File(ReplayPath);
+    if (!File) {
+      std::fprintf(stderr, "aquacheck: cannot open '%s'\n", ReplayPath);
+      return 2;
+    }
+    std::stringstream Buffer;
+    Buffer << File.rdbuf();
+    CaseReport R = checkSource(Buffer.str(), Opts.Check);
+    if (R.ok()) {
+      std::printf("replay: all enabled oracles passed\n");
+      return 0;
+    }
+    std::printf("replay: %d oracle failure(s)\n%s",
+                static_cast<int>(R.Failures.size()), R.str().c_str());
+    return 1;
+  }
+
+  if (Opts.Cases <= 0 || Opts.Gen.Difficulty < 1 || Opts.Gen.Difficulty > 5)
+    return usage(argv[0]);
+
+  HarnessResult Result = runHarness(Opts, logLine);
+
+  std::string Report = Json ? Result.json() + "\n" : Result.summary();
+  if (OutPath) {
+    std::ofstream Out(OutPath);
+    if (!Out) {
+      std::fprintf(stderr, "aquacheck: cannot write '%s'\n", OutPath);
+      return 2;
+    }
+    Out << Report;
+  } else {
+    std::printf("%s", Report.c_str());
+  }
+  return Result.ok() ? 0 : 1;
+}

@@ -1,0 +1,88 @@
+//===- aqua/check/Harness.h - Differential-testing harness -------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The corpus driver: derives one seed per case from a master seed, runs
+/// generateProgram -> checkProgram, shrinks failures, and writes each
+/// minimal repro to `aqua-check-repro-<caseseed>.assay` (the file replays
+/// through `aquacheck --replay`). Deterministic end to end: the same master
+/// seed, case count, difficulty, and oracle mask reproduce the same corpus
+/// and the same verdicts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CHECK_HARNESS_H
+#define AQUA_CHECK_HARNESS_H
+
+#include "aqua/check/Generator.h"
+#include "aqua/check/Oracles.h"
+#include "aqua/check/Shrinker.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqua::check {
+
+/// Corpus configuration.
+struct HarnessOptions {
+  std::uint64_t Seed = 1;
+  int Cases = 100;
+  GenConfig Gen;
+  CheckOptions Check;
+  /// Minimize failing cases before reporting.
+  bool Shrink = true;
+  ShrinkOptions ShrinkOpts;
+  /// Directory for repro files; empty disables writing.
+  std::string ReproDir = ".";
+};
+
+/// One failing case, post-shrink.
+struct FailedCase {
+  std::uint64_t CaseSeed = 0;
+  /// The failing report of the minimal program.
+  CaseReport Report;
+  GenProgram Minimal;
+  int ShrinkEvaluations = 0;
+  /// Path of the written repro file; empty when writing was disabled or
+  /// failed.
+  std::string ReproPath;
+};
+
+/// Aggregate corpus outcome.
+struct HarnessResult {
+  int Cases = 0;
+  int Failures = 0;
+  // Telemetry tallies across all cases.
+  int FrontendOk = 0;
+  int Managed = 0;
+  int Feasible = 0;
+  int SolvedByLP = 0;
+  int Simulated = 0;
+  int ExactComposition = 0;
+  int RanIlp = 0;
+  std::vector<FailedCase> Failed;
+
+  bool ok() const { return Failures == 0; }
+  /// Human-readable multi-line summary.
+  std::string summary() const;
+  /// Machine-readable JSON summary (one object, stable key order).
+  std::string json() const;
+};
+
+/// Runs the corpus. Progress and failure detail go through \p Log when
+/// non-null (one call per line, no trailing newline).
+HarnessResult runHarness(const HarnessOptions &Opts,
+                         void (*Log)(const std::string &) = nullptr);
+
+/// Renders the repro file contents for a failing case: the minimal source
+/// prefixed with `--` comment lines carrying the seed, yield, and failure
+/// messages needed to replay it.
+std::string renderRepro(const FailedCase &F, const HarnessOptions &Opts);
+
+} // namespace aqua::check
+
+#endif // AQUA_CHECK_HARNESS_H

@@ -1,0 +1,53 @@
+//===- aqua/check/Shrinker.h - Greedy failure minimization -------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Delta-debugging for oracle failures: given a generated program that some
+/// oracle rejects, greedily delete statements and operands, simplify ratios
+/// and loop bounds, and keep every edit after which the *same oracle
+/// family* still fails. Runs passes to a fixpoint under an evaluation
+/// budget, so the emitted repro is locally minimal -- deleting any single
+/// remaining statement makes the failure disappear (or changes it into a
+/// different, uninteresting one, e.g. a front-end error from a dangling
+/// `it`).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_CHECK_SHRINKER_H
+#define AQUA_CHECK_SHRINKER_H
+
+#include "aqua/check/Generator.h"
+#include "aqua/check/Oracles.h"
+
+namespace aqua::check {
+
+/// Outcome of a shrink run.
+struct ShrinkResult {
+  /// The minimized program; equals the input when nothing could be removed.
+  GenProgram Minimal;
+  /// The failing report of the minimized program.
+  CaseReport Report;
+  /// checkProgram evaluations spent.
+  int Evaluations = 0;
+  /// True when at least one edit was accepted.
+  bool Shrunk = false;
+};
+
+/// Shrink knobs.
+struct ShrinkOptions {
+  /// Evaluation budget; each candidate edit costs one checkProgram run.
+  int MaxEvaluations = 500;
+};
+
+/// Minimizes \p P, whose current report \p Original must be failing. An
+/// edit is kept only when the edited program still fails with at least one
+/// failure from the same oracle family as Original's first failure.
+ShrinkResult shrink(const GenProgram &P, const CaseReport &Original,
+                    const CheckOptions &Check, const ShrinkOptions &Opts = {});
+
+} // namespace aqua::check
+
+#endif // AQUA_CHECK_SHRINKER_H

@@ -1,0 +1,890 @@
+//===- Oracles.cpp - Multi-oracle differential engine ---------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/check/Oracles.h"
+
+#include "aqua/codegen/Codegen.h"
+#include "aqua/core/Cascading.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Formulation.h"
+#include "aqua/core/Rounding.h"
+#include "aqua/core/Verify.h"
+#include "aqua/ir/Canonical.h"
+#include "aqua/lang/Lower.h"
+#include "aqua/lp/BranchAndBound.h"
+#include "aqua/runtime/Simulator.h"
+#include "aqua/service/CompileService.h"
+#include "aqua/service/RequestKey.h"
+#include "aqua/support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+using namespace aqua;
+using namespace aqua::check;
+using namespace aqua::ir;
+
+const char *aqua::check::oracleName(Oracle O) {
+  switch (O) {
+  case Oracle::Frontend:
+    return "frontend";
+  case Oracle::Graph:
+    return "graph";
+  case Oracle::Solvers:
+    return "solvers";
+  case Oracle::Assignment:
+    return "assignment";
+  case Oracle::Rounding:
+    return "rounding";
+  case Oracle::Simulation:
+    return "simulation";
+  case Oracle::Metamorphic:
+    return "metamorphic";
+  case Oracle::Cache:
+    return "cache";
+  }
+  return "?";
+}
+
+Expected<unsigned> aqua::check::parseOracleFilter(std::string_view List) {
+  unsigned Mask = 0;
+  for (const std::string &Part : split(List, ',')) {
+    std::string_view Name = trim(Part);
+    if (Name.empty())
+      continue;
+    bool Found = false;
+    for (unsigned I = 0; I < NumOracles; ++I) {
+      if (Name == oracleName(static_cast<Oracle>(I))) {
+        Mask |= 1u << I;
+        Found = true;
+        break;
+      }
+    }
+    if (!Found)
+      return Expected<unsigned>::error(
+          format("unknown oracle '%.*s'", static_cast<int>(Name.size()),
+                 Name.data()));
+  }
+  return Mask;
+}
+
+std::string CaseReport::str() const {
+  std::string Out;
+  for (const Failure &F : Failures)
+    Out += format("%s: %s\n", oracleName(F.O), F.Message.c_str());
+  return Out;
+}
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Exact fraction arithmetic with an overflow poison bit
+//===----------------------------------------------------------------------===//
+
+/// A fraction in 128-bit integers. Unlike aqua::Rational (whose overflow is
+/// fatal by design), an overflow here only *poisons* the value: deep
+/// composition recursions on adversarial graphs can exceed any fixed-width
+/// type, and the right response in a test oracle is to skip the exact
+/// comparison, not to abort the harness.
+struct Frac {
+  __int128 N = 0;
+  __int128 D = 1;
+  bool Bad = false;
+
+  static __int128 absv(__int128 V) { return V < 0 ? -V : V; }
+
+  static __int128 gcd(__int128 A, __int128 B) {
+    A = absv(A);
+    B = absv(B);
+    while (B) {
+      __int128 T = A % B;
+      A = B;
+      B = T;
+    }
+    return A;
+  }
+
+  /// Magnitude ceiling keeping every product of two reduced operands
+  /// representable in __int128.
+  static constexpr __int128 limit() { return __int128(1) << 62; }
+
+  void reduce() {
+    if (Bad)
+      return;
+    if (D < 0) {
+      N = -N;
+      D = -D;
+    }
+    __int128 G = gcd(N, D);
+    if (G > 1) {
+      N /= G;
+      D /= G;
+    }
+    if (absv(N) >= limit() || D >= limit())
+      Bad = true;
+  }
+
+  static Frac ratio(std::int64_t Num, std::int64_t Den) {
+    Frac F;
+    F.N = Num;
+    F.D = Den;
+    F.reduce();
+    return F;
+  }
+
+  friend Frac operator+(Frac A, Frac B) {
+    Frac R;
+    if (A.Bad || B.Bad) {
+      R.Bad = true;
+      return R;
+    }
+    R.N = A.N * B.D + B.N * A.D;
+    R.D = A.D * B.D;
+    R.reduce();
+    return R;
+  }
+
+  friend Frac operator*(Frac A, Frac B) {
+    Frac R;
+    if (A.Bad || B.Bad) {
+      R.Bad = true;
+      return R;
+    }
+    R.N = A.N * B.N;
+    R.D = A.D * B.D;
+    R.reduce();
+    return R;
+  }
+
+  friend bool operator==(const Frac &A, const Frac &B) {
+    return !A.Bad && !B.Bad && A.N == B.N && A.D == B.D;
+  }
+
+  double toDouble() const {
+    return static_cast<double>(N) / static_cast<double>(D);
+  }
+};
+
+/// Exact composition vector: input-fluid name -> fraction of the volume.
+using Composition = std::map<std::string, Frac>;
+
+/// Predicts the exact composition of every live node of \p G in one
+/// topological pass. \p Weight returns the relative contribution of an
+/// in-edge (the assay fraction, or the rounded integer edge volume);
+/// contributions are normalized per node. Returns false when overflow
+/// poisoned any fraction or a node had zero total weight.
+template <typename WeightFn>
+bool predictCompositions(const AssayGraph &G, WeightFn Weight,
+                         std::map<NodeId, Composition> &Out) {
+  for (NodeId N : G.topologicalOrder()) {
+    const Node &Nd = G.node(N);
+    Composition C;
+    std::vector<EdgeId> In = G.inEdges(N);
+    if (In.empty()) {
+      C[Nd.Name] = Frac::ratio(1, 1);
+    } else {
+      Frac Total = Frac::ratio(0, 1);
+      for (EdgeId E : In)
+        Total = Total + Weight(E);
+      if (Total.Bad || Total.N == 0)
+        return false;
+      // C = sum_e (Weight(e)/Total) * C[src(e)].
+      Frac InvTotal;
+      InvTotal.N = Total.D;
+      InvTotal.D = Total.N;
+      InvTotal.reduce();
+      for (EdgeId E : In) {
+        Frac Share = Weight(E) * InvTotal;
+        for (const auto &[Name, F] : Out[G.edge(E).Src]) {
+          Frac Add = F * Share;
+          auto It = C.find(Name);
+          if (It == C.end())
+            C[Name] = Add;
+          else
+            It->second = It->second + Add;
+        }
+      }
+    }
+    for (const auto &[Name, F] : C)
+      if (F.Bad)
+        return false;
+    Out[N] = std::move(C);
+  }
+  return true;
+}
+
+/// The sensed-result name of a Sense node ("sense_R3_1" -> "R3_1"), the
+/// same stripping codegen applies for the AIS operand.
+std::string senseResultName(const Node &Nd) {
+  return startsWith(Nd.Name, "sense_") ? Nd.Name.substr(6) : Nd.Name;
+}
+
+/// Exact composition predictions at every live Sense node, keyed by the
+/// sensed-result name. Returns false on overflow.
+template <typename WeightFn>
+bool predictSenseCompositions(const AssayGraph &G, WeightFn Weight,
+                              std::map<std::string, Composition> &Out) {
+  std::map<NodeId, Composition> ByNode;
+  if (!predictCompositions(G, Weight, ByNode))
+    return false;
+  for (NodeId N : G.liveNodes())
+    if (G.node(N).Kind == NodeKind::Sense)
+      Out[senseResultName(G.node(N))] = ByNode[N];
+  return true;
+}
+
+/// Compares two exact sense-composition predictions for equality.
+bool sameSenseCompositions(const std::map<std::string, Composition> &A,
+                           const std::map<std::string, Composition> &B,
+                           std::string &Diff) {
+  if (A.size() != B.size()) {
+    Diff = format("sense count %zu vs %zu", A.size(), B.size());
+    return false;
+  }
+  for (const auto &[Name, CompA] : A) {
+    auto It = B.find(Name);
+    if (It == B.end()) {
+      Diff = format("sense '%s' missing", Name.c_str());
+      return false;
+    }
+    const Composition &CompB = It->second;
+    if (CompA.size() != CompB.size()) {
+      Diff = format("sense '%s': %zu vs %zu constituents", Name.c_str(),
+                    CompA.size(), CompB.size());
+      return false;
+    }
+    for (const auto &[Fluid, FA] : CompA) {
+      auto FB = CompB.find(Fluid);
+      if (FB == CompB.end() || !(FA == FB->second)) {
+        Diff = format("sense '%s': fraction of '%s' differs", Name.c_str(),
+                      Fluid.c_str());
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+/// Rebuilds \p G's live subgraph with node and edge insertion order
+/// reversed -- a structure-preserving permutation the canonical fingerprint
+/// must be blind to.
+AssayGraph permuteGraph(const AssayGraph &G) {
+  AssayGraph P;
+  std::vector<NodeId> Live = G.liveNodes();
+  std::vector<NodeId> Map(G.numNodeSlots(), InvalidNode);
+  for (auto It = Live.rbegin(); It != Live.rend(); ++It) {
+    const Node &Nd = G.node(*It);
+    NodeId New = P.addNode(Nd.Kind, Nd.Name);
+    Node &Copy = P.node(New);
+    Copy.OutFraction = Nd.OutFraction;
+    Copy.UnknownVolume = Nd.UnknownVolume;
+    Copy.NoExcess = Nd.NoExcess;
+    Copy.ExcessShare = Nd.ExcessShare;
+    Copy.Params = Nd.Params;
+    Map[*It] = New;
+  }
+  std::vector<EdgeId> LiveE = G.liveEdges();
+  for (auto It = LiveE.rbegin(); It != LiveE.rend(); ++It) {
+    const Edge &E = G.edge(*It);
+    P.addEdge(Map[E.Src], Map[E.Dst], E.Fraction);
+  }
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// The per-case engine
+//===----------------------------------------------------------------------===//
+
+class Engine {
+public:
+  Engine(const CheckOptions &Opts) : Opts(Opts) {}
+
+  bool on(Oracle O) const { return Opts.Oracles & oracleBit(O); }
+
+  void fail(Oracle O, std::string Msg) {
+    R.Failures.push_back(Failure{O, std::move(Msg)});
+  }
+
+  CaseReport run(std::string_view Source, const GenProgram *Skeleton) {
+    auto Lowered = lang::compileAssay(Source);
+    if (!Lowered.ok()) {
+      if (on(Oracle::Frontend))
+        fail(Oracle::Frontend, Lowered.message());
+      return std::move(R);
+    }
+    R.FrontendOk = true;
+    const AssayGraph &G = Lowered->Graph;
+    R.Nodes = G.numNodes();
+    R.Edges = G.numEdges();
+
+    if (on(Oracle::Graph)) {
+      if (Status S = G.verify(); !S.ok())
+        fail(Oracle::Graph, format("lowered graph: %s", S.message().c_str()));
+    }
+
+    bool HasUnknown = false;
+    for (NodeId N : G.liveNodes())
+      if (G.node(N).UnknownVolume)
+        HasUnknown = true;
+    R.Managed = !HasUnknown;
+
+    lp::Solution LPSol;
+    bool LPOptimal = false;
+    if (R.Managed && on(Oracle::Solvers))
+      LPOptimal = checkSolvers(G, LPSol);
+
+    core::ManagerResult VM;
+    if (R.Managed) {
+      VM = core::manageVolumes(G, Opts.Spec, Opts.Manage);
+      R.Feasible = VM.Feasible;
+      R.Method = VM.Method;
+      if (on(Oracle::Solvers) && LPOptimal && !VM.Feasible)
+        fail(Oracle::Solvers,
+             "plain LP on the untransformed graph is Optimal but the "
+             "manager hierarchy reports infeasible");
+      if (VM.Feasible)
+        checkManaged(VM);
+    }
+
+    if (on(Oracle::Simulation))
+      checkSimulation(G, VM);
+
+    if (on(Oracle::Metamorphic))
+      checkMetamorphic(G);
+
+    if (Skeleton)
+      checkSkeleton(Source, G, VM, *Skeleton);
+
+    return std::move(R);
+  }
+
+private:
+  /// DAGSolve vs LP vs ILP dominance on the untransformed graph. Returns
+  /// whether the plain LP was Optimal; fills \p LPSol.
+  bool checkSolvers(const AssayGraph &G, lp::Solution &LPSol) {
+    core::DagSolveResult DS = core::dagSolve(G, Opts.Spec);
+
+    core::FormulationOptions FOpts;
+    core::Formulation F = core::buildVolumeModel(G, Opts.Spec, FOpts);
+    LPSol = lp::solve(F.Model, Opts.Manage.LPOptions);
+    bool LPOptimal = LPSol.Status == lp::SolveStatus::Optimal;
+
+    if (DS.Feasible) {
+      // DAGSolve solves a *more constrained* RVol: its solution must be a
+      // feasible point of the LP, so the LP cannot be infeasible and its
+      // optimum must dominate DAGSolve's objective value.
+      if (!LPOptimal) {
+        fail(Oracle::Solvers,
+             format("DAGSolve is feasible but the Figure 3 LP is %s",
+                    lp::solveStatusName(LPSol.Status)));
+        return LPOptimal;
+      }
+      std::vector<double> Point(F.Model.numVars(), 0.0);
+      int Mapped = 0;
+      for (NodeId N : G.liveNodes())
+        if (F.NodeVar[N] >= 0) {
+          Point[F.NodeVar[N]] = DS.Volumes.NodeVolumeNl[N];
+          ++Mapped;
+        }
+      for (EdgeId E : G.liveEdges())
+        if (F.EdgeVar[E] >= 0) {
+          Point[F.EdgeVar[E]] = DS.Volumes.EdgeVolumeNl[E];
+          ++Mapped;
+        }
+      double Tol = Opts.Tolerance *
+                   std::max(1.0, DS.Volumes.maxNodeVolumeNl(G));
+      if (Mapped == F.Model.numVars()) {
+        double Viol = F.Model.maxViolation(Point);
+        if (Viol > Tol)
+          fail(Oracle::Solvers,
+               format("DAGSolve point violates the LP model by %g nl", Viol));
+        double DSObj = F.Model.objectiveValue(Point);
+        if (DSObj > LPSol.Objective + Tol)
+          fail(Oracle::Solvers,
+               format("DAGSolve objective %.9g exceeds LP optimum %.9g",
+                      DSObj, LPSol.Objective));
+      }
+      if (on(Oracle::Assignment)) {
+        core::VerifyOptions VO;
+        VO.RatioTolerance = 1e-6;
+        auto Violations =
+            core::verifyAssignment(G, DS.Volumes, Opts.Spec, VO);
+        if (!Violations.empty())
+          fail(Oracle::Assignment,
+               format("DAGSolve assignment: %s",
+                      core::violationsToString(Violations).c_str()));
+      }
+    }
+
+    if (LPOptimal && on(Oracle::Assignment)) {
+      core::VolumeAssignment LPV =
+          core::extractAssignment(G, F, LPSol, FOpts);
+      core::VerifyOptions VO;
+      VO.ToleranceNl = 1e-5;
+      VO.RatioTolerance = 1e-5;
+      auto Violations = core::verifyAssignment(G, LPV, Opts.Spec, VO);
+      if (!Violations.empty())
+        fail(Oracle::Assignment,
+             format("LP assignment: %s",
+                    core::violationsToString(Violations).c_str()));
+    }
+
+    // The IVol ILP on small graphs: its optimum, scaled back to nl, can
+    // never exceed the RVol LP optimum (integrality only restricts).
+    if (G.numEdges() <= Opts.MaxIlpEdges) {
+      core::FormulationOptions IOpts;
+      IOpts.UnitNl = Opts.Spec.LeastCountNl;
+      core::Formulation FI = core::buildVolumeModel(G, Opts.Spec, IOpts);
+      lp::IntOptions IO;
+      IO.MaxNodes = Opts.IlpMaxNodes;
+      IO.TimeLimitSec = Opts.IlpTimeLimitSec;
+      lp::IntSolution IS = lp::solveInteger(FI.Model, {}, IO);
+      if (IS.Status == lp::SolveStatus::Optimal) {
+        R.RanIlp = true;
+        if (!LPOptimal)
+          fail(Oracle::Solvers,
+               format("IVol ILP is Optimal but the RVol LP is %s",
+                      lp::solveStatusName(LPSol.Status)));
+        else {
+          double IlpNl = IS.Objective * Opts.Spec.LeastCountNl;
+          double Tol =
+              Opts.Tolerance * std::max(1.0, std::fabs(LPSol.Objective));
+          if (IlpNl > LPSol.Objective + Tol)
+            fail(Oracle::Solvers,
+                 format("ILP objective %.9g nl exceeds LP optimum %.9g nl",
+                        IlpNl, LPSol.Objective));
+        }
+      }
+    }
+    return LPOptimal;
+  }
+
+  /// Figure 3 verification of the manager's answer plus the exact integer
+  /// invariants of conservation-aware rounding.
+  void checkManaged(const core::ManagerResult &VM) {
+    if (on(Oracle::Graph)) {
+      if (Status S = VM.Graph.verify(); !S.ok())
+        fail(Oracle::Graph,
+             format("transformed graph: %s", S.message().c_str()));
+    }
+
+    if (on(Oracle::Assignment)) {
+      core::VerifyOptions VO;
+      VO.RatioTolerance = 1e-6;
+      auto Violations =
+          core::verifyAssignment(VM.Graph, VM.Volumes, Opts.Spec, VO);
+      if (!Violations.empty())
+        fail(Oracle::Assignment,
+             format("manager assignment (%s): %s",
+                    VM.Method == core::SolveMethod::DagSolve ? "DAGSolve"
+                                                             : "LP",
+                    core::violationsToString(Violations).c_str()));
+    }
+
+    if (!on(Oracle::Rounding))
+      return;
+    const AssayGraph &G = VM.Graph;
+    const core::IntegerAssignment &IVol = VM.Rounded;
+    std::int64_t Cap = Opts.Spec.capacityUnits();
+
+    if (!IVol.Underflow) {
+      for (EdgeId E : G.liveEdges())
+        if (IVol.EdgeUnits[E] < 1)
+          fail(Oracle::Rounding,
+               format("edge %d has %lld units without an underflow flag", E,
+                      static_cast<long long>(IVol.EdgeUnits[E])));
+    }
+
+    // Independent anchor against the real-valued solve: nearest-rounding
+    // never adds more than half a unit, and conservation trimming only
+    // subtracts. An edge above Real+0.5 or far below Real is a rounding
+    // bug, regardless of how self-consistent the rest of the artifact is.
+    for (EdgeId E : G.liveEdges()) {
+      double Real = Opts.Spec.toUnits(VM.Volumes.EdgeVolumeNl[E]);
+      double Diff = static_cast<double>(IVol.EdgeUnits[E]) - Real;
+      if (Diff > 0.5 + 1e-6 || Diff < -2.5)
+        fail(Oracle::Rounding,
+             format("edge %d rounded to %lld units but the real-valued "
+                    "solve gives %.6f units",
+                    E, static_cast<long long>(IVol.EdgeUnits[E]), Real));
+    }
+    for (NodeId N : G.liveNodes()) {
+      const Node &Nd = G.node(N);
+      std::vector<EdgeId> In = G.inEdges(N);
+      std::int64_t InSum = 0;
+      for (EdgeId E : In)
+        InSum += IVol.EdgeUnits[E];
+
+      if (!IVol.Overflow && IVol.NodeUnits[N] > Cap)
+        fail(Oracle::Rounding,
+             format("node %d holds %lld units over the %lld-unit capacity "
+                    "without an overflow flag",
+                    N, static_cast<long long>(IVol.NodeUnits[N]),
+                    static_cast<long long>(Cap)));
+
+      // Exact recomputation of the node's output units from its (final)
+      // in-edge units -- Rational arithmetic, no tolerance.
+      if (!In.empty()) {
+        std::int64_t Expect =
+            (Nd.OutFraction == Rational(1) || Nd.UnknownVolume)
+                ? InSum
+                : (Nd.OutFraction * Rational(InSum)).roundNearest();
+        if (IVol.NodeUnits[N] != Expect)
+          fail(Oracle::Rounding,
+               format("node %d (%s): %lld units, exact recomputation gives "
+                      "%lld",
+                      N, Nd.Name.c_str(),
+                      static_cast<long long>(IVol.NodeUnits[N]),
+                      static_cast<long long>(Expect)));
+      }
+
+      // Integer conservation: real (non-excess) uses never draw more than
+      // the producer's integer volume.
+      if (!IVol.Underflow) {
+        std::int64_t Demand = 0;
+        for (EdgeId E : G.outEdges(N))
+          if (G.node(G.edge(E).Dst).Kind != NodeKind::Excess)
+            Demand += IVol.EdgeUnits[E];
+        if (Demand > IVol.NodeUnits[N])
+          fail(Oracle::Rounding,
+               format("node %d (%s): integer demand %lld exceeds the %lld "
+                      "units produced",
+                      N, Nd.Name.c_str(), static_cast<long long>(Demand),
+                      static_cast<long long>(IVol.NodeUnits[N])));
+      }
+    }
+
+    // The reported ratio error must match an independent recomputation.
+    auto [MaxErr, MeanErr] = core::mixRatioErrorPct(G, IVol);
+    if (std::fabs(MaxErr - IVol.MaxRatioErrorPct) > 1e-9 ||
+        std::fabs(MeanErr - IVol.MeanRatioErrorPct) > 1e-9)
+      fail(Oracle::Rounding, "reported mix-ratio error does not match "
+                             "recomputation");
+  }
+
+  /// Runs the generated AIS on the PLoC simulator and cross-checks sensed
+  /// compositions against the exact prediction.
+  void checkSimulation(const AssayGraph &Lowered,
+                       const core::ManagerResult &VM) {
+    const AssayGraph *G = &Lowered;
+    core::VolumeAssignment Metered;
+    codegen::CodegenOptions CG;
+    bool ManagedRun = R.Managed && R.Feasible;
+    if (ManagedRun) {
+      G = &VM.Graph;
+      Metered = core::integerToNl(VM.Graph, VM.Rounded, Opts.Spec);
+      CG.Mode = codegen::VolumeMode::Managed;
+      CG.Volumes = &Metered;
+    }
+
+    auto Prog = codegen::generateAIS(*G, Opts.Layout, CG);
+    if (!Prog.ok())
+      return; // Resource exhaustion is a legitimate compile outcome.
+
+    runtime::SimOptions SO;
+    SO.Spec = Opts.Spec;
+    SO.Layout = Opts.Layout;
+    SO.Graph = G;
+    SO.FixedSeparationYield = Opts.FixedYield;
+    runtime::SimResult S = runtime::simulate(*Prog, SO);
+    R.Simulated = true;
+    if (!S.Completed) {
+      // A relative run moves unmetered part-ratios, so a consumer can
+      // legitimately demand more than a yield-lossy producer is able to
+      // regenerate; exhaustion is a valid outcome there. Managed runs are
+      // metered by the solved volumes and must always complete.
+      if (!ManagedRun &&
+          S.Error.find("regeneration exhausted") != std::string::npos)
+        return;
+      fail(Oracle::Simulation,
+           format("%s run did not complete: %s",
+                  ManagedRun ? "managed" : "relative", S.Error.c_str()));
+      return;
+    }
+
+    // Every sense in the DAG must have produced exactly one reading.
+    std::map<std::string, const runtime::SenseReading *> Readings;
+    for (const runtime::SenseReading &Rd : S.Senses) {
+      if (Readings.count(Rd.Name)) {
+        fail(Oracle::Simulation,
+             format("duplicate reading for sense '%s'", Rd.Name.c_str()));
+        return;
+      }
+      Readings[Rd.Name] = &Rd;
+    }
+    for (NodeId N : G->liveNodes()) {
+      if (G->node(N).Kind != NodeKind::Sense)
+        continue;
+      if (!Readings.count(senseResultName(G->node(N)))) {
+        fail(Oracle::Simulation,
+             format("sense '%s' produced no reading",
+                    senseResultName(G->node(N)).c_str()));
+        return;
+      }
+    }
+
+    // Exact composition cross-check, valid only for clean runs: any
+    // clipped, skipped, or partially-short transfer legitimately perturbs
+    // downstream ratios.
+    if (S.UnderflowEvents || S.OverflowEvents || S.SubLeastCountMoves)
+      return;
+    std::map<std::string, Composition> Predicted;
+    bool Exact =
+        ManagedRun
+            ? predictSenseCompositions(
+                  *G,
+                  [&](EdgeId E) {
+                    return Frac::ratio(VM.Rounded.EdgeUnits[E], 1);
+                  },
+                  Predicted)
+            : predictSenseCompositions(
+                  *G,
+                  [&](EdgeId E) {
+                    const Rational &F = G->edge(E).Fraction;
+                    return Frac::ratio(F.numerator(), F.denominator());
+                  },
+                  Predicted);
+    if (!Exact)
+      return; // Fraction overflow: no exact prediction available.
+    R.ExactComposition = true;
+
+    // The prediction is exact; the tolerance below only covers the
+    // simulator's double-precision accumulation, not algorithmic slack.
+    const double Tol = 1e-9;
+    for (const auto &[Name, Comp] : Predicted) {
+      const runtime::SenseReading *Rd = Readings[Name];
+      for (const auto &[Fluid, F] : Comp) {
+        auto It = Rd->Composition.find(Fluid);
+        double Got = It == Rd->Composition.end() ? 0.0 : It->second;
+        if (std::fabs(Got - F.toDouble()) > Tol) {
+          fail(Oracle::Simulation,
+               format("sense '%s': fraction of '%s' is %.12f, exact "
+                      "prediction %.12f",
+                      Name.c_str(), Fluid.c_str(), Got, F.toDouble()));
+          return;
+        }
+      }
+      for (const auto &[Fluid, Got] : Rd->Composition)
+        if (!Comp.count(Fluid) && Got > Tol) {
+          fail(Oracle::Simulation,
+               format("sense '%s': unexpected constituent '%s' (%.12f)",
+                      Name.c_str(), Fluid.c_str(), Got));
+          return;
+        }
+    }
+  }
+
+  /// Structure-level metamorphic checks on the lowered graph.
+  void checkMetamorphic(const AssayGraph &G) {
+    CanonicalForm Canon = ir::canonicalize(G);
+
+    // Insertion-order permutation: fingerprint and canonical listing must
+    // be bit-identical.
+    AssayGraph P = permuteGraph(G);
+    CanonicalForm PCanon = ir::canonicalize(P);
+    if (PCanon.Hash != Canon.Hash)
+      fail(Oracle::Metamorphic,
+           "insertion-order permutation changed the canonical fingerprint");
+    else if (ir::buildCanonicalGraph(P, PCanon).str() !=
+             ir::buildCanonicalGraph(G, Canon).str())
+      fail(Oracle::Metamorphic,
+           "insertion-order permutation changed the canonical listing");
+
+    auto ExactFraction = [](const AssayGraph &H) {
+      return [&H](EdgeId E) {
+        const Rational &F = H.edge(E).Fraction;
+        return Frac::ratio(F.numerator(), F.denominator());
+      };
+    };
+    std::map<std::string, Composition> Base;
+    if (!predictSenseCompositions(G, ExactFraction(G), Base))
+      return; // Overflow: composition-invariance checks unavailable.
+
+    // Binarize every k-ary mix: the rewrite is volumetrically exact, so
+    // sensed compositions may not move at all.
+    {
+      AssayGraph B = G;
+      bool Applied = false;
+      for (NodeId N : G.liveNodes()) {
+        if (B.node(N).Kind != NodeKind::Mix || B.inEdges(N).size() <= 2)
+          continue;
+        auto Res = core::binarizeMix(B, N);
+        if (!Res.ok()) {
+          fail(Oracle::Metamorphic,
+               format("binarizeMix failed on node %d: %s", N,
+                      Res.message().c_str()));
+          return;
+        }
+        Applied = true;
+      }
+      if (Applied)
+        checkRewrite(B, Base, "binarize");
+    }
+
+    // Cascade every extreme two-input mix.
+    {
+      AssayGraph C = G;
+      bool Applied = false;
+      for (NodeId N : G.liveNodes()) {
+        if (C.node(N).Kind != NodeKind::Mix || C.inEdges(N).size() != 2)
+          continue;
+        std::vector<EdgeId> In = C.inEdges(N);
+        Rational F0 = C.edge(In[0]).Fraction;
+        Rational F1 = C.edge(In[1]).Fraction;
+        Rational Small = F0 < F1 ? F0 : F1;
+        // Reduced parts: Small = s/(s+l) with gcd(s, s+l) = 1.
+        std::int64_t S = Small.numerator();
+        std::int64_t L = Small.denominator() - S;
+        int Stages = core::chooseCascadeStages(
+            S, L, Opts.Manage.CascadeSkewThreshold,
+            Opts.Manage.MaxCascadeStages);
+        if (Stages < 2)
+          continue;
+        auto Res = core::cascadeMix(C, N, Stages);
+        if (!Res.ok()) {
+          fail(Oracle::Metamorphic,
+               format("cascadeMix(%d stages) failed on node %d: %s", Stages,
+                      N, Res.message().c_str()));
+          return;
+        }
+        Applied = true;
+      }
+      if (Applied)
+        checkRewrite(C, Base, "cascade");
+    }
+  }
+
+  /// Shared tail of the binarize/cascade checks: the rewritten graph still
+  /// verifies and predicts identical sense compositions.
+  void checkRewrite(const AssayGraph &H,
+                    const std::map<std::string, Composition> &Base,
+                    const char *What) {
+    if (Status S = H.verify(); !S.ok()) {
+      fail(Oracle::Metamorphic,
+           format("%s rewrite broke graph invariants: %s", What,
+                  S.message().c_str()));
+      return;
+    }
+    std::map<std::string, Composition> After;
+    if (!predictSenseCompositions(
+            H,
+            [&H](EdgeId E) {
+              const Rational &F = H.edge(E).Fraction;
+              return Frac::ratio(F.numerator(), F.denominator());
+            },
+            After))
+      return;
+    std::string Diff;
+    if (!sameSenseCompositions(Base, After, Diff))
+      fail(Oracle::Metamorphic,
+           format("%s rewrite changed exact compositions: %s", What,
+                  Diff.c_str()));
+  }
+
+  /// Checks that need the generator's statement skeleton: uniform ratio
+  /// scaling and service-cache coherence.
+  void checkSkeleton(std::string_view Source, const AssayGraph &G,
+                     const core::ManagerResult &VM, const GenProgram &P) {
+    // Uniformly scaling every plain mix's ratios preserves all fractions,
+    // so the lowered graph -- and its fingerprint -- must be identical.
+    GenProgram Scaled = P;
+    bool AnyScaled = false;
+    for (GenStmt &S : Scaled.Stmts) {
+      if (S.K != GenStmt::Kind::Mix)
+        continue;
+      for (std::int64_t &Ratio : S.Ratios)
+        Ratio *= 3;
+      AnyScaled = true;
+    }
+    std::string ScaledSource;
+    if (AnyScaled && on(Oracle::Metamorphic)) {
+      ScaledSource = Scaled.render();
+      auto Relowered = lang::compileAssay(ScaledSource);
+      if (!Relowered.ok()) {
+        fail(Oracle::Metamorphic,
+             format("ratio-scaled program fails to compile: %s",
+                    Relowered.message().c_str()));
+      } else if (ir::fingerprintGraph(Relowered->Graph) !=
+                 ir::fingerprintGraph(G)) {
+        fail(Oracle::Metamorphic,
+             "uniform ratio scaling changed the canonical fingerprint");
+      }
+    }
+
+    if (!on(Oracle::Cache))
+      return;
+    service::ServiceOptions SO;
+    SO.Threads = 1;
+    service::CompileService Svc(SO);
+    service::CompileRequest Req;
+    Req.Name = P.Name;
+    Req.Source = std::string(Source);
+    Req.Spec = Opts.Spec;
+    Req.Manage = Opts.Manage;
+    Req.Layout = Opts.Layout;
+
+    service::CompileResponse R1 = Svc.compileNow(Req);
+    service::CompileResponse R2 = Svc.compileNow(Req);
+    if (!R1.Artifact || !R2.Artifact) {
+      fail(Oracle::Cache, "service returned no artifact for a program the "
+                          "front end accepts");
+      return;
+    }
+    if (!R2.CacheHit)
+      fail(Oracle::Cache, "identical resubmission missed the solve cache");
+    else if (R2.Artifact.get() != R1.Artifact.get())
+      fail(Oracle::Cache,
+           "cache hit returned a different artifact object than the "
+           "original solve");
+    if (R2.Key != R1.Key)
+      fail(Oracle::Cache, "identical resubmission produced a different "
+                          "request fingerprint");
+
+    // The service's solve must agree with the direct pipeline bit for bit.
+    if (R.Managed && R1.Artifact->Managed) {
+      if (R1.Artifact->VM.Feasible != VM.Feasible)
+        fail(Oracle::Cache, "service and direct pipeline disagree on "
+                            "feasibility");
+      else if (VM.Feasible &&
+               (R1.Artifact->VM.Rounded.NodeUnits != VM.Rounded.NodeUnits ||
+                R1.Artifact->VM.Rounded.EdgeUnits != VM.Rounded.EdgeUnits))
+        fail(Oracle::Cache, "service artifact's integer volumes differ "
+                            "from the direct pipeline's");
+    }
+
+    if (AnyScaled) {
+      service::CompileRequest ScaledReq = Req;
+      ScaledReq.Source = ScaledSource;
+      service::CompileResponse R3 = Svc.compileNow(ScaledReq);
+      if (R3.Key != R1.Key)
+        fail(Oracle::Cache, "ratio-scaled program keyed differently despite "
+                            "an identical canonical graph");
+      else if (!R3.CacheHit || R3.Artifact.get() != R1.Artifact.get())
+        fail(Oracle::Cache, "ratio-scaled resubmission did not reuse the "
+                            "cached artifact");
+    }
+  }
+
+  const CheckOptions &Opts;
+  CaseReport R;
+};
+
+} // namespace
+
+CaseReport aqua::check::checkSource(std::string_view Source,
+                                    const CheckOptions &Opts) {
+  Engine E(Opts);
+  return E.run(Source, nullptr);
+}
+
+CaseReport aqua::check::checkProgram(const GenProgram &P,
+                                     const CheckOptions &Opts) {
+  CheckOptions Local = Opts;
+  Local.FixedYield = P.fixedYield();
+  Engine E(Local);
+  return E.run(P.render(), &P);
+}

@@ -248,12 +248,31 @@ void Generator::consumeUse(NodeId Src) {
   if (--UsesLeft[Src] > 0)
     return;
   // Last real use consumed. Leftover (excess) volume is delivered to the
-  // waste output port so the location is explicitly cleared.
+  // waste output port so the location is explicitly cleared. Besides
+  // explicit excess edges, managed mode can strand residue in a location:
+  // rounding lets a node's production exceed the sum of its metered
+  // out-moves, inputs are topped up to capacity, and a separation's
+  // run-time yield is not compile-time-known. Any such residue would
+  // contaminate the next value parked in the reused unit or reservoir.
   Loc L = ValueLoc[Src];
   bool HasExcess = false;
   for (EdgeId E : G.outEdges(Src))
     if (G.node(G.edge(E).Dst).Kind == NodeKind::Excess)
       HasExcess = true;
+  if (!HasExcess && Opts.Mode == VolumeMode::Managed && Opts.Volumes) {
+    const Node &Nd = G.node(Src);
+    if (Nd.Kind == NodeKind::Input || Nd.Kind == NodeKind::Separate) {
+      HasExcess = true;
+    } else {
+      double In = 0.0, Out = 0.0;
+      for (EdgeId E : G.inEdges(Src))
+        In += Opts.Volumes->EdgeVolumeNl[E];
+      for (EdgeId E : G.outEdges(Src))
+        if (G.node(G.edge(E).Dst).Kind != NodeKind::Excess)
+          Out += Opts.Volumes->EdgeVolumeNl[E];
+      HasExcess = In - Out > 1e-9;
+    }
+  }
   if (HasExcess) {
     Instruction I;
     I.Op = Opcode::Output;
@@ -301,7 +320,10 @@ bool Generator::placeResult(NodeId N, Loc Unit) {
       ++RealUses;
   UsesLeft[N] = RealUses;
 
-  if (G.node(N).Kind == NodeKind::Separate)
+  // True separations deposit their effluent on the unit's out1 sub-port;
+  // concentration (flavor CONC) runs on a heater and leaves the retained
+  // fluid in the unit's main location.
+  if (G.node(N).Kind == NodeKind::Separate && G.node(N).Params.Flavor != "CONC")
     Unit.Sub = SubPort::Out1;
 
   if (RealUses == 0) {

@@ -84,7 +84,7 @@ void refineRoundingError(ManagerResult &R, const MachineSpec &Spec,
       R.Graph = std::move(Backup);
       return;
     }
-    SolveMethod Method;
+    SolveMethod Method = SolveMethod::DagSolve;
     VolumeAssignment Volumes;
     if (!SolveOnce(R.Graph, Method, Volumes)) {
       R.Graph = std::move(Backup);

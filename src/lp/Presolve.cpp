@@ -220,6 +220,21 @@ Presolved Presolved::run(const Model &M) {
   if (P.Infeasible)
     return P;
 
+  // Bound tightening can cross a variable's bounds without any single step
+  // noticing: report that as infeasibility rather than handing inverted
+  // bounds to the reduced model. Crossings within float noise are snapped.
+  for (VarId V = 0; V < M.numVars(); ++V) {
+    Work::WVar &B = W.Vars[V];
+    if (!B.Alive || B.Lower <= B.Upper)
+      continue;
+    if (B.Lower <= B.Upper + 1e-7) {
+      B.Lower = B.Upper;
+    } else {
+      P.Infeasible = true;
+      return P;
+    }
+  }
+
   // Build the reduced model with renumbered variables.
   std::vector<int> NewIndex(M.numVars(), -1);
   for (VarId V = 0; V < M.numVars(); ++V) {

@@ -134,6 +134,10 @@ private:
     for (int Idx : Replay) {
       if (!Result.Error.empty())
         return false;
+      // Outputs only deliver excess or residue off-chip; replaying one
+      // would drain the very value being regenerated.
+      if (Prog.Instrs[Idx].Op == Opcode::Output)
+        continue;
       exec(Idx, Depth + 1);
     }
 
@@ -164,14 +168,30 @@ private:
     double Want = Needed >= 0.0 ? Needed : Lc;
     if (S.VolumeNl + 1e-9 < Want)
       ++Result.UnderflowEvents;
+    bool Attempted = false;
     for (int Retry = 0; S.VolumeNl + 1e-9 < Want; ++Retry) {
-      if (!Opts.EnableRegeneration || Retry >= Opts.MaxRegenRetries)
+      if (!Opts.EnableRegeneration)
         break;
+      if (Retry >= Opts.MaxRegenRetries) {
+        // Regeneration ran out of retries while the shortage persists:
+        // report it rather than silently moving a short volume downstream.
+        if (Attempted) {
+          fail(Idx, format("regeneration exhausted after %d retries "
+                           "(%s nl short of %s nl at %s)",
+                           Opts.MaxRegenRetries,
+                           formatTrimmed(Want - S.VolumeNl, 4).c_str(),
+                           formatTrimmed(Want, 4).c_str(),
+                           Src.str().c_str()));
+          return;
+        }
+        break;
+      }
       auto WriterIt = Writer.find(locKey(Src));
       if (WriterIt == Writer.end())
         break;
       if (!regenerate(WriterIt->second, Depth))
         break;
+      Attempted = true;
     }
 
     Fluid &D = at(Dst);

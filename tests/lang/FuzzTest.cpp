@@ -15,10 +15,29 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 using namespace aqua;
 using namespace aqua::lang;
 
 namespace {
+
+/// CI-tunable budgets: AQUA_FUZZ_CASES scales the per-test case count and
+/// AQUA_FUZZ_SEED re-seeds both generators, so the nightly job can widen
+/// coverage without a rebuild (e.g. AQUA_FUZZ_CASES=4000).
+int fuzzCases(int Default) {
+  if (const char *V = std::getenv("AQUA_FUZZ_CASES"))
+    if (int N = std::atoi(V); N > 0)
+      return N;
+  return Default;
+}
+
+std::uint64_t fuzzSeed(std::uint64_t Default) {
+  if (const char *V = std::getenv("AQUA_FUZZ_SEED"))
+    if (std::uint64_t N = std::strtoull(V, nullptr, 0); N != 0)
+      return N;
+  return Default;
+}
 
 const char *Vocabulary[] = {
     "ASSAY", "START",  "END",    "fluid",  "VAR",      "MIX",    "AND",
@@ -32,8 +51,9 @@ const char *Vocabulary[] = {
 } // namespace
 
 TEST(FrontendFuzz, RandomByteSoupNeverCrashes) {
-  SplitMix64 Rng(0xF00D);
-  for (int Case = 0; Case < 200; ++Case) {
+  SplitMix64 Rng(fuzzSeed(0xF00D));
+  const int Cases = fuzzCases(200);
+  for (int Case = 0; Case < Cases; ++Case) {
     std::string Soup;
     int Len = static_cast<int>(Rng.nextInRange(0, 120));
     for (int I = 0; I < Len; ++I)
@@ -46,9 +66,10 @@ TEST(FrontendFuzz, RandomByteSoupNeverCrashes) {
 }
 
 TEST(FrontendFuzz, RandomTokenSaladNeverCrashes) {
-  SplitMix64 Rng(0xBEEF);
+  SplitMix64 Rng(fuzzSeed(0xBEEF));
   constexpr int VocabSize = sizeof(Vocabulary) / sizeof(Vocabulary[0]);
-  for (int Case = 0; Case < 400; ++Case) {
+  const int Cases = fuzzCases(400);
+  for (int Case = 0; Case < Cases; ++Case) {
     std::string Program = "ASSAY t START ";
     int Len = static_cast<int>(Rng.nextInRange(0, 60));
     for (int I = 0; I < Len; ++I) {

@@ -160,7 +160,9 @@ TEST_P(SimplexRandomTest, MatchesBruteForce) {
     for (int I = 0; I < N; ++I) {
       double Lo = static_cast<double>(Rng.nextInRange(0, 2));
       double Hi = Lo + static_cast<double>(Rng.nextInRange(1, 6));
-      M.addVar("x" + std::to_string(I), Lo, Hi,
+      std::string VarName = "x";
+      VarName += std::to_string(I);
+      M.addVar(std::move(VarName), Lo, Hi,
                static_cast<double>(Rng.nextInRange(-3, 3)));
     }
     for (int I = 0; I < R; ++I) {
@@ -174,7 +176,9 @@ TEST_P(SimplexRandomTest, MatchesBruteForce) {
         continue;
       RowKind Kind = static_cast<RowKind>(Rng.nextInRange(0, 2));
       double Rhs = static_cast<double>(Rng.nextInRange(-6, 10));
-      M.addRow("r" + std::to_string(I), Kind, Rhs, std::move(Terms));
+      std::string RowName = "r";
+      RowName += std::to_string(I);
+      M.addRow(std::move(RowName), Kind, Rhs, std::move(Terms));
     }
 
     std::optional<double> Expected = bruteForceOptimum(M);

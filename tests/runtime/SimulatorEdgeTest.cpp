@@ -114,3 +114,38 @@ move-abs mixer1, s1, 0.04
   ASSERT_TRUE(S.Completed);
   EXPECT_EQ(S.SubLeastCountMoves, 1);
 }
+
+TEST(SimulatorEdge, RegenerationExhaustionFailsWithDiagnostic) {
+  // A 120 nl draw from a 100 nl-capacity reservoir: every regeneration
+  // tops the reservoir back up to capacity but can never cover the
+  // request, so the retry budget runs out and the run must fail loudly
+  // instead of moving a short volume downstream.
+  AISProgram P = parse(R"(
+input s1, ip1 ;A
+move-abs mixer1, s1, 120
+mix mixer1, 5
+)");
+  SimOptions SO;
+  SO.Spec.MaxCapacityNl = 100.0;
+  SO.MaxRegenRetries = 3;
+  SimResult S = simulate(P, SO);
+  EXPECT_FALSE(S.Completed);
+  EXPECT_NE(S.Error.find("regeneration exhausted after 3 retries"),
+            std::string::npos)
+      << S.Error;
+  // One regeneration per retry, none of them hidden or double-counted.
+  EXPECT_EQ(S.Regenerations, 3);
+  EXPECT_GE(S.UnderflowEvents, 1);
+}
+
+TEST(SimulatorEdge, ShortageWithoutWriterStaysSilent) {
+  // No producer to regenerate from: the legacy partial-move behavior is
+  // preserved (counted as underflow, no hard failure).
+  AISProgram P = parse(R"(
+move-abs mixer1, sensor1, 10
+)");
+  SimOptions SO;
+  SimResult S = simulate(P, SO);
+  EXPECT_TRUE(S.Completed) << S.Error;
+  EXPECT_GE(S.UnderflowEvents, 1);
+}

@@ -8,7 +8,11 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <string>
+#include <thread>
+#include <vector>
 
 using namespace aqua;
 using namespace aqua::service;
@@ -124,4 +128,60 @@ TEST(SolveCache, ShardedCountersAggregate) {
   EXPECT_EQ(Cache.stats().Entries, 0u);
   EXPECT_EQ(Cache.stats().Bytes, 0u);
   EXPECT_EQ(Cache.stats().Insertions, 32u) << "clear() keeps counters";
+}
+
+TEST(SolveCache, ConcurrentEvictionRaceKeepsCountersAndArtifactsSane) {
+  // Eight threads hammer a single shard whose budgets force constant
+  // eviction: every lookup must be a clean hit or miss (hits + misses ==
+  // lookups issued), held artifacts must stay intact after their entry is
+  // evicted, and the shard must end within budget.
+  CacheConfig C;
+  C.Shards = 1;
+  C.MaxEntries = 16;
+  C.MaxBytes = 16 * sizeof(CompileArtifact); // Byte budget bites too.
+  SolveCache Cache(C);
+
+  constexpr int Threads = 8;
+  constexpr int OpsPerThread = 4000;
+  constexpr std::uint64_t KeySpace = 64; // Far beyond the entry budget.
+
+  std::atomic<std::uint64_t> Lookups{0};
+  std::vector<std::thread> Workers;
+  std::vector<std::vector<std::shared_ptr<const CompileArtifact>>> Held(
+      Threads);
+  Workers.reserve(Threads);
+  for (int T = 0; T < Threads; ++T) {
+    Workers.emplace_back([&, T] {
+      std::uint64_t State = 0x9e3779b97f4a7c15ULL * (T + 1);
+      for (int I = 0; I < OpsPerThread; ++I) {
+        State = State * 6364136223846793005ULL + 1442695040888963407ULL;
+        std::uint64_t K = (State >> 33) % KeySpace;
+        ++Lookups;
+        if (auto Hit = Cache.lookup(key(K))) {
+          // Hold a reference across future evictions.
+          if (Held[T].size() < 64)
+            Held[T].push_back(std::move(Hit));
+        } else {
+          Cache.insert(key(K), artifact(std::to_string(K)));
+        }
+      }
+    });
+  }
+  for (std::thread &W : Workers)
+    W.join();
+
+  CacheStats S = Cache.stats();
+  EXPECT_EQ(S.Hits + S.Misses, Lookups.load());
+  EXPECT_GT(S.Evictions, 0u);
+  EXPECT_LE(S.Entries, C.MaxEntries);
+  EXPECT_LE(S.Bytes, C.MaxBytes);
+
+  // Every artifact held through an eviction is still readable and carries
+  // the identity it was inserted with.
+  for (int T = 0; T < Threads; ++T)
+    for (const auto &A : Held[T]) {
+      ASSERT_NE(A, nullptr);
+      EXPECT_TRUE(A->Ok);
+      EXPECT_FALSE(A->Error.empty());
+    }
 }
