@@ -38,6 +38,7 @@ int main() {
   // the big sweep sizes are LP-infeasible outright (27 dilutions exhaust
   // one diluent reservoir), which the solver proves quickly -- feasible
   // instances are what exercise an optimizing LP run.
+  JsonReporter Json("scaling_sweep");
   MachineSpec Spec;
   Spec.MaxCapacityNl = 1000.0;
   double Budget = fullRun() ? 0.0 : 10.0;
@@ -49,12 +50,19 @@ int main() {
 
   for (int N : {2, 3, 4, 5, 6, 7, 8, 10}) {
     AssayGraph G = assays::buildEnzymeAssay(N, /*MaxRatioExp=*/1);
-    double Dag = medianSeconds([&] { dagSolve(G, Spec); },
-                               N <= 6 ? 7 : 3);
+    TimingStats Dag = timedStats([&] { dagSolve(G, Spec); },
+                                 N <= 6 ? 7 : 3);
 
     std::string LpStr = "skipped";
     std::string Pivots = "-";
     Formulation F = buildVolumeModel(G, Spec);
+    BenchRecord &R = Json.add("enzyme_n" + std::to_string(N));
+    R.param("n", std::to_string(N))
+        .param("nodes", std::to_string(G.numNodes()))
+        .param("edges", std::to_string(G.numEdges()))
+        .param("lp_constraints", std::to_string(F.CountedConstraints))
+        .metric("dagsolve_median_sec", Dag.MedianSec)
+        .metric("dagsolve_p95_sec", Dag.P95Sec);
     if (Blown < 2) {
       lp::SolverOptions SOpts;
       SOpts.Simplex.TimeLimitSec = Budget;
@@ -71,10 +79,16 @@ int main() {
         ++Blown;
       }
       Pivots = std::to_string(Sol.Iterations);
+      R.param("lp_status", lp::solveStatusName(Sol.Status))
+          .metric("lp_sec", Sec)
+          .metric("lp_pivots", static_cast<double>(Sol.Iterations));
+    } else {
+      R.param("lp_status", "skipped");
     }
     std::printf("  %3d %7d %7d %9d %12s %14s %10s\n", N, G.numNodes(),
                 G.numEdges(), F.CountedConstraints,
-                fmtSeconds(Dag).c_str(), LpStr.c_str(), Pivots.c_str());
+                fmtSeconds(Dag.MedianSec).c_str(), LpStr.c_str(),
+                Pivots.c_str());
   }
 
   std::printf("\nShape check: DAGSolve's time grows linearly in nodes+edges "

@@ -106,6 +106,7 @@ RunResult runConfig(const std::vector<Workload> &Workloads, int Requests,
 int main() {
   const int Requests = 200;
   std::vector<Workload> Workloads = buildWorkloads();
+  JsonReporter Json("service_throughput");
 
   header("Compile-service throughput (200 requests over 10 assays)");
   std::printf("  %-8s %-6s %12s %14s %10s %8s\n", "threads", "cache", "wall",
@@ -123,6 +124,17 @@ int main() {
                   CacheOn ? "on" : "off", fmtSeconds(R.WallSec).c_str(),
                   R.Throughput, R.HitRate * 100.0,
                   static_cast<unsigned long long>(R.Joins));
+      std::string Name = "threads" + std::to_string(Threads) +
+                         (CacheOn ? "_cache" : "_nocache");
+      Json.add(Name)
+          .param("threads", std::to_string(Threads))
+          .param("cache", CacheOn ? "on" : "off")
+          .param("requests", std::to_string(Requests))
+          .metric("wall_sec", R.WallSec)
+          .metric("throughput_per_sec", R.Throughput)
+          .metric("hit_rate", R.HitRate)
+          .metric("reuse_rate", R.ReuseRate)
+          .metric("failures", static_cast<double>(R.Failures));
       if (!CacheOn && Threads == 1)
         Baseline = R.Throughput;
       if (CacheOn && Threads == 4) {
@@ -141,9 +153,18 @@ int main() {
   std::printf("  cache reuse (hits + joins) at 4 threads: %.1f%% "
               "(target >= 90%%): %s\n",
               ReuseAt4 * 100.0, ReuseAt4 >= 0.90 ? "PASS" : "FAIL");
+  Json.add("summary")
+      .metric("speedup_4t_cache_vs_1t", Speedup)
+      .metric("reuse_rate_4t", ReuseAt4)
+      .metric("failures", static_cast<double>(Failures));
   if (Failures) {
     std::printf("  %zu requests failed\n", Failures);
     return 1;
   }
-  return (Speedup >= 5.0 && ReuseAt4 >= 0.90) ? 0 : 1;
+  if (Speedup >= 5.0 && ReuseAt4 >= 0.90)
+    return 0;
+  // Timing-dependent targets: a loaded CI runner can miss them without
+  // anything being wrong with the code; perf-smoke disables the gate and
+  // fails only on real failures (above).
+  return noTimingGate() ? 0 : 1;
 }

@@ -34,7 +34,11 @@
 ///                   rewrites leave the exact sensed-composition prediction
 ///                   unchanged;
 ///  * Cache       -- the compile service returns the *same* artifact object
-///                   for fingerprint-equal requests (memoization is sound).
+///                   for fingerprint-equal requests (memoization is sound);
+///  * Engines     -- the dense tableau and bounded revised simplex agree on
+///                   the RVol LP (status and optimum), and the warm
+///                   bound-delta branch-and-bound engine agrees with the
+///                   legacy dense-copy engine on small IVol ILPs.
 ///
 /// Exactness policy: structural and integer checks are exact. Checks that
 /// compare doubles computed along different code paths (LP objectives, the
@@ -68,8 +72,9 @@ enum class Oracle : unsigned {
   Simulation,
   Metamorphic,
   Cache,
+  Engines,
 };
-inline constexpr unsigned NumOracles = 8;
+inline constexpr unsigned NumOracles = 9;
 
 /// Short lower-case name, e.g. "solvers".
 const char *oracleName(Oracle O);

@@ -19,8 +19,20 @@
 #define AQUA_LP_BRANCHANDBOUND_H
 
 #include "aqua/lp/Solver.h"
+#include "aqua/lp/Tolerances.h"
 
 namespace aqua::lp {
+
+/// Which branch-and-bound node engine to run.
+enum class IntEngine {
+  /// Warm-started engine: one shared model, bound-delta nodes, the parent
+  /// basis dual-reoptimized per node, optional parallel tree search.
+  Warm,
+  /// Legacy reference path: per-node Model copy solved cold through
+  /// presolve + simplex. Kept for the solver-vs-solver differential
+  /// oracle and as a numeric baseline.
+  Dense,
+};
 
 /// Options for the integer solver.
 struct IntOptions {
@@ -30,7 +42,15 @@ struct IntOptions {
   /// Wall-clock budget in seconds; 0 means unlimited.
   double TimeLimitSec = 0.0;
   /// A value within IntTol of an integer counts as integral.
-  double IntTol = 1e-6;
+  double IntTol = tol::Integrality;
+  /// Node engine; Warm is the production path.
+  IntEngine Engine = IntEngine::Warm;
+  /// Worker threads for the Warm engine's tree search; values < 2 run the
+  /// search inline. The parallel search shares one node pool and one
+  /// atomic incumbent; the proven objective is identical to a
+  /// single-threaded run (equal-objective incumbents are tie-broken
+  /// lexicographically, independent of arrival order).
+  int Threads = 1;
 };
 
 /// Result of an integer solve.
@@ -43,6 +63,8 @@ struct IntSolution {
   double Objective = 0.0;
   std::vector<double> Values;
   std::int64_t Nodes = 0;
+  /// Total simplex pivots across every node relaxation.
+  std::int64_t LpPivots = 0;
   double Seconds = 0.0;
 };
 

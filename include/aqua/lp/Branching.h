@@ -1,0 +1,57 @@
+//===- aqua/lp/Branching.h - Branch-and-bound branching layer ----*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pure-logic pieces of branch-and-bound, split out so they are unit
+/// testable without running a solver: branch-variable selection and the
+/// compact bound-delta representation nodes carry instead of a Model copy.
+///
+/// A node's subproblem differs from the root only in variable bounds, and
+/// every bound on the path from the root is a *tightening* (floor of an
+/// upper bound, ceil of a lower bound). A node therefore stores the full
+/// path of BoundChange records; applying them in order onto the root
+/// bounds reproduces the subproblem, and undoing is just resetting the
+/// touched variables to their root bounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LP_BRANCHING_H
+#define AQUA_LP_BRANCHING_H
+
+#include "aqua/lp/Model.h"
+
+#include <vector>
+
+namespace aqua::lp {
+
+/// Returns the index of the most fractional integer-constrained variable
+/// (ties broken toward the lowest index), or -1 if every one is within
+/// \p Tol of an integer. \p IsInteger must have one entry per value.
+int pickBranchVar(const std::vector<double> &Values,
+                  const std::vector<bool> &IsInteger, double Tol);
+
+/// One branching decision: a new (tighter) bound on one variable.
+struct BoundChange {
+  VarId Var;
+  bool IsUpper;
+  double Bound;
+};
+
+/// Applies \p Path in order onto the bound arrays. Later entries for the
+/// same variable are tighter by construction, so plain assignment applies
+/// the path correctly.
+void applyBoundPath(const std::vector<BoundChange> &Path,
+                    std::vector<double> &Lower, std::vector<double> &Upper);
+
+/// Undoes \p Path by restoring every touched variable to its root bounds.
+void undoBoundPath(const std::vector<BoundChange> &Path,
+                   const std::vector<double> &RootLower,
+                   const std::vector<double> &RootUpper,
+                   std::vector<double> &Lower, std::vector<double> &Upper);
+
+} // namespace aqua::lp
+
+#endif // AQUA_LP_BRANCHING_H

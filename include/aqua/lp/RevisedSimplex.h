@@ -1,0 +1,237 @@
+//===- aqua/lp/RevisedSimplex.h - Bounded-variable revised simplex -*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A bounded-variable revised simplex engine built for branch-and-bound.
+///
+/// Three properties distinguish it from the dense two-phase tableau in
+/// Simplex.h:
+///
+///  * Finite upper bounds are handled *implicitly*: a nonbasic variable may
+///    rest at either bound, so a bound contributes no tableau row. For the
+///    IVol models -- where branching puts finite bounds on every volume
+///    variable -- this roughly halves the basis dimension versus the dense
+///    path, which materializes one row per finite upper bound.
+///
+///  * The constraint matrix is a shared, immutable sparse column-major copy
+///    (SparseMatrix); per-solve state is only the bound arrays, the basis,
+///    and a dense basis inverse maintained by product-form updates with
+///    periodic refactorization.
+///
+///  * The engine is *restartable*: bounds can be changed between solves
+///    (`setLower`/`setUpper`) and the previous optimal basis reused. A
+///    bound change on a basis leaves reduced costs -- which depend only on
+///    the basis -- untouched, so the parent's optimum stays dual feasible
+///    and `reoptimizeDual()` typically needs a handful of pivots where a
+///    cold solve needs hundreds. This is the classic warm-start that makes
+///    LP-based branch-and-bound tractable.
+///
+/// Cold solves use a composite phase-1 primal (minimize total bound
+/// violation of the logical basis, no artificial columns) followed by the
+/// bounded primal phase 2. All tolerances come from aqua/lp/Tolerances.h.
+///
+/// The engine reports `NumericFail` instead of guessing when pivoting
+/// stalls or the factorization drifts; callers (BranchAndBound, Solver)
+/// fall back to the dense path, and the aqua/check solver-vs-solver oracle
+/// cross-checks the two engines on every generated model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LP_REVISEDSIMPLEX_H
+#define AQUA_LP_REVISEDSIMPLEX_H
+
+#include "aqua/lp/Model.h"
+#include "aqua/lp/Simplex.h"
+#include "aqua/lp/SparseMatrix.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace aqua::lp {
+
+/// Where a column currently lives.
+enum class VarStatus : std::uint8_t {
+  Basic,   ///< In the basis; value from the basic solution.
+  AtLower, ///< Nonbasic at its (finite) lower bound.
+  AtUpper, ///< Nonbasic at its (finite) upper bound.
+  Free,    ///< Nonbasic with no finite bound; rests at zero.
+};
+
+/// A reusable basis snapshot: one status per column (structural columns
+/// first, then one logical column per row) plus the basic column of each
+/// row. Copy-cheap and shareable between branch-and-bound siblings.
+struct Basis {
+  std::vector<VarStatus> Status;
+  std::vector<int> BasicCol;
+
+  bool empty() const { return BasicCol.empty(); }
+};
+
+/// Outcome of a revised-simplex solve. Mirrors SolveStatus but adds the
+/// explicit numeric-failure escape hatch.
+enum class RevisedStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  TimeLimit,
+  NumericFail, ///< Stalled or lost the factorization; use the dense path.
+};
+
+const char *revisedStatusName(RevisedStatus S);
+
+/// Converts to the public SolveStatus (NumericFail maps to IterationLimit;
+/// callers that care must check for it before converting).
+SolveStatus toSolveStatus(RevisedStatus S);
+
+/// Per-solve knobs. Iteration/time budgets of zero mean unlimited.
+struct RevisedOptions {
+  std::int64_t MaxIterations = 0;
+  double TimeLimitSec = 0.0;
+  /// Pivots between basis refactorizations.
+  int RefactorInterval = 100;
+  /// Non-improving pivots tolerated before the engine switches to a
+  /// Bland-style anti-cycling rule.
+  int StallThreshold = 512;
+};
+
+/// Bounded-variable revised simplex over one model. The model's rows and
+/// objective are fixed at construction; variable bounds are mutable state,
+/// which is exactly the degree of freedom branch-and-bound needs.
+class RevisedSimplex {
+public:
+  /// Builds the standard-form instance. \p Cols may be shared across
+  /// engines (one per branch-and-bound worker); when null a private copy
+  /// is built from \p M.
+  explicit RevisedSimplex(const Model &M,
+                          std::shared_ptr<const SparseMatrix> Cols = nullptr);
+
+  int numRows() const { return NumRows; }
+  int numStructural() const { return NumStruct; }
+
+  /// Current bounds of structural variable \p V.
+  double lower(VarId V) const { return Lower[V]; }
+  double upper(VarId V) const { return Upper[V]; }
+
+  /// Overrides the bounds of structural variable \p V. Takes effect on the
+  /// next solve/reoptimize call.
+  void setLower(VarId V, double L) { Lower[V] = L; }
+  void setUpper(VarId V, double U) { Upper[V] = U; }
+
+  /// Restores \p V to the bounds the model was built with.
+  void resetBounds(VarId V) {
+    Lower[V] = RootLower[V];
+    Upper[V] = RootUpper[V];
+  }
+
+  /// Cold solve: installs the all-logical basis, then primal phase 1 + 2.
+  RevisedStatus solve(const RevisedOptions &Opts = {});
+
+  /// Warm solve from \p Start (typically the parent node's optimal basis):
+  /// runs the dual simplex, which repairs primal feasibility after bound
+  /// changes without disturbing dual feasibility. Falls back to a cold
+  /// primal solve if the start basis is singular or dual-infeasible.
+  RevisedStatus reoptimizeDual(const Basis &Start,
+                               const RevisedOptions &Opts = {});
+
+  /// Snapshot of the current basis (valid after any solve that returned
+  /// Optimal; also after Infeasible for diagnostic reuse).
+  Basis basis() const;
+
+  /// Objective value in the model's direction (valid after Optimal).
+  double objective() const { return Objective; }
+
+  /// One value per structural variable (valid after Optimal).
+  const std::vector<double> &values() const { return StructValues; }
+
+  /// Simplex pivots performed by the most recent solve call.
+  std::int64_t iterations() const { return Iterations; }
+
+private:
+  // --- setup
+  void installLogicalBasis();
+  bool installBasis(const Basis &B);
+  bool refactorize();
+  void computeBasicValues();
+  double nonbasicValue(int Col) const;
+  double colLower(int Col) const;
+  double colUpper(int Col) const;
+  double columnDot(int Col, const double *Y) const;
+  void ftran(int Col, std::vector<double> &W) const;
+
+  // --- shared pivot machinery
+  void applyPivot(int LeaveRow, int EnterCol, const std::vector<double> &W);
+  void computeDuals(const std::vector<double> &CostB,
+                    std::vector<double> &Y) const;
+  double reducedCost(int Col, const double *Y) const;
+
+  // --- primal
+  RevisedStatus primal(const RevisedOptions &Opts, bool Phase1);
+  double infeasibilitySum() const;
+
+  // --- dual
+  /// True when reoptimizeDual may skip installBasis, the dual-feasibility
+  /// validation, and the entry refresh: \p Start is exactly the basis the
+  /// engine holds, the last dual run ended Optimal, and no nonbasic status
+  /// needs a flip under the current bounds.
+  bool plungeFastPathOk(const Basis &Start) const;
+  /// With \p ReuseDualState the initial O(m^2) refresh is skipped: XB and
+  /// DualRedCost are taken as current (the plunge fast path in
+  /// reoptimizeDual maintains them incrementally across nodes).
+  RevisedStatus dual(const RevisedOptions &Opts, bool ReuseDualState);
+
+  void extract();
+
+  const Model &M;
+  std::shared_ptr<const SparseMatrix> Cols;
+  int NumRows = 0;
+  int NumStruct = 0;
+  int NumCols = 0; // NumStruct + NumRows (logicals).
+
+  /// Internal minimization costs per column (logicals cost zero).
+  std::vector<double> Cost;
+  /// Mutable structural bounds (branching state) and the pristine copies.
+  std::vector<double> Lower, Upper;
+  std::vector<double> RootLower, RootUpper;
+  /// Logical-column bounds derived from row kinds (fixed).
+  std::vector<double> LogLower, LogUpper;
+  /// Row right-hand sides (fixed).
+  std::vector<double> Rhs;
+
+  std::vector<VarStatus> Status; // Per column.
+  std::vector<int> BasicCol;     // Per row.
+  std::vector<int> RowOfBasic;   // Per column; -1 when nonbasic.
+  std::vector<double> Binv;      // Dense row-major m*m basis inverse.
+  std::vector<double> XB;        // Basic values per row.
+
+  std::vector<double> WorkY, WorkW, WorkC;
+
+  double Objective = 0.0;
+  std::vector<double> StructValues;
+  std::int64_t Iterations = 0;
+  /// Dual-simplex state carried across back-to-back warm reoptimizations
+  /// (branch-and-bound plunges). Valid only while DualStateValid: the last
+  /// dual run ended Optimal and the basis has not been disturbed since, so
+  /// a child node that reuses the exact held basis can diff its bound
+  /// changes against LastNonbasic and skip the per-node refresh.
+  std::vector<double> DualRedCost;
+  std::vector<double> LastNonbasic;
+  bool DualStateValid = false;
+  /// Pivots since the last full refactorization. Survives across solve
+  /// calls: warm restarts that reuse the held factorization (plunging)
+  /// must not reset the drift clock.
+  int SinceRefactor = 0;
+};
+
+/// Drop-in alternative to solveSimplex backed by the revised engine: cold
+/// primal solve with an automatic dense-tableau fallback when the engine
+/// reports NumericFail, so callers always get a definitive status.
+Solution solveRevisedSimplex(const Model &M, const SolveOptions &Opts = {});
+
+} // namespace aqua::lp
+
+#endif // AQUA_LP_REVISEDSIMPLEX_H

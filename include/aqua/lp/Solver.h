@@ -17,11 +17,22 @@
 
 namespace aqua::lp {
 
+/// Which simplex implementation carries the solve.
+enum class LpEngine {
+  Dense,   ///< Two-phase dense tableau (Simplex.h); the reference path.
+  Revised, ///< Bounded-variable revised simplex (RevisedSimplex.h) with an
+           ///< automatic dense fallback on numeric failure.
+};
+
 /// Options for the full solve pipeline.
 struct SolverOptions {
   SolveOptions Simplex;
   /// Run equality-substitution presolve before the simplex.
   bool Presolve = true;
+  /// Simplex implementation. The two engines are cross-checked against
+  /// each other on every generated model by the aqua/check "engines"
+  /// oracle.
+  LpEngine Engine = LpEngine::Revised;
 };
 
 /// Extra information about a solve beyond the Solution itself.

@@ -1,0 +1,106 @@
+//===- aqua/lp/SparseMatrix.h - Column-major constraint matrix ---*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compressed sparse column (CSC) copy of a Model's constraint matrix.
+/// The revised simplex prices columns one at a time (reduced costs, FTRAN
+/// right-hand sides), so column-major storage turns every hot inner loop
+/// into a walk over one column's nonzeros instead of a scan of dense rows.
+/// Built once per model; immutable afterwards, so one instance is safely
+/// shared by every branch-and-bound worker.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LP_SPARSEMATRIX_H
+#define AQUA_LP_SPARSEMATRIX_H
+
+#include "aqua/lp/Model.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aqua::lp {
+
+/// Immutable CSC matrix over a Model's structural variables. Row indices
+/// are model row ids; column indices are model variable ids. Duplicate
+/// terms per (row, var) are merged at build time.
+class SparseMatrix {
+public:
+  struct Entry {
+    int Row;
+    double Value;
+  };
+
+  SparseMatrix() = default;
+
+  explicit SparseMatrix(const Model &M) {
+    NumRows = M.numRows();
+    NumCols = M.numVars();
+    ColStart.assign(NumCols + 1, 0);
+    // Two passes: count entries per variable, then fill.
+    std::vector<int> Count(NumCols, 0);
+    for (const Row &R : M.rows())
+      for (const Term &T : R.Terms)
+        ++Count[T.Var];
+    for (int C = 0; C < NumCols; ++C)
+      ColStart[C + 1] = ColStart[C] + Count[C];
+    Entries.resize(ColStart[NumCols]);
+    std::vector<int> Fill(ColStart.begin(), ColStart.end() - 1);
+    for (int RI = 0; RI < NumRows; ++RI)
+      for (const Term &T : M.row(RI).Terms)
+        Entries[Fill[T.Var]++] = Entry{RI, T.Coef};
+    // Merge duplicates (rare: the formulation never emits them, but the
+    // Model API permits repeated vars across addRow edits).
+    for (int C = 0; C < NumCols; ++C)
+      mergeColumn(C);
+  }
+
+  int numRows() const { return NumRows; }
+  int numCols() const { return NumCols; }
+
+  /// Nonzeros of column \p C as a contiguous span.
+  const Entry *colBegin(int C) const { return Entries.data() + ColStart[C]; }
+  const Entry *colEnd(int C) const { return Entries.data() + ColStart[C + 1]; }
+  int colSize(int C) const { return ColStart[C + 1] - ColStart[C]; }
+
+  /// Dot product of column \p C with a dense row vector \p Y.
+  double dotColumn(int C, const double *Y) const {
+    double Sum = 0.0;
+    for (const Entry *E = colBegin(C), *End = colEnd(C); E != End; ++E)
+      Sum += E->Value * Y[E->Row];
+    return Sum;
+  }
+
+private:
+  void mergeColumn(int C) {
+    int Begin = ColStart[C], End = ColStart[C + 1];
+    if (End - Begin < 2)
+      return;
+    std::sort(Entries.begin() + Begin, Entries.begin() + End,
+              [](const Entry &A, const Entry &B) { return A.Row < B.Row; });
+    int Out = Begin;
+    for (int I = Begin; I < End;) {
+      int R = Entries[I].Row;
+      double V = 0.0;
+      while (I < End && Entries[I].Row == R)
+        V += Entries[I++].Value;
+      Entries[Out++] = Entry{R, V};
+    }
+    // Shrink by padding zeros that dot products ignore; column boundaries
+    // must stay monotone, so record the shorter extent via a zero tail.
+    for (int I = Out; I < End; ++I)
+      Entries[I] = Entry{Entries[Out - 1].Row, 0.0};
+  }
+
+  int NumRows = 0;
+  int NumCols = 0;
+  std::vector<int> ColStart;
+  std::vector<Entry> Entries;
+};
+
+} // namespace aqua::lp
+
+#endif // AQUA_LP_SPARSEMATRIX_H

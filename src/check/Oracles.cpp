@@ -46,6 +46,8 @@ const char *aqua::check::oracleName(Oracle O) {
     return "metamorphic";
   case Oracle::Cache:
     return "cache";
+  case Oracle::Engines:
+    return "engines";
   }
   return "?";
 }
@@ -337,6 +339,9 @@ public:
     if (R.Managed && on(Oracle::Solvers))
       LPOptimal = checkSolvers(G, LPSol);
 
+    if (R.Managed && on(Oracle::Engines))
+      checkEngines(G);
+
     core::ManagerResult VM;
     if (R.Managed) {
       VM = core::manageVolumes(G, Opts.Spec, Opts.Manage);
@@ -461,6 +466,79 @@ private:
       }
     }
     return LPOptimal;
+  }
+
+  /// Solver-vs-solver differential oracle: the same model handed to both
+  /// LP engines (dense tableau vs bounded revised simplex) and, on small
+  /// graphs, to both branch-and-bound node engines (warm bound-delta vs
+  /// legacy dense per-node copies) must produce the same status and, when
+  /// Optimal, the same optimum. This is the equivalence gate for the warm
+  /// solver core: any divergence is a bug in one of the engines.
+  void checkEngines(const AssayGraph &G) {
+    core::FormulationOptions FOpts;
+    core::Formulation F = core::buildVolumeModel(G, Opts.Spec, FOpts);
+
+    lp::SolverOptions DenseOpts = Opts.Manage.LPOptions;
+    DenseOpts.Engine = lp::LpEngine::Dense;
+    lp::SolverOptions RevisedOpts = Opts.Manage.LPOptions;
+    RevisedOpts.Engine = lp::LpEngine::Revised;
+    lp::Solution DS = lp::solve(F.Model, DenseOpts);
+    lp::Solution RS = lp::solve(F.Model, RevisedOpts);
+
+    auto Decisive = [](lp::SolveStatus S) {
+      return S == lp::SolveStatus::Optimal ||
+             S == lp::SolveStatus::Infeasible ||
+             S == lp::SolveStatus::Unbounded;
+    };
+    // Budget statuses (iteration/time limits) are not comparable verdicts;
+    // only cross-check runs where both engines reached a conclusion.
+    if (Decisive(DS.Status) && Decisive(RS.Status)) {
+      if (DS.Status != RS.Status)
+        fail(Oracle::Engines,
+             format("LP engines disagree: dense tableau is %s, revised "
+                    "simplex is %s",
+                    lp::solveStatusName(DS.Status),
+                    lp::solveStatusName(RS.Status)));
+      else if (DS.Status == lp::SolveStatus::Optimal) {
+        double Tol =
+            Opts.Tolerance * std::max(1.0, std::fabs(DS.Objective));
+        if (std::fabs(DS.Objective - RS.Objective) > Tol)
+          fail(Oracle::Engines,
+               format("LP optima diverge: dense tableau %.9g vs revised "
+                      "simplex %.9g",
+                      DS.Objective, RS.Objective));
+      }
+    }
+
+    if (G.numEdges() > Opts.MaxIlpEdges)
+      return;
+    core::FormulationOptions IOpts;
+    IOpts.UnitNl = Opts.Spec.LeastCountNl;
+    core::Formulation FI = core::buildVolumeModel(G, Opts.Spec, IOpts);
+    lp::IntOptions Warm;
+    Warm.MaxNodes = Opts.IlpMaxNodes;
+    Warm.TimeLimitSec = Opts.IlpTimeLimitSec;
+    Warm.Engine = lp::IntEngine::Warm;
+    lp::IntOptions Dense = Warm;
+    Dense.Engine = lp::IntEngine::Dense;
+    Dense.LP.Engine = lp::LpEngine::Dense;
+    lp::IntSolution WS = lp::solveInteger(FI.Model, {}, Warm);
+    lp::IntSolution DSInt = lp::solveInteger(FI.Model, {}, Dense);
+    if (Decisive(WS.Status) && Decisive(DSInt.Status)) {
+      if (WS.Status != DSInt.Status)
+        fail(Oracle::Engines,
+             format("B&B engines disagree: warm is %s, dense is %s",
+                    lp::solveStatusName(WS.Status),
+                    lp::solveStatusName(DSInt.Status)));
+      else if (WS.Status == lp::SolveStatus::Optimal) {
+        double Tol =
+            Opts.Tolerance * std::max(1.0, std::fabs(DSInt.Objective));
+        if (std::fabs(WS.Objective - DSInt.Objective) > Tol)
+          fail(Oracle::Engines,
+               format("ILP optima diverge: warm %.9g vs dense %.9g units",
+                      WS.Objective, DSInt.Objective));
+      }
+    }
   }
 
   /// Figure 3 verification of the manager's answer plus the exact integer

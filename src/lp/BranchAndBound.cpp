@@ -3,12 +3,43 @@
 // Part of AquaVol. MIT license.
 //
 //===----------------------------------------------------------------------===//
+//
+// Two node engines share the public solveInteger entry point:
+//
+//  * Warm (production): one shared Model and one shared sparse column copy;
+//    nodes are compact bound-delta paths plus a shared_ptr to the parent's
+//    optimal basis. Each node applies its deltas onto a per-worker
+//    RevisedSimplex and dual-reoptimizes from the parent basis -- usually a
+//    handful of pivots, versus a cold two-phase solve of a Model copy on
+//    the legacy path. Workers plunge depth-first into the child nearest the
+//    fractional LP value (maximizing basis reuse: the engine already holds
+//    the parent basis and factorization) while the other child goes to a
+//    best-bound-ordered shared pool, so `IntOptions::Threads` workers
+//    cooperate on one tree with a shared atomic incumbent for pruning.
+//    Equal-objective incumbents are tie-broken lexicographically so the
+//    reported solution does not depend on thread arrival order.
+//
+//  * Dense (reference): the seed's per-node `Model Sub = M` copy solved
+//    cold through presolve + dense simplex. Retained for the aqua/check
+//    solver-vs-solver oracle and as the numeric baseline the warm engine
+//    is measured against in bench_ilp_vs_lp.
+//
+//===----------------------------------------------------------------------===//
 
 #include "aqua/lp/BranchAndBound.h"
 
+#include "aqua/lp/Branching.h"
+#include "aqua/lp/RevisedSimplex.h"
 #include "aqua/support/Timer.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cassert>
 #include <cmath>
+#include <condition_variable>
+#include <mutex>
+#include <queue>
+#include <thread>
 #include <vector>
 
 using namespace aqua;
@@ -16,52 +47,374 @@ using namespace aqua::lp;
 
 namespace {
 
+//===----------------------------------------------------------------------===//
+// Warm engine
+//===----------------------------------------------------------------------===//
+
+/// A pending subproblem for the warm engine.
+struct WarmNode {
+  /// Parent's LP bound in internal (maximize) sign; root uses +infinity.
+  double Bound = Infinity;
+  /// Deterministic tree-position id: root 1, down child 2i, up child 2i+1
+  /// (saturating at 62 levels). Best-bound ties pop the smaller id first,
+  /// independent of push order.
+  std::uint64_t Id = 1;
+  std::vector<BoundChange> Path;
+  std::shared_ptr<const Basis> Warm;
+};
+
+struct WarmNodeOrder {
+  bool operator()(const WarmNode &A, const WarmNode &B) const {
+    if (A.Bound != B.Bound)
+      return A.Bound < B.Bound; // Larger bound pops first.
+    return A.Id > B.Id;         // Then smaller id.
+  }
+};
+
+std::uint64_t childId(std::uint64_t Parent, bool Up) {
+  if (Parent >= (std::uint64_t(1) << 62))
+    return Parent; // Saturate: ties deeper than 62 levels stay stable.
+  return 2 * Parent + (Up ? 1 : 0);
+}
+
+/// State shared by every warm-engine worker.
+struct WarmSearch {
+  const Model &M;
+  const std::vector<bool> &IsInteger;
+  const IntOptions &Opts;
+  double Sign;
+  std::shared_ptr<const SparseMatrix> Cols;
+  WallTimer Timer;
+
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::priority_queue<WarmNode, std::vector<WarmNode>, WarmNodeOrder> Pool;
+  int InFlight = 0;
+
+  std::atomic<bool> Stop{false};
+  bool BudgetHit = false;   // Guarded by Mu.
+  bool Unbounded = false;   // Guarded by Mu.
+  bool NumericFell = false; // Guarded by Mu; a node used the dense fallback.
+
+  std::atomic<std::int64_t> Nodes{0};
+  std::atomic<std::int64_t> Pivots{0};
+
+  /// Incumbent bound in internal sign, readable without the lock for fast
+  /// pruning; the full incumbent record is guarded by Mu.
+  std::atomic<double> IncBound{-Infinity};
+  bool HasInc = false;
+  double IncObjective = 0.0;
+  std::vector<double> IncValues;
+
+  WarmSearch(const Model &M, const std::vector<bool> &IsInteger,
+             const IntOptions &Opts)
+      : M(M), IsInteger(IsInteger), Opts(Opts),
+        Sign(M.isMaximize() ? 1.0 : -1.0),
+        Cols(std::make_shared<const SparseMatrix>(M)) {}
+
+  bool overBudget() {
+    if (Opts.MaxNodes > 0 && Nodes.load(std::memory_order_relaxed) >=
+                                 Opts.MaxNodes)
+      return true;
+    if (Opts.TimeLimitSec > 0.0 && Timer.seconds() > Opts.TimeLimitSec)
+      return true;
+    return false;
+  }
+
+  void signalBudget() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      BudgetHit = true;
+    }
+    Stop.store(true, std::memory_order_relaxed);
+    Cv.notify_all();
+  }
+
+  void signalUnbounded() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Unbounded = true;
+    }
+    Stop.store(true, std::memory_order_relaxed);
+    Cv.notify_all();
+  }
+
+  void push(WarmNode N) {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Pool.push(std::move(N));
+    }
+    Cv.notify_one();
+  }
+
+  /// Pops the best node, waiting while other workers may still produce
+  /// some. Returns false when the search is over (pool drained and no one
+  /// in flight, or a stop was signalled).
+  bool pop(WarmNode &Out) {
+    std::unique_lock<std::mutex> L(Mu);
+    Cv.wait(L, [&] {
+      return Stop.load(std::memory_order_relaxed) || !Pool.empty() ||
+             InFlight == 0;
+    });
+    if (Stop.load(std::memory_order_relaxed) || Pool.empty())
+      return false;
+    Out = Pool.top();
+    Pool.pop();
+    ++InFlight;
+    return true;
+  }
+
+  void chainDone() {
+    bool Done;
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      Done = --InFlight == 0 && Pool.empty();
+    }
+    if (Done)
+      Cv.notify_all();
+  }
+
+  /// Offers an integral solution. Strict improvements replace the
+  /// incumbent; ties within the prune tolerance keep the lexicographically
+  /// smaller value vector so the final answer is independent of worker
+  /// arrival order.
+  void offerIncumbent(double Internal, double Obj, std::vector<double> Vals) {
+    std::lock_guard<std::mutex> L(Mu);
+    bool Take;
+    if (!HasInc || Internal > IncBound.load(std::memory_order_relaxed) +
+                                  tol::Prune) {
+      Take = true;
+    } else if (Internal < IncBound.load(std::memory_order_relaxed) -
+                              tol::Prune) {
+      Take = false;
+    } else {
+      Take = std::lexicographical_compare(Vals.begin(), Vals.end(),
+                                          IncValues.begin(),
+                                          IncValues.end());
+    }
+    if (!Take)
+      return;
+    HasInc = true;
+    IncObjective = Obj;
+    IncValues = std::move(Vals);
+    double Prev = IncBound.load(std::memory_order_relaxed);
+    if (Internal > Prev)
+      IncBound.store(Internal, std::memory_order_relaxed);
+  }
+};
+
+/// Dense per-node fallback for the rare NumericFail escape: materializes
+/// the node's model and solves it cold on the legacy path.
+Solution denseNodeSolve(const Model &M, const std::vector<BoundChange> &Path,
+                        const SolverOptions &LPOpts) {
+  Model Sub = M;
+  for (const BoundChange &C : Path) {
+    if (C.IsUpper)
+      Sub.tightenUpper(C.Var, C.Bound);
+    else
+      Sub.tightenLower(C.Var, C.Bound);
+  }
+  SolverOptions O = LPOpts;
+  O.Engine = LpEngine::Dense;
+  return solve(Sub, O);
+}
+
+/// One worker: pops pool nodes and plunges each subtree depth-first.
+void warmWorker(WarmSearch &S) {
+  RevisedSimplex Engine(S.M, S.Cols);
+  std::vector<BoundChange> Applied; // Engine's current bound overrides.
+
+  WarmNode Node;
+  while (S.pop(Node)) {
+    bool HaveNode = true;
+    while (HaveNode) {
+      HaveNode = false;
+      if (S.Stop.load(std::memory_order_relaxed))
+        break;
+      if (S.overBudget()) {
+        S.signalBudget();
+        break;
+      }
+      // Fathom against the shared incumbent before spending any pivots.
+      if (Node.Bound <=
+          S.IncBound.load(std::memory_order_relaxed) + tol::Prune)
+        continue;
+
+      S.Nodes.fetch_add(1, std::memory_order_relaxed);
+
+      // Swap the engine onto this node's bounds.
+      for (const BoundChange &C : Applied)
+        Engine.resetBounds(C.Var);
+      Applied = Node.Path;
+      for (const BoundChange &C : Applied) {
+        if (C.IsUpper)
+          Engine.setUpper(C.Var, C.Bound);
+        else
+          Engine.setLower(C.Var, C.Bound);
+      }
+
+      RevisedOptions RO;
+      RO.MaxIterations = S.Opts.LP.Simplex.MaxIterations;
+      RO.StallThreshold = S.Opts.LP.Simplex.StallThreshold;
+      // Node reoptimizations run a handful of dual pivots each; the
+      // refactorization clock ticks across nodes, so the default interval
+      // would spend most of the search rebuilding B^-1. Drift from the
+      // product-form updates is caught by the per-node dual-feasibility
+      // validation (which falls back to a cold solve), so a long interval
+      // is safe here.
+      RO.RefactorInterval = 2000;
+      if (S.Opts.TimeLimitSec > 0.0) {
+        double Remaining = S.Opts.TimeLimitSec - S.Timer.seconds();
+        RO.TimeLimitSec = std::max(Remaining, 1e-3);
+      } else {
+        RO.TimeLimitSec = S.Opts.LP.Simplex.TimeLimitSec;
+      }
+
+      RevisedStatus RS = Engine.reoptimizeDual(
+          Node.Warm ? *Node.Warm : Basis{}, RO);
+      S.Pivots.fetch_add(Engine.iterations(), std::memory_order_relaxed);
+
+      SolveStatus St;
+      double Obj = 0.0;
+      const std::vector<double> *Vals = nullptr;
+      Solution DenseSol;
+      if (RS == RevisedStatus::NumericFail) {
+        // Engine gave up on this node: solve it on the reference path.
+        DenseSol = denseNodeSolve(S.M, Node.Path, S.Opts.LP);
+        {
+          std::lock_guard<std::mutex> L(S.Mu);
+          S.NumericFell = true;
+        }
+        S.Pivots.fetch_add(DenseSol.Iterations, std::memory_order_relaxed);
+        St = DenseSol.Status;
+        Obj = DenseSol.Objective;
+        Vals = &DenseSol.Values;
+      } else {
+        St = toSolveStatus(RS);
+        Obj = Engine.objective();
+        Vals = &Engine.values();
+      }
+
+      if (St == SolveStatus::Infeasible)
+        continue;
+      if (St == SolveStatus::Unbounded) {
+        S.signalUnbounded();
+        break;
+      }
+      if (St != SolveStatus::Optimal) {
+        // Budget expired inside the LP.
+        S.signalBudget();
+        break;
+      }
+
+      double Bound = S.Sign * Obj;
+      if (Bound <=
+          S.IncBound.load(std::memory_order_relaxed) + tol::Prune)
+        continue;
+
+      int BranchVar = pickBranchVar(*Vals, S.IsInteger, S.Opts.IntTol);
+      if (BranchVar < 0) {
+        std::vector<double> Snapped = *Vals;
+        for (size_t I = 0; I < Snapped.size(); ++I)
+          if (S.IsInteger[I])
+            Snapped[I] = std::round(Snapped[I]);
+        S.offerIncumbent(Bound, Obj, std::move(Snapped));
+        continue;
+      }
+
+      double Val = (*Vals)[BranchVar];
+      double Floor = std::floor(Val), Ceil = std::ceil(Val);
+      double CurLower = Engine.lower(BranchVar);
+      double CurUpper = Engine.upper(BranchVar);
+
+      auto MakeChild = [&](bool Up) {
+        WarmNode C;
+        C.Bound = Bound;
+        C.Id = childId(Node.Id, Up);
+        C.Path = Node.Path;
+        C.Path.push_back(Up ? BoundChange{BranchVar, false, Ceil}
+                            : BoundChange{BranchVar, true, Floor});
+        C.Warm = std::make_shared<const Basis>(Engine.basis());
+        return C;
+      };
+
+      bool DownOk = Floor >= CurLower;
+      bool UpOk = Ceil <= CurUpper;
+      bool PlungeUp = Val - Floor >= 0.5; // Dive toward the LP value.
+      if (DownOk && UpOk) {
+        S.push(MakeChild(!PlungeUp));
+        Node = MakeChild(PlungeUp);
+        HaveNode = true;
+      } else if (DownOk || UpOk) {
+        Node = MakeChild(UpOk);
+        HaveNode = true;
+      }
+      // Neither child in range: the node is fathomed.
+    }
+    S.chainDone();
+  }
+}
+
+IntSolution solveIntegerWarm(const Model &M,
+                             const std::vector<bool> &IsInteger,
+                             const IntOptions &Opts) {
+  WarmSearch S(M, IsInteger, Opts);
+
+  S.Pool.push(WarmNode{});
+  int Threads = std::max(1, Opts.Threads);
+  if (Threads == 1) {
+    warmWorker(S);
+  } else {
+    std::vector<std::thread> Pool;
+    Pool.reserve(Threads);
+    for (int T = 0; T < Threads; ++T)
+      Pool.emplace_back([&S] { warmWorker(S); });
+    for (std::thread &T : Pool)
+      T.join();
+  }
+
+  IntSolution Result;
+  Result.Nodes = S.Nodes.load();
+  Result.LpPivots = S.Pivots.load();
+  Result.Seconds = S.Timer.seconds();
+  Result.HasIncumbent = S.HasInc;
+  if (S.HasInc) {
+    Result.Objective = S.IncObjective;
+    Result.Values = S.IncValues;
+  }
+  if (S.Unbounded)
+    Result.Status = SolveStatus::Unbounded;
+  else if (S.BudgetHit)
+    Result.Status = SolveStatus::TimeLimit;
+  else
+    Result.Status =
+        S.HasInc ? SolveStatus::Optimal : SolveStatus::Infeasible;
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Dense (legacy) engine
+//===----------------------------------------------------------------------===//
+
 /// A pending subproblem: bound overrides on top of the root model.
-struct Node {
+struct DenseNode {
   std::vector<std::pair<VarId, double>> LowerOverrides;
   std::vector<std::pair<VarId, double>> UpperOverrides;
 };
 
-/// Returns the index of the most fractional integer-constrained variable,
-/// or -1 if all are integral within \p Tol.
-int pickBranchVar(const std::vector<double> &Values,
-                  const std::vector<bool> &IsInteger, double Tol) {
-  int Best = -1;
-  double BestDist = Tol;
-  for (size_t I = 0; I < Values.size(); ++I) {
-    if (!IsInteger[I])
-      continue;
-    double Frac = Values[I] - std::floor(Values[I]);
-    double Dist = std::min(Frac, 1.0 - Frac);
-    if (Dist > BestDist) {
-      BestDist = Dist;
-      Best = static_cast<int>(I);
-    }
-  }
-  return Best;
-}
-
-} // namespace
-
-IntSolution aqua::lp::solveInteger(const Model &M,
-                                   const std::vector<bool> &IsIntegerIn,
-                                   const IntOptions &Opts) {
+IntSolution solveIntegerDense(const Model &M,
+                              const std::vector<bool> &IsInteger,
+                              const IntOptions &Opts) {
   WallTimer Timer;
   IntSolution Result;
-
-  std::vector<bool> IsInteger = IsIntegerIn;
-  if (IsInteger.empty())
-    IsInteger.assign(M.numVars(), true);
-  assert(static_cast<int>(IsInteger.size()) == M.numVars() &&
-         "integrality mask size mismatch");
 
   // Maximization sign: incumbent comparisons use Sign*objective so that
   // larger is always better internally.
   double Sign = M.isMaximize() ? 1.0 : -1.0;
   double Incumbent = -Infinity;
 
-  std::vector<Node> Stack;
-  Stack.push_back(Node{});
+  std::vector<DenseNode> Stack;
+  Stack.push_back(DenseNode{});
   bool Exhausted = true;
 
   while (!Stack.empty()) {
@@ -74,7 +427,7 @@ IntSolution aqua::lp::solveInteger(const Model &M,
       break;
     }
 
-    Node N = std::move(Stack.back());
+    DenseNode N = std::move(Stack.back());
     Stack.pop_back();
     ++Result.Nodes;
 
@@ -101,6 +454,7 @@ IntSolution aqua::lp::solveInteger(const Model &M,
         LPOpts.Simplex.TimeLimitSec = std::max(Remaining, 1e-3);
     }
     Solution Relax = solve(Sub, LPOpts);
+    Result.LpPivots += Relax.Iterations;
     if (Relax.Status == SolveStatus::Infeasible)
       continue;
     if (Relax.Status == SolveStatus::Unbounded) {
@@ -109,13 +463,14 @@ IntSolution aqua::lp::solveInteger(const Model &M,
       return Result;
     }
     if (Relax.Status != SolveStatus::Optimal) {
-      // Budget expired inside the LP.
+      // Budget expired inside the LP; stop immediately instead of letting
+      // the loop header burn whatever budget remains on another node.
       Exhausted = false;
       break;
     }
 
     double Bound = Sign * Relax.Objective;
-    if (Bound <= Incumbent + 1e-9)
+    if (Bound <= Incumbent + tol::Prune)
       continue; // Pruned.
 
     int BranchVar = pickBranchVar(Relax.Values, IsInteger, Opts.IntTol);
@@ -133,7 +488,7 @@ IntSolution aqua::lp::solveInteger(const Model &M,
     }
 
     double Val = Relax.Values[BranchVar];
-    Node Down = N, Up = N;
+    DenseNode Down = N, Up = N;
     Down.UpperOverrides.push_back({BranchVar, std::floor(Val)});
     Up.LowerOverrides.push_back({BranchVar, std::ceil(Val)});
     // DFS: explore the branch nearest the LP value first.
@@ -153,4 +508,43 @@ IntSolution aqua::lp::solveInteger(const Model &M,
   else
     Result.Status = SolveStatus::TimeLimit;
   return Result;
+}
+
+} // namespace
+
+IntSolution aqua::lp::solveInteger(const Model &M,
+                                   const std::vector<bool> &IsIntegerIn,
+                                   const IntOptions &Opts) {
+  std::vector<bool> IsInteger = IsIntegerIn;
+  if (IsInteger.empty())
+    IsInteger.assign(M.numVars(), true);
+  assert(static_cast<int>(IsInteger.size()) == M.numVars() &&
+         "integrality mask size mismatch");
+
+  if (Opts.Engine == IntEngine::Dense)
+    return solveIntegerDense(M, IsInteger, Opts);
+
+  // The warm engine keeps ~3 dense m x m panels per worker; honor the
+  // memory budget by falling back to the legacy path when they don't fit.
+  size_t M2 = static_cast<size_t>(M.numRows()) * M.numRows();
+  size_t Workers = static_cast<size_t>(std::max(1, Opts.Threads));
+  if (3 * M2 * sizeof(double) * Workers > Opts.LP.Simplex.MaxTableauBytes)
+    return solveIntegerDense(M, IsInteger, Opts);
+
+  // The warm engine works on the unreduced model (native bound handling
+  // replaces per-node presolve), but presolve's bound propagation proves
+  // root infeasibility orders of magnitude faster than a phase-1 solve on
+  // an enzyme-scale model -- run it once as a pure feasibility screen.
+  if (Opts.LP.Presolve) {
+    WallTimer Timer;
+    Presolved P = Presolved::run(M);
+    if (P.provenInfeasible()) {
+      IntSolution Result;
+      Result.Status = SolveStatus::Infeasible;
+      Result.Seconds = Timer.seconds();
+      return Result;
+    }
+  }
+
+  return solveIntegerWarm(M, IsInteger, Opts);
 }

@@ -1,0 +1,53 @@
+//===- Branching.cpp - Branch-and-bound branching layer ---------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/Branching.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace aqua;
+using namespace aqua::lp;
+
+int aqua::lp::pickBranchVar(const std::vector<double> &Values,
+                            const std::vector<bool> &IsInteger, double Tol) {
+  assert(Values.size() == IsInteger.size() && "mask/value size mismatch");
+  int Best = -1;
+  double BestDist = Tol;
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (!IsInteger[I])
+      continue;
+    double Frac = Values[I] - std::floor(Values[I]);
+    double Dist = std::min(Frac, 1.0 - Frac);
+    if (Dist > BestDist) {
+      BestDist = Dist;
+      Best = static_cast<int>(I);
+    }
+  }
+  return Best;
+}
+
+void aqua::lp::applyBoundPath(const std::vector<BoundChange> &Path,
+                              std::vector<double> &Lower,
+                              std::vector<double> &Upper) {
+  for (const BoundChange &C : Path) {
+    if (C.IsUpper)
+      Upper[C.Var] = C.Bound;
+    else
+      Lower[C.Var] = C.Bound;
+  }
+}
+
+void aqua::lp::undoBoundPath(const std::vector<BoundChange> &Path,
+                             const std::vector<double> &RootLower,
+                             const std::vector<double> &RootUpper,
+                             std::vector<double> &Lower,
+                             std::vector<double> &Upper) {
+  for (const BoundChange &C : Path) {
+    Lower[C.Var] = RootLower[C.Var];
+    Upper[C.Var] = RootUpper[C.Var];
+  }
+}

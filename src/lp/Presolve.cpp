@@ -6,6 +6,7 @@
 
 #include "aqua/lp/Presolve.h"
 
+#include "aqua/lp/Tolerances.h"
 #include <algorithm>
 #include <cmath>
 
@@ -14,7 +15,8 @@ using namespace aqua::lp;
 
 namespace {
 
-constexpr double Eps = 1e-11;
+// Shared LP-layer tolerances (see aqua/lp/Tolerances.h for the policy).
+constexpr double Eps = tol::Zero;
 
 /// Mutable working form of the model during presolve. Rows keep their terms
 /// sorted by variable id with no duplicates and no ~zero coefficients.
@@ -101,7 +103,7 @@ struct Work {
       if (U != Infinity)
         Vars[Other].Lower = std::max(Vars[Other].Lower, (U - Const) / Coef);
     }
-    return Vars[Other].Lower <= Vars[Other].Upper + 1e-9;
+    return Vars[Other].Lower <= Vars[Other].Upper + tol::BoundCross;
   }
 
   /// True if `Const + Expr >= Bound` holds for every feasible point, using
@@ -134,7 +136,7 @@ Presolved Presolved::run(const Model &M) {
         continue;
 
       if (R.Terms.empty()) {
-        if (std::fabs(R.Rhs) > 1e-7)
+        if (std::fabs(R.Rhs) > tol::BoundSnap)
           W.Infeasible = true;
         R.Alive = false;
         ++P.Stats.RowsEliminated;
@@ -146,7 +148,8 @@ Presolved Presolved::run(const Model &M) {
         // a*x = r fixes x.
         VarId X = R.Terms[0].Var;
         double Val = R.Rhs / R.Terms[0].Coef;
-        if (Val < W.Vars[X].Lower - 1e-9 || Val > W.Vars[X].Upper + 1e-9) {
+        if (Val < W.Vars[X].Lower - tol::BoundCross ||
+            Val > W.Vars[X].Upper + tol::BoundCross) {
           W.Infeasible = true;
           break;
         }
@@ -227,7 +230,7 @@ Presolved Presolved::run(const Model &M) {
     Work::WVar &B = W.Vars[V];
     if (!B.Alive || B.Lower <= B.Upper)
       continue;
-    if (B.Lower <= B.Upper + 1e-7) {
+    if (B.Lower <= B.Upper + tol::BoundSnap) {
       B.Lower = B.Upper;
     } else {
       P.Infeasible = true;
@@ -254,13 +257,13 @@ Presolved Presolved::run(const Model &M) {
       bool Ok = true;
       switch (R.Kind) {
       case RowKind::LE:
-        Ok = 0.0 <= R.Rhs + 1e-7;
+        Ok = 0.0 <= R.Rhs + tol::BoundSnap;
         break;
       case RowKind::GE:
-        Ok = 0.0 >= R.Rhs - 1e-7;
+        Ok = 0.0 >= R.Rhs - tol::BoundSnap;
         break;
       case RowKind::EQ:
-        Ok = std::fabs(R.Rhs) <= 1e-7;
+        Ok = std::fabs(R.Rhs) <= tol::BoundSnap;
         break;
       }
       if (!Ok)

@@ -6,6 +6,7 @@
 
 #include "aqua/lp/Simplex.h"
 
+#include "aqua/lp/Tolerances.h"
 #include "aqua/support/Fatal.h"
 #include "aqua/support/Timer.h"
 
@@ -35,9 +36,10 @@ const char *aqua::lp::solveStatusName(SolveStatus S) {
 
 namespace {
 
-constexpr double CostTol = 1e-9;  // Reduced-cost optimality tolerance.
-constexpr double PivotTol = 1e-8; // Minimum acceptable pivot magnitude.
-constexpr double ZeroTol = 1e-11; // Snap-to-zero threshold after pivots.
+// Shared LP-layer tolerances (see aqua/lp/Tolerances.h for the policy).
+constexpr double CostTol = tol::Cost;
+constexpr double PivotTol = tol::Pivot;
+constexpr double ZeroTol = tol::Zero;
 
 /// Dense two-phase simplex working state.
 ///
@@ -400,7 +402,7 @@ Solution Tableau::run() {
     }
     // Objective row rhs holds -sum(artificials).
     double ArtSum = -at(NumRows, NumCols);
-    if (ArtSum > 1e-7) {
+    if (ArtSum > tol::Phase1) {
       Sol.Status = SolveStatus::Infeasible;
       Sol.Iterations = Iterations;
       Sol.Seconds = Timer.seconds();

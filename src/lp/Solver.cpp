@@ -6,16 +6,27 @@
 
 #include "aqua/lp/Solver.h"
 
+#include "aqua/lp/RevisedSimplex.h"
 #include "aqua/support/Timer.h"
 
 using namespace aqua;
 using namespace aqua::lp;
 
+namespace {
+
+Solution runSimplex(const Model &M, const SolverOptions &Opts) {
+  if (Opts.Engine == LpEngine::Revised)
+    return solveRevisedSimplex(M, Opts.Simplex);
+  return solveSimplex(M, Opts.Simplex);
+}
+
+} // namespace
+
 Solution aqua::lp::solve(const Model &M, const SolverOptions &Opts,
                          SolveInfo *Info) {
   WallTimer Timer;
   if (!Opts.Presolve) {
-    Solution Sol = solveSimplex(M, Opts.Simplex);
+    Solution Sol = runSimplex(M, Opts);
     Sol.Seconds = Timer.seconds();
     return Sol;
   }
@@ -33,7 +44,7 @@ Solution aqua::lp::solve(const Model &M, const SolverOptions &Opts,
     return Sol;
   }
 
-  Solution Reduced = solveSimplex(P.reduced(), Opts.Simplex);
+  Solution Reduced = runSimplex(P.reduced(), Opts);
   Solution Sol;
   Sol.Status = Reduced.Status;
   Sol.Iterations = Reduced.Iterations;

@@ -156,3 +156,95 @@ TEST_P(BnBRandomTest, MatchesExhaustiveSearch) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BnBRandomTest, ::testing::Range(0, 6));
+
+// Engine-equivalence sweep: the warm bound-delta engine and the legacy
+// dense-copy engine are interchangeable oracles for each other.
+class BnBEngineEquivalenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BnBEngineEquivalenceTest, WarmMatchesDenseOnRandomModels) {
+  SplitMix64 Rng(static_cast<std::uint64_t>(GetParam()) * 48271 + 11);
+  for (int Case = 0; Case < 20; ++Case) {
+    int N = static_cast<int>(Rng.nextInRange(2, 4));
+    Model M;
+    M.setMaximize(Rng.nextInRange(0, 1) == 1);
+    for (int I = 0; I < N; ++I)
+      M.addVar("x" + std::to_string(I), 0.0,
+               static_cast<double>(Rng.nextInRange(1, 5)),
+               static_cast<double>(Rng.nextInRange(-3, 4)));
+    int R = static_cast<int>(Rng.nextInRange(1, 3));
+    for (int I = 0; I < R; ++I) {
+      std::vector<Term> Terms;
+      for (int V = 0; V < N; ++V) {
+        double C = static_cast<double>(Rng.nextInRange(-2, 3));
+        if (C != 0.0)
+          Terms.push_back(Term{V, C});
+      }
+      if (Terms.empty())
+        continue;
+      M.addRow("r" + std::to_string(I),
+               Rng.nextInRange(0, 1) ? RowKind::LE : RowKind::GE,
+               static_cast<double>(Rng.nextInRange(-4, 8)),
+               std::move(Terms));
+    }
+
+    IntOptions WarmOpts;
+    WarmOpts.Engine = IntEngine::Warm;
+    IntOptions DenseOpts;
+    DenseOpts.Engine = IntEngine::Dense;
+    IntSolution W = solveInteger(M, {}, WarmOpts);
+    IntSolution D = solveInteger(M, {}, DenseOpts);
+
+    ASSERT_EQ(W.Status, D.Status) << M.str();
+    if (W.Status == SolveStatus::Optimal) {
+      EXPECT_NEAR(W.Objective, D.Objective, 1e-6) << M.str();
+      EXPECT_LE(M.maxViolation(W.Values), 1e-6) << M.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BnBEngineEquivalenceTest,
+                         ::testing::Range(0, 4));
+
+TEST(BranchAndBound, ParallelMatchesSerialObjective) {
+  // A model with enough branching to occupy several workers; the parallel
+  // search may explore a different tree but must return the same optimum.
+  Model M;
+  M.setMaximize(true);
+  const int N = 6;
+  for (int I = 0; I < N; ++I)
+    M.addVar("x" + std::to_string(I), 0.0, 7.0,
+             static_cast<double>(3 + (I * 5) % 7));
+  M.addRow("cap1", RowKind::LE, 19.0,
+           {{0, 2.0}, {1, 3.0}, {2, 1.0}, {3, 4.0}});
+  M.addRow("cap2", RowKind::LE, 17.0,
+           {{2, 3.0}, {3, 1.0}, {4, 2.0}, {5, 5.0}});
+  M.addRow("mix", RowKind::GE, 4.0, {{0, 1.0}, {4, 1.0}, {5, 1.0}});
+
+  IntOptions Serial;
+  Serial.Threads = 1;
+  IntOptions Parallel;
+  Parallel.Threads = 4;
+  IntSolution S1 = solveInteger(M, {}, Serial);
+  IntSolution S4 = solveInteger(M, {}, Parallel);
+
+  ASSERT_EQ(S1.Status, SolveStatus::Optimal);
+  ASSERT_EQ(S4.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S1.Objective, S4.Objective, 1e-9);
+  // Deterministic incumbent: the lexicographic tie-break makes the values
+  // themselves reproducible, not just the objective.
+  ASSERT_EQ(S1.Values.size(), S4.Values.size());
+  for (size_t I = 0; I < S1.Values.size(); ++I)
+    EXPECT_NEAR(S1.Values[I], S4.Values[I], 1e-9) << "var " << I;
+}
+
+TEST(BranchAndBound, ReportsLpPivotTelemetry) {
+  Model M;
+  M.addVar("x", 0.0, Infinity, 5.0);
+  M.addVar("y", 0.0, Infinity, 4.0);
+  M.addRow("cap", RowKind::LE, 10.0, {{0, 6.0}, {1, 5.0}});
+  IntSolution S = solveInteger(M, {});
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_GT(S.Nodes, 1);
+  EXPECT_GT(S.LpPivots, 0);
+  EXPECT_GE(S.Seconds, 0.0);
+}
