@@ -15,7 +15,8 @@
 #ifndef AQUAVOL_BENCH_BENCHUTIL_H
 #define AQUAVOL_BENCH_BENCHUTIL_H
 
-#include "aqua/support/Timer.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Timer.h"
 
 #include <algorithm>
 #include <cstdint>
@@ -23,6 +24,7 @@
 #include <cstdlib>
 #include <functional>
 #include <limits>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -135,6 +137,36 @@ struct BenchRecord {
     metric("reps", S.Reps);
     return *this;
   }
+};
+
+/// Snapshot-and-diff over the global metrics registry: construct before a
+/// measured region, then `addTo()` folds every counter that moved into a
+/// BenchRecord (metric key = prefix + name with '.' -> '_', so the bench
+/// JSON stays flat). This is how the benches report solver work (pivots,
+/// B&B nodes, cache traffic) without threading counters through APIs.
+class MetricsDelta {
+public:
+  explicit MetricsDelta(aqua::obs::MetricsRegistry &R = aqua::obs::metrics())
+      : Registry(R), Before(R.counterValues()) {}
+
+  BenchRecord &addTo(BenchRecord &Rec, const std::string &Prefix = "") const {
+    for (const auto &[Name, After] : Registry.counterValues()) {
+      auto It = Before.find(Name);
+      std::uint64_t Start = It == Before.end() ? 0 : It->second;
+      if (After == Start)
+        continue;
+      std::string Key = Prefix + Name;
+      for (char &C : Key)
+        if (C == '.')
+          C = '_';
+      Rec.metric(Key, static_cast<double>(After - Start));
+    }
+    return Rec;
+  }
+
+private:
+  aqua::obs::MetricsRegistry &Registry;
+  std::map<std::string, std::uint64_t> Before;
 };
 
 /// Accumulates BenchRecords and writes them as BENCH_<bench>.json -- the

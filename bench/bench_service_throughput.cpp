@@ -118,6 +118,7 @@ int main() {
   std::size_t Failures = 0;
   for (bool CacheOn : {false, true}) {
     for (int Threads : {1, 2, 4, 8}) {
+      MetricsDelta Delta; // Registry counters moved by this config's run.
       RunResult R = runConfig(Workloads, Requests, Threads, CacheOn);
       Failures += R.Failures;
       std::printf("  %-8d %-6s %12s %10.1f/s %9.1f%% %8llu\n", Threads,
@@ -126,15 +127,17 @@ int main() {
                   static_cast<unsigned long long>(R.Joins));
       std::string Name = "threads" + std::to_string(Threads) +
                          (CacheOn ? "_cache" : "_nocache");
-      Json.add(Name)
-          .param("threads", std::to_string(Threads))
-          .param("cache", CacheOn ? "on" : "off")
-          .param("requests", std::to_string(Requests))
-          .metric("wall_sec", R.WallSec)
-          .metric("throughput_per_sec", R.Throughput)
-          .metric("hit_rate", R.HitRate)
-          .metric("reuse_rate", R.ReuseRate)
-          .metric("failures", static_cast<double>(R.Failures));
+      BenchRecord &Rec =
+          Json.add(Name)
+              .param("threads", std::to_string(Threads))
+              .param("cache", CacheOn ? "on" : "off")
+              .param("requests", std::to_string(Requests))
+              .metric("wall_sec", R.WallSec)
+              .metric("throughput_per_sec", R.Throughput)
+              .metric("hit_rate", R.HitRate)
+              .metric("reuse_rate", R.ReuseRate)
+              .metric("failures", static_cast<double>(R.Failures));
+      Delta.addTo(Rec);
       if (!CacheOn && Threads == 1)
         Baseline = R.Throughput;
       if (CacheOn && Threads == 4) {

@@ -9,10 +9,13 @@
 //
 //   aquac FILE.assay [--emit-dag] [--emit-dot] [--emit-ais] [--relative]
 //                    [--simulate] [--capacity NL] [--least-count NL]
+//                    [--trace-out FILE] [--metrics-out FILE]
 //
 // With no --emit flag, prints managed AIS. `--relative` skips volume
 // management and emits the paper-style relative-volume code; `--simulate`
-// also executes the program on the AquaCore simulator.
+// also executes the program on the AquaCore simulator. `--trace-out`
+// enables span tracing and writes a Chrome trace-event JSON;
+// `--metrics-out` dumps the metrics registry.
 //
 //===----------------------------------------------------------------------===//
 
@@ -22,12 +25,15 @@
 #include "aqua/core/Manager.h"
 #include "aqua/core/Report.h"
 #include "aqua/lang/Lower.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
 #include "aqua/runtime/Simulator.h"
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 using namespace aqua;
 
@@ -38,10 +44,36 @@ int usage(const char *Argv0) {
                "usage: %s FILE.assay [--emit-dag] [--emit-dot] [--emit-ais]\n"
                "          [--relative] [--simulate] [--report] [--schedule]"
                " [--capacity NL] [--least-count NL]\n"
+               "          [--trace-out FILE] [--metrics-out FILE]\n"
                "       %s --run-ais FILE.ais   (execute textual AIS)\n",
                Argv0, Argv0);
   return 2;
 }
+
+/// Matches `--flag VALUE` and `--flag=VALUE`; returns the value or null.
+const char *flagValue(const char *Flag, int &I, int Argc, char **Argv) {
+  std::size_t N = std::strlen(Flag);
+  if (std::strncmp(Argv[I], Flag, N))
+    return nullptr;
+  if (Argv[I][N] == '=')
+    return Argv[I] + N + 1;
+  if (Argv[I][N] == '\0' && I + 1 < Argc)
+    return Argv[++I];
+  return nullptr;
+}
+
+/// Flushes --trace-out / --metrics-out on every exit path (the exporters
+/// warn on I/O failure themselves).
+struct ObsExports {
+  std::string TraceOut, MetricsOut;
+
+  ~ObsExports() {
+    if (!TraceOut.empty())
+      obs::Tracer::global().writeChromeTrace(TraceOut);
+    if (!MetricsOut.empty())
+      obs::metrics().writeJsonFile(MetricsOut);
+  }
+};
 
 } // namespace
 
@@ -52,8 +84,10 @@ int main(int argc, char **argv) {
   bool Report = false;
   bool PrintSchedule = false;
   core::MachineSpec Spec;
+  ObsExports Obs;
 
   for (int I = 1; I < argc; ++I) {
+    const char *V;
     if (!std::strcmp(argv[I], "--run-ais"))
       RunAIS = true;
     else if (!std::strcmp(argv[I], "--emit-dag"))
@@ -74,6 +108,10 @@ int main(int argc, char **argv) {
       Spec.MaxCapacityNl = std::atof(argv[++I]);
     else if (!std::strcmp(argv[I], "--least-count") && I + 1 < argc)
       Spec.LeastCountNl = std::atof(argv[++I]);
+    else if ((V = flagValue("--trace-out", I, argc, argv)))
+      Obs.TraceOut = V;
+    else if ((V = flagValue("--metrics-out", I, argc, argv)))
+      Obs.MetricsOut = V;
     else if (argv[I][0] == '-')
       return usage(argv[0]);
     else
@@ -81,6 +119,11 @@ int main(int argc, char **argv) {
   }
   if (!Path)
     return usage(argv[0]);
+
+  if (!Obs.TraceOut.empty())
+    obs::Tracer::setEnabled(true);
+  if (!Obs.MetricsOut.empty())
+    obs::preregisterPipelineMetrics();
 
   std::ifstream File(Path);
   if (!File) {

@@ -13,6 +13,7 @@
 //             [--oracle name,name,...] [--no-shrink] [--no-repro]
 //             [--json] [--out FILE] [--repro-dir DIR]
 //             [--capacity NL] [--least-count NL]
+//             [--trace-out FILE] [--metrics-out FILE]
 //   aquacheck --replay FILE.assay [--yield N/D] [--oracle ...]
 //
 // Exit status: 0 when every oracle passed, 1 on oracle failures, 2 on
@@ -21,12 +22,15 @@
 //===----------------------------------------------------------------------===//
 
 #include "aqua/check/Harness.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
+#include <string>
 
 using namespace aqua;
 using namespace aqua::check;
@@ -39,7 +43,7 @@ int usage(const char *Argv0) {
       "usage: %s [--seed N] [--cases N] [--difficulty 1..5]\n"
       "          [--oracle name,...] [--no-shrink] [--no-repro] [--json]\n"
       "          [--out FILE] [--repro-dir DIR] [--capacity NL]\n"
-      "          [--least-count NL]\n"
+      "          [--least-count NL] [--trace-out FILE] [--metrics-out FILE]\n"
       "       %s --replay FILE.assay [--yield N/D] [--oracle name,...]\n"
       "oracles: frontend graph solvers assignment rounding simulation\n"
       "         metamorphic cache\n",
@@ -51,6 +55,31 @@ void logLine(const std::string &Line) {
   std::fprintf(stderr, "aquacheck: %s\n", Line.c_str());
 }
 
+/// Matches `--flag VALUE` and `--flag=VALUE`; returns the value or null.
+const char *flagValue(const char *Flag, int &I, int Argc, char **Argv) {
+  std::size_t N = std::strlen(Flag);
+  if (std::strncmp(Argv[I], Flag, N))
+    return nullptr;
+  if (Argv[I][N] == '=')
+    return Argv[I] + N + 1;
+  if (Argv[I][N] == '\0' && I + 1 < Argc)
+    return Argv[++I];
+  return nullptr;
+}
+
+/// Flushes --trace-out / --metrics-out on every exit path (the exporters
+/// warn on I/O failure themselves).
+struct ObsExports {
+  std::string TraceOut, MetricsOut;
+
+  ~ObsExports() {
+    if (!TraceOut.empty())
+      obs::Tracer::global().writeChromeTrace(TraceOut);
+    if (!MetricsOut.empty())
+      obs::metrics().writeJsonFile(MetricsOut);
+  }
+};
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -59,8 +88,10 @@ int main(int argc, char **argv) {
   const char *ReplayPath = nullptr;
   const char *OutPath = nullptr;
   bool Json = false;
+  ObsExports Obs;
 
   for (int I = 1; I < argc; ++I) {
+    const char *V;
     if (!std::strcmp(argv[I], "--seed") && I + 1 < argc)
       Opts.Seed = std::strtoull(argv[++I], nullptr, 0);
     else if (!std::strcmp(argv[I], "--cases") && I + 1 < argc)
@@ -98,9 +129,18 @@ int main(int argc, char **argv) {
       }
       Opts.Check.FixedYield =
           static_cast<double>(N) / static_cast<double>(D);
-    } else
+    } else if ((V = flagValue("--trace-out", I, argc, argv)))
+      Obs.TraceOut = V;
+    else if ((V = flagValue("--metrics-out", I, argc, argv)))
+      Obs.MetricsOut = V;
+    else
       return usage(argv[0]);
   }
+
+  if (!Obs.TraceOut.empty())
+    obs::Tracer::setEnabled(true);
+  if (!Obs.MetricsOut.empty())
+    obs::preregisterPipelineMetrics();
 
   if (ReplayPath) {
     std::ifstream File(ReplayPath);

@@ -9,7 +9,13 @@
 // latency percentiles.
 //
 //   aquad MANIFEST [--threads N] [--no-cache] [--max-entries N]
-//                  [--capacity NL] [--least-count NL]
+//                  [--capacity NL] [--least-count NL] [--simulate]
+//                  [--trace-out FILE] [--metrics-out FILE]
+//
+// --simulate runs each unique successful artifact once through the
+// AquaCore simulator (regeneration on, fixed separation yield).
+// --trace-out enables span tracing and writes a Chrome trace-event JSON
+// (chrome://tracing, Perfetto); --metrics-out dumps the metrics registry.
 //
 // The manifest has one workload per line: a repeat count followed by an
 // assay source path or a builtin name (`builtin:glucose`,
@@ -24,14 +30,18 @@
 
 #include "aqua/assays/ExtraAssays.h"
 #include "aqua/assays/PaperAssays.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Timer.h"
+#include "aqua/obs/Trace.h"
+#include "aqua/runtime/Simulator.h"
 #include "aqua/service/CompileService.h"
-#include "aqua/support/Timer.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -43,9 +53,22 @@ namespace {
 int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s MANIFEST [--threads N] [--no-cache]"
-               " [--max-entries N] [--capacity NL] [--least-count NL]\n",
+               " [--max-entries N] [--capacity NL] [--least-count NL]"
+               " [--simulate] [--trace-out FILE] [--metrics-out FILE]\n",
                Argv0);
   return 2;
+}
+
+/// Matches `--flag VALUE` and `--flag=VALUE`; returns the value or null.
+const char *flagValue(const char *Flag, int &I, int Argc, char **Argv) {
+  std::size_t N = std::strlen(Flag);
+  if (std::strncmp(Argv[I], Flag, N))
+    return nullptr;
+  if (Argv[I][N] == '=')
+    return Argv[I] + N + 1;
+  if (Argv[I][N] == '\0' && I + 1 < Argc)
+    return Argv[++I];
+  return nullptr;
 }
 
 /// Resolves a manifest entry to assay source text.
@@ -111,12 +134,17 @@ int main(int argc, char **argv) {
   service::ServiceOptions Options;
   Options.Threads = 4;
   core::MachineSpec Spec;
+  bool Simulate = false;
+  std::string TraceOut, MetricsOut;
 
   for (int I = 1; I < argc; ++I) {
+    const char *V;
     if (!std::strcmp(argv[I], "--threads") && I + 1 < argc)
       Options.Threads = parseInt("--threads", argv[++I]);
     else if (!std::strcmp(argv[I], "--no-cache"))
       Options.EnableCache = false;
+    else if (!std::strcmp(argv[I], "--simulate"))
+      Simulate = true;
     else if (!std::strcmp(argv[I], "--max-entries") && I + 1 < argc)
       Options.Cache.MaxEntries =
           static_cast<std::size_t>(parseInt("--max-entries", argv[++I]));
@@ -124,6 +152,10 @@ int main(int argc, char **argv) {
       Spec.MaxCapacityNl = parseNl("--capacity", argv[++I]);
     else if (!std::strcmp(argv[I], "--least-count") && I + 1 < argc)
       Spec.LeastCountNl = parseNl("--least-count", argv[++I]);
+    else if ((V = flagValue("--trace-out", I, argc, argv)))
+      TraceOut = V;
+    else if ((V = flagValue("--metrics-out", I, argc, argv)))
+      MetricsOut = V;
     else if (argv[I][0] == '-')
       return usage(argv[0]);
     else
@@ -131,6 +163,11 @@ int main(int argc, char **argv) {
   }
   if (!Path)
     return usage(argv[0]);
+
+  if (!TraceOut.empty())
+    obs::Tracer::setEnabled(true);
+  if (!MetricsOut.empty())
+    obs::preregisterPipelineMetrics();
 
   std::ifstream Manifest(Path);
   if (!Manifest) {
@@ -214,5 +251,46 @@ int main(int argc, char **argv) {
               percentile(Latencies, 0.50) * 1e3,
               percentile(Latencies, 0.95) * 1e3);
   std::printf("  %s\n", Stats.str().c_str());
+
+  if (Simulate) {
+    // One wet run per *unique* artifact: repeats share the artifact (that
+    // is the point of the cache), so simulating each fingerprint once
+    // reports the workload's distinct wet-path behaviours.
+    std::set<std::string> Seen;
+    std::size_t SimRuns = 0, SimFailures = 0;
+    int Regens = 0;
+    double WetSec = 0.0, DeliveredNl = 0.0, WasteNl = 0.0;
+    for (const service::CompileResponse &R : Responses) {
+      if (!R.Ok || !R.Artifact || !Seen.insert(R.Key.str()).second)
+        continue;
+      runtime::SimOptions SO;
+      SO.Spec = Spec;
+      SO.FixedSeparationYield = 0.5;
+      if (R.Artifact->Managed)
+        SO.Graph = &R.Artifact->VM.Graph;
+      runtime::SimResult Sim = runtime::simulate(R.Artifact->Program, SO);
+      ++SimRuns;
+      if (!Sim.Completed) {
+        if (SimFailures < 5)
+          std::fprintf(stderr, "aquad: simulate %s: %s\n", R.Name.c_str(),
+                       Sim.Error.c_str());
+        ++SimFailures;
+      }
+      Regens += Sim.Regenerations;
+      WetSec += Sim.FluidSeconds;
+      DeliveredNl += Sim.DeliveredNl;
+      WasteNl += Sim.WasteNl;
+    }
+    std::printf("  simulate      %zu unique artifacts (%zu failed), "
+                "%d regenerations, %.1f s wet time, %.1f nl delivered, "
+                "%.1f nl waste\n",
+                SimRuns, SimFailures, Regens, WetSec, DeliveredNl, WasteNl);
+    Failures += SimFailures;
+  }
+
+  if (!TraceOut.empty() && !obs::Tracer::global().writeChromeTrace(TraceOut))
+    return 1;
+  if (!MetricsOut.empty() && !obs::metrics().writeJsonFile(MetricsOut))
+    return 1;
   return Failures ? 1 : 0;
 }

@@ -1,0 +1,76 @@
+//===- aqua/obs/Timer.h - Wall-clock timing ----------------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one monotonic wall-clock timing primitive, shared by the Table 2
+/// run-time experiments, the compilation service's latency accounting, and
+/// the aqua/obs tracer. (Moved here from aqua/support/Timer.h, which
+/// remains as a back-compat forwarding header.)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_OBS_TIMER_H
+#define AQUA_OBS_TIMER_H
+
+#include <chrono>
+
+namespace aqua::obs {
+
+/// Measures elapsed wall-clock time from construction (or last reset()).
+class WallTimer {
+public:
+  WallTimer() : Start(Clock::now()) {}
+
+  /// Restarts the timer.
+  void reset() { Start = Clock::now(); }
+
+  /// Returns elapsed seconds since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Returns elapsed milliseconds.
+  double millis() const { return seconds() * 1e3; }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+/// Accumulates the lifetime of a scope into a `double` of seconds:
+///
+///   double SolveSec = 0.0;
+///   { ScopedTimer T(SolveSec); solve(); }  // SolveSec += elapsed
+///
+/// Used for latency accounting where one running total absorbs many
+/// scopes (the compilation service's per-stage timing).
+class ScopedTimer {
+public:
+  explicit ScopedTimer(double &Sink) : Sink(Sink) {}
+  ~ScopedTimer() { Sink += Timer.seconds(); }
+
+  ScopedTimer(const ScopedTimer &) = delete;
+  ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  /// Seconds elapsed so far in this scope (the sink is only updated at
+  /// scope exit).
+  double seconds() const { return Timer.seconds(); }
+
+private:
+  double &Sink;
+  WallTimer Timer;
+};
+
+} // namespace aqua::obs
+
+namespace aqua {
+// Historical spelling: the timers predate aqua/obs and the whole codebase
+// names them unqualified.
+using obs::ScopedTimer;
+using obs::WallTimer;
+} // namespace aqua
+
+#endif // AQUA_OBS_TIMER_H

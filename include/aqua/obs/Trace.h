@@ -1,0 +1,168 @@
+//===- aqua/obs/Trace.h - Span tracer with Chrome-trace export ---*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A span-based tracer for the parse -> lower -> solve -> round -> codegen
+/// -> simulate pipeline, exporting the Chrome trace-event JSON format that
+/// chrome://tracing and Perfetto load directly.
+///
+///  * `AQUA_TRACE_SPAN("lp.solve")` opens an RAII span on the calling
+///    thread; nested spans form the per-thread stack that renders as
+///    flame-graph nesting (Chrome nests "X" events by timestamp/duration
+///    per thread row). Timestamps come from one process-wide steady-clock
+///    anchor, in microseconds.
+///
+///  * Tracing is *globally* gated by one relaxed atomic bool: when off,
+///    a span construct is exactly `load(relaxed) + branch` and records
+///    nothing -- cheap enough that the instrumentation stays compiled in
+///    everywhere, including the B&B node loop (the perf-smoke CI job
+///    holds this overhead under a fixed per-span budget).
+///
+///  * Recorded events land in a bounded in-process *ring buffer* (default
+///    64Ki events, ~6 MiB): `aquad` can run with tracing on indefinitely
+///    and an export shows the most recent window instead of an unbounded
+///    heap. Overwritten events are counted, not silently lost.
+///
+///  * Besides wall-clock spans the tracer records *virtual-time* complete
+///    events on a separate track (pid 2): the simulator lays out each
+///    instruction on the simulated fluidic clock, so one trace shows the
+///    compiler's microseconds next to the assay's wet-path seconds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_OBS_TRACE_H
+#define AQUA_OBS_TRACE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aqua::obs {
+
+/// Track ids (Chrome "pid") used by the exporters.
+enum TracePid : std::uint32_t {
+  /// Wall-clock spans of the compiler/service pipeline.
+  PidPipeline = 1,
+  /// Virtual-time events on the simulated fluidic clock.
+  PidSimulated = 2,
+};
+
+/// One trace-event record. `Phase` follows the trace-event format: 'X' is
+/// a complete (begin+duration) event, 'i' an instant.
+struct TraceEvent {
+  std::string Name;
+  const char *Cat = "aqua"; ///< Must point at a static string.
+  char Phase = 'X';
+  std::uint64_t TsMicros = 0;
+  std::uint64_t DurMicros = 0;
+  std::uint32_t Pid = PidPipeline;
+  std::uint32_t Tid = 0;
+};
+
+/// Bounded-memory event sink plus exporters.
+class Tracer {
+public:
+  /// \p Capacity is the ring size in events (clamped to >= 16).
+  explicit Tracer(std::size_t Capacity = 1 << 16);
+
+  /// The process-global tracer the span macros record into.
+  static Tracer &global();
+
+  /// The master switch for the recording macros. Off by default; the
+  /// AQUA_TRACE=1 environment variable or a `--trace-out` CLI flag turns
+  /// it on.
+  static bool enabled() {
+    return Enabled.load(std::memory_order_relaxed);
+  }
+  static void setEnabled(bool On) {
+    Enabled.store(On, std::memory_order_relaxed);
+  }
+
+  /// Microseconds since the process-wide trace epoch (steady clock).
+  static std::uint64_t nowMicros();
+
+  /// Small dense id of the calling thread (Chrome "tid"), assigned on
+  /// first use.
+  static std::uint32_t threadId();
+
+  /// Appends one event, overwriting the oldest when the ring is full.
+  void record(TraceEvent E);
+
+  /// Records an instant event at the current wall clock on this thread.
+  void instant(std::string Name, const char *Cat = "aqua");
+
+  /// Records a complete event with explicit (possibly virtual) timing.
+  void complete(std::string Name, const char *Cat, std::uint64_t TsMicros,
+                std::uint64_t DurMicros, std::uint32_t Pid, std::uint32_t Tid);
+
+  /// Events currently held (<= capacity).
+  std::size_t size() const;
+  /// Events ever recorded.
+  std::uint64_t recordedCount() const;
+  /// Events overwritten by ring wraparound.
+  std::uint64_t droppedCount() const;
+  void clear();
+
+  /// Held events, oldest first.
+  std::vector<TraceEvent> snapshot() const;
+
+  /// The full trace-event JSON document ({"traceEvents": [...], ...}),
+  /// loadable by chrome://tracing and Perfetto.
+  std::string json() const;
+
+  /// Writes json() to \p Path; false (with a warning on stderr) on I/O
+  /// failure.
+  bool writeChromeTrace(const std::string &Path) const;
+
+private:
+  static std::atomic<bool> Enabled;
+
+  mutable std::mutex Mutex;
+  std::vector<TraceEvent> Ring; ///< Capacity slots; Recorded % cap = head.
+  std::size_t Capacity;
+  std::uint64_t Recorded = 0; ///< Guarded by Mutex.
+};
+
+/// RAII span: captures the start time at construction and records one
+/// complete event into the global tracer at destruction. When tracing is
+/// disabled at construction the destructor does nothing (a span that
+/// straddles an enable records nothing -- half-open spans would lie).
+class SpanGuard {
+public:
+  /// \p Name must outlive the guard (string literals at every call site).
+  explicit SpanGuard(const char *Name, const char *Cat = "aqua")
+      : Name(Tracer::enabled() ? Name : nullptr), Cat(Cat),
+        StartMicros(this->Name ? Tracer::nowMicros() : 0) {}
+
+  ~SpanGuard() {
+    if (Name)
+      finish();
+  }
+
+  SpanGuard(const SpanGuard &) = delete;
+  SpanGuard &operator=(const SpanGuard &) = delete;
+
+private:
+  void finish();
+
+  const char *Name;
+  const char *Cat;
+  std::uint64_t StartMicros;
+};
+
+} // namespace aqua::obs
+
+/// Opens a wall-clock span covering the rest of the enclosing scope.
+#define AQUA_TRACE_SPAN_CONCAT2(A, B) A##B
+#define AQUA_TRACE_SPAN_CONCAT(A, B) AQUA_TRACE_SPAN_CONCAT2(A, B)
+#define AQUA_TRACE_SPAN(...)                                                   \
+  ::aqua::obs::SpanGuard AQUA_TRACE_SPAN_CONCAT(AquaSpan_,                     \
+                                                __LINE__)(__VA_ARGS__)
+
+#endif // AQUA_OBS_TRACE_H

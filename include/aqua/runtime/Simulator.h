@@ -95,6 +95,12 @@ struct SimResult {
   double FluidSeconds = 0.0;
   /// Volume drawn from each input port, in nl.
   std::map<std::string, double> InputDrawnNl;
+  /// Volume delivered off-chip through output ports, in nl.
+  double DeliveredNl = 0.0;
+  /// Volume discarded on-chip, in nl: separation residue plus consumed
+  /// matrix/pusher fluids, solvent removed by concentration, sensed
+  /// samples, and residue drained by `output`.
+  double WasteNl = 0.0;
 
   std::vector<SenseReading> Senses;
 };

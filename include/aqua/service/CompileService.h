@@ -140,6 +140,9 @@ private:
   struct Job {
     CompileRequest Request;
     std::promise<CompileResponse> Promise;
+    /// Trace-epoch submit time (obs::Tracer::nowMicros); the worker that
+    /// dequeues the job turns it into the queue-wait histogram.
+    std::uint64_t EnqueueMicros = 0;
   };
   /// Single-flight rendezvous for one fingerprint: the first arriving
   /// worker publishes the artifact here; later arrivals wait on it.

@@ -1,66 +1,20 @@
-//===- aqua/support/Timer.h - Wall-clock timing ------------------*- C++-*-===//
+//===- aqua/support/Timer.h - Back-compat timing shim ------------*- C++-*-===//
 //
 // Part of AquaVol. MIT license.
 //
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Monotonic wall-clock timer used by the Table 2 run-time experiments.
+/// Forwarding header: WallTimer and ScopedTimer moved to aqua/obs/Timer.h
+/// when the observability layer became the home of all timing. Include
+/// that header in new code; this one exists so older includes keep
+/// compiling.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef AQUA_SUPPORT_TIMER_H
 #define AQUA_SUPPORT_TIMER_H
 
-#include <chrono>
-
-namespace aqua {
-
-/// Measures elapsed wall-clock time from construction (or last reset()).
-class WallTimer {
-public:
-  WallTimer() : Start(Clock::now()) {}
-
-  /// Restarts the timer.
-  void reset() { Start = Clock::now(); }
-
-  /// Returns elapsed seconds since construction or the last reset().
-  double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - Start).count();
-  }
-
-  /// Returns elapsed milliseconds.
-  double millis() const { return seconds() * 1e3; }
-
-private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point Start;
-};
-
-/// Accumulates the lifetime of a scope into a `double` of seconds:
-///
-///   double SolveSec = 0.0;
-///   { ScopedTimer T(SolveSec); solve(); }  // SolveSec += elapsed
-///
-/// Used for latency accounting where one running total absorbs many
-/// scopes (the compilation service's per-stage timing).
-class ScopedTimer {
-public:
-  explicit ScopedTimer(double &Sink) : Sink(Sink) {}
-  ~ScopedTimer() { Sink += Timer.seconds(); }
-
-  ScopedTimer(const ScopedTimer &) = delete;
-  ScopedTimer &operator=(const ScopedTimer &) = delete;
-
-  /// Seconds elapsed so far in this scope (the sink is only updated at
-  /// scope exit).
-  double seconds() const { return Timer.seconds(); }
-
-private:
-  double &Sink;
-  WallTimer Timer;
-};
-
-} // namespace aqua
+#include "aqua/obs/Timer.h"
 
 #endif // AQUA_SUPPORT_TIMER_H

@@ -6,6 +6,8 @@
 
 #include "aqua/core/DagSolve.h"
 
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
 #include "aqua/support/Fatal.h"
 
 #include <algorithm>
@@ -129,12 +131,22 @@ VolumeAssignment aqua::core::dispenseVolumes(const AssayGraph &G,
 DagSolveResult aqua::core::dagSolve(const AssayGraph &G,
                                     const MachineSpec &Spec,
                                     const DagSolveOptions &Opts) {
+  AQUA_TRACE_SPAN("core.dagsolve", "core");
+  struct DagMetrics {
+    obs::Counter &Runs = obs::metrics().counter("core.dagsolve.runs");
+    obs::Counter &Infeasible =
+        obs::metrics().counter("core.dagsolve.infeasible");
+  };
+  static DagMetrics Met;
+  Met.Runs.add();
+
   DagSolveResult Result;
   computeVnorms(G, Opts, Result);
 
   if (Result.MaxVnorm.isZero()) {
     // Degenerate graph (no live nodes, or all volumes zero).
     Result.Feasible = false;
+    Met.Infeasible.add();
     return Result;
   }
 
@@ -146,6 +158,7 @@ DagSolveResult aqua::core::dagSolve(const AssayGraph &G,
     Rational Pin = Result.NodeVnorm[*Opts.PinnedNode];
     if (Pin.isZero()) {
       Result.Feasible = false;
+      Met.Infeasible.add();
       return Result;
     }
     NlPerVnorm = Opts.PinnedVolumeNl / Pin.toDouble();
@@ -176,5 +189,7 @@ DagSolveResult aqua::core::dagSolve(const AssayGraph &G,
       Over = true;
   }
   Result.Feasible = !Under && !Over;
+  if (!Result.Feasible)
+    Met.Infeasible.add();
   return Result;
 }

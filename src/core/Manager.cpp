@@ -8,6 +8,9 @@
 
 #include "aqua/core/Cascading.h"
 #include "aqua/core/Replication.h"
+#include "aqua/obs/Log.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
 #include "aqua/support/StringUtils.h"
 
 using namespace aqua;
@@ -15,6 +18,23 @@ using namespace aqua::core;
 using namespace aqua::ir;
 
 namespace {
+
+/// Global-registry instruments, resolved once.
+struct ManagerMetrics {
+  obs::Counter &Runs = obs::metrics().counter("core.manage.runs");
+  obs::Counter &Infeasible = obs::metrics().counter("core.manage.infeasible");
+  obs::Counter &Iterations = obs::metrics().counter("core.manage.iterations");
+  obs::Counter &Cascades = obs::metrics().counter("core.manage.cascades");
+  obs::Counter &Replications =
+      obs::metrics().counter("core.manage.replications");
+  obs::Counter &LPFallbacks =
+      obs::metrics().counter("core.manage.lp_fallbacks");
+};
+
+ManagerMetrics &met() {
+  static ManagerMetrics M;
+  return M;
+}
 
 /// Finishes a successful result: rounding plus diagnostics.
 void finishResult(ManagerResult &R, const MachineSpec &Spec,
@@ -127,10 +147,13 @@ std::vector<NodeId> findExtremeMixes(const AssayGraph &G,
 ManagerResult aqua::core::manageVolumes(const AssayGraph &G,
                                         const MachineSpec &Spec,
                                         const ManagerOptions &Opts) {
+  AQUA_TRACE_SPAN("core.manage", "core");
+  met().Runs.add();
   ManagerResult R;
   R.Graph = G;
 
   for (int Iter = 0; Iter < Opts.MaxIterations; ++Iter) {
+    met().Iterations.add();
     // ----- Level 1: DAGSolve (linear time).
     DagSolveResult DS = dagSolve(R.Graph, Spec, Opts.DagOptions);
     if (DS.Feasible) {
@@ -154,6 +177,7 @@ ManagerResult aqua::core::manageVolumes(const AssayGraph &G,
         R.Log += format("iter %d: LP feasible (min dispense %s nl)\n", Iter,
                         formatTrimmed(LP.Volumes.minDispenseNl(R.Graph), 4)
                             .c_str());
+        met().LPFallbacks.add();
         finishResult(R, Spec, SolveMethod::LP, std::move(LP.Volumes));
         refineRoundingError(R, Spec, Opts);
         return R;
@@ -206,6 +230,7 @@ ManagerResult aqua::core::manageVolumes(const AssayGraph &G,
                         static_cast<long long>(P),
                         static_cast<long long>(T - P), Stages);
         ++R.CascadesApplied;
+        met().Cascades.add();
         Transformed = true;
       }
     }
@@ -222,6 +247,7 @@ ManagerResult aqua::core::manageVolumes(const AssayGraph &G,
         R.Log += format("iter %d: replicated '%s' into 2 instances\n", Iter,
                         R.Graph.node(Critical).Name.c_str());
         ++R.ReplicationsApplied;
+        met().Replications.add();
         Transformed = true;
       } else {
         R.Log += format("iter %d: replication of '%s' failed: %s\n", Iter,
@@ -239,8 +265,13 @@ ManagerResult aqua::core::manageVolumes(const AssayGraph &G,
   }
 
   R.Feasible = false;
+  met().Infeasible.add();
   R.Log += format("hierarchy exhausted (iteration budget %d); no static "
                   "assignment (regeneration backstop applies at run time)\n",
                   Opts.MaxIterations);
+  AQUA_LOG_WARN("core",
+                "hierarchy exhausted (iteration budget %d); no static "
+                "assignment (regeneration backstop applies at run time)",
+                Opts.MaxIterations);
   return R;
 }

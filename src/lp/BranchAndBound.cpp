@@ -30,7 +30,9 @@
 
 #include "aqua/lp/Branching.h"
 #include "aqua/lp/RevisedSimplex.h"
-#include "aqua/support/Timer.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Timer.h"
+#include "aqua/obs/Trace.h"
 
 #include <algorithm>
 #include <atomic>
@@ -46,6 +48,24 @@ using namespace aqua;
 using namespace aqua::lp;
 
 namespace {
+
+/// Global-registry instruments, resolved once.
+struct BbMetrics {
+  obs::Counter &Solves = obs::metrics().counter("lp.bb.solves");
+  obs::Counter &Nodes = obs::metrics().counter("lp.bb.nodes");
+  obs::Counter &Pruned = obs::metrics().counter("lp.bb.pruned");
+  obs::Counter &Incumbents = obs::metrics().counter("lp.bb.incumbents");
+  obs::Counter &NumericFallbacks =
+      obs::metrics().counter("lp.bb.numeric_fallbacks");
+  obs::Histogram &NodesPerWorker = obs::metrics().histogram(
+      "lp.bb.nodes_per_worker",
+      {1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 100000});
+};
+
+BbMetrics &met() {
+  static BbMetrics M;
+  return M;
+}
 
 //===----------------------------------------------------------------------===//
 // Warm engine
@@ -194,6 +214,7 @@ struct WarmSearch {
     }
     if (!Take)
       return;
+    met().Incumbents.add();
     HasInc = true;
     IncObjective = Obj;
     IncValues = std::move(Vals);
@@ -223,6 +244,7 @@ Solution denseNodeSolve(const Model &M, const std::vector<BoundChange> &Path,
 void warmWorker(WarmSearch &S) {
   RevisedSimplex Engine(S.M, S.Cols);
   std::vector<BoundChange> Applied; // Engine's current bound overrides.
+  std::int64_t LocalNodes = 0;
 
   WarmNode Node;
   while (S.pop(Node)) {
@@ -237,10 +259,14 @@ void warmWorker(WarmSearch &S) {
       }
       // Fathom against the shared incumbent before spending any pivots.
       if (Node.Bound <=
-          S.IncBound.load(std::memory_order_relaxed) + tol::Prune)
+          S.IncBound.load(std::memory_order_relaxed) + tol::Prune) {
+        met().Pruned.add();
         continue;
+      }
 
       S.Nodes.fetch_add(1, std::memory_order_relaxed);
+      met().Nodes.add();
+      ++LocalNodes;
 
       // Swap the engine onto this node's bounds.
       for (const BoundChange &C : Applied)
@@ -285,6 +311,7 @@ void warmWorker(WarmSearch &S) {
           std::lock_guard<std::mutex> L(S.Mu);
           S.NumericFell = true;
         }
+        met().NumericFallbacks.add();
         S.Pivots.fetch_add(DenseSol.Iterations, std::memory_order_relaxed);
         St = DenseSol.Status;
         Obj = DenseSol.Objective;
@@ -309,8 +336,10 @@ void warmWorker(WarmSearch &S) {
 
       double Bound = S.Sign * Obj;
       if (Bound <=
-          S.IncBound.load(std::memory_order_relaxed) + tol::Prune)
+          S.IncBound.load(std::memory_order_relaxed) + tol::Prune) {
+        met().Pruned.add();
         continue;
+      }
 
       int BranchVar = pickBranchVar(*Vals, S.IsInteger, S.Opts.IntTol);
       if (BranchVar < 0) {
@@ -353,6 +382,8 @@ void warmWorker(WarmSearch &S) {
     }
     S.chainDone();
   }
+  if (LocalNodes > 0)
+    met().NodesPerWorker.observe(static_cast<double>(LocalNodes));
 }
 
 IntSolution solveIntegerWarm(const Model &M,
@@ -430,6 +461,7 @@ IntSolution solveIntegerDense(const Model &M,
     DenseNode N = std::move(Stack.back());
     Stack.pop_back();
     ++Result.Nodes;
+    met().Nodes.add();
 
     Model Sub = M;
     bool BadBounds = false;
@@ -470,13 +502,16 @@ IntSolution solveIntegerDense(const Model &M,
     }
 
     double Bound = Sign * Relax.Objective;
-    if (Bound <= Incumbent + tol::Prune)
-      continue; // Pruned.
+    if (Bound <= Incumbent + tol::Prune) {
+      met().Pruned.add();
+      continue;
+    }
 
     int BranchVar = pickBranchVar(Relax.Values, IsInteger, Opts.IntTol);
     if (BranchVar < 0) {
       // Integral: new incumbent.
       Incumbent = Bound;
+      met().Incumbents.add();
       Result.HasIncumbent = true;
       Result.Objective = Relax.Objective;
       Result.Values = Relax.Values;
@@ -515,6 +550,8 @@ IntSolution solveIntegerDense(const Model &M,
 IntSolution aqua::lp::solveInteger(const Model &M,
                                    const std::vector<bool> &IsIntegerIn,
                                    const IntOptions &Opts) {
+  AQUA_TRACE_SPAN("lp.bb", "lp");
+  met().Solves.add();
   std::vector<bool> IsInteger = IsIntegerIn;
   if (IsInteger.empty())
     IsInteger.assign(M.numVars(), true);

@@ -24,14 +24,39 @@
 #include "aqua/lp/RevisedSimplex.h"
 
 #include "aqua/lp/Tolerances.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Timer.h"
 #include "aqua/support/Fatal.h"
-#include "aqua/support/Timer.h"
 
 #include <algorithm>
 #include <cmath>
 
 using namespace aqua;
 using namespace aqua::lp;
+
+namespace {
+
+/// Global-registry instruments, resolved once. Pivots are counted at the
+/// pivot sites (one relaxed increment each) rather than flushed from the
+/// member counter, so warm-start fallback chains never double- or
+/// under-count.
+struct SimplexMetrics {
+  obs::Counter &Pivots = obs::metrics().counter("lp.pivots");
+  obs::Counter &Refactorizations =
+      obs::metrics().counter("lp.refactorizations");
+  obs::Counter &ColdSolves = obs::metrics().counter("lp.cold_solves");
+  obs::Counter &WarmReopts = obs::metrics().counter("lp.warm_reopts");
+  obs::Counter &WarmFastPath = obs::metrics().counter("lp.warm_fast_path");
+  obs::Counter &WarmColdFallbacks =
+      obs::metrics().counter("lp.warm_cold_fallbacks");
+};
+
+SimplexMetrics &met() {
+  static SimplexMetrics M;
+  return M;
+}
+
+} // namespace
 
 
 const char *aqua::lp::revisedStatusName(RevisedStatus S) {
@@ -252,6 +277,7 @@ bool RevisedSimplex::installBasis(const Basis &B) {
 bool RevisedSimplex::refactorize() {
   if (NumRows == 0)
     return true;
+  met().Refactorizations.add();
   // Every basic *logical* column is an identity column, so the basis has
   // the block form (after permuting logical-covered rows L first)
   //
@@ -661,6 +687,7 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
       for (int R = 0; R < NumRows; ++R)
         XB[R] -= EnterDir * OwnRange * W[R];
       ++Iterations;
+      met().Pivots.add();
     } else {
       int LeaveCol = BasicCol[LeaveRow];
       double EnterVal = nonbasicValue(Enter) + EnterDir * BestT;
@@ -671,6 +698,7 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
           LeaveAtLower ? VarStatus::AtLower : VarStatus::AtUpper;
       XB[LeaveRow] = EnterVal;
       ++Iterations;
+      met().Pivots.add();
       if (SinceRefactor >= std::max(1, Opts.RefactorInterval)) {
         if (!refactorize())
           return RevisedStatus::NumericFail;
@@ -681,6 +709,7 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
 }
 
 RevisedStatus RevisedSimplex::solve(const RevisedOptions &Opts) {
+  met().ColdSolves.add();
   Iterations = 0;
   // Primal pivots do not maintain the dual-state cache.
   DualStateValid = false;
@@ -727,6 +756,7 @@ bool RevisedSimplex::plungeFastPathOk(const Basis &Start) const {
 
 RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
                                              const RevisedOptions &Opts) {
+  met().WarmReopts.add();
   Iterations = 0;
 
   // Plunge fast path: the child reuses the exact basis the engine already
@@ -741,6 +771,7 @@ RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
   // this lets through is caught by the dual stall watchdog (NumericFail ->
   // cold solve below) and by the periodic refactorization.
   if (plungeFastPathOk(Start)) {
+    met().WarmFastPath.add();
     for (int C = 0; C < NumStruct; ++C) {
       if (Status[C] == VarStatus::Basic)
         continue;
@@ -754,14 +785,17 @@ RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
       LastNonbasic[C] = NewVal;
     }
     RevisedStatus S = dual(Opts, /*ReuseDualState=*/true);
-    if (S == RevisedStatus::NumericFail)
+    if (S == RevisedStatus::NumericFail) {
+      met().WarmColdFallbacks.add();
       return solve(Opts);
+    }
     if (S == RevisedStatus::Optimal)
       extract();
     return S;
   }
 
   if (Start.empty() || !installBasis(Start)) {
+    met().WarmColdFallbacks.add();
     return solve(Opts);
   }
 
@@ -780,12 +814,14 @@ RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
                (Status[C] == VarStatus::AtUpper && D > DualFeasTol) ||
                (Status[C] == VarStatus::Free && std::fabs(D) > DualFeasTol);
     if (Bad) {
+      met().WarmColdFallbacks.add();
       return solve(Opts);
     }
   }
 
   RevisedStatus S = dual(Opts, /*ReuseDualState=*/false);
   if (S == RevisedStatus::NumericFail) {
+    met().WarmColdFallbacks.add();
     return solve(Opts);
   }
   if (S == RevisedStatus::Optimal)
@@ -937,6 +973,7 @@ RevisedStatus RevisedSimplex::dual(const RevisedOptions &Opts,
     RedCost[LeaveCol] = -Theta;
     LastNonbasic[LeaveCol] = VOut;
     ++Iterations;
+    met().Pivots.add();
     if (SinceRefactor >= std::max(1, Opts.RefactorInterval)) {
       if (!refactorize())
         return RevisedStatus::NumericFail;

@@ -8,7 +8,7 @@
 
 #include "aqua/lp/Tolerances.h"
 #include "aqua/support/Fatal.h"
-#include "aqua/support/Timer.h"
+#include "aqua/obs/Timer.h"
 
 #include <algorithm>
 #include <cmath>

@@ -7,7 +7,7 @@
 #include "aqua/lp/Solver.h"
 
 #include "aqua/lp/RevisedSimplex.h"
-#include "aqua/support/Timer.h"
+#include "aqua/obs/Timer.h"
 
 using namespace aqua;
 using namespace aqua::lp;

@@ -1,0 +1,93 @@
+//===- Log.cpp - Leveled diagnostics --------------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/obs/Log.h"
+
+#include "aqua/obs/Metrics.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+using namespace aqua;
+using namespace aqua::obs;
+
+const char *aqua::obs::logLevelName(LogLevel L) {
+  switch (L) {
+  case LogLevel::Debug:
+    return "debug";
+  case LogLevel::Info:
+    return "info";
+  case LogLevel::Warn:
+    return "warn";
+  case LogLevel::Error:
+    return "error";
+  case LogLevel::Off:
+    return "off";
+  }
+  return "?";
+}
+
+LogLevel aqua::obs::parseLogLevel(const char *Text, LogLevel Fallback) {
+  if (!Text)
+    return Fallback;
+  for (LogLevel L : {LogLevel::Debug, LogLevel::Info, LogLevel::Warn,
+                     LogLevel::Error, LogLevel::Off})
+    if (!std::strcmp(Text, logLevelName(L)))
+      return L;
+  return Fallback;
+}
+
+std::atomic<int> obs::detail::ActiveLevel{[] {
+  return static_cast<int>(parseLogLevel(std::getenv("AQUA_LOG")));
+}()};
+
+LogLevel aqua::obs::logLevel() {
+  return static_cast<LogLevel>(
+      detail::ActiveLevel.load(std::memory_order_relaxed));
+}
+
+void aqua::obs::setLogLevel(LogLevel L) {
+  detail::ActiveLevel.store(static_cast<int>(L), std::memory_order_relaxed);
+}
+
+namespace {
+
+/// Per-level emission counters, resolved once.
+Counter &levelCounter(LogLevel L) {
+  static Counter &Debug = metrics().counter("obs.log.debug");
+  static Counter &Info = metrics().counter("obs.log.info");
+  static Counter &Warn = metrics().counter("obs.log.warn");
+  static Counter &Error = metrics().counter("obs.log.error");
+  switch (L) {
+  case LogLevel::Debug:
+    return Debug;
+  case LogLevel::Info:
+    return Info;
+  case LogLevel::Warn:
+    return Warn;
+  default:
+    return Error;
+  }
+}
+
+} // namespace
+
+void aqua::obs::logMessage(LogLevel L, const char *Subsystem,
+                           const std::string &Msg) {
+  // Re-check under races with setLogLevel: the macro's guard is advisory.
+  if (!logEnabled(L)) {
+    static Counter &Suppressed = metrics().counter("obs.log.suppressed");
+    Suppressed.add();
+    return;
+  }
+  levelCounter(L).add();
+  static std::mutex EmitMutex;
+  std::lock_guard<std::mutex> Lock(EmitMutex);
+  std::fprintf(stderr, "aqua[%s] %s: %s\n", logLevelName(L), Subsystem,
+               Msg.c_str());
+}

@@ -1,0 +1,217 @@
+//===- Trace.cpp - Span tracer with Chrome-trace export -------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/obs/Trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace aqua;
+using namespace aqua::obs;
+
+std::atomic<bool> Tracer::Enabled{[] {
+  const char *Env = std::getenv("AQUA_TRACE");
+  return Env && Env[0] == '1';
+}()};
+
+Tracer::Tracer(std::size_t Capacity)
+    : Capacity(std::max<std::size_t>(16, Capacity)) {
+  Ring.reserve(this->Capacity);
+}
+
+Tracer &Tracer::global() {
+  static Tracer T;
+  return T;
+}
+
+std::uint64_t Tracer::nowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point Epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               Epoch)
+      .count();
+}
+
+std::uint32_t Tracer::threadId() {
+  static std::atomic<std::uint32_t> Next{1};
+  thread_local std::uint32_t Id =
+      Next.fetch_add(1, std::memory_order_relaxed);
+  return Id;
+}
+
+void Tracer::record(TraceEvent E) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Ring.size() < Capacity) {
+    Ring.push_back(std::move(E));
+  } else {
+    // Wraparound: Recorded % Capacity is the oldest slot once full.
+    Ring[Recorded % Capacity] = std::move(E);
+  }
+  ++Recorded;
+}
+
+void Tracer::instant(std::string Name, const char *Cat) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Phase = 'i';
+  E.TsMicros = nowMicros();
+  E.Tid = threadId();
+  record(std::move(E));
+}
+
+void Tracer::complete(std::string Name, const char *Cat,
+                      std::uint64_t TsMicros, std::uint64_t DurMicros,
+                      std::uint32_t Pid, std::uint32_t Tid) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = Cat;
+  E.Phase = 'X';
+  E.TsMicros = TsMicros;
+  E.DurMicros = DurMicros;
+  E.Pid = Pid;
+  E.Tid = Tid;
+  record(std::move(E));
+}
+
+std::size_t Tracer::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Ring.size();
+}
+
+std::uint64_t Tracer::recordedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Recorded;
+}
+
+std::uint64_t Tracer::droppedCount() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Recorded > Ring.size() ? Recorded - Ring.size() : 0;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Ring.clear();
+  Recorded = 0;
+}
+
+std::vector<TraceEvent> Tracer::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<TraceEvent> Out;
+  Out.reserve(Ring.size());
+  if (Ring.size() < Capacity) {
+    Out = Ring;
+  } else {
+    std::size_t Head = Recorded % Capacity; // Oldest slot.
+    for (std::size_t I = 0; I < Capacity; ++I)
+      Out.push_back(Ring[(Head + I) % Capacity]);
+  }
+  return Out;
+}
+
+namespace {
+
+void appendQuoted(std::string &Out, const std::string &S) {
+  Out += '"';
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  Out += '"';
+}
+
+std::string metadataLine(std::uint32_t Pid, const char *Name) {
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf),
+                "    {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %u, "
+                "\"tid\": 0, \"args\": {\"name\": \"%s\"}}",
+                Pid, Name);
+  return Buf;
+}
+
+} // namespace
+
+std::string Tracer::json() const {
+  std::vector<TraceEvent> Events = snapshot();
+  std::uint64_t Dropped = droppedCount();
+
+  std::string Out = "{\n  \"displayTimeUnit\": \"ms\",\n";
+  char Buf[160];
+  std::snprintf(Buf, sizeof(Buf), "  \"aquaDroppedEvents\": %llu,\n",
+                static_cast<unsigned long long>(Dropped));
+  Out += Buf;
+  Out += "  \"traceEvents\": [\n";
+  Out += metadataLine(PidPipeline, "aqua pipeline (wall clock)");
+  Out += ",\n";
+  Out += metadataLine(PidSimulated, "simulated fluidics (wet clock)");
+  for (const TraceEvent &E : Events) {
+    Out += ",\n    {\"name\": ";
+    appendQuoted(Out, E.Name);
+    std::snprintf(Buf, sizeof(Buf),
+                  ", \"cat\": \"%s\", \"ph\": \"%c\", \"ts\": %llu",
+                  E.Cat, E.Phase,
+                  static_cast<unsigned long long>(E.TsMicros));
+    Out += Buf;
+    if (E.Phase == 'X') {
+      std::snprintf(Buf, sizeof(Buf), ", \"dur\": %llu",
+                    static_cast<unsigned long long>(E.DurMicros));
+      Out += Buf;
+    }
+    if (E.Phase == 'i')
+      Out += ", \"s\": \"t\""; // Thread-scoped instant.
+    std::snprintf(Buf, sizeof(Buf), ", \"pid\": %u, \"tid\": %u}", E.Pid,
+                  E.Tid);
+    Out += Buf;
+  }
+  Out += "\n  ]\n}\n";
+  return Out;
+}
+
+bool Tracer::writeChromeTrace(const std::string &Path) const {
+  std::string Doc = json();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "warning: cannot write trace to %s\n", Path.c_str());
+    return false;
+  }
+  std::fwrite(Doc.data(), 1, Doc.size(), F);
+  std::fclose(F);
+  return true;
+}
+
+void SpanGuard::finish() {
+  std::uint64_t End = Tracer::nowMicros();
+  TraceEvent E;
+  E.Name = Name;
+  E.Cat = Cat;
+  E.Phase = 'X';
+  E.TsMicros = StartMicros;
+  E.DurMicros = End > StartMicros ? End - StartMicros : 0;
+  E.Tid = Tracer::threadId();
+  Tracer::global().record(std::move(E));
+}

@@ -6,6 +6,9 @@
 
 #include "aqua/runtime/Simulator.h"
 
+#include "aqua/obs/Log.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
 #include "aqua/support/Random.h"
 #include "aqua/support/StringUtils.h"
 
@@ -19,6 +22,25 @@ using namespace aqua::ir;
 using namespace aqua::runtime;
 
 namespace {
+
+/// Global-registry instruments, resolved once.
+struct SimMetrics {
+  obs::Counter &Runs = obs::metrics().counter("sim.runs");
+  obs::Counter &Instructions = obs::metrics().counter("sim.instructions");
+  obs::Counter &Regenerations = obs::metrics().counter("sim.regenerations");
+  obs::Counter &Underflows = obs::metrics().counter("sim.underflows");
+  obs::Counter &Overflows = obs::metrics().counter("sim.overflows");
+  obs::Counter &SubLeastCountMoves =
+      obs::metrics().counter("sim.sub_least_count_moves");
+  obs::Gauge &InputNl = obs::metrics().gauge("sim.volume.input_nl");
+  obs::Gauge &DeliveredNl = obs::metrics().gauge("sim.volume.delivered_nl");
+  obs::Gauge &WasteNl = obs::metrics().gauge("sim.volume.waste_nl");
+};
+
+SimMetrics &met() {
+  static SimMetrics M;
+  return M;
+}
 
 /// Dense key for a location.
 int locKey(const Loc &L) {
@@ -39,17 +61,36 @@ public:
   }
 
   SimResult run() {
+    AQUA_TRACE_SPAN("sim.run", "sim");
     for (size_t I = 0; I < Prog.Instrs.size() && Result.Error.empty(); ++I)
       exec(static_cast<int>(I), /*Depth=*/0);
     Result.Completed = Result.Error.empty();
+
+    met().Runs.add();
+    met().Instructions.add(
+        static_cast<std::uint64_t>(Result.InstructionsExecuted));
+    met().Regenerations.add(static_cast<std::uint64_t>(Result.Regenerations));
+    met().Underflows.add(static_cast<std::uint64_t>(Result.UnderflowEvents));
+    met().Overflows.add(static_cast<std::uint64_t>(Result.OverflowEvents));
+    met().SubLeastCountMoves.add(
+        static_cast<std::uint64_t>(Result.SubLeastCountMoves));
+    double InputNl = 0.0;
+    for (const auto &[Port, Nl] : Result.InputDrawnNl)
+      InputNl += Nl;
+    met().InputNl.add(InputNl);
+    met().DeliveredNl.add(Result.DeliveredNl);
+    met().WasteNl.add(Result.WasteNl);
     return std::move(Result);
   }
 
 private:
   void fail(int Idx, const std::string &Msg) {
-    if (Result.Error.empty())
+    if (Result.Error.empty()) {
       Result.Error = format("instr %d (%s): %s", Idx,
                             Prog.Instrs[Idx].str().c_str(), Msg.c_str());
+      AQUA_LOG_WARN("runtime", "simulation failed at %s",
+                    Result.Error.c_str());
+    }
   }
 
   double quantize(double VolNl) const {
@@ -101,6 +142,11 @@ private:
       return false;
     const Instruction &W = Prog.Instrs[WriterIdx];
     ++Result.Regenerations;
+    if (obs::Tracer::enabled())
+      obs::Tracer::global().record(
+          {"regeneration", "sim", 'i',
+           static_cast<std::uint64_t>(Result.FluidSeconds * 1e6), 0,
+           obs::PidSimulated, static_cast<std::uint32_t>(Depth)});
 
     if (W.Op == Opcode::Input) {
       exec(WriterIdx, Depth + 1);
@@ -207,6 +253,7 @@ private:
       return;
     if (Dst.Kind == LocKind::OutputPort) {
       S.take(Amount); // Delivered off-chip.
+      Result.DeliveredNl += Amount;
     } else {
       D.add(S.take(Amount));
       Writer[locKey(Dst)] = Idx;
@@ -222,7 +269,24 @@ private:
                Rng.nextUnit();
   }
 
+  /// Executes one instruction, laying it out on the simulated fluidic
+  /// clock as a virtual-time complete event (pid 2; regeneration replays
+  /// land on per-depth rows so they do not overlap the triggering move).
   void exec(int Idx, int Depth) {
+    if (!obs::Tracer::enabled()) {
+      execImpl(Idx, Depth);
+      return;
+    }
+    double VtStart = Result.FluidSeconds;
+    execImpl(Idx, Depth);
+    obs::Tracer::global().complete(
+        opcodeName(Prog.Instrs[Idx].Op), "sim",
+        static_cast<std::uint64_t>(VtStart * 1e6),
+        static_cast<std::uint64_t>((Result.FluidSeconds - VtStart) * 1e6),
+        obs::PidSimulated, static_cast<std::uint32_t>(Depth));
+  }
+
+  void execImpl(int Idx, int Depth) {
     if (!Result.Error.empty())
       return;
     const Instruction &I = Prog.Instrs[Idx];
@@ -280,7 +344,7 @@ private:
       // Solvent removal: the retained volume fraction is unknowable at
       // compile time; it comes from the seeded RNG (or the fixed yield).
       double Keep = separationYield();
-      F.take(F.VolumeNl * (1.0 - Keep));
+      Result.WasteNl += F.take(F.VolumeNl * (1.0 - Keep)).VolumeNl;
       Result.FluidSeconds += I.Seconds;
       Writer[locKey(I.Dst)] = Idx;
       return;
@@ -297,13 +361,16 @@ private:
       Out.Sub = SubPort::Out1;
       double Yield = separationYield();
       Fluid Effluent = Main.take(Main.VolumeNl * Yield);
+      Result.WasteNl += Main.VolumeNl;
       Main = Fluid(); // The rest leaves as waste.
       // The matrix and pusher are consumed by the separation.
       Loc Matrix = I.Dst;
       Matrix.Sub = SubPort::Matrix;
+      Result.WasteNl += at(Matrix).VolumeNl;
       at(Matrix) = Fluid();
       Loc Pusher = I.Dst;
       Pusher.Sub = SubPort::Pusher;
+      Result.WasteNl += at(Pusher).VolumeNl;
       at(Pusher) = Fluid();
       at(Out) = std::move(Effluent);
       Writer[locKey(Out)] = Idx;
@@ -326,6 +393,7 @@ private:
       // but a replayed slice never contains a Sense (senses are leaves),
       // so every execution records a fresh reading.
       Result.Senses.push_back(std::move(R));
+      Result.WasteNl += F.VolumeNl;
       F = Fluid(); // Sensing consumes its sample.
       Result.FluidSeconds += 1.0;
       return;
@@ -333,6 +401,7 @@ private:
 
     case Opcode::Output: {
       Fluid &S = at(I.Src);
+      Result.WasteNl += S.VolumeNl;
       S = Fluid();
       Result.FluidSeconds += Opts.MoveSeconds;
       return;

@@ -8,9 +8,12 @@
 
 #include "aqua/core/Rounding.h"
 #include "aqua/lang/Lower.h"
+#include "aqua/obs/Log.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Timer.h"
+#include "aqua/obs/Trace.h"
 #include "aqua/service/RequestKey.h"
 #include "aqua/support/StringUtils.h"
-#include "aqua/support/Timer.h"
 
 #include <algorithm>
 
@@ -24,6 +27,26 @@ void addDouble(std::atomic<double> &Sink, double V) {
   double Old = Sink.load(std::memory_order_relaxed);
   while (!Sink.compare_exchange_weak(Old, Old + V, std::memory_order_relaxed))
     ;
+}
+
+/// Global-registry instruments, resolved once (registry lookups take a
+/// mutex; the references are stable).
+struct ServiceMetrics {
+  obs::Counter &Submitted = obs::metrics().counter("service.requests.submitted");
+  obs::Counter &Completed = obs::metrics().counter("service.requests.completed");
+  obs::Counter &Failed = obs::metrics().counter("service.requests.failed");
+  obs::Counter &CacheHits = obs::metrics().counter("service.cache.hits");
+  obs::Counter &CacheMisses = obs::metrics().counter("service.cache.misses");
+  obs::Counter &Joins = obs::metrics().counter("service.singleflight.joins");
+  obs::Histogram &QueueWaitSec =
+      obs::metrics().histogram("service.queue_wait_sec");
+  obs::Histogram &LatencySec = obs::metrics().histogram("service.latency_sec");
+  obs::Histogram &SolveSec = obs::metrics().histogram("service.solve_sec");
+};
+
+ServiceMetrics &met() {
+  static ServiceMetrics M;
+  return M;
 }
 
 bool hasUnknownVolumes(const ir::AssayGraph &G) {
@@ -79,14 +102,18 @@ void CompileService::workerLoop() {
       J = std::move(Queue.front());
       Queue.pop_front();
     }
+    met().QueueWaitSec.observe(
+        (obs::Tracer::nowMicros() - J.EnqueueMicros) * 1e-6);
     J.Promise.set_value(process(J.Request));
   }
 }
 
 std::future<CompileResponse> CompileService::submit(CompileRequest Request) {
   Submitted.fetch_add(1, std::memory_order_relaxed);
+  met().Submitted.add();
   Job J;
   J.Request = std::move(Request);
+  J.EnqueueMicros = obs::Tracer::nowMicros();
   std::future<CompileResponse> Result = J.Promise.get_future();
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
@@ -111,6 +138,7 @@ CompileService::compileBatch(std::vector<CompileRequest> Batch) {
 
 CompileResponse CompileService::compileNow(const CompileRequest &Request) {
   Submitted.fetch_add(1, std::memory_order_relaxed);
+  met().Submitted.add();
   return process(Request);
 }
 
@@ -120,6 +148,7 @@ CompileService::solveAndGenerate(const CompileRequest &Request,
   double Sec = 0.0;
   auto Artifact = std::make_shared<CompileArtifact>();
   {
+    AQUA_TRACE_SPAN("service.solve", "service");
     ScopedTimer Timer(Sec);
     if (hasUnknownVolumes(G)) {
       // Run-time-unknown volumes: no static assignment exists; emit
@@ -157,10 +186,15 @@ CompileService::solveAndGenerate(const CompileRequest &Request,
     }
   }
   addDouble(SolveSec, Sec);
+  met().SolveSec.observe(Sec);
+  if (!Artifact->Ok)
+    AQUA_LOG_DEBUG("service", "pipeline failed deterministically: %s",
+                   Artifact->Error.c_str());
   return Artifact;
 }
 
 CompileResponse CompileService::process(const CompileRequest &Request) {
+  AQUA_TRACE_SPAN("service.request", "service");
   CompileResponse R;
   R.Name = Request.Name;
   double Latency = 0.0;
@@ -170,6 +204,7 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
     // ----- Front end: parse + lower, unless a DAG was supplied.
     std::shared_ptr<const ir::AssayGraph> Graph = Request.Graph;
     if (!Graph) {
+      AQUA_TRACE_SPAN("service.frontend", "service");
       auto Lowered = lang::compileAssay(Request.Source);
       if (!Lowered.ok()) {
         R.Error = Lowered.message();
@@ -181,15 +216,19 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
 
     if (Graph) {
       // ----- Canonical fingerprint: the cache and dedup key.
-      ir::CanonicalForm Canon = ir::canonicalize(*Graph);
-      R.Key = requestFingerprint(Canon, Request.Spec, Request.Manage,
-                                 Request.Layout);
+      {
+        AQUA_TRACE_SPAN("service.fingerprint", "service");
+        ir::CanonicalForm Canon = ir::canonicalize(*Graph);
+        R.Key = requestFingerprint(Canon, Request.Spec, Request.Manage,
+                                   Request.Layout);
+      }
 
       if (!Options.EnableCache) {
         R.Artifact = solveAndGenerate(Request, *Graph);
       } else if (auto Hit = Cache.lookup(R.Key)) {
         R.CacheHit = true;
         CacheHits.fetch_add(1, std::memory_order_relaxed);
+        met().CacheHits.add();
         R.Artifact = std::move(Hit);
       } else {
         // ----- Single-flight: at most one solve per fingerprint, ever.
@@ -217,12 +256,15 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
         if (Raced) {
           R.CacheHit = true;
           CacheHits.fetch_add(1, std::memory_order_relaxed);
+          met().CacheHits.add();
           R.Artifact = std::move(Raced);
         } else if (Theirs) {
           R.Deduplicated = true;
           SingleFlightJoins.fetch_add(1, std::memory_order_relaxed);
+          met().Joins.add();
           R.Artifact = Theirs->Result.get();
         } else {
+          met().CacheMisses.add();
           R.Artifact = solveAndGenerate(Request, *Graph);
           Cache.insert(R.Key, R.Artifact);
           {
@@ -242,9 +284,13 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
   }
   R.LatencySec = Latency;
   addDouble(TotalLatencySec, Latency);
+  met().LatencySec.observe(Latency);
   Completed.fetch_add(1, std::memory_order_relaxed);
-  if (!R.Ok)
+  met().Completed.add();
+  if (!R.Ok) {
     Failed.fetch_add(1, std::memory_order_relaxed);
+    met().Failed.add();
+  }
   return R;
 }
 

@@ -6,12 +6,26 @@
 
 #include "aqua/service/SolveCache.h"
 
+#include "aqua/obs/Metrics.h"
+
 #include <algorithm>
 
 using namespace aqua;
 using namespace aqua::service;
 
 namespace {
+
+/// Global-registry instruments, resolved once.
+struct CacheMetrics {
+  obs::Counter &Insertions =
+      obs::metrics().counter("service.cache.insertions");
+  obs::Counter &Evictions = obs::metrics().counter("service.cache.evictions");
+};
+
+CacheMetrics &met() {
+  static CacheMetrics M;
+  return M;
+}
 
 std::size_t stringBytes(const std::string &S) { return S.capacity(); }
 
@@ -91,6 +105,7 @@ void SolveCache::insert(const ir::Fingerprint &Key,
   S.Index.emplace(Key, S.LRU.begin());
   S.Bytes += Bytes;
   ++S.Insertions;
+  met().Insertions.add();
   evictOverBudgetLocked(S);
 }
 
@@ -102,6 +117,7 @@ void SolveCache::evictOverBudgetLocked(Shard &S) {
     S.Index.erase(Victim.Key);
     S.LRU.pop_back();
     ++S.Evictions;
+    met().Evictions.add();
   }
 }
 

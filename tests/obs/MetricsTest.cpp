@@ -1,0 +1,218 @@
+//===- MetricsTest.cpp - MetricsRegistry unit + concurrency tests -----------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Covers the three metric kinds and the registry itself:
+//
+//  * exactness of counters and histograms under concurrent recording (the
+//    relaxed-atomic contract; CI's thread-sanitizer job builds this file
+//    under TSan, so any data race on the record path fails there), and
+//
+//  * the pre-registered pipeline schema, locked against a golden file so a
+//    renamed or dropped metric shows up as a readable diff. Regenerate
+//    after an intentional schema change with:
+//
+//      AQUA_UPDATE_GOLDENS=1 ctest --test-dir build -R Metrics
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/obs/Metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace aqua::obs;
+
+namespace {
+
+std::string goldenPath(const std::string &Name) {
+  return std::string(AQUA_GOLDEN_DIR) + "/" + Name;
+}
+
+/// Compares \p Actual against the golden file, or rewrites the golden when
+/// AQUA_UPDATE_GOLDENS is set in the environment.
+void checkGolden(const std::string &Name, const std::string &Actual) {
+  const std::string Path = goldenPath(Name);
+  if (std::getenv("AQUA_UPDATE_GOLDENS")) {
+    std::ofstream Out(Path);
+    ASSERT_TRUE(Out) << "cannot write golden " << Path;
+    Out << Actual;
+    GTEST_SKIP() << "golden " << Name << " updated";
+  }
+  std::ifstream In(Path);
+  ASSERT_TRUE(In) << "missing golden " << Path
+                  << " (run once with AQUA_UPDATE_GOLDENS=1 to create it)";
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), Actual)
+      << "metrics schema diverged from " << Path
+      << "; if the change is intentional, regenerate with "
+         "AQUA_UPDATE_GOLDENS=1";
+}
+
+} // namespace
+
+TEST(Metrics, CounterBasics) {
+  Counter C;
+  EXPECT_EQ(C.value(), 0u);
+  C.add();
+  C.add(41);
+  EXPECT_EQ(C.value(), 42u);
+  C.reset();
+  EXPECT_EQ(C.value(), 0u);
+}
+
+TEST(Metrics, GaugeSetAndAdd) {
+  Gauge G;
+  EXPECT_EQ(G.value(), 0.0);
+  G.set(3.5);
+  EXPECT_EQ(G.value(), 3.5);
+  G.add(1.25);
+  G.add(-0.75);
+  EXPECT_EQ(G.value(), 4.0);
+  G.reset();
+  EXPECT_EQ(G.value(), 0.0);
+}
+
+TEST(Metrics, HistogramBucketEdges) {
+  // Bounds are inclusive upper edges ("le" in the export): an observation
+  // equal to a bound lands in that bound's bucket, not the next one.
+  Histogram H({1.0, 2.0, 4.0});
+  H.observe(0.5); // bucket 0 (le 1)
+  H.observe(1.0); // bucket 0 (le 1), boundary
+  H.observe(1.5); // bucket 1 (le 2)
+  H.observe(4.0); // bucket 2 (le 4), boundary
+  H.observe(9.0); // bucket 3 (+inf)
+  EXPECT_EQ(H.bucketCount(0), 2u);
+  EXPECT_EQ(H.bucketCount(1), 1u);
+  EXPECT_EQ(H.bucketCount(2), 1u);
+  EXPECT_EQ(H.bucketCount(3), 1u);
+  EXPECT_EQ(H.count(), 5u);
+  EXPECT_DOUBLE_EQ(H.sum(), 16.0);
+}
+
+TEST(Metrics, HistogramDefaultBounds) {
+  // Registering with no bounds gets the latency defaults.
+  Histogram H({});
+  EXPECT_EQ(H.bounds(), defaultLatencyBucketsSec());
+}
+
+TEST(Metrics, RegistryReturnsStableReferences) {
+  MetricsRegistry R;
+  Counter &A = R.counter("x.count");
+  Counter &B = R.counter("x.count");
+  EXPECT_EQ(&A, &B);
+  Gauge &GA = R.gauge("x.level");
+  Gauge &GB = R.gauge("x.level");
+  EXPECT_EQ(&GA, &GB);
+  // A histogram's bounds are fixed by whoever registers it first.
+  Histogram &HA = R.histogram("x.hist", {1.0, 2.0});
+  Histogram &HB = R.histogram("x.hist", {99.0});
+  EXPECT_EQ(&HA, &HB);
+  EXPECT_EQ(HB.bounds(), (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(Metrics, ResetZeroesButKeepsRegistrations) {
+  MetricsRegistry R;
+  R.counter("a").add(7);
+  R.gauge("b").set(2.5);
+  R.histogram("c", {1.0}).observe(0.5);
+  R.reset();
+  EXPECT_EQ(R.counter("a").value(), 0u);
+  EXPECT_EQ(R.gauge("b").value(), 0.0);
+  EXPECT_EQ(R.histogram("c").count(), 0u);
+  // Registrations survived: counterValues still lists "a".
+  auto Values = R.counterValues();
+  ASSERT_EQ(Values.size(), 1u);
+  EXPECT_EQ(Values.count("a"), 1u);
+}
+
+TEST(Metrics, ConcurrentCountersExact) {
+  // The TSan target: N threads hammering one shared counter plus their own
+  // private counter through the registry. Totals must be exact -- relaxed
+  // atomic RMWs lose nothing.
+  MetricsRegistry R;
+  constexpr int Threads = 8;
+  constexpr int PerThread = 50000;
+  Counter &Shared = R.counter("hammer.shared");
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&R, &Shared, T] {
+      Counter &Mine = R.counter("hammer.t" + std::to_string(T));
+      for (int I = 0; I < PerThread; ++I) {
+        Shared.add();
+        Mine.add();
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  EXPECT_EQ(Shared.value(),
+            static_cast<std::uint64_t>(Threads) * PerThread);
+  for (int T = 0; T < Threads; ++T)
+    EXPECT_EQ(R.counter("hammer.t" + std::to_string(T)).value(),
+              static_cast<std::uint64_t>(PerThread));
+}
+
+TEST(Metrics, ConcurrentHistogramExact) {
+  // Count, sum, and the bucket tallies are each exact under concurrency
+  // (integer-valued observations keep the CAS-looped double sum exact too).
+  MetricsRegistry R;
+  constexpr int Threads = 8;
+  constexpr int PerThread = 20000;
+  Histogram &H = R.histogram("hammer.hist", {0.0, 1.0});
+  std::vector<std::thread> Pool;
+  for (int T = 0; T < Threads; ++T)
+    Pool.emplace_back([&H] {
+      for (int I = 0; I < PerThread; ++I)
+        H.observe(1.0);
+    });
+  for (std::thread &T : Pool)
+    T.join();
+  const std::uint64_t Total =
+      static_cast<std::uint64_t>(Threads) * PerThread;
+  EXPECT_EQ(H.count(), Total);
+  EXPECT_DOUBLE_EQ(H.sum(), static_cast<double>(Total));
+  EXPECT_EQ(H.bucketCount(0), 0u);
+  EXPECT_EQ(H.bucketCount(1), Total); // 1.0 <= le 1.0
+  EXPECT_EQ(H.bucketCount(2), 0u);
+}
+
+TEST(Metrics, CounterValuesSnapshot) {
+  MetricsRegistry R;
+  R.counter("b").add(2);
+  R.counter("a").add(1);
+  auto Values = R.counterValues();
+  ASSERT_EQ(Values.size(), 2u);
+  EXPECT_EQ(Values["a"], 1u);
+  EXPECT_EQ(Values["b"], 2u);
+  EXPECT_EQ(Values.begin()->first, "a"); // Sorted by name.
+}
+
+TEST(Metrics, JsonCarriesAllThreeKinds) {
+  MetricsRegistry R;
+  R.counter("events").add(3);
+  R.gauge("depth").set(1.5);
+  R.histogram("lat", {1.0}).observe(0.5);
+  std::string Doc = R.json();
+  EXPECT_NE(Doc.find("\"schema\": \"aqua.metrics.v1\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"events\": 3"), std::string::npos);
+  EXPECT_NE(Doc.find("\"depth\": 1.5"), std::string::npos);
+  EXPECT_NE(Doc.find("\"le\": \"inf\""), std::string::npos);
+}
+
+TEST(Metrics, GoldenPipelineSchema) {
+  // A fresh registry with the documented pipeline names, all zero: the
+  // golden locks the full exported schema, so renaming or dropping any
+  // instrumented metric (or perturbing the JSON shape) diffs here.
+  MetricsRegistry R;
+  preregisterPipelineMetrics(R);
+  checkGolden("metrics_schema.json", R.json());
+}

@@ -1,0 +1,242 @@
+//===- TraceTest.cpp - Tracer ring buffer + Chrome-trace export tests -------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Exercises the bounded ring buffer (wraparound keeps the newest window
+// and counts, not hides, what it overwrote), the RAII span guard against
+// the global tracer, and the trace-event JSON exporter -- including that a
+// wrapped ring and hostile event names still serialize to a well-formed
+// document chrome://tracing will load.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace aqua::obs;
+
+namespace {
+
+TraceEvent instantAt(std::string Name, std::uint64_t Ts) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = "test";
+  E.Phase = 'i';
+  E.TsMicros = Ts;
+  return E;
+}
+
+/// Structural JSON check: braces/brackets balance outside strings, string
+/// escapes are sane, and the document is one closed object. Catches the
+/// classic exporter bugs (trailing comma damage, unescaped quote in an
+/// event name) without a JSON library.
+bool wellFormedJson(const std::string &S) {
+  std::vector<char> Stack;
+  bool InString = false, Escaped = false;
+  for (char C : S) {
+    if (InString) {
+      if (Escaped)
+        Escaped = false;
+      else if (C == '\\')
+        Escaped = true;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    switch (C) {
+    case '"':
+      InString = true;
+      break;
+    case '{':
+    case '[':
+      Stack.push_back(C);
+      break;
+    case '}':
+      if (Stack.empty() || Stack.back() != '{')
+        return false;
+      Stack.pop_back();
+      break;
+    case ']':
+      if (Stack.empty() || Stack.back() != '[')
+        return false;
+      Stack.pop_back();
+      break;
+    default:
+      break;
+    }
+  }
+  return !InString && !Escaped && Stack.empty();
+}
+
+/// Saves and restores the global tracing switch and buffer around a test
+/// that records through the global tracer.
+class GlobalTracerScope {
+public:
+  GlobalTracerScope() : WasEnabled(Tracer::enabled()) {
+    Tracer::global().clear();
+  }
+  ~GlobalTracerScope() {
+    Tracer::setEnabled(WasEnabled);
+    Tracer::global().clear();
+  }
+
+private:
+  bool WasEnabled;
+};
+
+} // namespace
+
+TEST(Trace, CapacityClampedToMinimum) {
+  Tracer T(4); // Clamped to 16.
+  for (int I = 0; I < 100; ++I)
+    T.record(instantAt("e", I));
+  EXPECT_EQ(T.size(), 16u);
+}
+
+TEST(Trace, RingKeepsEverythingBelowCapacity) {
+  Tracer T(16);
+  for (int I = 0; I < 10; ++I)
+    T.record(instantAt("event-" + std::to_string(I), I));
+  EXPECT_EQ(T.size(), 10u);
+  EXPECT_EQ(T.recordedCount(), 10u);
+  EXPECT_EQ(T.droppedCount(), 0u);
+  std::vector<TraceEvent> Events = T.snapshot();
+  ASSERT_EQ(Events.size(), 10u);
+  EXPECT_EQ(Events.front().Name, "event-0");
+  EXPECT_EQ(Events.back().Name, "event-9");
+}
+
+TEST(Trace, RingWraparoundKeepsNewestWindow) {
+  Tracer T(16);
+  for (int I = 0; I < 40; ++I)
+    T.record(instantAt("event-" + std::to_string(I), I));
+  EXPECT_EQ(T.size(), 16u);
+  EXPECT_EQ(T.recordedCount(), 40u);
+  EXPECT_EQ(T.droppedCount(), 24u);
+  // Snapshot is oldest-first over the surviving window: 24..39.
+  std::vector<TraceEvent> Events = T.snapshot();
+  ASSERT_EQ(Events.size(), 16u);
+  for (int I = 0; I < 16; ++I)
+    EXPECT_EQ(Events[I].Name, "event-" + std::to_string(24 + I));
+}
+
+TEST(Trace, ClearResetsCounts) {
+  Tracer T(16);
+  for (int I = 0; I < 40; ++I)
+    T.record(instantAt("e", I));
+  T.clear();
+  EXPECT_EQ(T.size(), 0u);
+  EXPECT_EQ(T.recordedCount(), 0u);
+  EXPECT_EQ(T.droppedCount(), 0u);
+}
+
+TEST(Trace, JsonWellFormedAfterWraparound) {
+  Tracer T(16);
+  for (int I = 0; I < 40; ++I)
+    T.record(instantAt("event-" + std::to_string(I), I));
+  std::string Doc = T.json();
+  EXPECT_TRUE(wellFormedJson(Doc)) << Doc;
+  EXPECT_NE(Doc.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"aquaDroppedEvents\": 24"), std::string::npos);
+  // The overwritten prefix is gone, the surviving window is present.
+  EXPECT_EQ(Doc.find("\"event-23\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"event-24\""), std::string::npos);
+  EXPECT_NE(Doc.find("\"event-39\""), std::string::npos);
+}
+
+TEST(Trace, JsonEscapesHostileNames) {
+  Tracer T(16);
+  T.record(instantAt("quote\" backslash\\ newline\n tab\t ctrl\x01", 0));
+  std::string Doc = T.json();
+  EXPECT_TRUE(wellFormedJson(Doc)) << Doc;
+  EXPECT_NE(Doc.find("quote\\\" backslash\\\\ newline\\n tab\\t"),
+            std::string::npos);
+  EXPECT_NE(Doc.find("\\u0001"), std::string::npos);
+}
+
+TEST(Trace, CompleteEventCarriesVirtualTimeTrack) {
+  // The simulator records instruction timelines as complete events on the
+  // simulated-clock track (pid 2) with tid = regeneration depth.
+  Tracer T(16);
+  T.complete("mix", "sim", 1000, 250, PidSimulated, 3);
+  std::vector<TraceEvent> Events = T.snapshot();
+  ASSERT_EQ(Events.size(), 1u);
+  EXPECT_EQ(Events[0].Phase, 'X');
+  EXPECT_EQ(Events[0].TsMicros, 1000u);
+  EXPECT_EQ(Events[0].DurMicros, 250u);
+  EXPECT_EQ(Events[0].Pid, static_cast<std::uint32_t>(PidSimulated));
+  EXPECT_EQ(Events[0].Tid, 3u);
+  std::string Doc = T.json();
+  EXPECT_NE(Doc.find("\"dur\": 250"), std::string::npos);
+  EXPECT_NE(Doc.find("\"pid\": 2"), std::string::npos);
+}
+
+TEST(Trace, SpanGuardRecordsNestedSpans) {
+  GlobalTracerScope Scope;
+  Tracer::setEnabled(true);
+  {
+    AQUA_TRACE_SPAN("outer", "test");
+    { AQUA_TRACE_SPAN("inner", "test"); }
+  }
+  Tracer::setEnabled(false);
+  std::vector<TraceEvent> Events = Tracer::global().snapshot();
+  ASSERT_EQ(Events.size(), 2u);
+  // Destructor order: inner closes (and records) first.
+  EXPECT_EQ(Events[0].Name, "inner");
+  EXPECT_EQ(Events[1].Name, "outer");
+  EXPECT_EQ(Events[0].Phase, 'X');
+  EXPECT_EQ(Events[1].Phase, 'X');
+  // The outer span's interval encloses the inner's (flame-graph nesting).
+  EXPECT_LE(Events[1].TsMicros, Events[0].TsMicros);
+  EXPECT_GE(Events[1].TsMicros + Events[1].DurMicros,
+            Events[0].TsMicros + Events[0].DurMicros);
+  EXPECT_EQ(Events[0].Tid, Events[1].Tid);
+}
+
+TEST(Trace, DisabledSpanRecordsNothing) {
+  GlobalTracerScope Scope;
+  Tracer::setEnabled(false);
+  { AQUA_TRACE_SPAN("silent", "test"); }
+  EXPECT_EQ(Tracer::global().size(), 0u);
+}
+
+TEST(Trace, SpanStraddlingEnableRecordsNothing) {
+  // A guard constructed while tracing was off stays silent even if tracing
+  // turns on before it closes -- a half-open span would lie about timing.
+  GlobalTracerScope Scope;
+  Tracer::setEnabled(false);
+  {
+    AQUA_TRACE_SPAN("straddler", "test");
+    Tracer::setEnabled(true);
+  }
+  EXPECT_EQ(Tracer::global().size(), 0u);
+}
+
+TEST(Trace, WriteChromeTraceRoundTrip) {
+  Tracer T(16);
+  T.complete("phase", "test", 10, 5, PidPipeline, 1);
+  std::string Path =
+      testing::TempDir() + "/aqua_trace_roundtrip.json";
+  ASSERT_TRUE(T.writeChromeTrace(Path));
+  std::ifstream In(Path);
+  ASSERT_TRUE(In);
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  EXPECT_EQ(Buf.str(), T.json());
+  EXPECT_TRUE(wellFormedJson(Buf.str()));
+  std::remove(Path.c_str());
+}
+
+TEST(Trace, WriteChromeTraceBadPathFails) {
+  Tracer T(16);
+  EXPECT_FALSE(T.writeChromeTrace("/nonexistent-dir/trace.json"));
+}

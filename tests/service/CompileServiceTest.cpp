@@ -9,6 +9,7 @@
 #include "aqua/assays/ExtraAssays.h"
 #include "aqua/assays/PaperAssays.h"
 #include "aqua/codegen/AISParser.h"
+#include "aqua/obs/Metrics.h"
 
 #include <gtest/gtest.h>
 
@@ -167,6 +168,40 @@ TEST(CompileService, InfeasibleCompilesAreCachedFailures) {
   EXPECT_FALSE(Second.Ok);
   EXPECT_TRUE(Second.CacheHit) << "failures must be memoized too";
   EXPECT_EQ(Service.stats().Cache.Insertions, 1u);
+}
+
+TEST(CompileService, CacheCountersMatchSolveCacheStats) {
+  // The service.cache.* counters in the global metrics registry are
+  // instrumented at the service's hit paths and the cache's insertion
+  // path; they must agree exactly with the SolveCache's own accounting.
+  // (service.cache.misses intentionally counts genuine first solves, not
+  // cache-level lookup misses -- the single-flight re-check probes the
+  // cache a second time, so the two miss notions differ by design.)
+  obs::MetricsRegistry &Reg = obs::metrics();
+  std::uint64_t HitsBefore = Reg.counter("service.cache.hits").value();
+  std::uint64_t InsertionsBefore =
+      Reg.counter("service.cache.insertions").value();
+
+  CompileService Service;
+  // Two distinct assays, each compiled twice sequentially: deterministic
+  // two insertions, two hits, no single-flight ambiguity.
+  CompileRequest Glucose =
+      graphRequest("glucose", assays::buildGlucoseAssay());
+  CompileRequest Bradford =
+      graphRequest("bradford", assays::buildBradfordProtein());
+  for (int Pass = 0; Pass < 2; ++Pass) {
+    ASSERT_TRUE(Service.compileNow(Glucose).Ok);
+    ASSERT_TRUE(Service.compileNow(Bradford).Ok);
+  }
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.Cache.Hits, 2u);
+  EXPECT_EQ(S.Cache.Insertions, 2u);
+  EXPECT_EQ(Reg.counter("service.cache.hits").value() - HitsBefore,
+            S.Cache.Hits);
+  EXPECT_EQ(Reg.counter("service.cache.insertions").value() -
+                InsertionsBefore,
+            S.Cache.Insertions);
 }
 
 TEST(CompileService, UnknownVolumeAssaysCompileRelative) {
