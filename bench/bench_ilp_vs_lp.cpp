@@ -99,9 +99,12 @@ void runCase(JsonReporter &Json, const char *Name, const AssayGraph &G,
       .param("vars", std::to_string(F.Model.numVars()))
       .param("rows", std::to_string(F.Model.numRows()))
       .param("lp_status", lp::solveStatusName(LP.Solution.Status))
+      .param("lp_pricing",
+             lp::lpPricingName(lp::SolverOptions{}.Simplex.Pricing))
       .param("ilp_warm_status", lp::solveStatusName(Warm.Status))
       .param("ilp_dense_status", lp::solveStatusName(Dense.Status))
       .metric("lp_sec", LpSec)
+      .metric("lp_pivots", static_cast<double>(LP.Solution.Iterations))
       .metric("ilp_warm_sec", WarmSec)
       .metric("ilp_warm_nodes", static_cast<double>(Warm.Nodes))
       .metric("ilp_warm_pivots", static_cast<double>(Warm.LpPivots))

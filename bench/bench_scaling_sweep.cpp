@@ -80,8 +80,11 @@ int main() {
       }
       Pivots = std::to_string(Sol.Iterations);
       R.param("lp_status", lp::solveStatusName(Sol.Status))
+          .param("lp_pricing", lp::lpPricingName(SOpts.Simplex.Pricing))
           .metric("lp_sec", Sec)
           .metric("lp_pivots", static_cast<double>(Sol.Iterations));
+      if (Sol.Iterations > 0)
+        R.metric("lp_usec_per_pivot", Sec * 1e6 / Sol.Iterations);
     } else {
       R.param("lp_status", "skipped");
     }

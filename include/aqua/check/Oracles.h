@@ -38,7 +38,13 @@
 ///  * Engines     -- the dense tableau and bounded revised simplex agree on
 ///                   the RVol LP (status and optimum), and the warm
 ///                   bound-delta branch-and-bound engine agrees with the
-///                   legacy dense-copy engine on small IVol ILPs.
+///                   legacy dense-copy engine on small IVol ILPs;
+///  * Presolve    -- presolve-on and presolve-off solves of the RVol LP
+///                   agree on status and optimum (the reduction rules are
+///                   pure reformulations), the postsolved solution
+///                   satisfies the *original* constraints, and devex
+///                   pricing agrees with Bland's rule (pivot order never
+///                   changes the answer).
 ///
 /// Exactness policy: structural and integer checks are exact. Checks that
 /// compare doubles computed along different code paths (LP objectives, the
@@ -73,8 +79,9 @@ enum class Oracle : unsigned {
   Metamorphic,
   Cache,
   Engines,
+  Presolve,
 };
-inline constexpr unsigned NumOracles = 9;
+inline constexpr unsigned NumOracles = 10;
 
 /// Short lower-case name, e.g. "solvers".
 const char *oracleName(Oracle O);

@@ -5,7 +5,9 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A presolve pass that eliminates variables defined by equality rows.
+/// A presolve pass that eliminates variables defined by equality rows,
+/// folds singleton inequality rows into bounds, drops empty and duplicate
+/// (proportional) rows, and eliminates implied-free column singletons.
 ///
 /// The RVol formulation is dominated by two kinds of equalities: two-term
 /// mix-ratio rows (`a*x - b*y = 0`, Figure 3 class 4) and node
@@ -27,10 +29,22 @@
 
 namespace aqua::lp {
 
-/// Statistics about one presolve run.
+/// Statistics about one presolve run. Every counter is monotone over the
+/// run (only ever incremented); RowsEliminated is the total across all
+/// rules, the per-rule counters below break it down.
 struct PresolveStats {
   int VarsEliminated = 0;
   int RowsEliminated = 0;
+  /// Singleton inequality rows folded into a variable bound.
+  int SingletonRowsRemoved = 0;
+  /// Implied-free column singletons eliminated from equality rows.
+  int SingletonColsEliminated = 0;
+  /// Rows with no terms left (after substitutions) verified and dropped.
+  int EmptyRowsRemoved = 0;
+  /// Rows proportional to another row merged into the tighter of the two.
+  int DuplicateRowsRemoved = 0;
+  /// Variable bounds tightened by singleton rows.
+  int BoundsTightened = 0;
 };
 
 /// Result of presolving a model. If `ProvenInfeasible` is set the reduced

@@ -64,9 +64,22 @@ enum class VarStatus : std::uint8_t {
 /// A reusable basis snapshot: one status per column (structural columns
 /// first, then one logical column per row) plus the basic column of each
 /// row. Copy-cheap and shareable between branch-and-bound siblings.
+///
+/// RedCost and DevexW are optional warm-start payloads: reduced costs
+/// depend only on the basis and the cost vector -- never on bounds -- so a
+/// child node inheriting its parent's optimal basis can also inherit the
+/// parent's reduced costs verbatim and skip the O(m^2) dual recomputation,
+/// and the devex reference weights keep the pricing history across the
+/// tree. Either vector may be empty (cold snapshot); installers must
+/// validate sizes before trusting them.
 struct Basis {
   std::vector<VarStatus> Status;
   std::vector<int> BasicCol;
+  /// One reduced cost per column; empty when the snapshot was taken
+  /// without valid dual state.
+  std::vector<double> RedCost;
+  /// Devex reference weights per column; empty on legacy snapshots.
+  std::vector<double> DevexW;
 
   bool empty() const { return BasicCol.empty(); }
 };
@@ -92,11 +105,15 @@ SolveStatus toSolveStatus(RevisedStatus S);
 struct RevisedOptions {
   std::int64_t MaxIterations = 0;
   double TimeLimitSec = 0.0;
-  /// Pivots between basis refactorizations.
+  /// Pivots between basis refactorizations. Each refactorization also
+  /// rebuilds the maintained reduced-cost vector from scratch, so this is
+  /// the pricing drift-control interval too.
   int RefactorInterval = 100;
   /// Non-improving pivots tolerated before the engine switches to a
   /// Bland-style anti-cycling rule.
   int StallThreshold = 512;
+  /// Entering-variable rule for the primal loops.
+  LpPricing Pricing = LpPricing::Devex;
 };
 
 /// Bounded-variable revised simplex over one model. The model's rows and
@@ -151,23 +168,61 @@ public:
   /// Simplex pivots performed by the most recent solve call.
   std::int64_t iterations() const { return Iterations; }
 
+  /// True when the most recent solve call ever switched to the Bland
+  /// anti-cycling rule (either configured or forced by the stall
+  /// watchdog).
+  bool usedBland() const { return UsedBland; }
+
 private:
   // --- setup
   void installLogicalBasis();
   bool installBasis(const Basis &B);
   bool refactorize();
+  /// Bakes the eta file into the dense base inverse (B0^-1 becomes the
+  /// current B^-1) and clears it. O(nnz * m) per eta -- the cheap periodic
+  /// substitute for refactorize() on the pivot hot path; the full kernel
+  /// re-inversion stays reserved for numerical-repair escalations.
+  void foldEtas();
   void computeBasicValues();
   double nonbasicValue(int Col) const;
   double colLower(int Col) const;
   double colUpper(int Col) const;
   double columnDot(int Col, const double *Y) const;
-  void ftran(int Col, std::vector<double> &W) const;
+  /// FTRAN: W = B^-1 * A_Col (base inverse, then the eta file). When \p
+  /// Pat is non-null it receives the nonzero rows of W (the hypersparsity
+  /// pattern the ratio test, XB update, and pivot update iterate instead
+  /// of all m rows).
+  void ftran(int Col, std::vector<double> &W,
+             std::vector<int> *Pat = nullptr) const;
+  /// Applies the eta file in pivot order to a dense vector \p V (the
+  /// column-side transform FTRAN and computeBasicValues share).
+  void applyEtas(std::vector<double> &V) const;
+  /// BTRAN of a sparse row-space seed: applies the transposed eta file
+  /// (newest first) to \p YVal -- whose nonzero positions are tracked in
+  /// \p YPat with marks \p YMark -- then scatters Rho = y^T * B0^-1 into
+  /// \p Rho with nonzero pattern \p RhoPat. Consumes the seed (YVal/YMark
+  /// are zeroed, YPat cleared). Each transposed eta touches exactly one
+  /// component, so the seed stays sparse: O(|etas| * |YPat| + m * |YPat|)
+  /// total instead of the O(m^2) dense row extraction.
+  void btran(std::vector<double> &YVal, std::vector<unsigned char> &YMark,
+             std::vector<int> &YPat, std::vector<double> &Rho,
+             std::vector<int> &RhoPat) const;
+  /// BTRAN of the single row \p P of B^-1 into RhoVec/PatRho.
+  void btranRow(int P);
 
   // --- shared pivot machinery
-  void applyPivot(int LeaveRow, int EnterCol, const std::vector<double> &W);
+  void applyPivot(int LeaveRow, int EnterCol, const std::vector<double> &W,
+                  const std::vector<int> &Pat);
   void computeDuals(const std::vector<double> &CostB,
                     std::vector<double> &Y) const;
   double reducedCost(int Col, const double *Y) const;
+  /// Scatters one pivot row through the constraint matrix: AlphaR[j] =
+  /// Rho . A_j for every column j reachable from the nonzero rows \p Pat
+  /// of \p Rho (structural columns via the CSR mirror, logicals
+  /// directly); AlphaTouched lists the columns written. Untouched columns
+  /// have alpha exactly zero, so incremental reduced-cost updates skip
+  /// them entirely.
+  void gatherRowAlphas(const double *Rho, const std::vector<int> &Pat);
 
   // --- primal
   RevisedStatus primal(const RevisedOptions &Opts, bool Phase1);
@@ -205,10 +260,60 @@ private:
   std::vector<VarStatus> Status; // Per column.
   std::vector<int> BasicCol;     // Per row.
   std::vector<int> RowOfBasic;   // Per column; -1 when nonbasic.
-  std::vector<double> Binv;      // Dense row-major m*m basis inverse.
-  std::vector<double> XB;        // Basic values per row.
+  /// Dense row-major m*m *base* inverse B0^-1 from the last
+  /// refactorization. The current basis inverse is the product of the eta
+  /// file applied on top: B^-1 = E_k ... E_1 B0^-1.
+  std::vector<double> Binv;
+  /// One product-form eta per pivot since the last refactorization:
+  /// the FTRAN column W of the entering variable, split into the pivot
+  /// element (Piv = W[Row]) and the off-pivot nonzeros (dense scatter
+  /// Val plus pattern Pat, Row excluded). Appending an eta is O(nnz(W));
+  /// the dense rank-one update it replaces was O(m * nnz(pivot row)).
+  struct Eta {
+    int Row;
+    double Piv;
+    std::vector<double> Val;
+    std::vector<int> Pat;
+  };
+  std::vector<Eta> Etas;
+  /// Total off-pivot nonzeros across the eta file, and the approximate
+  /// flop count burned replaying it since the last factorization reset.
+  /// The pivot loops apply the rent-or-buy refactorization rule: once
+  /// ReplayOps exceeds the cheaper of the two reset prices -- a kernel
+  /// re-inversion at ~2k^3 (k basic structural columns) or an eta fold at
+  /// ~EtaNnzTotal * m -- they pay that reset. Small bases naturally pick
+  /// the kernel, large chain-structured ones the fold, with no tuning.
+  std::size_t EtaNnzTotal = 0;
+  mutable std::size_t ReplayOps = 0;
+  std::vector<double> XB; // Basic values per row.
 
   std::vector<double> WorkY, WorkW, WorkC;
+
+  /// Maintained primal reduced costs (one per column, zero for basic
+  /// columns), updated incrementally from the pivot row each iteration
+  /// and rebuilt from the factorization on every refresh.
+  std::vector<double> PrimalD;
+  /// Devex reference weights (one per column). Persist across solves so
+  /// branch-and-bound children inherit the parent's pricing history;
+  /// reset only when the logical basis is installed fresh.
+  std::vector<double> DevexW;
+  /// Pivot-row alpha scratch: values, touched-column list, touch marks.
+  std::vector<double> AlphaR;
+  std::vector<int> AlphaTouched;
+  std::vector<unsigned char> AlphaMark;
+  /// Hypersparsity patterns: FTRAN result, pivot row of B^-1, scaled
+  /// pivot row inside applyPivot, accumulated dual-change rows.
+  std::vector<int> PatW, PatRho, PatP, PatDy;
+  /// BTRAN output scratch: the requested B^-1 row, pattern in PatRho.
+  std::vector<double> RhoVec;
+  /// Phase-1 violation state per row (-1 below lower, +1 above upper).
+  std::vector<signed char> ViolState;
+  /// Phase-1 dual-change accumulator (dense over rows, kept all-zero
+  /// between uses) and its touch marks.
+  std::vector<double> DyVal;
+  std::vector<unsigned char> DyMark;
+  /// Old-violation scratch aligned with PatW during one pivot.
+  std::vector<double> ViolOld;
 
   double Objective = 0.0;
   std::vector<double> StructValues;
@@ -221,6 +326,8 @@ private:
   std::vector<double> DualRedCost;
   std::vector<double> LastNonbasic;
   bool DualStateValid = false;
+  /// Set when the most recent solve call engaged the Bland rule.
+  bool UsedBland = false;
   /// Pivots since the last full refactorization. Survives across solve
   /// calls: warm restarts that reuse the held factorization (plunging)
   /// must not reset the drift clock.

@@ -47,6 +47,26 @@ enum class SolveStatus {
 /// Returns a short human-readable name for \p S.
 const char *solveStatusName(SolveStatus S);
 
+/// Entering-variable pricing rule for the revised simplex engine. The
+/// dense tableau path ignores it (its Dantzig-with-Bland-fallback rule is
+/// the differential baseline).
+enum class LpPricing {
+  /// Maintained reduced costs scored by devex reference weights; the
+  /// production default.
+  Devex,
+  /// Maintained reduced costs, largest-|d| selection (classic Dantzig,
+  /// without the per-iteration full pricing scan).
+  Dantzig,
+  /// Lowest-index eligible column from the first pivot on. Guarantees
+  /// termination on cycling-prone instances; slow. The engine falls back
+  /// to this rule automatically after a degenerate stall regardless of
+  /// the configured rule.
+  Bland,
+};
+
+/// Returns a short human-readable name for \p P.
+const char *lpPricingName(LpPricing P);
+
 /// Knobs for the simplex solver.
 struct SolveOptions {
   /// Wall-clock budget in seconds; 0 means unlimited.
@@ -58,6 +78,8 @@ struct SolveOptions {
   /// Number of non-improving pivots tolerated before switching to Bland's
   /// rule.
   int StallThreshold = 512;
+  /// Entering-variable rule for the revised engine.
+  LpPricing Pricing = LpPricing::Devex;
 };
 
 /// Result of an LP solve.

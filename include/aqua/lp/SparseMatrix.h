@@ -24,13 +24,20 @@
 
 namespace aqua::lp {
 
-/// Immutable CSC matrix over a Model's structural variables. Row indices
-/// are model row ids; column indices are model variable ids. Duplicate
-/// terms per (row, var) are merged at build time.
+/// Immutable CSC matrix over a Model's structural variables, plus a CSR
+/// mirror of the same nonzeros. Row indices are model row ids; column
+/// indices are model variable ids. Duplicate terms per (row, var) are
+/// merged at build time. The column view feeds FTRAN right-hand sides; the
+/// row view feeds the incremental pricing updates (one pivot row of B^-1
+/// scattered through the rows it touches).
 class SparseMatrix {
 public:
   struct Entry {
     int Row;
+    double Value;
+  };
+  struct RowEntry {
+    int Col;
     double Value;
   };
 
@@ -56,6 +63,7 @@ public:
     // Model API permits repeated vars across addRow edits).
     for (int C = 0; C < NumCols; ++C)
       mergeColumn(C);
+    buildRows();
   }
 
   int numRows() const { return NumRows; }
@@ -74,7 +82,35 @@ public:
     return Sum;
   }
 
+  /// Nonzeros of row \p R as a contiguous span (CSR mirror, sorted by
+  /// column). Zero-valued padding left behind by duplicate merging is
+  /// excluded at build time.
+  const RowEntry *rowBegin(int R) const {
+    return RowEntries.data() + RowStart[R];
+  }
+  const RowEntry *rowEnd(int R) const {
+    return RowEntries.data() + RowStart[R + 1];
+  }
+  int rowSize(int R) const { return RowStart[R + 1] - RowStart[R]; }
+
 private:
+  void buildRows() {
+    RowStart.assign(NumRows + 1, 0);
+    std::vector<int> Count(NumRows, 0);
+    for (const Entry &E : Entries)
+      if (E.Value != 0.0)
+        ++Count[E.Row];
+    for (int R = 0; R < NumRows; ++R)
+      RowStart[R + 1] = RowStart[R] + Count[R];
+    RowEntries.resize(RowStart[NumRows]);
+    std::vector<int> Fill(RowStart.begin(), RowStart.end() - 1);
+    // Column-order traversal leaves each row's entries sorted by column.
+    for (int C = 0; C < NumCols; ++C)
+      for (const Entry *E = colBegin(C), *End = colEnd(C); E != End; ++E)
+        if (E->Value != 0.0)
+          RowEntries[Fill[E->Row]++] = RowEntry{C, E->Value};
+  }
+
   void mergeColumn(int C) {
     int Begin = ColStart[C], End = ColStart[C + 1];
     if (End - Begin < 2)
@@ -99,6 +135,8 @@ private:
   int NumCols = 0;
   std::vector<int> ColStart;
   std::vector<Entry> Entries;
+  std::vector<int> RowStart;
+  std::vector<RowEntry> RowEntries;
 };
 
 } // namespace aqua::lp

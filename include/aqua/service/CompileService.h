@@ -163,6 +163,12 @@ private:
   std::mutex QueueMutex;
   std::condition_variable QueueCV;
   std::deque<Job> Queue;
+  /// Workers parked in QueueCV.wait (maintained under QueueMutex).
+  /// Producers skip the notify syscall entirely while every worker is
+  /// busy -- a draining worker re-checks the queue before parking, so no
+  /// wakeup is lost -- which keeps the no-cache hot path from serializing
+  /// on futex traffic as the thread count grows.
+  int IdleWorkers = 0;
   bool ShuttingDown = false;
   std::vector<std::thread> Workers;
 

@@ -48,6 +48,8 @@ const char *aqua::check::oracleName(Oracle O) {
     return "cache";
   case Oracle::Engines:
     return "engines";
+  case Oracle::Presolve:
+    return "presolve";
   }
   return "?";
 }
@@ -342,6 +344,9 @@ public:
     if (R.Managed && on(Oracle::Engines))
       checkEngines(G);
 
+    if (R.Managed && on(Oracle::Presolve))
+      checkPresolve(G);
+
     core::ManagerResult VM;
     if (R.Managed) {
       VM = core::manageVolumes(G, Opts.Spec, Opts.Manage);
@@ -538,6 +543,63 @@ private:
                format("ILP optima diverge: warm %.9g vs dense %.9g units",
                       WS.Objective, DSInt.Objective));
       }
+    }
+  }
+
+  /// Presolve and pricing are pure reformulations of the same LP: solving
+  /// with the reduction rules on vs off, and pricing with devex vs
+  /// Bland's rule, must reach the same status and optimum, and the
+  /// postsolved solution must satisfy the *original* model's constraints.
+  void checkPresolve(const AssayGraph &G) {
+    core::FormulationOptions FOpts;
+    core::Formulation F = core::buildVolumeModel(G, Opts.Spec, FOpts);
+
+    lp::SolverOptions On = Opts.Manage.LPOptions;
+    On.Engine = lp::LpEngine::Revised;
+    On.Presolve = true;
+    lp::SolverOptions Off = On;
+    Off.Presolve = false;
+    lp::SolverOptions Bland = On;
+    Bland.Simplex.Pricing = lp::LpPricing::Bland;
+
+    lp::Solution SOn = lp::solve(F.Model, On);
+    lp::Solution SOff = lp::solve(F.Model, Off);
+    lp::Solution SBland = lp::solve(F.Model, Bland);
+
+    auto Decisive = [](lp::SolveStatus S) {
+      return S == lp::SolveStatus::Optimal ||
+             S == lp::SolveStatus::Infeasible ||
+             S == lp::SolveStatus::Unbounded;
+    };
+    auto Agree = [&](const lp::Solution &A, const lp::Solution &B,
+                     const char *What) {
+      if (!Decisive(A.Status) || !Decisive(B.Status))
+        return;
+      if (A.Status != B.Status) {
+        fail(Oracle::Presolve,
+             format("%s change the verdict: %s vs %s", What,
+                    lp::solveStatusName(A.Status),
+                    lp::solveStatusName(B.Status)));
+        return;
+      }
+      if (A.Status != lp::SolveStatus::Optimal)
+        return;
+      double Tol = Opts.Tolerance * std::max(1.0, std::fabs(A.Objective));
+      if (std::fabs(A.Objective - B.Objective) > Tol)
+        fail(Oracle::Presolve,
+             format("%s change the optimum: %.9g vs %.9g", What,
+                    A.Objective, B.Objective));
+    };
+    Agree(SOn, SOff, "presolve reductions");
+    Agree(SOn, SBland, "devex vs Bland pivot orders");
+
+    if (SOn.Status == lp::SolveStatus::Optimal) {
+      double Viol = F.Model.maxViolation(SOn.Values);
+      if (Viol > Opts.Tolerance)
+        fail(Oracle::Presolve,
+             format("postsolved solution violates the original model by "
+                    "%.3g",
+                    Viol));
     }
   }
 

@@ -282,6 +282,9 @@ void warmWorker(WarmSearch &S) {
       RevisedOptions RO;
       RO.MaxIterations = S.Opts.LP.Simplex.MaxIterations;
       RO.StallThreshold = S.Opts.LP.Simplex.StallThreshold;
+      // Children inherit the configured pricing rule along with the
+      // parent's reduced costs and devex weights from the warm basis.
+      RO.Pricing = S.Opts.LP.Simplex.Pricing;
       // Node reoptimizations run a handful of dual pivots each; the
       // refactorization clock ticks across nodes, so the default interval
       // would spend most of the search rebuilding B^-1. Drift from the

@@ -9,6 +9,7 @@
 #include "aqua/lp/Tolerances.h"
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 using namespace aqua;
 using namespace aqua::lp;
@@ -118,6 +119,37 @@ struct Work {
         return false;
     return Const >= Bound - 1e-12;
   }
+
+  /// Checks a constant row `0 (Kind) Rhs` for consistency.
+  bool constantRowOk(RowKind Kind, double Rhs) const {
+    switch (Kind) {
+    case RowKind::LE:
+      return 0.0 <= Rhs + tol::BoundSnap;
+    case RowKind::GE:
+      return 0.0 >= Rhs - tol::BoundSnap;
+    case RowKind::EQ:
+      return std::fabs(Rhs) <= tol::BoundSnap;
+    }
+    return true;
+  }
+
+  /// Range of `sum(Terms) excluding index Skip` over the variable bounds.
+  /// Returns {min, max}; either end may be infinite.
+  std::pair<double, double> activityRange(const std::vector<Term> &Terms,
+                                          size_t Skip) const {
+    double Min = 0.0, Max = 0.0;
+    for (size_t I = 0; I < Terms.size(); ++I) {
+      if (I == Skip)
+        continue;
+      const WVar &V = Vars[Terms[I].Var];
+      double C = Terms[I].Coef;
+      double Lo = C > 0 ? C * V.Lower : C * V.Upper;
+      double Hi = C > 0 ? C * V.Upper : C * V.Lower;
+      Min = Min == -Infinity || Lo == -Infinity ? -Infinity : Min + Lo;
+      Max = Max == Infinity || Hi == Infinity ? Infinity : Max + Hi;
+    }
+    return {Min, Max};
+  }
 };
 
 } // namespace
@@ -132,17 +164,49 @@ Presolved Presolved::run(const Model &M) {
     Progress = false;
     for (size_t RI = 0; RI < W.Rows.size(); ++RI) {
       Work::WRow &R = W.Rows[RI];
-      if (!R.Alive || R.Kind != RowKind::EQ)
+      if (!R.Alive)
         continue;
 
       if (R.Terms.empty()) {
-        if (std::fabs(R.Rhs) > tol::BoundSnap)
+        // Constant row: verify and drop (substitutions can empty any kind).
+        if (!W.constantRowOk(R.Kind, R.Rhs))
           W.Infeasible = true;
         R.Alive = false;
+        ++P.Stats.EmptyRowsRemoved;
         ++P.Stats.RowsEliminated;
         Progress = true;
         continue;
       }
+
+      if (R.Terms.size() == 1 && R.Kind != RowKind::EQ) {
+        // Singleton inequality a*x <= r (or >=): fold into x's bound. Any
+        // crossing against the opposite bound is caught by the final
+        // crossed-bound check.
+        VarId X = R.Terms[0].Var;
+        double A = R.Terms[0].Coef;
+        double Val = R.Rhs / A;
+        bool IsUpper = (R.Kind == RowKind::LE) == (A > 0);
+        Work::WVar &V = W.Vars[X];
+        if (IsUpper) {
+          if (Val < V.Upper) {
+            V.Upper = Val;
+            ++P.Stats.BoundsTightened;
+          }
+        } else {
+          if (Val > V.Lower) {
+            V.Lower = Val;
+            ++P.Stats.BoundsTightened;
+          }
+        }
+        R.Alive = false;
+        ++P.Stats.SingletonRowsRemoved;
+        ++P.Stats.RowsEliminated;
+        Progress = true;
+        continue;
+      }
+
+      if (R.Kind != RowKind::EQ)
+        continue;
 
       if (R.Terms.size() == 1) {
         // a*x = r fixes x.
@@ -216,6 +280,172 @@ Presolved Presolved::run(const Model &M) {
       ++P.Stats.VarsEliminated;
       ++P.Stats.RowsEliminated;
       Progress = true;
+    }
+    if (W.Infeasible)
+      break;
+
+    // Duplicate / proportional row removal. Rows can only be proportional
+    // when they have identical variable support, so group by signature
+    // first; within a group the pairwise factor check is cheap.
+    {
+      std::vector<size_t> Order;
+      for (size_t RI = 0; RI < W.Rows.size(); ++RI)
+        if (W.Rows[RI].Alive && !W.Rows[RI].Terms.empty())
+          Order.push_back(RI);
+      auto SigCmp = [&](size_t A, size_t B) {
+        const auto &TA = W.Rows[A].Terms, &TB = W.Rows[B].Terms;
+        if (TA.size() != TB.size())
+          return TA.size() < TB.size() ? -1 : 1;
+        for (size_t I = 0; I < TA.size(); ++I)
+          if (TA[I].Var != TB[I].Var)
+            return TA[I].Var < TB[I].Var ? -1 : 1;
+        return 0;
+      };
+      std::sort(Order.begin(), Order.end(),
+                [&](size_t A, size_t B) { return SigCmp(A, B) < 0; });
+      for (size_t GB = 0; GB < Order.size() && !W.Infeasible;) {
+        size_t GE = GB + 1;
+        while (GE < Order.size() && SigCmp(Order[GB], Order[GE]) == 0)
+          ++GE;
+        for (size_t I = GB; I < GE && !W.Infeasible; ++I) {
+          Work::WRow &Ri = W.Rows[Order[I]];
+          if (!Ri.Alive)
+            continue;
+          for (size_t J = I + 1; J < GE && !W.Infeasible; ++J) {
+            Work::WRow &Rj = W.Rows[Order[J]];
+            if (!Rj.Alive)
+              continue;
+            // Is Ri == F * Rj term-by-term?
+            double F = Ri.Terms[0].Coef / Rj.Terms[0].Coef;
+            bool Prop = true;
+            for (size_t K = 0; K < Ri.Terms.size() && Prop; ++K)
+              if (std::fabs(Ri.Terms[K].Coef - F * Rj.Terms[K].Coef) >
+                  1e-12 * (1.0 + std::fabs(Ri.Terms[K].Coef)))
+                Prop = false;
+            if (!Prop)
+              continue;
+            // Scaling Rj by F gives Ri's LHS; a negative factor flips the
+            // inequality direction.
+            RowKind KJ = Rj.Kind;
+            if (F < 0 && KJ != RowKind::EQ)
+              KJ = KJ == RowKind::LE ? RowKind::GE : RowKind::LE;
+            double RhsJ = F * Rj.Rhs;
+            double Tol = tol::BoundSnap * (1.0 + std::fabs(Ri.Rhs));
+            bool Killed = false;
+            if (Ri.Kind == KJ) {
+              switch (Ri.Kind) {
+              case RowKind::LE:
+                Ri.Rhs = std::min(Ri.Rhs, RhsJ);
+                Killed = true;
+                break;
+              case RowKind::GE:
+                Ri.Rhs = std::max(Ri.Rhs, RhsJ);
+                Killed = true;
+                break;
+              case RowKind::EQ:
+                if (std::fabs(Ri.Rhs - RhsJ) > Tol)
+                  W.Infeasible = true;
+                else
+                  Killed = true;
+                break;
+              }
+            } else if (Ri.Kind == RowKind::EQ) {
+              // The equality pins the shared LHS; a consistent duplicate
+              // inequality is redundant.
+              bool Ok = KJ == RowKind::LE ? Ri.Rhs <= RhsJ + Tol
+                                          : Ri.Rhs >= RhsJ - Tol;
+              if (Ok)
+                Killed = true;
+              else
+                W.Infeasible = true;
+            } else if (KJ == RowKind::EQ) {
+              bool Ok = Ri.Kind == RowKind::LE ? RhsJ <= Ri.Rhs + Tol
+                                               : RhsJ >= Ri.Rhs - Tol;
+              if (Ok) {
+                // Keep the equality in Ri's slot, drop Rj.
+                Ri.Kind = RowKind::EQ;
+                Ri.Rhs = RhsJ;
+                Killed = true;
+              } else {
+                W.Infeasible = true;
+              }
+            }
+            // Opposite-direction pair (LE vs GE): a two-sided constraint;
+            // left alone.
+            if (Killed) {
+              Rj.Alive = false;
+              ++P.Stats.DuplicateRowsRemoved;
+              ++P.Stats.RowsEliminated;
+              Progress = true;
+            }
+          }
+        }
+        GB = GE;
+      }
+    }
+    if (W.Infeasible)
+      break;
+
+    // Implied-free column singletons: a variable appearing in exactly one
+    // row, that row an equality, whose implied range from the row activity
+    // fits inside its own bounds. The variable is then defined by the row
+    // and its bounds never bind, so variable and row leave together -- the
+    // classic free-column-singleton rule, restricted to true singletons so
+    // the elimination creates no fill.
+    {
+      std::vector<int> ColCount(W.Vars.size(), 0);
+      for (const Work::WRow &R : W.Rows)
+        if (R.Alive)
+          for (const Term &T : R.Terms)
+            ++ColCount[T.Var];
+      for (size_t RI = 0; RI < W.Rows.size(); ++RI) {
+        Work::WRow &R = W.Rows[RI];
+        if (!R.Alive || R.Kind != RowKind::EQ || R.Terms.size() < 2)
+          continue;
+        for (size_t TI = 0; TI < R.Terms.size(); ++TI) {
+          VarId X = R.Terms[TI].Var;
+          if (ColCount[X] != 1)
+            continue;
+          double A = R.Terms[TI].Coef;
+          const Work::WVar &V = W.Vars[X];
+          auto [SMin, SMax] = W.activityRange(R.Terms, TI);
+          // x = (Rhs - S) / A with S ranging over [SMin, SMax].
+          double ImpLo, ImpHi;
+          if (A > 0) {
+            ImpLo = SMax == Infinity ? -Infinity : (R.Rhs - SMax) / A;
+            ImpHi = SMin == -Infinity ? Infinity : (R.Rhs - SMin) / A;
+          } else {
+            ImpLo = SMin == -Infinity ? -Infinity : (R.Rhs - SMin) / A;
+            ImpHi = SMax == Infinity ? Infinity : (R.Rhs - SMax) / A;
+          }
+          if (ImpLo < V.Lower - tol::BoundSnap ||
+              ImpHi > V.Upper + tol::BoundSnap)
+            continue; // Own bounds can bind; not implied free.
+          Elimination E{X, R.Rhs / A, {}};
+          E.Expr.reserve(R.Terms.size() - 1);
+          for (size_t TJ = 0; TJ < R.Terms.size(); ++TJ)
+            if (TJ != TI)
+              E.Expr.push_back(Term{R.Terms[TJ].Var, -R.Terms[TJ].Coef / A});
+          // The variable appears nowhere else, so no other row changes;
+          // only its objective coefficient shifts onto the definition (the
+          // constant falls out -- the caller re-evaluates the objective on
+          // the original model after postsolve).
+          double ObjC = W.Vars[X].ObjCoef;
+          if (ObjC != 0.0)
+            for (const Term &T : E.Expr)
+              W.Vars[T.Var].ObjCoef += ObjC * T.Coef;
+          W.Vars[X].Alive = false;
+          for (const Term &T : R.Terms)
+            --ColCount[T.Var];
+          R.Alive = false;
+          P.Eliminations.push_back(std::move(E));
+          ++P.Stats.VarsEliminated;
+          ++P.Stats.SingletonColsEliminated;
+          ++P.Stats.RowsEliminated;
+          Progress = true;
+          break; // The row is gone; move to the next one.
+        }
+      }
     }
   }
 

@@ -49,6 +49,28 @@ struct SimplexMetrics {
   obs::Counter &WarmFastPath = obs::metrics().counter("lp.warm_fast_path");
   obs::Counter &WarmColdFallbacks =
       obs::metrics().counter("lp.warm_cold_fallbacks");
+  /// Full rebuilds of the maintained reduced-cost vector (entry, each
+  /// refactorization, and drift-control backstops).
+  obs::Counter &PricingFullRecomputes =
+      obs::metrics().counter("lp.pricing_full_recomputes");
+  /// Entering candidates whose maintained reduced cost disagreed with the
+  /// factorization beyond tolerance and were repaired in place.
+  obs::Counter &PricingDriftRepairs =
+      obs::metrics().counter("lp.pricing_drift_repairs");
+  /// Devex reference-framework resets (fresh logical-basis installs).
+  obs::Counter &DevexResets = obs::metrics().counter("lp.devex_resets");
+  /// FTRAN results with a sparse nonzero pattern (< 10% of m) vs dense;
+  /// the hypersparse-vs-dense solve mix of the pivot loops.
+  obs::Counter &FtranHypersparse =
+      obs::metrics().counter("lp.ftran_hypersparse");
+  obs::Counter &FtranDense = obs::metrics().counter("lp.ftran_dense");
+  /// Reduced costs / devex weights inherited from a warm-start basis
+  /// snapshot, skipping the O(m^2) dual recomputation.
+  obs::Counter &WarmDualInherits =
+      obs::metrics().counter("lp.warm_dual_inherits");
+  /// Periodic eta-file folds into the dense base inverse -- the cheap
+  /// substitute for a full kernel refactorization on the hot path.
+  obs::Counter &EtaFolds = obs::metrics().counter("lp.eta_folds");
 };
 
 SimplexMetrics &met() {
@@ -75,6 +97,18 @@ const char *aqua::lp::revisedStatusName(RevisedStatus S) {
     return "numeric-fail";
   }
   AQUA_UNREACHABLE("bad RevisedStatus");
+}
+
+const char *aqua::lp::lpPricingName(LpPricing P) {
+  switch (P) {
+  case LpPricing::Devex:
+    return "devex";
+  case LpPricing::Dantzig:
+    return "dantzig";
+  case LpPricing::Bland:
+    return "bland";
+  }
+  AQUA_UNREACHABLE("bad LpPricing");
 }
 
 SolveStatus aqua::lp::toSolveStatus(RevisedStatus S) {
@@ -153,6 +187,20 @@ RevisedSimplex::RevisedSimplex(const Model &Model,
   WorkW.assign(NumRows, 0.0);
   WorkC.assign(NumRows, 0.0);
   StructValues.assign(NumStruct, 0.0);
+
+  PrimalD.assign(NumCols, 0.0);
+  DevexW.assign(NumCols, 1.0);
+  AlphaR.assign(NumCols, 0.0);
+  AlphaMark.assign(NumCols, 0);
+  AlphaTouched.reserve(NumCols);
+  PatW.reserve(NumRows);
+  PatRho.reserve(NumRows);
+  PatP.reserve(NumRows);
+  PatDy.reserve(NumRows);
+  ViolState.assign(NumRows, 0);
+  DyVal.assign(NumRows, 0.0);
+  DyMark.assign(NumRows, 0);
+  RhoVec.assign(NumRows, 0.0);
 }
 
 double RevisedSimplex::colLower(int Col) const {
@@ -183,7 +231,8 @@ double RevisedSimplex::columnDot(int Col, const double *Y) const {
   return Y[Col - NumStruct];
 }
 
-void RevisedSimplex::ftran(int Col, std::vector<double> &W) const {
+void RevisedSimplex::ftran(int Col, std::vector<double> &W,
+                           std::vector<int> *Pat) const {
   W.assign(NumRows, 0.0);
   if (Col < NumStruct) {
     for (const SparseMatrix::Entry *E = Cols->colBegin(Col),
@@ -200,9 +249,52 @@ void RevisedSimplex::ftran(int Col, std::vector<double> &W) const {
     for (int I = 0; I < NumRows; ++I)
       W[I] = Binv[static_cast<size_t>(I) * NumRows + R];
   }
+  applyEtas(W);
+  if (!Pat)
+    return;
+  // One O(m) scan buys every downstream loop (ratio test, XB update,
+  // pivot update) a walk over nnz(W) instead of m.
+  Pat->clear();
+  for (int I = 0; I < NumRows; ++I)
+    if (W[I] != 0.0)
+      Pat->push_back(I);
+  if (10 * static_cast<int>(Pat->size()) < NumRows)
+    met().FtranHypersparse.add();
+  else
+    met().FtranDense.add();
+}
+
+void RevisedSimplex::gatherRowAlphas(const double *Rho,
+                                     const std::vector<int> &Pat) {
+  for (int C : AlphaTouched) {
+    AlphaR[C] = 0.0;
+    AlphaMark[C] = 0;
+  }
+  AlphaTouched.clear();
+  for (int I : Pat) {
+    double RV = Rho[I];
+    int LC = NumStruct + I; // Logical column of row I: alpha is Rho[I].
+    if (!AlphaMark[LC]) {
+      AlphaMark[LC] = 1;
+      AlphaTouched.push_back(LC);
+    }
+    AlphaR[LC] += RV;
+    for (const SparseMatrix::RowEntry *E = Cols->rowBegin(I),
+                                      *End = Cols->rowEnd(I);
+         E != End; ++E) {
+      if (!AlphaMark[E->Col]) {
+        AlphaMark[E->Col] = 1;
+        AlphaTouched.push_back(E->Col);
+      }
+      AlphaR[E->Col] += RV * E->Value;
+    }
+  }
 }
 
 void RevisedSimplex::installLogicalBasis() {
+  // Fresh start: the devex reference framework restarts with it.
+  std::fill(DevexW.begin(), DevexW.end(), 1.0);
+  met().DevexResets.add();
   for (int C = 0; C < NumCols; ++C) {
     if (C >= NumStruct) {
       Status[C] = VarStatus::Basic;
@@ -223,6 +315,10 @@ void RevisedSimplex::installLogicalBasis() {
   std::fill(Binv.begin(), Binv.end(), 0.0);
   for (int R = 0; R < NumRows; ++R)
     Binv[static_cast<size_t>(R) * NumRows + R] = 1.0;
+  Etas.clear();
+  EtaNnzTotal = 0;
+  ReplayOps = 0;
+  SinceRefactor = 0;
 }
 
 bool RevisedSimplex::installBasis(const Basis &B) {
@@ -401,8 +497,45 @@ bool RevisedSimplex::refactorize() {
         Row[JRows[B]] -= V * KRow[B];
     }
   }
+  Etas.clear();
+  EtaNnzTotal = 0;
+  ReplayOps = 0;
   SinceRefactor = 0;
   return true;
+}
+
+void RevisedSimplex::foldEtas() {
+  // Bake the eta file into the dense base inverse: B0^-1 <- E_k...E_1*B0^-1,
+  // oldest eta first. Applying one eta on the left rescales row `Row` by
+  // 1/Piv and subtracts Val[i] * (new row `Row`) from each patterned row i,
+  // so a fold costs O(nnz(eta) * m) per eta -- far below the O(k^3) kernel
+  // re-inversion of refactorize() -- and afterwards FTRAN/BTRAN run against
+  // a short (empty) eta file again. The folded inverse reproduces the
+  // replayed products up to rounding, so the maintained reduced costs,
+  // basic values, and phase-1 merit all stay valid across a fold; the
+  // entering-candidate drift check backstops the accumulated rounding.
+  if (Etas.empty()) {
+    SinceRefactor = 0;
+    return;
+  }
+  met().EtaFolds.add();
+  size_t N = static_cast<size_t>(NumRows);
+  for (const Eta &E : Etas) {
+    double *PivRow = &Binv[static_cast<size_t>(E.Row) * N];
+    double PivInv = 1.0 / E.Piv;
+    for (size_t J = 0; J < N; ++J)
+      PivRow[J] *= PivInv;
+    for (int I : E.Pat) {
+      double *Row = &Binv[static_cast<size_t>(I) * N];
+      double V = E.Val[I];
+      for (size_t J = 0; J < N; ++J)
+        Row[J] -= V * PivRow[J];
+    }
+  }
+  Etas.clear();
+  EtaNnzTotal = 0;
+  ReplayOps = 0;
+  SinceRefactor = 0;
 }
 
 void RevisedSimplex::computeBasicValues() {
@@ -430,13 +563,29 @@ void RevisedSimplex::computeBasicValues() {
       Sum += Row[K] * WorkC[K];
     XB[I] = Sum;
   }
+  applyEtas(XB);
 }
 
 void RevisedSimplex::computeDuals(const std::vector<double> &CostB,
                                   std::vector<double> &Y) const {
+  // With an eta file in play the row-space seed passes through the
+  // transposed etas (newest first) before hitting the base inverse.
+  const std::vector<double> *Src = &CostB;
+  std::vector<double> Tmp;
+  if (!Etas.empty()) {
+    Tmp = CostB;
+    for (auto It = Etas.rbegin(); It != Etas.rend(); ++It) {
+      const Eta &E = *It;
+      double Acc = Tmp[E.Row];
+      for (int I : E.Pat)
+        Acc -= Tmp[I] * E.Val[I];
+      Tmp[E.Row] = Acc / E.Piv;
+    }
+    Src = &Tmp;
+  }
   Y.assign(NumRows, 0.0);
   for (int I = 0; I < NumRows; ++I) {
-    double C = CostB[I];
+    double C = (*Src)[I];
     if (C == 0.0)
       continue;
     const double *Row = &Binv[static_cast<size_t>(I) * NumRows];
@@ -450,34 +599,112 @@ double RevisedSimplex::reducedCost(int Col, const double *Y) const {
 }
 
 void RevisedSimplex::applyPivot(int LeaveRow, int EnterCol,
-                                const std::vector<double> &W) {
-  double PivVal = W[LeaveRow];
-  double Inv = 1.0 / PivVal;
-  double *PRow = &Binv[static_cast<size_t>(LeaveRow) * NumRows];
-  for (int K = 0; K < NumRows; ++K)
-    PRow[K] *= Inv;
-  for (int I = 0; I < NumRows; ++I) {
-    if (I == LeaveRow)
+                                const std::vector<double> &W,
+                                const std::vector<int> &Pat) {
+  // Product-form update: record the FTRAN column as an eta instead of
+  // touching the dense base inverse -- O(nnz(W)) where the in-place
+  // rank-one update was O(nnz(W) * nnz(pivot row)), which goes quadratic
+  // once B^-1 fills in. FTRAN/BTRAN replay the eta file on top of B0^-1;
+  // the periodic refactorization absorbs it back into the dense base.
+  Eta E;
+  E.Row = LeaveRow;
+  E.Piv = W[LeaveRow];
+  E.Val.assign(NumRows, 0.0);
+  E.Pat.reserve(Pat.size());
+  for (int I : Pat) {
+    if (I == LeaveRow || std::fabs(W[I]) < tol::Zero)
       continue;
-    double F = W[I];
-    if (F == 0.0)
-      continue;
-    double *RowI = &Binv[static_cast<size_t>(I) * NumRows];
-    // The snap-to-zero keeps B^-1 rows sparse, which the F == 0.0 skip
-    // above converts directly into skipped rows on later pivots; dropping
-    // it measures ~35% slower despite the cleaner inner loop.
-    for (int K = 0; K < NumRows; ++K) {
-      RowI[K] -= F * PRow[K];
-      if (std::fabs(RowI[K]) < tol::Zero)
-        RowI[K] = 0.0;
-    }
+    E.Val[I] = W[I];
+    E.Pat.push_back(I);
   }
+  EtaNnzTotal += E.Pat.size();
+  Etas.push_back(std::move(E));
   int OldCol = BasicCol[LeaveRow];
   RowOfBasic[OldCol] = -1;
   BasicCol[LeaveRow] = EnterCol;
   RowOfBasic[EnterCol] = LeaveRow;
   Status[EnterCol] = VarStatus::Basic;
   ++SinceRefactor;
+}
+
+void RevisedSimplex::applyEtas(std::vector<double> &V) const {
+  std::size_t Work = Etas.size();
+  for (const Eta &E : Etas) {
+    double T = V[E.Row];
+    if (T == 0.0)
+      continue;
+    double Tp = T / E.Piv;
+    V[E.Row] = Tp;
+    for (int I : E.Pat)
+      V[I] -= E.Val[I] * Tp;
+    Work += E.Pat.size();
+  }
+  ReplayOps += Work;
+}
+
+void RevisedSimplex::btran(std::vector<double> &YVal,
+                           std::vector<unsigned char> &YMark,
+                           std::vector<int> &YPat, std::vector<double> &Rho,
+                           std::vector<int> &RhoPat) const {
+  // y^T B^-1 = ((y^T E_k) E_k-1 ... E_1) B0^-1. A transposed eta changes
+  // only component Row, so the seed gains at most one nonzero per eta.
+  std::size_t Work = 0;
+  for (auto It = Etas.rbegin(); It != Etas.rend(); ++It) {
+    const Eta &E = *It;
+    double Acc = YVal[E.Row];
+    for (int I : YPat)
+      if (I != E.Row)
+        Acc -= YVal[I] * E.Val[I];
+    Acc /= E.Piv;
+    if (YVal[E.Row] == 0.0 && Acc != 0.0 && !YMark[E.Row]) {
+      YMark[E.Row] = 1;
+      YPat.push_back(E.Row);
+    }
+    YVal[E.Row] = Acc;
+    Work += YPat.size();
+  }
+  // Rho = sum over seed nonzeros of y_p * (row p of B0^-1). All but one of
+  // these dense row combinations exist only because of the eta file (a
+  // fresh factorization's seed is a single row), so they count as replay
+  // work for the rent-or-buy reset rule.
+  Work += YPat.size() * static_cast<std::size_t>(NumRows);
+  ReplayOps += Work;
+  std::fill(Rho.begin(), Rho.end(), 0.0);
+  for (int P : YPat) {
+    double F = YVal[P];
+    if (F == 0.0)
+      continue;
+    const double *Row = &Binv[static_cast<size_t>(P) * NumRows];
+    for (int K = 0; K < NumRows; ++K)
+      Rho[K] += F * Row[K];
+  }
+  RhoPat.clear();
+  for (int K = 0; K < NumRows; ++K)
+    if (Rho[K] != 0.0)
+      RhoPat.push_back(K);
+  for (int P : YPat) {
+    YVal[P] = 0.0;
+    YMark[P] = 0;
+  }
+  YPat.clear();
+}
+
+void RevisedSimplex::btranRow(int P) {
+  if (Etas.empty()) {
+    // Fast path: the base inverse row is the current row.
+    const double *Row = &Binv[static_cast<size_t>(P) * NumRows];
+    RhoVec.assign(Row, Row + NumRows);
+    PatRho.clear();
+    for (int K = 0; K < NumRows; ++K)
+      if (RhoVec[K] != 0.0)
+        PatRho.push_back(K);
+    return;
+  }
+  DyVal[P] = 1.0;
+  DyMark[P] = 1;
+  PatDy.clear();
+  PatDy.push_back(P);
+  btran(DyVal, DyMark, PatDy, RhoVec, PatRho);
 }
 
 double RevisedSimplex::infeasibilitySum() const {
@@ -525,53 +752,158 @@ struct Budget {
 
 RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
   Budget B(Opts, NumRows, NumCols);
-  bool UseBland = false;
+  const bool Devex = Opts.Pricing == LpPricing::Devex;
+  bool UseBland = Opts.Pricing == LpPricing::Bland;
   int StallCount = 0;
+  int RepairStreak = 0;
   double LastMerit = Infinity; // Phase-1 infeasibility or phase-2 objective.
-  std::vector<double> CostB(NumRows, 0.0);
-  std::vector<double> &Y = WorkY;
   std::vector<double> &W = WorkW;
 
-  // XB is maintained incrementally across pivots (rank-one updates below)
-  // and recomputed from scratch only here and after each periodic
-  // refactorization, saving an O(m^2) pass per iteration.
-  computeBasicValues();
+  // Everything the iteration needs is *maintained* across pivots: XB
+  // (rank-one updates), the reduced costs PrimalD (pivot-row updates),
+  // the phase-1 violation states, and the merit itself. Full recomputes
+  // happen only here, after each periodic refactorization, and as the
+  // drift-control backstop -- never per iteration.
+  double Merit = 0.0;
+  bool PricesFresh = false;
 
-  for (;;) {
-    if (RevisedStatus S = B.check(Iterations); S != RevisedStatus::Optimal)
-      return S;
+  // Exact tol-filtered phase-1 infeasibility from the current XB; O(m).
+  auto phase1Merit = [&] {
+    double Sum = 0.0;
+    for (int R = 0; R < NumRows; ++R) {
+      int C = BasicCol[R];
+      double L = colLower(C), U = colUpper(C);
+      if (XB[R] < L - tol::Feas)
+        Sum += L - XB[R];
+      else if (XB[R] > U + tol::Feas)
+        Sum += XB[R] - U;
+    }
+    return Sum;
+  };
 
-    // Build the iteration's cost vector over basic columns; the phase
-    // merit (infeasibility sum or objective) doubles as the stall metric.
-    double Merit = 0.0;
+  auto refresh = [&] {
+    met().PricingFullRecomputes.add();
+    computeBasicValues();
+    Merit = 0.0;
     if (Phase1) {
       for (int R = 0; R < NumRows; ++R) {
         int C = BasicCol[R];
         double L = colLower(C), U = colUpper(C);
         if (XB[R] < L - tol::Feas) {
-          CostB[R] = -1.0;
+          ViolState[R] = -1;
           Merit += L - XB[R];
         } else if (XB[R] > U + tol::Feas) {
-          CostB[R] = 1.0;
+          ViolState[R] = 1;
           Merit += XB[R] - U;
         } else {
-          CostB[R] = 0.0;
+          ViolState[R] = 0;
         }
       }
-      if (Merit <= tol::Phase1)
-        return RevisedStatus::Optimal; // Feasible: phase 1 done.
     } else {
-      for (int R = 0; R < NumRows; ++R) {
-        CostB[R] = Cost[BasicCol[R]];
-        Merit += CostB[R] * XB[R];
-      }
+      for (int R = 0; R < NumRows; ++R)
+        Merit += Cost[BasicCol[R]] * XB[R];
       for (int C = 0; C < NumCols; ++C)
         if (Status[C] != VarStatus::Basic && Cost[C] != 0.0)
           Merit += Cost[C] * nonbasicValue(C);
     }
+    for (int R = 0; R < NumRows; ++R)
+      WorkC[R] =
+          Phase1 ? static_cast<double>(ViolState[R]) : Cost[BasicCol[R]];
+    computeDuals(WorkC, WorkY);
+    for (int C = 0; C < NumCols; ++C)
+      PrimalD[C] = Status[C] == VarStatus::Basic
+                       ? 0.0
+                       : (Phase1 ? 0.0 : Cost[C]) -
+                             columnDot(C, WorkY.data());
+    PricesFresh = true;
+  };
+  refresh();
+
+  // Applies the maintained-D corrections after phase-1 basic-cost changes
+  // (rows whose violation state flipped): Dy = sum_p DeltaC_p * row p of
+  // B^-1, then D_j -= Dy . A_j over the columns those rows touch.
+  std::vector<std::pair<int, double>> ChangedRows;
+  auto applyCostChanges = [&] {
+    if (ChangedRows.empty())
+      return;
+    PatDy.clear();
+    for (const auto &[P, DC] : ChangedRows) {
+      if (!DyMark[P]) {
+        DyMark[P] = 1;
+        PatDy.push_back(P);
+      }
+      DyVal[P] += DC;
+    }
+    btran(DyVal, DyMark, PatDy, RhoVec, PatRho);
+    gatherRowAlphas(RhoVec.data(), PatRho);
+    for (int C : AlphaTouched)
+      if (Status[C] != VarStatus::Basic)
+        PrimalD[C] -= AlphaR[C];
+    ChangedRows.clear();
+  };
+
+  // Recomputes violation state + merit contribution of the rows in PatW
+  // after their XB moved (ViolOld holds the pre-move contributions) and
+  // queues cost-change corrections. OldCostAtLeaveRow: the fixed-c value
+  // the maintained D currently assumes for the column basic at LeaveRow
+  // (0 right after a pivot brought a nonbasic column in; the stored state
+  // on a bound flip). Pass LeaveRow = -1 for bound flips.
+  auto updatePhase1Rows = [&](int LeaveRow) {
+    for (size_t Idx = 0; Idx < PatW.size(); ++Idx) {
+      int R = PatW[Idx];
+      int C = BasicCol[R];
+      double L = colLower(C), U = colUpper(C);
+      double NV = 0.0;
+      signed char NS = 0;
+      if (XB[R] < L - tol::Feas) {
+        NV = L - XB[R];
+        NS = -1;
+      } else if (XB[R] > U + tol::Feas) {
+        NV = XB[R] - U;
+        NS = 1;
+      }
+      Merit += NV - ViolOld[Idx];
+      signed char AssumedCost = R == LeaveRow ? 0 : ViolState[R];
+      if (NS != AssumedCost)
+        ChangedRows.push_back({R, static_cast<double>(NS - AssumedCost)});
+      ViolState[R] = NS;
+    }
+    applyCostChanges();
+  };
+
+  auto captureOldViols = [&] {
+    ViolOld.resize(PatW.size());
+    for (size_t Idx = 0; Idx < PatW.size(); ++Idx) {
+      int R = PatW[Idx];
+      int C = BasicCol[R];
+      double L = colLower(C), U = colUpper(C);
+      if (XB[R] < L - tol::Feas)
+        ViolOld[Idx] = L - XB[R];
+      else if (XB[R] > U + tol::Feas)
+        ViolOld[Idx] = XB[R] - U;
+      else
+        ViolOld[Idx] = 0.0;
+    }
+  };
+
+  for (;;) {
+    if (RevisedStatus S = B.check(Iterations); S != RevisedStatus::Optimal)
+      return S;
+
+    if (Phase1 && Merit <= tol::Phase1) {
+      // Confirm on an exact O(m) pass before ending the phase; the
+      // maintained merit accumulates float dust across pivots.
+      Merit = phase1Merit();
+      if (Merit <= tol::Phase1)
+        return RevisedStatus::Optimal;
+    }
+
+    // Stall detection keys off the incrementally maintained merit -- no
+    // full O(n + m) recompute per iteration.
     if (Merit < LastMerit - 1e-12) {
       StallCount = 0;
-      UseBland = false;
+      if (Opts.Pricing != LpPricing::Bland)
+        UseBland = false;
       LastMerit = Merit;
     } else {
       if (++StallCount > Opts.StallThreshold)
@@ -579,16 +911,18 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
       if (StallCount > 4 * Opts.StallThreshold)
         return RevisedStatus::NumericFail;
     }
-    computeDuals(CostB, Y);
+    if (UseBland)
+      UsedBland = true;
 
-    // Price nonbasic columns. In phase 1 nonbasic costs are zero.
+    // Price from the maintained reduced costs. In phase 1 nonbasic costs
+    // are zero, so PrimalD is -y . A_j either way.
     int Enter = -1;
-    double EnterDir = 0.0, BestScore = tol::Cost;
+    double EnterDir = 0.0, BestScore = 0.0;
     for (int C = 0; C < NumCols; ++C) {
       VarStatus St = Status[C];
       if (St == VarStatus::Basic)
         continue;
-      double D = (Phase1 ? 0.0 : Cost[C]) - columnDot(C, Y.data());
+      double D = PrimalD[C];
       double Dir = 0.0;
       if (St == VarStatus::AtLower && D < -tol::Cost)
         Dir = 1.0;
@@ -603,24 +937,61 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
         EnterDir = Dir;
         break;
       }
-      if (std::fabs(D) > BestScore) {
-        BestScore = std::fabs(D);
+      double Score = Devex ? D * D / DevexW[C] : std::fabs(D);
+      if (Score > BestScore) {
+        BestScore = Score;
         Enter = C;
         EnterDir = Dir;
       }
     }
 
     if (Enter < 0) {
+      if (!PricesFresh) {
+        // Maintained prices say optimal; verify against the factorization
+        // before declaring it (drift control).
+        refresh();
+        continue;
+      }
       if (Phase1)
         return RevisedStatus::Infeasible; // Infeasibility minimized but > 0.
       return RevisedStatus::Optimal;
     }
 
-    ftran(Enter, W);
+    ftran(Enter, W, &PatW);
 
-    // Bounded-variable ratio test. The entering column moves by t >= 0 in
-    // direction EnterDir; basic row R changes by -t * Alpha with
-    // Alpha = EnterDir * W[R].
+    // Entering safeguard: the exact reduced cost from the factorization is
+    // c_Enter - costB . W, one sparse dot over the FTRAN pattern. A
+    // maintained value that drifted past tolerance is repaired in place;
+    // if the repair kills the candidate's eligibility, re-price.
+    double DTrue = Phase1 ? 0.0 : Cost[Enter];
+    for (int I : PatW) {
+      double CB =
+          Phase1 ? static_cast<double>(ViolState[I]) : Cost[BasicCol[I]];
+      if (CB != 0.0)
+        DTrue -= CB * W[I];
+    }
+    bool Drifted = std::fabs(DTrue - PrimalD[Enter]) >
+                   1e-7 * (1.0 + std::fabs(DTrue));
+    PrimalD[Enter] = DTrue;
+    if (Drifted) {
+      met().PricingDriftRepairs.add();
+      if (++RepairStreak >= 8) {
+        // Pervasive drift: rebuild everything instead of repairing one
+        // entry at a time.
+        if (!refactorize())
+          return RevisedStatus::NumericFail;
+        refresh();
+        RepairStreak = 0;
+      }
+      continue; // Re-price with the repaired entry.
+    }
+    RepairStreak = 0;
+    double DEnter = DTrue;
+
+    // Bounded-variable ratio test over the FTRAN pattern (rows outside it
+    // have W[R] == 0 and can never block). The entering column moves by
+    // t >= 0 in direction EnterDir; basic row R changes by -t * Alpha
+    // with Alpha = EnterDir * W[R].
     double EnterL = colLower(Enter), EnterU = colUpper(Enter);
     double OwnRange = (EnterL != -Infinity && EnterU != Infinity)
                           ? EnterU - EnterL
@@ -629,7 +1000,7 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
     int LeaveRow = -1;
     double LeavePivot = 0.0;
     bool LeaveAtLower = false;
-    for (int R = 0; R < NumRows; ++R) {
+    for (int R : PatW) {
       double Alpha = EnterDir * W[R];
       if (std::fabs(Alpha) <= tol::Pivot)
         continue;
@@ -681,28 +1052,114 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
         // treat it as numeric trouble.
         return Phase1 ? RevisedStatus::NumericFail : RevisedStatus::Unbounded;
       }
-      // Bound flip: the entering column traverses its whole range.
+      // Bound flip: the entering column traverses its whole range. The
+      // basis is untouched, so the maintained reduced costs survive as-is
+      // (modulo phase-1 state flips on the rows whose XB moved).
       Status[Enter] = Status[Enter] == VarStatus::AtLower ? VarStatus::AtUpper
                                                           : VarStatus::AtLower;
-      for (int R = 0; R < NumRows; ++R)
-        XB[R] -= EnterDir * OwnRange * W[R];
+      double Delta = EnterDir * OwnRange;
+      if (Phase1)
+        captureOldViols();
+      else
+        Merit += DEnter * Delta;
+      for (int R : PatW)
+        XB[R] -= Delta * W[R];
+      if (Phase1)
+        updatePhase1Rows(/*LeaveRow=*/-1);
       ++Iterations;
       met().Pivots.add();
+      PricesFresh = false;
     } else {
       int LeaveCol = BasicCol[LeaveRow];
       double EnterVal = nonbasicValue(Enter) + EnterDir * BestT;
-      for (int R = 0; R < NumRows; ++R)
+
+      // Pivot-row alphas from the *pre-pivot* B^-1 row (BTRAN through the
+      // eta file), gathered row-sparsely through the CSR mirror; they
+      // drive both the reduced-cost update and the devex weight update.
+      btranRow(LeaveRow);
+      gatherRowAlphas(RhoVec.data(), PatRho);
+
+      // Consistency check: the gathered alpha of the entering column and
+      // the FTRAN pivot element are the same number computed two ways; a
+      // mismatch means the factorization is inconsistent.
+      if (std::fabs(AlphaR[Enter] - W[LeaveRow]) >
+          1e-6 * (1.0 + std::fabs(W[LeaveRow]))) {
+        if (!refactorize())
+          return RevisedStatus::NumericFail;
+        refresh();
+        continue;
+      }
+
+      double Theta = DEnter / W[LeaveRow];
+      double WEnter = DevexW[Enter];
+      double PivA = W[LeaveRow];
+
+      if (Phase1)
+        captureOldViols();
+      else
+        Merit += DEnter * EnterDir * BestT;
+      for (int R : PatW)
         XB[R] -= EnterDir * BestT * W[R];
-      applyPivot(LeaveRow, Enter, W);
+
+      // Incremental pricing: D_j -= theta * alpha_j over the touched
+      // columns only; everything untouched has alpha exactly zero. Devex
+      // reference weights ride the same loop.
+      for (int C : AlphaTouched) {
+        if (Status[C] == VarStatus::Basic)
+          continue;
+        if (C != Enter)
+          PrimalD[C] -= Theta * AlphaR[C];
+        if (Devex) {
+          double Rq = AlphaR[C] / PivA;
+          double Cand = Rq * Rq * WEnter;
+          if (Cand > DevexW[C])
+            DevexW[C] = Cand;
+        }
+      }
+
+      applyPivot(LeaveRow, Enter, W, PatW);
       Status[LeaveCol] =
           LeaveAtLower ? VarStatus::AtLower : VarStatus::AtUpper;
       XB[LeaveRow] = EnterVal;
+      PrimalD[Enter] = 0.0;
+      PrimalD[LeaveCol] = -Theta;
+      if (Devex)
+        DevexW[LeaveCol] = std::max(WEnter / (PivA * PivA), 1.0);
+
+      if (Phase1) {
+        // The leaving column's own phase-1 cost drops from its old state
+        // to zero (it is nonbasic now); its reduced cost shifts by the
+        // same amount directly.
+        double OldS = static_cast<double>(ViolState[LeaveRow]);
+        if (OldS != 0.0)
+          PrimalD[LeaveCol] -= OldS;
+        updatePhase1Rows(LeaveRow);
+      }
+
       ++Iterations;
       met().Pivots.add();
+      PricesFresh = false;
+      // Rent-or-buy factorization reset: once the flops burned replaying
+      // the eta file exceed the cheaper of the two reset prices -- a
+      // kernel re-inversion at ~2k^3 (k basic structural columns) or an
+      // eta fold at ~nnz * m -- pay that reset. Small bases naturally
+      // pick the kernel, large chain-structured ones the fold; the
+      // configured interval only floors the cadence.
       if (SinceRefactor >= std::max(1, Opts.RefactorInterval)) {
-        if (!refactorize())
-          return RevisedStatus::NumericFail;
-        computeBasicValues();
+        std::size_t K = 0;
+        for (int P = 0; P < NumRows; ++P)
+          K += BasicCol[P] < NumStruct;
+        std::size_t KernelCost =
+            2 * K * K * K + static_cast<std::size_t>(NumRows) * NumRows;
+        std::size_t FoldCost =
+            EtaNnzTotal * static_cast<std::size_t>(NumRows);
+        if (ReplayOps >= std::min(KernelCost, FoldCost)) {
+          if (FoldCost <= KernelCost)
+            foldEtas();
+          else if (!refactorize())
+            return RevisedStatus::NumericFail;
+          refresh();
+        }
       }
     }
   }
@@ -711,15 +1168,27 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
 RevisedStatus RevisedSimplex::solve(const RevisedOptions &Opts) {
   met().ColdSolves.add();
   Iterations = 0;
-  // Primal pivots do not maintain the dual-state cache.
+  UsedBland = Opts.Pricing == LpPricing::Bland;
+  // Primal pivots rebuild the dual-state cache below only on success.
   DualStateValid = false;
   installLogicalBasis();
   RevisedStatus S = primal(Opts, /*Phase1=*/true);
   if (S != RevisedStatus::Optimal)
     return S;
   S = primal(Opts, /*Phase1=*/false);
-  if (S == RevisedStatus::Optimal)
+  if (S == RevisedStatus::Optimal) {
+    // Phase 2 only declares Optimal with freshly verified prices, so the
+    // maintained reduced costs are exact for this basis: publish them as
+    // the dual-state cache so branch-and-bound children of a cold-solved
+    // root take the plunge fast path instead of an O(m^2) validation.
+    DualRedCost = PrimalD;
+    LastNonbasic.assign(NumCols, 0.0);
+    for (int C = 0; C < NumCols; ++C)
+      if (Status[C] != VarStatus::Basic)
+        LastNonbasic[C] = nonbasicValue(C);
+    DualStateValid = true;
     extract();
+  }
   return S;
 }
 
@@ -758,6 +1227,7 @@ RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
                                              const RevisedOptions &Opts) {
   met().WarmReopts.add();
   Iterations = 0;
+  UsedBland = Opts.Pricing == LpPricing::Bland;
 
   // Plunge fast path: the child reuses the exact basis the engine already
   // holds from a dual solve that ended Optimal (branch-and-bound plunging
@@ -779,8 +1249,8 @@ RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
       double Delta = NewVal - LastNonbasic[C];
       if (Delta == 0.0)
         continue;
-      ftran(C, WorkW);
-      for (int R = 0; R < NumRows; ++R)
+      ftran(C, WorkW, &PatW);
+      for (int R : PatW)
         XB[R] -= Delta * WorkW[R];
       LastNonbasic[C] = NewVal;
     }
@@ -799,27 +1269,58 @@ RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
     return solve(Opts);
   }
 
-  // Validate dual feasibility of the start basis; a basis that was optimal
-  // before a bound change keeps its reduced costs, so this only fails on
-  // stale snapshots or numeric drift -- fall back to a cold solve.
-  std::vector<double> CostB(NumRows, 0.0);
-  for (int R = 0; R < NumRows; ++R)
-    CostB[R] = Cost[BasicCol[R]];
-  computeDuals(CostB, WorkY);
-  for (int C = 0; C < NumCols; ++C) {
-    if (Status[C] == VarStatus::Basic)
-      continue;
-    double D = reducedCost(C, WorkY.data());
-    bool Bad = (Status[C] == VarStatus::AtLower && D < -DualFeasTol) ||
-               (Status[C] == VarStatus::AtUpper && D > DualFeasTol) ||
-               (Status[C] == VarStatus::Free && std::fabs(D) > DualFeasTol);
-    if (Bad) {
-      met().WarmColdFallbacks.add();
-      return solve(Opts);
+  bool Inherited = false;
+  if (Start.RedCost.size() == static_cast<size_t>(NumCols)) {
+    // The snapshot carries its reduced costs (and devex weights).
+    // Reduced costs depend only on basis and costs -- not bounds -- so
+    // the parent's vector is exact here; the sign check below is the
+    // same validation the recompute path does, minus its O(m^2) BTRAN.
+    met().WarmDualInherits.add();
+    DualRedCost = Start.RedCost;
+    if (Start.DevexW.size() == static_cast<size_t>(NumCols))
+      DevexW = Start.DevexW;
+    for (int C = 0; C < NumCols; ++C) {
+      if (Status[C] == VarStatus::Basic)
+        continue;
+      double D = DualRedCost[C];
+      bool Bad = (Status[C] == VarStatus::AtLower && D < -DualFeasTol) ||
+                 (Status[C] == VarStatus::AtUpper && D > DualFeasTol) ||
+                 (Status[C] == VarStatus::Free && std::fabs(D) > DualFeasTol);
+      if (Bad) {
+        met().WarmColdFallbacks.add();
+        return solve(Opts);
+      }
+    }
+    computeBasicValues();
+    LastNonbasic.assign(NumCols, 0.0);
+    for (int C = 0; C < NumCols; ++C)
+      if (Status[C] != VarStatus::Basic)
+        LastNonbasic[C] = nonbasicValue(C);
+    Inherited = true;
+  } else {
+    // Legacy snapshot without prices: validate dual feasibility the slow
+    // way. A basis that was optimal before a bound change keeps its
+    // reduced costs, so this only fails on stale snapshots or numeric
+    // drift -- fall back to a cold solve.
+    std::vector<double> CostB(NumRows, 0.0);
+    for (int R = 0; R < NumRows; ++R)
+      CostB[R] = Cost[BasicCol[R]];
+    computeDuals(CostB, WorkY);
+    for (int C = 0; C < NumCols; ++C) {
+      if (Status[C] == VarStatus::Basic)
+        continue;
+      double D = reducedCost(C, WorkY.data());
+      bool Bad = (Status[C] == VarStatus::AtLower && D < -DualFeasTol) ||
+                 (Status[C] == VarStatus::AtUpper && D > DualFeasTol) ||
+                 (Status[C] == VarStatus::Free && std::fabs(D) > DualFeasTol);
+      if (Bad) {
+        met().WarmColdFallbacks.add();
+        return solve(Opts);
+      }
     }
   }
 
-  RevisedStatus S = dual(Opts, /*ReuseDualState=*/false);
+  RevisedStatus S = dual(Opts, /*ReuseDualState=*/Inherited);
   if (S == RevisedStatus::NumericFail) {
     met().WarmColdFallbacks.add();
     return solve(Opts);
@@ -832,12 +1333,11 @@ RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
 RevisedStatus RevisedSimplex::dual(const RevisedOptions &Opts,
                                    bool ReuseDualState) {
   Budget B(Opts, NumRows, NumCols);
+  const bool Devex = Opts.Pricing == LpPricing::Devex;
   std::vector<double> CostB(NumRows, 0.0);
   std::vector<double> &Y = WorkY;
   std::vector<double> &W = WorkW;
-  std::vector<double> Rho(NumRows, 0.0);
   std::vector<double> &RedCost = DualRedCost;
-  std::vector<double> Alpha(NumCols, 0.0);
   int StallCount = 0;
   double LastViol = Infinity;
 
@@ -853,6 +1353,7 @@ RevisedStatus RevisedSimplex::dual(const RevisedOptions &Opts,
   // is skipped: the caller guarantees XB, RedCost, and LastNonbasic are
   // current for the held basis.
   auto Refresh = [&] {
+    met().PricingFullRecomputes.add();
     computeBasicValues();
     for (int R = 0; R < NumRows; ++R)
       CostB[R] = Cost[BasicCol[R]];
@@ -902,23 +1403,25 @@ RevisedStatus RevisedSimplex::dual(const RevisedOptions &Opts,
       return RevisedStatus::Optimal;
     }
 
-    const double *BRow = &Binv[static_cast<size_t>(LeaveRow) * NumRows];
-    for (int R = 0; R < NumRows; ++R)
-      Rho[R] = BRow[R];
+    // Pivot-row alphas gathered row-sparsely: BTRAN the leaving row
+    // through the eta file, then scatter its nonzeros through the CSR
+    // mirror instead of one columnDot per nonbasic column. Columns
+    // outside AlphaTouched have alpha exactly zero and can neither enter
+    // nor see their reduced cost move.
+    btranRow(LeaveRow);
+    gatherRowAlphas(RhoVec.data(), PatRho);
 
     // Entering: dual ratio test over the pivot row. Eligibility depends on
     // which bound the leaving variable violates (see header notes); the
     // minimum ratio |d_j / alpha_j| keeps every other reduced cost dual
-    // feasible. Alpha is kept for *every* nonbasic column because the
-    // incremental reduced-cost update below needs the full pivot row.
+    // feasible.
     int Enter = -1;
     double BestRatio = Infinity, EnterAlpha = 0.0;
-    for (int C = 0; C < NumCols; ++C) {
+    for (int C : AlphaTouched) {
       VarStatus St = Status[C];
       if (St == VarStatus::Basic)
         continue;
-      double A = columnDot(C, Rho.data());
-      Alpha[C] = A;
+      double A = AlphaR[C];
       if (std::fabs(A) <= tol::Pivot)
         continue;
       bool Eligible;
@@ -944,8 +1447,13 @@ RevisedStatus RevisedSimplex::dual(const RevisedOptions &Opts,
     if (Enter < 0)
       return RevisedStatus::Infeasible; // Farkas: no entering column exists.
 
-    ftran(Enter, W);
+    ftran(Enter, W, &PatW);
     if (std::fabs(W[LeaveRow]) <= tol::Pivot)
+      return RevisedStatus::NumericFail;
+    // The gathered alpha and the FTRAN pivot element are the same number
+    // computed two ways; a mismatch means the factorization drifted.
+    if (std::fabs(AlphaR[Enter] - W[LeaveRow]) >
+        1e-6 * (1.0 + std::fabs(W[LeaveRow])))
       return RevisedStatus::NumericFail;
 
     int LeaveCol = BasicCol[LeaveRow];
@@ -955,29 +1463,56 @@ RevisedStatus RevisedSimplex::dual(const RevisedOptions &Opts,
     double VOut = Below ? colLower(LeaveCol) : colUpper(LeaveCol);
     double T = (XB[LeaveRow] - VOut) / W[LeaveRow];
     double EnterVal = nonbasicValue(Enter) + T;
-    for (int R = 0; R < NumRows; ++R)
+    for (int R : PatW)
       XB[R] -= T * W[R];
 
     // Incremental dual update: y' = y + theta * rho_r zeroes the entering
     // reduced cost, shifts every other one by -theta * alpha_j, and leaves
-    // the departing variable at -theta.
-    double Theta = RedCost[Enter] / Alpha[Enter];
-    for (int C = 0; C < NumCols; ++C)
-      if (Status[C] != VarStatus::Basic)
-        RedCost[C] -= Theta * Alpha[C];
+    // the departing variable at -theta. Devex reference weights ride the
+    // same sparse loop so a later primal or child solve inherits them.
+    double Theta = RedCost[Enter] / AlphaR[Enter];
+    double WEnter = DevexW[Enter];
+    double PivA = W[LeaveRow];
+    for (int C : AlphaTouched) {
+      if (Status[C] == VarStatus::Basic)
+        continue;
+      if (C != Enter)
+        RedCost[C] -= Theta * AlphaR[C];
+      if (Devex) {
+        double Rq = AlphaR[C] / PivA;
+        double Cand = Rq * Rq * WEnter;
+        if (Cand > DevexW[C])
+          DevexW[C] = Cand;
+      }
+    }
 
-    applyPivot(LeaveRow, Enter, W);
+    applyPivot(LeaveRow, Enter, W, PatW);
     Status[LeaveCol] = Below ? VarStatus::AtLower : VarStatus::AtUpper;
     XB[LeaveRow] = EnterVal;
     RedCost[Enter] = 0.0;
     RedCost[LeaveCol] = -Theta;
+    if (Devex)
+      DevexW[LeaveCol] = std::max(WEnter / (PivA * PivA), 1.0);
     LastNonbasic[LeaveCol] = VOut;
     ++Iterations;
     met().Pivots.add();
+    // Same rent-or-buy factorization reset as the primal loop: pay the
+    // cheaper of kernel re-inversion and eta fold once replay work has
+    // burned that much.
     if (SinceRefactor >= std::max(1, Opts.RefactorInterval)) {
-      if (!refactorize())
-        return RevisedStatus::NumericFail;
-      Refresh();
+      std::size_t K = 0;
+      for (int P = 0; P < NumRows; ++P)
+        K += BasicCol[P] < NumStruct;
+      std::size_t KernelCost =
+          2 * K * K * K + static_cast<std::size_t>(NumRows) * NumRows;
+      std::size_t FoldCost = EtaNnzTotal * static_cast<std::size_t>(NumRows);
+      if (ReplayOps >= std::min(KernelCost, FoldCost)) {
+        if (FoldCost <= KernelCost)
+          foldEtas();
+        else if (!refactorize())
+          return RevisedStatus::NumericFail;
+        Refresh();
+      }
     }
 
     // Stall watchdog: the worst violation must shrink over time; dual
@@ -997,6 +1532,13 @@ Basis RevisedSimplex::basis() const {
   Basis B;
   B.Status = Status;
   B.BasicCol = BasicCol;
+  // Reduced costs depend only on the basis and costs, so a snapshot taken
+  // while the dual-state cache is valid lets a warm child skip the O(m^2)
+  // dual-feasibility recompute. Devex weights are heuristic state -- any
+  // values work, inherited ones just price better.
+  if (DualStateValid)
+    B.RedCost = DualRedCost;
+  B.DevexW = DevexW;
   return B;
 }
 
@@ -1017,6 +1559,7 @@ Solution aqua::lp::solveRevisedSimplex(const Model &M,
   RO.MaxIterations = Opts.MaxIterations;
   RO.TimeLimitSec = Opts.TimeLimitSec;
   RO.StallThreshold = Opts.StallThreshold;
+  RO.Pricing = Opts.Pricing;
   RevisedStatus S = RS.solve(RO);
   Sol.Iterations = RS.iterations();
   if (S == RevisedStatus::NumericFail) {

@@ -263,6 +263,9 @@ void aqua::obs::preregisterPipelineMetrics(MetricsRegistry &R) {
   for (const char *Name :
        {"lp.pivots", "lp.refactorizations", "lp.cold_solves",
         "lp.warm_reopts", "lp.warm_fast_path", "lp.warm_cold_fallbacks",
+        "lp.pricing_full_recomputes", "lp.pricing_drift_repairs",
+        "lp.devex_resets", "lp.ftran_hypersparse", "lp.ftran_dense",
+        "lp.warm_dual_inherits", "lp.eta_folds",
         "lp.bb.solves", "lp.bb.nodes", "lp.bb.pruned", "lp.bb.incumbents",
         "lp.bb.numeric_fallbacks"})
     R.counter(Name);

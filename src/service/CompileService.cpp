@@ -96,7 +96,9 @@ void CompileService::workerLoop() {
     Job J;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
+      ++IdleWorkers;
       QueueCV.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      --IdleWorkers;
       if (Queue.empty())
         return; // Shutting down and drained.
       J = std::move(Queue.front());
@@ -115,11 +117,17 @@ std::future<CompileResponse> CompileService::submit(CompileRequest Request) {
   J.Request = std::move(Request);
   J.EnqueueMicros = obs::Tracer::nowMicros();
   std::future<CompileResponse> Result = J.Promise.get_future();
+  bool Wake;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     Queue.push_back(std::move(J));
+    Wake = IdleWorkers > 0;
   }
-  QueueCV.notify_one();
+  // Only signal when a worker is actually parked: busy workers re-check
+  // the queue on their next loop anyway, and the skipped futex wake is
+  // most of submit's cost under saturation.
+  if (Wake)
+    QueueCV.notify_one();
   return Result;
 }
 
@@ -127,8 +135,32 @@ std::vector<CompileResponse>
 CompileService::compileBatch(std::vector<CompileRequest> Batch) {
   std::vector<std::future<CompileResponse>> Futures;
   Futures.reserve(Batch.size());
-  for (CompileRequest &R : Batch)
-    Futures.push_back(submit(std::move(R)));
+  if (!Batch.empty()) {
+    // Bulk enqueue: one lock acquisition and one (possibly collective)
+    // wakeup for the whole batch instead of a lock + notify per request.
+    Submitted.fetch_add(Batch.size(), std::memory_order_relaxed);
+    met().Submitted.add(Batch.size());
+    std::uint64_t Now = obs::Tracer::nowMicros();
+    std::size_t Parked;
+    {
+      std::lock_guard<std::mutex> Lock(QueueMutex);
+      for (CompileRequest &R : Batch) {
+        Job J;
+        J.Request = std::move(R);
+        J.EnqueueMicros = Now;
+        Futures.push_back(J.Promise.get_future());
+        Queue.push_back(std::move(J));
+      }
+      Parked = static_cast<std::size_t>(IdleWorkers);
+    }
+    if (Parked > 0) {
+      if (Batch.size() >= Parked)
+        QueueCV.notify_all();
+      else
+        for (std::size_t I = 0; I < Batch.size(); ++I)
+          QueueCV.notify_one();
+    }
+  }
   std::vector<CompileResponse> Responses;
   Responses.reserve(Futures.size());
   for (std::future<CompileResponse> &F : Futures)

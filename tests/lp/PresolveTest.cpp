@@ -22,11 +22,16 @@ TEST(Presolve, EliminatesTwoTermEquality) {
   Presolved P = Presolved::run(M);
   EXPECT_FALSE(P.provenInfeasible());
   EXPECT_EQ(P.stats().VarsEliminated, 1);
-  EXPECT_EQ(P.stats().RowsEliminated, 1);
+  // The substitution turns "cap" into a singleton row, which the
+  // singleton-row rule then folds into y's upper bound: both rows go.
+  EXPECT_EQ(P.stats().RowsEliminated, 2);
+  EXPECT_EQ(P.stats().SingletonRowsRemoved, 1);
   EXPECT_EQ(P.reduced().numVars(), 1);
-  EXPECT_EQ(P.reduced().numRows(), 1);
-  // x's lower bound of 1 must fold onto y: x = 2y >= 1 -> y >= 0.5.
+  EXPECT_EQ(P.reduced().numRows(), 0);
+  // x's lower bound of 1 must fold onto y: x = 2y >= 1 -> y >= 0.5; the
+  // cap row 3y <= 9 becomes y <= 3.
   EXPECT_NEAR(P.reduced().var(0).Lower, 0.5, 1e-12);
+  EXPECT_NEAR(P.reduced().var(0).Upper, 3.0, 1e-12);
 
   Solution S = solve(M);
   ASSERT_EQ(S.Status, SolveStatus::Optimal);
@@ -110,4 +115,147 @@ TEST(Presolve, KeepsInequalitiesIntact) {
   Presolved P = Presolved::run(M);
   EXPECT_EQ(P.stats().VarsEliminated, 0);
   EXPECT_EQ(P.reduced().numRows(), 1);
+}
+
+TEST(Presolve, SingletonRowFoldsBound) {
+  // 2x <= 8 is a singleton LE row: folds to x <= 4 and the row goes.
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  M.addVar("y", 0.0, 5.0, 1.0);
+  M.addRow("cap", RowKind::LE, 8.0, {{X, 2.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_FALSE(P.provenInfeasible());
+  EXPECT_EQ(P.stats().SingletonRowsRemoved, 1);
+  EXPECT_EQ(P.stats().BoundsTightened, 1);
+  EXPECT_EQ(P.reduced().numRows(), 0);
+  EXPECT_NEAR(P.reduced().var(X).Upper, 4.0, 1e-12);
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 9.0, 1e-8); // x=4, y=5.
+}
+
+TEST(Presolve, SingletonRowNegativeCoefficient) {
+  // -3x <= -6 means x >= 2 (the sign flips which bound tightens).
+  Model M;
+  VarId X = M.addVar("x", 0.0, 10.0, -1.0); // minimize-x flavor via max.
+  M.addRow("floor", RowKind::LE, -6.0, {{X, -3.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_FALSE(P.provenInfeasible());
+  EXPECT_NEAR(P.reduced().var(X).Lower, 2.0, 1e-12);
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Values[X], 2.0, 1e-9);
+}
+
+TEST(Presolve, CrossedBoundsFromSingletonRowsInfeasible) {
+  // x <= 1 and x >= 3 via singleton rows cross: provably infeasible.
+  Model M;
+  VarId X = M.addVar("x", 0.0, 10.0, 1.0);
+  M.addRow("hi", RowKind::LE, 1.0, {{X, 1.0}});
+  M.addRow("lo", RowKind::GE, 3.0, {{X, 1.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_TRUE(P.provenInfeasible());
+  EXPECT_EQ(solve(M).Status, SolveStatus::Infeasible);
+}
+
+TEST(Presolve, EmptyRowConsistencyAndInfeasibility) {
+  // x - x <= -1 reduces to 0 <= -1: infeasible. 0 <= 1 is fine.
+  Model Ok;
+  VarId A = Ok.addVar("a", 0.0, 4.0, 1.0);
+  Ok.addRow("fine", RowKind::LE, 1.0, {{A, 1.0}, {A, -1.0}});
+  Presolved POk = Presolved::run(Ok);
+  EXPECT_FALSE(POk.provenInfeasible());
+  EXPECT_EQ(POk.stats().EmptyRowsRemoved, 1);
+  EXPECT_EQ(POk.reduced().numRows(), 0);
+
+  Model Bad;
+  VarId B = Bad.addVar("b", 0.0, 4.0, 1.0);
+  Bad.addRow("bad", RowKind::LE, -1.0, {{B, 1.0}, {B, -1.0}});
+  Presolved PBad = Presolved::run(Bad);
+  EXPECT_TRUE(PBad.provenInfeasible());
+  EXPECT_EQ(solve(Bad).Status, SolveStatus::Infeasible);
+}
+
+TEST(Presolve, DuplicateRowsMerged) {
+  // x + y <= 9 and 2x + 2y <= 12 are proportional; the tighter (x+y <= 6)
+  // survives as a single row.
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  VarId Y = M.addVar("y", 0.0, Infinity, 1.0);
+  M.addRow("r1", RowKind::LE, 9.0, {{X, 1.0}, {Y, 1.0}});
+  M.addRow("r2", RowKind::LE, 12.0, {{X, 2.0}, {Y, 2.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_FALSE(P.provenInfeasible());
+  EXPECT_EQ(P.stats().DuplicateRowsRemoved, 1);
+  EXPECT_EQ(P.reduced().numRows(), 1);
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_NEAR(S.Objective, 6.0, 1e-8);
+}
+
+TEST(Presolve, ImpliedFreeColumnSingletonEliminated) {
+  // w appears only in the equality w + x + y == 10; with x,y in [0,4]
+  // the implied range [2,10] fits w's declared [0,20], so w and the row
+  // both go, and w's objective weight shifts onto x and y.
+  Model M;
+  VarId W = M.addVar("w", 0.0, 20.0, 2.0);
+  VarId X = M.addVar("x", 0.0, 4.0, 1.0);
+  VarId Y = M.addVar("y", 0.0, 4.0, 1.0);
+  M.addRow("bal", RowKind::EQ, 10.0, {{W, 1.0}, {X, 1.0}, {Y, 1.0}});
+  Presolved P = Presolved::run(M);
+  EXPECT_FALSE(P.provenInfeasible());
+  EXPECT_EQ(P.stats().SingletonColsEliminated, 1);
+  EXPECT_EQ(P.reduced().numRows(), 0);
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  // max 2w + x + y with w = 10 - x - y: objective = 20 - x - y -> x=y=0.
+  EXPECT_NEAR(S.Objective, 20.0, 1e-8);
+  EXPECT_NEAR(S.Values[W], 10.0, 1e-8);
+  EXPECT_LE(M.maxViolation(S.Values), 1e-9);
+}
+
+TEST(Presolve, PostsolveRoundTripIsExact) {
+  // A model exercising every rule at once: the postsolved full solution
+  // must satisfy the original rows exactly (within solver tolerance) and
+  // reproduce the eliminated variables from the kept ones.
+  Model M;
+  VarId A = M.addVar("a", 0.0, Infinity, 1.0);  // defined: a = 2b
+  VarId B = M.addVar("b", 0.0, Infinity, 0.0);
+  VarId C = M.addVar("c", 0.0, 9.0, 1.0);      // singleton-capped
+  VarId D = M.addVar("d", 0.0, 50.0, 1.0);     // implied-free singleton
+  M.addRow("def", RowKind::EQ, 0.0, {{A, 1.0}, {B, -2.0}});
+  M.addRow("cap", RowKind::LE, 12.0, {{C, 3.0}});
+  M.addRow("dup1", RowKind::LE, 10.0, {{B, 1.0}, {C, 1.0}});
+  M.addRow("dup2", RowKind::LE, 24.0, {{B, 2.0}, {C, 2.0}});
+  M.addRow("bal", RowKind::EQ, 6.0, {{D, 1.0}, {B, 1.0}});
+  M.addRow("noop", RowKind::GE, -1.0, {{A, 1.0}, {A, -1.0}});
+  Presolved P = Presolved::run(M);
+  ASSERT_FALSE(P.provenInfeasible());
+  Solution S = solve(M);
+  ASSERT_EQ(S.Status, SolveStatus::Optimal);
+  EXPECT_LE(M.maxViolation(S.Values), 1e-8);
+  EXPECT_NEAR(S.Values[A], 2.0 * S.Values[B], 1e-9);
+  EXPECT_NEAR(S.Values[D], 6.0 - S.Values[B], 1e-9);
+}
+
+TEST(Presolve, StatsAreMonotoneNonNegative) {
+  // Every counter is non-negative and RowsEliminated covers the breakdown.
+  Model M;
+  VarId X = M.addVar("x", 0.0, Infinity, 1.0);
+  VarId Y = M.addVar("y", 0.0, Infinity, 1.0);
+  M.addRow("def", RowKind::EQ, 0.0, {{X, 1.0}, {Y, -2.0}});
+  M.addRow("cap", RowKind::LE, 8.0, {{X, 2.0}});
+  M.addRow("dup", RowKind::LE, 16.0, {{X, 4.0}});
+  Presolved P = Presolved::run(M);
+  const PresolveStats &St = P.stats();
+  EXPECT_GE(St.VarsEliminated, 0);
+  EXPECT_GE(St.RowsEliminated, 0);
+  EXPECT_GE(St.SingletonRowsRemoved, 0);
+  EXPECT_GE(St.SingletonColsEliminated, 0);
+  EXPECT_GE(St.EmptyRowsRemoved, 0);
+  EXPECT_GE(St.DuplicateRowsRemoved, 0);
+  EXPECT_GE(St.BoundsTightened, 0);
+  EXPECT_GE(St.RowsEliminated,
+            St.SingletonRowsRemoved + St.EmptyRowsRemoved +
+                St.DuplicateRowsRemoved);
 }

@@ -174,3 +174,38 @@ TEST_P(RevisedWarmRandomTest, WarmMatchesColdAfterRandomTightenings) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, RevisedWarmRandomTest, ::testing::Range(0, 6));
+
+TEST(RevisedSimplex, BlandPricingSolvesAndReports) {
+  // Explicitly configured Bland pricing must reach the optimum and be
+  // reported through usedBland().
+  Model M = twoVarModel();
+  RevisedSimplex Engine(M);
+  RevisedOptions Opts;
+  Opts.Pricing = LpPricing::Bland;
+  ASSERT_EQ(Engine.solve(Opts), RevisedStatus::Optimal);
+  EXPECT_NEAR(Engine.objective(), 12.0, 1e-9);
+  EXPECT_TRUE(Engine.usedBland());
+}
+
+TEST(RevisedSimplex, StallEngagesBlandOnDegenerateModel) {
+  // A fully degenerate chain (max sum x_i with x_i +- x_{i+1} <= 0 and
+  // x >= 0 forces x = 0): the objective never improves, every pivot is
+  // degenerate, and with a two-iteration stall threshold the watchdog
+  // must hand pricing to Bland's rule -- which then proves optimality
+  // instead of cycling or tripping the numeric-failure backstop.
+  Model M;
+  std::vector<VarId> X;
+  for (int I = 0; I < 6; ++I)
+    X.push_back(M.addVar("x", 0.0, Infinity, 1.0));
+  for (int I = 0; I + 1 < 6; ++I) {
+    M.addRow("p", RowKind::LE, 0.0, {{X[I], 1.0}, {X[I + 1], 1.0}});
+    M.addRow("m", RowKind::LE, 0.0, {{X[I], 1.0}, {X[I + 1], -1.0}});
+  }
+
+  RevisedSimplex Engine(M);
+  RevisedOptions Opts;
+  Opts.StallThreshold = 2;
+  ASSERT_EQ(Engine.solve(Opts), RevisedStatus::Optimal);
+  EXPECT_NEAR(Engine.objective(), 0.0, 1e-9);
+  EXPECT_TRUE(Engine.usedBland());
+}
