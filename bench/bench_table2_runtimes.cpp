@@ -19,14 +19,27 @@
 // appears to fold unary operations into their producers); the growth trend
 // across assays is the comparable quantity.
 //
+// A second section times *execution* of the managed programs on both
+// engines (tree-walking runtime::Simulator vs the aqua/vm bytecode
+// interpreter); --engine=vm|interp|both restricts it, and
+// BENCH_table2_runtimes.json records both so the speedup is visible in
+// committed BENCH files.
+//
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
 
 #include "aqua/assays/PaperAssays.h"
+#include "aqua/codegen/Codegen.h"
 #include "aqua/core/DagSolve.h"
 #include "aqua/core/Formulation.h"
+#include "aqua/core/Manager.h"
 #include "aqua/core/Partition.h"
+#include "aqua/runtime/Simulator.h"
+#include "aqua/vm/Compiler.h"
+#include "aqua/vm/VM.h"
+
+#include <cstring>
 
 using namespace aqua;
 using namespace aqua::core;
@@ -70,11 +83,73 @@ FormulationOptions glycomicsLPOptions(const PartitionPlan &Plan,
   return FOpts;
 }
 
+/// Times managed execution of \p Raw on one engine (program prepared and,
+/// for the vm, compiled outside the timed region). Returns {median wall
+/// seconds, instructions per run}, or {-1, 0} when management fails.
+std::pair<double, std::uint64_t> timeManagedRun(const AssayGraph &Raw,
+                                                bool UseVm) {
+  MachineSpec Spec;
+  ManagerResult VM = manageVolumes(Raw, Spec);
+  if (!VM.Feasible)
+    return {-1.0, 0};
+  VolumeAssignment Metered = integerToNl(VM.Graph, VM.Rounded, Spec);
+  codegen::CodegenOptions CG;
+  CG.Mode = codegen::VolumeMode::Managed;
+  CG.Volumes = &Metered;
+  auto P = codegen::generateAIS(VM.Graph, {}, CG);
+  runtime::SimOptions SO;
+  SO.Graph = &VM.Graph;
+  runtime::SimResult S;
+  double Sec;
+  if (UseVm) {
+    vm::CompileOptions CO;
+    CO.Spec = SO.Spec;
+    CO.Graph = SO.Graph;
+    auto Prog = vm::compile(*P, CO);
+    if (!Prog.ok())
+      return {-1.0, 0};
+    vm::RunOptions RO;
+    RO.Seed = SO.Seed;
+    vm::Interp I;
+    I.bind(*Prog);
+    Sec = medianSeconds(
+        [&] {
+          I.reset(RO);
+          I.run();
+          S = I.finish();
+        },
+        9);
+  } else {
+    Sec = medianSeconds([&] { S = runtime::simulate(*P, SO); }, 9);
+  }
+  return {Sec, static_cast<std::uint64_t>(S.InstructionsExecuted)};
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  bool RunInterp = true, RunVm = true;
+  for (int I = 1; I < argc; ++I) {
+    if (!std::strcmp(argv[I], "--engine=interp"))
+      RunVm = false;
+    else if (!std::strcmp(argv[I], "--engine=vm"))
+      RunInterp = false;
+    else if (std::strcmp(argv[I], "--engine=both")) {
+      std::fprintf(stderr, "usage: %s [--engine=vm|interp|both]\n", argv[0]);
+      return 2;
+    }
+  }
+
   MachineSpec Spec;
   double Budget = fullRun() ? 0.0 : 15.0;
+  JsonReporter Json("table2_runtimes");
+  auto solverRecord = [&Json](const Row &R) {
+    Json.add(std::string(R.Name) + "/solve")
+        .param("assay", R.Name)
+        .metric("dagsolve_sec", R.DagSec)
+        .metric("lp_sec", R.LpSec)
+        .metric("lp_constraints", R.Constraints);
+  };
 
   std::printf("Table 2 (run-time columns): DAGSolve vs LP\n");
   std::printf("  %-10s %12s %12s %9s %8s   | %s\n", "assay", "DAGSolve",
@@ -91,6 +166,7 @@ int main() {
     R.LpIters = LP.Solution.Iterations;
     R.Constraints = LP.CountedConstraints;
     printRow(R);
+    solverRecord(R);
   }
 
   // ----- Glycomics: partitioned; Vnorms at compile time, dispensing per
@@ -114,6 +190,7 @@ int main() {
         [&] { LP = solveRVolLP(Plan.Graph, Spec, FOpts); }, 9);
     R.Constraints = LP.CountedConstraints;
     printRow(R);
+    solverRecord(R);
   }
 
   // ----- Enzyme (4 dilutions). LP is infeasible on the raw assay (that is
@@ -127,6 +204,7 @@ int main() {
     R.LpSec = medianSeconds([&] { LP = solveRVolLP(G, Spec); }, 5);
     R.Constraints = LP.CountedConstraints;
     printRow(R);
+    solverRecord(R);
   }
 
   // ----- Enzyme10.
@@ -143,6 +221,7 @@ int main() {
                     LP.Solution.Status == lp::SolveStatus::Infeasible;
     R.LpSec = Finished ? Sec : -1.0;
     printRow(R);
+    solverRecord(R);
     if (!Finished)
       std::printf("    (Enzyme10 LP stopped at the %.0f s budget with "
                   "status '%s' after %lld pivots;\n     set "
@@ -172,10 +251,63 @@ int main() {
     R.Constraints = LP.CountedConstraints;
     R.LpSec = LP.Solution.Status == lp::SolveStatus::Optimal ? Sec : -1.0;
     printRow(R);
+    solverRecord(R);
     if (R.LpSec < 0.0)
       std::printf("    (optimizing LP exceeded the %.0f s budget after "
                   "%lld pivots; AQUAVOL_BENCH_FULL=1 runs it out)\n",
                   Budget, static_cast<long long>(LP.Solution.Iterations));
+  }
+
+  // ----- Managed execution: tree-walking simulator vs bytecode VM. The
+  // same managed program, the same seed, bit-identical SimResults (the vm
+  // oracle enforces it); only the wall time differs.
+  std::printf("\nManaged execution (same program, both engines):\n");
+  std::printf("  %-10s %12s %12s %10s %14s\n", "assay", "interp", "vm",
+              "speedup", "instr/run");
+  {
+    struct ExecCase {
+      const char *Name;
+      int Dilutions; // 0 = glucose.
+    };
+    ExecCase ExecCases[] = {{"Glucose", 0}, {"Enzyme", 4}};
+    for (const ExecCase &C : ExecCases) {
+      AssayGraph G = C.Dilutions == 0 ? assays::buildGlucoseAssay()
+                                      : assays::buildEnzymeAssay(C.Dilutions);
+      double InterpSec = -1.0, VmSec = -1.0;
+      std::uint64_t Instrs = 0;
+      if (RunInterp) {
+        auto [Sec, N] = timeManagedRun(G, /*UseVm=*/false);
+        InterpSec = Sec;
+        Instrs = N;
+        Json.add(std::string(C.Name) + "/exec")
+            .param("assay", C.Name)
+            .param("engine", "interp")
+            .metric("median_sec", Sec)
+            .metric("instructions", static_cast<double>(N))
+            .metric("instr_per_sec",
+                    Sec > 0.0 ? static_cast<double>(N) / Sec : 0.0);
+      }
+      if (RunVm) {
+        auto [Sec, N] = timeManagedRun(G, /*UseVm=*/true);
+        VmSec = Sec;
+        Instrs = N;
+        Json.add(std::string(C.Name) + "/exec")
+            .param("assay", C.Name)
+            .param("engine", "vm")
+            .metric("median_sec", Sec)
+            .metric("instructions", static_cast<double>(N))
+            .metric("instr_per_sec",
+                    Sec > 0.0 ? static_cast<double>(N) / Sec : 0.0);
+      }
+      std::string Speedup =
+          InterpSec > 0.0 && VmSec > 0.0
+              ? std::to_string(static_cast<long long>(InterpSec / VmSec)) + "x"
+              : "-";
+      std::printf("  %-10s %12s %12s %10s %14llu\n", C.Name,
+                  InterpSec >= 0.0 ? fmtSeconds(InterpSec).c_str() : "-",
+                  VmSec >= 0.0 ? fmtSeconds(VmSec).c_str() : "-",
+                  Speedup.c_str(), static_cast<unsigned long long>(Instrs));
+    }
   }
 
   std::printf("\nShape check: DAGSolve is consistently orders of magnitude "

@@ -10,10 +10,13 @@
 //
 //   aquad MANIFEST [--threads N] [--no-cache] [--max-entries N]
 //                  [--capacity NL] [--least-count NL] [--simulate]
-//                  [--trace-out FILE] [--metrics-out FILE]
+//                  [--fleet N] [--trace-out FILE] [--metrics-out FILE]
 //
 // --simulate runs each unique successful artifact once through the
 // AquaCore simulator (regeneration on, fixed separation yield).
+// --fleet N runs each unique assay as an N-chip aqua/vm fleet (shared
+// virtual-time queue, shared reservoirs, Section 3.5 online
+// re-management) on the service's worker-thread count.
 // --trace-out enables span tracing and writes a Chrome trace-event JSON
 // (chrome://tracing, Perfetto); --metrics-out dumps the metrics registry.
 //
@@ -30,11 +33,13 @@
 
 #include "aqua/assays/ExtraAssays.h"
 #include "aqua/assays/PaperAssays.h"
+#include "aqua/lang/Lower.h"
 #include "aqua/obs/Metrics.h"
 #include "aqua/obs/Timer.h"
 #include "aqua/obs/Trace.h"
 #include "aqua/runtime/Simulator.h"
 #include "aqua/service/CompileService.h"
+#include "aqua/vm/Fleet.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -54,7 +59,8 @@ int usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s MANIFEST [--threads N] [--no-cache]"
                " [--max-entries N] [--capacity NL] [--least-count NL]"
-               " [--simulate] [--trace-out FILE] [--metrics-out FILE]\n",
+               " [--simulate] [--fleet N] [--trace-out FILE]"
+               " [--metrics-out FILE]\n",
                Argv0);
   return 2;
 }
@@ -135,6 +141,7 @@ int main(int argc, char **argv) {
   Options.Threads = 4;
   core::MachineSpec Spec;
   bool Simulate = false;
+  int FleetChips = 0;
   std::string TraceOut, MetricsOut;
 
   for (int I = 1; I < argc; ++I) {
@@ -145,6 +152,8 @@ int main(int argc, char **argv) {
       Options.EnableCache = false;
     else if (!std::strcmp(argv[I], "--simulate"))
       Simulate = true;
+    else if ((V = flagValue("--fleet", I, argc, argv)))
+      FleetChips = parseInt("--fleet", V);
     else if (!std::strcmp(argv[I], "--max-entries") && I + 1 < argc)
       Options.Cache.MaxEntries =
           static_cast<std::size_t>(parseInt("--max-entries", argv[++I]));
@@ -176,6 +185,9 @@ int main(int argc, char **argv) {
   }
 
   std::vector<service::CompileRequest> Batch;
+  /// Unique manifest entries in first-appearance order, for --fleet.
+  std::vector<std::pair<std::string, std::string>> UniqueAssays;
+  std::set<std::string> SeenSpecs;
   std::string Line;
   int LineNo = 0;
   while (std::getline(Manifest, Line)) {
@@ -202,6 +214,8 @@ int main(int argc, char **argv) {
                    What.c_str());
       return 1;
     }
+    if (SeenSpecs.insert(What).second)
+      UniqueAssays.emplace_back(What, Source);
     for (long R = 0; R < Repeats; ++R) {
       service::CompileRequest Req;
       Req.Name = What;
@@ -286,6 +300,53 @@ int main(int argc, char **argv) {
                 "%.1f nl waste\n",
                 SimRuns, SimFailures, Regens, WetSec, DeliveredNl, WasteNl);
     Failures += SimFailures;
+  }
+
+  if (FleetChips > 0) {
+    // One fleet per unique manifest assay: compile the fleet image once
+    // (partition plan + per-partition bytecode templates), then run N
+    // chip instances under the shared virtual-time queue with shared
+    // reservoirs and Section 3.5 online re-management enabled.
+    vm::FleetOptions FO;
+    FO.NumChips = FleetChips;
+    FO.Threads = std::max(1, Options.Threads);
+    FO.SharedReservoirs = true;
+    std::printf("  fleet         %d chips x %zu assays, %d threads\n",
+                FleetChips, UniqueAssays.size(), FO.Threads);
+    for (const auto &[What, Source] : UniqueAssays) {
+      auto Lowered = lang::compileAssay(Source);
+      if (!Lowered.ok()) {
+        std::fprintf(stderr, "aquad: fleet %s: %s\n", What.c_str(),
+                     Lowered.message().c_str());
+        ++Failures;
+        continue;
+      }
+      auto Image = vm::compileFleetImage(Lowered->Graph, Spec);
+      if (!Image.ok()) {
+        std::fprintf(stderr, "aquad: fleet %s: %s\n", What.c_str(),
+                     Image.message().c_str());
+        ++Failures;
+        continue;
+      }
+      vm::FleetResult FR = vm::runFleet(*Image, FO);
+      std::printf("    %-20s %d/%d chips, makespan %.1f s, "
+                  "%llu instrs, %llu regens, %d re-manages, %d reruns\n",
+                  What.c_str(), FR.ChipsCompleted, FO.NumChips, FR.MakespanSec,
+                  static_cast<unsigned long long>(FR.InstructionsExecuted),
+                  static_cast<unsigned long long>(FR.Regenerations),
+                  FR.OnlineRemanages, FR.PartitionReruns);
+      if (FR.ChipsFailed != 0) {
+        const char *Why = "";
+        for (const vm::ChipResult &C : FR.Chips)
+          if (!C.Completed && !C.Error.empty()) {
+            Why = C.Error.c_str();
+            break;
+          }
+        std::fprintf(stderr, "aquad: fleet %s: %d chips failed (%s)\n",
+                     What.c_str(), FR.ChipsFailed, Why);
+        ++Failures;
+      }
+    }
   }
 
   if (!TraceOut.empty() && !obs::Tracer::global().writeChromeTrace(TraceOut))

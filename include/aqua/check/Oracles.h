@@ -44,7 +44,11 @@
 ///                   pure reformulations), the postsolved solution
 ///                   satisfies the *original* constraints, and devex
 ///                   pricing agrees with Bland's rule (pivot order never
-///                   changes the answer).
+///                   changes the answer);
+///  * Vm          -- the bytecode VM's SimResult is bit-for-bit equal to
+///                   the tree-walking simulator's under the same seed:
+///                   every volume, second, counter, sense reading, and
+///                   error string (exact ==, no tolerance).
 ///
 /// Exactness policy: structural and integer checks are exact. Checks that
 /// compare doubles computed along different code paths (LP objectives, the
@@ -80,8 +84,9 @@ enum class Oracle : unsigned {
   Cache,
   Engines,
   Presolve,
+  Vm,
 };
-inline constexpr unsigned NumOracles = 10;
+inline constexpr unsigned NumOracles = 11;
 
 /// Short lower-case name, e.g. "solvers".
 const char *oracleName(Oracle O);

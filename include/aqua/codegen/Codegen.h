@@ -56,6 +56,13 @@ struct CodegenOptions {
   VolumeMode Mode = VolumeMode::Relative;
   /// Required in Managed mode: per-edge volumes (nl) for the same graph.
   const core::VolumeAssignment *Volumes = nullptr;
+  /// Optional AIS introspection: when non-null, filled with one entry per
+  /// emitted instruction holding the edge whose metered volume the
+  /// instruction carries (managed move-abs), or -1 for every other
+  /// instruction. Lets callers re-meter a generated program for a new
+  /// volume assignment of the same graph without regenerating it (the
+  /// bytecode VM's fleet driver patches volume tables this way).
+  std::vector<ir::EdgeId> *EdgeOfInstr = nullptr;
 };
 
 /// Generates AIS for \p G. Fails when the graph exceeds the machine's

@@ -7,8 +7,8 @@
 /// \file
 /// The one monotonic wall-clock timing primitive, shared by the Table 2
 /// run-time experiments, the compilation service's latency accounting, and
-/// the aqua/obs tracer. (Moved here from aqua/support/Timer.h, which
-/// remains as a back-compat forwarding header.)
+/// the aqua/obs tracer. (Moved here from the old aqua/support/Timer.h, now
+/// deleted.)
 ///
 //===----------------------------------------------------------------------===//
 

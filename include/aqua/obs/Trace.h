@@ -51,6 +51,8 @@ enum TracePid : std::uint32_t {
   PidPipeline = 1,
   /// Virtual-time events on the simulated fluidic clock.
   PidSimulated = 2,
+  /// Virtual-time events of a fleet simulation (one row per chip).
+  PidFleet = 3,
 };
 
 /// One trace-event record. `Phase` follows the trace-event format: 'X' is

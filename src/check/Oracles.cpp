@@ -19,6 +19,8 @@
 #include "aqua/service/CompileService.h"
 #include "aqua/service/RequestKey.h"
 #include "aqua/support/StringUtils.h"
+#include "aqua/vm/Compiler.h"
+#include "aqua/vm/VM.h"
 
 #include <algorithm>
 #include <cmath>
@@ -50,6 +52,8 @@ const char *aqua::check::oracleName(Oracle O) {
     return "engines";
   case Oracle::Presolve:
     return "presolve";
+  case Oracle::Vm:
+    return "vm";
   }
   return "?";
 }
@@ -360,7 +364,7 @@ public:
         checkManaged(VM);
     }
 
-    if (on(Oracle::Simulation))
+    if (on(Oracle::Simulation) || on(Oracle::Vm))
       checkSimulation(G, VM);
 
     if (on(Oracle::Metamorphic))
@@ -706,6 +710,80 @@ private:
                              "recomputation");
   }
 
+  /// Compiles \p Prog to bytecode and checks the VM reproduces \p Sim bit
+  /// for bit.
+  void checkVmEquivalence(const codegen::AISProgram &Prog,
+                          const runtime::SimOptions &SO,
+                          const runtime::SimResult &Sim) {
+    vm::CompileOptions CO;
+    CO.Spec = SO.Spec;
+    CO.Graph = SO.Graph;
+    auto BC = vm::compile(Prog, CO);
+    if (!BC.ok()) {
+      fail(Oracle::Vm,
+           format("bytecode compile failed: %s", BC.message().c_str()));
+      return;
+    }
+    vm::RunOptions RO;
+    RO.EnableRegeneration = SO.EnableRegeneration;
+    RO.Seed = SO.Seed;
+    RO.MinSeparationYield = SO.MinSeparationYield;
+    RO.MaxSeparationYield = SO.MaxSeparationYield;
+    RO.FixedSeparationYield = SO.FixedSeparationYield;
+    RO.MoveSeconds = SO.MoveSeconds;
+    RO.MaxRegenRetries = SO.MaxRegenRetries;
+    runtime::SimResult Vm = vm::run(*BC, RO);
+
+    auto mismatch = [&](const char *What, const std::string &Detail) {
+      fail(Oracle::Vm, format("VM diverges from simulator on %s: %s", What,
+                              Detail.c_str()));
+    };
+    if (Vm.Completed != Sim.Completed || Vm.Error != Sim.Error)
+      return mismatch("outcome",
+                      format("sim completed=%d error='%s', vm completed=%d "
+                             "error='%s'",
+                             Sim.Completed, Sim.Error.c_str(), Vm.Completed,
+                             Vm.Error.c_str()));
+    if (Vm.Regenerations != Sim.Regenerations ||
+        Vm.UnderflowEvents != Sim.UnderflowEvents ||
+        Vm.OverflowEvents != Sim.OverflowEvents ||
+        Vm.SubLeastCountMoves != Sim.SubLeastCountMoves ||
+        Vm.InstructionsExecuted != Sim.InstructionsExecuted)
+      return mismatch("counters",
+                      format("sim regen/under/over/sublc/instr "
+                             "%d/%d/%d/%d/%d, vm %d/%d/%d/%d/%d",
+                             Sim.Regenerations, Sim.UnderflowEvents,
+                             Sim.OverflowEvents, Sim.SubLeastCountMoves,
+                             Sim.InstructionsExecuted, Vm.Regenerations,
+                             Vm.UnderflowEvents, Vm.OverflowEvents,
+                             Vm.SubLeastCountMoves, Vm.InstructionsExecuted));
+    if (Vm.FluidSeconds != Sim.FluidSeconds ||
+        Vm.DeliveredNl != Sim.DeliveredNl || Vm.WasteNl != Sim.WasteNl)
+      return mismatch("totals",
+                      format("sim sec/delivered/waste %.17g/%.17g/%.17g, vm "
+                             "%.17g/%.17g/%.17g",
+                             Sim.FluidSeconds, Sim.DeliveredNl, Sim.WasteNl,
+                             Vm.FluidSeconds, Vm.DeliveredNl, Vm.WasteNl));
+    if (Vm.InputDrawnNl != Sim.InputDrawnNl)
+      return mismatch("input accounting",
+                      format("%zu vs %zu ports or differing draws",
+                             Sim.InputDrawnNl.size(), Vm.InputDrawnNl.size()));
+    if (Vm.Senses.size() != Sim.Senses.size())
+      return mismatch("sense count", format("sim %zu, vm %zu",
+                                            Sim.Senses.size(),
+                                            Vm.Senses.size()));
+    for (std::size_t I = 0; I < Sim.Senses.size(); ++I) {
+      const runtime::SenseReading &A = Sim.Senses[I];
+      const runtime::SenseReading &B = Vm.Senses[I];
+      if (A.Name != B.Name || A.VolumeNl != B.VolumeNl ||
+          A.Composition != B.Composition)
+        return mismatch("sense reading",
+                        format("'%s' (index %zu) differs in name, volume, "
+                               "or composition",
+                               A.Name.c_str(), I));
+    }
+  }
+
   /// Runs the generated AIS on the PLoC simulator and cross-checks sensed
   /// compositions against the exact prediction.
   void checkSimulation(const AssayGraph &Lowered,
@@ -732,6 +810,15 @@ private:
     SO.FixedSeparationYield = Opts.FixedYield;
     runtime::SimResult S = runtime::simulate(*Prog, SO);
     R.Simulated = true;
+
+    // Bytecode-VM oracle: bit-for-bit SimResult equality against the
+    // tree-walking simulator under the same options, completed or not --
+    // error strings, counters, volumes and sense readings all exact.
+    if (on(Oracle::Vm))
+      checkVmEquivalence(*Prog, SO, S);
+    if (!on(Oracle::Simulation))
+      return;
+
     if (!S.Completed) {
       // A relative run moves unmetered part-ratios, so a consumer can
       // legitimately demand more than a yield-lossy producer is able to

@@ -129,7 +129,10 @@ private:
 
   // ----- Emission ---------------------------------------------------------
 
-  void emit(Instruction I) { Prog.Instrs.push_back(std::move(I)); }
+  void emit(Instruction I, EdgeId MeteredEdge = -1) {
+    Prog.Instrs.push_back(std::move(I));
+    EdgeOf.push_back(MeteredEdge);
+  }
   void emitMoveAll(Loc Dst, Loc Src, NodeId N) {
     Instruction I;
     I.Op = Opcode::Move;
@@ -149,6 +152,7 @@ private:
   const MachineLayout &Layout;
   const CodegenOptions &Opts;
   AISProgram Prog;
+  std::vector<EdgeId> EdgeOf; // Parallel to Prog.Instrs; see EdgeOfInstr.
   std::string Diag;
 
   std::vector<char> ResBusy = std::vector<char>(256, 0);
@@ -300,14 +304,16 @@ bool Generator::emitOperandMoves(NodeId N, const Loc &Unit) {
     MI.Dst = Unit;
     MI.Src = ValueLoc[E.Src];
     MI.Node = N;
+    EdgeId MeteredEdge = -1;
     if (Opts.Mode == VolumeMode::Managed) {
       MI.Op = Opcode::MoveAbs;
       MI.VolumeNl = Opts.Volumes->EdgeVolumeNl[In[I]];
+      MeteredEdge = In[I];
     } else {
       MI.Op = Opcode::Move;
       MI.RelParts = Parts.empty() ? 0 : Parts[I];
     }
-    emit(std::move(MI));
+    emit(std::move(MI), MeteredEdge);
     consumeUse(E.Src);
   }
   return true;
@@ -474,6 +480,8 @@ Expected<AISProgram> Generator::run() {
   for (NodeId N : G.topologicalOrder())
     if (!emitNode(N))
       return Expected<AISProgram>::error(Diag);
+  if (Opts.EdgeOfInstr)
+    *Opts.EdgeOfInstr = std::move(EdgeOf);
   return Expected<AISProgram>(std::move(Prog));
 }
 

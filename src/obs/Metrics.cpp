@@ -283,6 +283,21 @@ void aqua::obs::preregisterPipelineMetrics(MetricsRegistry &R) {
         "sim.volume.waste_nl"})
     R.gauge(Name);
 
+  // Bytecode VM and fleet simulation (vm/VM.cpp, vm/Compiler.cpp,
+  // vm/Fleet.cpp). The vm.* counters mirror sim.* so engine comparisons
+  // line up column for column.
+  for (const char *Name :
+       {"vm.runs", "vm.instructions", "vm.regenerations", "vm.underflows",
+        "vm.overflows", "vm.sub_least_count_moves", "vm.compile.programs",
+        "vm.compile.instrs", "vm.fleet.chips", "vm.fleet.chips_failed",
+        "vm.fleet.segments", "vm.fleet.online_remanages",
+        "vm.fleet.partition_reruns", "vm.fleet.segment_recompiles"})
+    R.counter(Name);
+  for (const char *Name :
+       {"vm.volume.input_nl", "vm.volume.delivered_nl", "vm.volume.waste_nl",
+        "vm.fleet.makespan_sec", "vm.fleet.reservoir_wait_sec"})
+    R.gauge(Name);
+
   // Leveled logging (Log.cpp).
   for (const char *Name : {"obs.log.debug", "obs.log.info", "obs.log.warn",
                            "obs.log.error", "obs.log.suppressed"})

@@ -169,6 +169,8 @@ std::string Tracer::json() const {
   Out += metadataLine(PidPipeline, "aqua pipeline (wall clock)");
   Out += ",\n";
   Out += metadataLine(PidSimulated, "simulated fluidics (wet clock)");
+  Out += ",\n";
+  Out += metadataLine(PidFleet, "fleet simulation (wet clock, row per chip)");
   for (const TraceEvent &E : Events) {
     Out += ",\n    {\"name\": ";
     appendQuoted(Out, E.Name);

@@ -7,7 +7,7 @@
 #include "aqua/support/Error.h"
 #include "aqua/support/Random.h"
 #include "aqua/support/StringUtils.h"
-#include "aqua/support/Timer.h"
+#include "aqua/obs/Timer.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,144 @@
+//===- CompilerTest.cpp - AIS to bytecode lowering tests -------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/vm/Compiler.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/codegen/Codegen.h"
+#include "aqua/core/DagSolve.h"
+#include "aqua/core/Rounding.h"
+
+#include <gtest/gtest.h>
+
+using namespace aqua;
+using namespace aqua::codegen;
+using namespace aqua::core;
+using namespace aqua::ir;
+using namespace aqua::vm;
+
+TEST(Compiler, GlucoseRelativeLowering) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  auto P = generateAIS(G);
+  ASSERT_TRUE(P.ok()) << P.message();
+
+  CompileOptions CO;
+  CO.Graph = &G;
+  auto BC = compile(*P, CO);
+  ASSERT_TRUE(BC.ok()) << BC.message();
+
+  // One bytecode instruction per AIS instruction, with the rendered AIS
+  // text preserved for error parity with the simulator.
+  ASSERT_EQ(BC->Code.size(), P->Instrs.size());
+  ASSERT_EQ(BC->InstrText.size(), P->Instrs.size());
+  for (std::size_t I = 0; I < P->Instrs.size(); ++I)
+    EXPECT_EQ(BC->InstrText[I], P->Instrs[I].str());
+
+  EXPECT_GT(BC->NumSlots, 0);
+  EXPECT_EQ(BC->SlotIsFunctionalUnit.size(),
+            static_cast<std::size_t>(BC->NumSlots));
+  // Glucose draws three fluids.
+  EXPECT_EQ(BC->numFluids(), 3);
+  EXPECT_EQ(BC->numSenses(), 5);
+}
+
+TEST(Compiler, RelativeVolumesAreConstantFolded) {
+  // Every relative move must carry a pre-planned volume: the interpreter's
+  // hot path never re-derives the fill-to-capacity policy.
+  AssayGraph G = assays::buildGlucoseAssay();
+  auto P = generateAIS(G);
+  ASSERT_TRUE(P.ok());
+  auto BC = compile(*P, CompileOptions{});
+  ASSERT_TRUE(BC.ok()) << BC.message();
+
+  std::size_t MeteredMoves = 0;
+  for (const Instr &I : BC->Code)
+    if (I.Code == Op::MoveVol) {
+      ASSERT_NE(I.VolIdx, NoVolume);
+      ASSERT_LT(I.VolIdx, BC->VolumeTable.size());
+      EXPECT_GT(BC->VolumeTable[I.VolIdx], 0.0);
+      ++MeteredMoves;
+    }
+  EXPECT_GT(MeteredMoves, 0u);
+}
+
+TEST(Compiler, RegenSlicesAreBoundAndSorted) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  auto P = generateAIS(G);
+  ASSERT_TRUE(P.ok());
+
+  CompileOptions CO;
+  CO.Graph = &G;
+  auto BC = compile(*P, CO);
+  ASSERT_TRUE(BC.ok());
+
+  std::size_t Bound = 0;
+  for (const Instr &I : BC->Code) {
+    if (I.RegenBegin == NoSlice)
+      continue;
+    ++Bound;
+    ASSERT_LE(static_cast<std::size_t>(I.RegenBegin + I.RegenCount),
+              BC->RegenSlices.size());
+    for (std::int32_t J = 1; J < I.RegenCount; ++J)
+      EXPECT_LT(BC->RegenSlices[I.RegenBegin + J - 1],
+                BC->RegenSlices[I.RegenBegin + J]);
+    for (std::int32_t J = 0; J < I.RegenCount; ++J)
+      EXPECT_LT(static_cast<std::size_t>(BC->RegenSlices[I.RegenBegin + J]),
+                BC->Code.size());
+  }
+  // Mixes consuming produced fluids have producing slices to replay.
+  EXPECT_GT(Bound, 0u);
+
+  // Without the graph, no slices exist (the simulator's no-graph regime).
+  auto NoGraph = compile(*P, CompileOptions{});
+  ASSERT_TRUE(NoGraph.ok());
+  for (const Instr &I : NoGraph->Code)
+    EXPECT_EQ(I.RegenBegin, NoSlice);
+}
+
+TEST(Compiler, DeterministicAndCompact) {
+  AssayGraph G = assays::buildEnzymeAssay(4);
+  auto P = generateAIS(G);
+  ASSERT_TRUE(P.ok());
+
+  CompileOptions CO;
+  CO.Graph = &G;
+  auto A = compile(*P, CO);
+  auto B = compile(*P, CO);
+  ASSERT_TRUE(A.ok());
+  ASSERT_TRUE(B.ok());
+  EXPECT_EQ(A->NumSlots, B->NumSlots);
+  EXPECT_EQ(A->VolumeTable, B->VolumeTable);
+  EXPECT_EQ(A->FluidNames, B->FluidNames);
+  EXPECT_EQ(A->SenseNames, B->SenseNames);
+  EXPECT_EQ(A->RegenSlices, B->RegenSlices);
+
+  // The dispatch image (code + volume table + slices) stays compact -- a
+  // fixed-width instruction word, not the string-heavy AIS form. Enzyme's
+  // pre-bound regeneration slices dominate the per-instruction budget.
+  EXPECT_GT(A->byteSize(), 0u);
+  EXPECT_LT(A->byteSize() / A->Code.size(), 160u);
+}
+
+TEST(Compiler, ManagedProgramCompiles) {
+  AssayGraph G = assays::buildGlucoseAssay();
+  DagSolveResult R = dagSolve(G, MachineSpec{});
+  ASSERT_TRUE(R.Feasible);
+  IntegerAssignment IV = roundToLeastCount(G, R.Volumes, MachineSpec{});
+  VolumeAssignment Metered = integerToNl(G, IV, MachineSpec{});
+  CodegenOptions CG;
+  CG.Mode = VolumeMode::Managed;
+  CG.Volumes = &Metered;
+  auto P = generateAIS(G, MachineLayout{}, CG);
+  ASSERT_TRUE(P.ok());
+  auto BC = compile(*P, CompileOptions{});
+  ASSERT_TRUE(BC.ok()) << BC.message();
+  // Managed programs carry absolute metered volumes only.
+  for (const Instr &I : BC->Code) {
+    if (I.Code == Op::MoveVol) {
+      ASSERT_NE(I.VolIdx, NoVolume);
+    }
+  }
+}
