@@ -1,0 +1,284 @@
+//===- bench_service_persistent.cpp - Persistent-store service benchmark --------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The tentpole claim of the persistent solve store, measured end to end on
+// a real on-disk store directory:
+//
+//  1. cold start, empty store  -- every distinct assay is an LP/DAGSolve
+//     cold solve, written through to disk;
+//  2. restart on the warm store -- a *new* service process image serves
+//     the same manifest entirely from the store: `l2_hits` equals the
+//     manifest size and `cold_solves` is ZERO (these two are hard gates,
+//     not timing gates -- they fail perf-smoke regardless of runner load);
+//  3. mixed hit/miss traffic across 4 worker threads on the shared store,
+//     with per-request p50/p99 latency.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/assays/ExtraAssays.h"
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/service/CompileService.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace aqua;
+using namespace benchutil;
+
+namespace {
+
+struct Workload {
+  const char *Name;
+  std::shared_ptr<const ir::AssayGraph> Graph;
+};
+
+std::shared_ptr<const ir::AssayGraph> share(ir::AssayGraph G) {
+  return std::make_shared<const ir::AssayGraph>(std::move(G));
+}
+
+/// The warm manifest: the distinct structures a deployment re-submits
+/// plate after plate.
+std::vector<Workload> manifestWorkloads() {
+  return {
+      {"glucose", share(assays::buildGlucoseAssay())},
+      {"figure2", share(assays::buildFigure2Example())},
+      {"enzyme3", share(assays::buildEnzymeAssay(3))},
+      {"enzyme4", share(assays::buildEnzymeAssay(4))},
+      {"enzyme5", share(assays::buildEnzymeAssay(5))},
+      {"bradford", share(assays::buildBradfordProtein())},
+      {"pcr8", share(assays::buildPcrMasterMix(8))},
+      {"pcr12", share(assays::buildPcrMasterMix(12))},
+      {"mic8", share(assays::buildMicPanel(8))},
+      {"mic6", share(assays::buildMicPanel(6))},
+  };
+}
+
+/// Structures the store has never seen: the miss side of phase 3.
+std::vector<Workload> freshWorkloads() {
+  return {
+      {"enzyme6", share(assays::buildEnzymeAssay(6))},
+      {"pcr5", share(assays::buildPcrMasterMix(5))},
+      {"pcr7", share(assays::buildPcrMasterMix(7))},
+      {"mic4", share(assays::buildMicPanel(4))},
+      {"bradford42", share(assays::buildBradfordProtein(4, 2))},
+  };
+}
+
+std::vector<service::CompileRequest>
+cycleBatch(const std::vector<Workload> &Workloads, int Requests) {
+  std::vector<service::CompileRequest> Batch;
+  Batch.reserve(Requests);
+  for (int I = 0; I < Requests; ++I) {
+    const Workload &W = Workloads[I % Workloads.size()];
+    service::CompileRequest R;
+    R.Name = W.Name;
+    R.Graph = W.Graph;
+    Batch.push_back(std::move(R));
+  }
+  return Batch;
+}
+
+double percentile(std::vector<double> V, double P) {
+  if (V.empty())
+    return 0.0;
+  std::sort(V.begin(), V.end());
+  std::size_t I = static_cast<std::size_t>(P * (V.size() - 1) + 0.5);
+  return V[std::min(I, V.size() - 1)];
+}
+
+std::string makeStoreDir() {
+  char Template[] = "/tmp/aqua-bench-store-XXXXXX";
+  char *Dir = mkdtemp(Template);
+  if (!Dir) {
+    std::fprintf(stderr, "mkdtemp failed; falling back to ./bench-store\n");
+    return "bench-store";
+  }
+  return Dir;
+}
+
+} // namespace
+
+int main() {
+  const std::string StoreDir = makeStoreDir();
+  std::vector<Workload> Manifest = manifestWorkloads();
+  JsonReporter Json("service_persistent");
+  header("Persistent solve store: cold start vs warm-from-disk restart");
+
+  // "Cold solves" means requests that genuinely ran the solve pipeline:
+  // the service.cache.misses counter moves exactly once per first solve
+  // (cache-internal Insertions would double-count L2 -> L1 promotions).
+  aqua::obs::Counter &ColdSolves =
+      aqua::obs::metrics().counter("service.cache.misses");
+
+  // ---- Phase 1: cold start on an empty store.
+  double ColdSec = 0.0;
+  {
+    service::ServiceOptions Options;
+    Options.Threads = 1;
+    Options.StoreDir = StoreDir;
+    service::CompileService Service(Options);
+    MetricsDelta Delta;
+    std::uint64_t SolvesBefore = ColdSolves.value();
+    WallTimer Wall;
+    std::size_t Failures = 0;
+    for (const Workload &W : Manifest) {
+      service::CompileRequest R;
+      R.Name = W.Name;
+      R.Graph = W.Graph;
+      if (!Service.compileNow(R).Ok)
+        ++Failures;
+    }
+    ColdSec = Wall.seconds();
+    std::uint64_t Solves = ColdSolves.value() - SolvesBefore;
+    service::ServiceStats S = Service.stats();
+    std::printf("  cold start:    %zu assays in %s (%llu solves, "
+                "%llu L2 hits)\n",
+                Manifest.size(), fmtSeconds(ColdSec).c_str(),
+                static_cast<unsigned long long>(Solves),
+                static_cast<unsigned long long>(S.CacheHitsL2));
+    BenchRecord &Rec = Json.add("cold_start")
+                           .param("store", "empty")
+                           .param("assays", std::to_string(Manifest.size()))
+                           .metric("wall_sec", ColdSec)
+                           .metric("cold_solves", static_cast<double>(Solves))
+                           .metric("l2_hits",
+                                   static_cast<double>(S.CacheHitsL2))
+                           .metric("failures", static_cast<double>(Failures));
+    Delta.addTo(Rec);
+    if (Failures || Solves != Manifest.size())
+      return 1;
+  } // Service destroyed: the "process" exits, only the store survives.
+
+  // ---- Phase 2: restart; the same manifest must come entirely from disk.
+  double WarmSec = 0.0;
+  std::uint64_t WarmL2Hits = 0, WarmColdSolves = 0;
+  {
+    service::ServiceOptions Options;
+    Options.Threads = 1;
+    Options.StoreDir = StoreDir;
+    service::CompileService Service(Options);
+    MetricsDelta Delta;
+    std::uint64_t SolvesBefore = ColdSolves.value();
+    WallTimer Wall;
+    std::size_t Failures = 0;
+    for (const Workload &W : Manifest) {
+      service::CompileRequest R;
+      R.Name = W.Name;
+      R.Graph = W.Graph;
+      service::CompileResponse Resp = Service.compileNow(R);
+      if (!Resp.Ok)
+        ++Failures;
+      else if (!Resp.CacheHitL2)
+        std::fprintf(stderr, "  warm miss: %s was not served from the L2\n",
+                     W.Name);
+    }
+    WarmSec = Wall.seconds();
+    service::ServiceStats S = Service.stats();
+    WarmL2Hits = S.CacheHitsL2;
+    WarmColdSolves = ColdSolves.value() - SolvesBefore;
+    std::printf("  warm restart:  %zu assays in %s (%llu L2 hits, "
+                "%llu cold solves)\n",
+                Manifest.size(), fmtSeconds(WarmSec).c_str(),
+                static_cast<unsigned long long>(WarmL2Hits),
+                static_cast<unsigned long long>(WarmColdSolves));
+    BenchRecord &Rec = Json.add("warm_restart")
+                           .param("store", "warm")
+                           .param("assays", std::to_string(Manifest.size()))
+                           .metric("wall_sec", WarmSec)
+                           .metric("cold_solves",
+                                   static_cast<double>(WarmColdSolves))
+                           .metric("l2_hits", static_cast<double>(WarmL2Hits))
+                           .metric("failures", static_cast<double>(Failures));
+    Delta.addTo(Rec);
+    if (Failures)
+      return 1;
+  }
+
+  // ---- Phase 3: mixed hit/miss across 4 workers sharing the warm store.
+  {
+    const int Requests = 120;
+    service::ServiceOptions Options;
+    Options.Threads = 4;
+    Options.StoreDir = StoreDir;
+    service::CompileService Service(Options);
+    MetricsDelta Delta;
+    std::uint64_t SolvesBefore = ColdSolves.value();
+    // 2/3 manifest traffic (store hits on first touch, then L1), 1/3
+    // never-seen structures (cold solves).
+    std::vector<Workload> Mixed = Manifest;
+    for (const Workload &W : freshWorkloads())
+      Mixed.push_back(W);
+    WallTimer Wall;
+    std::vector<service::CompileResponse> Responses =
+        Service.compileBatch(cycleBatch(Mixed, Requests));
+    double MixedSec = Wall.seconds();
+    std::vector<double> Latencies;
+    std::size_t Failures = 0;
+    for (const service::CompileResponse &R : Responses) {
+      Latencies.push_back(R.LatencySec);
+      if (!R.Ok)
+        ++Failures;
+    }
+    service::ServiceStats S = Service.stats();
+    std::uint64_t Solves = ColdSolves.value() - SolvesBefore;
+    double P50 = percentile(Latencies, 0.50), P99 = percentile(Latencies, 0.99);
+    std::printf("  mixed 4-thread: %d requests in %s (p50 %s, p99 %s, "
+                "%llu L2 hits, %llu solves)\n",
+                Requests, fmtSeconds(MixedSec).c_str(),
+                fmtSeconds(P50).c_str(), fmtSeconds(P99).c_str(),
+                static_cast<unsigned long long>(S.CacheHitsL2),
+                static_cast<unsigned long long>(Solves));
+    BenchRecord &Rec = Json.add("mixed_4workers")
+                           .param("threads", "4")
+                           .param("requests", std::to_string(Requests))
+                           .metric("wall_sec", MixedSec)
+                           .metric("throughput_per_sec", Requests / MixedSec)
+                           .metric("p50_sec", P50)
+                           .metric("p99_sec", P99)
+                           .metric("l2_hits",
+                                   static_cast<double>(S.CacheHitsL2))
+                           .metric("cold_solves", static_cast<double>(Solves))
+                           .metric("failures", static_cast<double>(Failures));
+    Delta.addTo(Rec);
+    if (Failures)
+      return 1;
+  }
+
+  // ---- Gates.
+  // Hard (correctness, never timing-waived): a restarted service must
+  // serve the whole manifest from disk without a single cold solve.
+  bool WarmFromDisk =
+      WarmL2Hits == Manifest.size() && WarmColdSolves == 0;
+  std::printf("\n  warm restart from disk: %llu/%zu L2 hits, %llu cold "
+              "solves (gate: all hits, zero solves): %s\n",
+              static_cast<unsigned long long>(WarmL2Hits), Manifest.size(),
+              static_cast<unsigned long long>(WarmColdSolves),
+              WarmFromDisk ? "PASS" : "FAIL");
+  // Timing (waived under AQUAVOL_BENCH_NO_TIMING_GATE): reloading from
+  // disk must beat re-solving.
+  double Speedup = WarmSec > 0 ? ColdSec / WarmSec : 0.0;
+  std::printf("  cold/warm speedup: %.1fx (target >= 2x): %s\n", Speedup,
+              Speedup >= 2.0 ? "PASS" : "FAIL");
+  Json.add("summary")
+      .metric("cold_sec", ColdSec)
+      .metric("warm_sec", WarmSec)
+      .metric("cold_warm_speedup", Speedup)
+      .metric("warm_l2_hits", static_cast<double>(WarmL2Hits))
+      .metric("warm_cold_solves", static_cast<double>(WarmColdSolves));
+
+  std::string Cleanup = "rm -rf '" + StoreDir + "'";
+  (void)std::system(Cleanup.c_str());
+  if (!WarmFromDisk)
+    return 1;
+  if (Speedup >= 2.0)
+    return 0;
+  return noTimingGate() ? 0 : 1;
+}

@@ -11,7 +11,21 @@
 //   aquad MANIFEST [--threads N] [--no-cache] [--max-entries N]
 //                  [--capacity NL] [--least-count NL] [--simulate]
 //                  [--fleet N] [--trace-out FILE] [--metrics-out FILE]
+//                  [--store DIR] [--warm MANIFEST] [--workers N]
+//                  [--deadline-ms N] [--queue-budget N]
 //
+// --store attaches a persistent solve store at DIR as the service's
+// write-through L2: a restarted aquad re-serves prior solves from disk
+// (zero LP cold solves on a warm store), and several aquad processes
+// pointed at one DIR share each other's work.
+// --warm pre-compiles the unique assays of MANIFEST (untimed) before the
+// main run, priming the cache and the store.
+// --workers N forks N worker processes that each run the whole manifest
+// against the shared --store directory.
+// --deadline-ms gives every request an absolute deadline N ms after
+// submit; requests that expire while queued are shed, not compiled.
+// --queue-budget bounds the service queue; normal-priority submits past
+// the budget are shed at admission.
 // --simulate runs each unique successful artifact once through the
 // AquaCore simulator (regeneration on, fixed separation yield).
 // --fleet N runs each unique assay as an N-chip aqua/vm fleet (shared
@@ -51,6 +65,9 @@
 #include <string>
 #include <vector>
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 using namespace aqua;
 
 namespace {
@@ -60,7 +77,8 @@ int usage(const char *Argv0) {
                "usage: %s MANIFEST [--threads N] [--no-cache]"
                " [--max-entries N] [--capacity NL] [--least-count NL]"
                " [--simulate] [--fleet N] [--trace-out FILE]"
-               " [--metrics-out FILE]\n",
+               " [--metrics-out FILE] [--store DIR] [--warm MANIFEST]"
+               " [--workers N] [--deadline-ms N] [--queue-budget N]\n",
                Argv0);
   return 2;
 }
@@ -133,6 +151,51 @@ double percentile(std::vector<double> Sorted, double P) {
   return Sorted[std::min(I, Sorted.size() - 1)];
 }
 
+/// Parses a manifest into one request per repeat. \p UniqueAssays, when
+/// non-null, collects unique entries in first-appearance order.
+bool loadManifest(const char *Path, const core::MachineSpec &Spec,
+                  std::vector<service::CompileRequest> &Batch,
+                  std::vector<std::pair<std::string, std::string>> *Unique) {
+  std::ifstream Manifest(Path);
+  if (!Manifest) {
+    std::fprintf(stderr, "aquad: cannot open manifest '%s'\n", Path);
+    return false;
+  }
+  std::set<std::string> SeenSpecs;
+  std::string Line;
+  int LineNo = 0;
+  while (std::getline(Manifest, Line)) {
+    ++LineNo;
+    std::size_t First = Line.find_first_not_of(" \t");
+    if (First == std::string::npos || Line[First] == '#')
+      continue; // Blank or comment.
+    std::istringstream In(Line);
+    long Repeats = 0;
+    std::string What;
+    if (!(In >> Repeats >> What) || What.empty() || Repeats <= 0) {
+      std::fprintf(stderr, "aquad: %s:%d: expected '<count> <assay>'\n", Path,
+                   LineNo);
+      return false;
+    }
+    std::string Source;
+    if (!resolveSource(What, Source)) {
+      std::fprintf(stderr, "aquad: %s:%d: cannot resolve '%s'\n", Path, LineNo,
+                   What.c_str());
+      return false;
+    }
+    if (SeenSpecs.insert(What).second && Unique)
+      Unique->emplace_back(What, Source);
+    for (long R = 0; R < Repeats; ++R) {
+      service::CompileRequest Req;
+      Req.Name = What;
+      Req.Source = Source;
+      Req.Spec = Spec;
+      Batch.push_back(std::move(Req));
+    }
+  }
+  return true;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -142,7 +205,9 @@ int main(int argc, char **argv) {
   core::MachineSpec Spec;
   bool Simulate = false;
   int FleetChips = 0;
-  std::string TraceOut, MetricsOut;
+  int WorkerProcs = 0;
+  int DeadlineMs = 0;
+  std::string TraceOut, MetricsOut, WarmPath;
 
   for (int I = 1; I < argc; ++I) {
     const char *V;
@@ -165,6 +230,17 @@ int main(int argc, char **argv) {
       TraceOut = V;
     else if ((V = flagValue("--metrics-out", I, argc, argv)))
       MetricsOut = V;
+    else if ((V = flagValue("--store", I, argc, argv)))
+      Options.StoreDir = V;
+    else if ((V = flagValue("--warm", I, argc, argv)))
+      WarmPath = V;
+    else if ((V = flagValue("--workers", I, argc, argv)))
+      WorkerProcs = parseInt("--workers", V);
+    else if ((V = flagValue("--deadline-ms", I, argc, argv)))
+      DeadlineMs = parseInt("--deadline-ms", V);
+    else if ((V = flagValue("--queue-budget", I, argc, argv)))
+      Options.MaxQueueDepth =
+          static_cast<std::size_t>(parseInt("--queue-budget", V));
     else if (argv[I][0] == '-')
       return usage(argv[0]);
     else
@@ -172,58 +248,55 @@ int main(int argc, char **argv) {
   }
   if (!Path)
     return usage(argv[0]);
+  if (WorkerProcs > 0 && Options.StoreDir.empty()) {
+    std::fprintf(stderr, "aquad: --workers requires --store\n");
+    return 2;
+  }
+
+  // Multi-process mode: fork the workers *before* any threads exist; each
+  // child runs the whole manifest as an independent aquad sharing the
+  // store directory, and the parent just reaps them.
+  if (WorkerProcs > 1) {
+    std::vector<pid_t> Children;
+    for (int W = 0; W < WorkerProcs; ++W) {
+      pid_t Pid = fork();
+      if (Pid < 0) {
+        std::perror("aquad: fork");
+        return 1;
+      }
+      if (Pid == 0) {
+        // Children fall through into single-process mode (and must not
+        // reap the siblings they inherited in Children).
+        Children.clear();
+        break;
+      }
+      Children.push_back(Pid);
+    }
+    if (!Children.empty()) {
+      int Failures = 0;
+      for (pid_t Pid : Children) {
+        int WStatus = 0;
+        if (waitpid(Pid, &WStatus, 0) < 0 || !WIFEXITED(WStatus) ||
+            WEXITSTATUS(WStatus) != 0)
+          ++Failures;
+      }
+      std::printf("aquad: %d worker processes, %d failed, store %s\n",
+                  static_cast<int>(Children.size()), Failures,
+                  Options.StoreDir.c_str());
+      return Failures ? 1 : 0;
+    }
+  }
 
   if (!TraceOut.empty())
     obs::Tracer::setEnabled(true);
   if (!MetricsOut.empty())
     obs::preregisterPipelineMetrics();
 
-  std::ifstream Manifest(Path);
-  if (!Manifest) {
-    std::fprintf(stderr, "aquad: cannot open manifest '%s'\n", Path);
-    return 1;
-  }
-
   std::vector<service::CompileRequest> Batch;
   /// Unique manifest entries in first-appearance order, for --fleet.
   std::vector<std::pair<std::string, std::string>> UniqueAssays;
-  std::set<std::string> SeenSpecs;
-  std::string Line;
-  int LineNo = 0;
-  while (std::getline(Manifest, Line)) {
-    ++LineNo;
-    std::size_t First = Line.find_first_not_of(" \t");
-    if (First == std::string::npos || Line[First] == '#')
-      continue; // Blank or comment.
-    std::istringstream In(Line);
-    long Repeats = 0;
-    std::string What;
-    if (!(In >> Repeats >> What)) {
-      std::fprintf(stderr, "aquad: %s:%d: expected '<count> <assay>'\n", Path,
-                   LineNo);
-      return 1;
-    }
-    if (What.empty() || Repeats <= 0) {
-      std::fprintf(stderr, "aquad: %s:%d: expected '<count> <assay>'\n", Path,
-                   LineNo);
-      return 1;
-    }
-    std::string Source;
-    if (!resolveSource(What, Source)) {
-      std::fprintf(stderr, "aquad: %s:%d: cannot resolve '%s'\n", Path, LineNo,
-                   What.c_str());
-      return 1;
-    }
-    if (SeenSpecs.insert(What).second)
-      UniqueAssays.emplace_back(What, Source);
-    for (long R = 0; R < Repeats; ++R) {
-      service::CompileRequest Req;
-      Req.Name = What;
-      Req.Source = Source;
-      Req.Spec = Spec;
-      Batch.push_back(std::move(Req));
-    }
-  }
+  if (!loadManifest(Path, Spec, Batch, &UniqueAssays))
+    return 1;
   if (Batch.empty()) {
     std::fprintf(stderr, "aquad: manifest is empty\n");
     return 1;
@@ -231,15 +304,53 @@ int main(int argc, char **argv) {
 
   std::size_t Submitted = Batch.size();
   service::CompileService Service(Options);
+
+  if (!WarmPath.empty()) {
+    // Untimed warm-up: compile each unique warm-manifest assay once. On a
+    // warm store these are L2 hits; on a cold one they seed it.
+    std::vector<service::CompileRequest> WarmAll;
+    std::vector<std::pair<std::string, std::string>> WarmUnique;
+    if (!loadManifest(WarmPath.c_str(), Spec, WarmAll, &WarmUnique))
+      return 1;
+    std::vector<service::CompileRequest> Warm;
+    for (const auto &[What, Source] : WarmUnique) {
+      service::CompileRequest Req;
+      Req.Name = What;
+      Req.Source = Source;
+      Req.Spec = Spec;
+      Warm.push_back(std::move(Req));
+    }
+    service::ServiceStats Before = Service.stats();
+    (void)Service.compileBatch(std::move(Warm));
+    service::ServiceStats After = Service.stats();
+    std::printf("aquad: warmed %zu assays from %s (%llu from store)\n",
+                WarmUnique.size(), WarmPath.c_str(),
+                static_cast<unsigned long long>(After.CacheHitsL2 -
+                                                Before.CacheHitsL2));
+  }
+
+  if (DeadlineMs > 0) {
+    std::uint64_t Deadline =
+        obs::Tracer::nowMicros() + static_cast<std::uint64_t>(DeadlineMs) * 1000;
+    for (service::CompileRequest &Req : Batch)
+      Req.DeadlineMicros = Deadline;
+  }
+
   WallTimer Wall;
   std::vector<service::CompileResponse> Responses =
       Service.compileBatch(std::move(Batch));
   double WallSec = Wall.seconds();
 
-  std::size_t Failures = 0;
+  std::size_t Failures = 0, Shed = 0;
   std::vector<double> Latencies;
   Latencies.reserve(Responses.size());
   for (const service::CompileResponse &R : Responses) {
+    if (R.Shed != service::ShedReason::None) {
+      // Shed by admission control, not a compile failure: the service
+      // chose to reject it to protect latency. Report, don't fail.
+      ++Shed;
+      continue;
+    }
     Latencies.push_back(R.LatencySec);
     if (!R.Ok) {
       if (Failures < 5)
@@ -251,9 +362,11 @@ int main(int argc, char **argv) {
   std::sort(Latencies.begin(), Latencies.end());
 
   service::ServiceStats Stats = Service.stats();
-  std::printf("aquad: %zu requests, %zu failed, %d threads, cache %s\n",
-              Submitted, Failures, std::max(1, Options.Threads),
-              Options.EnableCache ? "on" : "off");
+  std::printf("aquad: %zu requests, %zu failed, %zu shed, %d threads, "
+              "cache %s, store %s\n",
+              Submitted, Failures, Shed, std::max(1, Options.Threads),
+              Options.EnableCache ? "on" : "off",
+              Service.store() ? Options.StoreDir.c_str() : "off");
   std::printf("  wall time     %.3f s\n", WallSec);
   std::printf("  throughput    %.1f assays/s\n",
               WallSec > 0 ? Submitted / WallSec : 0.0);

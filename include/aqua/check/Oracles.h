@@ -48,7 +48,13 @@
 ///  * Vm          -- the bytecode VM's SimResult is bit-for-bit equal to
 ///                   the tree-walking simulator's under the same seed:
 ///                   every volume, second, counter, sense reading, and
-///                   error string (exact ==, no tolerance).
+///                   error string (exact ==, no tolerance);
+///  * Store       -- the artifact codec + persistent solve store round-trip
+///                   is lossless: a second service instance on the same
+///                   (in-memory) store directory serves the artifact from
+///                   its L2, and the reloaded artifact's encoding, AIS
+///                   program, and volume assignments are bit-identical to
+///                   the in-memory solve's (exact ==, no tolerance).
 ///
 /// Exactness policy: structural and integer checks are exact. Checks that
 /// compare doubles computed along different code paths (LP objectives, the
@@ -85,8 +91,9 @@ enum class Oracle : unsigned {
   Engines,
   Presolve,
   Vm,
+  Store,
 };
-inline constexpr unsigned NumOracles = 11;
+inline constexpr unsigned NumOracles = 12;
 
 /// Short lower-case name, e.g. "solvers".
 const char *oracleName(Oracle O);

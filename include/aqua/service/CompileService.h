@@ -20,6 +20,17 @@
 ///     N-1 block on its result instead of re-solving -- the cold-cache
 ///     thundering herd collapses to a single solve.
 ///
+/// Production shaping: `ServiceOptions::StoreDir` attaches a persistent
+/// content-addressed solve store (aqua/store) as a write-through L2 under
+/// the LRU, so a restarted service re-serves prior solves from disk and N
+/// service processes on one directory share each other's work. Admission
+/// control sheds work instead of queueing unboundedly: a request past
+/// `ServiceOptions::MaxQueueDepth` is rejected at submit (unless
+/// high-priority), and a request whose deadline expired while it waited is
+/// shed at dequeue without running the pipeline. Shed responses carry a
+/// distinct `CompileResponse::Shed` reason so clients can tell overload
+/// from failure.
+///
 /// Thread-safety contract: every public method may be called from any
 /// thread. Artifacts are immutable and shared by `shared_ptr<const>`;
 /// callers must not mutate through the pointer. The destructor drains
@@ -34,6 +45,7 @@
 #include "aqua/core/Manager.h"
 #include "aqua/ir/Canonical.h"
 #include "aqua/service/SolveCache.h"
+#include "aqua/store/SolveStore.h"
 
 #include <atomic>
 #include <condition_variable>
@@ -62,7 +74,24 @@ struct CompileRequest {
   core::MachineSpec Spec;
   core::ManagerOptions Manage;
   codegen::MachineLayout Layout;
+  /// Absolute deadline on the obs::Tracer::nowMicros() clock; 0 means
+  /// none. A request whose deadline has passed when a worker dequeues it
+  /// is shed (ShedReason::DeadlineExpired) without running the pipeline.
+  std::uint64_t DeadlineMicros = 0;
+  /// Exempt from queue-depth admission control, and enqueued ahead of
+  /// normal work: under overload the service keeps accepting these.
+  bool HighPriority = false;
 };
+
+/// Why a request was rejected without running the pipeline.
+enum class ShedReason {
+  None,            ///< Not shed.
+  QueueFull,       ///< Rejected at submit: queue past MaxQueueDepth.
+  DeadlineExpired, ///< Dropped at dequeue: deadline passed while queued.
+};
+
+/// Returns a short lower-case name for \p R ("none"/"queue_full"/...).
+const char *shedReasonName(ShedReason R);
 
 /// One compile outcome.
 struct CompileResponse {
@@ -77,8 +106,14 @@ struct CompileResponse {
   ir::Fingerprint Key;
   /// Served from the memoizing cache.
   bool CacheHit = false;
+  /// The cache hit was satisfied by the persistent L2 store (a subset of
+  /// CacheHit).
+  bool CacheHitL2 = false;
   /// Joined an identical in-flight solve (single-flight).
   bool Deduplicated = false;
+  /// Non-None when the request was shed by admission control; Ok is false
+  /// and no artifact is attached.
+  ShedReason Shed = ShedReason::None;
   /// End-to-end service latency for this request, seconds.
   double LatencySec = 0.0;
   /// The compile artifact; null only when the front end failed.
@@ -94,6 +129,21 @@ struct ServiceOptions {
   /// throughput bench compares against).
   bool EnableCache = true;
   CacheConfig Cache;
+  /// Directory of the persistent solve store to attach as a write-through
+  /// L2 under the LRU; empty disables persistence. A store that fails to
+  /// open is logged and skipped -- the service still runs, memory-only.
+  std::string StoreDir;
+  store::StoreOptions Store;
+  /// Filesystem the store runs on; null means the real one. Tests inject
+  /// store::MemEnv here to exercise persistence without touching disk.
+  store::Env *StoreEnv = nullptr;
+  /// Queue-depth admission budget: a normal-priority submit that would
+  /// push the queue past this is shed with ShedReason::QueueFull. 0 means
+  /// unbounded (no admission control).
+  std::size_t MaxQueueDepth = 0;
+  /// Start with the workers paused (see pause()). For tests that need a
+  /// deterministically full queue.
+  bool StartPaused = false;
 };
 
 /// Aggregate service counters plus a snapshot of the cache counters.
@@ -102,7 +152,13 @@ struct ServiceStats {
   std::uint64_t Completed = 0;
   std::uint64_t Failed = 0;
   std::uint64_t CacheHits = 0;
+  /// Cache hits satisfied by the persistent L2 store.
+  std::uint64_t CacheHitsL2 = 0;
   std::uint64_t SingleFlightJoins = 0;
+  /// Requests rejected by admission control, by reason.
+  std::uint64_t ShedQueueFull = 0;
+  std::uint64_t ShedDeadline = 0;
+  std::uint64_t shedTotal() const { return ShedQueueFull + ShedDeadline; }
   /// Sum of per-request service latencies, seconds (ScopedTimer-fed).
   double TotalLatencySec = 0.0;
   /// Seconds spent actually solving (cache misses only).
@@ -122,19 +178,39 @@ public:
   CompileService &operator=(const CompileService &) = delete;
 
   /// Enqueues one request; the future resolves when a worker finishes it.
+  /// Under admission control the future may already hold a shed response.
   std::future<CompileResponse> submit(CompileRequest Request);
+
+  /// Enqueues a whole batch without blocking; one future per request, in
+  /// request order. The batch endpoint: one lock acquisition and one
+  /// wakeup for the lot. Admission control applies per request.
+  std::vector<std::future<CompileResponse>>
+  submitBatch(std::vector<CompileRequest> Batch);
 
   /// Enqueues a whole batch and blocks until every request is done.
   /// Responses are in request order.
   std::vector<CompileResponse> compileBatch(std::vector<CompileRequest> Batch);
 
   /// Runs one request synchronously on the calling thread (still goes
-  /// through cache and single-flight).
+  /// through cache and single-flight; deadline checked on entry).
   CompileResponse compileNow(const CompileRequest &Request);
+
+  /// Stops workers from dequeueing (in-flight requests finish). Submits
+  /// still enqueue -- with admission control they shed past the budget,
+  /// which is how tests build a deterministically full queue.
+  void pause();
+  /// Resumes dequeueing.
+  void resume();
+
+  /// Current queue depth (jobs accepted but not yet dequeued).
+  std::size_t queueDepth() const;
 
   ServiceStats stats() const;
 
   const SolveCache &cache() const { return Cache; }
+
+  /// The attached persistent store; null when persistence is disabled.
+  const store::SolveStore *store() const { return Store.get(); }
 
 private:
   struct Job {
@@ -156,13 +232,19 @@ private:
   /// The uncached pipeline tail: manage + codegen on a lowered graph.
   std::shared_ptr<const CompileArtifact>
   solveAndGenerate(const CompileRequest &Request, const ir::AssayGraph &G);
+  /// Builds the rejection response for a shed request.
+  static CompileResponse shedResponse(const CompileRequest &Request,
+                                      ShedReason Reason);
 
   ServiceOptions Options;
   SolveCache Cache;
+  /// Persistent L2; attached to Cache when StoreDir is set and opens.
+  std::unique_ptr<store::SolveStore> Store;
 
-  std::mutex QueueMutex;
+  mutable std::mutex QueueMutex;
   std::condition_variable QueueCV;
   std::deque<Job> Queue;
+  bool Paused = false;
   /// Workers parked in QueueCV.wait (maintained under QueueMutex).
   /// Producers skip the notify syscall entirely while every worker is
   /// busy -- a draining worker re-checks the queue before parking, so no
@@ -179,7 +261,10 @@ private:
   std::atomic<std::uint64_t> Completed{0};
   std::atomic<std::uint64_t> Failed{0};
   std::atomic<std::uint64_t> CacheHits{0};
+  std::atomic<std::uint64_t> CacheHitsL2{0};
   std::atomic<std::uint64_t> SingleFlightJoins{0};
+  std::atomic<std::uint64_t> ShedQueueFull{0};
+  std::atomic<std::uint64_t> ShedDeadline{0};
   std::atomic<double> TotalLatencySec{0.0};
   std::atomic<double> SolveSec{0.0};
 };

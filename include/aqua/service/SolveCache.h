@@ -24,6 +24,15 @@
 /// out a reference to the cached artifact with no copy, and eviction never
 /// invalidates an artifact a client still holds.
 ///
+/// The in-memory LRU is the L1 of a two-level hierarchy: `attachStore()`
+/// layers the cache over a persistent content-addressed solve store
+/// (aqua/store) as a write-through L2. Inserts encode the artifact
+/// (ArtifactCodec.h) and append it to the store; an L1 miss consults the
+/// store and, on a hit, decodes and *promotes* the artifact into L1 without
+/// writing it back. The store outlives the process, so a restarted daemon
+/// re-serves every previously solved fingerprint without a cold LP solve,
+/// and N daemons sharing one store directory share each other's solves.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef AQUA_SERVICE_SOLVECACHE_H
@@ -40,6 +49,10 @@
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+namespace aqua::store {
+class SolveStore;
+} // namespace aqua::store
 
 namespace aqua::service {
 
@@ -84,6 +97,11 @@ struct CacheStats {
   std::uint64_t Misses = 0;
   std::uint64_t Insertions = 0;
   std::uint64_t Evictions = 0;
+  /// L1 misses satisfied by the attached L2 store (a subset of Hits).
+  std::uint64_t HitsL2 = 0;
+  /// L2 payloads that failed to decode (version skew, corruption the
+  /// store's checksums could not see) and were demoted to misses.
+  std::uint64_t L2DecodeErrors = 0;
   std::size_t Entries = 0;
   std::size_t Bytes = 0;
 
@@ -98,12 +116,23 @@ class SolveCache {
 public:
   explicit SolveCache(const CacheConfig &Config = {});
 
+  /// Attaches \p Store as the write-through L2 (non-owning; pass nullptr
+  /// to detach). Attach before serving traffic -- the pointer is read
+  /// without synchronization.
+  void attachStore(store::SolveStore *Store) { L2 = Store; }
+
   /// Returns the cached artifact or nullptr; a hit refreshes LRU recency.
-  std::shared_ptr<const CompileArtifact> lookup(const ir::Fingerprint &Key);
+  /// On an L1 miss with an L2 attached, consults the store and promotes a
+  /// decoded artifact into L1 (without writing it back). If \p FromL2 is
+  /// non-null it is set to true exactly when the hit came from the store.
+  std::shared_ptr<const CompileArtifact> lookup(const ir::Fingerprint &Key,
+                                                bool *FromL2 = nullptr);
 
   /// Publishes \p Value under \p Key (replacing any previous entry), then
   /// evicts least-recently-used entries until the shard is within its
-  /// entry and byte budgets.
+  /// entry and byte budgets. Write-through: with an L2 attached the encoded
+  /// artifact is also appended to the store (a store failure only drops
+  /// persistence, never the L1 insert).
   void insert(const ir::Fingerprint &Key,
               std::shared_ptr<const CompileArtifact> Value);
 
@@ -138,14 +167,19 @@ private:
         Index;
     std::size_t Bytes = 0;
     std::uint64_t Hits = 0, Misses = 0, Insertions = 0, Evictions = 0;
+    std::uint64_t HitsL2 = 0, L2DecodeErrors = 0;
   };
 
   Shard &shardFor(const ir::Fingerprint &Key);
+  void insertLocked(Shard &S, const ir::Fingerprint &Key,
+                    std::shared_ptr<const CompileArtifact> Value);
   void evictOverBudgetLocked(Shard &S);
 
   std::vector<std::unique_ptr<Shard>> Shards;
   std::size_t MaxEntriesPerShard;
   std::size_t MaxBytesPerShard;
+  /// Optional persistent L2 (not owned). SolveStore is itself thread-safe.
+  store::SolveStore *L2 = nullptr;
 };
 
 } // namespace aqua::service

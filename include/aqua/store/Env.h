@@ -1,0 +1,141 @@
+//===- aqua/store/Env.h - Injectable file-system seam ------------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The file-system seam the persistent solve store is written against.
+///
+/// Every byte the store reads or writes goes through an `Env`, so every
+/// failure mode a real deployment can hit -- a torn append, a bit flip on
+/// disk, ENOSPC mid-record, a process killed between the temp write and the
+/// rename of a compaction -- can be injected deterministically in tests
+/// without real crashes or real disks. Three implementations ship:
+///
+///  * `Env::real()`  -- POSIX files; `WritableFile::append` is `O_APPEND`
+///    (one record per `write(2)`), locks are `flock(2)` advisory locks that
+///    the kernel releases when the holding process dies;
+///  * `MemEnv`       -- an in-process map of path -> bytes with the same
+///    lock semantics (released on handle destruction). Thread-safe; used by
+///    the `store` check oracle and the fault tests' substrate;
+///  * tests wrap either in a fault-injecting decorator (tests/store).
+///
+/// Paths are plain strings interpreted by the Env; the store only ever
+/// joins them with '/'.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_STORE_ENV_H
+#define AQUA_STORE_ENV_H
+
+#include "aqua/support/Error.h"
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aqua::store {
+
+/// An append-only file handle. Destroying the handle closes the file and
+/// releases any advisory lock acquired through it.
+class WritableFile {
+public:
+  virtual ~WritableFile() = default;
+
+  /// Appends \p Data at the end of the file. On failure the file may hold
+  /// a prefix of \p Data (that is the torn-record case the store's
+  /// checksums exist for).
+  virtual Status append(std::string_view Data) = 0;
+
+  /// Durably flushes appended data.
+  virtual Status sync() = 0;
+
+  /// Tries to take the advisory exclusive lock on this file without
+  /// blocking. \p Acquired reports the outcome; the lock is held until the
+  /// handle is destroyed. Advisory: readers ignore it -- the store uses it
+  /// only to detect live writers and to serialize compaction.
+  virtual Status tryLockExclusive(bool &Acquired) = 0;
+};
+
+/// The file-system interface.
+class Env {
+public:
+  virtual ~Env() = default;
+
+  /// Creates \p Path as a directory; success if it already exists.
+  virtual Status createDir(const std::string &Path) = 0;
+
+  /// Lists the file names (not paths) in \p Path, sorted.
+  virtual Expected<std::vector<std::string>> listDir(const std::string &Path) = 0;
+
+  /// Size of \p Path in bytes.
+  virtual Expected<std::uint64_t> fileSize(const std::string &Path) = 0;
+
+  /// Reads up to \p Len bytes of \p Path starting at \p Offset into \p Out
+  /// (short reads at end-of-file are success).
+  virtual Status read(const std::string &Path, std::uint64_t Offset,
+                      std::uint64_t Len, std::string &Out) = 0;
+
+  /// Opens (creating if needed) \p Path for appending.
+  virtual Expected<std::unique_ptr<WritableFile>>
+  openAppend(const std::string &Path) = 0;
+
+  /// Atomically renames \p From to \p To (replacing \p To).
+  virtual Status rename(const std::string &From, const std::string &To) = 0;
+
+  virtual Status removeFile(const std::string &Path) = 0;
+
+  virtual bool exists(const std::string &Path) = 0;
+
+  /// A token unique across the processes and threads sharing a store
+  /// directory; used to name segment files without coordination.
+  virtual std::string uniqueToken() = 0;
+
+  /// The process-wide POSIX environment.
+  static Env &real();
+};
+
+/// In-memory Env: a thread-safe map of path -> contents with advisory
+/// locks released on handle destruction. "Directories" are implicit (any
+/// path prefix ending in '/'); createDir records them so listDir on an
+/// empty directory succeeds.
+class MemEnv : public Env {
+public:
+  Status createDir(const std::string &Path) override;
+  Expected<std::vector<std::string>> listDir(const std::string &Path) override;
+  Expected<std::uint64_t> fileSize(const std::string &Path) override;
+  Status read(const std::string &Path, std::uint64_t Offset, std::uint64_t Len,
+              std::string &Out) override;
+  Expected<std::unique_ptr<WritableFile>>
+  openAppend(const std::string &Path) override;
+  Status rename(const std::string &From, const std::string &To) override;
+  Status removeFile(const std::string &Path) override;
+  bool exists(const std::string &Path) override;
+  std::string uniqueToken() override;
+
+  /// Test access: the raw bytes of \p Path (empty if absent).
+  std::string snapshot(const std::string &Path);
+  /// Test access: overwrites \p Path's bytes directly (creating it),
+  /// bypassing the append-only interface -- how tests tear tails and flip
+  /// bits.
+  void corrupt(const std::string &Path, std::string Contents);
+
+private:
+  friend class MemWritableFile;
+
+  std::mutex Mutex;
+  std::map<std::string, std::string> Files;
+  std::set<std::string> Dirs;
+  std::set<std::string> Locked;
+  std::uint64_t NextToken = 1;
+};
+
+} // namespace aqua::store
+
+#endif // AQUA_STORE_ENV_H

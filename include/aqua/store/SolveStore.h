@@ -1,0 +1,197 @@
+//===- aqua/store/SolveStore.h - Persistent content-addressed store -*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A persistent, content-addressed store of solve results: canonical
+/// `ir::Fingerprint` -> opaque payload bytes (the versioned binary
+/// `CompileArtifact` encoding of service/ArtifactCodec.h), shared by any
+/// number of processes on one directory. The compile service layers its
+/// sharded LRU over this as a write-through L2, which is what makes a
+/// restarted `aquad` serve yesterday's solves from disk instead of the LP.
+///
+/// ## On-disk format
+///
+/// A store directory holds append-only *segment* files (`seg-<token>.aqs`)
+/// plus a `LOCK` file. A segment is an 8-byte magic header followed by
+/// records:
+///
+///   u32 magic | u32 payload_len | u64 key_hi | u64 key_lo
+///   | payload bytes | u32 crc32c(header-after-magic + payload)
+///
+/// Records are immutable once written; a key written twice (two processes
+/// racing on the same miss) is resolved last-writer-wins at index time --
+/// the pipeline is deterministic, so duplicate payloads are identical.
+///
+/// ## Recovery invariants
+///
+/// * Appends are crash-safe by construction: a record is visible iff its
+///   checksum verifies. On open, each segment is scanned and indexed up to
+///   its *longest valid prefix*; a torn tail (record extends past
+///   end-of-file) is truncated away logically and retried on the next
+///   refresh (a live writer's in-flight append looks the same), while a
+///   checksum/magic mismatch on a complete record freezes the segment at
+///   the last good record.
+/// * `get` re-verifies the record checksum on every read; a corrupt
+///   artifact is *never* returned -- it demotes to a miss.
+/// * Compaction writes the surviving records to a temp file and renames it
+///   into place before deleting inputs, so a crash at any point leaves
+///   either the old segments, both (duplicate keys -- benign), or the new
+///   one. Stale temp files are removed on open.
+///
+/// ## Locking protocol (advisory)
+///
+/// Every writer holds an exclusive `flock` on its own segment for the life
+/// of its handle. Compaction takes the exclusive lock on `LOCK` (two
+/// compactors never run at once) and only rewrites segments whose lock it
+/// can take -- i.e. segments with no live writer. Readers take no locks:
+/// checksums, append-only segments, and atomic renames make reads safe
+/// against concurrent writers and compactors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_STORE_SOLVESTORE_H
+#define AQUA_STORE_SOLVESTORE_H
+
+#include "aqua/ir/Canonical.h"
+#include "aqua/store/Env.h"
+#include "aqua/support/Error.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aqua::store {
+
+/// Store tuning.
+struct StoreOptions {
+  /// fsync after every append. Off by default: the cache-warming use case
+  /// tolerates losing the last records on power failure, never corruption.
+  bool SyncEveryAppend = false;
+  /// On an index miss, rescan the directory for segments (and segment
+  /// tails) other processes appended since the last look before reporting
+  /// the miss. One listDir + one stat per segment; misses are rare once
+  /// warm.
+  bool RefreshOnMiss = true;
+  /// Records larger than this are rejected on put and treated as corrupt
+  /// on scan (a sanity bound, not a tuning knob).
+  std::uint32_t MaxPayloadBytes = 256u << 20;
+};
+
+/// Monotone counters plus a snapshot of index size.
+struct StoreStats {
+  std::uint64_t Appends = 0;
+  std::uint64_t AppendedBytes = 0;
+  std::uint64_t Gets = 0;
+  std::uint64_t Hits = 0;
+  /// Complete records whose checksum or magic failed verification (at scan
+  /// or at read); such records are never served.
+  std::uint64_t CorruptRecords = 0;
+  /// Scans that stopped at an incomplete tail record.
+  std::uint64_t TornTails = 0;
+  std::uint64_t Refreshes = 0;
+  std::uint64_t Compactions = 0;
+  std::uint64_t SegmentsCompacted = 0;
+  /// Distinct keys currently indexed.
+  std::size_t Keys = 0;
+  /// Segment files currently known.
+  std::size_t Segments = 0;
+};
+
+/// The persistent fingerprint -> payload store. Thread-safe; every public
+/// method may be called from any thread.
+class SolveStore {
+public:
+  /// Opens (creating if needed) the store in directory \p Dir. Scans and
+  /// indexes existing segments, removing stale compaction temp files.
+  static Expected<std::unique_ptr<SolveStore>>
+  open(const std::string &Dir, const StoreOptions &Opts = {},
+       Env &E = Env::real());
+
+  ~SolveStore();
+
+  SolveStore(const SolveStore &) = delete;
+  SolveStore &operator=(const SolveStore &) = delete;
+
+  /// Appends \p Payload under \p Key. An existing entry is superseded
+  /// (last-writer-wins); the old record becomes garbage for compaction.
+  Status put(const ir::Fingerprint &Key, std::string_view Payload);
+
+  /// Reads the payload for \p Key into \p Payload, re-verifying the record
+  /// checksum. Returns false on miss *and* on verification failure (a
+  /// corrupt record is never served).
+  bool get(const ir::Fingerprint &Key, std::string &Payload);
+
+  bool contains(const ir::Fingerprint &Key);
+
+  /// Incrementally rescans the directory: new segments, and new bytes at
+  /// the tail of known segments. Returns the number of records indexed.
+  std::uint64_t refresh();
+
+  /// Rewrites all quiescent segments (no live writer) into one compacted
+  /// segment, dropping superseded records, then deletes the inputs.
+  /// Returns success with nothing to do when another process holds the
+  /// compaction lock.
+  Status compact();
+
+  /// Every currently indexed key (unordered).
+  std::vector<ir::Fingerprint> keys() const;
+
+  StoreStats stats() const;
+
+  const std::string &dir() const { return Dir; }
+
+private:
+  struct RecordLoc {
+    int Segment = -1;
+    std::uint64_t Offset = 0; ///< Of the record header, within the segment.
+    std::uint32_t PayloadLen = 0;
+  };
+  struct Segment {
+    std::string Name;
+    /// Bytes scanned and indexed so far (header included).
+    std::uint64_t ValidBytes = 0;
+    /// Scan hit a complete-but-corrupt record; never scan past it again.
+    bool Frozen = false;
+    /// Our own active segment's append handle (holds its writer lock).
+    std::unique_ptr<WritableFile> Handle;
+  };
+  struct KeyHash {
+    std::size_t operator()(const ir::Fingerprint &F) const {
+      return static_cast<std::size_t>(F.Hi ^ (F.Lo * 0x9e3779b97f4a7c15ULL));
+    }
+  };
+
+  SolveStore(std::string Dir, const StoreOptions &Opts, Env &E);
+
+  std::string path(const std::string &Name) const { return Dir + "/" + Name; }
+  Status openDirLocked();
+  /// Scans \p Seg from its ValidBytes watermark, indexing every record
+  /// whose checksum verifies. Returns records indexed.
+  std::uint64_t scanSegmentLocked(int SegIndex);
+  std::uint64_t refreshLocked();
+  Status ensureWriterLocked();
+
+  const std::string Dir;
+  const StoreOptions Opts;
+  Env &E;
+
+  mutable std::mutex Mutex;
+  std::vector<Segment> Segments;
+  std::unordered_map<ir::Fingerprint, RecordLoc, KeyHash> Index;
+  /// Index into Segments of our active writer segment; -1 until first put.
+  int WriterSegment = -1;
+
+  std::uint64_t Appends = 0, AppendedBytes = 0, Gets = 0, Hits = 0;
+  std::uint64_t CorruptRecords = 0, TornTails = 0, Refreshes = 0;
+  std::uint64_t Compactions = 0, SegmentsCompacted = 0;
+};
+
+} // namespace aqua::store
+
+#endif // AQUA_STORE_SOLVESTORE_H

@@ -16,8 +16,10 @@
 #include "aqua/lang/Lower.h"
 #include "aqua/lp/BranchAndBound.h"
 #include "aqua/runtime/Simulator.h"
+#include "aqua/service/ArtifactCodec.h"
 #include "aqua/service/CompileService.h"
 #include "aqua/service/RequestKey.h"
+#include "aqua/store/Env.h"
 #include "aqua/support/StringUtils.h"
 #include "aqua/vm/Compiler.h"
 #include "aqua/vm/VM.h"
@@ -54,6 +56,8 @@ const char *aqua::check::oracleName(Oracle O) {
     return "presolve";
   case Oracle::Vm:
     return "vm";
+  case Oracle::Store:
+    return "store";
   }
   return "?";
 }
@@ -369,6 +373,9 @@ public:
 
     if (on(Oracle::Metamorphic))
       checkMetamorphic(G);
+
+    if (on(Oracle::Store))
+      checkStore(Source);
 
     if (Skeleton)
       checkSkeleton(Source, G, VM, *Skeleton);
@@ -1010,6 +1017,93 @@ private:
       fail(Oracle::Metamorphic,
            format("%s rewrite changed exact compositions: %s", What,
                   Diff.c_str()));
+  }
+
+  /// Persistence round trip: solve once through a service writing to an
+  /// in-memory store, then reload through a *second* service on the same
+  /// store (fresh L1, so the artifact must come back through the codec and
+  /// the store's checksummed records) and demand bit-identity.
+  void checkStore(std::string_view Source) {
+    store::MemEnv Env;
+    service::ServiceOptions SO;
+    SO.Threads = 1;
+    SO.StoreDir = "check-store";
+    SO.StoreEnv = &Env;
+
+    service::CompileRequest Req;
+    Req.Name = "store-oracle";
+    Req.Source = std::string(Source);
+    Req.Spec = Opts.Spec;
+    Req.Manage = Opts.Manage;
+    Req.Layout = Opts.Layout;
+
+    service::CompileResponse R1;
+    {
+      service::CompileService Svc(SO);
+      if (!Svc.store()) {
+        fail(Oracle::Store, "service failed to open the in-memory store");
+        return;
+      }
+      R1 = Svc.compileNow(Req);
+    }
+    if (!R1.Artifact) {
+      fail(Oracle::Store, "service returned no artifact for a program the "
+                          "front end accepts");
+      return;
+    }
+
+    // The codec alone must be a lossless involution on re-encode.
+    std::string Encoded = service::encodeArtifact(*R1.Artifact);
+    auto Decoded = service::decodeArtifact(Encoded);
+    if (!Decoded.ok()) {
+      fail(Oracle::Store, format("artifact fails to decode its own "
+                                 "encoding: %s",
+                                 Decoded.message().c_str()));
+      return;
+    }
+    if (service::encodeArtifact(*Decoded) != Encoded) {
+      fail(Oracle::Store,
+           "encode(decode(encode(artifact))) != encode(artifact)");
+      return;
+    }
+
+    // A fresh service on the same store must serve the key from its L2.
+    service::CompileService Svc2(SO);
+    service::CompileResponse R2 = Svc2.compileNow(Req);
+    if (!R2.Artifact) {
+      fail(Oracle::Store, "restarted service returned no artifact");
+      return;
+    }
+    if (!R2.CacheHit || !R2.CacheHitL2) {
+      fail(Oracle::Store,
+           format("restarted service did not serve from the store "
+                  "(hit=%d, l2=%d)",
+                  R2.CacheHit ? 1 : 0, R2.CacheHitL2 ? 1 : 0));
+      return;
+    }
+    if (R2.Key != R1.Key)
+      fail(Oracle::Store, "restarted service produced a different "
+                          "request fingerprint");
+
+    // Bit-identity of the reloaded artifact, checked three ways: the full
+    // encoding, the rendered AIS program, and the exact assignments.
+    if (service::encodeArtifact(*R2.Artifact) != Encoded)
+      fail(Oracle::Store, "reloaded artifact's encoding differs from the "
+                          "in-memory solve's");
+    if (R2.Artifact->Program.str() != R1.Artifact->Program.str())
+      fail(Oracle::Store, "reloaded artifact renders different AIS text");
+    if (R2.Artifact->VM.Rounded.NodeUnits != R1.Artifact->VM.Rounded.NodeUnits ||
+        R2.Artifact->VM.Rounded.EdgeUnits != R1.Artifact->VM.Rounded.EdgeUnits)
+      fail(Oracle::Store, "reloaded artifact's integer volumes differ");
+    if (R2.Artifact->VM.Volumes.NodeVolumeNl !=
+            R1.Artifact->VM.Volumes.NodeVolumeNl ||
+        R2.Artifact->VM.Volumes.EdgeVolumeNl !=
+            R1.Artifact->VM.Volumes.EdgeVolumeNl ||
+        R2.Artifact->Metered.NodeVolumeNl !=
+            R1.Artifact->Metered.NodeVolumeNl ||
+        R2.Artifact->Metered.EdgeVolumeNl !=
+            R1.Artifact->Metered.EdgeVolumeNl)
+      fail(Oracle::Store, "reloaded artifact's volume assignments differ");
   }
 
   /// Checks that need the generator's statement skeleton: uniform ratio

@@ -245,11 +245,21 @@ void aqua::obs::preregisterPipelineMetrics(MetricsRegistry &R) {
        {"service.requests.submitted", "service.requests.completed",
         "service.requests.failed", "service.cache.hits",
         "service.cache.misses", "service.cache.insertions",
-        "service.cache.evictions", "service.singleflight.joins"})
+        "service.cache.evictions", "service.cache.hits_l2",
+        "service.singleflight.joins", "service.shed_total",
+        "service.shed.queue_full", "service.shed.deadline"})
     R.counter(Name);
+  R.gauge("service.queue_depth");
   R.histogram("service.queue_wait_sec");
   R.histogram("service.latency_sec");
   R.histogram("service.solve_sec");
+
+  // Persistent solve store (store/SolveStore.cpp).
+  for (const char *Name :
+       {"store.appends", "store.appended_bytes", "store.gets", "store.hits",
+        "store.corrupt_records", "store.torn_tails", "store.refreshes",
+        "store.compactions"})
+    R.counter(Name);
 
   // Volume-management hierarchy (Manager.cpp, DagSolve.cpp).
   for (const char *Name :

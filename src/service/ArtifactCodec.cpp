@@ -1,0 +1,460 @@
+//===- ArtifactCodec.cpp - Binary artifact codec --------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/service/ArtifactCodec.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <cstring>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+constexpr std::uint32_t PayloadMagic = 0x52415141u; // "AQAR", little-endian.
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+class Writer {
+public:
+  void u8(std::uint8_t V) { Out.push_back(static_cast<char>(V)); }
+  void b(bool V) { u8(V ? 1 : 0); }
+
+  void u32(std::uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+
+  void u64(std::uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+  }
+
+  void i32(std::int32_t V) { u32(static_cast<std::uint32_t>(V)); }
+  void i64(std::int64_t V) { u64(static_cast<std::uint64_t>(V)); }
+
+  /// Exact bit pattern, so the round trip is bit-identical (NaNs and -0.0
+  /// included).
+  void f64(double V) {
+    std::uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    u64(Bits);
+  }
+
+  void str(std::string_view S) {
+    u64(S.size());
+    Out.append(S.data(), S.size());
+  }
+
+  void rat(const Rational &R) {
+    i64(R.numerator());
+    i64(R.denominator());
+  }
+
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+//===----------------------------------------------------------------------===//
+// Bounds-checked reader
+//===----------------------------------------------------------------------===//
+
+class Reader {
+public:
+  explicit Reader(std::string_view Data) : Data(Data) {}
+
+  bool failed() const { return Failed; }
+  bool done() const { return Pos == Data.size(); }
+
+  std::uint8_t u8() {
+    if (!need(1))
+      return 0;
+    return static_cast<std::uint8_t>(Data[Pos++]);
+  }
+  bool b() { return u8() != 0; }
+
+  std::uint32_t u32() {
+    if (!need(4))
+      return 0;
+    std::uint32_t V = 0;
+    for (int I = 3; I >= 0; --I)
+      V = (V << 8) | static_cast<unsigned char>(Data[Pos + I]);
+    Pos += 4;
+    return V;
+  }
+
+  std::uint64_t u64() {
+    if (!need(8))
+      return 0;
+    std::uint64_t V = 0;
+    for (int I = 7; I >= 0; --I)
+      V = (V << 8) | static_cast<unsigned char>(Data[Pos + I]);
+    Pos += 8;
+    return V;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    std::uint64_t Bits = u64();
+    double V;
+    std::memcpy(&V, &Bits, sizeof(V));
+    return V;
+  }
+
+  std::string str() {
+    std::uint64_t Len = u64();
+    if (!need(Len))
+      return {};
+    std::string S(Data.substr(Pos, Len));
+    Pos += Len;
+    return S;
+  }
+
+  Rational rat() {
+    std::int64_t Num = i64();
+    std::int64_t Den = i64();
+    if (Den <= 0) { // Rational's invariant; zero/negative means corruption.
+      Failed = true;
+      return Rational(0);
+    }
+    return Rational(Num, Den);
+  }
+
+  /// A count about to drive a loop/allocation; bounded by the bytes left
+  /// so corrupt payloads cannot request absurd allocations.
+  std::uint64_t count(std::uint64_t MinBytesPerItem) {
+    std::uint64_t N = u64();
+    if (MinBytesPerItem == 0)
+      MinBytesPerItem = 1;
+    if (N > (Data.size() - Pos) / MinBytesPerItem + 1) {
+      Failed = true;
+      return 0;
+    }
+    return N;
+  }
+
+private:
+  bool need(std::uint64_t N) {
+    if (Failed || N > Data.size() - Pos) {
+      Failed = true;
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view Data;
+  std::size_t Pos = 0;
+  bool Failed = false;
+};
+
+//===----------------------------------------------------------------------===//
+// Per-type encoders
+//===----------------------------------------------------------------------===//
+
+void encodeGraph(Writer &W, const ir::AssayGraph &G) {
+  W.u64(static_cast<std::uint64_t>(G.numNodeSlots()));
+  for (ir::NodeId N = 0; N < G.numNodeSlots(); ++N) {
+    const ir::Node &Nd = G.node(N);
+    W.u8(static_cast<std::uint8_t>(Nd.Kind));
+    W.b(Nd.Dead);
+    W.str(Nd.Name);
+    W.rat(Nd.OutFraction);
+    W.b(Nd.UnknownVolume);
+    W.b(Nd.NoExcess);
+    W.rat(Nd.ExcessShare);
+    W.f64(Nd.Params.Seconds);
+    W.f64(Nd.Params.TempC);
+    W.str(Nd.Params.Flavor);
+    W.str(Nd.Params.Matrix);
+    W.str(Nd.Params.Pusher);
+    // Adjacency lists verbatim: their order is graph state (regeneration
+    // slices and codegen walk them), not a derivable accident.
+    W.u64(Nd.In.size());
+    for (ir::EdgeId E : Nd.In)
+      W.i32(E);
+    W.u64(Nd.Out.size());
+    for (ir::EdgeId E : Nd.Out)
+      W.i32(E);
+  }
+  W.u64(static_cast<std::uint64_t>(G.numEdgeSlots()));
+  for (ir::EdgeId E = 0; E < G.numEdgeSlots(); ++E) {
+    const ir::Edge &Ed = G.edge(E);
+    W.i32(Ed.Src);
+    W.i32(Ed.Dst);
+    W.rat(Ed.Fraction);
+    W.b(Ed.Dead);
+  }
+}
+
+/// Rebuilds a graph slot-for-slot. The public mutators are replayed to
+/// create the slots, then every field (flags, adjacency order) is restored
+/// verbatim, so the result is state-identical to the encoded graph.
+bool decodeGraph(Reader &R, ir::AssayGraph &G) {
+  std::uint64_t NumNodes = R.count(16);
+  struct NodeExtra {
+    bool Dead = false;
+    std::vector<ir::EdgeId> In, Out;
+  };
+  std::vector<NodeExtra> Extra(NumNodes);
+  for (std::uint64_t I = 0; I < NumNodes && !R.failed(); ++I) {
+    std::uint8_t Kind = R.u8();
+    if (Kind > static_cast<std::uint8_t>(ir::NodeKind::Excess))
+      return false;
+    Extra[I].Dead = R.b();
+    ir::NodeId N = G.addNode(static_cast<ir::NodeKind>(Kind), R.str());
+    ir::Node &Nd = G.node(N);
+    Nd.OutFraction = R.rat();
+    Nd.UnknownVolume = R.b();
+    Nd.NoExcess = R.b();
+    Nd.ExcessShare = R.rat();
+    Nd.Params.Seconds = R.f64();
+    Nd.Params.TempC = R.f64();
+    Nd.Params.Flavor = R.str();
+    Nd.Params.Matrix = R.str();
+    Nd.Params.Pusher = R.str();
+    std::uint64_t NIn = R.count(4);
+    for (std::uint64_t J = 0; J < NIn && !R.failed(); ++J)
+      Extra[I].In.push_back(R.i32());
+    std::uint64_t NOut = R.count(4);
+    for (std::uint64_t J = 0; J < NOut && !R.failed(); ++J)
+      Extra[I].Out.push_back(R.i32());
+  }
+  if (R.failed())
+    return false;
+
+  std::uint64_t NumEdges = R.count(25);
+  struct EdgeRec {
+    ir::NodeId Src, Dst;
+    Rational Fraction;
+    bool Dead;
+  };
+  std::vector<EdgeRec> EdgeRecs;
+  EdgeRecs.reserve(NumEdges);
+  for (std::uint64_t I = 0; I < NumEdges && !R.failed(); ++I) {
+    EdgeRec Rec;
+    Rec.Src = R.i32();
+    Rec.Dst = R.i32();
+    Rec.Fraction = R.rat();
+    Rec.Dead = R.b();
+    if (Rec.Src < 0 || Rec.Dst < 0 ||
+        Rec.Src >= static_cast<ir::NodeId>(NumNodes) ||
+        Rec.Dst >= static_cast<ir::NodeId>(NumNodes))
+      return false;
+    EdgeRecs.push_back(Rec);
+  }
+  if (R.failed())
+    return false;
+
+  // addEdge builds default adjacency (and asserts endpoints are alive, so
+  // dead flags wait until after); both are overwritten verbatim below.
+  for (const EdgeRec &Rec : EdgeRecs) {
+    ir::EdgeId E = G.addEdge(Rec.Src, Rec.Dst, Rec.Fraction);
+    G.edge(E).Dead = Rec.Dead;
+  }
+  for (std::uint64_t I = 0; I < NumNodes; ++I) {
+    for (ir::EdgeId E : Extra[I].In)
+      if (E < 0 || E >= static_cast<ir::EdgeId>(NumEdges))
+        return false;
+    for (ir::EdgeId E : Extra[I].Out)
+      if (E < 0 || E >= static_cast<ir::EdgeId>(NumEdges))
+        return false;
+    ir::Node &Nd = G.node(static_cast<ir::NodeId>(I));
+    Nd.In = std::move(Extra[I].In);
+    Nd.Out = std::move(Extra[I].Out);
+    Nd.Dead = Extra[I].Dead;
+  }
+  return true;
+}
+
+void encodeAssignment(Writer &W, const core::VolumeAssignment &A) {
+  W.u64(A.NodeVolumeNl.size());
+  for (double V : A.NodeVolumeNl)
+    W.f64(V);
+  W.u64(A.EdgeVolumeNl.size());
+  for (double V : A.EdgeVolumeNl)
+    W.f64(V);
+}
+
+bool decodeAssignment(Reader &R, core::VolumeAssignment &A) {
+  std::uint64_t N = R.count(8);
+  A.NodeVolumeNl.reserve(N);
+  for (std::uint64_t I = 0; I < N && !R.failed(); ++I)
+    A.NodeVolumeNl.push_back(R.f64());
+  std::uint64_t M = R.count(8);
+  A.EdgeVolumeNl.reserve(M);
+  for (std::uint64_t I = 0; I < M && !R.failed(); ++I)
+    A.EdgeVolumeNl.push_back(R.f64());
+  return !R.failed();
+}
+
+void encodeRounded(Writer &W, const core::IntegerAssignment &A) {
+  W.u64(A.NodeUnits.size());
+  for (std::int64_t V : A.NodeUnits)
+    W.i64(V);
+  W.u64(A.EdgeUnits.size());
+  for (std::int64_t V : A.EdgeUnits)
+    W.i64(V);
+  W.f64(A.MaxRatioErrorPct);
+  W.f64(A.MeanRatioErrorPct);
+  W.b(A.Underflow);
+  W.b(A.Overflow);
+}
+
+bool decodeRounded(Reader &R, core::IntegerAssignment &A) {
+  std::uint64_t N = R.count(8);
+  A.NodeUnits.reserve(N);
+  for (std::uint64_t I = 0; I < N && !R.failed(); ++I)
+    A.NodeUnits.push_back(R.i64());
+  std::uint64_t M = R.count(8);
+  A.EdgeUnits.reserve(M);
+  for (std::uint64_t I = 0; I < M && !R.failed(); ++I)
+    A.EdgeUnits.push_back(R.i64());
+  A.MaxRatioErrorPct = R.f64();
+  A.MeanRatioErrorPct = R.f64();
+  A.Underflow = R.b();
+  A.Overflow = R.b();
+  return !R.failed();
+}
+
+void encodeProgram(Writer &W, const codegen::AISProgram &P) {
+  W.u64(P.Instrs.size());
+  for (const codegen::Instruction &In : P.Instrs) {
+    W.u8(static_cast<std::uint8_t>(In.Op));
+    for (const codegen::Loc *L : {&In.Dst, &In.Src}) {
+      W.u8(static_cast<std::uint8_t>(L->Kind));
+      W.i32(L->Index);
+      W.u8(static_cast<std::uint8_t>(L->Sub));
+    }
+    W.i64(In.RelParts);
+    W.f64(In.VolumeNl);
+    W.f64(In.Seconds);
+    W.f64(In.TempC);
+    W.str(In.Note);
+    W.i32(In.Node);
+  }
+  W.i32(P.UsedReservoirs);
+  W.i32(P.UsedMixers);
+  W.i32(P.UsedHeaters);
+  W.i32(P.UsedSensors);
+  W.i32(P.UsedSeparators);
+  W.i32(P.UsedInputPorts);
+}
+
+/// \p NodeSlots < 0 disables the node-id upper bound: an unmanaged
+/// artifact's instructions reference the *request* graph, which the
+/// artifact does not carry, so only the >= -1 floor can be checked.
+bool decodeProgram(Reader &R, codegen::AISProgram &P, int NodeSlots) {
+  std::uint64_t N = R.count(48);
+  P.Instrs.reserve(N);
+  for (std::uint64_t I = 0; I < N && !R.failed(); ++I) {
+    codegen::Instruction In;
+    std::uint8_t Op = R.u8();
+    if (Op > static_cast<std::uint8_t>(codegen::Opcode::Output))
+      return false;
+    In.Op = static_cast<codegen::Opcode>(Op);
+    for (codegen::Loc *L : {&In.Dst, &In.Src}) {
+      std::uint8_t Kind = R.u8();
+      if (Kind > static_cast<std::uint8_t>(codegen::LocKind::OutputPort))
+        return false;
+      L->Kind = static_cast<codegen::LocKind>(Kind);
+      L->Index = R.i32();
+      std::uint8_t Sub = R.u8();
+      if (Sub > static_cast<std::uint8_t>(codegen::SubPort::Out1))
+        return false;
+      L->Sub = static_cast<codegen::SubPort>(Sub);
+    }
+    In.RelParts = R.i64();
+    In.VolumeNl = R.f64();
+    In.Seconds = R.f64();
+    In.TempC = R.f64();
+    In.Note = R.str();
+    In.Node = R.i32();
+    if (In.Node < ir::InvalidNode || (NodeSlots >= 0 && In.Node >= NodeSlots))
+      return false;
+    P.Instrs.push_back(std::move(In));
+  }
+  P.UsedReservoirs = R.i32();
+  P.UsedMixers = R.i32();
+  P.UsedHeaters = R.i32();
+  P.UsedSensors = R.i32();
+  P.UsedSeparators = R.i32();
+  P.UsedInputPorts = R.i32();
+  return !R.failed();
+}
+
+} // namespace
+
+std::string aqua::service::encodeArtifact(const CompileArtifact &Artifact) {
+  Writer W;
+  W.u32(PayloadMagic);
+  W.u32(ArtifactCodecVersion);
+  W.b(Artifact.Ok);
+  W.b(Artifact.Managed);
+  W.str(Artifact.Error);
+  W.b(Artifact.VM.Feasible);
+  W.u8(static_cast<std::uint8_t>(Artifact.VM.Method));
+  encodeGraph(W, Artifact.VM.Graph);
+  encodeAssignment(W, Artifact.VM.Volumes);
+  encodeRounded(W, Artifact.VM.Rounded);
+  W.i32(Artifact.VM.CascadesApplied);
+  W.i32(Artifact.VM.ReplicationsApplied);
+  W.f64(Artifact.VM.MinDispenseNl);
+  W.str(Artifact.VM.Log);
+  encodeAssignment(W, Artifact.Metered);
+  encodeProgram(W, Artifact.Program);
+  return W.take();
+}
+
+Expected<CompileArtifact>
+aqua::service::decodeArtifact(std::string_view Payload) {
+  Reader R(Payload);
+  auto Bad = [](const char *What) {
+    return Expected<CompileArtifact>::error(
+        format("artifact payload: %s", What));
+  };
+  if (R.u32() != PayloadMagic)
+    return Bad("bad magic");
+  std::uint32_t Version = R.u32();
+  if (Version != ArtifactCodecVersion)
+    return Bad(format("unsupported version %u", Version).c_str());
+
+  CompileArtifact A;
+  A.Ok = R.b();
+  A.Managed = R.b();
+  A.Error = R.str();
+  A.VM.Feasible = R.b();
+  std::uint8_t Method = R.u8();
+  if (Method > static_cast<std::uint8_t>(core::SolveMethod::LP))
+    return Bad("bad solve method");
+  A.VM.Method = static_cast<core::SolveMethod>(Method);
+  if (!decodeGraph(R, A.VM.Graph))
+    return Bad("malformed graph");
+  if (!decodeAssignment(R, A.VM.Volumes))
+    return Bad("malformed RVol assignment");
+  if (!decodeRounded(R, A.VM.Rounded))
+    return Bad("malformed IVol assignment");
+  A.VM.CascadesApplied = R.i32();
+  A.VM.ReplicationsApplied = R.i32();
+  A.VM.MinDispenseNl = R.f64();
+  A.VM.Log = R.str();
+  if (!decodeAssignment(R, A.Metered))
+    return Bad("malformed metered assignment");
+  if (!decodeProgram(R, A.Program,
+                     A.Managed ? A.VM.Graph.numNodeSlots() : -1))
+    return Bad("malformed AIS program");
+  if (R.failed())
+    return Bad("truncated");
+  if (!R.done())
+    return Bad("trailing bytes");
+  return A;
+}

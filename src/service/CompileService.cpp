@@ -38,6 +38,11 @@ struct ServiceMetrics {
   obs::Counter &CacheHits = obs::metrics().counter("service.cache.hits");
   obs::Counter &CacheMisses = obs::metrics().counter("service.cache.misses");
   obs::Counter &Joins = obs::metrics().counter("service.singleflight.joins");
+  obs::Counter &ShedTotal = obs::metrics().counter("service.shed_total");
+  obs::Counter &ShedQueueFull =
+      obs::metrics().counter("service.shed.queue_full");
+  obs::Counter &ShedDeadline = obs::metrics().counter("service.shed.deadline");
+  obs::Gauge &QueueDepth = obs::metrics().gauge("service.queue_depth");
   obs::Histogram &QueueWaitSec =
       obs::metrics().histogram("service.queue_wait_sec");
   obs::Histogram &LatencySec = obs::metrics().histogram("service.latency_sec");
@@ -58,15 +63,32 @@ bool hasUnknownVolumes(const ir::AssayGraph &G) {
 
 } // namespace
 
+const char *aqua::service::shedReasonName(ShedReason R) {
+  switch (R) {
+  case ShedReason::None:
+    return "none";
+  case ShedReason::QueueFull:
+    return "queue_full";
+  case ShedReason::DeadlineExpired:
+    return "deadline_expired";
+  }
+  return "unknown";
+}
+
 std::string ServiceStats::str() const {
   return format(
-      "submitted %llu, completed %llu (%llu failed), cache hits %llu "
-      "(%.1f%% hit rate), single-flight joins %llu, evictions %llu, "
+      "submitted %llu, completed %llu (%llu failed), shed %llu "
+      "(%llu queue-full, %llu deadline), cache hits %llu (%llu from L2, "
+      "%.1f%% hit rate), single-flight joins %llu, evictions %llu, "
       "%zu cached entries (%.1f MiB), %.3f s solving, %.3f s total latency",
       static_cast<unsigned long long>(Submitted),
       static_cast<unsigned long long>(Completed),
       static_cast<unsigned long long>(Failed),
-      static_cast<unsigned long long>(CacheHits), Cache.hitRate() * 100.0,
+      static_cast<unsigned long long>(shedTotal()),
+      static_cast<unsigned long long>(ShedQueueFull),
+      static_cast<unsigned long long>(ShedDeadline),
+      static_cast<unsigned long long>(CacheHits),
+      static_cast<unsigned long long>(CacheHitsL2), Cache.hitRate() * 100.0,
       static_cast<unsigned long long>(SingleFlightJoins),
       static_cast<unsigned long long>(Cache.Evictions), Cache.Entries,
       static_cast<double>(Cache.Bytes) / (1024.0 * 1024.0), SolveSec,
@@ -74,7 +96,24 @@ std::string ServiceStats::str() const {
 }
 
 CompileService::CompileService(const ServiceOptions &Options)
-    : Options(Options), Cache(Options.Cache) {
+    : Options(Options), Cache(Options.Cache), Paused(Options.StartPaused) {
+  if (!Options.StoreDir.empty()) {
+    auto Opened = store::SolveStore::open(
+        Options.StoreDir, Options.Store,
+        Options.StoreEnv ? *Options.StoreEnv : store::Env::real());
+    if (Opened.ok()) {
+      Store = std::move(Opened.get());
+      Cache.attachStore(Store.get());
+      AQUA_LOG_INFO("service", "solve store attached at %s (%zu keys)",
+                    Options.StoreDir.c_str(), Store->stats().Keys);
+    } else {
+      // Persistence is an optimization; a store that will not open must
+      // not take the service down with it.
+      AQUA_LOG_WARN("service", "solve store %s unavailable, running "
+                               "memory-only: %s",
+                    Options.StoreDir.c_str(), Opened.message().c_str());
+    }
+  }
   int Threads = std::max(1, Options.Threads);
   Workers.reserve(Threads);
   for (int I = 0; I < Threads; ++I)
@@ -91,21 +130,46 @@ CompileService::~CompileService() {
     W.join();
 }
 
+CompileResponse CompileService::shedResponse(const CompileRequest &Request,
+                                             ShedReason Reason) {
+  CompileResponse R;
+  R.Name = Request.Name;
+  R.Shed = Reason;
+  R.Error = format("request shed: %s", shedReasonName(Reason));
+  return R;
+}
+
 void CompileService::workerLoop() {
   for (;;) {
     Job J;
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
       ++IdleWorkers;
-      QueueCV.wait(Lock, [this] { return ShuttingDown || !Queue.empty(); });
+      QueueCV.wait(Lock, [this] {
+        return ShuttingDown || (!Paused && !Queue.empty());
+      });
       --IdleWorkers;
-      if (Queue.empty())
+      if (ShuttingDown && Queue.empty())
         return; // Shutting down and drained.
+      if (Queue.empty() || (Paused && !ShuttingDown))
+        continue;
       J = std::move(Queue.front());
       Queue.pop_front();
+      met().QueueDepth.set(static_cast<double>(Queue.size()));
     }
-    met().QueueWaitSec.observe(
-        (obs::Tracer::nowMicros() - J.EnqueueMicros) * 1e-6);
+    std::uint64_t Now = obs::Tracer::nowMicros();
+    met().QueueWaitSec.observe((Now - J.EnqueueMicros) * 1e-6);
+    // Deadline admission at dequeue: work that expired while it waited is
+    // dead on arrival -- running the pipeline for it only delays the rest
+    // of the queue.
+    if (J.Request.DeadlineMicros != 0 && Now > J.Request.DeadlineMicros) {
+      ShedDeadline.fetch_add(1, std::memory_order_relaxed);
+      met().ShedTotal.add();
+      met().ShedDeadline.add();
+      J.Promise.set_value(
+          shedResponse(J.Request, ShedReason::DeadlineExpired));
+      continue;
+    }
     J.Promise.set_value(process(J.Request));
   }
 }
@@ -114,13 +178,28 @@ std::future<CompileResponse> CompileService::submit(CompileRequest Request) {
   Submitted.fetch_add(1, std::memory_order_relaxed);
   met().Submitted.add();
   Job J;
-  J.Request = std::move(Request);
   J.EnqueueMicros = obs::Tracer::nowMicros();
   std::future<CompileResponse> Result = J.Promise.get_future();
   bool Wake;
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
-    Queue.push_back(std::move(J));
+    // Queue-depth admission: shed normal work past the budget; priority
+    // work always gets in, and goes to the front.
+    if (Options.MaxQueueDepth != 0 && !Request.HighPriority &&
+        Queue.size() >= Options.MaxQueueDepth) {
+      ShedQueueFull.fetch_add(1, std::memory_order_relaxed);
+      met().ShedTotal.add();
+      met().ShedQueueFull.add();
+      J.Promise.set_value(shedResponse(Request, ShedReason::QueueFull));
+      return Result;
+    }
+    bool Priority = Request.HighPriority;
+    J.Request = std::move(Request);
+    if (Priority)
+      Queue.push_front(std::move(J));
+    else
+      Queue.push_back(std::move(J));
+    met().QueueDepth.set(static_cast<double>(Queue.size()));
     Wake = IdleWorkers > 0;
   }
   // Only signal when a worker is actually parked: busy workers re-check
@@ -131,36 +210,57 @@ std::future<CompileResponse> CompileService::submit(CompileRequest Request) {
   return Result;
 }
 
-std::vector<CompileResponse>
-CompileService::compileBatch(std::vector<CompileRequest> Batch) {
+std::vector<std::future<CompileResponse>>
+CompileService::submitBatch(std::vector<CompileRequest> Batch) {
   std::vector<std::future<CompileResponse>> Futures;
   Futures.reserve(Batch.size());
-  if (!Batch.empty()) {
-    // Bulk enqueue: one lock acquisition and one (possibly collective)
-    // wakeup for the whole batch instead of a lock + notify per request.
-    Submitted.fetch_add(Batch.size(), std::memory_order_relaxed);
-    met().Submitted.add(Batch.size());
-    std::uint64_t Now = obs::Tracer::nowMicros();
-    std::size_t Parked;
-    {
-      std::lock_guard<std::mutex> Lock(QueueMutex);
-      for (CompileRequest &R : Batch) {
-        Job J;
-        J.Request = std::move(R);
-        J.EnqueueMicros = Now;
-        Futures.push_back(J.Promise.get_future());
-        Queue.push_back(std::move(J));
+  if (Batch.empty())
+    return Futures;
+  // Bulk enqueue: one lock acquisition and one (possibly collective)
+  // wakeup for the whole batch instead of a lock + notify per request.
+  Submitted.fetch_add(Batch.size(), std::memory_order_relaxed);
+  met().Submitted.add(Batch.size());
+  std::uint64_t Now = obs::Tracer::nowMicros();
+  std::size_t Enqueued = 0, Parked = 0;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    for (CompileRequest &R : Batch) {
+      Job J;
+      J.EnqueueMicros = Now;
+      Futures.push_back(J.Promise.get_future());
+      if (Options.MaxQueueDepth != 0 && !R.HighPriority &&
+          Queue.size() >= Options.MaxQueueDepth) {
+        ShedQueueFull.fetch_add(1, std::memory_order_relaxed);
+        met().ShedTotal.add();
+        met().ShedQueueFull.add();
+        J.Promise.set_value(shedResponse(R, ShedReason::QueueFull));
+        continue;
       }
-      Parked = static_cast<std::size_t>(IdleWorkers);
-    }
-    if (Parked > 0) {
-      if (Batch.size() >= Parked)
-        QueueCV.notify_all();
+      bool Priority = R.HighPriority;
+      J.Request = std::move(R);
+      if (Priority)
+        Queue.push_front(std::move(J));
       else
-        for (std::size_t I = 0; I < Batch.size(); ++I)
-          QueueCV.notify_one();
+        Queue.push_back(std::move(J));
+      ++Enqueued;
     }
+    met().QueueDepth.set(static_cast<double>(Queue.size()));
+    Parked = static_cast<std::size_t>(IdleWorkers);
   }
+  if (Parked > 0 && Enqueued > 0) {
+    if (Enqueued >= Parked)
+      QueueCV.notify_all();
+    else
+      for (std::size_t I = 0; I < Enqueued; ++I)
+        QueueCV.notify_one();
+  }
+  return Futures;
+}
+
+std::vector<CompileResponse>
+CompileService::compileBatch(std::vector<CompileRequest> Batch) {
+  std::vector<std::future<CompileResponse>> Futures =
+      submitBatch(std::move(Batch));
   std::vector<CompileResponse> Responses;
   Responses.reserve(Futures.size());
   for (std::future<CompileResponse> &F : Futures)
@@ -171,7 +271,32 @@ CompileService::compileBatch(std::vector<CompileRequest> Batch) {
 CompileResponse CompileService::compileNow(const CompileRequest &Request) {
   Submitted.fetch_add(1, std::memory_order_relaxed);
   met().Submitted.add();
+  if (Request.DeadlineMicros != 0 &&
+      obs::Tracer::nowMicros() > Request.DeadlineMicros) {
+    ShedDeadline.fetch_add(1, std::memory_order_relaxed);
+    met().ShedTotal.add();
+    met().ShedDeadline.add();
+    return shedResponse(Request, ShedReason::DeadlineExpired);
+  }
   return process(Request);
+}
+
+void CompileService::pause() {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  Paused = true;
+}
+
+void CompileService::resume() {
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    Paused = false;
+  }
+  QueueCV.notify_all();
+}
+
+std::size_t CompileService::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(QueueMutex);
+  return Queue.size();
 }
 
 std::shared_ptr<const CompileArtifact>
@@ -255,12 +380,16 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
                                    Request.Layout);
       }
 
+      bool FromL2 = false;
       if (!Options.EnableCache) {
         R.Artifact = solveAndGenerate(Request, *Graph);
-      } else if (auto Hit = Cache.lookup(R.Key)) {
+      } else if (auto Hit = Cache.lookup(R.Key, &FromL2)) {
         R.CacheHit = true;
+        R.CacheHitL2 = FromL2;
         CacheHits.fetch_add(1, std::memory_order_relaxed);
         met().CacheHits.add();
+        if (FromL2)
+          CacheHitsL2.fetch_add(1, std::memory_order_relaxed);
         R.Artifact = std::move(Hit);
       } else {
         // ----- Single-flight: at most one solve per fingerprint, ever.
@@ -276,7 +405,7 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
           auto It = Flights.find(R.Key.str());
           if (It != Flights.end()) {
             Theirs = It->second;
-          } else if ((Raced = Cache.lookup(R.Key))) {
+          } else if ((Raced = Cache.lookup(R.Key, &FromL2))) {
             ; // The flight we raced with retired between our first lookup
               // and here; its artifact is already cached.
           } else {
@@ -287,8 +416,11 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
         }
         if (Raced) {
           R.CacheHit = true;
+          R.CacheHitL2 = FromL2;
           CacheHits.fetch_add(1, std::memory_order_relaxed);
           met().CacheHits.add();
+          if (FromL2)
+            CacheHitsL2.fetch_add(1, std::memory_order_relaxed);
           R.Artifact = std::move(Raced);
         } else if (Theirs) {
           R.Deduplicated = true;
@@ -332,7 +464,10 @@ ServiceStats CompileService::stats() const {
   S.Completed = Completed.load(std::memory_order_relaxed);
   S.Failed = Failed.load(std::memory_order_relaxed);
   S.CacheHits = CacheHits.load(std::memory_order_relaxed);
+  S.CacheHitsL2 = CacheHitsL2.load(std::memory_order_relaxed);
   S.SingleFlightJoins = SingleFlightJoins.load(std::memory_order_relaxed);
+  S.ShedQueueFull = ShedQueueFull.load(std::memory_order_relaxed);
+  S.ShedDeadline = ShedDeadline.load(std::memory_order_relaxed);
   S.TotalLatencySec = TotalLatencySec.load(std::memory_order_relaxed);
   S.SolveSec = SolveSec.load(std::memory_order_relaxed);
   S.Cache = Cache.stats();

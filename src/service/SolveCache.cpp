@@ -7,6 +7,8 @@
 #include "aqua/service/SolveCache.h"
 
 #include "aqua/obs/Metrics.h"
+#include "aqua/service/ArtifactCodec.h"
+#include "aqua/store/SolveStore.h"
 
 #include <algorithm>
 
@@ -20,6 +22,7 @@ struct CacheMetrics {
   obs::Counter &Insertions =
       obs::metrics().counter("service.cache.insertions");
   obs::Counter &Evictions = obs::metrics().counter("service.cache.evictions");
+  obs::Counter &HitsL2 = obs::metrics().counter("service.cache.hits_l2");
 };
 
 CacheMetrics &met() {
@@ -74,27 +77,75 @@ SolveCache::Shard &SolveCache::shardFor(const ir::Fingerprint &Key) {
 }
 
 std::shared_ptr<const CompileArtifact>
-SolveCache::lookup(const ir::Fingerprint &Key) {
+SolveCache::lookup(const ir::Fingerprint &Key, bool *FromL2) {
+  if (FromL2)
+    *FromL2 = false;
   Shard &S = shardFor(Key);
-  std::lock_guard<std::mutex> Lock(S.Mutex);
-  auto It = S.Index.find(Key);
-  if (It == S.Index.end()) {
+  {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    auto It = S.Index.find(Key);
+    if (It != S.Index.end()) {
+      ++S.Hits;
+      // Refresh recency: move to the front of the LRU list.
+      S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
+      return It->second->Value;
+    }
+    if (!L2) {
+      ++S.Misses;
+      return nullptr;
+    }
+  }
+  // L1 miss with an L2 attached: consult the store outside the shard lock
+  // (store reads do file I/O and take the store's own lock).
+  std::string Payload;
+  if (!L2->get(Key, Payload)) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
     ++S.Misses;
     return nullptr;
   }
+  Expected<CompileArtifact> Decoded = decodeArtifact(Payload);
+  if (!Decoded.ok()) {
+    std::lock_guard<std::mutex> Lock(S.Mutex);
+    ++S.Misses;
+    ++S.L2DecodeErrors;
+    return nullptr;
+  }
+  auto Value =
+      std::make_shared<const CompileArtifact>(std::move(Decoded.get()));
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  // Promote into L1 without writing back; a racing insert may have beaten
+  // us here, in which case the racer's (identical) artifact wins.
+  auto It = S.Index.find(Key);
+  if (It == S.Index.end())
+    insertLocked(S, Key, Value);
+  else
+    Value = It->second->Value;
   ++S.Hits;
-  // Refresh recency: move to the front of the LRU list.
-  S.LRU.splice(S.LRU.begin(), S.LRU, It->second);
-  return It->second->Value;
+  ++S.HitsL2;
+  met().HitsL2.add();
+  if (FromL2)
+    *FromL2 = true;
+  return Value;
 }
 
 void SolveCache::insert(const ir::Fingerprint &Key,
                         std::shared_ptr<const CompileArtifact> Value) {
   if (MaxEntriesPerShard == 0 || !Value)
     return;
-  std::size_t Bytes = Value->approxBytes();
+  // Write through to the persistent store first, outside the shard lock. A
+  // store failure (disk full, unwritable dir) costs persistence only.
+  if (L2)
+    (void)L2->put(Key, encodeArtifact(*Value));
   Shard &S = shardFor(Key);
   std::lock_guard<std::mutex> Lock(S.Mutex);
+  insertLocked(S, Key, std::move(Value));
+}
+
+void SolveCache::insertLocked(Shard &S, const ir::Fingerprint &Key,
+                              std::shared_ptr<const CompileArtifact> Value) {
+  if (MaxEntriesPerShard == 0 || !Value)
+    return;
+  std::size_t Bytes = Value->approxBytes();
   auto It = S.Index.find(Key);
   if (It != S.Index.end()) {
     S.Bytes -= It->second->Bytes;
@@ -129,6 +180,8 @@ CacheStats SolveCache::stats() const {
     Total.Misses += S->Misses;
     Total.Insertions += S->Insertions;
     Total.Evictions += S->Evictions;
+    Total.HitsL2 += S->HitsL2;
+    Total.L2DecodeErrors += S->L2DecodeErrors;
     Total.Entries += S->LRU.size();
     Total.Bytes += S->Bytes;
   }

@@ -1,0 +1,336 @@
+//===- Env.cpp - Injectable file-system seam ------------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/store/Env.h"
+
+#include "aqua/support/StringUtils.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <random>
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+using namespace aqua;
+using namespace aqua::store;
+
+//===----------------------------------------------------------------------===//
+// POSIX environment
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Status errnoStatus(const char *What, const std::string &Path) {
+  return Status::error(
+      format("%s '%s': %s", What, Path.c_str(), std::strerror(errno)));
+}
+
+class PosixWritableFile : public WritableFile {
+public:
+  PosixWritableFile(int Fd, std::string Path) : Fd(Fd), Path(std::move(Path)) {}
+
+  ~PosixWritableFile() override {
+    // close() drops any flock this descriptor holds.
+    if (Fd >= 0)
+      ::close(Fd);
+  }
+
+  Status append(std::string_view Data) override {
+    // One write(2) per record: concurrent O_APPEND writers never interleave
+    // within a call, so records from different processes stay contiguous.
+    const char *P = Data.data();
+    std::size_t Left = Data.size();
+    while (Left > 0) {
+      ssize_t N = ::write(Fd, P, Left);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        return errnoStatus("append to", Path);
+      }
+      P += N;
+      Left -= static_cast<std::size_t>(N);
+    }
+    return Status::success();
+  }
+
+  Status sync() override {
+    if (::fsync(Fd) != 0)
+      return errnoStatus("sync", Path);
+    return Status::success();
+  }
+
+  Status tryLockExclusive(bool &Acquired) override {
+    if (::flock(Fd, LOCK_EX | LOCK_NB) == 0) {
+      Acquired = true;
+      return Status::success();
+    }
+    Acquired = false;
+    if (errno == EWOULDBLOCK || errno == EINTR)
+      return Status::success();
+    return errnoStatus("lock", Path);
+  }
+
+private:
+  int Fd;
+  std::string Path;
+};
+
+class PosixEnv : public Env {
+public:
+  Status createDir(const std::string &Path) override {
+    if (::mkdir(Path.c_str(), 0755) == 0 || errno == EEXIST)
+      return Status::success();
+    return errnoStatus("create directory", Path);
+  }
+
+  Expected<std::vector<std::string>> listDir(const std::string &Path) override {
+    DIR *D = ::opendir(Path.c_str());
+    if (!D)
+      return errnoStatus("list", Path);
+    std::vector<std::string> Names;
+    while (struct dirent *E = ::readdir(D)) {
+      std::string Name = E->d_name;
+      if (Name != "." && Name != "..")
+        Names.push_back(std::move(Name));
+    }
+    ::closedir(D);
+    std::sort(Names.begin(), Names.end());
+    return Names;
+  }
+
+  Expected<std::uint64_t> fileSize(const std::string &Path) override {
+    struct stat St;
+    if (::stat(Path.c_str(), &St) != 0)
+      return errnoStatus("stat", Path);
+    return static_cast<std::uint64_t>(St.st_size);
+  }
+
+  Status read(const std::string &Path, std::uint64_t Offset, std::uint64_t Len,
+              std::string &Out) override {
+    Out.clear();
+    int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (Fd < 0)
+      return errnoStatus("open", Path);
+    Out.resize(Len);
+    std::size_t Got = 0;
+    while (Got < Len) {
+      ssize_t N = ::pread(Fd, Out.data() + Got, Len - Got,
+                          static_cast<off_t>(Offset + Got));
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        ::close(Fd);
+        Out.clear();
+        return errnoStatus("read", Path);
+      }
+      if (N == 0)
+        break; // EOF: short read is success.
+      Got += static_cast<std::size_t>(N);
+    }
+    ::close(Fd);
+    Out.resize(Got);
+    return Status::success();
+  }
+
+  Expected<std::unique_ptr<WritableFile>>
+  openAppend(const std::string &Path) override {
+    int Fd = ::open(Path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                    0644);
+    if (Fd < 0)
+      return errnoStatus("open for append", Path);
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(Fd, Path));
+  }
+
+  Status rename(const std::string &From, const std::string &To) override {
+    if (::rename(From.c_str(), To.c_str()) != 0)
+      return errnoStatus("rename", From);
+    return Status::success();
+  }
+
+  Status removeFile(const std::string &Path) override {
+    if (::unlink(Path.c_str()) != 0 && errno != ENOENT)
+      return errnoStatus("remove", Path);
+    return Status::success();
+  }
+
+  bool exists(const std::string &Path) override {
+    struct stat St;
+    return ::stat(Path.c_str(), &St) == 0;
+  }
+
+  std::string uniqueToken() override {
+    static std::atomic<std::uint64_t> Counter{0};
+    static const std::uint64_t Salt = [] {
+      std::random_device RD;
+      return (std::uint64_t(RD()) << 32) ^ RD();
+    }();
+    std::uint64_t N = Counter.fetch_add(1, std::memory_order_relaxed);
+    return format("%08x-%08llx-%04llx", static_cast<unsigned>(::getpid()),
+                  static_cast<unsigned long long>(Salt & 0xffffffffULL),
+                  static_cast<unsigned long long>(N));
+  }
+};
+
+} // namespace
+
+Env &Env::real() {
+  static PosixEnv E;
+  return E;
+}
+
+//===----------------------------------------------------------------------===//
+// In-memory environment
+//===----------------------------------------------------------------------===//
+
+namespace aqua::store {
+
+class MemWritableFile : public WritableFile {
+public:
+  MemWritableFile(MemEnv &Env, std::string Path)
+      : Parent(Env), Path(std::move(Path)) {}
+
+  ~MemWritableFile() override {
+    if (HoldsLock) {
+      std::lock_guard<std::mutex> Lock(Parent.Mutex);
+      Parent.Locked.erase(Path);
+    }
+  }
+
+  Status append(std::string_view Data) override {
+    std::lock_guard<std::mutex> Lock(Parent.Mutex);
+    Parent.Files[Path].append(Data.data(), Data.size());
+    return Status::success();
+  }
+
+  Status sync() override { return Status::success(); }
+
+  Status tryLockExclusive(bool &Acquired) override {
+    std::lock_guard<std::mutex> Lock(Parent.Mutex);
+    if (HoldsLock || Parent.Locked.insert(Path).second) {
+      HoldsLock = true;
+      Acquired = true;
+    } else {
+      Acquired = false;
+    }
+    return Status::success();
+  }
+
+private:
+  MemEnv &Parent;
+  std::string Path;
+  bool HoldsLock = false;
+};
+
+} // namespace aqua::store
+
+Status MemEnv::createDir(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Dirs.insert(Path);
+  return Status::success();
+}
+
+Expected<std::vector<std::string>> MemEnv::listDir(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::string Prefix = Path;
+  if (Prefix.empty() || Prefix.back() != '/')
+    Prefix += '/';
+  if (!Dirs.count(Path) && !Dirs.count(Prefix)) {
+    bool Any = false;
+    for (const auto &[P, Bytes] : Files)
+      if (P.compare(0, Prefix.size(), Prefix) == 0)
+        Any = true;
+    if (!Any)
+      return Expected<std::vector<std::string>>::error(
+          format("list '%s': no such directory", Path.c_str()));
+  }
+  std::vector<std::string> Names;
+  for (const auto &[P, Bytes] : Files) {
+    if (P.compare(0, Prefix.size(), Prefix) != 0)
+      continue;
+    std::string Rest = P.substr(Prefix.size());
+    if (Rest.find('/') == std::string::npos)
+      Names.push_back(std::move(Rest));
+  }
+  return Names; // std::map iteration is already sorted.
+}
+
+Expected<std::uint64_t> MemEnv::fileSize(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return Expected<std::uint64_t>::error(
+        format("stat '%s': no such file", Path.c_str()));
+  return static_cast<std::uint64_t>(It->second.size());
+}
+
+Status MemEnv::read(const std::string &Path, std::uint64_t Offset,
+                    std::uint64_t Len, std::string &Out) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Out.clear();
+  auto It = Files.find(Path);
+  if (It == Files.end())
+    return Status::error(format("read '%s': no such file", Path.c_str()));
+  const std::string &Bytes = It->second;
+  if (Offset >= Bytes.size())
+    return Status::success();
+  Out = Bytes.substr(Offset, Len);
+  return Status::success();
+}
+
+Expected<std::unique_ptr<WritableFile>>
+MemEnv::openAppend(const std::string &Path) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Files.try_emplace(Path); // Create-if-absent, like O_CREAT.
+  }
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<MemWritableFile>(*this, Path));
+}
+
+Status MemEnv::rename(const std::string &From, const std::string &To) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Files.find(From);
+  if (It == Files.end())
+    return Status::error(format("rename '%s': no such file", From.c_str()));
+  Files[To] = std::move(It->second);
+  Files.erase(It);
+  return Status::success();
+}
+
+Status MemEnv::removeFile(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Files.erase(Path);
+  return Status::success();
+}
+
+bool MemEnv::exists(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Files.count(Path) || Dirs.count(Path);
+}
+
+std::string MemEnv::uniqueToken() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return format("mem-%06llu", static_cast<unsigned long long>(NextToken++));
+}
+
+std::string MemEnv::snapshot(const std::string &Path) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Files.find(Path);
+  return It == Files.end() ? std::string() : It->second;
+}
+
+void MemEnv::corrupt(const std::string &Path, std::string Contents) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Files[Path] = std::move(Contents);
+}

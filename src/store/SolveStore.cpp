@@ -1,0 +1,529 @@
+//===- SolveStore.cpp - Persistent content-addressed solve store ----------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/store/SolveStore.h"
+
+#include "aqua/obs/Log.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/support/StringUtils.h"
+
+#include <array>
+#include <cstring>
+
+using namespace aqua;
+using namespace aqua::store;
+
+namespace {
+
+/// 8-byte segment-file magic (format version in the last two characters).
+constexpr char SegmentMagic[8] = {'A', 'Q', 'S', 'T', 'S', 'G', '0', '1'};
+/// Per-record magic ("ARC1", little-endian).
+constexpr std::uint32_t RecordMagic = 0x31435241u;
+constexpr std::uint64_t SegmentHeaderBytes = 8;
+constexpr std::uint64_t RecordHeaderBytes = 24;
+constexpr std::uint64_t RecordTrailerBytes = 4;
+
+/// CRC-32C (Castagnoli), reflected polynomial 0x82F63B78; table-driven.
+std::uint32_t crc32c(const void *Data, std::size_t Len,
+                     std::uint32_t Seed = 0) {
+  static const auto Table = [] {
+    std::array<std::uint32_t, 256> T{};
+    for (std::uint32_t I = 0; I < 256; ++I) {
+      std::uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C & 1) ? 0x82F63B78u ^ (C >> 1) : C >> 1;
+      T[I] = C;
+    }
+    return T;
+  }();
+  std::uint32_t Crc = ~Seed;
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (std::size_t I = 0; I < Len; ++I)
+    Crc = Table[(Crc ^ P[I]) & 0xFF] ^ (Crc >> 8);
+  return ~Crc;
+}
+
+void putU32(std::string &Out, std::uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+void putU64(std::string &Out, std::uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xFF));
+}
+
+std::uint32_t getU32(const char *P) {
+  std::uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | static_cast<unsigned char>(P[I]);
+  return V;
+}
+
+std::uint64_t getU64(const char *P) {
+  std::uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | static_cast<unsigned char>(P[I]);
+  return V;
+}
+
+/// Serializes one record (header + payload + crc trailer).
+std::string encodeRecord(const ir::Fingerprint &Key, std::string_view Payload) {
+  std::string Rec;
+  Rec.reserve(RecordHeaderBytes + Payload.size() + RecordTrailerBytes);
+  putU32(Rec, RecordMagic);
+  putU32(Rec, static_cast<std::uint32_t>(Payload.size()));
+  putU64(Rec, Key.Hi);
+  putU64(Rec, Key.Lo);
+  Rec.append(Payload.data(), Payload.size());
+  putU32(Rec, crc32c(Rec.data(), Rec.size()));
+  return Rec;
+}
+
+bool isSegmentName(const std::string &Name) {
+  return Name.size() > 8 && Name.compare(0, 4, "seg-") == 0 &&
+         Name.compare(Name.size() - 4, 4, ".aqs") == 0;
+}
+
+bool isTempName(const std::string &Name) {
+  return Name.compare(0, 4, "tmp-") == 0;
+}
+
+/// Global-registry instruments, resolved once.
+struct StoreMetrics {
+  obs::Counter &Appends = obs::metrics().counter("store.appends");
+  obs::Counter &AppendedBytes = obs::metrics().counter("store.appended_bytes");
+  obs::Counter &Gets = obs::metrics().counter("store.gets");
+  obs::Counter &Hits = obs::metrics().counter("store.hits");
+  obs::Counter &Corrupt = obs::metrics().counter("store.corrupt_records");
+  obs::Counter &TornTails = obs::metrics().counter("store.torn_tails");
+  obs::Counter &Refreshes = obs::metrics().counter("store.refreshes");
+  obs::Counter &Compactions = obs::metrics().counter("store.compactions");
+};
+
+StoreMetrics &met() {
+  static StoreMetrics M;
+  return M;
+}
+
+} // namespace
+
+SolveStore::SolveStore(std::string Dir, const StoreOptions &Opts, Env &E)
+    : Dir(std::move(Dir)), Opts(Opts), E(E) {}
+
+SolveStore::~SolveStore() = default;
+
+Expected<std::unique_ptr<SolveStore>>
+SolveStore::open(const std::string &Dir, const StoreOptions &Opts, Env &E) {
+  if (Status S = E.createDir(Dir); !S.ok())
+    return S;
+  std::unique_ptr<SolveStore> Store(new SolveStore(Dir, Opts, E));
+  if (Status S = Store->openDirLocked(); !S.ok())
+    return S;
+  return Store;
+}
+
+Status SolveStore::openDirLocked() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto Names = E.listDir(Dir);
+  if (!Names.ok())
+    return Names.takeStatus();
+  // Sweep compaction temps left behind by a crashed compactor: a live
+  // compactor holds the exclusive lock on its temp, so any temp we can
+  // lock is stale.
+  for (const std::string &Name : *Names) {
+    if (!isTempName(Name))
+      continue;
+    auto Handle = E.openAppend(path(Name));
+    if (!Handle.ok())
+      continue;
+    bool Acquired = false;
+    if ((*Handle)->tryLockExclusive(Acquired).ok() && Acquired) {
+      AQUA_LOG_INFO("store", "removing stale compaction temp '%s'",
+                    Name.c_str());
+      (void)E.removeFile(path(Name));
+    }
+  }
+  refreshLocked();
+  return Status::success();
+}
+
+std::uint64_t SolveStore::scanSegmentLocked(int SegIndex) {
+  Segment &Seg = Segments[SegIndex];
+  if (Seg.Frozen || Seg.Name.empty())
+    return 0;
+  const std::string Path = path(Seg.Name);
+  auto Size = E.fileSize(Path);
+  if (!Size.ok())
+    return 0; // Deleted under us (compaction elsewhere); tombstoned later.
+  std::uint64_t End = *Size;
+
+  // Consume the segment header first.
+  if (Seg.ValidBytes == 0) {
+    if (End < SegmentHeaderBytes)
+      return 0; // Still being created; retry on a later refresh.
+    std::string Head;
+    if (!E.read(Path, 0, SegmentHeaderBytes, Head).ok() ||
+        Head.size() != SegmentHeaderBytes ||
+        std::memcmp(Head.data(), SegmentMagic, sizeof(SegmentMagic)) != 0) {
+      AQUA_LOG_WARN("store", "segment '%s' has a bad header; ignoring it",
+                    Seg.Name.c_str());
+      Seg.Frozen = true;
+      ++CorruptRecords;
+      met().Corrupt.add();
+      return 0;
+    }
+    Seg.ValidBytes = SegmentHeaderBytes;
+  }
+
+  std::uint64_t Indexed = 0;
+  while (Seg.ValidBytes < End) {
+    std::string Head;
+    if (!E.read(Path, Seg.ValidBytes, RecordHeaderBytes, Head).ok())
+      break;
+    if (Head.size() < RecordHeaderBytes) {
+      // Incomplete header at the tail: either a torn append from a crash
+      // or a live writer mid-record. Stop here; the watermark stays so a
+      // later refresh retries.
+      ++TornTails;
+      met().TornTails.add();
+      break;
+    }
+    std::uint32_t Magic = getU32(Head.data());
+    std::uint32_t PayloadLen = getU32(Head.data() + 4);
+    if (Magic != RecordMagic || PayloadLen > Opts.MaxPayloadBytes) {
+      // Bytes exist but are not a record: real corruption. Freeze the
+      // segment at the longest valid prefix -- nothing past this point can
+      // be trusted to be record-aligned.
+      Seg.Frozen = true;
+      ++CorruptRecords;
+      met().Corrupt.add();
+      AQUA_LOG_WARN("store",
+                    "segment '%s' corrupt at offset %llu; serving the "
+                    "%llu-byte valid prefix",
+                    Seg.Name.c_str(),
+                    static_cast<unsigned long long>(Seg.ValidBytes),
+                    static_cast<unsigned long long>(Seg.ValidBytes));
+      break;
+    }
+    std::uint64_t RecordBytes =
+        RecordHeaderBytes + PayloadLen + RecordTrailerBytes;
+    if (Seg.ValidBytes + RecordBytes > End) {
+      ++TornTails;
+      met().TornTails.add();
+      break;
+    }
+    std::string Rest;
+    if (!E.read(Path, Seg.ValidBytes + RecordHeaderBytes,
+                PayloadLen + RecordTrailerBytes, Rest)
+             .ok() ||
+        Rest.size() < PayloadLen + RecordTrailerBytes) {
+      ++TornTails;
+      met().TornTails.add();
+      break;
+    }
+    std::uint32_t Stored = getU32(Rest.data() + PayloadLen);
+    std::uint32_t Fresh = crc32c(Rest.data(), PayloadLen,
+                                 crc32c(Head.data(), RecordHeaderBytes));
+    if (Stored != Fresh) {
+      Seg.Frozen = true;
+      ++CorruptRecords;
+      met().Corrupt.add();
+      AQUA_LOG_WARN("store",
+                    "segment '%s': checksum mismatch at offset %llu; "
+                    "recovering to the longest valid prefix",
+                    Seg.Name.c_str(),
+                    static_cast<unsigned long long>(Seg.ValidBytes));
+      break;
+    }
+    ir::Fingerprint Key;
+    Key.Hi = getU64(Head.data() + 8);
+    Key.Lo = getU64(Head.data() + 16);
+    Index.insert_or_assign(Key,
+                           RecordLoc{SegIndex, Seg.ValidBytes, PayloadLen});
+    Seg.ValidBytes += RecordBytes;
+    ++Indexed;
+  }
+  return Indexed;
+}
+
+std::uint64_t SolveStore::refreshLocked() {
+  ++Refreshes;
+  met().Refreshes.add();
+  auto Names = E.listDir(Dir);
+  if (!Names.ok())
+    return 0;
+  std::uint64_t Indexed = 0;
+  for (const std::string &Name : *Names) {
+    if (!isSegmentName(Name))
+      continue;
+    int SegIndex = -1;
+    for (std::size_t I = 0; I < Segments.size(); ++I)
+      if (Segments[I].Name == Name)
+        SegIndex = static_cast<int>(I);
+    if (SegIndex < 0) {
+      Segments.push_back(Segment{Name, 0, false, nullptr});
+      SegIndex = static_cast<int>(Segments.size()) - 1;
+    } else if (SegIndex == WriterSegment) {
+      continue; // Our own appends are indexed as they happen.
+    }
+    Indexed += scanSegmentLocked(SegIndex);
+  }
+  // Tombstone segments whose file vanished (compacted by another process);
+  // their index entries were superseded when the compacted segment was
+  // scanned above, or will demote to misses on read.
+  for (Segment &Seg : Segments)
+    if (!Seg.Name.empty() && !Seg.Handle && !E.exists(path(Seg.Name)))
+      Seg.Name.clear();
+  return Indexed;
+}
+
+Status SolveStore::ensureWriterLocked() {
+  if (WriterSegment >= 0)
+    return Status::success();
+  std::string Name = "seg-" + E.uniqueToken() + ".aqs";
+  auto Handle = E.openAppend(path(Name));
+  if (!Handle.ok())
+    return Handle.takeStatus();
+  bool Acquired = false;
+  if (Status S = (*Handle)->tryLockExclusive(Acquired); !S.ok())
+    return S;
+  if (!Acquired)
+    return Status::error(
+        format("segment '%s' is unexpectedly locked", Name.c_str()));
+  if (Status S = (*Handle)->append(
+          std::string_view(SegmentMagic, sizeof(SegmentMagic)));
+      !S.ok())
+    return S;
+  Segments.push_back(
+      Segment{std::move(Name), SegmentHeaderBytes, false, std::move(*Handle)});
+  WriterSegment = static_cast<int>(Segments.size()) - 1;
+  return Status::success();
+}
+
+Status SolveStore::put(const ir::Fingerprint &Key, std::string_view Payload) {
+  if (Payload.size() > Opts.MaxPayloadBytes)
+    return Status::error(format("payload of %zu bytes exceeds the %u-byte "
+                                "record bound",
+                                Payload.size(), Opts.MaxPayloadBytes));
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Status S = ensureWriterLocked(); !S.ok())
+    return S;
+  Segment &Seg = Segments[WriterSegment];
+  std::string Rec = encodeRecord(Key, Payload);
+  if (Status S = Seg.Handle->append(Rec); !S.ok()) {
+    // The segment may now end in a torn record (ENOSPC mid-write); records
+    // appended after it would hide behind the scan stop, so retire this
+    // segment -- the next put opens a fresh one, and recovery serves this
+    // one's longest valid prefix.
+    Seg.Handle.reset();
+    WriterSegment = -1;
+    return S;
+  }
+  if (Opts.SyncEveryAppend)
+    if (Status S = Seg.Handle->sync(); !S.ok())
+      return S;
+  Index.insert_or_assign(Key, RecordLoc{WriterSegment, Seg.ValidBytes,
+                                        static_cast<std::uint32_t>(
+                                            Payload.size())});
+  Seg.ValidBytes += Rec.size();
+  ++Appends;
+  AppendedBytes += Rec.size();
+  met().Appends.add();
+  met().AppendedBytes.add(Rec.size());
+  return Status::success();
+}
+
+bool SolveStore::get(const ir::Fingerprint &Key, std::string &Payload) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Gets;
+  met().Gets.add();
+  auto It = Index.find(Key);
+  if (It == Index.end() && Opts.RefreshOnMiss) {
+    refreshLocked();
+    It = Index.find(Key);
+  }
+  if (It == Index.end())
+    return false;
+  const RecordLoc &Loc = It->second;
+  const Segment &Seg = Segments[Loc.Segment];
+  std::uint64_t RecordBytes =
+      RecordHeaderBytes + Loc.PayloadLen + RecordTrailerBytes;
+  std::string Rec;
+  if (!E.read(path(Seg.Name), Loc.Offset, RecordBytes, Rec).ok() ||
+      Rec.size() != RecordBytes) {
+    // Segment compacted away by another process, or shrunk out from under
+    // us: demote to a miss (a refresh will re-find the key in the
+    // compacted segment).
+    Index.erase(It);
+    return false;
+  }
+  // Re-verify on every read: a record that rotted since the scan must
+  // never be served.
+  std::uint32_t Stored = getU32(Rec.data() + RecordBytes - RecordTrailerBytes);
+  std::uint32_t Fresh =
+      crc32c(Rec.data(), RecordBytes - RecordTrailerBytes);
+  ir::Fingerprint Found;
+  Found.Hi = getU64(Rec.data() + 8);
+  Found.Lo = getU64(Rec.data() + 16);
+  if (getU32(Rec.data()) != RecordMagic || Stored != Fresh || Found != Key) {
+    ++CorruptRecords;
+    met().Corrupt.add();
+    Index.erase(It);
+    AQUA_LOG_WARN("store", "record for %s failed verification on read; "
+                           "treating as a miss",
+                  Key.str().c_str());
+    return false;
+  }
+  Payload.assign(Rec.data() + RecordHeaderBytes, Loc.PayloadLen);
+  ++Hits;
+  met().Hits.add();
+  return true;
+}
+
+bool SolveStore::contains(const ir::Fingerprint &Key) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (Index.count(Key))
+    return true;
+  if (!Opts.RefreshOnMiss)
+    return false;
+  refreshLocked();
+  return Index.count(Key) != 0;
+}
+
+std::uint64_t SolveStore::refresh() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return refreshLocked();
+}
+
+Status SolveStore::compact() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  // One compactor per store directory, across processes.
+  auto LockFile = E.openAppend(path("LOCK"));
+  if (!LockFile.ok())
+    return LockFile.takeStatus();
+  bool HaveLock = false;
+  if (Status S = (*LockFile)->tryLockExclusive(HaveLock); !S.ok())
+    return S;
+  if (!HaveLock)
+    return Status::success(); // Another process is compacting; fine.
+
+  refreshLocked();
+  // Rotate our own writer so its segment becomes quiescent and eligible.
+  if (WriterSegment >= 0) {
+    Segments[WriterSegment].Handle.reset();
+    WriterSegment = -1;
+  }
+
+  // A segment is compactable iff no live writer holds its lock.
+  std::vector<int> Victims;
+  std::vector<std::unique_ptr<WritableFile>> VictimLocks;
+  for (std::size_t I = 0; I < Segments.size(); ++I) {
+    Segment &Seg = Segments[I];
+    if (Seg.Name.empty() || !E.exists(path(Seg.Name)))
+      continue;
+    auto Handle = E.openAppend(path(Seg.Name));
+    if (!Handle.ok())
+      continue;
+    bool Acquired = false;
+    if (!(*Handle)->tryLockExclusive(Acquired).ok() || !Acquired)
+      continue; // A live writer owns it; leave it alone.
+    Victims.push_back(static_cast<int>(I));
+    VictimLocks.push_back(std::move(*Handle));
+  }
+  if (Victims.size() < 1)
+    return Status::success();
+
+  // Write every surviving record of the victim segments into a temp file,
+  // then atomically rename it into place. A crash before the rename leaves
+  // only a stale temp (swept on open); a crash after it leaves duplicate
+  // keys across old and new segments (benign: identical payloads).
+  std::string Token = E.uniqueToken();
+  std::string TempName = "tmp-" + Token;
+  auto Temp = E.openAppend(path(TempName));
+  if (!Temp.ok())
+    return Temp.takeStatus();
+  bool TempLocked = false;
+  (void)(*Temp)->tryLockExclusive(TempLocked);
+  auto Abort = [&](Status S) {
+    (void)E.removeFile(path(TempName));
+    return S;
+  };
+  if (Status S = (*Temp)->append(
+          std::string_view(SegmentMagic, sizeof(SegmentMagic)));
+      !S.ok())
+    return Abort(S);
+
+  std::vector<std::pair<ir::Fingerprint, RecordLoc>> Moved;
+  std::uint64_t NewOffset = SegmentHeaderBytes;
+  for (const auto &[Key, Loc] : Index) {
+    bool InVictim = false;
+    for (int V : Victims)
+      InVictim |= Loc.Segment == V;
+    if (!InVictim)
+      continue;
+    std::uint64_t RecordBytes =
+        RecordHeaderBytes + Loc.PayloadLen + RecordTrailerBytes;
+    std::string Rec;
+    if (!E.read(path(Segments[Loc.Segment].Name), Loc.Offset, RecordBytes, Rec)
+             .ok() ||
+        Rec.size() != RecordBytes)
+      return Abort(Status::error("compaction read failed"));
+    if (Status S = (*Temp)->append(Rec); !S.ok())
+      return Abort(S);
+    Moved.emplace_back(Key, RecordLoc{-1, NewOffset, Loc.PayloadLen});
+    NewOffset += RecordBytes;
+  }
+  if (Status S = (*Temp)->sync(); !S.ok())
+    return Abort(S);
+  std::string NewName = "seg-" + Token + ".aqs";
+  if (Status S = E.rename(path(TempName), path(NewName)); !S.ok())
+    return Abort(S);
+  Temp->reset(); // Release the temp lock before anyone scans the segment.
+
+  Segments.push_back(Segment{NewName, NewOffset, false, nullptr});
+  int NewSeg = static_cast<int>(Segments.size()) - 1;
+  for (auto &[Key, Loc] : Moved) {
+    Loc.Segment = NewSeg;
+    Index.insert_or_assign(Key, Loc);
+  }
+  for (std::size_t I = 0; I < Victims.size(); ++I) {
+    (void)E.removeFile(path(Segments[Victims[I]].Name));
+    Segments[Victims[I]].Name.clear();
+    ++SegmentsCompacted;
+  }
+  ++Compactions;
+  met().Compactions.add();
+  return Status::success();
+}
+
+std::vector<ir::Fingerprint> SolveStore::keys() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  std::vector<ir::Fingerprint> Out;
+  Out.reserve(Index.size());
+  for (const auto &[Key, Loc] : Index)
+    Out.push_back(Key);
+  return Out;
+}
+
+StoreStats SolveStore::stats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  StoreStats S;
+  S.Appends = Appends;
+  S.AppendedBytes = AppendedBytes;
+  S.Gets = Gets;
+  S.Hits = Hits;
+  S.CorruptRecords = CorruptRecords;
+  S.TornTails = TornTails;
+  S.Refreshes = Refreshes;
+  S.Compactions = Compactions;
+  S.SegmentsCompacted = SegmentsCompacted;
+  S.Keys = Index.size();
+  for (const Segment &Seg : Segments)
+    if (!Seg.Name.empty())
+      ++S.Segments;
+  return S;
+}

@@ -1,0 +1,240 @@
+//===- DeadlineTest.cpp - Deadline, admission-control, and shedding tests -------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The service's production shaping: per-request deadlines, queue-depth
+// admission control, priority bypass, and the shed accounting that backs
+// the service.shed_* metrics. StartPaused + pause()/resume() make every
+// scenario deterministic -- the queue is built while no worker drains it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/service/CompileService.h"
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <thread>
+#include <vector>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+CompileRequest glucoseRequest(const char *Name = "glucose") {
+  CompileRequest R;
+  R.Name = Name;
+  R.Graph =
+      std::make_shared<const ir::AssayGraph>(assays::buildGlucoseAssay());
+  return R;
+}
+
+ServiceOptions pausedOptions(std::size_t MaxQueueDepth = 0) {
+  ServiceOptions O;
+  O.Threads = 1;
+  O.StartPaused = true;
+  O.MaxQueueDepth = MaxQueueDepth;
+  return O;
+}
+
+/// An absolute deadline that has certainly passed. The tracer clock's
+/// epoch is its first call, so in a fresh test process `nowMicros() - 1`
+/// would underflow to the far future; anchor the epoch, let the clock
+/// tick past 1, and use 1 as the long-expired instant.
+std::uint64_t expiredDeadline() {
+  obs::Tracer::nowMicros();
+  while (obs::Tracer::nowMicros() < 2)
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  return 1;
+}
+
+} // namespace
+
+TEST(ServiceShedding, QueueFullShedsWithDistinctStatus) {
+  obs::MetricsRegistry &Reg = obs::metrics();
+  std::uint64_t ShedBefore = Reg.counter("service.shed_total").value();
+  std::uint64_t FullBefore = Reg.counter("service.shed.queue_full").value();
+
+  CompileService Service(pausedOptions(/*MaxQueueDepth=*/2));
+  std::vector<std::future<CompileResponse>> Futures;
+  for (int I = 0; I < 4; ++I)
+    Futures.push_back(Service.submit(glucoseRequest()));
+  EXPECT_EQ(Service.queueDepth(), 2u);
+
+  // The overflow futures resolve immediately, without a worker.
+  for (int I = 2; I < 4; ++I) {
+    CompileResponse R = Futures[I].get();
+    EXPECT_FALSE(R.Ok);
+    EXPECT_EQ(R.Shed, ShedReason::QueueFull);
+    EXPECT_NE(R.Error.find("queue_full"), std::string::npos);
+    EXPECT_EQ(R.Artifact, nullptr);
+  }
+  // The admitted ones complete once the service drains.
+  Service.resume();
+  for (int I = 0; I < 2; ++I) {
+    CompileResponse R = Futures[I].get();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Shed, ShedReason::None);
+  }
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.ShedQueueFull, 2u);
+  EXPECT_EQ(S.ShedDeadline, 0u);
+  EXPECT_EQ(S.shedTotal(), 2u);
+  EXPECT_EQ(S.Submitted, 4u);
+  EXPECT_EQ(S.Completed, 2u) << "shed requests are not completions";
+  EXPECT_EQ(S.Failed, 0u) << "shed requests are not failures";
+  EXPECT_EQ(Reg.counter("service.shed_total").value() - ShedBefore, 2u);
+  EXPECT_EQ(Reg.counter("service.shed.queue_full").value() - FullBefore, 2u);
+}
+
+TEST(ServiceShedding, OverloadKeepsAcceptingHighPriority) {
+  CompileService Service(pausedOptions(/*MaxQueueDepth=*/1));
+  std::vector<std::future<CompileResponse>> Futures;
+  Futures.push_back(Service.submit(glucoseRequest("normal-0")));
+  // Queue is at budget: normal work sheds...
+  Futures.push_back(Service.submit(glucoseRequest("normal-1")));
+  // ...but priority work is always admitted, at the *front* of the queue.
+  CompileRequest Urgent = glucoseRequest("urgent");
+  Urgent.HighPriority = true;
+  Futures.push_back(Service.submit(std::move(Urgent)));
+  EXPECT_EQ(Service.queueDepth(), 2u);
+
+  EXPECT_EQ(Futures[1].get().Shed, ShedReason::QueueFull);
+  Service.resume();
+  CompileResponse UrgentR = Futures[2].get();
+  EXPECT_TRUE(UrgentR.Ok) << UrgentR.Error;
+  EXPECT_EQ(UrgentR.Shed, ShedReason::None);
+  EXPECT_TRUE(Futures[0].get().Ok);
+  EXPECT_EQ(Service.stats().ShedQueueFull, 1u);
+}
+
+TEST(ServiceShedding, ExpiredBeforeDequeueIsShedWithDeadlineStatus) {
+  obs::MetricsRegistry &Reg = obs::metrics();
+  std::uint64_t DeadlineBefore = Reg.counter("service.shed.deadline").value();
+
+  CompileService Service(pausedOptions());
+  CompileRequest Expired = glucoseRequest("expired");
+  // Already past its deadline when it reaches the queue: the worker must
+  // shed it at dequeue instead of burning a solve on it.
+  Expired.DeadlineMicros = expiredDeadline();
+  CompileRequest Fresh = glucoseRequest("fresh");
+  Fresh.DeadlineMicros = obs::Tracer::nowMicros() + 60'000'000;
+  auto FExpired = Service.submit(std::move(Expired));
+  auto FFresh = Service.submit(std::move(Fresh));
+  Service.resume();
+
+  CompileResponse RExpired = FExpired.get();
+  EXPECT_FALSE(RExpired.Ok);
+  EXPECT_EQ(RExpired.Shed, ShedReason::DeadlineExpired);
+  EXPECT_NE(RExpired.Error.find("deadline_expired"), std::string::npos);
+
+  CompileResponse RFresh = FFresh.get();
+  EXPECT_TRUE(RFresh.Ok) << RFresh.Error;
+  EXPECT_EQ(RFresh.Shed, ShedReason::None);
+
+  ServiceStats S = Service.stats();
+  EXPECT_EQ(S.ShedDeadline, 1u);
+  EXPECT_EQ(S.ShedQueueFull, 0u);
+  EXPECT_EQ(Reg.counter("service.shed.deadline").value() - DeadlineBefore,
+            1u);
+  // The expired request never reached the pipeline: exactly one solve.
+  EXPECT_EQ(S.Cache.Insertions, 1u);
+}
+
+TEST(ServiceShedding, CompileNowRespectsDeadlines) {
+  CompileService Service;
+  CompileRequest Expired = glucoseRequest();
+  Expired.DeadlineMicros = expiredDeadline();
+  CompileResponse R = Service.compileNow(Expired);
+  EXPECT_FALSE(R.Ok);
+  EXPECT_EQ(R.Shed, ShedReason::DeadlineExpired);
+  EXPECT_EQ(Service.stats().Completed, 0u);
+  EXPECT_EQ(Service.stats().Cache.Insertions, 0u) << "no solve was run";
+
+  CompileRequest Fresh = glucoseRequest();
+  Fresh.DeadlineMicros = obs::Tracer::nowMicros() + 60'000'000;
+  CompileResponse R2 = Service.compileNow(Fresh);
+  EXPECT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_EQ(R2.Shed, ShedReason::None);
+}
+
+TEST(ServiceShedding, SubmitBatchAppliesAdmissionPerRequest) {
+  CompileService Service(pausedOptions(/*MaxQueueDepth=*/2));
+  std::vector<CompileRequest> Batch;
+  for (int I = 0; I < 5; ++I)
+    Batch.push_back(glucoseRequest());
+  Batch[4].HighPriority = true; // Admitted past the full queue.
+  auto Futures = Service.submitBatch(std::move(Batch));
+  ASSERT_EQ(Futures.size(), 5u);
+  EXPECT_EQ(Service.queueDepth(), 3u);
+  EXPECT_EQ(Futures[2].get().Shed, ShedReason::QueueFull);
+  EXPECT_EQ(Futures[3].get().Shed, ShedReason::QueueFull);
+  Service.resume();
+  EXPECT_TRUE(Futures[0].get().Ok);
+  EXPECT_TRUE(Futures[1].get().Ok);
+  EXPECT_TRUE(Futures[4].get().Ok);
+  EXPECT_EQ(Service.stats().ShedQueueFull, 2u);
+}
+
+TEST(ServiceShedding, QueueDepthGaugeTracksTheQueue) {
+  obs::MetricsRegistry &Reg = obs::metrics();
+  CompileService Service(pausedOptions());
+  std::vector<std::future<CompileResponse>> Futures;
+  for (int I = 0; I < 3; ++I)
+    Futures.push_back(Service.submit(glucoseRequest()));
+  EXPECT_EQ(Reg.gauge("service.queue_depth").value(), 3.0);
+  Service.resume();
+  for (auto &F : Futures)
+    (void)F.get();
+  EXPECT_EQ(Reg.gauge("service.queue_depth").value(), 0.0);
+}
+
+TEST(ServiceShedding, PauseAndResumeRoundTrip) {
+  CompileService Service(pausedOptions());
+  auto F = Service.submit(glucoseRequest());
+  EXPECT_EQ(Service.queueDepth(), 1u);
+  Service.resume();
+  EXPECT_TRUE(F.get().Ok);
+  // Pause again: new work queues, old results stay available.
+  Service.pause();
+  auto F2 = Service.submit(glucoseRequest());
+  EXPECT_EQ(Service.queueDepth(), 1u);
+  Service.resume();
+  CompileResponse R2 = F2.get();
+  EXPECT_TRUE(R2.Ok);
+  EXPECT_TRUE(R2.CacheHit);
+}
+
+TEST(ServiceShedding, ShedReasonNamesAreStable) {
+  // aquad prints these and the metrics suffixes mirror them; renames are
+  // a wire-format break.
+  EXPECT_STREQ(shedReasonName(ShedReason::None), "none");
+  EXPECT_STREQ(shedReasonName(ShedReason::QueueFull), "queue_full");
+  EXPECT_STREQ(shedReasonName(ShedReason::DeadlineExpired),
+               "deadline_expired");
+}
+
+TEST(ServiceShedding, UnboundedQueueNeverShedsOnDepth) {
+  CompileService Service(pausedOptions(/*MaxQueueDepth=*/0));
+  std::vector<std::future<CompileResponse>> Futures;
+  for (int I = 0; I < 32; ++I)
+    Futures.push_back(Service.submit(glucoseRequest()));
+  EXPECT_EQ(Service.queueDepth(), 32u);
+  Service.resume();
+  for (auto &F : Futures) {
+    CompileResponse R = F.get();
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Shed, ShedReason::None);
+  }
+  EXPECT_EQ(Service.stats().shedTotal(), 0u);
+}

@@ -1,0 +1,119 @@
+//===- FaultEnv.h - Fault-injecting Env decorator for store tests -*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fault-injecting decorator over any store::Env: every failure mode a
+/// real deployment can hit, on demand and deterministically. The store
+/// tests wrap a MemEnv in one of these to simulate
+///
+///  * ENOSPC mid-record: an append byte budget -- once spent, an append
+///    writes only the prefix that "fits" and then fails, exactly like a
+///    full disk tearing a record in half;
+///  * failing syncs;
+///  * read errors on chosen paths.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_TESTS_STORE_FAULTENV_H
+#define AQUA_TESTS_STORE_FAULTENV_H
+
+#include "aqua/store/Env.h"
+
+#include <memory>
+#include <set>
+#include <string>
+
+namespace aqua::store {
+
+class FaultEnv : public Env {
+public:
+  explicit FaultEnv(Env &Base) : Base(Base) {}
+
+  /// Remaining append budget in bytes; negative means unlimited. When an
+  /// append does not fit, the first `Budget` bytes are written (the torn
+  /// record) and the append fails; the budget then stays at zero, so every
+  /// later append fails too, like a disk that stays full.
+  std::int64_t AppendBudgetBytes = -1;
+  /// When set, every sync() fails.
+  bool FailSyncs = false;
+  /// Paths whose read()/fileSize() fail outright.
+  std::set<std::string> UnreadablePaths;
+
+  Status createDir(const std::string &Path) override {
+    return Base.createDir(Path);
+  }
+  Expected<std::vector<std::string>> listDir(const std::string &Path) override {
+    return Base.listDir(Path);
+  }
+  Expected<std::uint64_t> fileSize(const std::string &Path) override {
+    if (UnreadablePaths.count(Path))
+      return Expected<std::uint64_t>::error("injected fileSize fault");
+    return Base.fileSize(Path);
+  }
+  Status read(const std::string &Path, std::uint64_t Offset, std::uint64_t Len,
+              std::string &Out) override {
+    if (UnreadablePaths.count(Path))
+      return Status::error("injected read fault");
+    return Base.read(Path, Offset, Len, Out);
+  }
+  Expected<std::unique_ptr<WritableFile>>
+  openAppend(const std::string &Path) override {
+    auto Inner = Base.openAppend(Path);
+    if (!Inner.ok())
+      return Inner;
+    return std::unique_ptr<WritableFile>(
+        new FaultFile(*this, std::move(*Inner)));
+  }
+  Status rename(const std::string &From, const std::string &To) override {
+    return Base.rename(From, To);
+  }
+  Status removeFile(const std::string &Path) override {
+    return Base.removeFile(Path);
+  }
+  bool exists(const std::string &Path) override { return Base.exists(Path); }
+  std::string uniqueToken() override { return Base.uniqueToken(); }
+
+private:
+  class FaultFile : public WritableFile {
+  public:
+    FaultFile(FaultEnv &E, std::unique_ptr<WritableFile> Inner)
+        : E(E), Inner(std::move(Inner)) {}
+
+    Status append(std::string_view Data) override {
+      if (E.AppendBudgetBytes < 0)
+        return Inner->append(Data);
+      if (static_cast<std::int64_t>(Data.size()) <= E.AppendBudgetBytes) {
+        E.AppendBudgetBytes -= static_cast<std::int64_t>(Data.size());
+        return Inner->append(Data);
+      }
+      // Torn write: the prefix that fits lands on "disk", then ENOSPC.
+      std::string_view Prefix =
+          Data.substr(0, static_cast<std::size_t>(E.AppendBudgetBytes));
+      E.AppendBudgetBytes = 0;
+      if (!Prefix.empty())
+        (void)Inner->append(Prefix);
+      return Status::error("injected ENOSPC");
+    }
+    Status sync() override {
+      if (E.FailSyncs)
+        return Status::error("injected sync fault");
+      return Inner->sync();
+    }
+    Status tryLockExclusive(bool &Acquired) override {
+      return Inner->tryLockExclusive(Acquired);
+    }
+
+  private:
+    FaultEnv &E;
+    std::unique_ptr<WritableFile> Inner;
+  };
+
+  Env &Base;
+};
+
+} // namespace aqua::store
+
+#endif // AQUA_TESTS_STORE_FAULTENV_H

@@ -1,0 +1,311 @@
+//===- FaultInjectionTest.cpp - Store recovery under injected faults ------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Every failure mode the on-disk format claims to survive, injected
+// deterministically through MemEnv::corrupt and the FaultEnv decorator:
+//
+//  * torn / truncated tail records  -> recover to the longest valid
+//    prefix; the tail is retried once the bytes complete;
+//  * bit flips anywhere in a segment -> the record is never served;
+//  * ENOSPC mid-append               -> the torn segment is retired, a
+//    fresh one takes over, recovery serves the valid prefix;
+//  * crash mid-compaction            -> stale temp swept on open, and
+//    duplicate segments (crash after the rename) are benign;
+//  * failing syncs / unreadable segments degrade, never corrupt.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/store/SolveStore.h"
+
+#include "FaultEnv.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+using namespace aqua;
+using namespace aqua::store;
+
+namespace {
+
+// On-disk layout constants (mirrors SolveStore.cpp; the tests compute
+// record offsets from these).
+constexpr std::uint64_t SegmentHeaderBytes = 8;
+constexpr std::uint64_t RecordHeaderBytes = 24;
+constexpr std::uint64_t RecordTrailerBytes = 4;
+
+ir::Fingerprint key(std::uint64_t Hi, std::uint64_t Lo) {
+  ir::Fingerprint F;
+  F.Hi = Hi;
+  F.Lo = Lo;
+  return F;
+}
+
+std::unique_ptr<SolveStore> openOrDie(Env &E, StoreOptions Opts = {}) {
+  auto S = SolveStore::open("db", Opts, E);
+  EXPECT_TRUE(S.ok()) << (S.ok() ? "" : S.message());
+  return std::move(S.get());
+}
+
+/// The single segment file name in "db" (tests that want exactly one
+/// writer create it through one store handle).
+std::string segmentName(MemEnv &E) {
+  auto Names = E.listDir("db");
+  EXPECT_TRUE(Names.ok());
+  for (const std::string &N : *Names)
+    if (N.compare(0, 4, "seg-") == 0)
+      return N;
+  ADD_FAILURE() << "no segment file found";
+  return "";
+}
+
+} // namespace
+
+TEST(StoreFaults, TornTailRecoversToValidPrefixThenRetries) {
+  MemEnv E;
+  {
+    auto S = openOrDie(E);
+    ASSERT_TRUE(S->put(key(1, 0), "alpha").ok());
+    ASSERT_TRUE(S->put(key(2, 0), "beta").ok());
+    ASSERT_TRUE(S->put(key(3, 0), "gamma").ok());
+  }
+  std::string Seg = "db/" + segmentName(E);
+  std::string Full = E.snapshot(Seg);
+  // Tear mid-way through the last record's payload.
+  E.corrupt(Seg, Full.substr(0, Full.size() - 7));
+
+  auto S = openOrDie(E);
+  std::string Out;
+  EXPECT_TRUE(S->get(key(1, 0), Out));
+  EXPECT_EQ(Out, "alpha");
+  EXPECT_TRUE(S->get(key(2, 0), Out));
+  EXPECT_EQ(Out, "beta");
+  EXPECT_FALSE(S->get(key(3, 0), Out)) << "torn record must not be served";
+  EXPECT_GE(S->stats().TornTails, 1u);
+  EXPECT_EQ(S->stats().CorruptRecords, 0u)
+      << "a torn tail is not corruption; the watermark just waits";
+
+  // The "writer finishes": once the missing bytes land, the very next
+  // refresh-on-miss picks the record up -- no reopen needed.
+  E.corrupt(Seg, Full);
+  EXPECT_TRUE(S->get(key(3, 0), Out));
+  EXPECT_EQ(Out, "gamma");
+}
+
+TEST(StoreFaultsProperty, EveryTruncationPointRecoversToValidPrefix) {
+  MemEnv E;
+  {
+    auto S = openOrDie(E);
+    ASSERT_TRUE(S->put(key(1, 0), "alpha").ok());
+    ASSERT_TRUE(S->put(key(2, 0), "beta").ok());
+    ASSERT_TRUE(S->put(key(3, 0), "gamma").ok());
+  }
+  std::string Seg = "db/" + segmentName(E);
+  std::string Full = E.snapshot(Seg);
+  std::uint64_t LastRecord =
+      Full.size() - (RecordHeaderBytes + 5 + RecordTrailerBytes); // "gamma"
+  // Cut anywhere inside the last record: the first two records survive,
+  // the torn one never serves.
+  for (std::size_t Cut = LastRecord; Cut < Full.size(); ++Cut) {
+    E.corrupt(Seg, Full.substr(0, Cut));
+    auto S = openOrDie(E);
+    std::string Out;
+    EXPECT_TRUE(S->get(key(1, 0), Out)) << "cut at " << Cut;
+    EXPECT_EQ(Out, "alpha");
+    EXPECT_TRUE(S->get(key(2, 0), Out)) << "cut at " << Cut;
+    EXPECT_EQ(Out, "beta");
+    EXPECT_FALSE(S->get(key(3, 0), Out)) << "cut at " << Cut;
+  }
+  // Cutting into the segment header loses everything -- but opens cleanly.
+  for (std::size_t Cut = 0; Cut < SegmentHeaderBytes; ++Cut) {
+    E.corrupt(Seg, Full.substr(0, Cut));
+    auto S = openOrDie(E);
+    std::string Out;
+    EXPECT_FALSE(S->get(key(1, 0), Out)) << "cut at " << Cut;
+  }
+}
+
+TEST(StoreFaults, CorruptRecordFreezesSegmentAtLastGoodRecord) {
+  MemEnv E;
+  {
+    auto S = openOrDie(E);
+    ASSERT_TRUE(S->put(key(1, 0), "alpha").ok());
+    ASSERT_TRUE(S->put(key(2, 0), "beta").ok());
+    ASSERT_TRUE(S->put(key(3, 0), "gamma").ok());
+  }
+  std::string Seg = "db/" + segmentName(E);
+  std::string Full = E.snapshot(Seg);
+  // Flip one payload byte of the *middle* record: complete but corrupt.
+  std::size_t At = Full.find("beta");
+  ASSERT_NE(At, std::string::npos);
+  Full[At] ^= 0x20;
+  E.corrupt(Seg, Full);
+
+  auto S = openOrDie(E);
+  std::string Out;
+  EXPECT_TRUE(S->get(key(1, 0), Out)) << "prefix before the corruption";
+  EXPECT_EQ(Out, "alpha");
+  EXPECT_FALSE(S->get(key(2, 0), Out)) << "corrupt record must not serve";
+  EXPECT_FALSE(S->get(key(3, 0), Out))
+      << "nothing past a corrupt record is record-aligned; frozen";
+  EXPECT_GE(S->stats().CorruptRecords, 1u);
+
+  // The store stays writable: new puts land in a fresh segment.
+  ASSERT_TRUE(S->put(key(4, 0), "delta").ok());
+  EXPECT_TRUE(S->get(key(4, 0), Out));
+  EXPECT_EQ(Out, "delta");
+}
+
+TEST(StoreFaultsProperty, BitFlipAnywhereNeverServesCorruptPayload) {
+  const std::string Payload = "payload-abcdefgh";
+  MemEnv E;
+  {
+    auto S = openOrDie(E);
+    ASSERT_TRUE(S->put(key(7, 7), Payload).ok());
+  }
+  std::string Seg = "db/" + segmentName(E);
+  std::string Full = E.snapshot(Seg);
+  // Flip every byte in the file in turn (header, record magic, length,
+  // key, payload, checksum): the invariant is absolute -- a get either
+  // misses or returns the exact original bytes.
+  for (std::size_t Byte = 0; Byte < Full.size(); ++Byte) {
+    std::string Flipped = Full;
+    Flipped[Byte] ^= 0x40;
+    E.corrupt(Seg, Flipped);
+    auto S = openOrDie(E);
+    std::string Out;
+    if (S->get(key(7, 7), Out)) {
+      EXPECT_EQ(Out, Payload) << "flip at byte " << Byte
+                              << " served corrupt data";
+    }
+  }
+  E.corrupt(Seg, Full);
+}
+
+TEST(StoreFaults, RotAfterScanIsCaughtOnRead) {
+  // The scan checksummed the record once; rot *after* indexing must still
+  // never reach a caller -- get re-verifies.
+  MemEnv E;
+  auto S = openOrDie(E);
+  ASSERT_TRUE(S->put(key(1, 0), "pristine").ok());
+  std::string Seg = "db/" + segmentName(E);
+  std::string Full = E.snapshot(Seg);
+  std::string Rotted = Full;
+  Rotted[Full.find("pristine") + 2] ^= 0x01;
+  E.corrupt(Seg, Rotted);
+  std::string Out;
+  EXPECT_FALSE(S->get(key(1, 0), Out))
+      << "rot between scan and read must demote to a miss";
+  EXPECT_GE(S->stats().CorruptRecords, 1u);
+}
+
+TEST(StoreFaults, EnospcMidAppendRetiresSegmentAndRecovers) {
+  MemEnv Base;
+  FaultEnv E(Base);
+  auto S = openOrDie(E);
+  ASSERT_TRUE(S->put(key(1, 0), "first").ok());
+
+  // The disk "fills" 10 bytes into the next record: a torn append.
+  E.AppendBudgetBytes = 10;
+  EXPECT_FALSE(S->put(key(2, 0), "second").ok());
+  std::string Out;
+  EXPECT_TRUE(S->get(key(1, 0), Out)) << "reads unaffected by a full disk";
+  EXPECT_EQ(Out, "first");
+  EXPECT_FALSE(S->get(key(2, 0), Out));
+
+  // Space comes back: the store must already have retired the torn
+  // segment, so the next put opens a fresh one and succeeds.
+  E.AppendBudgetBytes = -1;
+  ASSERT_TRUE(S->put(key(3, 0), "third").ok());
+  EXPECT_TRUE(S->get(key(3, 0), Out));
+  EXPECT_EQ(Out, "third");
+
+  // A fresh process on the raw env sees the torn tail, counts it, and
+  // serves exactly the records that completed.
+  auto S2 = openOrDie(Base);
+  EXPECT_TRUE(S2->get(key(1, 0), Out));
+  EXPECT_EQ(Out, "first");
+  EXPECT_FALSE(S2->get(key(2, 0), Out));
+  EXPECT_TRUE(S2->get(key(3, 0), Out));
+  EXPECT_EQ(Out, "third");
+  EXPECT_GE(S2->stats().TornTails, 1u);
+}
+
+TEST(StoreFaults, StaleCompactionTempIsSweptOnOpen) {
+  MemEnv E;
+  {
+    auto S = openOrDie(E);
+    ASSERT_TRUE(S->put(key(1, 0), "survivor").ok());
+  }
+  // A compactor died between writing its temp and the rename.
+  E.corrupt("db/tmp-00000042", "half-written compaction output");
+  ASSERT_TRUE(E.exists("db/tmp-00000042"));
+
+  auto S = openOrDie(E);
+  EXPECT_FALSE(E.exists("db/tmp-00000042")) << "stale temp must be swept";
+  std::string Out;
+  EXPECT_TRUE(S->get(key(1, 0), Out));
+  EXPECT_EQ(Out, "survivor");
+}
+
+TEST(StoreFaults, CrashAfterCompactionRenameLeavesBenignDuplicates) {
+  MemEnv E;
+  {
+    auto S = openOrDie(E);
+    ASSERT_TRUE(S->put(key(1, 0), "dup").ok());
+    ASSERT_TRUE(S->put(key(2, 0), "other").ok());
+  }
+  // A compactor renamed its output into place and died before deleting
+  // the input: the same records now exist in two segments.
+  std::string Seg = "db/" + segmentName(E);
+  E.corrupt("db/seg-99999999.aqs", E.snapshot(Seg));
+
+  auto S = openOrDie(E);
+  std::string Out;
+  EXPECT_TRUE(S->get(key(1, 0), Out));
+  EXPECT_EQ(Out, "dup");
+  EXPECT_TRUE(S->get(key(2, 0), Out));
+  EXPECT_EQ(Out, "other");
+  EXPECT_EQ(S->stats().Keys, 2u) << "duplicates must collapse in the index";
+  // And a real compaction afterwards cleans the duplication up entirely.
+  ASSERT_TRUE(S->compact().ok());
+  EXPECT_TRUE(S->get(key(1, 0), Out));
+  EXPECT_EQ(Out, "dup");
+  EXPECT_EQ(S->stats().Keys, 2u);
+}
+
+TEST(StoreFaults, FailingSyncSurfacesWithoutCorruption) {
+  MemEnv Base;
+  FaultEnv E(Base);
+  E.FailSyncs = true;
+  StoreOptions Opts;
+  Opts.SyncEveryAppend = true;
+  auto S = openOrDie(E, Opts);
+  // The append itself landed; only durability is in doubt, and the caller
+  // is told so.
+  EXPECT_FALSE(S->put(key(1, 0), "synced?").ok());
+  auto S2 = openOrDie(Base);
+  std::string Out;
+  EXPECT_TRUE(S2->get(key(1, 0), Out)) << "the record was complete";
+  EXPECT_EQ(Out, "synced?");
+}
+
+TEST(StoreFaults, UnreadableSegmentDegradesToMisses) {
+  MemEnv Base;
+  {
+    auto S = openOrDie(Base);
+    ASSERT_TRUE(S->put(key(1, 0), "unreachable").ok());
+  }
+  FaultEnv E(Base);
+  E.UnreadablePaths.insert("db/" + segmentName(Base));
+  auto S = openOrDie(E); // Opens despite the bad segment.
+  std::string Out;
+  EXPECT_FALSE(S->get(key(1, 0), Out)) << "I/O errors demote to misses";
+  // The store still accepts new work.
+  ASSERT_TRUE(S->put(key(2, 0), "fresh").ok());
+  EXPECT_TRUE(S->get(key(2, 0), Out));
+  EXPECT_EQ(Out, "fresh");
+}
