@@ -48,7 +48,7 @@ int main() {
   std::printf("  %3s %7s %7s %9s %12s %14s %10s\n", "N", "nodes", "edges",
               "LP-cons", "DAGSolve", "LP", "pivots");
 
-  for (int N : {2, 3, 4, 5, 6, 7, 8, 10}) {
+  for (int N : {2, 3, 4, 5, 6, 7, 8, 10, 12, 14}) {
     AssayGraph G = assays::buildEnzymeAssay(N, /*MaxRatioExp=*/1);
     TimingStats Dag = timedStats([&] { dagSolve(G, Spec); },
                                  N <= 6 ? 7 : 3);

@@ -1,0 +1,312 @@
+//===- bench_service_mp.cpp - Multi-process service throughput ------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Service throughput across OS *processes*, not threads: N forked workers,
+// each running its own CompileService over ONE shared persistent store
+// directory, the deployment shape of a fleet of aquad daemons behind a
+// load balancer. Three phases:
+//
+//  1. mp_cold      -- 4 workers split a volume sweep (one assay structure,
+//                     many capacities) over an empty shared store; every
+//                     request is a genuine solve, written through.
+//  2. mp_warm      -- 4 fresh workers re-serve the full sweep; everything
+//                     must come from the shared store (zero cold solves:
+//                     a hard gate, not a timing gate).
+//  3. warm_miss    -- single process, fresh store: the same sweep run
+//                     twice, once with warm-miss basis reuse disabled
+//                     (every capacity is a cold LP solve) and once with it
+//                     enabled (the first capacity is cold, every later one
+//                     repairs the donor basis with the dual simplex).
+//                     Gates: every enabled-run miss after the first is a
+//                     warm-miss hit, and the mean per-solve time is >= 3x
+//                     better than the disabled run's.
+//
+// The workload is LP-bound by construction: a 1:24 skewed dilution next to
+// heavy parallel 1:1 uses of the same input makes DAGSolve's equal-output
+// constraint underflow, so the manager falls through to the Figure 3 LP on
+// every solve (SolveMethod::LP) -- the path warm-miss reuse accelerates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "aqua/ir/AssayGraph.h"
+#include "aqua/service/CompileService.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <sys/wait.h>
+#include <unistd.h>
+#include <vector>
+
+using namespace aqua;
+using namespace benchutil;
+
+namespace {
+
+/// The LP-bound structure (scaled from the Manager LP-fallback fixture):
+/// output P needs 1/25 of its mix from A while many parallel 1:1 mixes
+/// hammer A, so DAGSolve's equal outputs starve P's edge and the manager
+/// must use the LP.
+std::shared_ptr<const ir::AssayGraph> buildLpBoundAssay(int Uses) {
+  ir::AssayGraph G;
+  ir::NodeId A = G.addInput("A");
+  ir::NodeId B = G.addInput("B");
+  ir::NodeId MixP = G.addMix("mixP", {{A, 1}, {B, 24}});
+  G.addUnary(ir::NodeKind::Sense, "P", MixP);
+  for (int I = 0; I < Uses; ++I) {
+    ir::NodeId MixQ = G.addMix("mixQ" + std::to_string(I), {{A, 1}, {B, 1}});
+    G.addUnary(ir::NodeKind::Sense, "Q" + std::to_string(I), MixQ);
+  }
+  return std::make_shared<const ir::AssayGraph>(std::move(G));
+}
+
+/// The manager configuration that pins the hierarchy to the LP level.
+core::ManagerOptions lpBoundOptions() {
+  core::ManagerOptions Opts;
+  Opts.AllowCascading = false;
+  Opts.AllowReplication = false;
+  return Opts;
+}
+
+/// One request of the volume sweep: the same structure under capacity
+/// slot \p I. Capacities step downward so DAGSolve stays infeasible and
+/// every fingerprint is distinct while the structure key is shared.
+service::CompileRequest sweepRequest(
+    const std::shared_ptr<const ir::AssayGraph> &Graph, int I) {
+  service::CompileRequest R;
+  R.Name = "sweep" + std::to_string(I);
+  R.Graph = Graph;
+  R.Spec.MaxCapacityNl = 100.0 - 0.5 * I;
+  R.Manage = lpBoundOptions();
+  return R;
+}
+
+/// What a forked worker reports back through its pipe.
+struct WorkerReport {
+  std::uint64_t Requests = 0;
+  std::uint64_t Failures = 0;
+  std::uint64_t ColdSolves = 0;
+  std::uint64_t L2Hits = 0;
+  std::uint64_t WarmMissHits = 0;
+  double SolveSec = 0.0;
+  double WallSec = 0.0;
+};
+
+/// Forks \p Workers children; child W serves the sweep slots \p Slots
+/// filtered by `slot % Workers == W` (or every slot when \p Shard is
+/// false) against the shared \p StoreDir, then reports through a pipe.
+/// Returns the per-worker reports (empty on fork/pipe failure).
+std::vector<WorkerReport> runWorkers(
+    int Workers, int Slots, bool Shard, const std::string &StoreDir,
+    const std::shared_ptr<const ir::AssayGraph> &Graph) {
+  std::vector<WorkerReport> Reports;
+  std::vector<int> ReadFds;
+  std::vector<pid_t> Pids;
+  for (int W = 0; W < Workers; ++W) {
+    int Fds[2];
+    if (pipe(Fds) != 0) {
+      std::perror("pipe");
+      return {};
+    }
+    pid_t Pid = fork();
+    if (Pid < 0) {
+      std::perror("fork");
+      return {};
+    }
+    if (Pid == 0) {
+      // Child: serve the slice, write one WorkerReport, _exit.
+      close(Fds[0]);
+      service::ServiceOptions Options;
+      Options.Threads = 1;
+      Options.StoreDir = StoreDir;
+      WorkerReport Rep;
+      {
+        service::CompileService Service(Options);
+        WallTimer Wall;
+        for (int I = 0; I < Slots; ++I) {
+          if (Shard && I % Workers != W)
+            continue;
+          ++Rep.Requests;
+          if (!Service.compileNow(sweepRequest(Graph, I)).Ok)
+            ++Rep.Failures;
+        }
+        Rep.WallSec = Wall.seconds();
+        service::ServiceStats S = Service.stats();
+        Rep.ColdSolves = S.Cache.Insertions - S.CacheHitsL2;
+        Rep.L2Hits = S.CacheHitsL2;
+        Rep.WarmMissHits = S.WarmMissHits;
+        Rep.SolveSec = S.SolveSec;
+      }
+      ssize_t N = write(Fds[1], &Rep, sizeof(Rep));
+      close(Fds[1]);
+      _exit(N == sizeof(Rep) ? 0 : 1);
+    }
+    close(Fds[1]);
+    ReadFds.push_back(Fds[0]);
+    Pids.push_back(Pid);
+  }
+  for (int W = 0; W < Workers; ++W) {
+    WorkerReport Rep;
+    ssize_t N = read(ReadFds[W], &Rep, sizeof(Rep));
+    close(ReadFds[W]);
+    int Status = 0;
+    waitpid(Pids[W], &Status, 0);
+    if (N == sizeof(Rep) && WIFEXITED(Status) && WEXITSTATUS(Status) == 0)
+      Reports.push_back(Rep);
+  }
+  return Reports;
+}
+
+std::string makeStoreDir() {
+  char Template[] = "/tmp/aqua-bench-mp-XXXXXX";
+  char *Dir = mkdtemp(Template);
+  return Dir ? Dir : "bench-mp-store";
+}
+
+} // namespace
+
+int main() {
+  const int Workers = 4;
+  const int Slots = 16;
+  auto Graph = buildLpBoundAssay(420);
+  const std::string StoreDir = makeStoreDir();
+  JsonReporter Json("service_mp");
+  header("Multi-process service: forked workers over one shared store");
+
+  // ---- Phase 1: 4 processes shard a cold sweep over the empty store.
+  {
+    WallTimer Wall;
+    std::vector<WorkerReport> Reports =
+        runWorkers(Workers, Slots, /*Shard=*/true, StoreDir, Graph);
+    double WallSec = Wall.seconds();
+    if (static_cast<int>(Reports.size()) != Workers) {
+      std::fprintf(stderr, "worker failure in mp_cold\n");
+      return 1;
+    }
+    WorkerReport Sum;
+    for (const WorkerReport &R : Reports) {
+      Sum.Requests += R.Requests;
+      Sum.Failures += R.Failures;
+      Sum.ColdSolves += R.ColdSolves;
+      Sum.SolveSec += R.SolveSec;
+    }
+    std::printf("  mp cold:  %llu requests / %d procs in %s "
+                "(%llu solves, %llu failures)\n",
+                static_cast<unsigned long long>(Sum.Requests), Workers,
+                fmtSeconds(WallSec).c_str(),
+                static_cast<unsigned long long>(Sum.ColdSolves),
+                static_cast<unsigned long long>(Sum.Failures));
+    Json.add("mp_cold")
+        .param("workers", std::to_string(Workers))
+        .param("slots", std::to_string(Slots))
+        .metric("wall_sec", WallSec)
+        .metric("requests", static_cast<double>(Sum.Requests))
+        .metric("cold_solves", static_cast<double>(Sum.ColdSolves))
+        .metric("failures", static_cast<double>(Sum.Failures))
+        .metric("throughput_rps",
+                WallSec > 0 ? Sum.Requests / WallSec : 0.0);
+    if (Sum.Failures || Sum.Requests != static_cast<std::uint64_t>(Slots))
+      return 1;
+  }
+
+  // ---- Phase 2: 4 fresh processes re-serve the FULL sweep from the
+  // shared store. Hard gate: zero cold solves anywhere.
+  {
+    WallTimer Wall;
+    std::vector<WorkerReport> Reports =
+        runWorkers(Workers, Slots, /*Shard=*/false, StoreDir, Graph);
+    double WallSec = Wall.seconds();
+    if (static_cast<int>(Reports.size()) != Workers) {
+      std::fprintf(stderr, "worker failure in mp_warm\n");
+      return 1;
+    }
+    WorkerReport Sum;
+    for (const WorkerReport &R : Reports) {
+      Sum.Requests += R.Requests;
+      Sum.Failures += R.Failures;
+      Sum.ColdSolves += R.ColdSolves;
+      Sum.L2Hits += R.L2Hits;
+    }
+    std::printf("  mp warm:  %llu requests / %d procs in %s "
+                "(%llu L2 hits, %llu cold solves)\n",
+                static_cast<unsigned long long>(Sum.Requests), Workers,
+                fmtSeconds(WallSec).c_str(),
+                static_cast<unsigned long long>(Sum.L2Hits),
+                static_cast<unsigned long long>(Sum.ColdSolves));
+    Json.add("mp_warm")
+        .param("workers", std::to_string(Workers))
+        .param("slots", std::to_string(Slots))
+        .metric("wall_sec", WallSec)
+        .metric("requests", static_cast<double>(Sum.Requests))
+        .metric("l2_hits", static_cast<double>(Sum.L2Hits))
+        .metric("cold_solves", static_cast<double>(Sum.ColdSolves))
+        .metric("failures", static_cast<double>(Sum.Failures))
+        .metric("throughput_rps",
+                WallSec > 0 ? Sum.Requests / WallSec : 0.0);
+    if (Sum.Failures || Sum.ColdSolves != 0)
+      return 1;
+  }
+
+  // ---- Phase 3: warm-miss basis reuse, disabled vs enabled, in-process
+  // (fresh caches both times; the sweep structure is identical so every
+  // enabled-run miss after the first can repair the donor basis).
+  {
+    auto RunSweep = [&](bool WarmMiss, WorkerReport &Rep) -> bool {
+      service::ServiceOptions Options;
+      Options.Threads = 1;
+      Options.WarmMiss = WarmMiss;
+      service::CompileService Service(Options);
+      WallTimer Wall;
+      for (int I = 0; I < Slots; ++I) {
+        ++Rep.Requests;
+        if (!Service.compileNow(sweepRequest(Graph, I)).Ok)
+          ++Rep.Failures;
+      }
+      Rep.WallSec = Wall.seconds();
+      service::ServiceStats S = Service.stats();
+      Rep.ColdSolves = S.Cache.Insertions - S.CacheHitsL2;
+      Rep.WarmMissHits = S.WarmMissHits;
+      Rep.SolveSec = S.SolveSec;
+      return Rep.Failures == 0;
+    };
+    WorkerReport Cold, Warm;
+    if (!RunSweep(false, Cold) || !RunSweep(true, Warm)) {
+      std::fprintf(stderr, "sweep failure in warm_miss\n");
+      return 1;
+    }
+    double ColdPer = Cold.SolveSec / Slots;
+    double WarmPer = Warm.SolveSec / Slots;
+    double Speedup = WarmPer > 0 ? ColdPer / WarmPer : 0.0;
+    std::printf("  warm miss: %.3f ms/solve cold vs %.3f ms/solve warm "
+                "(%.1fx, %llu warm-miss hits / %d misses)\n",
+                ColdPer * 1e3, WarmPer * 1e3, Speedup,
+                static_cast<unsigned long long>(Warm.WarmMissHits), Slots);
+    Json.add("warm_miss")
+        .param("slots", std::to_string(Slots))
+        .metric("cold_solve_sec_per", ColdPer)
+        .metric("warm_solve_sec_per", WarmPer)
+        .metric("speedup", Speedup)
+        .metric("warm_miss_hits", static_cast<double>(Warm.WarmMissHits))
+        .metric("expected_hits", static_cast<double>(Slots - 1));
+    // Hard gates: reuse must actually engage; the timing gate is skipped
+    // under AQUAVOL_BENCH_NO_TIMING_GATE like every other perf assertion.
+    if (Warm.WarmMissHits != static_cast<std::uint64_t>(Slots - 1)) {
+      std::fprintf(stderr, "warm-miss engaged on %llu/%d misses\n",
+                   static_cast<unsigned long long>(Warm.WarmMissHits),
+                   Slots - 1);
+      return 1;
+    }
+    if (!noTimingGate() && Speedup < 3.0) {
+      std::fprintf(stderr, "warm-miss speedup %.2fx < 3x gate\n", Speedup);
+      return 1;
+    }
+  }
+  return 0;
+}

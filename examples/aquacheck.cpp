@@ -46,7 +46,7 @@ int usage(const char *Argv0) {
       "          [--least-count NL] [--trace-out FILE] [--metrics-out FILE]\n"
       "       %s --replay FILE.assay [--yield N/D] [--oracle name,...]\n"
       "oracles: frontend graph solvers assignment rounding simulation\n"
-      "         metamorphic cache engines presolve vm store\n",
+      "         metamorphic cache engines presolve vm store cuts\n",
       Argv0, Argv0);
   return 2;
 }

@@ -54,7 +54,13 @@
 ///                   (in-memory) store directory serves the artifact from
 ///                   its L2, and the reloaded artifact's encoding, AIS
 ///                   program, and volume assignments are bit-identical to
-///                   the in-memory solve's (exact ==, no tolerance).
+///                   the in-memory solve's (exact ==, no tolerance);
+///  * Cuts        -- the ILP search accelerators are pure: root cutting
+///                   planes on vs off, pseudocost/reliability branching vs
+///                   plain most-fractional, and restarts on vs off all
+///                   reach the same verdict and optimum on the IVol ILP,
+///                   and a shape-matched warm basis repair of the RVol LP
+///                   under perturbed volumes agrees with the cold solve.
 ///
 /// Exactness policy: structural and integer checks are exact. Checks that
 /// compare doubles computed along different code paths (LP objectives, the
@@ -92,8 +98,9 @@ enum class Oracle : unsigned {
   Presolve,
   Vm,
   Store,
+  Cuts,
 };
-inline constexpr unsigned NumOracles = 12;
+inline constexpr unsigned NumOracles = 13;
 
 /// Short lower-case name, e.g. "solvers".
 const char *oracleName(Oracle O);

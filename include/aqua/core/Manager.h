@@ -22,6 +22,8 @@
 #include "aqua/core/Rounding.h"
 #include "aqua/ir/AssayGraph.h"
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
 namespace aqua::core {
@@ -72,6 +74,17 @@ struct ManagerResult {
   double MinDispenseNl = 0.0;
   /// Human-readable decision trace.
   std::string Log;
+  /// Optimal basis of the last RVol LP solve, captured when
+  /// ManagerOptions::LPOptions.CaptureBasis was set and the hierarchy went
+  /// through the LP level (null otherwise), together with the presolved
+  /// shape hash it is valid under. A later request whose formulation
+  /// presolves to the same shape -- same assay structure, different input
+  /// volumes or capacity -- can hand this back via LPOptions.WarmStart and
+  /// repair it with the dual simplex instead of solving cold.
+  std::shared_ptr<const lp::Basis> LpBasis;
+  std::uint64_t LpShapeHash = 0;
+  /// True when the LP solve reused a warm basis supplied by the caller.
+  bool LpWarmStarted = false;
 };
 
 /// Runs the Figure 6 hierarchy on a copy of \p G.

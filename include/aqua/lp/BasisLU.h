@@ -1,0 +1,99 @@
+//===- aqua/lp/BasisLU.h - Sparse LU basis factorization ---------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Sparse LU factorization of a simplex basis with Markowitz pivoting.
+///
+/// The RVol constraint matrices are hypersparse (under three nonzeros per
+/// row), so the m x m basis factors with almost no fill -- measured ~1.3x
+/// the basis nonzeros on the enzyme sweep -- and FTRAN/BTRAN become O(m +
+/// nnz(LU)) stage replays instead of dense O(m^2) inverse products. That
+/// single change is what moves the solver's per-pivot cost from quadratic
+/// in the basis dimension to effectively output-sensitive, and it removes
+/// the dense inverse's m^2 memory wall (enzyme_n14's basis inverse alone
+/// would be ~1 GB; its LU is a few hundred KB).
+///
+/// Pivoting is Markowitz cost (fill minimization) over the lowest
+/// column-count candidates, with a relative threshold guarding stability;
+/// a basis whose active submatrix loses all acceptable pivots reports
+/// singular and the caller falls back (exactly like the dense
+/// refactorization it replaces).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LP_BASISLU_H
+#define AQUA_LP_BASISLU_H
+
+#include "aqua/lp/SparseMatrix.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace aqua::lp {
+
+/// Sparse LU of one basis matrix B, whose column at position p is the
+/// structural column BasicCol[p] of the constraint matrix (or the logical
+/// identity column e_{BasicCol[p]-NumStruct}). Rows and positions share the
+/// 0..m-1 index space of the owning simplex engine: ftran maps a
+/// row-indexed right-hand side to a position-indexed solution, btran the
+/// reverse.
+class BasisLU {
+public:
+  /// Factors the basis selected by \p BasicCol. Returns false when the
+  /// basis is singular to tolerance; the object is invalid until the next
+  /// successful factor.
+  bool factor(const SparseMatrix &A, int NumStruct,
+              const std::vector<int> &BasicCol);
+
+  /// True after a successful factor.
+  bool valid() const { return Valid; }
+
+  /// Solves B * X_out = X_in in place. Input indexed by row, output by
+  /// basis position.
+  void ftran(std::vector<double> &X) const;
+
+  /// Solves B^T * Y_out = Y_in in place. Input indexed by basis position,
+  /// output by row.
+  void btran(std::vector<double> &Y) const;
+
+  /// Nonzeros of L plus U from the last factor (fill diagnostics and the
+  /// per-solve replay price).
+  std::size_t luNnz() const { return LNnz + UNnz; }
+
+  /// Approximate cost of the last factor call in flop-equivalents: the
+  /// elimination flops plus the data-structure setup, the price the
+  /// rent-or-buy refactorization rule compares replay debt against.
+  std::size_t factorCost() const { return FactorOps; }
+
+private:
+  bool Valid = false;
+  int M = 0;
+  std::size_t LNnz = 0, UNnz = 0, FactorOps = 0;
+
+  /// Elimination stages: stage t pivoted row PivRow[t], position PivPos[t],
+  /// pivot value PivVal[t]. L holds the unit-lower multipliers of stage t
+  /// as (row, mult) pairs; U holds the pivot row's off-pivot entries as
+  /// (position, value) pairs over positions pivoted at later stages.
+  std::vector<int> PivRow, PivPos;
+  std::vector<double> PivVal;
+  std::vector<int> LStart, LRow;
+  std::vector<double> LVal;
+  std::vector<int> UStart, UPos;
+  std::vector<double> UVal;
+
+  // --- factor-time scratch, reused across calls
+  std::vector<std::vector<std::pair<int, double>>> Rows; // active rows
+  std::vector<std::vector<int>> ColRows; // position -> active rows
+  std::vector<char> RowDone, ColDone;
+  std::vector<std::vector<int>> CountBucket; // col count -> positions
+
+  // --- solve-time scratch
+  mutable std::vector<double> Work;
+};
+
+} // namespace aqua::lp
+
+#endif // AQUA_LP_BASISLU_H

@@ -51,6 +51,30 @@ struct IntOptions {
   /// single-threaded run (equal-objective incumbents are tie-broken
   /// lexicographically, independent of arrival order).
   int Threads = 1;
+  /// Rounds of root cutting-plane separation (GMI + Chvatal-Gomory
+  /// divisor cuts) before the tree search; 0 disables cuts. Warm engine
+  /// only.
+  int CutRounds = 8;
+  /// Cut-and-branch restart: once the tree has an incumbent and has spent
+  /// this many nodes without closing, the search restarts from a
+  /// reduced-cost-tightened, freshly cut root (the incumbent and the
+  /// pseudocost table carry over). 0 disables restarts.
+  std::int64_t RestartNodes = 20000;
+  /// Maximum cut-and-branch restarts.
+  int MaxRestarts = 3;
+  /// Reliability threshold for pseudocost branching: a candidate whose
+  /// up/down pseudocosts have fewer than this many observations gets
+  /// strong-branched before the scores are trusted. 0 falls back to
+  /// most-fractional branching.
+  int Reliable = 4;
+  /// Strong-branch at most this many unreliable candidates per node.
+  int StrongCandidates = 4;
+  /// Dual-simplex pivot cap per strong-branch probe.
+  std::int64_t StrongIterations = 60;
+  /// Consecutive depth-first plunge steps a worker may take before it
+  /// must return both children to the best-bound pool (a diving restart,
+  /// keeping the search from drifting into one deep subtree).
+  int PlungeLimit = 40;
 };
 
 /// Result of an integer solve.

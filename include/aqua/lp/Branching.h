@@ -23,6 +23,7 @@
 
 #include "aqua/lp/Model.h"
 
+#include <mutex>
 #include <vector>
 
 namespace aqua::lp {
@@ -32,6 +33,77 @@ namespace aqua::lp {
 /// \p Tol of an integer. \p IsInteger must have one entry per value.
 int pickBranchVar(const std::vector<double> &Values,
                   const std::vector<bool> &IsInteger, double Tol);
+
+/// One fractional integer-constrained variable in an LP solution.
+struct BranchCandidate {
+  int Var;
+  /// Fractional part of the LP value, in (Tol, 1 - Tol).
+  double Frac;
+};
+
+/// All fractional integer-constrained variables of \p Values, most
+/// fractional first (distance to the nearer integer, ties toward the
+/// lowest index). Empty when the point is integral within \p Tol.
+std::vector<BranchCandidate>
+fractionalCandidates(const std::vector<double> &Values,
+                     const std::vector<bool> &IsInteger, double Tol);
+
+/// Shared pseudocost statistics: for every integer variable and branching
+/// direction, the running mean LP-bound degradation per unit of fractional
+/// distance, observed from strong-branch probes and from actual child-node
+/// solves. One table is shared by every branch-and-bound worker; all
+/// accesses take an internal mutex (the table is touched once per node,
+/// not per pivot, so contention is negligible).
+class PseudocostTable {
+public:
+  explicit PseudocostTable(int NumVars = 0) { reset(NumVars); }
+
+  void reset(int NumVars) {
+    std::lock_guard<std::mutex> L(Mu);
+    Tab.assign(NumVars, Entry{});
+    GlobalUp = GlobalDown = Dir{};
+  }
+
+  /// Records one observed per-unit degradation for branching \p Var in
+  /// the given direction. Returns true when this is the direction's first
+  /// observation (a pseudocost initialization).
+  bool record(int Var, bool Up, double PerUnit);
+
+  /// Observations recorded for the direction.
+  int count(int Var, bool Up) const;
+
+  /// Mean per-unit degradation for the direction; the global mean over
+  /// all variables when this one has no history yet; 0 with no data at
+  /// all.
+  double estimate(int Var, bool Up) const;
+
+  /// min(up count, down count) -- the reliability of the variable's
+  /// pseudocosts in the sense of reliability branching.
+  int reliability(int Var) const;
+
+  /// Both direction estimates in one lock acquisition.
+  void estimates(int Var, double &UpEst, double &DownEst) const;
+
+private:
+  struct Dir {
+    double Sum = 0.0;
+    int Cnt = 0;
+  };
+  struct Entry {
+    Dir UpD, DownD;
+  };
+  double estimateLocked(const Entry &E, bool Up) const;
+
+  mutable std::mutex Mu;
+  std::vector<Entry> Tab;
+  Dir GlobalUp, GlobalDown;
+};
+
+/// The product rule of reliability branching: the score of branching on a
+/// candidate with fractional part \p Frac given the two per-unit
+/// degradation estimates. Both factors are floored at a small epsilon so
+/// a zero-degradation direction does not erase the other's signal.
+double pseudocostScore(double UpEst, double DownEst, double Frac);
 
 /// One branching decision: a new (tighter) bound on one variable.
 struct BoundChange {

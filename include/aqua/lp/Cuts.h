@@ -1,0 +1,125 @@
+//===- aqua/lp/Cuts.h - Cutting planes for the ILP core ----------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cutting-plane separation for LP-based branch-and-bound.
+///
+/// Two families, both separated at the branch-and-bound root (and again on
+/// cut-and-branch restarts):
+///
+///  * Gomory mixed-integer (GMI) cuts read from the optimal simplex
+///    tableau: every basis row whose basic variable is integer-constrained
+///    and fractional yields a valid inequality that the current LP vertex
+///    violates by exactly the fractional part. The separator works in the
+///    engine's bounded-variable computational form -- nonbasic variables
+///    are shifted to the bound they rest at, logical (slack) columns are
+///    substituted back through their defining row -- so the emitted cut is
+///    a plain LE row over the structural variables and survives postsolve
+///    untouched (the integer path solves the unreduced model).
+///
+///  * Chvatal-Gomory divisor cuts on the model's own rows: an LE/EQ row
+///    with nonnegative coefficients over nonnegative integer variables
+///    stays valid under coefficient-wise division by any d > 0 followed by
+///    flooring, because the floored left side is integral. The IVol
+///    mix-ratio rows (Figure 3 of the paper) have exactly this structure
+///    -- small integer replication counts against a shared capacity -- so
+///    the distinct coefficients of a row are natural divisors.
+///
+/// Cuts accumulate in a CutPool that deduplicates on a normalized
+/// fingerprint and retires cuts that stay slack across consecutive LP
+/// reoptimizations; retired fingerprints are remembered so a dropped cut
+/// is never re-separated (the root loop provably terminates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_LP_CUTS_H
+#define AQUA_LP_CUTS_H
+
+#include "aqua/lp/Model.h"
+#include "aqua/lp/RevisedSimplex.h"
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+namespace aqua::lp {
+
+/// One cutting plane in LE form over the structural variables of the model
+/// it was separated from: Terms . x <= Rhs. Terms are sorted by variable
+/// and never empty.
+struct Cut {
+  std::vector<Term> Terms;
+  double Rhs = 0.0;
+  /// Consecutive LP optima at which the cut's row was slack. The pool
+  /// retires a cut once this reaches CutOptions::MaxSlackAge.
+  int SlackAge = 0;
+};
+
+/// Separation knobs shared by both families.
+struct CutOptions {
+  /// Cuts accepted per separation round, best scaled violation first.
+  int MaxCuts = 50;
+  /// Basic-variable fractionality window: rows with fractional part
+  /// outside (MinFrac, 1 - MinFrac) are skipped as numerically flat.
+  double MinFrac = 0.01;
+  /// Minimum violation of the current LP point, scaled by the coefficient
+  /// norm, for a cut to be kept.
+  double MinViolation = 1e-6;
+  /// Maximum nonzeros per cut; denser cuts slow every later FTRAN more
+  /// than their bound improvement is worth.
+  int MaxDensity = 200;
+  /// Maximum max|coef| / min|coef| ratio; beyond this the cut is numeric
+  /// trouble for the LU.
+  double MaxDynamism = 1e7;
+  /// Rounds a cut may sit slack before the pool retires it.
+  int MaxSlackAge = 2;
+};
+
+/// Deduplicating pool of active cuts. Fingerprints of every cut ever
+/// admitted -- including retired ones -- are kept, so separation cannot
+/// cycle a cut back in after aging drops it.
+class CutPool {
+public:
+  /// Admits \p C unless an equivalent cut was ever admitted before.
+  bool add(Cut C);
+
+  /// Ages the pool against the per-cut slacks of the latest LP optimum
+  /// (Slack[i] belongs to cut i, in pool order): slack rows age, tight
+  /// rows reset, and cuts reaching \p MaxAge are removed. Returns the
+  /// number retired. \p OldToNew, when non-null, receives the pool-index
+  /// remap (-1 for retired cuts) that callers use to remap a basis whose
+  /// rows reference the old pool order.
+  int age(const std::vector<double> &Slack, int MaxAge,
+          std::vector<int> *OldToNew = nullptr, double Eps = 1e-7);
+
+  const std::vector<Cut> &cuts() const { return Pool; }
+  int size() const { return static_cast<int>(Pool.size()); }
+  bool empty() const { return Pool.empty(); }
+
+private:
+  std::vector<Cut> Pool;
+  std::unordered_set<std::uint64_t> Seen;
+};
+
+/// Separates GMI cuts from the optimal tableau held by \p Engine, which
+/// must have just solved \p M (unreduced; Engine.numStructural() ==
+/// M.numVars()) to optimality. \p IsInteger has one entry per variable.
+/// Admitted cuts go to \p Pool; returns how many.
+int separateGomory(const Model &M, const std::vector<bool> &IsInteger,
+                   RevisedSimplex &Engine, const CutOptions &Opts,
+                   CutPool &Pool);
+
+/// Separates Chvatal-Gomory divisor cuts from the LE/EQ rows of \p M that
+/// have nonnegative coefficients over nonnegative integer variables,
+/// keeping only cuts the point \p X (one value per variable) violates.
+/// Returns how many were admitted to \p Pool.
+int separateDivisor(const Model &M, const std::vector<bool> &IsInteger,
+                    const std::vector<double> &X, const CutOptions &Opts,
+                    CutPool &Pool);
+
+} // namespace aqua::lp
+
+#endif // AQUA_LP_CUTS_H

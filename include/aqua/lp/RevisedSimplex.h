@@ -18,8 +18,10 @@
 ///
 ///  * The constraint matrix is a shared, immutable sparse column-major copy
 ///    (SparseMatrix); per-solve state is only the bound arrays, the basis,
-///    and a dense basis inverse maintained by product-form updates with
-///    periodic refactorization.
+///    and a sparse LU factorization of the basis (BasisLU) maintained by
+///    product-form eta updates with cheap periodic refactorization. The
+///    RVol bases factor with ~1.3x fill, so FTRAN/BTRAN are O(m + nnz)
+///    and the engine never materializes an m x m inverse.
 ///
 ///  * The engine is *restartable*: bounds can be changed between solves
 ///    (`setLower`/`setUpper`) and the previous optimal basis reused. A
@@ -43,6 +45,7 @@
 #ifndef AQUA_LP_REVISEDSIMPLEX_H
 #define AQUA_LP_REVISEDSIMPLEX_H
 
+#include "aqua/lp/BasisLU.h"
 #include "aqua/lp/Model.h"
 #include "aqua/lp/Simplex.h"
 #include "aqua/lp/SparseMatrix.h"
@@ -168,6 +171,21 @@ public:
   /// Simplex pivots performed by the most recent solve call.
   std::int64_t iterations() const { return Iterations; }
 
+  /// Scatters tableau row \p P (row P of B^-1 A over all columns,
+  /// structural then logical) into parallel (column, coefficient) arrays,
+  /// skipping coefficients that are exactly zero. Valid after a solve that
+  /// returned Optimal; the cut separator reads fractional rows through
+  /// this.
+  void tableauRow(int P, std::vector<int> &OutCols,
+                  std::vector<double> &OutVals);
+
+  /// Value of the basic variable at basis position \p P (valid after any
+  /// solve; extract() keeps XB current on Optimal).
+  double basicValue(int P) const { return XB[P]; }
+
+  /// Column basic at position \p P.
+  int basicCol(int P) const { return BasicCol[P]; }
+
   /// True when the most recent solve call ever switched to the Bland
   /// anti-cycling rule (either configured or forced by the stall
   /// watchdog).
@@ -178,11 +196,6 @@ private:
   void installLogicalBasis();
   bool installBasis(const Basis &B);
   bool refactorize();
-  /// Bakes the eta file into the dense base inverse (B0^-1 becomes the
-  /// current B^-1) and clears it. O(nnz * m) per eta -- the cheap periodic
-  /// substitute for refactorize() on the pivot hot path; the full kernel
-  /// re-inversion stays reserved for numerical-repair escalations.
-  void foldEtas();
   void computeBasicValues();
   double nonbasicValue(int Col) const;
   double colLower(int Col) const;
@@ -260,10 +273,10 @@ private:
   std::vector<VarStatus> Status; // Per column.
   std::vector<int> BasicCol;     // Per row.
   std::vector<int> RowOfBasic;   // Per column; -1 when nonbasic.
-  /// Dense row-major m*m *base* inverse B0^-1 from the last
-  /// refactorization. The current basis inverse is the product of the eta
-  /// file applied on top: B^-1 = E_k ... E_1 B0^-1.
-  std::vector<double> Binv;
+  /// Sparse LU of the *base* basis B0 from the last refactorization. The
+  /// current basis inverse is the product of the eta file applied on top:
+  /// B^-1 = E_k ... E_1 B0^-1.
+  BasisLU Base;
   /// One product-form eta per pivot since the last refactorization:
   /// the FTRAN column W of the entering variable, split into the pivot
   /// element (Piv = W[Row]) and the off-pivot nonzeros (dense scatter
@@ -279,10 +292,9 @@ private:
   /// Total off-pivot nonzeros across the eta file, and the approximate
   /// flop count burned replaying it since the last factorization reset.
   /// The pivot loops apply the rent-or-buy refactorization rule: once
-  /// ReplayOps exceeds the cheaper of the two reset prices -- a kernel
-  /// re-inversion at ~2k^3 (k basic structural columns) or an eta fold at
-  /// ~EtaNnzTotal * m -- they pay that reset. Small bases naturally pick
-  /// the kernel, large chain-structured ones the fold, with no tuning.
+  /// ReplayOps exceeds a small multiple of the last sparse-LU factor
+  /// price (Base.factorCost(), typically O(nnz)), they refactorize --
+  /// self-tuning against the actual fill the elimination produced.
   std::size_t EtaNnzTotal = 0;
   mutable std::size_t ReplayOps = 0;
   std::vector<double> XB; // Basic values per row.
@@ -338,6 +350,18 @@ private:
 /// primal solve with an automatic dense-tableau fallback when the engine
 /// reports NumericFail, so callers always get a definitive status.
 Solution solveRevisedSimplex(const Model &M, const SolveOptions &Opts = {});
+
+/// As above, with warm-start repair and basis capture. When \p Warm is
+/// non-null the engine repairs it with the dual simplex instead of solving
+/// cold (a basis that no longer installs -- wrong dimensions, singular --
+/// degrades to a cold solve inside the engine, never to a wrong answer).
+/// When \p Captured is non-null and the solve ends Optimal it receives the
+/// optimal basis, snapshot with its reduced costs where available so a
+/// future warm start can skip the dual-feasibility recompute. The dense
+/// NumericFail fallback never captures a basis.
+Solution solveRevisedSimplex(const Model &M, const SolveOptions &Opts,
+                             const Basis *Warm,
+                             std::shared_ptr<const Basis> *Captured);
 
 } // namespace aqua::lp
 

@@ -41,7 +41,13 @@ namespace aqua::service {
 
 /// Current payload format version. Bump on any layout change; decode
 /// rejects versions it does not know.
-inline constexpr std::uint32_t ArtifactCodecVersion = 1;
+///
+/// v1: base layout.
+/// v2: appends the RVol LP warm-start block (shape hash + optimal basis)
+///     after the AIS program. v1 payloads still decode -- they simply
+///     carry no basis, so a donor lookup against them degrades to a cold
+///     solve, never an error.
+inline constexpr std::uint32_t ArtifactCodecVersion = 2;
 
 /// Serializes \p Artifact to the versioned binary payload.
 std::string encodeArtifact(const CompileArtifact &Artifact);

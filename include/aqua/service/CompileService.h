@@ -144,6 +144,14 @@ struct ServiceOptions {
   /// Start with the workers paused (see pause()). For tests that need a
   /// deterministically full queue.
   bool StartPaused = false;
+  /// Warm-miss basis reuse: a cache miss whose *structure* key (the
+  /// request fingerprint with MaxCapacityNl / PinnedVolumeNl masked, see
+  /// RequestKey.h) matches an earlier artifact hands that artifact's
+  /// optimal LP basis to the manager, which repairs it with the dual
+  /// simplex instead of solving the RVol LP cold. Identical results,
+  /// fewer pivots; volume sweeps over one assay amortize to near-hit
+  /// cost.
+  bool WarmMiss = true;
 };
 
 /// Aggregate service counters plus a snapshot of the cache counters.
@@ -155,6 +163,8 @@ struct ServiceStats {
   /// Cache hits satisfied by the persistent L2 store.
   std::uint64_t CacheHitsL2 = 0;
   std::uint64_t SingleFlightJoins = 0;
+  /// Cache misses that reused a same-structure donor basis (warm-miss).
+  std::uint64_t WarmMissHits = 0;
   /// Requests rejected by admission control, by reason.
   std::uint64_t ShedQueueFull = 0;
   std::uint64_t ShedDeadline = 0;
@@ -230,8 +240,16 @@ private:
   void workerLoop();
   CompileResponse process(const CompileRequest &Request);
   /// The uncached pipeline tail: manage + codegen on a lowered graph.
+  /// \p StructKey, when non-null, keys the warm-start donor lookup (a
+  /// same-structure sibling's optimal LP basis) and the publication of
+  /// this solve's basis for future siblings.
   std::shared_ptr<const CompileArtifact>
-  solveAndGenerate(const CompileRequest &Request, const ir::AssayGraph &G);
+  solveAndGenerate(const CompileRequest &Request, const ir::AssayGraph &G,
+                   const ir::Fingerprint *StructKey = nullptr);
+  /// Records \p Artifact's LP basis (if any) as the donor for its
+  /// structure key.
+  void publishDonor(const ir::Fingerprint &StructKey,
+                    const CompileArtifact &Artifact);
   /// Builds the rejection response for a shed request.
   static CompileResponse shedResponse(const CompileRequest &Request,
                                       ShedReason Reason);
@@ -257,12 +275,24 @@ private:
   std::mutex FlightMutex;
   std::unordered_map<std::string, std::shared_ptr<Flight>> Flights;
 
+  /// Warm-start donor index: structure key -> the most recent optimal LP
+  /// basis solved under that structure (and the presolved-shape hash it
+  /// is valid for). Bases are immutable shared snapshots, a few KB each;
+  /// there is one entry per distinct assay structure, not per request.
+  struct Donor {
+    std::shared_ptr<const lp::Basis> Basis;
+    std::uint64_t ShapeHash = 0;
+  };
+  std::mutex DonorMutex;
+  std::unordered_map<std::string, Donor> Donors;
+
   std::atomic<std::uint64_t> Submitted{0};
   std::atomic<std::uint64_t> Completed{0};
   std::atomic<std::uint64_t> Failed{0};
   std::atomic<std::uint64_t> CacheHits{0};
   std::atomic<std::uint64_t> CacheHitsL2{0};
   std::atomic<std::uint64_t> SingleFlightJoins{0};
+  std::atomic<std::uint64_t> WarmMissHits{0};
   std::atomic<std::uint64_t> ShedQueueFull{0};
   std::atomic<std::uint64_t> ShedDeadline{0};
   std::atomic<double> TotalLatencySec{0.0};

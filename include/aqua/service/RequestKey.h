@@ -42,6 +42,21 @@ ir::Fingerprint requestFingerprint(const ir::AssayGraph &G,
                                    const core::ManagerOptions &Opts = {},
                                    const codegen::MachineLayout &Layout = {});
 
+/// The *structure* key: the request fingerprint with the pure-volume
+/// inputs masked out -- `MachineSpec::MaxCapacityNl` and
+/// `DagSolveOptions::PinnedVolumeNl`. Two requests that differ only in
+/// those produce different artifacts (different volumes) but identical LP
+/// *structure*: same formulation rows, terms, and objective, different
+/// right-hand sides and bounds. The compile service keys its warm-start
+/// donor index on this, so a cache miss can repair a same-structure
+/// sibling's optimal basis with the dual simplex instead of solving cold.
+/// Uses a distinct domain tag, so a structure key never collides with a
+/// request fingerprint.
+ir::Fingerprint structureFingerprint(const ir::CanonicalForm &Canon,
+                                     const core::MachineSpec &Spec,
+                                     const core::ManagerOptions &Opts,
+                                     const codegen::MachineLayout &Layout);
+
 } // namespace aqua::service
 
 #endif // AQUA_SERVICE_REQUESTKEY_H

@@ -58,6 +58,8 @@ const char *aqua::check::oracleName(Oracle O) {
     return "vm";
   case Oracle::Store:
     return "store";
+  case Oracle::Cuts:
+    return "cuts";
   }
   return "?";
 }
@@ -352,6 +354,9 @@ public:
     if (R.Managed && on(Oracle::Engines))
       checkEngines(G);
 
+    if (R.Managed && on(Oracle::Cuts))
+      checkCuts(G);
+
     if (R.Managed && on(Oracle::Presolve))
       checkPresolve(G);
 
@@ -554,6 +559,106 @@ private:
                format("ILP optima diverge: warm %.9g vs dense %.9g units",
                       WS.Objective, DSInt.Objective));
       }
+    }
+  }
+
+  /// The ILP search accelerators must be pure speedups: cutting planes,
+  /// pseudocost/reliability branching, and cut-and-branch restarts change
+  /// the search order and the relaxation tightness, never the verdict or
+  /// the optimum. Separately, a shape-matched warm basis repair of the
+  /// RVol LP under a perturbed capacity must agree with the cold solve of
+  /// the same perturbed model.
+  void checkCuts(const AssayGraph &G) {
+    auto Decisive = [](lp::SolveStatus S) {
+      return S == lp::SolveStatus::Optimal ||
+             S == lp::SolveStatus::Infeasible ||
+             S == lp::SolveStatus::Unbounded;
+    };
+
+    if (G.numEdges() <= Opts.MaxIlpEdges) {
+      core::FormulationOptions IOpts;
+      IOpts.UnitNl = Opts.Spec.LeastCountNl;
+      core::Formulation FI = core::buildVolumeModel(G, Opts.Spec, IOpts);
+      lp::IntOptions Base;
+      Base.MaxNodes = Opts.IlpMaxNodes;
+      Base.TimeLimitSec = Opts.IlpTimeLimitSec;
+      Base.Engine = lp::IntEngine::Warm;
+      lp::IntOptions NoCuts = Base;
+      NoCuts.CutRounds = 0;
+      lp::IntOptions NoPseudo = Base;
+      NoPseudo.Reliable = 0; // Plain most-fractional branching.
+      lp::IntOptions NoRestart = Base;
+      NoRestart.RestartNodes = 0;
+
+      lp::IntSolution Ref = lp::solveInteger(FI.Model, {}, Base);
+      auto Agree = [&](const lp::IntOptions &O, const char *What) {
+        lp::IntSolution S = lp::solveInteger(FI.Model, {}, O);
+        if (!Decisive(Ref.Status) || !Decisive(S.Status))
+          return;
+        if (S.Status != Ref.Status) {
+          fail(Oracle::Cuts,
+               format("%s changes the ILP verdict: %s vs %s", What,
+                      lp::solveStatusName(Ref.Status),
+                      lp::solveStatusName(S.Status)));
+          return;
+        }
+        if (Ref.Status != lp::SolveStatus::Optimal)
+          return;
+        double Tol = Opts.Tolerance * std::max(1.0, std::fabs(Ref.Objective));
+        if (std::fabs(S.Objective - Ref.Objective) > Tol)
+          fail(Oracle::Cuts,
+               format("%s changes the ILP optimum: %.9g vs %.9g units", What,
+                      Ref.Objective, S.Objective));
+      };
+      Agree(NoCuts, "disabling root cuts");
+      Agree(NoPseudo, "disabling pseudocost branching");
+      Agree(NoRestart, "disabling cut-and-branch restarts");
+    }
+
+    // Warm-miss repair: a basis captured on the RVol LP, replayed against
+    // the same structure under a perturbed capacity, must repair to the
+    // same answer the cold solve finds. The capacity only moves rhs/bound
+    // data, so the shape hash is expected to match; a mismatch (different
+    // presolve decisions) legitimately degrades to a cold solve and the
+    // cross-check still holds.
+    core::Formulation F0 = core::buildVolumeModel(G, Opts.Spec);
+    lp::SolverOptions Capture = Opts.Manage.LPOptions;
+    Capture.Engine = lp::LpEngine::Revised;
+    Capture.CaptureBasis = true;
+    lp::SolveInfo DonorInfo;
+    lp::Solution Donor = lp::solve(F0.Model, Capture, &DonorInfo);
+    if (Donor.Status != lp::SolveStatus::Optimal || !DonorInfo.OptBasis)
+      return;
+
+    core::MachineSpec Perturbed = Opts.Spec;
+    Perturbed.MaxCapacityNl *= 0.875;
+    core::Formulation F1 = core::buildVolumeModel(G, Perturbed);
+    lp::SolverOptions Cold = Opts.Manage.LPOptions;
+    Cold.Engine = lp::LpEngine::Revised;
+    lp::SolverOptions Warm = Cold;
+    Warm.WarmStart = DonorInfo.OptBasis;
+    Warm.WarmShapeHash = DonorInfo.ShapeHash;
+    Warm.CaptureBasis = true;
+    lp::Solution SCold = lp::solve(F1.Model, Cold);
+    lp::SolveInfo WarmInfo;
+    lp::Solution SWarm = lp::solve(F1.Model, Warm, &WarmInfo);
+    if (!Decisive(SCold.Status) || !Decisive(SWarm.Status))
+      return;
+    if (SCold.Status != SWarm.Status) {
+      fail(Oracle::Cuts,
+           format("warm basis repair changes the LP verdict under a "
+                  "perturbed capacity: cold %s vs warm %s",
+                  lp::solveStatusName(SCold.Status),
+                  lp::solveStatusName(SWarm.Status)));
+      return;
+    }
+    if (SCold.Status == lp::SolveStatus::Optimal) {
+      double Tol = Opts.Tolerance * std::max(1.0, std::fabs(SCold.Objective));
+      if (std::fabs(SWarm.Objective - SCold.Objective) > Tol)
+        fail(Oracle::Cuts,
+             format("warm basis repair diverges from the cold solve: "
+                    "%.9g vs %.9g",
+                    SCold.Objective, SWarm.Objective));
     }
   }
 

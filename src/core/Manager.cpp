@@ -74,6 +74,9 @@ void refineRoundingError(ManagerResult &R, const MachineSpec &Spec,
       return false;
     Method = SolveMethod::LP;
     Volumes = std::move(LP.Volumes);
+    R.LpBasis = LP.Info.OptBasis;
+    R.LpShapeHash = LP.Info.ShapeHash;
+    R.LpWarmStarted = LP.Info.WarmStarted;
     return true;
   };
 
@@ -178,6 +181,9 @@ ManagerResult aqua::core::manageVolumes(const AssayGraph &G,
                         formatTrimmed(LP.Volumes.minDispenseNl(R.Graph), 4)
                             .c_str());
         met().LPFallbacks.add();
+        R.LpBasis = LP.Info.OptBasis;
+        R.LpShapeHash = LP.Info.ShapeHash;
+        R.LpWarmStarted = LP.Info.WarmStarted;
         finishResult(R, Spec, SolveMethod::LP, std::move(LP.Volumes));
         refineRoundingError(R, Spec, Opts);
         return R;

@@ -1,0 +1,289 @@
+//===- BasisLU.cpp - Sparse LU basis factorization ---------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Right-looking sparse Gaussian elimination with Markowitz pivot selection.
+//
+// The active submatrix lives in row-major scatter form (one short vector of
+// (position, value) pairs per row) with a position -> active-rows index.
+// Pivots are chosen from the lowest column-count buckets by Markowitz cost
+// (rowlen-1)*(collen-1), restricted to entries within a relative threshold
+// of their column's magnitude so the elimination never divides by a tiny
+// pivot that a healthier candidate could replace. Bucket entries are lazy:
+// every count change pushes a fresh entry and pops validate against the
+// live count, so maintenance is O(1) per change without a decrease-key
+// structure.
+//
+// The RVol bases this factors are 2-3 nonzeros per row, and the measured
+// fill on the enzyme sweep is ~1.3x, so elimination costs are dominated by
+// the O(nnz) setup -- refactorization becomes cheap enough to run every few
+// pivots, which in turn keeps the product-form eta file short.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/BasisLU.h"
+
+#include "aqua/lp/Tolerances.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace aqua;
+using namespace aqua::lp;
+
+namespace {
+
+/// Candidate columns examined per pivot choice. More candidates buy
+/// slightly less fill for more selection time; fill is already near 1 on
+/// these bases, so a small panel wins.
+constexpr int CandidateLimit = 8;
+
+/// Relative magnitude threshold for an entry to be pivot-eligible within
+/// its column (classic Markowitz threshold pivoting).
+constexpr double PivotThreshold = 0.1;
+
+} // namespace
+
+bool BasisLU::factor(const SparseMatrix &A, int NumStruct,
+                     const std::vector<int> &BasicCol) {
+  Valid = false;
+  M = static_cast<int>(BasicCol.size());
+  LNnz = UNnz = 0;
+  std::size_t Flops = 0;
+
+  PivRow.clear();
+  PivPos.clear();
+  PivVal.clear();
+  PivRow.reserve(M);
+  PivPos.reserve(M);
+  PivVal.reserve(M);
+  LStart.assign(1, 0);
+  LRow.clear();
+  LVal.clear();
+  UStart.assign(1, 0);
+  UPos.clear();
+  UVal.clear();
+
+  // Active matrix: clear() keeps each inner buffer's capacity across
+  // factor calls, so steady-state refactorizations allocate nothing.
+  if (static_cast<int>(Rows.size()) < M) {
+    Rows.resize(M);
+    ColRows.resize(M);
+  }
+  for (int I = 0; I < M; ++I) {
+    Rows[I].clear();
+    ColRows[I].clear();
+  }
+  RowDone.assign(M, 0);
+  ColDone.assign(M, 0);
+
+  std::size_t Nnz = 0;
+  for (int P = 0; P < M; ++P) {
+    int C = BasicCol[P];
+    if (C >= NumStruct) {
+      Rows[C - NumStruct].push_back({P, 1.0});
+      ++Nnz;
+    } else {
+      for (const SparseMatrix::Entry *E = A.colBegin(C), *End = A.colEnd(C);
+           E != End; ++E)
+        if (E->Value != 0.0) {
+          Rows[E->Row].push_back({P, E->Value});
+          ++Nnz;
+        }
+    }
+  }
+  for (int R = 0; R < M; ++R)
+    for (const auto &[P, V] : Rows[R])
+      ColRows[P].push_back(R);
+
+  if (static_cast<int>(CountBucket.size()) < M + 1)
+    CountBucket.resize(M + 1);
+  for (auto &B : CountBucket)
+    B.clear();
+  for (int P = 0; P < M; ++P) {
+    std::size_t C = ColRows[P].size();
+    if (C == 0)
+      return false; // Structurally singular: empty basis column.
+    if (C < CountBucket.size())
+      CountBucket[C].push_back(P);
+  }
+  std::size_t CurMin = 1;
+
+  auto columnValue = [&](int Row, int Pos) -> double {
+    for (const auto &[Q, V] : Rows[Row])
+      if (Q == Pos)
+        return V;
+    return 0.0;
+  };
+
+  for (int T = 0; T < M; ++T) {
+    // --- pivot selection
+    int BestR = -1, BestP = -1;
+    double BestV = 0.0;
+    std::size_t BestCost = static_cast<std::size_t>(-1);
+    int Seen = 0;
+    for (std::size_t C = CurMin; C < CountBucket.size(); ++C) {
+      auto &B = CountBucket[C];
+      // Drop stale entries as we scan; a column whose live count differs
+      // has a fresh entry in its current bucket.
+      for (std::size_t I = 0; I < B.size() && Seen < CandidateLimit;) {
+        int P = B[I];
+        if (ColDone[P] || ColRows[P].size() != C) {
+          B[I] = B.back();
+          B.pop_back();
+          continue;
+        }
+        ++I;
+        ++Seen;
+        double MaxV = 0.0;
+        for (int R : ColRows[P])
+          MaxV = std::max(MaxV, std::fabs(columnValue(R, P)));
+        if (MaxV <= tol::Pivot)
+          return false; // Numerically empty column: singular.
+        for (int R : ColRows[P]) {
+          double V = columnValue(R, P);
+          if (std::fabs(V) < PivotThreshold * MaxV ||
+              std::fabs(V) <= tol::Pivot)
+            continue;
+          std::size_t Cost = (Rows[R].size() - 1) * (ColRows[P].size() - 1);
+          if (Cost < BestCost) {
+            BestCost = Cost;
+            BestR = R;
+            BestP = P;
+            BestV = V;
+          }
+        }
+      }
+      if (B.empty() && C == CurMin)
+        ++CurMin;
+      if (Seen >= CandidateLimit)
+        break;
+      // A count-c column can't beat a cost of (c-1)^2 from a lower bucket.
+      if (BestR >= 0 && BestCost <= (C - 1) * (C - 1))
+        break;
+    }
+    if (BestR < 0)
+      return false; // No acceptable pivot anywhere: singular.
+
+    // --- elimination step
+    const int R0 = BestR, P0 = BestP;
+    const double Piv = BestV;
+    auto &PivotRow = Rows[R0];
+    for (int I : ColRows[P0]) {
+      if (I == R0)
+        continue;
+      auto &Ri = Rows[I];
+      double V = 0.0;
+      for (std::size_t X = 0; X < Ri.size(); ++X)
+        if (Ri[X].first == P0) {
+          V = Ri[X].second;
+          Ri[X] = Ri.back();
+          Ri.pop_back();
+          break;
+        }
+      double Mult = V / Piv;
+      LRow.push_back(I);
+      LVal.push_back(Mult);
+      ++LNnz;
+      for (const auto &[Q, U] : PivotRow) {
+        if (Q == P0)
+          continue;
+        ++Flops;
+        bool Found = false;
+        for (auto &[Q2, W] : Ri)
+          if (Q2 == Q) {
+            W -= Mult * U;
+            Found = true;
+            break;
+          }
+        if (!Found) {
+          Ri.push_back({Q, -Mult * U});
+          auto &CR = ColRows[Q];
+          CR.push_back(I);
+          if (CR.size() < CountBucket.size())
+            CountBucket[CR.size()].push_back(Q);
+        }
+      }
+    }
+    PivRow.push_back(R0);
+    PivPos.push_back(P0);
+    PivVal.push_back(Piv);
+    LStart.push_back(static_cast<int>(LRow.size()));
+    for (const auto &[Q, U] : PivotRow) {
+      if (Q == P0)
+        continue;
+      UPos.push_back(Q);
+      UVal.push_back(U);
+      ++UNnz;
+      auto &CR = ColRows[Q];
+      for (std::size_t X = 0; X < CR.size(); ++X)
+        if (CR[X] == R0) {
+          CR[X] = CR.back();
+          CR.pop_back();
+          break;
+        }
+      std::size_t C = CR.size();
+      if (C > 0 && C < CountBucket.size()) {
+        CountBucket[C].push_back(Q);
+        if (C < CurMin)
+          CurMin = C;
+      }
+    }
+    UStart.push_back(static_cast<int>(UPos.size()));
+    RowDone[R0] = 1;
+    ColDone[P0] = 1;
+    ColRows[P0].clear();
+    PivotRow.clear();
+  }
+
+  FactorOps = Flops + Nnz + LNnz + UNnz + 2 * static_cast<std::size_t>(M);
+  Work.assign(M, 0.0);
+  Valid = true;
+  return true;
+}
+
+void BasisLU::ftran(std::vector<double> &X) const {
+  // Forward L pass on the row-indexed input, stage order.
+  for (int T = 0; T < M; ++T) {
+    double Xr = X[PivRow[T]];
+    if (Xr == 0.0)
+      continue;
+    for (int I = LStart[T]; I < LStart[T + 1]; ++I)
+      X[LRow[I]] -= LVal[I] * Xr;
+  }
+  // Stage gather, then backward U substitution into position indexing.
+  // Rows and positions share the index space, so the gather must finish
+  // before any position is written.
+  for (int T = 0; T < M; ++T)
+    Work[T] = X[PivRow[T]];
+  for (int T = M - 1; T >= 0; --T) {
+    double V = Work[T];
+    for (int I = UStart[T]; I < UStart[T + 1]; ++I)
+      V -= UVal[I] * X[UPos[I]];
+    X[PivPos[T]] = V / PivVal[T];
+  }
+}
+
+void BasisLU::btran(std::vector<double> &Y) const {
+  // Forward U^T pass: each stage's solved value scatters into the later
+  // positions its U row touches.
+  for (int T = 0; T < M; ++T) {
+    double W = Y[PivPos[T]] / PivVal[T];
+    Work[T] = W;
+    if (W == 0.0)
+      continue;
+    for (int I = UStart[T]; I < UStart[T + 1]; ++I)
+      Y[UPos[I]] -= UVal[I] * W;
+  }
+  // Backward L^T pass into row indexing.
+  for (int T = 0; T < M; ++T)
+    Y[PivRow[T]] = Work[T];
+  for (int T = M - 1; T >= 0; --T) {
+    double Acc = Y[PivRow[T]];
+    for (int I = LStart[T]; I < LStart[T + 1]; ++I)
+      Acc -= LVal[I] * Y[LRow[I]];
+    Y[PivRow[T]] = Acc;
+  }
+}

@@ -29,6 +29,7 @@
 #include "aqua/lp/BranchAndBound.h"
 
 #include "aqua/lp/Branching.h"
+#include "aqua/lp/Cuts.h"
 #include "aqua/lp/RevisedSimplex.h"
 #include "aqua/obs/Metrics.h"
 #include "aqua/obs/Timer.h"
@@ -39,6 +40,7 @@
 #include <cassert>
 #include <cmath>
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -57,6 +59,14 @@ struct BbMetrics {
   obs::Counter &Incumbents = obs::metrics().counter("lp.bb.incumbents");
   obs::Counter &NumericFallbacks =
       obs::metrics().counter("lp.bb.numeric_fallbacks");
+  obs::Counter &CutsGenerated = obs::metrics().counter("lp.cuts_generated");
+  obs::Counter &CutsActive = obs::metrics().counter("lp.cuts_active");
+  obs::Counter &CutRounds = obs::metrics().counter("lp.cut_rounds");
+  obs::Counter &PseudocostInits =
+      obs::metrics().counter("ilp.pseudocost_inits");
+  obs::Counter &StrongBranches =
+      obs::metrics().counter("ilp.strong_branches");
+  obs::Counter &Restarts = obs::metrics().counter("ilp.restarts");
   obs::Histogram &NodesPerWorker = obs::metrics().histogram(
       "lp.bb.nodes_per_worker",
       {1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 100000});
@@ -81,6 +91,12 @@ struct WarmNode {
   std::uint64_t Id = 1;
   std::vector<BoundChange> Path;
   std::shared_ptr<const Basis> Warm;
+  /// The branching decision that created this node (-1 for the root and
+  /// for re-solved nodes): once the node's LP bound is known, the parent's
+  /// bound degradation per unit of BranchFrac feeds the pseudocost table.
+  int BranchVar = -1;
+  bool BranchUp = false;
+  double BranchFrac = 1.0;
 };
 
 struct WarmNodeOrder {
@@ -115,6 +131,17 @@ struct WarmSearch {
   bool BudgetHit = false;   // Guarded by Mu.
   bool Unbounded = false;   // Guarded by Mu.
   bool NumericFell = false; // Guarded by Mu; a node used the dense fallback.
+  bool CapHit = false;      // Guarded by Mu; restart node cap tripped.
+
+  /// Pseudocost table shared with the caller (it survives restarts).
+  PseudocostTable &PT;
+  /// Internal node budget for cut-and-branch restarts; 0 disables. Only
+  /// trips once an incumbent exists -- restarting without one has nothing
+  /// to tighten with.
+  std::int64_t NodeCap = 0;
+  /// Wall-clock seconds already spent (root cutting, earlier restarts)
+  /// before this search started; budget checks add it to Timer.
+  double TimeOffset = 0.0;
 
   std::atomic<std::int64_t> Nodes{0};
   std::atomic<std::int64_t> Pivots{0};
@@ -127,18 +154,36 @@ struct WarmSearch {
   std::vector<double> IncValues;
 
   WarmSearch(const Model &M, const std::vector<bool> &IsInteger,
-             const IntOptions &Opts)
+             const IntOptions &Opts, PseudocostTable &PT)
       : M(M), IsInteger(IsInteger), Opts(Opts),
         Sign(M.isMaximize() ? 1.0 : -1.0),
-        Cols(std::make_shared<const SparseMatrix>(M)) {}
+        Cols(std::make_shared<const SparseMatrix>(M)), PT(PT) {}
+
+  double elapsed() { return TimeOffset + Timer.seconds(); }
 
   bool overBudget() {
     if (Opts.MaxNodes > 0 && Nodes.load(std::memory_order_relaxed) >=
                                  Opts.MaxNodes)
       return true;
-    if (Opts.TimeLimitSec > 0.0 && Timer.seconds() > Opts.TimeLimitSec)
+    if (Opts.TimeLimitSec > 0.0 && elapsed() > Opts.TimeLimitSec)
       return true;
     return false;
+  }
+
+  /// True once the restart node cap is exceeded with an incumbent in hand.
+  bool overCap() {
+    return NodeCap > 0 &&
+           Nodes.load(std::memory_order_relaxed) >= NodeCap &&
+           IncBound.load(std::memory_order_relaxed) > -Infinity;
+  }
+
+  void signalCap() {
+    {
+      std::lock_guard<std::mutex> L(Mu);
+      CapHit = true;
+    }
+    Stop.store(true, std::memory_order_relaxed);
+    Cv.notify_all();
   }
 
   void signalBudget() {
@@ -249,12 +294,17 @@ void warmWorker(WarmSearch &S) {
   WarmNode Node;
   while (S.pop(Node)) {
     bool HaveNode = true;
+    int ChainLen = 0; // Consecutive inline plunge steps since the pop.
     while (HaveNode) {
       HaveNode = false;
       if (S.Stop.load(std::memory_order_relaxed))
         break;
       if (S.overBudget()) {
         S.signalBudget();
+        break;
+      }
+      if (S.overCap()) {
+        S.signalCap();
         break;
       }
       // Fathom against the shared incumbent before spending any pivots.
@@ -293,7 +343,7 @@ void warmWorker(WarmSearch &S) {
       // is safe here.
       RO.RefactorInterval = 2000;
       if (S.Opts.TimeLimitSec > 0.0) {
-        double Remaining = S.Opts.TimeLimitSec - S.Timer.seconds();
+        double Remaining = S.Opts.TimeLimitSec - S.elapsed();
         RO.TimeLimitSec = std::max(Remaining, 1e-3);
       } else {
         RO.TimeLimitSec = S.Opts.LP.Simplex.TimeLimitSec;
@@ -338,14 +388,23 @@ void warmWorker(WarmSearch &S) {
       }
 
       double Bound = S.Sign * Obj;
+      // The parent predicted this branch's degradation when it plunged;
+      // feed the realized one back into the shared pseudocost table.
+      if (Node.BranchVar >= 0 && Node.Bound < Infinity) {
+        double Deg = std::max(0.0, Node.Bound - Bound);
+        if (S.PT.record(Node.BranchVar, Node.BranchUp,
+                        Deg / std::max(Node.BranchFrac, 1e-9)))
+          met().PseudocostInits.add();
+      }
       if (Bound <=
           S.IncBound.load(std::memory_order_relaxed) + tol::Prune) {
         met().Pruned.add();
         continue;
       }
 
-      int BranchVar = pickBranchVar(*Vals, S.IsInteger, S.Opts.IntTol);
-      if (BranchVar < 0) {
+      std::vector<BranchCandidate> Cands =
+          fractionalCandidates(*Vals, S.IsInteger, S.Opts.IntTol);
+      if (Cands.empty()) {
         std::vector<double> Snapped = *Vals;
         for (size_t I = 0; I < Snapped.size(); ++I)
           if (S.IsInteger[I])
@@ -354,7 +413,85 @@ void warmWorker(WarmSearch &S) {
         continue;
       }
 
-      double Val = (*Vals)[BranchVar];
+      // Strong-branch probes reuse this worker's engine, clobbering
+      // Engine.values() and the held basis; snapshot both first. Children
+      // warm-start from the node's optimal basis either way.
+      std::vector<double> NodeVals = *Vals;
+      auto NodeBasis = std::make_shared<const Basis>(Engine.basis());
+
+      int BranchVar;
+      if (S.Opts.Reliable > 0 && RS != RevisedStatus::NumericFail) {
+        // Reliability branching: initialize the pseudocosts of the most
+        // fractional unreliable candidates with pivot-capped dual-simplex
+        // probes, then pick by the product-rule score.
+        int Probed = 0;
+        bool NodeChanged = false;
+        for (const BranchCandidate &C : Cands) {
+          if (Probed >= S.Opts.StrongCandidates ||
+              S.Stop.load(std::memory_order_relaxed))
+            break;
+          if (S.PT.reliability(C.Var) >= S.Opts.Reliable)
+            continue;
+          ++Probed;
+          const double SaveL = Engine.lower(C.Var);
+          const double SaveU = Engine.upper(C.Var);
+          const double Fl = std::floor(NodeVals[C.Var]);
+          for (int Dir = 0; Dir < 2 && !NodeChanged; ++Dir) {
+            const bool Up = Dir == 1;
+            met().StrongBranches.add();
+            if (Up)
+              Engine.setLower(C.Var, Fl + 1.0);
+            else
+              Engine.setUpper(C.Var, Fl);
+            RevisedOptions PRO = RO;
+            PRO.MaxIterations = S.Opts.StrongIterations;
+            RevisedStatus PS = Engine.reoptimizeDual(*NodeBasis, PRO);
+            S.Pivots.fetch_add(Engine.iterations(),
+                               std::memory_order_relaxed);
+            if (PS == RevisedStatus::Optimal) {
+              double Deg =
+                  std::max(0.0, Bound - S.Sign * Engine.objective());
+              double F = Up ? Fl + 1.0 - NodeVals[C.Var]
+                            : NodeVals[C.Var] - Fl;
+              if (S.PT.record(C.Var, Up, Deg / std::max(F, 1e-9)))
+                met().PseudocostInits.add();
+            } else if (PS == RevisedStatus::Infeasible) {
+              // The probe proved this side empty, so its complement is
+              // valid for the whole node: tighten and re-solve the node.
+              Node.Path.push_back(Up ? BoundChange{C.Var, true, Fl}
+                                     : BoundChange{C.Var, false, Fl + 1.0});
+              NodeChanged = true;
+            }
+            if (Up)
+              Engine.setLower(C.Var, SaveL);
+            else
+              Engine.setUpper(C.Var, SaveU);
+          }
+          if (NodeChanged)
+            break;
+        }
+        if (NodeChanged) {
+          Node.Warm = NodeBasis;
+          Node.BranchVar = -1; // Parent degradation already recorded.
+          HaveNode = true;
+          continue;
+        }
+        BranchVar = Cands.front().Var;
+        double BestScore = -1.0;
+        for (const BranchCandidate &C : Cands) {
+          double UpEst, DownEst;
+          S.PT.estimates(C.Var, UpEst, DownEst);
+          double Score = pseudocostScore(UpEst, DownEst, C.Frac);
+          if (Score > BestScore) {
+            BestScore = Score;
+            BranchVar = C.Var;
+          }
+        }
+      } else {
+        BranchVar = Cands.front().Var; // Most fractional.
+      }
+
+      double Val = NodeVals[BranchVar];
       double Floor = std::floor(Val), Ceil = std::ceil(Val);
       double CurLower = Engine.lower(BranchVar);
       double CurUpper = Engine.upper(BranchVar);
@@ -366,7 +503,10 @@ void warmWorker(WarmSearch &S) {
         C.Path = Node.Path;
         C.Path.push_back(Up ? BoundChange{BranchVar, false, Ceil}
                             : BoundChange{BranchVar, true, Floor});
-        C.Warm = std::make_shared<const Basis>(Engine.basis());
+        C.Warm = NodeBasis;
+        C.BranchVar = BranchVar;
+        C.BranchUp = Up;
+        C.BranchFrac = Up ? Ceil - Val : Val - Floor;
         return C;
       };
 
@@ -374,12 +514,21 @@ void warmWorker(WarmSearch &S) {
       bool UpOk = Ceil <= CurUpper;
       bool PlungeUp = Val - Floor >= 0.5; // Dive toward the LP value.
       if (DownOk && UpOk) {
-        S.push(MakeChild(!PlungeUp));
-        Node = MakeChild(PlungeUp);
-        HaveNode = true;
+        if (S.Opts.PlungeLimit > 0 && ChainLen + 1 >= S.Opts.PlungeLimit) {
+          // Diving restart: the chain is deep enough that best-bound
+          // selection should re-aim this worker; park both children.
+          S.push(MakeChild(false));
+          S.push(MakeChild(true));
+        } else {
+          S.push(MakeChild(!PlungeUp));
+          Node = MakeChild(PlungeUp);
+          HaveNode = true;
+          ++ChainLen;
+        }
       } else if (DownOk || UpOk) {
         Node = MakeChild(UpOk);
         HaveNode = true;
+        ++ChainLen;
       }
       // Neither child in range: the node is fathomed.
     }
@@ -389,41 +538,367 @@ void warmWorker(WarmSearch &S) {
     met().NodesPerWorker.observe(static_cast<double>(LocalNodes));
 }
 
+//===----------------------------------------------------------------------===//
+// Root cutting planes and cut-and-branch restarts
+//===----------------------------------------------------------------------===//
+
+/// What the tree search inherits from the root cutting-plane loop.
+struct RootResult {
+  RevisedStatus Status = RevisedStatus::NumericFail;
+  /// Optimal basis of the final cut-strengthened model (null on failure).
+  std::shared_ptr<const Basis> Warm;
+  double Objective = 0.0; // Model direction.
+  std::int64_t Pivots = 0;
+  bool Integral = false;
+  std::vector<double> Values;
+};
+
+/// \p Base plus one LE row per pool cut, in pool order.
+Model modelWithCuts(const Model &Base, const CutPool &Pool) {
+  Model T = Base;
+  int I = 0;
+  for (const Cut &C : Pool.cuts())
+    T.addRow("cut" + std::to_string(I++), RowKind::LE, C.Rhs, C.Terms);
+  return T;
+}
+
+/// Remaps \p Old -- a basis of Base + OldCuts cut rows -- onto Base plus
+/// the aged pool (\p NewCuts rows): structural and base-row entries are
+/// unchanged, surviving cut logicals move by \p OldToNew (sized OldCuts;
+/// -1 = retired), and the logicals of rows not sourced from a survivor
+/// enter basic with zero reduced cost. A retired cut's row was slack at
+/// the optimum, so its logical was basic (a unit column of the basis);
+/// deleting the row/column pair keeps the basis square and nonsingular,
+/// and a slack-basic new row has a zero dual, so extending the reduced
+/// costs with zeros preserves dual feasibility -- the warm start the dual
+/// simplex wants.
+Basis remapCutBasis(const Basis &Old, int NumStruct, int NumBase,
+                    const std::vector<int> &OldToNew, int NewCuts) {
+  const int OldCuts = static_cast<int>(OldToNew.size());
+  const int OldCols = NumStruct + NumBase + OldCuts;
+  const int NewCols = NumStruct + NumBase + NewCuts;
+  const bool HaveRed = Old.RedCost.size() == static_cast<size_t>(OldCols);
+  const bool HaveDev = Old.DevexW.size() == static_cast<size_t>(OldCols);
+
+  Basis N;
+  N.Status.assign(NewCols, VarStatus::Basic);
+  if (HaveRed)
+    N.RedCost.assign(NewCols, 0.0);
+  if (HaveDev)
+    N.DevexW.assign(NewCols, 1.0);
+  std::vector<bool> Sourced(NewCuts, false);
+  auto MapCol = [&](int C) {
+    if (C < NumStruct + NumBase)
+      return C;
+    const int I = OldToNew[C - NumStruct - NumBase];
+    return I < 0 ? -1 : NumStruct + NumBase + I;
+  };
+  for (int C = 0; C < OldCols; ++C) {
+    const int NC = MapCol(C);
+    if (NC < 0)
+      continue;
+    if (NC >= NumStruct + NumBase)
+      Sourced[NC - NumStruct - NumBase] = true;
+    N.Status[NC] = Old.Status[C];
+    if (HaveRed)
+      N.RedCost[NC] = Old.RedCost[C];
+    if (HaveDev)
+      N.DevexW[NC] = Old.DevexW[C];
+  }
+
+  N.BasicCol.reserve(NumBase + NewCuts);
+  for (int C : Old.BasicCol) {
+    const int NC = MapCol(C);
+    if (NC >= 0)
+      N.BasicCol.push_back(NC);
+  }
+  for (int I = 0; I < NewCuts; ++I)
+    if (!Sourced[I])
+      N.BasicCol.push_back(NumStruct + NumBase + I);
+  return N;
+}
+
+/// The root cutting-plane loop: solves \p Base + pool, then alternates
+/// separation (GMI from the tableau, divisor cuts from the rows) with
+/// warm dual reoptimization of the grown model, aging out cuts that stay
+/// slack. On return \p Tree holds the final cut-strengthened model the
+/// tree search runs on. The loop stops when a round separates nothing,
+/// the round cap is hit, the root goes integral, or the bound stops
+/// moving.
+RootResult rootCutLoop(const Model &Base, const std::vector<bool> &IsInteger,
+                       const IntOptions &Opts, double Sign, CutPool &Pool,
+                       Model &Tree, double Elapsed) {
+  const int NumStruct = Base.numVars();
+  const int NumBase = Base.numRows();
+  RootResult Out;
+  WallTimer Timer;
+
+  RevisedOptions RO;
+  RO.MaxIterations = Opts.LP.Simplex.MaxIterations;
+  RO.StallThreshold = Opts.LP.Simplex.StallThreshold;
+  RO.Pricing = Opts.LP.Simplex.Pricing;
+  auto SetTime = [&] {
+    if (Opts.TimeLimitSec > 0.0)
+      RO.TimeLimitSec =
+          std::max(Opts.TimeLimitSec - Elapsed - Timer.seconds(), 1e-3);
+    else
+      RO.TimeLimitSec = Opts.LP.Simplex.TimeLimitSec;
+  };
+
+  Tree = modelWithCuts(Base, Pool);
+  auto Engine = std::make_unique<RevisedSimplex>(Tree);
+  SetTime();
+  RevisedStatus RS = Engine->solve(RO);
+  Out.Pivots += Engine->iterations();
+
+  CutOptions CO;
+  double PrevBound = Infinity;
+  for (int Round = 0; Round < Opts.CutRounds; ++Round) {
+    if (RS != RevisedStatus::Optimal)
+      break;
+    if (fractionalCandidates(Engine->values(), IsInteger, Opts.IntTol)
+            .empty())
+      break;
+    met().CutRounds.add();
+
+    const int OldCuts = Pool.size();
+    int Added =
+        separateGomory(Tree, IsInteger, *Engine, CO, Pool) +
+        separateDivisor(Tree, IsInteger, Engine->values(), CO, Pool);
+    if (Added == 0)
+      break;
+    met().CutsGenerated.add(static_cast<std::uint64_t>(Added));
+
+    // Age out stale cuts: slack of cut I at the current optimum. Newly
+    // admitted cuts are violated here (slack < 0), so scoring them as
+    // tight keeps their age at zero.
+    std::vector<double> Slack(Pool.size(), 0.0);
+    for (int I = 0; I < OldCuts; ++I) {
+      const Cut &C = Pool.cuts()[I];
+      double Act = 0.0;
+      for (const Term &T : C.Terms)
+        Act += T.Coef * Engine->values()[T.Var];
+      Slack[I] = C.Rhs - Act;
+    }
+    std::vector<int> Map;
+    Pool.age(Slack, CO.MaxSlackAge, &Map);
+    Map.resize(OldCuts);
+
+    Basis Warm = remapCutBasis(Engine->basis(), NumStruct, NumBase, Map,
+                               Pool.size());
+    Tree = modelWithCuts(Base, Pool);
+    Engine = std::make_unique<RevisedSimplex>(Tree);
+    SetTime();
+    RS = Engine->reoptimizeDual(Warm, RO);
+    Out.Pivots += Engine->iterations();
+    if (RS != RevisedStatus::Optimal)
+      break;
+
+    const double Bound = Sign * Engine->objective();
+    if (PrevBound - Bound < 1e-9 * (1.0 + std::fabs(Bound)))
+      break; // Tailing off: the cuts stopped moving the bound.
+    PrevBound = Bound;
+  }
+  met().CutsActive.add(static_cast<std::uint64_t>(Pool.size()));
+
+  Out.Status = RS;
+  if (RS == RevisedStatus::Optimal) {
+    Out.Warm = std::make_shared<const Basis>(Engine->basis());
+    Out.Objective = Engine->objective();
+    Out.Values = Engine->values();
+    Out.Integral =
+        fractionalCandidates(Out.Values, IsInteger, Opts.IntTol).empty();
+  }
+  return Out;
+}
+
+/// Reduced-cost bound tightening at a restart: any improving solution
+/// satisfies internal-objective >= RootBound - Gap with Gap = RootBound -
+/// IncBound, and moving a nonbasic integer variable delta off its resting
+/// bound costs |reduced cost| * delta of root bound -- so delta <= Gap /
+/// |d| bounds the variable's range in every improving solution (the
+/// volume least-count lattice makes the floor/ceil rounding exact).
+/// Tightens \p Lo / \p Up in place; returns how many bounds moved.
+int reducedCostTighten(const Basis &B, double RootBound, double IncBound,
+                       const std::vector<bool> &IsInteger, double IntTol,
+                       std::vector<double> &Lo, std::vector<double> &Up) {
+  const int N = static_cast<int>(Lo.size());
+  if (B.RedCost.size() < static_cast<size_t>(N))
+    return 0;
+  const double Gap = RootBound - IncBound;
+  if (!std::isfinite(Gap) || Gap < 0.0)
+    return 0;
+  int Moved = 0;
+  for (int J = 0; J < N; ++J) {
+    if (!IsInteger[J])
+      continue;
+    const double D = B.RedCost[J];
+    if (B.Status[J] == VarStatus::AtLower && D > 1e-9 &&
+        std::isfinite(Lo[J])) {
+      const double NewUp = std::floor(Lo[J] + Gap / D + IntTol);
+      if (NewUp < Up[J] - 0.5) {
+        Up[J] = std::max(NewUp, Lo[J]);
+        ++Moved;
+      }
+    } else if (B.Status[J] == VarStatus::AtUpper && D < -1e-9 &&
+               std::isfinite(Up[J])) {
+      const double NewLo = std::ceil(Up[J] - Gap / -D - IntTol);
+      if (NewLo > Lo[J] + 0.5) {
+        Lo[J] = std::min(NewLo, Up[J]);
+        ++Moved;
+      }
+    }
+  }
+  return Moved;
+}
+
 IntSolution solveIntegerWarm(const Model &M,
                              const std::vector<bool> &IsInteger,
                              const IntOptions &Opts) {
-  WarmSearch S(M, IsInteger, Opts);
+  WallTimer Timer;
+  const double Sign = M.isMaximize() ? 1.0 : -1.0;
+  PseudocostTable PT(M.numVars());
+  CutPool Pool;
 
-  S.Pool.push(WarmNode{});
-  int Threads = std::max(1, Opts.Threads);
-  if (Threads == 1) {
-    warmWorker(S);
-  } else {
-    std::vector<std::thread> Pool;
-    Pool.reserve(Threads);
-    for (int T = 0; T < Threads; ++T)
-      Pool.emplace_back([&S] { warmWorker(S); });
-    for (std::thread &T : Pool)
-      T.join();
+  // Bound overlay: reduced-cost fixing at restarts accumulates here and
+  // is baked into the next restart's base model.
+  std::vector<double> Lo(M.numVars()), Up(M.numVars());
+  for (int J = 0; J < M.numVars(); ++J) {
+    Lo[J] = M.var(J).Lower;
+    Up[J] = M.var(J).Upper;
   }
 
   IntSolution Result;
-  Result.Nodes = S.Nodes.load();
-  Result.LpPivots = S.Pivots.load();
-  Result.Seconds = S.Timer.seconds();
-  Result.HasIncumbent = S.HasInc;
-  if (S.HasInc) {
-    Result.Objective = S.IncObjective;
-    Result.Values = S.IncValues;
+  bool HasInc = false;
+  double IncObj = 0.0, IncBound = -Infinity;
+  std::vector<double> IncVals;
+  std::int64_t Nodes = 0, Pivots = 0;
+
+  auto Snap = [&](std::vector<double> V) {
+    for (size_t I = 0; I < V.size(); ++I)
+      if (IsInteger[I])
+        V[I] = std::round(V[I]);
+    return V;
+  };
+  auto Finish = [&](SolveStatus St) {
+    Result.Status = St;
+    Result.HasIncumbent = HasInc;
+    if (HasInc) {
+      Result.Objective = IncObj;
+      Result.Values = IncVals;
+    }
+    Result.Nodes = Nodes;
+    Result.LpPivots = Pivots;
+    Result.Seconds = Timer.seconds();
+    return Result;
+  };
+
+  bool CutsOn = Opts.CutRounds > 0;
+  int Restarts = 0;
+  for (;;) {
+    Model Base = M;
+    for (int J = 0; J < M.numVars(); ++J) {
+      Base.tightenLower(J, Lo[J]);
+      Base.tightenUpper(J, Up[J]);
+    }
+
+    Model Tree;
+    RootResult Root;
+    std::shared_ptr<const Basis> RootWarm;
+    if (CutsOn) {
+      Root = rootCutLoop(Base, IsInteger, Opts, Sign, Pool, Tree,
+                         Timer.seconds());
+      Pivots += Root.Pivots;
+      switch (Root.Status) {
+      case RevisedStatus::Optimal:
+        RootWarm = Root.Warm;
+        break;
+      case RevisedStatus::Infeasible:
+        // With no incumbent the ILP is infeasible outright; with one, the
+        // overlay only excludes non-improving solutions, so an infeasible
+        // root proves the incumbent optimal.
+        return Finish(HasInc ? SolveStatus::Optimal
+                             : SolveStatus::Infeasible);
+      case RevisedStatus::Unbounded:
+        return Finish(SolveStatus::Unbounded);
+      case RevisedStatus::NumericFail:
+        // Cut machinery lost the root; run the plain warm search.
+        CutsOn = false;
+        Tree = Base;
+        break;
+      default: // Iteration or time budget died inside the root LP.
+        return Finish(SolveStatus::TimeLimit);
+      }
+      if (Root.Status == RevisedStatus::Optimal && Root.Integral) {
+        // The root relaxation decided the problem; it counts as the one
+        // node the tree search would otherwise have processed.
+        ++Nodes;
+        const double Bound = Sign * Root.Objective;
+        if (!HasInc || Bound > IncBound + tol::Prune) {
+          HasInc = true;
+          IncObj = Root.Objective;
+          IncBound = Bound;
+          IncVals = Snap(Root.Values);
+        }
+        return Finish(SolveStatus::Optimal);
+      }
+    } else {
+      Tree = Base;
+    }
+
+    WarmSearch S(Tree, IsInteger, Opts, PT);
+    S.TimeOffset = Timer.seconds();
+    if (CutsOn && Opts.RestartNodes > 0 && Restarts < Opts.MaxRestarts)
+      S.NodeCap = Nodes + Opts.RestartNodes;
+    if (HasInc) {
+      S.HasInc = true;
+      S.IncObjective = IncObj;
+      S.IncValues = IncVals;
+      S.IncBound.store(IncBound, std::memory_order_relaxed);
+    }
+
+    WarmNode RootNode;
+    RootNode.Warm = RootWarm;
+    S.Pool.push(std::move(RootNode));
+    const int Threads = std::max(1, Opts.Threads);
+    if (Threads == 1) {
+      warmWorker(S);
+    } else {
+      std::vector<std::thread> Workers;
+      Workers.reserve(Threads);
+      for (int T = 0; T < Threads; ++T)
+        Workers.emplace_back([&S] { warmWorker(S); });
+      for (std::thread &T : Workers)
+        T.join();
+    }
+
+    Nodes += S.Nodes.load();
+    Pivots += S.Pivots.load();
+    if (S.HasInc) {
+      HasInc = true;
+      IncObj = S.IncObjective;
+      IncVals = std::move(S.IncValues);
+      IncBound = S.IncBound.load(std::memory_order_relaxed);
+    }
+
+    if (S.Unbounded)
+      return Finish(SolveStatus::Unbounded);
+    if (S.BudgetHit)
+      return Finish(SolveStatus::TimeLimit);
+    if (!S.CapHit)
+      return Finish(HasInc ? SolveStatus::Optimal
+                           : SolveStatus::Infeasible);
+
+    // Node cap tripped with an incumbent in hand: tighten what the root's
+    // reduced costs allow, re-cut, and restart the search (incumbent and
+    // pseudocosts carry over; the node counter does too, so each restart
+    // gets RestartNodes fresh nodes).
+    ++Restarts;
+    met().Restarts.add();
+    if (Root.Warm)
+      reducedCostTighten(*Root.Warm, Sign * Root.Objective, IncBound,
+                         IsInteger, Opts.IntTol, Lo, Up);
   }
-  if (S.Unbounded)
-    Result.Status = SolveStatus::Unbounded;
-  else if (S.BudgetHit)
-    Result.Status = SolveStatus::TimeLimit;
-  else
-    Result.Status =
-        S.HasInc ? SolveStatus::Optimal : SolveStatus::Infeasible;
-  return Result;
 }
 
 //===----------------------------------------------------------------------===//
@@ -562,13 +1037,6 @@ IntSolution aqua::lp::solveInteger(const Model &M,
          "integrality mask size mismatch");
 
   if (Opts.Engine == IntEngine::Dense)
-    return solveIntegerDense(M, IsInteger, Opts);
-
-  // The warm engine keeps ~3 dense m x m panels per worker; honor the
-  // memory budget by falling back to the legacy path when they don't fit.
-  size_t M2 = static_cast<size_t>(M.numRows()) * M.numRows();
-  size_t Workers = static_cast<size_t>(std::max(1, Opts.Threads));
-  if (3 * M2 * sizeof(double) * Workers > Opts.LP.Simplex.MaxTableauBytes)
     return solveIntegerDense(M, IsInteger, Opts);
 
   // The warm engine works on the unreduced model (native bound handling

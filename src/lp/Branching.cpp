@@ -6,6 +6,7 @@
 
 #include "aqua/lp/Branching.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -28,6 +29,81 @@ int aqua::lp::pickBranchVar(const std::vector<double> &Values,
     }
   }
   return Best;
+}
+
+std::vector<BranchCandidate>
+aqua::lp::fractionalCandidates(const std::vector<double> &Values,
+                               const std::vector<bool> &IsInteger,
+                               double Tol) {
+  assert(Values.size() == IsInteger.size() && "mask/value size mismatch");
+  std::vector<BranchCandidate> Out;
+  for (size_t I = 0; I < Values.size(); ++I) {
+    if (!IsInteger[I])
+      continue;
+    double Frac = Values[I] - std::floor(Values[I]);
+    if (std::min(Frac, 1.0 - Frac) > Tol)
+      Out.push_back({static_cast<int>(I), Frac});
+  }
+  std::stable_sort(Out.begin(), Out.end(),
+                   [](const BranchCandidate &A, const BranchCandidate &B) {
+                     return std::min(A.Frac, 1.0 - A.Frac) >
+                            std::min(B.Frac, 1.0 - B.Frac);
+                   });
+  return Out;
+}
+
+bool aqua::lp::PseudocostTable::record(int Var, bool Up, double PerUnit) {
+  PerUnit = std::max(PerUnit, 0.0);
+  std::lock_guard<std::mutex> L(Mu);
+  Entry &E = Tab[Var];
+  Dir &D = Up ? E.UpD : E.DownD;
+  Dir &G = Up ? GlobalUp : GlobalDown;
+  const bool First = D.Cnt == 0;
+  D.Sum += PerUnit;
+  ++D.Cnt;
+  G.Sum += PerUnit;
+  ++G.Cnt;
+  return First;
+}
+
+int aqua::lp::PseudocostTable::count(int Var, bool Up) const {
+  std::lock_guard<std::mutex> L(Mu);
+  const Entry &E = Tab[Var];
+  return Up ? E.UpD.Cnt : E.DownD.Cnt;
+}
+
+double aqua::lp::PseudocostTable::estimateLocked(const Entry &E,
+                                                bool Up) const {
+  const Dir &D = Up ? E.UpD : E.DownD;
+  if (D.Cnt > 0)
+    return D.Sum / D.Cnt;
+  const Dir &G = Up ? GlobalUp : GlobalDown;
+  return G.Cnt > 0 ? G.Sum / G.Cnt : 0.0;
+}
+
+double aqua::lp::PseudocostTable::estimate(int Var, bool Up) const {
+  std::lock_guard<std::mutex> L(Mu);
+  return estimateLocked(Tab[Var], Up);
+}
+
+int aqua::lp::PseudocostTable::reliability(int Var) const {
+  std::lock_guard<std::mutex> L(Mu);
+  const Entry &E = Tab[Var];
+  return std::min(E.UpD.Cnt, E.DownD.Cnt);
+}
+
+void aqua::lp::PseudocostTable::estimates(int Var, double &UpEst,
+                                          double &DownEst) const {
+  std::lock_guard<std::mutex> L(Mu);
+  UpEst = estimateLocked(Tab[Var], true);
+  DownEst = estimateLocked(Tab[Var], false);
+}
+
+double aqua::lp::pseudocostScore(double UpEst, double DownEst, double Frac) {
+  constexpr double Eps = 1e-6;
+  const double UpGain = UpEst * (1.0 - Frac);
+  const double DownGain = DownEst * Frac;
+  return std::max(UpGain, Eps) * std::max(DownGain, Eps);
 }
 
 void aqua::lp::applyBoundPath(const std::vector<BoundChange> &Path,

@@ -1,0 +1,314 @@
+//===- Cuts.cpp - GMI and Chvatal-Gomory cut separation -------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Gomory mixed-integer cuts from the bounded-variable tableau.
+//
+// The engine's computational form is a_i . x + s_i = rhs_i with structural
+// bounds [l_j, u_j] and logical bounds fixed by the row kind (LE: [0, inf),
+// GE: (-inf, 0], EQ: [0, 0]). A basis row P with basic variable x_B reads
+//
+//   x_B + sum_{nonbasic j} alpha_j x_j  =  const,
+//
+// and every nonbasic rests at a bound, so substituting the shifted
+// variables t_j = x_j - l_j (at lower, alpha_bar = alpha) or t_j = u_j -
+// x_j (at upper, alpha_bar = -alpha), all t_j >= 0 and t_j = 0 at the
+// current vertex:
+//
+//   x_B  =  xbar - sum alpha_bar_j t_j,     xbar = basic value, frac f0.
+//
+// The GMI inequality over this row is sum gamma_j t_j >= f0 with
+//
+//   gamma_j = fj <= f0 ? fj : f0 (1 - fj) / (1 - f0)   (integer t_j,
+//                                                       fj = frac(alpha_bar))
+//   gamma_j = alpha_bar >= 0 ? alpha_bar
+//                            : f0 (-alpha_bar) / (1 - f0)   (continuous)
+//
+// -- treating an integer column with the continuous formula is valid (just
+// weaker), which is what happens when its resting bound is not integral
+// (the shift then breaks integrality of t_j). The cut is violated by f0 at
+// the current vertex by construction. Expanding the shifts and
+// substituting each logical s_r = rhs_r - a_r . x turns it into an LE row
+// over structural variables only; since the branch-and-bound tree solves
+// the unreduced model, no postsolve bookkeeping is needed.
+//
+// A row is skipped entirely when a nonbasic Free column has a nonzero
+// alpha: a Free column rests at no bound, so the shift -- and with it the
+// cut -- is unavailable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/lp/Cuts.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace aqua::lp {
+
+namespace {
+
+/// Below this, a coefficient is treated as exact zero.
+constexpr double CoefDrop = 1e-12;
+
+/// FNV-1a over the normalized cut: terms sorted by variable, coefficients
+/// and rhs scaled so max|coef| = 1 and rounded to 1e-9. Heuristic
+/// fingerprint -- a collision only costs a skipped duplicate-looking cut.
+std::uint64_t fingerprint(const Cut &C) {
+  double MaxC = 0.0;
+  for (const Term &T : C.Terms)
+    MaxC = std::max(MaxC, std::abs(T.Coef));
+  const double Scale = MaxC > 0.0 ? 1.0 / MaxC : 1.0;
+  std::uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](std::uint64_t V) {
+    H ^= V;
+    H *= 1099511628211ull;
+  };
+  auto MixD = [&Mix](double D) {
+    Mix(static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(std::llround(D * 1e9))));
+  };
+  for (const Term &T : C.Terms) {
+    Mix(static_cast<std::uint64_t>(T.Var));
+    MixD(T.Coef * Scale);
+  }
+  MixD(C.Rhs * Scale);
+  return H;
+}
+
+/// A separated-but-not-yet-admitted cut with its scaled violation.
+struct Candidate {
+  Cut C;
+  double Score;
+};
+
+/// Violation of \p C at \p X divided by the coefficient 2-norm, or a
+/// negative value when the cut is not violated / fails the shape filters.
+double scoreCut(const Cut &C, const std::vector<double> &X,
+                const CutOptions &Opts) {
+  if (C.Terms.empty() ||
+      static_cast<int>(C.Terms.size()) > Opts.MaxDensity)
+    return -1.0;
+  double MaxC = 0.0, MinC = std::numeric_limits<double>::infinity();
+  double Act = 0.0, Norm = 0.0;
+  for (const Term &T : C.Terms) {
+    const double A = std::abs(T.Coef);
+    MaxC = std::max(MaxC, A);
+    MinC = std::min(MinC, A);
+    Act += T.Coef * X[T.Var];
+    Norm += T.Coef * T.Coef;
+  }
+  if (MaxC > Opts.MaxDynamism * MinC)
+    return -1.0;
+  return (Act - C.Rhs) / std::max(1.0, std::sqrt(Norm));
+}
+
+/// Admits the best-scoring candidates (at most Opts.MaxCuts) to the pool.
+int admit(std::vector<Candidate> &Cands, const CutOptions &Opts,
+          CutPool &Pool) {
+  std::sort(Cands.begin(), Cands.end(),
+            [](const Candidate &A, const Candidate &B) {
+              return A.Score > B.Score;
+            });
+  int Added = 0;
+  for (Candidate &Cand : Cands) {
+    if (Added >= Opts.MaxCuts)
+      break;
+    if (Pool.add(std::move(Cand.C)))
+      ++Added;
+  }
+  return Added;
+}
+
+} // namespace
+
+bool CutPool::add(Cut C) {
+  std::sort(C.Terms.begin(), C.Terms.end(),
+            [](const Term &A, const Term &B) { return A.Var < B.Var; });
+  if (!Seen.insert(fingerprint(C)).second)
+    return false;
+  C.SlackAge = 0;
+  Pool.push_back(std::move(C));
+  return true;
+}
+
+int CutPool::age(const std::vector<double> &Slack, int MaxAge,
+                 std::vector<int> *OldToNew, double Eps) {
+  if (OldToNew)
+    OldToNew->assign(Pool.size(), -1);
+  int Keep = 0, Dropped = 0;
+  for (std::size_t I = 0; I < Pool.size(); ++I) {
+    Cut &C = Pool[I];
+    C.SlackAge = Slack[I] > Eps ? C.SlackAge + 1 : 0;
+    if (C.SlackAge >= MaxAge) {
+      ++Dropped;
+      continue;
+    }
+    if (OldToNew)
+      (*OldToNew)[I] = Keep;
+    if (Keep != static_cast<int>(I))
+      Pool[Keep] = std::move(C);
+    ++Keep;
+  }
+  Pool.resize(Keep);
+  return Dropped;
+}
+
+int separateGomory(const Model &M, const std::vector<bool> &IsInteger,
+                   RevisedSimplex &Engine, const CutOptions &Opts,
+                   CutPool &Pool) {
+  const int NumStruct = Engine.numStructural();
+  const int NumRows = Engine.numRows();
+  const Basis B = Engine.basis();
+  const std::vector<double> &X = Engine.values();
+
+  std::vector<int> RowCols;
+  std::vector<double> RowVals;
+  // Dense accumulator for the expanded cut plus its touched-entry list.
+  std::vector<double> Coef(NumStruct, 0.0);
+  std::vector<int> Touched;
+  auto Accumulate = [&](VarId V, double D) {
+    if (Coef[V] == 0.0)
+      Touched.push_back(V);
+    Coef[V] += D;
+  };
+  std::vector<Candidate> Cands;
+
+  for (int P = 0; P < NumRows; ++P) {
+    const int BC = Engine.basicCol(P);
+    if (BC >= NumStruct || !IsInteger[BC])
+      continue;
+    const double Xb = Engine.basicValue(P);
+    const double F0 = Xb - std::floor(Xb);
+    if (F0 < Opts.MinFrac || F0 > 1.0 - Opts.MinFrac)
+      continue;
+
+    Engine.tableauRow(P, RowCols, RowVals);
+
+    Touched.clear();
+    // Constant accumulated on the cut's left side while the inequality is
+    // still in >= orientation.
+    double Const = 0.0;
+    bool Ok = true;
+    const double Ratio = F0 / (1.0 - F0);
+    for (std::size_t K = 0; K < RowCols.size(); ++K) {
+      const int C = RowCols[K];
+      // The basic column itself (alpha exactly 1) and other basic columns
+      // (alpha zero up to factorization noise) stay out of the cut.
+      if (C == BC || B.Status[C] == VarStatus::Basic)
+        continue;
+      const double Alpha = RowVals[K];
+      if (std::abs(Alpha) < CoefDrop)
+        continue;
+      if (B.Status[C] == VarStatus::Free) {
+        Ok = false;
+        break;
+      }
+      const bool AtUp = B.Status[C] == VarStatus::AtUpper;
+      const double Bound =
+          C < NumStruct ? (AtUp ? Engine.upper(C) : Engine.lower(C)) : 0.0;
+      const double AlphaBar = AtUp ? -Alpha : Alpha;
+      double Gamma;
+      if (C < NumStruct && IsInteger[C] &&
+          std::abs(Bound - std::round(Bound)) < 1e-9) {
+        const double Fj = AlphaBar - std::floor(AlphaBar);
+        Gamma = Fj <= F0 ? Fj : Ratio * (1.0 - Fj);
+      } else {
+        Gamma = AlphaBar >= 0.0 ? AlphaBar : Ratio * -AlphaBar;
+      }
+      if (Gamma < CoefDrop)
+        continue;
+      if (C < NumStruct) {
+        // Gamma * t = Gamma * (x - l) or Gamma * (u - x).
+        Accumulate(C, AtUp ? -Gamma : Gamma);
+        Const += AtUp ? Gamma * Bound : -Gamma * Bound;
+      } else {
+        // Logical bounds are 0 on whichever side it rests, so Gamma * t
+        // is +/- Gamma * s_r; substitute s_r = rhs_r - a_r . x.
+        const Row &R = M.row(C - NumStruct);
+        const double S = AtUp ? -Gamma : Gamma;
+        Const += S * R.Rhs;
+        for (const Term &T : R.Terms)
+          Accumulate(T.Var, -S * T.Coef);
+      }
+    }
+    if (!Ok) {
+      for (int V : Touched)
+        Coef[V] = 0.0;
+      continue;
+    }
+
+    // sum Coef . x + Const >= F0  ->  sum (-Coef) . x <= Const - F0.
+    Candidate Cand;
+    for (int V : Touched) {
+      const double A = -Coef[V];
+      Coef[V] = 0.0;
+      if (std::abs(A) >= CoefDrop)
+        Cand.C.Terms.push_back({V, A});
+    }
+    Cand.C.Rhs = Const - F0;
+    Cand.Score = scoreCut(Cand.C, X, Opts);
+    if (Cand.Score >= Opts.MinViolation)
+      Cands.push_back(std::move(Cand));
+  }
+  return admit(Cands, Opts, Pool);
+}
+
+int separateDivisor(const Model &M, const std::vector<bool> &IsInteger,
+                    const std::vector<double> &X, const CutOptions &Opts,
+                    CutPool &Pool) {
+  std::vector<Candidate> Cands;
+  std::vector<double> Divisors;
+
+  for (int R = 0; R < M.numRows(); ++R) {
+    const Row &Rw = M.row(R);
+    if (Rw.Kind == RowKind::GE || Rw.Terms.empty())
+      continue;
+    bool Ok = true;
+    for (const Term &T : Rw.Terms)
+      if (T.Coef < 0.0 || !IsInteger[T.Var] || M.var(T.Var).Lower < 0.0) {
+        Ok = false;
+        break;
+      }
+    if (!Ok)
+      continue;
+
+    // The row's own distinct coefficients >= 2 are the divisors: dividing
+    // by a present coefficient turns that column's entry into exactly 1
+    // and floors everything smaller away, the strongest single-row
+    // rounding available without enumeration.
+    Divisors.clear();
+    for (const Term &T : Rw.Terms) {
+      if (T.Coef < 2.0)
+        continue;
+      bool Dup = false;
+      for (double D : Divisors)
+        if (std::abs(D - T.Coef) < 1e-9) {
+          Dup = true;
+          break;
+        }
+      if (!Dup && Divisors.size() < 8)
+        Divisors.push_back(T.Coef);
+    }
+
+    for (double D : Divisors) {
+      Candidate Cand;
+      for (const Term &T : Rw.Terms) {
+        // The 1e-9 nudge reads 6.99999999 back as the 7 it arithmetically
+        // is; genuine sub-epsilon coefficient noise is below it.
+        const double A = std::floor(T.Coef / D + 1e-9);
+        if (A != 0.0)
+          Cand.C.Terms.push_back({T.Var, A});
+      }
+      Cand.C.Rhs = std::floor(Rw.Rhs / D + 1e-9);
+      Cand.Score = scoreCut(Cand.C, X, Opts);
+      if (Cand.Score >= Opts.MinViolation)
+        Cands.push_back(std::move(Cand));
+    }
+  }
+  return admit(Cands, Opts, Pool);
+}
+
+} // namespace aqua::lp

@@ -9,6 +9,7 @@
 #include "aqua/lp/Tolerances.h"
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <utility>
 
 using namespace aqua;
@@ -27,14 +28,29 @@ struct Work {
     double Rhs;
     std::vector<Term> Terms;
     bool Alive = true;
+    /// See MaxEagerRowLen: terms may reference eliminated variables until
+    /// the final expansion.
+    bool Deferred = false;
   };
   struct WVar {
     double Lower, Upper, ObjCoef;
     bool Alive = true;
   };
 
+  /// Rows longer than this are "deferred": the sweeps neither classify them
+  /// nor substitute into them (a dense row receiving one substitution per
+  /// eliminated variable is a quadratic blow-up), and their stale references
+  /// to eliminated variables are expanded once at the end through the
+  /// resolved elimination map.
+  static constexpr size_t MaxEagerRowLen = 64;
+
   std::vector<WRow> Rows;
   std::vector<WVar> Vars;
+  /// Column index: VarRows[v] lists the rows that *may* contain v -- a lazy
+  /// superset (entries go stale when a row dies or a term cancels; they are
+  /// skipped on use, never removed). It turns substitute() from a scan of
+  /// every row into a scan of the variable's support.
+  std::vector<std::vector<std::uint32_t>> VarRows;
   bool Infeasible = false;
 
   explicit Work(const Model &M) {
@@ -45,8 +61,14 @@ struct Work {
     for (const Row &R : M.rows()) {
       WRow W{R.Kind, R.Rhs, R.Terms, true};
       normalize(W.Terms);
+      W.Deferred = W.Terms.size() > MaxEagerRowLen;
       Rows.push_back(std::move(W));
     }
+    VarRows.resize(Vars.size());
+    for (std::uint32_t RI = 0; RI < Rows.size(); ++RI)
+      if (!Rows[RI].Deferred)
+        for (const Term &T : Rows[RI].Terms)
+          VarRows[T.Var].push_back(RI);
   }
 
   static void normalize(std::vector<Term> &Terms) {
@@ -64,22 +86,33 @@ struct Work {
     Terms.resize(Out);
   }
 
-  /// Substitutes Var := Const + Expr into every row and the objective, then
-  /// kills the variable.
+  /// Substitutes Var := Const + Expr into every row containing Var and the
+  /// objective, then kills the variable. Only Var's support (via VarRows) is
+  /// visited, so a full presolve costs O(total fill), not O(vars * rows).
   void substitute(VarId Var, double Const, const std::vector<Term> &Expr) {
-    for (WRow &R : Rows) {
-      if (!R.Alive)
+    std::vector<std::uint32_t> Support;
+    Support.swap(VarRows[Var]);
+    for (std::uint32_t RI : Support) {
+      WRow &R = Rows[RI];
+      if (!R.Alive || R.Deferred)
         continue;
       auto It = std::find_if(R.Terms.begin(), R.Terms.end(),
                              [&](const Term &T) { return T.Var == Var; });
       if (It == R.Terms.end())
-        continue;
+        continue; // Stale index entry: the term cancelled earlier.
       double C = It->Coef;
       R.Terms.erase(It);
       R.Rhs -= C * Const;
-      for (const Term &E : Expr)
+      for (const Term &E : Expr) {
         R.Terms.push_back(Term{E.Var, C * E.Coef});
+        std::vector<std::uint32_t> &Idx = VarRows[E.Var];
+        if (Idx.empty() || Idx.back() != RI)
+          Idx.push_back(RI);
+      }
       normalize(R.Terms);
+      // Fill-in past the eager ceiling: freeze the row; later eliminations
+      // reach it through the final expansion instead.
+      R.Deferred = R.Terms.size() > MaxEagerRowLen;
     }
     double ObjC = Vars[Var].ObjCoef;
     if (ObjC != 0.0)
@@ -164,7 +197,7 @@ Presolved Presolved::run(const Model &M) {
     Progress = false;
     for (size_t RI = 0; RI < W.Rows.size(); ++RI) {
       Work::WRow &R = W.Rows[RI];
-      if (!R.Alive)
+      if (!R.Alive || R.Deferred)
         continue;
 
       if (R.Terms.empty()) {
@@ -290,7 +323,8 @@ Presolved Presolved::run(const Model &M) {
     {
       std::vector<size_t> Order;
       for (size_t RI = 0; RI < W.Rows.size(); ++RI)
-        if (W.Rows[RI].Alive && !W.Rows[RI].Terms.empty())
+        if (W.Rows[RI].Alive && !W.Rows[RI].Deferred &&
+            !W.Rows[RI].Terms.empty())
           Order.push_back(RI);
       auto SigCmp = [&](size_t A, size_t B) {
         const auto &TA = W.Rows[A].Terms, &TB = W.Rows[B].Terms;
@@ -400,7 +434,8 @@ Presolved Presolved::run(const Model &M) {
             ++ColCount[T.Var];
       for (size_t RI = 0; RI < W.Rows.size(); ++RI) {
         Work::WRow &R = W.Rows[RI];
-        if (!R.Alive || R.Kind != RowKind::EQ || R.Terms.size() < 2)
+        if (!R.Alive || R.Deferred || R.Kind != RowKind::EQ ||
+            R.Terms.size() < 2)
           continue;
         for (size_t TI = 0; TI < R.Terms.size(); ++TI) {
           VarId X = R.Terms[TI].Var;
@@ -452,6 +487,96 @@ Presolved Presolved::run(const Model &M) {
   P.Infeasible = W.Infeasible;
   if (P.Infeasible)
     return P;
+
+  // Expand deferred rows: every stale reference to an eliminated variable is
+  // rewritten over surviving variables in one pass. An elimination's
+  // expression only references variables that were alive at its time -- so
+  // still alive now, or eliminated *later* -- which makes a reverse sweep
+  // over the records naturally bottom-up: by the time record I is resolved,
+  // every dead variable it references already has its fully-resolved form.
+  // Only variables reachable from deferred rows are resolved, so graphs with
+  // no long rows pay nothing.
+  {
+    bool AnyDeferred = false;
+    for (const Work::WRow &R : W.Rows)
+      AnyDeferred |= R.Alive && R.Deferred;
+    if (AnyDeferred) {
+      struct Resolved {
+        double Const = 0.0;
+        std::vector<Term> Terms;
+      };
+      std::vector<Resolved> Cache(M.numVars());
+      // Mark the dead variables whose resolution the expansion needs: seeds
+      // from the deferred rows, closed over each record's expression.
+      std::vector<char> Needed(M.numVars(), 0);
+      std::vector<int> ElimIndex(M.numVars(), -1);
+      for (size_t I = 0; I < P.Eliminations.size(); ++I)
+        ElimIndex[P.Eliminations[I].Var] = static_cast<int>(I);
+      std::vector<VarId> Worklist;
+      for (const Work::WRow &R : W.Rows)
+        if (R.Alive && R.Deferred)
+          for (const Term &T : R.Terms)
+            if (!W.Vars[T.Var].Alive && !Needed[T.Var]) {
+              Needed[T.Var] = 1;
+              Worklist.push_back(T.Var);
+            }
+      while (!Worklist.empty()) {
+        VarId V = Worklist.back();
+        Worklist.pop_back();
+        for (const Term &T : P.Eliminations[ElimIndex[V]].Expr)
+          if (!W.Vars[T.Var].Alive && !Needed[T.Var]) {
+            Needed[T.Var] = 1;
+            Worklist.push_back(T.Var);
+          }
+      }
+      for (size_t I = P.Eliminations.size(); I-- > 0;) {
+        const Elimination &E = P.Eliminations[I];
+        if (!Needed[E.Var])
+          continue;
+        Resolved R;
+        R.Const = E.Const;
+        for (const Term &T : E.Expr) {
+          if (W.Vars[T.Var].Alive) {
+            R.Terms.push_back(T);
+            continue;
+          }
+          const Resolved &C = Cache[T.Var];
+          R.Const += T.Coef * C.Const;
+          for (const Term &CT : C.Terms)
+            R.Terms.push_back(Term{CT.Var, T.Coef * CT.Coef});
+        }
+        Work::normalize(R.Terms);
+        Cache[E.Var] = std::move(R);
+      }
+      for (Work::WRow &R : W.Rows) {
+        if (!R.Alive || !R.Deferred)
+          continue;
+        std::vector<Term> Out;
+        Out.reserve(R.Terms.size());
+        for (const Term &T : R.Terms) {
+          if (W.Vars[T.Var].Alive) {
+            Out.push_back(T);
+            continue;
+          }
+          const Resolved &C = Cache[T.Var];
+          R.Rhs -= T.Coef * C.Const;
+          for (const Term &CT : C.Terms)
+            Out.push_back(Term{CT.Var, T.Coef * CT.Coef});
+        }
+        Work::normalize(Out);
+        R.Terms = std::move(Out);
+        R.Deferred = false;
+        if (R.Terms.empty()) {
+          // Fully cancelled: the row degenerated to a constant.
+          if (!W.constantRowOk(R.Kind, R.Rhs)) {
+            P.Infeasible = true;
+            return P;
+          }
+          R.Alive = false;
+        }
+      }
+    }
+  }
 
   // Bound tightening can cross a variable's bounds without any single step
   // noticing: report that as infeasibility rather than handing inverted

@@ -12,12 +12,12 @@
 // kind (LE: [0,inf), GE: (-inf,0], EQ: [0,0]). The basis always has
 // dimension m = numRows; finite variable bounds never add rows.
 //
-// The basis inverse is kept dense (m x m) and updated in place on every
-// pivot (product-form update); a full Gauss-Jordan refactorization runs
-// every RefactorInterval pivots to shed accumulated drift. Basic values are
-// recomputed from the inverse each iteration -- an O(m^2) term that the
-// dual pricing already pays, bought back many times over by the warm-start
-// node throughput in branch-and-bound.
+// The basis is held as a sparse Markowitz LU (BasisLU) plus a product-form
+// eta file appended on every pivot; FTRAN/BTRAN replay the etas on top of
+// the O(m + nnz) LU solves. The RVol bases factor with ~1.3x fill, so a
+// refactorization costs about one FTRAN and the rent-or-buy rule re-factors
+// every few pivots -- the eta file stays short, per-pivot work stays
+// output-sensitive, and no m x m array is ever materialized.
 //
 //===----------------------------------------------------------------------===//
 
@@ -68,9 +68,6 @@ struct SimplexMetrics {
   /// snapshot, skipping the O(m^2) dual recomputation.
   obs::Counter &WarmDualInherits =
       obs::metrics().counter("lp.warm_dual_inherits");
-  /// Periodic eta-file folds into the dense base inverse -- the cheap
-  /// substitute for a full kernel refactorization on the hot path.
-  obs::Counter &EtaFolds = obs::metrics().counter("lp.eta_folds");
 };
 
 SimplexMetrics &met() {
@@ -181,7 +178,6 @@ RevisedSimplex::RevisedSimplex(const Model &Model,
   Status.assign(NumCols, VarStatus::AtLower);
   BasicCol.assign(NumRows, -1);
   RowOfBasic.assign(NumCols, -1);
-  Binv.assign(static_cast<size_t>(NumRows) * NumRows, 0.0);
   XB.assign(NumRows, 0.0);
   WorkY.assign(NumRows, 0.0);
   WorkW.assign(NumRows, 0.0);
@@ -237,18 +233,13 @@ void RevisedSimplex::ftran(int Col, std::vector<double> &W,
   if (Col < NumStruct) {
     for (const SparseMatrix::Entry *E = Cols->colBegin(Col),
                                    *End = Cols->colEnd(Col);
-         E != End; ++E) {
-      if (E->Value == 0.0)
-        continue;
-      const double *BCol = &Binv[static_cast<size_t>(E->Row)];
-      for (int I = 0; I < NumRows; ++I)
-        W[I] += E->Value * BCol[static_cast<size_t>(I) * NumRows];
-    }
+         E != End; ++E)
+      if (E->Value != 0.0)
+        W[E->Row] += E->Value;
   } else {
-    int R = Col - NumStruct;
-    for (int I = 0; I < NumRows; ++I)
-      W[I] = Binv[static_cast<size_t>(I) * NumRows + R];
+    W[Col - NumStruct] = 1.0;
   }
+  Base.ftran(W);
   applyEtas(W);
   if (!Pat)
     return;
@@ -312,13 +303,13 @@ void RevisedSimplex::installLogicalBasis() {
     BasicCol[R] = NumStruct + R;
     RowOfBasic[NumStruct + R] = R;
   }
-  std::fill(Binv.begin(), Binv.end(), 0.0);
-  for (int R = 0; R < NumRows; ++R)
-    Binv[static_cast<size_t>(R) * NumRows + R] = 1.0;
   Etas.clear();
   EtaNnzTotal = 0;
   ReplayOps = 0;
   SinceRefactor = 0;
+  // The all-logical basis is the identity: its factorization is m trivial
+  // singleton pivots and cannot fail.
+  Base.factor(*Cols, NumStruct, BasicCol);
 }
 
 bool RevisedSimplex::installBasis(const Basis &B) {
@@ -327,8 +318,8 @@ bool RevisedSimplex::installBasis(const Basis &B) {
     return false;
   // Plunging fast path: when the incoming basis matrix equals the one the
   // engine already holds (a child reusing its parent's basis right after
-  // the parent solved), Binv is still valid -- skip the O(m^3) refactorize.
-  bool SameBasis = !Binv.empty() && B.BasicCol == BasicCol;
+  // the parent solved), the factorization is still valid -- skip it.
+  bool SameBasis = Base.valid() && B.BasicCol == BasicCol;
   Status = B.Status;
   BasicCol = B.BasicCol;
   std::fill(RowOfBasic.begin(), RowOfBasic.end(), -1);
@@ -374,129 +365,11 @@ bool RevisedSimplex::refactorize() {
   if (NumRows == 0)
     return true;
   met().Refactorizations.add();
-  // Every basic *logical* column is an identity column, so the basis has
-  // the block form (after permuting logical-covered rows L first)
-  //
-  //     B ~ [ I  S_L ]        B^-1 ~ [ I  -S_L * S_J^-1 ]
-  //         [ 0  S_J ]               [ 0       S_J^-1   ]
-  //
-  // and only the k x k structural kernel S_J needs a dense inversion --
-  // k is the number of basic structural columns, typically well below m.
-  size_t N = static_cast<size_t>(NumRows);
-
-  // Partition: PosOfLRow[l] = basis position holding logical e_l (or -1);
-  // SPos = positions holding structural columns; JRows = rows not covered
-  // by a basic logical, indexed for the kernel.
-  std::vector<int> PosOfLRow(NumRows, -1);
-  std::vector<int> SPos;
-  SPos.reserve(NumRows);
-  for (int P = 0; P < NumRows; ++P) {
-    int C = BasicCol[P];
-    if (C >= NumStruct) {
-      int L = C - NumStruct;
-      if (PosOfLRow[L] >= 0)
-        return false; // Duplicate logical: singular.
-      PosOfLRow[L] = P;
-    } else {
-      SPos.push_back(P);
-    }
-  }
-  int NumK = static_cast<int>(SPos.size());
-  size_t K = static_cast<size_t>(NumK);
-  std::vector<int> JRows;
-  JRows.reserve(K);
-  std::vector<int> JIndexOfRow(NumRows, -1);
-  for (int R = 0; R < NumRows; ++R)
-    if (PosOfLRow[R] < 0) {
-      JIndexOfRow[R] = static_cast<int>(JRows.size());
-      JRows.push_back(R);
-    }
-  if (JRows.size() != K)
-    return false; // Row/column count mismatch: singular.
-
-  // Kernel[a][b] = A_{c(SPos[b])}[JRows[a]], inverted in place by
-  // Gauss-Jordan with partial pivoting (the [S_J | I] -> [I | S_J^-1]
-  // sweep, fused into one k x 2k scratch would gain little -- k^2 fits in
-  // cache for the model sizes this engine targets).
-  std::vector<double> Ker(K * K, 0.0);
-  for (size_t B = 0; B < K; ++B) {
-    int C = BasicCol[SPos[B]];
-    for (const SparseMatrix::Entry *E = Cols->colBegin(C),
-                                   *End = Cols->colEnd(C);
-         E != End; ++E)
-      if (JIndexOfRow[E->Row] >= 0)
-        Ker[static_cast<size_t>(JIndexOfRow[E->Row]) * K + B] += E->Value;
-  }
-  std::vector<double> Kinv(K * K, 0.0);
-  for (size_t I = 0; I < K; ++I)
-    Kinv[I * K + I] = 1.0;
-  for (size_t Col = 0; Col < K; ++Col) {
-    size_t Piv = Col;
-    double Best = std::fabs(Ker[Col * K + Col]);
-    for (size_t I = Col + 1; I < K; ++I) {
-      double V = std::fabs(Ker[I * K + Col]);
-      if (V > Best) {
-        Best = V;
-        Piv = I;
-      }
-    }
-    if (Best <= tol::Pivot)
-      return false; // Singular kernel.
-    if (Piv != Col) {
-      for (size_t J = 0; J < K; ++J) {
-        std::swap(Ker[Piv * K + J], Ker[Col * K + J]);
-        std::swap(Kinv[Piv * K + J], Kinv[Col * K + J]);
-      }
-    }
-    double PivInv = 1.0 / Ker[Col * K + Col];
-    for (size_t J = 0; J < K; ++J) {
-      Ker[Col * K + J] *= PivInv;
-      Kinv[Col * K + J] *= PivInv;
-    }
-    for (size_t I = 0; I < K; ++I) {
-      if (I == Col)
-        continue;
-      double F = Ker[I * K + Col];
-      if (F == 0.0)
-        continue;
-      for (size_t J = 0; J < K; ++J) {
-        Ker[I * K + J] -= F * Ker[Col * K + J];
-        Kinv[I * K + J] -= F * Kinv[Col * K + J];
-      }
-    }
-  }
-
-  // Assemble B^-1. Structural position SPos[b] row: S_J^-1 scattered onto
-  // the J columns. Logical position PosOfLRow[l] row: identity at l plus
-  // the -S_L * S_J^-1 correction, accumulated column-sparse from the basic
-  // structural columns' entries in L rows.
-  std::fill(Binv.begin(), Binv.end(), 0.0);
-  for (size_t B = 0; B < K; ++B) {
-    double *Row = &Binv[static_cast<size_t>(SPos[B]) * N];
-    const double *KRow = &Kinv[B * K];
-    for (size_t A = 0; A < K; ++A)
-      Row[JRows[A]] = KRow[A];
-  }
-  for (int L = 0; L < NumRows; ++L) {
-    int P = PosOfLRow[L];
-    if (P >= 0)
-      Binv[static_cast<size_t>(P) * N + L] = 1.0;
-  }
-  for (size_t T = 0; T < K; ++T) {
-    int C = BasicCol[SPos[T]];
-    const double *KRow = &Kinv[T * K];
-    for (const SparseMatrix::Entry *E = Cols->colBegin(C),
-                                   *End = Cols->colEnd(C);
-         E != End; ++E) {
-      int P = PosOfLRow[E->Row];
-      if (P < 0 || E->Value == 0.0)
-        continue;
-      double V = E->Value;
-      double *Row = &Binv[static_cast<size_t>(P) * N];
-      for (size_t B = 0; B < K; ++B)
-        Row[JRows[B]] -= V * KRow[B];
-    }
-  }
+  // Sparse Markowitz LU of the current basis. The duplicate-logical and
+  // kernel-singularity failures of the old dense path both surface as
+  // factor() returning false.
+  if (!Base.factor(*Cols, NumStruct, BasicCol))
+    return false;
   Etas.clear();
   EtaNnzTotal = 0;
   ReplayOps = 0;
@@ -504,42 +377,8 @@ bool RevisedSimplex::refactorize() {
   return true;
 }
 
-void RevisedSimplex::foldEtas() {
-  // Bake the eta file into the dense base inverse: B0^-1 <- E_k...E_1*B0^-1,
-  // oldest eta first. Applying one eta on the left rescales row `Row` by
-  // 1/Piv and subtracts Val[i] * (new row `Row`) from each patterned row i,
-  // so a fold costs O(nnz(eta) * m) per eta -- far below the O(k^3) kernel
-  // re-inversion of refactorize() -- and afterwards FTRAN/BTRAN run against
-  // a short (empty) eta file again. The folded inverse reproduces the
-  // replayed products up to rounding, so the maintained reduced costs,
-  // basic values, and phase-1 merit all stay valid across a fold; the
-  // entering-candidate drift check backstops the accumulated rounding.
-  if (Etas.empty()) {
-    SinceRefactor = 0;
-    return;
-  }
-  met().EtaFolds.add();
-  size_t N = static_cast<size_t>(NumRows);
-  for (const Eta &E : Etas) {
-    double *PivRow = &Binv[static_cast<size_t>(E.Row) * N];
-    double PivInv = 1.0 / E.Piv;
-    for (size_t J = 0; J < N; ++J)
-      PivRow[J] *= PivInv;
-    for (int I : E.Pat) {
-      double *Row = &Binv[static_cast<size_t>(I) * N];
-      double V = E.Val[I];
-      for (size_t J = 0; J < N; ++J)
-        Row[J] -= V * PivRow[J];
-    }
-  }
-  Etas.clear();
-  EtaNnzTotal = 0;
-  ReplayOps = 0;
-  SinceRefactor = 0;
-}
-
 void RevisedSimplex::computeBasicValues() {
-  // XB = Binv * (Rhs - sum_j A_j * x_j over nonbasic j with x_j != 0).
+  // XB = B^-1 * (Rhs - sum_j A_j * x_j over nonbasic j with x_j != 0).
   WorkC = Rhs;
   for (int C = 0; C < NumCols; ++C) {
     if (Status[C] == VarStatus::Basic)
@@ -556,13 +395,8 @@ void RevisedSimplex::computeBasicValues() {
       WorkC[C - NumStruct] -= X;
     }
   }
-  for (int I = 0; I < NumRows; ++I) {
-    const double *Row = &Binv[static_cast<size_t>(I) * NumRows];
-    double Sum = 0.0;
-    for (int K = 0; K < NumRows; ++K)
-      Sum += Row[K] * WorkC[K];
-    XB[I] = Sum;
-  }
+  XB = WorkC;
+  Base.ftran(XB);
   applyEtas(XB);
 }
 
@@ -583,15 +417,8 @@ void RevisedSimplex::computeDuals(const std::vector<double> &CostB,
     }
     Src = &Tmp;
   }
-  Y.assign(NumRows, 0.0);
-  for (int I = 0; I < NumRows; ++I) {
-    double C = (*Src)[I];
-    if (C == 0.0)
-      continue;
-    const double *Row = &Binv[static_cast<size_t>(I) * NumRows];
-    for (int K = 0; K < NumRows; ++K)
-      Y[K] += C * Row[K];
-  }
+  Y = *Src;
+  Base.btran(Y);
 }
 
 double RevisedSimplex::reducedCost(int Col, const double *Y) const {
@@ -663,21 +490,14 @@ void RevisedSimplex::btran(std::vector<double> &YVal,
     YVal[E.Row] = Acc;
     Work += YPat.size();
   }
-  // Rho = sum over seed nonzeros of y_p * (row p of B0^-1). All but one of
-  // these dense row combinations exist only because of the eta file (a
-  // fresh factorization's seed is a single row), so they count as replay
-  // work for the rent-or-buy reset rule.
-  Work += YPat.size() * static_cast<std::size_t>(NumRows);
+  // Rho = B0^-T applied to the accumulated seed -- one sparse-LU btran,
+  // O(m + nnz(LU)) regardless of how many nonzeros the eta replay added.
+  // Only the eta replay itself counts toward the rent-or-buy debt.
   ReplayOps += Work;
   std::fill(Rho.begin(), Rho.end(), 0.0);
-  for (int P : YPat) {
-    double F = YVal[P];
-    if (F == 0.0)
-      continue;
-    const double *Row = &Binv[static_cast<size_t>(P) * NumRows];
-    for (int K = 0; K < NumRows; ++K)
-      Rho[K] += F * Row[K];
-  }
+  for (int P : YPat)
+    Rho[P] = YVal[P];
+  Base.btran(Rho);
   RhoPat.clear();
   for (int K = 0; K < NumRows; ++K)
     if (Rho[K] != 0.0)
@@ -690,16 +510,6 @@ void RevisedSimplex::btran(std::vector<double> &YVal,
 }
 
 void RevisedSimplex::btranRow(int P) {
-  if (Etas.empty()) {
-    // Fast path: the base inverse row is the current row.
-    const double *Row = &Binv[static_cast<size_t>(P) * NumRows];
-    RhoVec.assign(Row, Row + NumRows);
-    PatRho.clear();
-    for (int K = 0; K < NumRows; ++K)
-      if (RhoVec[K] != 0.0)
-        PatRho.push_back(K);
-    return;
-  }
   DyVal[P] = 1.0;
   DyMark[P] = 1;
   PatDy.clear();
@@ -899,16 +709,22 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
     }
 
     // Stall detection keys off the incrementally maintained merit -- no
-    // full O(n + m) recompute per iteration.
+    // full O(n + m) recompute per iteration. Degenerate plateaus scale
+    // with the basis dimension (phase 1 on an enzyme_n12 model sits
+    // thousands of pivots at constant infeasibility before breaking
+    // through), so on large bases the watchdog scales the configured
+    // threshold with m to tell "degenerate but progressing" from genuine
+    // cycling; below 256 rows the configured value applies unscaled.
+    const int Stall = Opts.StallThreshold * std::max(1, NumRows / 256);
     if (Merit < LastMerit - 1e-12) {
       StallCount = 0;
       if (Opts.Pricing != LpPricing::Bland)
         UseBland = false;
       LastMerit = Merit;
     } else {
-      if (++StallCount > Opts.StallThreshold)
+      if (++StallCount > Stall)
         UseBland = true;
-      if (StallCount > 4 * Opts.StallThreshold)
+      if (StallCount > 4 * Stall)
         return RevisedStatus::NumericFail;
     }
     if (UseBland)
@@ -1139,27 +955,16 @@ RevisedStatus RevisedSimplex::primal(const RevisedOptions &Opts, bool Phase1) {
       ++Iterations;
       met().Pivots.add();
       PricesFresh = false;
-      // Rent-or-buy factorization reset: once the flops burned replaying
-      // the eta file exceed the cheaper of the two reset prices -- a
-      // kernel re-inversion at ~2k^3 (k basic structural columns) or an
-      // eta fold at ~nnz * m -- pay that reset. Small bases naturally
-      // pick the kernel, large chain-structured ones the fold; the
-      // configured interval only floors the cadence.
-      if (SinceRefactor >= std::max(1, Opts.RefactorInterval)) {
-        std::size_t K = 0;
-        for (int P = 0; P < NumRows; ++P)
-          K += BasicCol[P] < NumStruct;
-        std::size_t KernelCost =
-            2 * K * K * K + static_cast<std::size_t>(NumRows) * NumRows;
-        std::size_t FoldCost =
-            EtaNnzTotal * static_cast<std::size_t>(NumRows);
-        if (ReplayOps >= std::min(KernelCost, FoldCost)) {
-          if (FoldCost <= KernelCost)
-            foldEtas();
-          else if (!refactorize())
-            return RevisedStatus::NumericFail;
-          refresh();
-        }
+      // Rent-or-buy factorization reset: refactorization with the sparse
+      // LU costs about one FTRAN, so once the flops burned replaying the
+      // eta file exceed a few times the measured factor price, pay it
+      // again. The configured interval is only a drift-control ceiling.
+      if (ReplayOps >=
+              4 * (Base.factorCost() + static_cast<std::size_t>(NumRows)) ||
+          SinceRefactor >= std::max(1, Opts.RefactorInterval)) {
+        if (!refactorize())
+          return RevisedStatus::NumericFail;
+        refresh();
       }
     }
   }
@@ -1193,7 +998,7 @@ RevisedStatus RevisedSimplex::solve(const RevisedOptions &Opts) {
 }
 
 bool RevisedSimplex::plungeFastPathOk(const Basis &Start) const {
-  if (!DualStateValid || Binv.empty() || Start.empty() ||
+  if (!DualStateValid || !Base.valid() || Start.empty() ||
       Start.BasicCol != BasicCol || Start.Status != Status)
     return false;
   // Every nonbasic status must still match its bounds. A mismatch (a bound
@@ -1231,7 +1036,7 @@ RevisedStatus RevisedSimplex::reoptimizeDual(const Basis &Start,
 
   // Plunge fast path: the child reuses the exact basis the engine already
   // holds from a dual solve that ended Optimal (branch-and-bound plunging
-  // snapshots the basis right after the parent's solve). Binv, XB, and the
+  // snapshots the basis right after the parent's solve). The LU, XB, and the
   // reduced costs are all still current, and reduced costs depend only on
   // the basis -- not on bounds -- so the only state the branching touched
   // is the resting value of the tightened nonbasic columns. Diff those
@@ -1496,35 +1301,43 @@ RevisedStatus RevisedSimplex::dual(const RevisedOptions &Opts,
     LastNonbasic[LeaveCol] = VOut;
     ++Iterations;
     met().Pivots.add();
-    // Same rent-or-buy factorization reset as the primal loop: pay the
-    // cheaper of kernel re-inversion and eta fold once replay work has
-    // burned that much.
-    if (SinceRefactor >= std::max(1, Opts.RefactorInterval)) {
-      std::size_t K = 0;
-      for (int P = 0; P < NumRows; ++P)
-        K += BasicCol[P] < NumStruct;
-      std::size_t KernelCost =
-          2 * K * K * K + static_cast<std::size_t>(NumRows) * NumRows;
-      std::size_t FoldCost = EtaNnzTotal * static_cast<std::size_t>(NumRows);
-      if (ReplayOps >= std::min(KernelCost, FoldCost)) {
-        if (FoldCost <= KernelCost)
-          foldEtas();
-        else if (!refactorize())
-          return RevisedStatus::NumericFail;
-        Refresh();
-      }
+    // Same rent-or-buy factorization reset as the primal loop: refactor
+    // once eta replay has burned a few times the measured factor price.
+    if (ReplayOps >=
+            4 * (Base.factorCost() + static_cast<std::size_t>(NumRows)) ||
+        SinceRefactor >= std::max(1, Opts.RefactorInterval)) {
+      if (!refactorize())
+        return RevisedStatus::NumericFail;
+      Refresh();
     }
 
     // Stall watchdog: the worst violation must shrink over time; dual
     // degeneracy can plateau briefly, persistent plateaus are numeric
     // trouble and the caller's cold-solve fallback handles them.
     if (WorstViol >= LastViol - 1e-12) {
-      if (++StallCount > 4 * Opts.StallThreshold)
+      if (++StallCount >
+          4 * Opts.StallThreshold * std::max(1, NumRows / 256))
         return RevisedStatus::NumericFail;
     } else {
       StallCount = 0;
       LastViol = WorstViol;
     }
+  }
+}
+
+void RevisedSimplex::tableauRow(int P, std::vector<int> &OutCols,
+                                std::vector<double> &OutVals) {
+  btranRow(P);
+  gatherRowAlphas(RhoVec.data(), PatRho);
+  OutCols.clear();
+  OutVals.clear();
+  OutCols.reserve(AlphaTouched.size());
+  OutVals.reserve(AlphaTouched.size());
+  for (int C : AlphaTouched) {
+    if (AlphaR[C] == 0.0)
+      continue;
+    OutCols.push_back(C);
+    OutVals.push_back(AlphaR[C]);
   }
 }
 
@@ -1544,23 +1357,24 @@ Basis RevisedSimplex::basis() const {
 
 Solution aqua::lp::solveRevisedSimplex(const Model &M,
                                        const SolveOptions &Opts) {
+  return solveRevisedSimplex(M, Opts, nullptr, nullptr);
+}
+
+Solution aqua::lp::solveRevisedSimplex(const Model &M, const SolveOptions &Opts,
+                                       const Basis *Warm,
+                                       std::shared_ptr<const Basis> *Captured) {
   WallTimer Timer;
   Solution Sol;
-  // The engine's working set is ~3 dense m x m panels (inverse plus the
-  // refactorization scratch); honor the caller's memory budget the same
-  // way the dense tableau does.
-  size_t M2 = static_cast<size_t>(M.numRows()) * M.numRows();
-  if (3 * M2 * sizeof(double) > Opts.MaxTableauBytes) {
-    Sol.Status = SolveStatus::TooLarge;
-    return Sol;
-  }
+  // The engine's working set is O(nnz) -- the sparse LU plus the eta file
+  // -- so no memory gate is needed: models the dense tableau would refuse
+  // as TooLarge solve comfortably here.
   RevisedSimplex RS(M);
   RevisedOptions RO;
   RO.MaxIterations = Opts.MaxIterations;
   RO.TimeLimitSec = Opts.TimeLimitSec;
   RO.StallThreshold = Opts.StallThreshold;
   RO.Pricing = Opts.Pricing;
-  RevisedStatus S = RS.solve(RO);
+  RevisedStatus S = Warm ? RS.reoptimizeDual(*Warm, RO) : RS.solve(RO);
   Sol.Iterations = RS.iterations();
   if (S == RevisedStatus::NumericFail) {
     Solution Dense = solveSimplex(M, Opts);
@@ -1573,6 +1387,8 @@ Solution aqua::lp::solveRevisedSimplex(const Model &M,
   if (Sol.Status == SolveStatus::Optimal) {
     Sol.Values = RS.values();
     Sol.Objective = RS.objective();
+    if (Captured)
+      *Captured = std::make_shared<Basis>(RS.basis());
   }
   return Sol;
 }

@@ -7,26 +7,90 @@
 #include "aqua/lp/Solver.h"
 
 #include "aqua/lp/RevisedSimplex.h"
+#include "aqua/obs/Metrics.h"
 #include "aqua/obs/Timer.h"
+
+#include <cstring>
 
 using namespace aqua;
 using namespace aqua::lp;
 
 namespace {
 
-Solution runSimplex(const Model &M, const SolverOptions &Opts) {
-  if (Opts.Engine == LpEngine::Revised)
+/// FNV-1a over raw bytes; the shape hash needs stability within a build,
+/// not across platforms (warm bases live in process memory and in the
+/// solve store, both consumed by the same binary family).
+struct ShapeHasher {
+  std::uint64_t H = 1469598103934665603ULL;
+  void bytes(const void *P, size_t N) {
+    const unsigned char *B = static_cast<const unsigned char *>(P);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= B[I];
+      H *= 1099511628211ULL;
+    }
+  }
+  void add(std::uint64_t V) { bytes(&V, sizeof(V)); }
+  void add(double V) {
+    std::uint64_t Bits;
+    std::memcpy(&Bits, &V, sizeof(Bits));
+    add(Bits);
+  }
+};
+
+Solution runSimplex(const Model &M, const SolverOptions &Opts,
+                    SolveInfo *Info) {
+  if (Opts.Engine != LpEngine::Revised)
+    return solveSimplex(M, Opts.Simplex);
+
+  const bool WantBasis = Opts.CaptureBasis || Opts.WarmStart != nullptr;
+  if (!WantBasis)
     return solveRevisedSimplex(M, Opts.Simplex);
-  return solveSimplex(M, Opts.Simplex);
+
+  const std::uint64_t Shape = modelShapeHash(M);
+  if (Info)
+    Info->ShapeHash = Shape;
+  const Basis *Warm = (Opts.WarmStart && Opts.WarmShapeHash == Shape)
+                          ? Opts.WarmStart.get()
+                          : nullptr;
+  std::shared_ptr<const Basis> Captured;
+  Solution Sol = solveRevisedSimplex(M, Opts.Simplex, Warm,
+                                     Opts.CaptureBasis ? &Captured : nullptr);
+  if (Info) {
+    Info->OptBasis = std::move(Captured);
+    Info->WarmStarted = Warm != nullptr;
+  }
+  if (Warm)
+    obs::metrics().counter("lp.warm_shape_repairs").add();
+  return Sol;
 }
 
 } // namespace
+
+std::uint64_t aqua::lp::modelShapeHash(const Model &M) {
+  ShapeHasher H;
+  H.bytes("aqua.lp.shape.v1", 16);
+  H.add(std::uint64_t(M.isMaximize()));
+  H.add(std::uint64_t(M.numVars()));
+  for (int V = 0; V < M.numVars(); ++V)
+    H.add(M.var(V).ObjCoef);
+  H.add(std::uint64_t(M.numRows()));
+  for (int R = 0; R < M.numRows(); ++R) {
+    const Row &Rw = M.row(R);
+    H.add(std::uint64_t(Rw.Kind));
+    H.add(std::uint64_t(Rw.Terms.size()));
+    for (const Term &T : Rw.Terms) {
+      H.add(std::uint64_t(T.Var));
+      H.add(T.Coef);
+    }
+  }
+  return H.H;
+}
 
 Solution aqua::lp::solve(const Model &M, const SolverOptions &Opts,
                          SolveInfo *Info) {
   WallTimer Timer;
   if (!Opts.Presolve) {
-    Solution Sol = runSimplex(M, Opts);
+    Solution Sol = runSimplex(M, Opts, Info);
     Sol.Seconds = Timer.seconds();
     return Sol;
   }
@@ -44,7 +108,7 @@ Solution aqua::lp::solve(const Model &M, const SolverOptions &Opts,
     return Sol;
   }
 
-  Solution Reduced = runSimplex(P.reduced(), Opts);
+  Solution Reduced = runSimplex(P.reduced(), Opts, Info);
   Solution Sol;
   Sol.Status = Reduced.Status;
   Sol.Iterations = Reduced.Iterations;

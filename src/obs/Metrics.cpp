@@ -246,8 +246,9 @@ void aqua::obs::preregisterPipelineMetrics(MetricsRegistry &R) {
         "service.requests.failed", "service.cache.hits",
         "service.cache.misses", "service.cache.insertions",
         "service.cache.evictions", "service.cache.hits_l2",
-        "service.singleflight.joins", "service.shed_total",
-        "service.shed.queue_full", "service.shed.deadline"})
+        "service.singleflight.joins", "service.warm_miss_hits",
+        "service.shed_total", "service.shed.queue_full",
+        "service.shed.deadline"})
     R.counter(Name);
   R.gauge("service.queue_depth");
   R.histogram("service.queue_wait_sec");
@@ -269,15 +270,18 @@ void aqua::obs::preregisterPipelineMetrics(MetricsRegistry &R) {
         "core.dagsolve.runs", "core.dagsolve.infeasible"})
     R.counter(Name);
 
-  // LP/ILP engines (RevisedSimplex.cpp, BranchAndBound.cpp).
+  // LP/ILP engines (RevisedSimplex.cpp, Cuts.cpp, BranchAndBound.cpp,
+  // Solver.cpp).
   for (const char *Name :
        {"lp.pivots", "lp.refactorizations", "lp.cold_solves",
         "lp.warm_reopts", "lp.warm_fast_path", "lp.warm_cold_fallbacks",
         "lp.pricing_full_recomputes", "lp.pricing_drift_repairs",
         "lp.devex_resets", "lp.ftran_hypersparse", "lp.ftran_dense",
-        "lp.warm_dual_inherits", "lp.eta_folds",
+        "lp.warm_dual_inherits", "lp.warm_shape_repairs",
+        "lp.cuts_generated", "lp.cuts_active", "lp.cut_rounds",
         "lp.bb.solves", "lp.bb.nodes", "lp.bb.pruned", "lp.bb.incumbents",
-        "lp.bb.numeric_fallbacks"})
+        "lp.bb.numeric_fallbacks", "ilp.pseudocost_inits",
+        "ilp.strong_branches", "ilp.restarts"})
     R.counter(Name);
   R.histogram("lp.bb.nodes_per_worker",
               {1, 3, 10, 30, 100, 300, 1000, 3000, 10000, 100000});

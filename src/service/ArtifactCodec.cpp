@@ -6,9 +6,11 @@
 
 #include "aqua/service/ArtifactCodec.h"
 
+#include "aqua/lp/RevisedSimplex.h"
 #include "aqua/support/StringUtils.h"
 
 #include <cstring>
+#include <memory>
 
 using namespace aqua;
 using namespace aqua::service;
@@ -392,6 +394,64 @@ bool decodeProgram(Reader &R, codegen::AISProgram &P, int NodeSlots) {
   return !R.failed();
 }
 
+/// v2 warm-start block: the basis is a flat snapshot (statuses, basic
+/// columns, optional reduced costs and devex weights), valid under the
+/// recorded presolved-shape hash.
+void encodeBasisBlock(Writer &W, const core::ManagerResult &VM) {
+  W.u64(VM.LpShapeHash);
+  W.b(VM.LpBasis != nullptr);
+  if (!VM.LpBasis)
+    return;
+  const lp::Basis &B = *VM.LpBasis;
+  W.u64(B.Status.size());
+  for (lp::VarStatus S : B.Status)
+    W.u8(static_cast<std::uint8_t>(S));
+  W.u64(B.BasicCol.size());
+  for (int C : B.BasicCol)
+    W.i32(C);
+  W.u64(B.RedCost.size());
+  for (double D : B.RedCost)
+    W.f64(D);
+  W.u64(B.DevexW.size());
+  for (double D : B.DevexW)
+    W.f64(D);
+}
+
+bool decodeBasisBlock(Reader &R, core::ManagerResult &VM) {
+  VM.LpShapeHash = R.u64();
+  if (!R.b())
+    return !R.failed();
+  auto B = std::make_shared<lp::Basis>();
+  std::uint64_t NS = R.count(1);
+  B->Status.reserve(NS);
+  for (std::uint64_t I = 0; I < NS && !R.failed(); ++I) {
+    std::uint8_t S = R.u8();
+    if (S > static_cast<std::uint8_t>(lp::VarStatus::Free))
+      return false;
+    B->Status.push_back(static_cast<lp::VarStatus>(S));
+  }
+  std::uint64_t NB = R.count(4);
+  B->BasicCol.reserve(NB);
+  for (std::uint64_t I = 0; I < NB && !R.failed(); ++I) {
+    int C = R.i32();
+    if (C < 0 || C >= static_cast<int>(NS))
+      return false;
+    B->BasicCol.push_back(C);
+  }
+  std::uint64_t NR = R.count(8);
+  B->RedCost.reserve(NR);
+  for (std::uint64_t I = 0; I < NR && !R.failed(); ++I)
+    B->RedCost.push_back(R.f64());
+  std::uint64_t ND = R.count(8);
+  B->DevexW.reserve(ND);
+  for (std::uint64_t I = 0; I < ND && !R.failed(); ++I)
+    B->DevexW.push_back(R.f64());
+  if (R.failed())
+    return false;
+  VM.LpBasis = std::move(B);
+  return true;
+}
+
 } // namespace
 
 std::string aqua::service::encodeArtifact(const CompileArtifact &Artifact) {
@@ -412,6 +472,7 @@ std::string aqua::service::encodeArtifact(const CompileArtifact &Artifact) {
   W.str(Artifact.VM.Log);
   encodeAssignment(W, Artifact.Metered);
   encodeProgram(W, Artifact.Program);
+  encodeBasisBlock(W, Artifact.VM);
   return W.take();
 }
 
@@ -425,7 +486,7 @@ aqua::service::decodeArtifact(std::string_view Payload) {
   if (R.u32() != PayloadMagic)
     return Bad("bad magic");
   std::uint32_t Version = R.u32();
-  if (Version != ArtifactCodecVersion)
+  if (Version < 1 || Version > ArtifactCodecVersion)
     return Bad(format("unsupported version %u", Version).c_str());
 
   CompileArtifact A;
@@ -452,6 +513,8 @@ aqua::service::decodeArtifact(std::string_view Payload) {
   if (!decodeProgram(R, A.Program,
                      A.Managed ? A.VM.Graph.numNodeSlots() : -1))
     return Bad("malformed AIS program");
+  if (Version >= 2 && !decodeBasisBlock(R, A.VM))
+    return Bad("malformed warm-start block");
   if (R.failed())
     return Bad("truncated");
   if (!R.done())

@@ -38,6 +38,8 @@ struct ServiceMetrics {
   obs::Counter &CacheHits = obs::metrics().counter("service.cache.hits");
   obs::Counter &CacheMisses = obs::metrics().counter("service.cache.misses");
   obs::Counter &Joins = obs::metrics().counter("service.singleflight.joins");
+  obs::Counter &WarmMissHits =
+      obs::metrics().counter("service.warm_miss_hits");
   obs::Counter &ShedTotal = obs::metrics().counter("service.shed_total");
   obs::Counter &ShedQueueFull =
       obs::metrics().counter("service.shed.queue_full");
@@ -79,7 +81,8 @@ std::string ServiceStats::str() const {
   return format(
       "submitted %llu, completed %llu (%llu failed), shed %llu "
       "(%llu queue-full, %llu deadline), cache hits %llu (%llu from L2, "
-      "%.1f%% hit rate), single-flight joins %llu, evictions %llu, "
+      "%.1f%% hit rate), single-flight joins %llu, warm misses %llu, "
+      "evictions %llu, "
       "%zu cached entries (%.1f MiB), %.3f s solving, %.3f s total latency",
       static_cast<unsigned long long>(Submitted),
       static_cast<unsigned long long>(Completed),
@@ -90,6 +93,7 @@ std::string ServiceStats::str() const {
       static_cast<unsigned long long>(CacheHits),
       static_cast<unsigned long long>(CacheHitsL2), Cache.hitRate() * 100.0,
       static_cast<unsigned long long>(SingleFlightJoins),
+      static_cast<unsigned long long>(WarmMissHits),
       static_cast<unsigned long long>(Cache.Evictions), Cache.Entries,
       static_cast<double>(Cache.Bytes) / (1024.0 * 1024.0), SolveSec,
       TotalLatencySec);
@@ -299,9 +303,23 @@ std::size_t CompileService::queueDepth() const {
   return Queue.size();
 }
 
+void CompileService::publishDonor(const ir::Fingerprint &StructKey,
+                                  const CompileArtifact &Artifact) {
+  // A basis is only captured when the RVol LP reached Optimal, so its
+  // presence alone makes the artifact a usable donor (codegen failures
+  // downstream do not invalidate the LP solve).
+  if (!Artifact.VM.LpBasis)
+    return;
+  std::lock_guard<std::mutex> Lock(DonorMutex);
+  Donor &D = Donors[StructKey.str()];
+  D.Basis = Artifact.VM.LpBasis;
+  D.ShapeHash = Artifact.VM.LpShapeHash;
+}
+
 std::shared_ptr<const CompileArtifact>
 CompileService::solveAndGenerate(const CompileRequest &Request,
-                                 const ir::AssayGraph &G) {
+                                 const ir::AssayGraph &G,
+                                 const ir::Fingerprint *StructKey) {
   double Sec = 0.0;
   auto Artifact = std::make_shared<CompileArtifact>();
   {
@@ -319,7 +337,28 @@ CompileService::solveAndGenerate(const CompileRequest &Request,
       }
     } else {
       Artifact->Managed = true;
-      Artifact->VM = core::manageVolumes(G, Request.Spec, Request.Manage);
+      core::ManagerOptions Manage = Request.Manage;
+      if (StructKey) {
+        // Capture this solve's optimal basis for future same-structure
+        // siblings, and repair a sibling's basis if one is on file. The
+        // warm start cannot change the optimum -- only how many pivots
+        // reaching it takes -- so the artifact stays bit-compatible with
+        // a cold solve.
+        Manage.LPOptions.CaptureBasis = true;
+        std::lock_guard<std::mutex> Lock(DonorMutex);
+        auto It = Donors.find(StructKey->str());
+        if (It != Donors.end()) {
+          Manage.LPOptions.WarmStart = It->second.Basis;
+          Manage.LPOptions.WarmShapeHash = It->second.ShapeHash;
+        }
+      }
+      Artifact->VM = core::manageVolumes(G, Request.Spec, Manage);
+      if (Artifact->VM.LpWarmStarted) {
+        WarmMissHits.fetch_add(1, std::memory_order_relaxed);
+        met().WarmMissHits.add();
+      }
+      if (StructKey)
+        publishDonor(*StructKey, *Artifact);
       if (!Artifact->VM.Feasible) {
         Artifact->Error =
             "no feasible volume assignment; decision log:\n" +
@@ -372,17 +411,24 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
     }
 
     if (Graph) {
-      // ----- Canonical fingerprint: the cache and dedup key.
+      // ----- Canonical fingerprint: the cache and dedup key. The
+      // structure key (volume inputs masked) keys the warm-start donor
+      // index.
+      ir::Fingerprint StructKey;
       {
         AQUA_TRACE_SPAN("service.fingerprint", "service");
         ir::CanonicalForm Canon = ir::canonicalize(*Graph);
         R.Key = requestFingerprint(Canon, Request.Spec, Request.Manage,
                                    Request.Layout);
+        if (Options.WarmMiss)
+          StructKey = structureFingerprint(Canon, Request.Spec,
+                                           Request.Manage, Request.Layout);
       }
+      const ir::Fingerprint *SK = Options.WarmMiss ? &StructKey : nullptr;
 
       bool FromL2 = false;
       if (!Options.EnableCache) {
-        R.Artifact = solveAndGenerate(Request, *Graph);
+        R.Artifact = solveAndGenerate(Request, *Graph, SK);
       } else if (auto Hit = Cache.lookup(R.Key, &FromL2)) {
         R.CacheHit = true;
         R.CacheHitL2 = FromL2;
@@ -390,6 +436,11 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
         met().CacheHits.add();
         if (FromL2)
           CacheHitsL2.fetch_add(1, std::memory_order_relaxed);
+        // A hit still seeds the donor index: after a daemon restart the
+        // L2-decoded artifact carries its basis, so the first *miss* in a
+        // volume sweep can already warm start.
+        if (SK)
+          publishDonor(*SK, *Hit);
         R.Artifact = std::move(Hit);
       } else {
         // ----- Single-flight: at most one solve per fingerprint, ever.
@@ -429,7 +480,7 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
           R.Artifact = Theirs->Result.get();
         } else {
           met().CacheMisses.add();
-          R.Artifact = solveAndGenerate(Request, *Graph);
+          R.Artifact = solveAndGenerate(Request, *Graph, SK);
           Cache.insert(R.Key, R.Artifact);
           {
             std::lock_guard<std::mutex> Lock(FlightMutex);
@@ -466,6 +517,7 @@ ServiceStats CompileService::stats() const {
   S.CacheHits = CacheHits.load(std::memory_order_relaxed);
   S.CacheHitsL2 = CacheHitsL2.load(std::memory_order_relaxed);
   S.SingleFlightJoins = SingleFlightJoins.load(std::memory_order_relaxed);
+  S.WarmMissHits = WarmMissHits.load(std::memory_order_relaxed);
   S.ShedQueueFull = ShedQueueFull.load(std::memory_order_relaxed);
   S.ShedDeadline = ShedDeadline.load(std::memory_order_relaxed);
   S.TotalLatencySec = TotalLatencySec.load(std::memory_order_relaxed);

@@ -85,6 +85,23 @@ void addLayout(ir::FingerprintHasher &H, const codegen::MachineLayout &L) {
   H.add(L.OutputPorts);
 }
 
+ir::Fingerprint fingerprintWithTag(std::string_view Tag,
+                                   const ir::CanonicalForm &Canon,
+                                   const core::MachineSpec &Spec,
+                                   const core::ManagerOptions &Opts,
+                                   const codegen::MachineLayout &Layout) {
+  ir::FingerprintHasher H;
+  // Domain tag so a request fingerprint never equals a bare graph one
+  // (nor a structure key a request fingerprint).
+  H.add(Tag);
+  H.add(Canon.Hash.Hi);
+  H.add(Canon.Hash.Lo);
+  addSpec(H, Spec);
+  addManagerOptions(H, Canon, Opts);
+  addLayout(H, Layout);
+  return H.finish();
+}
+
 } // namespace
 
 ir::Fingerprint
@@ -92,15 +109,23 @@ service::requestFingerprint(const ir::CanonicalForm &Canon,
                             const core::MachineSpec &Spec,
                             const core::ManagerOptions &Opts,
                             const codegen::MachineLayout &Layout) {
-  ir::FingerprintHasher H;
-  // Domain tag so a request fingerprint never equals a bare graph one.
-  H.add(std::string_view("aqua.service.request.v1"));
-  H.add(Canon.Hash.Hi);
-  H.add(Canon.Hash.Lo);
-  addSpec(H, Spec);
-  addManagerOptions(H, Canon, Opts);
-  addLayout(H, Layout);
-  return H.finish();
+  return fingerprintWithTag("aqua.service.request.v1", Canon, Spec, Opts,
+                            Layout);
+}
+
+ir::Fingerprint
+service::structureFingerprint(const ir::CanonicalForm &Canon,
+                              const core::MachineSpec &Spec,
+                              const core::ManagerOptions &Opts,
+                              const codegen::MachineLayout &Layout) {
+  // Neutralize the inputs that enter the LP only as rhs values / bounds;
+  // everything else (graph structure, option flags, layout) must match
+  // for a donor basis to be structurally transferable.
+  core::MachineSpec S = Spec;
+  S.MaxCapacityNl = 0.0;
+  core::ManagerOptions O = Opts;
+  O.DagOptions.PinnedVolumeNl = 0.0;
+  return fingerprintWithTag("aqua.service.structure.v1", Canon, S, O, Layout);
 }
 
 ir::Fingerprint

@@ -83,13 +83,15 @@ TEST(BranchAndBound, MinimizationDirection) {
 }
 
 TEST(BranchAndBound, NodeBudgetReportsTimeLimit) {
-  // A problem needing branching, with a 1-node budget.
+  // A problem needing branching, with a 1-node budget. Cuts are disabled:
+  // the root GMI cuts close this knapsack before any node is spent.
   Model M;
   M.addVar("x", 0.0, Infinity, 5.0);
   M.addVar("y", 0.0, Infinity, 4.0);
   M.addRow("cap", RowKind::LE, 10.0, {{0, 6.0}, {1, 5.0}});
   IntOptions Opts;
   Opts.MaxNodes = 1;
+  Opts.CutRounds = 0;
   IntSolution S = solveInteger(M, {}, Opts);
   EXPECT_EQ(S.Status, SolveStatus::TimeLimit);
 }
@@ -238,11 +240,15 @@ TEST(BranchAndBound, ParallelMatchesSerialObjective) {
 }
 
 TEST(BranchAndBound, ReportsLpPivotTelemetry) {
+  // Cuts off so the tree search actually runs: node telemetry is what is
+  // under test, and root cuts would close this knapsack at node zero.
   Model M;
   M.addVar("x", 0.0, Infinity, 5.0);
   M.addVar("y", 0.0, Infinity, 4.0);
   M.addRow("cap", RowKind::LE, 10.0, {{0, 6.0}, {1, 5.0}});
-  IntSolution S = solveInteger(M, {});
+  IntOptions Opts;
+  Opts.CutRounds = 0;
+  IntSolution S = solveInteger(M, {}, Opts);
   ASSERT_EQ(S.Status, SolveStatus::Optimal);
   EXPECT_GT(S.Nodes, 1);
   EXPECT_GT(S.LpPivots, 0);

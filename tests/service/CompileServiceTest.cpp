@@ -236,3 +236,71 @@ TEST(CompileService, MixedBatchKeepsRequestOrder) {
   for (const CompileResponse &R : Responses)
     EXPECT_GE(R.LatencySec, 0.0);
 }
+
+namespace {
+
+/// LP-bound structure: the 1:24 skewed mix next to parallel 1:1 uses of
+/// the same input starves DAGSolve's equal-output split, so the manager
+/// falls through to the Figure 3 LP and the artifact carries a
+/// warm-start basis.
+std::shared_ptr<const ir::AssayGraph> lpBoundGraph() {
+  ir::AssayGraph G;
+  ir::NodeId A = G.addInput("A");
+  ir::NodeId B = G.addInput("B");
+  ir::NodeId MixP = G.addMix("mixP", {{A, 1}, {B, 24}});
+  G.addUnary(ir::NodeKind::Sense, "P", MixP);
+  for (int I = 0; I < 96; ++I) {
+    ir::NodeId MixQ = G.addMix("mixQ" + std::to_string(I), {{A, 1}, {B, 1}});
+    G.addUnary(ir::NodeKind::Sense, "Q" + std::to_string(I), MixQ);
+  }
+  return std::make_shared<const ir::AssayGraph>(std::move(G));
+}
+
+/// One step of a capacity sweep over the shared LP-bound structure:
+/// distinct fingerprints (capacity differs), identical structure key.
+CompileRequest capacityRequest(std::shared_ptr<const ir::AssayGraph> G,
+                               double CapacityNl, const char *Name) {
+  CompileRequest R;
+  R.Name = Name;
+  R.Graph = std::move(G);
+  R.Spec.MaxCapacityNl = CapacityNl;
+  R.Manage.AllowCascading = false;
+  R.Manage.AllowReplication = false;
+  return R;
+}
+
+} // namespace
+
+TEST(CompileService, WarmMissReusesDonorBasisAcrossCapacitySweep) {
+  CompileService Service;
+  auto G = lpBoundGraph();
+
+  CompileResponse R1 = Service.compileNow(capacityRequest(G, 100.0, "cap100"));
+  ASSERT_TRUE(R1.Ok) << R1.Error;
+  ASSERT_EQ(R1.Artifact->VM.Method, core::SolveMethod::LP)
+      << "fixture must exercise the LP path for warm-miss to apply";
+  ASSERT_NE(R1.Artifact->VM.LpBasis, nullptr);
+  EXPECT_FALSE(R1.Artifact->VM.LpWarmStarted);
+
+  CompileResponse R2 = Service.compileNow(capacityRequest(G, 90.0, "cap90"));
+  ASSERT_TRUE(R2.Ok) << R2.Error;
+  EXPECT_FALSE(R2.CacheHit) << "capacity change must be a genuine miss";
+  EXPECT_TRUE(R2.Artifact->VM.LpWarmStarted);
+  EXPECT_EQ(R2.Artifact->VM.LpShapeHash, R1.Artifact->VM.LpShapeHash)
+      << "same structure must hash to the same donor shape";
+  EXPECT_EQ(Service.stats().WarmMissHits, 1u);
+
+  // The warm repair must be invisible in the artifact: a cold service
+  // compiling the same swept request produces the identical program and
+  // rounded assignment.
+  ServiceOptions Off;
+  Off.WarmMiss = false;
+  CompileService Cold(Off);
+  CompileResponse C2 = Cold.compileNow(capacityRequest(G, 90.0, "cap90"));
+  ASSERT_TRUE(C2.Ok) << C2.Error;
+  EXPECT_FALSE(C2.Artifact->VM.LpWarmStarted);
+  EXPECT_EQ(Cold.stats().WarmMissHits, 0u);
+  EXPECT_EQ(R2.Artifact->Program.str(), C2.Artifact->Program.str());
+  EXPECT_EQ(R2.Artifact->VM.Rounded.NodeUnits, C2.Artifact->VM.Rounded.NodeUnits);
+  EXPECT_EQ(R2.Artifact->VM.Rounded.EdgeUnits, C2.Artifact->VM.Rounded.EdgeUnits);
+}

@@ -15,6 +15,8 @@
 
 #include "aqua/service/ArtifactCodec.h"
 
+#include "aqua/lp/RevisedSimplex.h"
+
 #include "aqua/assays/ExtraAssays.h"
 #include "aqua/assays/PaperAssays.h"
 #include "aqua/service/CompileService.h"
@@ -197,4 +199,49 @@ TEST(ArtifactCodecProperty, SingleBitFlipsNeverCrashOrDecodeUncanonically) {
     EXPECT_EQ(encodeArtifact(*D2), E2)
         << "bit flip at byte " << Byte << " decoded unfaithfully";
   }
+}
+
+TEST(ArtifactCodec, RoundTripsWarmStartBasisBlock) {
+  // v2 appends the RVol warm-start block; a synthetic basis covers every
+  // status value plus the optional reduced-cost / devex payloads.
+  CompileArtifact A;
+  A.VM.LpShapeHash = 0x123456789ABCDEF0ull;
+  auto B = std::make_shared<lp::Basis>();
+  B->Status = {lp::VarStatus::Basic, lp::VarStatus::AtLower,
+               lp::VarStatus::AtUpper, lp::VarStatus::Free};
+  B->BasicCol = {0, 2};
+  B->RedCost = {0.0, 1.5, -2.25, 0.125};
+  B->DevexW = {1.0, 1.0, 4.0, 0.5};
+  A.VM.LpBasis = B;
+  expectRoundTrip(A);
+
+  auto D = decodeArtifact(encodeArtifact(A));
+  ASSERT_TRUE(D.ok()) << D.message();
+  EXPECT_EQ(D->VM.LpShapeHash, A.VM.LpShapeHash);
+  ASSERT_NE(D->VM.LpBasis, nullptr);
+  EXPECT_EQ(D->VM.LpBasis->Status, B->Status);
+  EXPECT_EQ(D->VM.LpBasis->BasicCol, B->BasicCol);
+  EXPECT_EQ(D->VM.LpBasis->RedCost, B->RedCost);
+  EXPECT_EQ(D->VM.LpBasis->DevexW, B->DevexW);
+}
+
+TEST(ArtifactCodec, DecodesVersion1PayloadsWithoutBasisBlock) {
+  // A v1 payload is the v2 layout minus the trailing warm-start block
+  // (u64 shape hash + presence bool when no basis is attached). Old store
+  // entries must keep decoding -- they just carry no donor basis.
+  std::string V2 = encodeArtifact(CompileArtifact{});
+  ASSERT_GT(V2.size(), 9u);
+  std::string V1 = V2.substr(0, V2.size() - 9);
+  V1[4] = 1; // Version u32 sits after the magic, little-endian.
+  auto D = decodeArtifact(V1);
+  ASSERT_TRUE(D.ok()) << D.message();
+  EXPECT_EQ(D->VM.LpShapeHash, 0u);
+  EXPECT_EQ(D->VM.LpBasis, nullptr);
+  // Re-encoding writes the current version: the store upgrades on rewrite.
+  EXPECT_EQ(encodeArtifact(*D), V2);
+
+  // A v1 payload with the v2 trailer is overlong for its version.
+  std::string Mixed = V2;
+  Mixed[4] = 1;
+  EXPECT_FALSE(decodeArtifact(Mixed).ok());
 }
