@@ -71,6 +71,19 @@ int main() {
   double DisabledLogNs = nsPerOp([](int I) {
     AQUA_LOG_DEBUG("bench", "suppressed %d", I);
   });
+  // A span that would carry args, while disabled: arg() must cost only the
+  // null-Name branch, never a string conversion or allocation.
+  double DisabledArgSpanNs = nsPerOp([](int I) {
+    obs::SpanGuard Span("bench.disabled_args", "bench");
+    Span.arg("i", static_cast<std::uint64_t>(I));
+    Span.arg("phase", "bench");
+  });
+  // Request context around a disabled span: two thread-local stores plus
+  // the span's load+branch, the whole per-request overhead when off.
+  double DisabledRequestNs = nsPerOp([](int I) {
+    obs::RequestScope Scope(static_cast<std::uint64_t>(I) | 1);
+    AQUA_TRACE_SPAN("bench.disabled_request", "bench");
+  });
 
   // ----- Enabled paths: reported, not gated.
   obs::Counter &C = obs::metrics().counter("bench.obs_overhead.counter");
@@ -91,6 +104,8 @@ int main() {
 
   std::printf("  disabled span      %8.2f ns\n", DisabledSpanNs);
   std::printf("  disabled log       %8.2f ns\n", DisabledLogNs);
+  std::printf("  disabled arg span  %8.2f ns\n", DisabledArgSpanNs);
+  std::printf("  disabled req scope %8.2f ns\n", DisabledRequestNs);
   std::printf("  counter add        %8.2f ns\n", CounterNs);
   std::printf("  histogram observe  %8.2f ns\n", HistogramNs);
   std::printf("  ring record        %8.2f ns\n", RecordNs);
@@ -99,13 +114,16 @@ int main() {
   Json.add("per_op")
       .metric("disabled_span_ns", DisabledSpanNs)
       .metric("disabled_log_ns", DisabledLogNs)
+      .metric("disabled_arg_span_ns", DisabledArgSpanNs)
+      .metric("disabled_request_scope_ns", DisabledRequestNs)
       .metric("counter_add_ns", CounterNs)
       .metric("histogram_observe_ns", HistogramNs)
       .metric("ring_record_ns", RecordNs)
       .metric("enabled_span_ns", EnabledSpanNs);
 
   constexpr double BudgetNs = 150.0;
-  bool Pass = DisabledSpanNs <= BudgetNs && DisabledLogNs <= BudgetNs;
+  bool Pass = DisabledSpanNs <= BudgetNs && DisabledLogNs <= BudgetNs &&
+              DisabledArgSpanNs <= BudgetNs && DisabledRequestNs <= BudgetNs;
   std::printf("\n  disabled-path budget %.0f ns: %s\n", BudgetNs,
               Pass ? "PASS" : "FAIL");
   return Pass ? 0 : 1;

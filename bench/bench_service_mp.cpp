@@ -34,12 +34,19 @@
 #include "BenchUtil.h"
 
 #include "aqua/ir/AssayGraph.h"
+#include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
 #include "aqua/service/CompileService.h"
+#include "aqua/support/Json.h"
+#include "aqua/support/StringUtils.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <dirent.h>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -102,13 +109,22 @@ struct WorkerReport {
 /// Forks \p Workers children; child W serves the sweep slots \p Slots
 /// filtered by `slot % Workers == W` (or every slot when \p Shard is
 /// false) against the shared \p StoreDir, then reports through a pipe.
+/// Each child also dumps its full metrics registry to
+/// `MetricsDir/metrics-<pid>.json` (the in-struct report loses the hit
+/// and shed breakdown; the registry keeps it) and, with AQUA_TRACE_DIR
+/// set, flushes its trace shard before `_exit` (which skips atexit). The
+/// parent emits one dispatch flow 's' per (worker, slot) under pre-fork
+/// seeded ids; each child closes its own 'f', so the merged trace draws
+/// request arcs crossing process boundaries.
 /// Returns the per-worker reports (empty on fork/pipe failure).
 std::vector<WorkerReport> runWorkers(
     int Workers, int Slots, bool Shard, const std::string &StoreDir,
+    const std::string &MetricsDir,
     const std::shared_ptr<const ir::AssayGraph> &Graph) {
   std::vector<WorkerReport> Reports;
   std::vector<int> ReadFds;
   std::vector<pid_t> Pids;
+  std::uint64_t DispatchSeed = obs::newTraceId();
   for (int W = 0; W < Workers; ++W) {
     int Fds[2];
     if (pipe(Fds) != 0) {
@@ -121,8 +137,12 @@ std::vector<WorkerReport> runWorkers(
       return {};
     }
     if (Pid == 0) {
-      // Child: serve the slice, write one WorkerReport, _exit.
+      // Child: serve the slice, write one WorkerReport, _exit. The
+      // inherited trace ring holds the parent's pre-fork events; drop it
+      // so they appear in one shard only.
       close(Fds[0]);
+      if (obs::Tracer::enabled())
+        obs::Tracer::global().clear();
       service::ServiceOptions Options;
       Options.Threads = 1;
       Options.StoreDir = StoreDir;
@@ -134,7 +154,15 @@ std::vector<WorkerReport> runWorkers(
           if (Shard && I % Workers != W)
             continue;
           ++Rep.Requests;
-          if (!Service.compileNow(sweepRequest(Graph, I)).Ok)
+          service::CompileRequest Req = sweepRequest(Graph, I);
+          if (obs::Tracer::enabled()) {
+            std::uint64_t Flow = obs::dispatchFlowId(DispatchSeed, W, I);
+            Req.TraceId = obs::mixId(Flow) | 1;
+            obs::SpanGuard Span("mp.receive", "service");
+            Span.arg("slot", static_cast<std::uint64_t>(I));
+            obs::traceFlowEnd("mp.dispatch", Flow);
+          }
+          if (!Service.compileNow(Req).Ok)
             ++Rep.Failures;
         }
         Rep.WallSec = Wall.seconds();
@@ -144,13 +172,29 @@ std::vector<WorkerReport> runWorkers(
         Rep.WarmMissHits = S.WarmMissHits;
         Rep.SolveSec = S.SolveSec;
       }
+      bool MetricsOk = obs::metrics().writeJsonFile(
+          format("%s/metrics-%d.json", MetricsDir.c_str(),
+                 static_cast<int>(getpid())));
+      (void)obs::flushTraceShard();
       ssize_t N = write(Fds[1], &Rep, sizeof(Rep));
       close(Fds[1]);
-      _exit(N == sizeof(Rep) ? 0 : 1);
+      _exit(N == sizeof(Rep) && MetricsOk ? 0 : 1);
     }
     close(Fds[1]);
     ReadFds.push_back(Fds[0]);
     Pids.push_back(Pid);
+  }
+  if (obs::Tracer::enabled()) {
+    for (int W = 0; W < Workers; ++W)
+      for (int I = 0; I < Slots; ++I) {
+        if (Shard && I % Workers != W)
+          continue;
+        obs::SpanGuard Span("mp.dispatch", "service");
+        Span.arg("worker", W);
+        Span.arg("slot", static_cast<std::uint64_t>(I));
+        obs::traceFlowBegin("mp.dispatch",
+                            obs::dispatchFlowId(DispatchSeed, W, I));
+      }
   }
   for (int W = 0; W < Workers; ++W) {
     WorkerReport Rep;
@@ -164,10 +208,60 @@ std::vector<WorkerReport> runWorkers(
   return Reports;
 }
 
-std::string makeStoreDir() {
-  char Template[] = "/tmp/aqua-bench-mp-XXXXXX";
+/// Hit/shed breakdown summed over the per-process metrics dumps the
+/// workers leave in \p MetricsDir.
+struct AggregatedMetrics {
+  std::uint64_t Files = 0;
+  std::uint64_t CacheHits = 0;
+  std::uint64_t CacheHitsL2 = 0;
+  std::uint64_t CacheMisses = 0;
+  std::uint64_t ShedTotal = 0;
+};
+
+AggregatedMetrics aggregateWorkerMetrics(const std::string &MetricsDir) {
+  AggregatedMetrics Agg;
+  DIR *D = opendir(MetricsDir.c_str());
+  if (!D)
+    return Agg;
+  std::vector<std::string> Paths;
+  while (struct dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.rfind("metrics-", 0) == 0)
+      Paths.push_back(MetricsDir + "/" + Name);
+  }
+  closedir(D);
+  for (const std::string &Path : Paths) {
+    std::ifstream File(Path);
+    if (!File)
+      continue;
+    std::stringstream Buffer;
+    Buffer << File.rdbuf();
+    auto Doc = json::parse(Buffer.str());
+    if (!Doc.ok())
+      continue;
+    const json::Value *Counters = Doc->find("counters");
+    if (!Counters)
+      continue;
+    auto Sum = [&](const char *Name, std::uint64_t &Into) {
+      if (const json::Value *V = Counters->find(Name))
+        Into += V->u64();
+    };
+    ++Agg.Files;
+    Sum("service.cache.hits", Agg.CacheHits);
+    Sum("service.cache.hits_l2", Agg.CacheHitsL2);
+    Sum("service.cache.misses", Agg.CacheMisses);
+    Sum("service.shed_total", Agg.ShedTotal);
+    std::remove(Path.c_str()); // consumed; the next phase writes afresh
+  }
+  return Agg;
+}
+
+std::string makeTempDir(const char *What) {
+  char Template[64];
+  std::snprintf(Template, sizeof(Template), "/tmp/aqua-bench-mp-%s-XXXXXX",
+                What);
   char *Dir = mkdtemp(Template);
-  return Dir ? Dir : "bench-mp-store";
+  return Dir ? Dir : format("bench-mp-%s", What);
 }
 
 } // namespace
@@ -176,7 +270,9 @@ int main() {
   const int Workers = 4;
   const int Slots = 16;
   auto Graph = buildLpBoundAssay(420);
-  const std::string StoreDir = makeStoreDir();
+  const std::string StoreDir = makeTempDir("store");
+  const std::string MetricsDir = makeTempDir("metrics");
+  obs::initProcessTracing(); // shard per process when AQUA_TRACE_DIR is set
   JsonReporter Json("service_mp");
   header("Multi-process service: forked workers over one shared store");
 
@@ -184,7 +280,8 @@ int main() {
   {
     WallTimer Wall;
     std::vector<WorkerReport> Reports =
-        runWorkers(Workers, Slots, /*Shard=*/true, StoreDir, Graph);
+        runWorkers(Workers, Slots, /*Shard=*/true, StoreDir, MetricsDir,
+                   Graph);
     double WallSec = Wall.seconds();
     if (static_cast<int>(Reports.size()) != Workers) {
       std::fprintf(stderr, "worker failure in mp_cold\n");
@@ -197,12 +294,16 @@ int main() {
       Sum.ColdSolves += R.ColdSolves;
       Sum.SolveSec += R.SolveSec;
     }
+    AggregatedMetrics Agg = aggregateWorkerMetrics(MetricsDir);
     std::printf("  mp cold:  %llu requests / %d procs in %s "
-                "(%llu solves, %llu failures)\n",
+                "(%llu solves, %llu failures; workers report %llu hits / "
+                "%llu misses)\n",
                 static_cast<unsigned long long>(Sum.Requests), Workers,
                 fmtSeconds(WallSec).c_str(),
                 static_cast<unsigned long long>(Sum.ColdSolves),
-                static_cast<unsigned long long>(Sum.Failures));
+                static_cast<unsigned long long>(Sum.Failures),
+                static_cast<unsigned long long>(Agg.CacheHits),
+                static_cast<unsigned long long>(Agg.CacheMisses));
     Json.add("mp_cold")
         .param("workers", std::to_string(Workers))
         .param("slots", std::to_string(Slots))
@@ -211,9 +312,26 @@ int main() {
         .metric("cold_solves", static_cast<double>(Sum.ColdSolves))
         .metric("failures", static_cast<double>(Sum.Failures))
         .metric("throughput_rps",
-                WallSec > 0 ? Sum.Requests / WallSec : 0.0);
+                WallSec > 0 ? Sum.Requests / WallSec : 0.0)
+        .metric("agg_metrics_files", static_cast<double>(Agg.Files))
+        .metric("agg_cache_hits", static_cast<double>(Agg.CacheHits))
+        .metric("agg_cache_hits_l2", static_cast<double>(Agg.CacheHitsL2))
+        .metric("agg_cache_misses", static_cast<double>(Agg.CacheMisses))
+        .metric("agg_shed_total", static_cast<double>(Agg.ShedTotal));
     if (Sum.Failures || Sum.Requests != static_cast<std::uint64_t>(Slots))
       return 1;
+    // Every worker must have left a parseable metrics dump, and every
+    // cold-sweep request is a miss by construction.
+    if (Agg.Files != static_cast<std::uint64_t>(Workers) ||
+        Agg.CacheMisses != static_cast<std::uint64_t>(Slots)) {
+      std::fprintf(stderr,
+                   "worker metrics aggregation: %llu files, %llu misses "
+                   "(want %d / %d)\n",
+                   static_cast<unsigned long long>(Agg.Files),
+                   static_cast<unsigned long long>(Agg.CacheMisses), Workers,
+                   Slots);
+      return 1;
+    }
   }
 
   // ---- Phase 2: 4 fresh processes re-serve the FULL sweep from the
@@ -221,7 +339,8 @@ int main() {
   {
     WallTimer Wall;
     std::vector<WorkerReport> Reports =
-        runWorkers(Workers, Slots, /*Shard=*/false, StoreDir, Graph);
+        runWorkers(Workers, Slots, /*Shard=*/false, StoreDir, MetricsDir,
+                   Graph);
     double WallSec = Wall.seconds();
     if (static_cast<int>(Reports.size()) != Workers) {
       std::fprintf(stderr, "worker failure in mp_warm\n");
@@ -234,12 +353,16 @@ int main() {
       Sum.ColdSolves += R.ColdSolves;
       Sum.L2Hits += R.L2Hits;
     }
+    AggregatedMetrics Agg = aggregateWorkerMetrics(MetricsDir);
     std::printf("  mp warm:  %llu requests / %d procs in %s "
-                "(%llu L2 hits, %llu cold solves)\n",
+                "(%llu L2 hits, %llu cold solves; workers report %llu "
+                "hits, %llu shed)\n",
                 static_cast<unsigned long long>(Sum.Requests), Workers,
                 fmtSeconds(WallSec).c_str(),
                 static_cast<unsigned long long>(Sum.L2Hits),
-                static_cast<unsigned long long>(Sum.ColdSolves));
+                static_cast<unsigned long long>(Sum.ColdSolves),
+                static_cast<unsigned long long>(Agg.CacheHits),
+                static_cast<unsigned long long>(Agg.ShedTotal));
     Json.add("mp_warm")
         .param("workers", std::to_string(Workers))
         .param("slots", std::to_string(Slots))
@@ -249,9 +372,19 @@ int main() {
         .metric("cold_solves", static_cast<double>(Sum.ColdSolves))
         .metric("failures", static_cast<double>(Sum.Failures))
         .metric("throughput_rps",
-                WallSec > 0 ? Sum.Requests / WallSec : 0.0);
+                WallSec > 0 ? Sum.Requests / WallSec : 0.0)
+        .metric("agg_metrics_files", static_cast<double>(Agg.Files))
+        .metric("agg_cache_hits", static_cast<double>(Agg.CacheHits))
+        .metric("agg_cache_hits_l2", static_cast<double>(Agg.CacheHitsL2))
+        .metric("agg_cache_misses", static_cast<double>(Agg.CacheMisses))
+        .metric("agg_shed_total", static_cast<double>(Agg.ShedTotal));
     if (Sum.Failures || Sum.ColdSolves != 0)
       return 1;
+    if (Agg.Files != static_cast<std::uint64_t>(Workers)) {
+      std::fprintf(stderr, "worker metrics aggregation: %llu files\n",
+                   static_cast<unsigned long long>(Agg.Files));
+      return 1;
+    }
   }
 
   // ---- Phase 3: warm-miss basis reuse, disabled vs enabled, in-process

@@ -13,6 +13,7 @@
 //                  [--fleet N] [--trace-out FILE] [--metrics-out FILE]
 //                  [--store DIR] [--warm MANIFEST] [--workers N]
 //                  [--deadline-ms N] [--queue-budget N]
+//                  [--telemetry DIR] [--flight-out FILE]
 //
 // --store attaches a persistent solve store at DIR as the service's
 // write-through L2: a restarted aquad re-serves prior solves from disk
@@ -33,6 +34,23 @@
 // re-management) on the service's worker-thread count.
 // --trace-out enables span tracing and writes a Chrome trace-event JSON
 // (chrome://tracing, Perfetto); --metrics-out dumps the metrics registry.
+// --telemetry DIR starts the live snapshot writer: the metrics registry is
+// serialized to DIR/metrics.snap-<pid>.json twice a second (atomic
+// temp+rename), which is what `aquatop DIR` tails.
+// --flight-out dumps the per-request flight recorder (the last 256
+// request digests) as JSON at exit.
+//
+// Exporters flush on *every* exit route: SIGINT/SIGTERM are handled by a
+// dedicated signal thread that writes the trace, metrics, flight record,
+// and trace shard before exiting, so a Ctrl-C'd daemon still yields its
+// observability artifacts.
+//
+// With AQUA_TRACE_DIR set, every aquad process (parent and --workers
+// children) additionally writes a per-process trace shard there;
+// `aquatrace merge` stitches them into one timeline. In --workers mode
+// the parent emits a dispatch flow ('s') per (worker, slot) under
+// deterministic trace ids that the children re-derive and close ('f'), so
+// the merged trace draws request arcs crossing process boundaries.
 //
 // The manifest has one workload per line: a repeat count followed by an
 // assay source path or a builtin name (`builtin:glucose`,
@@ -48,14 +66,18 @@
 #include "aqua/assays/ExtraAssays.h"
 #include "aqua/assays/PaperAssays.h"
 #include "aqua/lang/Lower.h"
+#include "aqua/obs/FlightRecorder.h"
 #include "aqua/obs/Metrics.h"
+#include "aqua/obs/Snapshot.h"
 #include "aqua/obs/Timer.h"
 #include "aqua/obs/Trace.h"
 #include "aqua/runtime/Simulator.h"
 #include "aqua/service/CompileService.h"
+#include "aqua/support/StringUtils.h"
 #include "aqua/vm/Fleet.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,8 +85,11 @@
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <csignal>
+#include <pthread.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
@@ -78,10 +103,61 @@ int usage(const char *Argv0) {
                " [--max-entries N] [--capacity NL] [--least-count NL]"
                " [--simulate] [--fleet N] [--trace-out FILE]"
                " [--metrics-out FILE] [--store DIR] [--warm MANIFEST]"
-               " [--workers N] [--deadline-ms N] [--queue-budget N]\n",
+               " [--workers N] [--deadline-ms N] [--queue-budget N]"
+               " [--telemetry DIR] [--flight-out FILE]\n",
                Argv0);
   return 2;
 }
+
+/// Exporter destinations, captured once so every exit route (normal
+/// return, SIGINT, SIGTERM) flushes the same set.
+struct ShutdownOutputs {
+  std::string TraceOut, MetricsOut, FlightOut, TelemetryDir;
+};
+ShutdownOutputs Outputs;
+std::atomic<bool> Flushed{false};
+
+/// Writes every configured exporter exactly once; later calls no-op.
+/// Returns false when any write failed.
+bool flushOutputsOnce() {
+  if (Flushed.exchange(true))
+    return true;
+  bool Ok = true;
+  if (!Outputs.TraceOut.empty())
+    Ok = obs::Tracer::global().writeChromeTrace(Outputs.TraceOut) && Ok;
+  if (!Outputs.MetricsOut.empty())
+    Ok = obs::metrics().writeJsonFile(Outputs.MetricsOut) && Ok;
+  if (!Outputs.FlightOut.empty())
+    Ok = obs::FlightRecorder::global().writeJsonFile(Outputs.FlightOut) && Ok;
+  if (!Outputs.TelemetryDir.empty())
+    Ok = obs::writeMetricsSnapshot(Outputs.TelemetryDir, 0) && Ok;
+  (void)obs::flushTraceShard();
+  return Ok;
+}
+
+/// Signal-aware shutdown: SIGINT/SIGTERM are blocked in every thread (the
+/// mask is installed before any thread exists and inherited by all) and
+/// consumed by one dedicated sigwait thread, which flushes the exporters
+/// and exits with the conventional 128+sig status. `_exit` skips atexit,
+/// so the flush covers the trace shard explicitly.
+void installSignalFlush() {
+  static sigset_t SigSet;
+  sigemptyset(&SigSet);
+  sigaddset(&SigSet, SIGINT);
+  sigaddset(&SigSet, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &SigSet, nullptr);
+  std::thread([] {
+    int Sig = 0;
+    if (sigwait(&SigSet, &Sig) != 0)
+      return;
+    (void)flushOutputsOnce();
+    _exit(128 + Sig);
+  }).detach();
+}
+
+/// Flow arcs emitted per worker are capped: a manifest can hold tens of
+/// thousands of repeats and the trace ring holds 64Ki events total.
+constexpr std::size_t DispatchFlowCap = 1024;
 
 /// Matches `--flag VALUE` and `--flag=VALUE`; returns the value or null.
 const char *flagValue(const char *Flag, int &I, int Argc, char **Argv) {
@@ -207,7 +283,7 @@ int main(int argc, char **argv) {
   int FleetChips = 0;
   int WorkerProcs = 0;
   int DeadlineMs = 0;
-  std::string TraceOut, MetricsOut, WarmPath;
+  std::string TraceOut, MetricsOut, WarmPath, TelemetryDir, FlightOut;
 
   for (int I = 1; I < argc; ++I) {
     const char *V;
@@ -241,6 +317,10 @@ int main(int argc, char **argv) {
     else if ((V = flagValue("--queue-budget", I, argc, argv)))
       Options.MaxQueueDepth =
           static_cast<std::size_t>(parseInt("--queue-budget", V));
+    else if ((V = flagValue("--telemetry", I, argc, argv)))
+      TelemetryDir = V;
+    else if ((V = flagValue("--flight-out", I, argc, argv)))
+      FlightOut = V;
     else if (argv[I][0] == '-')
       return usage(argv[0]);
     else
@@ -253,10 +333,33 @@ int main(int argc, char **argv) {
     return 2;
   }
 
+  // Exporter destinations are captured before the signal-flush thread
+  // exists so every exit route sees them, and the tracer is enabled before
+  // the fork so the parent's dispatch spans are recorded.
+  Outputs.TraceOut = TraceOut;
+  Outputs.MetricsOut = MetricsOut;
+  Outputs.FlightOut = FlightOut;
+  Outputs.TelemetryDir = TelemetryDir;
+  if (!TraceOut.empty())
+    obs::Tracer::setEnabled(true);
+  if (!MetricsOut.empty() || !TelemetryDir.empty())
+    obs::preregisterPipelineMetrics();
+
+  // Shard tracing and the signal-flush thread come up before any other
+  // thread (or fork) exists, so every process in the tree inherits the
+  // blocked SIGINT/SIGTERM mask and the shard atexit registration.
+  obs::initProcessTracing();
+  installSignalFlush();
+
   // Multi-process mode: fork the workers *before* any threads exist; each
   // child runs the whole manifest as an independent aquad sharing the
-  // store directory, and the parent just reaps them.
+  // store directory, and the parent just reaps them. The dispatch seed is
+  // drawn pre-fork so parent and children derive identical per-(worker,
+  // slot) trace ids without any IPC.
+  int WorkerIndex = -1;
+  std::uint64_t DispatchSeed = 0;
   if (WorkerProcs > 1) {
+    DispatchSeed = obs::newTraceId();
     std::vector<pid_t> Children;
     for (int W = 0; W < WorkerProcs; ++W) {
       pid_t Pid = fork();
@@ -266,13 +369,47 @@ int main(int argc, char **argv) {
       }
       if (Pid == 0) {
         // Children fall through into single-process mode (and must not
-        // reap the siblings they inherited in Children).
+        // reap the siblings they inherited in Children). The inherited
+        // trace ring would duplicate the parent's pre-fork events into
+        // this child's shard; drop it. The sigwait thread did not survive
+        // the fork -- reinstall it.
         Children.clear();
+        WorkerIndex = W;
+        obs::Tracer::global().clear();
+        installSignalFlush();
+        // Worker telemetry travels via the shard dir and per-pid
+        // snapshots; single-file exporters get a per-worker suffix so
+        // siblings don't clobber one another, and the merged trace is the
+        // parent's job.
+        Outputs.TraceOut.clear();
+        if (!Outputs.MetricsOut.empty())
+          Outputs.MetricsOut += format(".worker%d", W);
+        if (!Outputs.FlightOut.empty())
+          Outputs.FlightOut += format(".worker%d", W);
         break;
       }
       Children.push_back(Pid);
     }
     if (!Children.empty()) {
+      // Parent: emit one dispatch span + flow 's' per (worker, slot) --
+      // each worker's slot I request will close the arc from its own
+      // process, drawing "queued in parent, solved in worker" across pid
+      // tracks once the shards are merged.
+      if (obs::Tracer::enabled()) {
+        std::vector<service::CompileRequest> Probe;
+        std::size_t Slots = 0;
+        if (loadManifest(Path, Spec, Probe, nullptr))
+          Slots = std::min(Probe.size(), DispatchFlowCap);
+        for (int W = 0; W < static_cast<int>(Children.size()); ++W) {
+          for (std::size_t S = 0; S < Slots; ++S) {
+            obs::SpanGuard Span("aquad.dispatch", "service");
+            Span.arg("worker", W);
+            Span.arg("slot", static_cast<std::uint64_t>(S));
+            obs::traceFlowBegin("aquad.dispatch",
+                                obs::dispatchFlowId(DispatchSeed, W, S));
+          }
+        }
+      }
       int Failures = 0;
       for (pid_t Pid : Children) {
         int WStatus = 0;
@@ -283,14 +420,10 @@ int main(int argc, char **argv) {
       std::printf("aquad: %d worker processes, %d failed, store %s\n",
                   static_cast<int>(Children.size()), Failures,
                   Options.StoreDir.c_str());
-      return Failures ? 1 : 0;
+      bool FlushOk = flushOutputsOnce();
+      return (Failures || !FlushOk) ? 1 : 0;
     }
   }
-
-  if (!TraceOut.empty())
-    obs::Tracer::setEnabled(true);
-  if (!MetricsOut.empty())
-    obs::preregisterPipelineMetrics();
 
   std::vector<service::CompileRequest> Batch;
   /// Unique manifest entries in first-appearance order, for --fleet.
@@ -302,8 +435,27 @@ int main(int argc, char **argv) {
     return 1;
   }
 
+  // --workers child: re-derive the parent's per-slot dispatch ids. The
+  // request runs under obs::mixId(flow id) so its own submit/dequeue flow stays
+  // distinct from the cross-process dispatch arc, which is closed here.
+  if (WorkerIndex >= 0 && obs::Tracer::enabled()) {
+    obs::SpanGuard Span("aquad.receive", "service");
+    Span.arg("worker", WorkerIndex);
+    for (std::size_t S = 0; S < Batch.size(); ++S) {
+      std::uint64_t Flow = obs::dispatchFlowId(DispatchSeed, WorkerIndex, S);
+      Batch[S].TraceId = obs::mixId(Flow) | 1;
+      if (S < DispatchFlowCap)
+        obs::traceFlowEnd("aquad.dispatch", Flow);
+    }
+  }
+
   std::size_t Submitted = Batch.size();
   service::CompileService Service(Options);
+
+  // Live telemetry: twice-a-second atomic snapshots for `aquatop`.
+  obs::SnapshotWriter Telemetry(TelemetryDir, 500);
+  if (!TelemetryDir.empty())
+    Telemetry.start();
 
   if (!WarmPath.empty()) {
     // Untimed warm-up: compile each unique warm-manifest assay once. On a
@@ -462,9 +614,8 @@ int main(int argc, char **argv) {
     }
   }
 
-  if (!TraceOut.empty() && !obs::Tracer::global().writeChromeTrace(TraceOut))
-    return 1;
-  if (!MetricsOut.empty() && !obs::metrics().writeJsonFile(MetricsOut))
+  Telemetry.stop();
+  if (!flushOutputsOnce())
     return 1;
   return Failures ? 1 : 0;
 }

@@ -1,0 +1,278 @@
+//===- aquatop.cpp - Live telemetry console for aquad ---------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// aquatop: tail the live metrics snapshots an aquad run writes with
+// `--telemetry DIR` and render fleet-wide queue depth, hit/shed rates, and
+// solve-latency histograms in the terminal.
+//
+//   aquatop DIR [--once] [--interval-ms N]
+//
+// DIR holds one `metrics.snap-<pid>.json` per process (written atomically
+// twice a second, schema aqua.metrics.snap.v1); aquatop re-reads them all
+// every refresh and aggregates across pids -- counters and gauges sum,
+// histograms merge bucket-wise. `--once` renders a single frame and exits
+// (for scripts and CI); the default loops until interrupted.
+//
+//   aquad manifest.txt --store /tmp/store --workers 4 --telemetry /tmp/tel &
+//   aquatop /tmp/tel
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <dirent.h>
+
+using namespace aqua;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr, "usage: %s DIR [--once] [--interval-ms N]\n", Argv0);
+  return 2;
+}
+
+/// One histogram cell after aggregation.
+struct Bucket {
+  double Le = 0.0; // upper bound; infinity for the overflow cell
+  std::uint64_t Count = 0;
+};
+
+struct Hist {
+  std::uint64_t Count = 0;
+  double Sum = 0.0;
+  std::vector<Bucket> Buckets;
+};
+
+/// Fleet-wide aggregate of every snapshot in the directory.
+struct Aggregate {
+  std::size_t Processes = 0;
+  std::uint64_t NewestWallMicros = 0;
+  std::map<std::string, std::uint64_t> Counters;
+  std::map<std::string, double> Gauges;
+  std::map<std::string, Hist> Hists;
+};
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream File(Path, std::ios::binary);
+  if (!File)
+    return false;
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+std::vector<std::string> snapshotPaths(const std::string &Dir) {
+  std::vector<std::string> Paths;
+  DIR *D = opendir(Dir.c_str());
+  if (!D)
+    return Paths;
+  while (struct dirent *E = readdir(D)) {
+    std::string Name = E->d_name;
+    if (Name.rfind("metrics.snap-", 0) == 0 && Name.size() > 5 &&
+        Name.compare(Name.size() - 5, 5, ".json") == 0)
+      Paths.push_back(Dir + "/" + Name);
+  }
+  closedir(D);
+  std::sort(Paths.begin(), Paths.end());
+  return Paths;
+}
+
+/// Folds one parsed snapshot wrapper into the aggregate. Snapshots are
+/// written atomically (temp+rename), so a parse failure means a stale
+/// reader raced a directory scan -- the caller just skips the file.
+void fold(Aggregate &A, const json::Value &Snap) {
+  const json::Value *Metrics = Snap.find("metrics");
+  if (!Metrics)
+    return;
+  ++A.Processes;
+  const json::Value *Wall = Snap.find("wallMicros");
+  if (Wall && Wall->kind() == json::Value::Kind::Number)
+    A.NewestWallMicros = std::max(A.NewestWallMicros, Wall->u64());
+
+  if (const json::Value *Counters = Metrics->find("counters"))
+    if (Counters->kind() == json::Value::Kind::Object)
+      for (const auto &[Name, V] : Counters->members())
+        if (V.kind() == json::Value::Kind::Number)
+          A.Counters[Name] += V.u64();
+
+  if (const json::Value *Gauges = Metrics->find("gauges"))
+    if (Gauges->kind() == json::Value::Kind::Object)
+      for (const auto &[Name, V] : Gauges->members())
+        if (V.kind() == json::Value::Kind::Number)
+          A.Gauges[Name] += V.number();
+
+  const json::Value *Hists = Metrics->find("histograms");
+  if (!Hists || Hists->kind() != json::Value::Kind::Object)
+    return;
+  for (const auto &[Name, V] : Hists->members()) {
+    const json::Value *Buckets = V.find("buckets");
+    if (!Buckets || Buckets->kind() != json::Value::Kind::Array)
+      continue;
+    Hist &H = A.Hists[Name];
+    H.Count += static_cast<std::uint64_t>(V.numberOr("count", 0.0));
+    H.Sum += V.numberOr("sum", 0.0);
+    const std::vector<json::Value> &Cells = Buckets->array();
+    if (H.Buckets.size() < Cells.size())
+      H.Buckets.resize(Cells.size());
+    for (std::size_t I = 0; I < Cells.size(); ++I) {
+      const json::Value *Le = Cells[I].find("le");
+      Bucket B;
+      // "inf" (the overflow cell) parses as a string.
+      B.Le = (Le && Le->kind() == json::Value::Kind::Number)
+                 ? Le->number()
+                 : std::numeric_limits<double>::infinity();
+      B.Count = Cells[I].numberOr("count", 0.0) < 0
+                    ? 0
+                    : static_cast<std::uint64_t>(
+                          Cells[I].numberOr("count", 0.0));
+      H.Buckets[I].Le = B.Le;
+      H.Buckets[I].Count += B.Count;
+    }
+  }
+}
+
+std::uint64_t counter(const Aggregate &A, const char *Name) {
+  auto It = A.Counters.find(Name);
+  return It == A.Counters.end() ? 0 : It->second;
+}
+
+double pct(std::uint64_t Part, std::uint64_t Whole) {
+  return Whole ? 100.0 * static_cast<double>(Part) /
+                     static_cast<double>(Whole)
+               : 0.0;
+}
+
+void renderHistogram(const Aggregate &A, const char *Name,
+                     const char *Label) {
+  auto It = A.Hists.find(Name);
+  if (It == A.Hists.end() || It->second.Count == 0)
+    return;
+  const Hist &H = It->second;
+  std::printf("  %s (%llu samples, mean %.3f ms)\n", Label,
+              static_cast<unsigned long long>(H.Count),
+              1e3 * H.Sum / static_cast<double>(H.Count));
+  std::uint64_t Peak = 1;
+  for (const Bucket &B : H.Buckets)
+    Peak = std::max(Peak, B.Count);
+  for (const Bucket &B : H.Buckets) {
+    if (B.Count == 0)
+      continue;
+    char Bound[32];
+    if (B.Le == std::numeric_limits<double>::infinity())
+      std::snprintf(Bound, sizeof(Bound), "     +inf");
+    else
+      std::snprintf(Bound, sizeof(Bound), "%8.3fms", 1e3 * B.Le);
+    int Width = static_cast<int>(40 * B.Count / Peak);
+    std::printf("    <=%s %6llu |%.*s\n", Bound,
+                static_cast<unsigned long long>(B.Count), Width,
+                "########################################");
+  }
+}
+
+void render(const Aggregate &A, const std::string &Dir) {
+  if (A.Processes == 0) {
+    std::printf("aquatop: no snapshots in %s yet\n", Dir.c_str());
+    return;
+  }
+  std::uint64_t NowMicros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  double AgeSec = A.NewestWallMicros && NowMicros > A.NewestWallMicros
+                      ? 1e-6 * (NowMicros - A.NewestWallMicros)
+                      : 0.0;
+  std::printf("aquatop -- %zu process%s, newest snapshot %.1fs ago (%s)\n\n",
+              A.Processes, A.Processes == 1 ? "" : "es", AgeSec,
+              Dir.c_str());
+
+  std::uint64_t Submitted = counter(A, "service.requests.submitted");
+  std::uint64_t Completed = counter(A, "service.requests.completed");
+  std::uint64_t Failed = counter(A, "service.requests.failed");
+  std::uint64_t Hits = counter(A, "service.cache.hits");
+  std::uint64_t HitsL2 = counter(A, "service.cache.hits_l2");
+  std::uint64_t Misses = counter(A, "service.cache.misses");
+  std::uint64_t Joins = counter(A, "service.singleflight.joins");
+  std::uint64_t Shed = counter(A, "service.shed_total");
+  std::uint64_t ShedQueue = counter(A, "service.shed.queue_full");
+  std::uint64_t ShedDeadline = counter(A, "service.shed.deadline");
+
+  auto QD = A.Gauges.find("service.queue_depth");
+  std::printf("  queue depth   %.0f\n",
+              QD == A.Gauges.end() ? 0.0 : QD->second);
+  std::printf("  requests      %llu submitted, %llu completed, %llu failed\n",
+              static_cast<unsigned long long>(Submitted),
+              static_cast<unsigned long long>(Completed),
+              static_cast<unsigned long long>(Failed));
+  std::printf("  cache         %.1f%% hit rate (%llu hits, %llu from L2, "
+              "%llu misses), %llu joins\n",
+              pct(Hits, Hits + Misses),
+              static_cast<unsigned long long>(Hits),
+              static_cast<unsigned long long>(HitsL2),
+              static_cast<unsigned long long>(Misses),
+              static_cast<unsigned long long>(Joins));
+  std::printf("  shed          %.1f%% of submitted (%llu total: %llu "
+              "queue-full, %llu deadline)\n\n",
+              pct(Shed, Submitted), static_cast<unsigned long long>(Shed),
+              static_cast<unsigned long long>(ShedQueue),
+              static_cast<unsigned long long>(ShedDeadline));
+
+  renderHistogram(A, "service.solve_sec", "solve latency");
+  renderHistogram(A, "service.latency_sec", "request latency");
+  renderHistogram(A, "service.queue_wait_sec", "queue wait");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    return usage(Argv[0]);
+  std::string Dir = Argv[1];
+  bool Once = false;
+  unsigned IntervalMs = 1000;
+  for (int I = 2; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "--once"))
+      Once = true;
+    else if (!std::strcmp(Argv[I], "--interval-ms") && I + 1 < Argc)
+      IntervalMs = static_cast<unsigned>(std::atoi(Argv[++I]));
+    else
+      return usage(Argv[0]);
+  }
+  if (IntervalMs == 0)
+    IntervalMs = 1;
+
+  for (;;) {
+    Aggregate A;
+    for (const std::string &Path : snapshotPaths(Dir)) {
+      std::string Doc;
+      if (!readFile(Path, Doc))
+        continue;
+      auto Snap = json::parse(Doc);
+      if (!Snap.ok())
+        continue; // stale file mid-replace; next refresh will see it
+      fold(A, *Snap);
+    }
+    if (!Once)
+      std::printf("\x1b[2J\x1b[H"); // clear screen, home cursor
+    render(A, Dir);
+    if (Once)
+      return A.Processes == 0 ? 1 : 0;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(IntervalMs));
+  }
+}

@@ -1,0 +1,113 @@
+//===- aquatrace.cpp - Stitch per-process trace shards -------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// aquatrace: merge the per-process trace shards a multi-process aquad run
+// writes under AQUA_TRACE_DIR into one Chrome/Perfetto trace.
+//
+//   aquatrace merge DIR [-o OUT]
+//
+// DIR holds `trace-<pid>.shard.json` files (one per process); the merged
+// trace goes to OUT (default `DIR/merged.json`). Each shard's clock is
+// re-anchored onto the earliest shard epoch and each (process, track)
+// pair becomes its own Chrome pid, so a request's flow arc ('s' in the
+// parent, 'f' in a worker) renders as one line crossing process tracks.
+//
+//   aquad manifest.txt --store /tmp/store --workers 4   # AQUA_TRACE_DIR set
+//   aquatrace merge $AQUA_TRACE_DIR -o merged.json
+//   # load merged.json in chrome://tracing or ui.perfetto.dev
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/obs/TraceMerge.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace aqua;
+
+namespace {
+
+int usage(const char *Argv0) {
+  std::fprintf(stderr, "usage: %s merge DIR [-o OUT]\n", Argv0);
+  return 2;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream File(Path, std::ios::binary);
+  if (!File)
+    return false;
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 3 || std::strcmp(Argv[1], "merge") != 0)
+    return usage(Argv[0]);
+  std::string Dir = Argv[2];
+  std::string Out = Dir + "/merged.json";
+  for (int I = 3; I < Argc; ++I) {
+    if (!std::strcmp(Argv[I], "-o") && I + 1 < Argc)
+      Out = Argv[++I];
+    else
+      return usage(Argv[0]);
+  }
+
+  auto Paths = obs::listShardPaths(Dir);
+  if (!Paths.ok()) {
+    std::fprintf(stderr, "aquatrace: %s\n", Paths.message().c_str());
+    return 1;
+  }
+  if (Paths->empty()) {
+    std::fprintf(stderr, "aquatrace: no *.shard.json files in %s\n",
+                 Dir.c_str());
+    return 1;
+  }
+
+  std::vector<std::string> Docs;
+  for (const std::string &Path : *Paths) {
+    std::string Doc;
+    if (!readFile(Path, Doc)) {
+      std::fprintf(stderr, "aquatrace: cannot read %s\n", Path.c_str());
+      return 1;
+    }
+    Docs.push_back(std::move(Doc));
+  }
+
+  auto Merged = obs::mergeShards(Docs);
+  if (!Merged.ok()) {
+    std::fprintf(stderr, "aquatrace: %s\n", Merged.message().c_str());
+    return 1;
+  }
+
+  std::FILE *F = std::fopen(Out.c_str(), "w");
+  if (!F) {
+    std::fprintf(stderr, "aquatrace: cannot write %s\n", Out.c_str());
+    return 1;
+  }
+  std::size_t Written =
+      std::fwrite(Merged->Json.data(), 1, Merged->Json.size(), F);
+  bool Ok = (Written == Merged->Json.size());
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok) {
+    std::fprintf(stderr, "aquatrace: short write to %s\n", Out.c_str());
+    return 1;
+  }
+
+  std::printf("aquatrace: merged %zu shards, %zu events (%llu dropped) -> "
+              "%s\n",
+              Merged->ShardCount, Merged->EventCount,
+              static_cast<unsigned long long>(Merged->DroppedEvents),
+              Out.c_str());
+  return 0;
+}

@@ -1,0 +1,87 @@
+//===- aqua/obs/Snapshot.h - Live metrics snapshot writer --------*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Live telemetry for a running daemon: a background thread periodically
+/// serializes the global MetricsRegistry to
+/// `<dir>/metrics.snap-<pid>.json` so external tools (`aquatop`) can watch
+/// a live process instead of autopsying its exit dump.
+///
+/// Snapshot protocol (`aqua.metrics.snap.v1`): the file wraps the
+/// unchanged `aqua.metrics.v1` registry document with process identity and
+/// freshness:
+///
+///   { "schema": "aqua.metrics.snap.v1",
+///     "pid": <os pid>, "seq": <monotone per-writer>,
+///     "wallMicros": <Unix time of the snapshot>,
+///     "metrics": { ...aqua.metrics.v1... } }
+///
+/// Writes are atomic against concurrent readers: the document is written
+/// to `<path>.tmp` and `rename(2)`d over the target, so a reader opening
+/// the path sees either the previous complete snapshot or the new complete
+/// snapshot, never a torn prefix. Each process in a forked fleet writes
+/// its own pid-keyed file; aggregation across files is the reader's job
+/// (counters and histogram cells sum; gauges depend on the gauge).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_OBS_SNAPSHOT_H
+#define AQUA_OBS_SNAPSHOT_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace aqua::obs {
+
+/// Writes one snapshot of the global registry to
+/// `<Dir>/metrics.snap-<pid>.json` (temp + rename) with sequence number
+/// \p Seq. False on I/O failure. Bumps `obs.snapshot.writes` /
+/// `obs.snapshot.errors`.
+bool writeMetricsSnapshot(const std::string &Dir, std::uint64_t Seq);
+
+/// The snapshot path `writeMetricsSnapshot` targets for this process.
+std::string metricsSnapshotPath(const std::string &Dir);
+
+/// The background writer: start() spawns a thread that snapshots every
+/// \p IntervalMs until stop() (or destruction), writing one final
+/// snapshot on the way out so the file is current at exit.
+class SnapshotWriter {
+public:
+  explicit SnapshotWriter(std::string Dir, unsigned IntervalMs = 1000);
+  ~SnapshotWriter();
+
+  SnapshotWriter(const SnapshotWriter &) = delete;
+  SnapshotWriter &operator=(const SnapshotWriter &) = delete;
+
+  /// Spawns the writer thread; no-op when already running.
+  void start();
+
+  /// Stops and joins the writer, flushing one final snapshot. Safe to call
+  /// repeatedly; called by the destructor.
+  void stop();
+
+  /// Snapshots written so far (including the final flush).
+  std::uint64_t writes() const;
+
+private:
+  void run();
+
+  std::string Dir;
+  unsigned IntervalMs;
+  std::mutex Mutex;
+  std::condition_variable Cv;
+  bool Stopping = false; ///< Guarded by Mutex.
+  std::thread Worker;
+  std::atomic<std::uint64_t> Seq{0}; ///< Written by the worker thread only.
+};
+
+} // namespace aqua::obs
+
+#endif // AQUA_OBS_SNAPSHOT_H

@@ -1,0 +1,66 @@
+//===- aqua/obs/TraceMerge.h - Stitch per-process trace shards ---*- C++-*-===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Merges the per-process trace shards a multi-process run writes under
+/// AQUA_TRACE_DIR (see Trace.h) into one Chrome/Perfetto trace.
+///
+/// Each shard's timestamps are microseconds on that process's private
+/// steady-clock epoch; its `aquaShard` header records where that epoch
+/// sits on the wall clock. The merge *re-anchors*: with MinEpoch the
+/// earliest epoch across shards, every event moves to
+/// `ts' = ts + (shardEpoch - MinEpoch)`, putting all shards on one shared
+/// timeline (accurate to the processes' wall-clock agreement, i.e. exact
+/// for a forked tree on one host).
+///
+/// Track layout: shard tracks (TracePid 1..3) are private per process, so
+/// the merge gives each (process, track) pair its own Chrome pid,
+/// `OsPid * 4 + (track - 1)`, and emits a process_name metadata record
+/// naming it ("pid 4711 · aqua pipeline"). Flow ids pass through
+/// unchanged -- they are unique across the process tree by construction
+/// (newTraceId mixes the pid), so a request's 's' in the parent and 'f'
+/// in a worker stitch into one arc spanning two pid tracks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef AQUA_OBS_TRACEMERGE_H
+#define AQUA_OBS_TRACEMERGE_H
+
+#include "aqua/support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aqua::obs {
+
+/// A stitched multi-process trace.
+struct MergedTrace {
+  /// The merged Chrome trace-event JSON document.
+  std::string Json;
+  /// Shards merged in.
+  std::size_t ShardCount = 0;
+  /// Sum of the shards' droppedEvents headers.
+  std::uint64_t DroppedEvents = 0;
+  /// Events in the merged document (excluding metadata records).
+  std::size_t EventCount = 0;
+};
+
+/// Merges shard *documents* (the file contents, one string per shard) into
+/// one trace. Events are re-anchored per the header algorithm above and
+/// sorted by merged timestamp. Fails if any document does not parse or
+/// lacks an `aquaShard` header.
+Expected<MergedTrace> mergeShards(const std::vector<std::string> &ShardDocs);
+
+/// The shard files under \p Dir (entries named `*.shard.json`), sorted;
+/// fails when the directory cannot be read. File I/O lives here and in the
+/// `aquatrace` tool -- mergeShards itself is pure so tests can feed it
+/// in-memory (MemEnv-held) shards.
+Expected<std::vector<std::string>> listShardPaths(const std::string &Dir);
+
+} // namespace aqua::obs
+
+#endif // AQUA_OBS_TRACEMERGE_H

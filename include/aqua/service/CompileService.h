@@ -81,6 +81,11 @@ struct CompileRequest {
   /// Exempt from queue-depth admission control, and enqueued ahead of
   /// normal work: under overload the service keeps accepting these.
   bool HighPriority = false;
+  /// Request trace id for causal tracing (obs/Trace.h). 0 (the default)
+  /// means submit assigns a fresh one; a caller that pre-assigns (e.g. a
+  /// dispatcher in another process) makes the request's spans and flow
+  /// arc join the caller's.
+  std::uint64_t TraceId = 0;
 };
 
 /// Why a request was rejected without running the pipeline.
@@ -116,6 +121,9 @@ struct CompileResponse {
   ShedReason Shed = ShedReason::None;
   /// End-to-end service latency for this request, seconds.
   double LatencySec = 0.0;
+  /// The trace id the request ran under (assigned at submit when the
+  /// caller left CompileRequest::TraceId at 0).
+  std::uint64_t TraceId = 0;
   /// The compile artifact; null only when the front end failed.
   std::shared_ptr<const CompileArtifact> Artifact;
 };
@@ -238,14 +246,24 @@ private:
   };
 
   void workerLoop();
-  CompileResponse process(const CompileRequest &Request);
+  /// Runs the pipeline for one admitted request. \p QueueWaitSec feeds the
+  /// request digest; \p EndFlow ends the submit-side flow arc inside the
+  /// request span (true only when submit began one, i.e. queued paths).
+  CompileResponse process(const CompileRequest &Request,
+                          double QueueWaitSec = 0.0, bool EndFlow = false);
   /// The uncached pipeline tail: manage + codegen on a lowered graph.
   /// \p StructKey, when non-null, keys the warm-start donor lookup (a
   /// same-structure sibling's optimal LP basis) and the publication of
-  /// this solve's basis for future siblings.
+  /// this solve's basis for future siblings. \p SolveSecOut, when
+  /// non-null, receives the wall time of this solve.
   std::shared_ptr<const CompileArtifact>
   solveAndGenerate(const CompileRequest &Request, const ir::AssayGraph &G,
-                   const ir::Fingerprint *StructKey = nullptr);
+                   const ir::Fingerprint *StructKey = nullptr,
+                   double *SolveSecOut = nullptr);
+  /// Records the request's flight-recorder digest.
+  static void recordDigest(const CompileRequest &Request,
+                           const CompileResponse &R, double QueueWaitSec,
+                           double SolveSec);
   /// Records \p Artifact's LP basis (if any) as the donor for its
   /// structure key.
   void publishDonor(const ir::Fingerprint &StructKey,

@@ -150,7 +150,8 @@ std::vector<NodeId> findExtremeMixes(const AssayGraph &G,
 ManagerResult aqua::core::manageVolumes(const AssayGraph &G,
                                         const MachineSpec &Spec,
                                         const ManagerOptions &Opts) {
-  AQUA_TRACE_SPAN("core.manage", "core");
+  obs::SpanGuard Span("core.manage", "core");
+  Span.arg("nodes", static_cast<std::uint64_t>(G.liveNodes().size()));
   met().Runs.add();
   ManagerResult R;
   R.Graph = G;

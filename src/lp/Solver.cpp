@@ -9,6 +9,7 @@
 #include "aqua/lp/RevisedSimplex.h"
 #include "aqua/obs/Metrics.h"
 #include "aqua/obs/Timer.h"
+#include "aqua/obs/Trace.h"
 
 #include <cstring>
 
@@ -88,10 +89,16 @@ std::uint64_t aqua::lp::modelShapeHash(const Model &M) {
 
 Solution aqua::lp::solve(const Model &M, const SolverOptions &Opts,
                          SolveInfo *Info) {
+  obs::SpanGuard Span("lp.solve", "lp");
+  Span.arg("rows", M.numRows());
+  Span.arg("vars", M.numVars());
   WallTimer Timer;
   if (!Opts.Presolve) {
     Solution Sol = runSimplex(M, Opts, Info);
     Sol.Seconds = Timer.seconds();
+    Span.arg("status", solveStatusName(Sol.Status));
+    if (Info)
+      Span.arg("warm", Info->WarmStarted ? "1" : "0");
     return Sol;
   }
 
@@ -105,6 +112,7 @@ Solution aqua::lp::solve(const Model &M, const SolverOptions &Opts,
     Solution Sol;
     Sol.Status = SolveStatus::Infeasible;
     Sol.Seconds = Timer.seconds();
+    Span.arg("status", "infeasible_presolve");
     return Sol;
   }
 
@@ -117,5 +125,8 @@ Solution aqua::lp::solve(const Model &M, const SolverOptions &Opts,
     Sol.Values = P.postsolve(Reduced.Values);
     Sol.Objective = M.objectiveValue(Sol.Values);
   }
+  Span.arg("status", solveStatusName(Sol.Status));
+  if (Info)
+    Span.arg("warm", Info->WarmStarted ? "1" : "0");
   return Sol;
 }

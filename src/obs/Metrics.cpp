@@ -316,4 +316,16 @@ void aqua::obs::preregisterPipelineMetrics(MetricsRegistry &R) {
   for (const char *Name : {"obs.log.debug", "obs.log.info", "obs.log.warn",
                            "obs.log.error", "obs.log.suppressed"})
     R.counter(Name);
+
+  // Tracer ring health (Trace.cpp): dropped > 0 means the exported trace
+  // window silently truncated older events.
+  for (const char *Name : {"obs.trace.recorded", "obs.trace.dropped"})
+    R.counter(Name);
+  R.gauge("obs.trace.ring_occupancy");
+
+  // Live telemetry (Snapshot.cpp, FlightRecorder.cpp) and per-request
+  // digests (CompileService.cpp).
+  for (const char *Name : {"obs.snapshot.writes", "obs.snapshot.errors",
+                           "obs.flight.dropped", "service.request_digests"})
+    R.counter(Name);
 }

@@ -1,0 +1,125 @@
+//===- Snapshot.cpp - Live metrics snapshot writer ------------------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/obs/Snapshot.h"
+
+#include "aqua/obs/Metrics.h"
+#include "aqua/support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include <unistd.h>
+
+using namespace aqua;
+using namespace aqua::obs;
+
+namespace {
+
+struct SnapshotMetrics {
+  obs::Counter &Writes = obs::metrics().counter("obs.snapshot.writes");
+  obs::Counter &Errors = obs::metrics().counter("obs.snapshot.errors");
+};
+
+SnapshotMetrics &snapMet() {
+  static SnapshotMetrics M;
+  return M;
+}
+
+} // namespace
+
+std::string aqua::obs::metricsSnapshotPath(const std::string &Dir) {
+  return format("%s/metrics.snap-%d.json", Dir.c_str(),
+                static_cast<int>(getpid()));
+}
+
+bool aqua::obs::writeMetricsSnapshot(const std::string &Dir,
+                                     std::uint64_t Seq) {
+  SnapshotMetrics &M = snapMet();
+  std::uint64_t WallMicros =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+
+  std::string Doc =
+      format("{\n\"schema\": \"aqua.metrics.snap.v1\",\n\"pid\": %d,\n"
+             "\"seq\": %llu,\n\"wallMicros\": %llu,\n\"metrics\": ",
+             static_cast<int>(getpid()),
+             static_cast<unsigned long long>(Seq),
+             static_cast<unsigned long long>(WallMicros));
+  Doc += metrics().json();
+  Doc += "}\n";
+
+  // Unique temp per call: a signal-path flush can race the background
+  // writer, and two writers sharing one temp file would tear it.
+  static std::atomic<std::uint64_t> TmpSerial{0};
+  std::string Path = metricsSnapshotPath(Dir);
+  std::string Tmp =
+      Path + format(".tmp.%llu",
+                    static_cast<unsigned long long>(
+                        TmpSerial.fetch_add(1, std::memory_order_relaxed)));
+  std::FILE *F = std::fopen(Tmp.c_str(), "w");
+  if (!F) {
+    M.Errors.add();
+    return false;
+  }
+  std::size_t Written = std::fwrite(Doc.data(), 1, Doc.size(), F);
+  bool Ok = (Written == Doc.size());
+  Ok = (std::fclose(F) == 0) && Ok;
+  if (!Ok || std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    M.Errors.add();
+    return false;
+  }
+  M.Writes.add();
+  return true;
+}
+
+SnapshotWriter::SnapshotWriter(std::string Dir, unsigned IntervalMs)
+    : Dir(std::move(Dir)), IntervalMs(IntervalMs ? IntervalMs : 1) {}
+
+SnapshotWriter::~SnapshotWriter() { stop(); }
+
+void SnapshotWriter::start() {
+  if (Worker.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = false;
+  }
+  Worker = std::thread([this] { run(); });
+}
+
+void SnapshotWriter::stop() {
+  if (!Worker.joinable())
+    return;
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  Cv.notify_all();
+  Worker.join();
+}
+
+std::uint64_t SnapshotWriter::writes() const {
+  return Seq.load(std::memory_order_relaxed);
+}
+
+void SnapshotWriter::run() {
+  for (;;) {
+    (void)writeMetricsSnapshot(Dir, Seq.load(std::memory_order_relaxed));
+    Seq.fetch_add(1, std::memory_order_relaxed);
+    std::unique_lock<std::mutex> Lock(Mutex);
+    if (Cv.wait_for(Lock, std::chrono::milliseconds(IntervalMs),
+                    [this] { return Stopping; })) {
+      Lock.unlock();
+      // Final flush so the file reflects the process's last state.
+      (void)writeMetricsSnapshot(Dir, Seq.load(std::memory_order_relaxed));
+      Seq.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+  }
+}

@@ -142,11 +142,16 @@ private:
       return false;
     const Instruction &W = Prog.Instrs[WriterIdx];
     ++Result.Regenerations;
-    if (obs::Tracer::enabled())
-      obs::Tracer::global().record(
-          {"regeneration", "sim", 'i',
-           static_cast<std::uint64_t>(Result.FluidSeconds * 1e6), 0,
-           obs::PidSimulated, static_cast<std::uint32_t>(Depth)});
+    if (obs::Tracer::enabled()) {
+      obs::TraceEvent E;
+      E.Name = "regeneration";
+      E.Cat = "sim";
+      E.Phase = 'i';
+      E.TsMicros = static_cast<std::uint64_t>(Result.FluidSeconds * 1e6);
+      E.Pid = obs::PidSimulated;
+      E.Tid = static_cast<std::uint32_t>(Depth);
+      obs::Tracer::global().record(std::move(E));
+    }
 
     if (W.Op == Opcode::Input) {
       exec(WriterIdx, Depth + 1);

@@ -8,6 +8,7 @@
 
 #include "aqua/core/Rounding.h"
 #include "aqua/lang/Lower.h"
+#include "aqua/obs/FlightRecorder.h"
 #include "aqua/obs/Log.h"
 #include "aqua/obs/Metrics.h"
 #include "aqua/obs/Timer.h"
@@ -16,6 +17,7 @@
 #include "aqua/support/StringUtils.h"
 
 #include <algorithm>
+#include <chrono>
 
 using namespace aqua;
 using namespace aqua::service;
@@ -61,6 +63,12 @@ bool hasUnknownVolumes(const ir::AssayGraph &G) {
     if (G.node(N).UnknownVolume)
       return true;
   return false;
+}
+
+std::uint64_t wallMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 } // namespace
@@ -138,9 +146,39 @@ CompileResponse CompileService::shedResponse(const CompileRequest &Request,
                                              ShedReason Reason) {
   CompileResponse R;
   R.Name = Request.Name;
+  R.TraceId = Request.TraceId;
   R.Shed = Reason;
   R.Error = format("request shed: %s", shedReasonName(Reason));
   return R;
+}
+
+void CompileService::recordDigest(const CompileRequest &Request,
+                                  const CompileResponse &R,
+                                  double QueueWaitSec, double SolveSec) {
+  obs::RequestDigest D;
+  D.TraceId = Request.TraceId;
+  D.Name = Request.Name;
+  if (R.Shed == ShedReason::QueueFull) {
+    D.Outcome = obs::RequestOutcome::Shed;
+    D.Cause = obs::ShedCause::QueueFull;
+  } else if (R.Shed == ShedReason::DeadlineExpired) {
+    D.Outcome = obs::RequestOutcome::Shed;
+    D.Cause = obs::ShedCause::DeadlineExpired;
+  } else if (R.Deduplicated) {
+    D.Outcome = obs::RequestOutcome::Join;
+  } else if (R.CacheHitL2) {
+    D.Outcome = obs::RequestOutcome::HitL2;
+  } else if (R.CacheHit) {
+    D.Outcome = obs::RequestOutcome::Hit;
+  } else {
+    D.Outcome = obs::RequestOutcome::Miss;
+  }
+  D.Ok = R.Ok;
+  D.QueueWaitSec = QueueWaitSec;
+  D.SolveSec = SolveSec;
+  D.LatencySec = R.LatencySec;
+  D.WallMicros = wallMicrosNow();
+  obs::FlightRecorder::global().record(std::move(D));
 }
 
 void CompileService::workerLoop() {
@@ -162,7 +200,8 @@ void CompileService::workerLoop() {
       met().QueueDepth.set(static_cast<double>(Queue.size()));
     }
     std::uint64_t Now = obs::Tracer::nowMicros();
-    met().QueueWaitSec.observe((Now - J.EnqueueMicros) * 1e-6);
+    double QueueWaitSec = (Now - J.EnqueueMicros) * 1e-6;
+    met().QueueWaitSec.observe(QueueWaitSec);
     // Deadline admission at dequeue: work that expired while it waited is
     // dead on arrival -- running the pipeline for it only delays the rest
     // of the queue.
@@ -170,17 +209,27 @@ void CompileService::workerLoop() {
       ShedDeadline.fetch_add(1, std::memory_order_relaxed);
       met().ShedTotal.add();
       met().ShedDeadline.add();
-      J.Promise.set_value(
-          shedResponse(J.Request, ShedReason::DeadlineExpired));
+      {
+        // The request's flow arc terminates at the shed decision.
+        obs::SpanGuard Span("service.shed", "service");
+        Span.arg("cause", "deadline");
+        obs::traceFlowEnd("service.request", J.Request.TraceId);
+      }
+      CompileResponse R =
+          shedResponse(J.Request, ShedReason::DeadlineExpired);
+      recordDigest(J.Request, R, QueueWaitSec, 0.0);
+      J.Promise.set_value(std::move(R));
       continue;
     }
-    J.Promise.set_value(process(J.Request));
+    J.Promise.set_value(process(J.Request, QueueWaitSec, /*EndFlow=*/true));
   }
 }
 
 std::future<CompileResponse> CompileService::submit(CompileRequest Request) {
   Submitted.fetch_add(1, std::memory_order_relaxed);
   met().Submitted.add();
+  if (Request.TraceId == 0)
+    Request.TraceId = obs::newTraceId();
   Job J;
   J.EnqueueMicros = obs::Tracer::nowMicros();
   std::future<CompileResponse> Result = J.Promise.get_future();
@@ -194,10 +243,19 @@ std::future<CompileResponse> CompileService::submit(CompileRequest Request) {
       ShedQueueFull.fetch_add(1, std::memory_order_relaxed);
       met().ShedTotal.add();
       met().ShedQueueFull.add();
-      J.Promise.set_value(shedResponse(Request, ShedReason::QueueFull));
+      CompileResponse R = shedResponse(Request, ShedReason::QueueFull);
+      recordDigest(Request, R, 0.0, 0.0);
+      J.Promise.set_value(std::move(R));
       return Result;
     }
     bool Priority = Request.HighPriority;
+    // The flow arc's 's' end: begun only for requests actually enqueued,
+    // so every arc that starts also ends (at the worker, or at a shed).
+    if (obs::Tracer::enabled()) {
+      obs::SpanGuard Span("service.submit", "service");
+      Span.arg("name", Request.Name);
+      obs::traceFlowBegin("service.request", Request.TraceId);
+    }
     J.Request = std::move(Request);
     if (Priority)
       Queue.push_front(std::move(J));
@@ -229,6 +287,8 @@ CompileService::submitBatch(std::vector<CompileRequest> Batch) {
   {
     std::lock_guard<std::mutex> Lock(QueueMutex);
     for (CompileRequest &R : Batch) {
+      if (R.TraceId == 0)
+        R.TraceId = obs::newTraceId();
       Job J;
       J.EnqueueMicros = Now;
       Futures.push_back(J.Promise.get_future());
@@ -237,9 +297,12 @@ CompileService::submitBatch(std::vector<CompileRequest> Batch) {
         ShedQueueFull.fetch_add(1, std::memory_order_relaxed);
         met().ShedTotal.add();
         met().ShedQueueFull.add();
-        J.Promise.set_value(shedResponse(R, ShedReason::QueueFull));
+        CompileResponse Response = shedResponse(R, ShedReason::QueueFull);
+        recordDigest(R, Response, 0.0, 0.0);
+        J.Promise.set_value(std::move(Response));
         continue;
       }
+      obs::traceFlowBegin("service.request", R.TraceId);
       bool Priority = R.HighPriority;
       J.Request = std::move(R);
       if (Priority)
@@ -275,14 +338,19 @@ CompileService::compileBatch(std::vector<CompileRequest> Batch) {
 CompileResponse CompileService::compileNow(const CompileRequest &Request) {
   Submitted.fetch_add(1, std::memory_order_relaxed);
   met().Submitted.add();
-  if (Request.DeadlineMicros != 0 &&
-      obs::Tracer::nowMicros() > Request.DeadlineMicros) {
+  CompileRequest Traced = Request;
+  if (Traced.TraceId == 0)
+    Traced.TraceId = obs::newTraceId();
+  if (Traced.DeadlineMicros != 0 &&
+      obs::Tracer::nowMicros() > Traced.DeadlineMicros) {
     ShedDeadline.fetch_add(1, std::memory_order_relaxed);
     met().ShedTotal.add();
     met().ShedDeadline.add();
-    return shedResponse(Request, ShedReason::DeadlineExpired);
+    CompileResponse R = shedResponse(Traced, ShedReason::DeadlineExpired);
+    recordDigest(Traced, R, 0.0, 0.0);
+    return R;
   }
-  return process(Request);
+  return process(Traced);
 }
 
 void CompileService::pause() {
@@ -319,11 +387,12 @@ void CompileService::publishDonor(const ir::Fingerprint &StructKey,
 std::shared_ptr<const CompileArtifact>
 CompileService::solveAndGenerate(const CompileRequest &Request,
                                  const ir::AssayGraph &G,
-                                 const ir::Fingerprint *StructKey) {
+                                 const ir::Fingerprint *StructKey,
+                                 double *SolveSecOut) {
   double Sec = 0.0;
   auto Artifact = std::make_shared<CompileArtifact>();
   {
-    AQUA_TRACE_SPAN("service.solve", "service");
+    obs::SpanGuard Span("service.solve", "service");
     ScopedTimer Timer(Sec);
     if (hasUnknownVolumes(G)) {
       // Run-time-unknown volumes: no static assignment exists; emit
@@ -353,6 +422,7 @@ CompileService::solveAndGenerate(const CompileRequest &Request,
         }
       }
       Artifact->VM = core::manageVolumes(G, Request.Spec, Manage);
+      Span.arg("warm", Artifact->VM.LpWarmStarted ? "1" : "0");
       if (Artifact->VM.LpWarmStarted) {
         WarmMissHits.fetch_add(1, std::memory_order_relaxed);
         met().WarmMissHits.add();
@@ -383,17 +453,29 @@ CompileService::solveAndGenerate(const CompileRequest &Request,
   }
   addDouble(SolveSec, Sec);
   met().SolveSec.observe(Sec);
+  if (SolveSecOut)
+    *SolveSecOut = Sec;
   if (!Artifact->Ok)
     AQUA_LOG_DEBUG("service", "pipeline failed deterministically: %s",
                    Artifact->Error.c_str());
   return Artifact;
 }
 
-CompileResponse CompileService::process(const CompileRequest &Request) {
-  AQUA_TRACE_SPAN("service.request", "service");
+CompileResponse CompileService::process(const CompileRequest &Request,
+                                        double QueueWaitSec, bool EndFlow) {
+  // Everything below (cache, LP, store I/O) runs with the request's id as
+  // the thread's ambient trace context: every span closed in here carries
+  // it as a `trace` arg.
+  obs::RequestScope Scope(Request.TraceId);
+  obs::SpanGuard Span("service.request", "service");
+  Span.arg("name", Request.Name);
+  if (EndFlow)
+    obs::traceFlowEnd("service.request", Request.TraceId);
   CompileResponse R;
   R.Name = Request.Name;
+  R.TraceId = Request.TraceId;
   double Latency = 0.0;
+  double SolveSec = 0.0;
   {
     ScopedTimer Timer(Latency);
 
@@ -428,7 +510,7 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
 
       bool FromL2 = false;
       if (!Options.EnableCache) {
-        R.Artifact = solveAndGenerate(Request, *Graph, SK);
+        R.Artifact = solveAndGenerate(Request, *Graph, SK, &SolveSec);
       } else if (auto Hit = Cache.lookup(R.Key, &FromL2)) {
         R.CacheHit = true;
         R.CacheHitL2 = FromL2;
@@ -480,7 +562,7 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
           R.Artifact = Theirs->Result.get();
         } else {
           met().CacheMisses.add();
-          R.Artifact = solveAndGenerate(Request, *Graph, SK);
+          R.Artifact = solveAndGenerate(Request, *Graph, SK, &SolveSec);
           Cache.insert(R.Key, R.Artifact);
           {
             std::lock_guard<std::mutex> Lock(FlightMutex);
@@ -506,6 +588,11 @@ CompileResponse CompileService::process(const CompileRequest &Request) {
     Failed.fetch_add(1, std::memory_order_relaxed);
     met().Failed.add();
   }
+  Span.arg("outcome", R.Deduplicated ? "join"
+                      : R.CacheHitL2 ? "hit_l2"
+                      : R.CacheHit   ? "hit"
+                                     : "miss");
+  recordDigest(Request, R, QueueWaitSec, SolveSec);
   return R;
 }
 

@@ -7,6 +7,7 @@
 #include "aqua/service/SolveCache.h"
 
 #include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
 #include "aqua/service/ArtifactCodec.h"
 #include "aqua/store/SolveStore.h"
 
@@ -97,12 +98,15 @@ SolveCache::lookup(const ir::Fingerprint &Key, bool *FromL2) {
   }
   // L1 miss with an L2 attached: consult the store outside the shard lock
   // (store reads do file I/O and take the store's own lock).
+  obs::SpanGuard Span("service.cache.l2", "service");
   std::string Payload;
   if (!L2->get(Key, Payload)) {
+    Span.arg("outcome", "miss");
     std::lock_guard<std::mutex> Lock(S.Mutex);
     ++S.Misses;
     return nullptr;
   }
+  Span.arg("outcome", "hit");
   Expected<CompileArtifact> Decoded = decodeArtifact(Payload);
   if (!Decoded.ok()) {
     std::lock_guard<std::mutex> Lock(S.Mutex);

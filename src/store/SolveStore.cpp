@@ -8,6 +8,7 @@
 
 #include "aqua/obs/Log.h"
 #include "aqua/obs/Metrics.h"
+#include "aqua/obs/Trace.h"
 #include "aqua/support/StringUtils.h"
 
 #include <array>
@@ -305,6 +306,8 @@ Status SolveStore::ensureWriterLocked() {
 }
 
 Status SolveStore::put(const ir::Fingerprint &Key, std::string_view Payload) {
+  obs::SpanGuard Span("store.put", "store");
+  Span.arg("bytes", static_cast<std::uint64_t>(Payload.size()));
   if (Payload.size() > Opts.MaxPayloadBytes)
     return Status::error(format("payload of %zu bytes exceeds the %u-byte "
                                 "record bound",
@@ -338,6 +341,7 @@ Status SolveStore::put(const ir::Fingerprint &Key, std::string_view Payload) {
 }
 
 bool SolveStore::get(const ir::Fingerprint &Key, std::string &Payload) {
+  obs::SpanGuard Span("store.get", "store");
   std::lock_guard<std::mutex> Lock(Mutex);
   ++Gets;
   met().Gets.add();
@@ -395,6 +399,7 @@ bool SolveStore::contains(const ir::Fingerprint &Key) {
 }
 
 std::uint64_t SolveStore::refresh() {
+  obs::SpanGuard Span("store.refresh", "store");
   std::lock_guard<std::mutex> Lock(Mutex);
   return refreshLocked();
 }

@@ -647,9 +647,11 @@ ChipResult aqua::vm::runChip(const FleetImage &Image, const FleetOptions &Opts,
 
 FleetResult aqua::vm::runFleet(const FleetImage &Image,
                                const FleetOptions &Opts) {
-  AQUA_TRACE_SPAN("vm.fleet.run", "vm");
+  obs::SpanGuard Span("vm.fleet.run", "vm");
   int NumChips = std::max(1, Opts.NumChips);
   int Threads = std::clamp(Opts.Threads, 1, 256);
+  Span.arg("chips", NumChips);
+  Span.arg("threads", Threads);
 
   ReservoirBank Bank(Opts.ReservoirCapacityNl, Opts.ReservoirRefillNlPerSec);
   ReservoirBank *BankP = Opts.SharedReservoirs ? &Bank : nullptr;

@@ -167,13 +167,17 @@ bool Interp::regenerate(int WriterI, int Depth, Hooks *H) {
     return false;
   const Instr &W = Prog->Code[WriterI];
   ++Regenerations;
-  if (Tracing)
-    obs::Tracer::global().record(
-        {"regeneration", "sim", 'i',
-         static_cast<std::uint64_t>(FluidSec * 1e6), 0,
-         Opts.FleetChip >= 0 ? obs::PidFleet : obs::PidSimulated,
-         static_cast<std::uint32_t>(Opts.FleetChip >= 0 ? Opts.FleetChip
-                                                        : Depth)});
+  if (Tracing) {
+    obs::TraceEvent E;
+    E.Name = "regeneration";
+    E.Cat = "sim";
+    E.Phase = 'i';
+    E.TsMicros = static_cast<std::uint64_t>(FluidSec * 1e6);
+    E.Pid = Opts.FleetChip >= 0 ? obs::PidFleet : obs::PidSimulated;
+    E.Tid = static_cast<std::uint32_t>(Opts.FleetChip >= 0 ? Opts.FleetChip
+                                                           : Depth);
+    obs::Tracer::global().record(std::move(E));
+  }
 
   if (W.Code == Op::Input) {
     exec(WriterI, Depth + 1, H);

@@ -1,0 +1,168 @@
+//===- TraceMergeTest.cpp - Cross-process shard stitching tests -----------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// mergeShards is the offline half of the cross-process tracing story: it
+// takes the per-process shard documents a multi-process run wrote (here
+// built in memory from private Tracer instances -- no filesystem) and
+// must re-anchor each shard's private steady-clock onto one shared
+// timeline, give every (process, track) pair its own Chrome pid, and pass
+// flow ids through untouched so parent/worker arcs still bind.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/obs/Trace.h"
+#include "aqua/obs/TraceMerge.h"
+#include "aqua/support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace aqua;
+using namespace aqua::obs;
+
+namespace {
+
+TraceEvent instantAt(std::string Name, std::uint64_t Ts) {
+  TraceEvent E;
+  E.Name = std::move(Name);
+  E.Cat = "test";
+  E.Phase = 'i';
+  E.TsMicros = Ts;
+  return E;
+}
+
+/// The merged document's non-metadata events, in document order.
+std::vector<json::Value> mergedEvents(const std::string &Doc) {
+  auto Parsed = json::parse(Doc);
+  EXPECT_TRUE(Parsed.ok()) << Parsed.message();
+  std::vector<json::Value> Out;
+  if (!Parsed.ok())
+    return Out;
+  const json::Value *Events = Parsed->find("traceEvents");
+  EXPECT_NE(Events, nullptr);
+  if (!Events)
+    return Out;
+  for (const json::Value &E : Events->array())
+    if (E.strOr("ph", "") != "M")
+      Out.push_back(E);
+  return Out;
+}
+
+} // namespace
+
+TEST(TraceMerge, ReanchorsTwoShardsOntoOneMonotoneTimeline) {
+  // Shard A's epoch is 500 us earlier than B's: B's local ts 5 really
+  // happened *after* A's local ts 100.
+  Tracer A(64), B(64);
+  A.record(instantAt("a-early", 10));
+  A.record(instantAt("a-late", 100));
+  B.record(instantAt("b-early", 5));
+  B.record(instantAt("b-late", 40));
+  std::vector<std::string> Docs = {A.shardJson(100, 1000000),
+                                   B.shardJson(200, 1000500)};
+  auto Merged = mergeShards(Docs);
+  ASSERT_TRUE(Merged.ok()) << Merged.message();
+  EXPECT_EQ(Merged->ShardCount, 2u);
+  EXPECT_EQ(Merged->EventCount, 4u);
+
+  std::vector<json::Value> Events = mergedEvents(Merged->Json);
+  ASSERT_EQ(Events.size(), 4u);
+  // Re-anchored: A keeps its ts (earliest epoch), B shifts by +500; the
+  // merged stream is sorted, interleaving the two processes correctly.
+  std::vector<std::pair<std::string, double>> Expect = {
+      {"a-early", 10}, {"a-late", 100}, {"b-early", 505}, {"b-late", 540}};
+  double PrevTs = -1;
+  for (std::size_t I = 0; I < 4; ++I) {
+    EXPECT_EQ(Events[I].strOr("name", ""), Expect[I].first);
+    EXPECT_EQ(Events[I].numberOr("ts", -1), Expect[I].second);
+    EXPECT_GE(Events[I].numberOr("ts", -1), PrevTs) << "timeline not monotone";
+    PrevTs = Events[I].numberOr("ts", -1);
+  }
+}
+
+TEST(TraceMerge, RemapsTracksToPerProcessPids) {
+  Tracer A(64);
+  TraceEvent Pipeline = instantAt("on-pipeline", 1); // track 1
+  TraceEvent Fleet = instantAt("on-fleet", 2);
+  Fleet.Pid = PidFleet; // track 3
+  A.record(Pipeline);
+  A.record(Fleet);
+  auto Merged = mergeShards({A.shardJson(4711, 0)});
+  ASSERT_TRUE(Merged.ok()) << Merged.message();
+
+  auto Parsed = json::parse(Merged->Json);
+  ASSERT_TRUE(Parsed.ok());
+  // pid = OsPid * 4 + (track - 1): pipeline keeps slot 0, fleet slot 2.
+  std::vector<json::Value> Events = mergedEvents(Merged->Json);
+  ASSERT_EQ(Events.size(), 2u);
+  EXPECT_EQ(Events[0].numberOr("pid", -1), 4711 * 4 + 0);
+  EXPECT_EQ(Events[1].numberOr("pid", -1), 4711 * 4 + 2);
+  // And each used (process, track) pair gets a named metadata record.
+  EXPECT_NE(Merged->Json.find("pid 4711"), std::string::npos);
+}
+
+TEST(TraceMerge, FlowIdsPassThroughAcrossShards) {
+  Tracer Parent(64), Worker(64);
+  Parent.flowBegin("dispatch", 0xdeadbeef, "test");
+  Worker.flowEnd("dispatch", 0xdeadbeef, "test");
+  auto Merged =
+      mergeShards({Parent.shardJson(1, 0), Worker.shardJson(2, 100)});
+  ASSERT_TRUE(Merged.ok()) << Merged.message();
+
+  std::vector<json::Value> Events = mergedEvents(Merged->Json);
+  ASSERT_EQ(Events.size(), 2u);
+  const json::Value *S = nullptr, *F = nullptr;
+  for (const json::Value &E : Events) {
+    if (E.strOr("ph", "") == "s")
+      S = &E;
+    if (E.strOr("ph", "") == "f")
+      F = &E;
+  }
+  ASSERT_NE(S, nullptr);
+  ASSERT_NE(F, nullptr);
+  // Same binding id on both sides, different merged process tracks: the
+  // arc crosses processes.
+  EXPECT_EQ(S->strOr("id", "s"), F->strOr("id", "f"));
+  EXPECT_NE(S->numberOr("pid", -1), F->numberOr("pid", -1));
+}
+
+TEST(TraceMerge, SumsDroppedEventsAcrossShards) {
+  // Capacity clamps to 16; 20 records overwrite 4.
+  Tracer A(16), B(16);
+  for (int I = 0; I < 20; ++I)
+    A.record(instantAt("a", I));
+  for (int I = 0; I < 21; ++I)
+    B.record(instantAt("b", I));
+  auto Merged = mergeShards({A.shardJson(1, 0), B.shardJson(2, 0)});
+  ASSERT_TRUE(Merged.ok()) << Merged.message();
+  EXPECT_EQ(Merged->DroppedEvents, 9u);
+  EXPECT_NE(Merged->Json.find("\"droppedEvents\": 9"), std::string::npos);
+}
+
+TEST(TraceMerge, RejectsGarbageDocument) {
+  auto Merged = mergeShards({"this is not json"});
+  EXPECT_FALSE(Merged.ok());
+}
+
+TEST(TraceMerge, RejectsShardWithoutHeader) {
+  // A well-formed Chrome trace that is not a shard (no aquaShard header).
+  Tracer A(64);
+  A.record(instantAt("x", 1));
+  auto Merged = mergeShards({A.json()});
+  EXPECT_FALSE(Merged.ok());
+}
+
+TEST(TraceMerge, RejectsEmptyInput) {
+  auto Merged = mergeShards({});
+  EXPECT_FALSE(Merged.ok());
+}
+
+TEST(TraceMerge, ListShardPathsFailsOnMissingDir) {
+  auto Paths = listShardPaths("/nonexistent-dir-for-aqua-test");
+  EXPECT_FALSE(Paths.ok());
+}

@@ -1,0 +1,162 @@
+//===- TraceFlowTest.cpp - Request flow-event well-formedness -------------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The service draws one flow arc per queued request: 's' at submit, 'f'
+// where the worker serves it. A dangling 's' (request vanished) or an 'f'
+// without its 's' (arc from nowhere) renders as garbage in Perfetto and
+// means a lifecycle path forgot its half -- so these tests run real
+// requests through the queue (including the deadline-shed path, which
+// must close the arc too) and check every 's' pairs with exactly one 'f'
+// by binding id.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/obs/Trace.h"
+#include "aqua/service/CompileService.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+/// Restores the global tracer around a test.
+class GlobalTracerScope {
+public:
+  GlobalTracerScope() : WasEnabled(obs::Tracer::enabled()) {
+    obs::Tracer::global().clear();
+  }
+  ~GlobalTracerScope() {
+    obs::Tracer::setEnabled(WasEnabled);
+    obs::Tracer::global().clear();
+  }
+
+private:
+  bool WasEnabled;
+};
+
+CompileRequest graphRequest(const std::string &Name) {
+  CompileRequest R;
+  R.Name = Name;
+  R.Graph =
+      std::make_shared<const ir::AssayGraph>(assays::buildGlucoseAssay());
+  return R;
+}
+
+/// Counts 's' and 'f' events per flow id for \p FlowName.
+struct FlowTally {
+  std::map<std::uint64_t, int> Begins, Ends;
+};
+
+FlowTally tallyFlows(const char *FlowName) {
+  FlowTally T;
+  for (const obs::TraceEvent &E : obs::Tracer::global().snapshot()) {
+    if (E.Name != FlowName)
+      continue;
+    if (E.Phase == 's')
+      ++T.Begins[E.FlowId];
+    else if (E.Phase == 'f')
+      ++T.Ends[E.FlowId];
+  }
+  return T;
+}
+
+} // namespace
+
+TEST(TraceFlow, EveryQueuedRequestBeginsAndEndsItsArc) {
+  GlobalTracerScope Scope;
+  obs::Tracer::setEnabled(true);
+  {
+    ServiceOptions Options;
+    Options.Threads = 2;
+    CompileService Service(Options);
+    std::vector<CompileRequest> Batch;
+    for (int I = 0; I < 8; ++I)
+      Batch.push_back(graphRequest("glucose" + std::to_string(I % 3)));
+    std::vector<CompileResponse> Responses =
+        Service.compileBatch(std::move(Batch));
+    ASSERT_EQ(Responses.size(), 8u);
+    for (const CompileResponse &R : Responses) {
+      EXPECT_TRUE(R.Ok) << R.Error;
+      EXPECT_NE(R.TraceId, 0u) << "responses carry the request trace id";
+    }
+  }
+  obs::Tracer::setEnabled(false);
+
+  FlowTally T = tallyFlows("service.request");
+  EXPECT_EQ(T.Begins.size(), 8u) << "one arc per queued request";
+  for (const auto &[Id, N] : T.Begins) {
+    EXPECT_EQ(N, 1) << "duplicate 's' for flow " << Id;
+    EXPECT_EQ(T.Ends.count(Id), 1u) << "dangling 's' for flow " << Id;
+  }
+  for (const auto &[Id, N] : T.Ends) {
+    EXPECT_EQ(N, 1) << "duplicate 'f' for flow " << Id;
+    EXPECT_EQ(T.Begins.count(Id), 1u) << "'f' without 's' for flow " << Id;
+  }
+}
+
+TEST(TraceFlow, DeadlineShedClosesTheArcToo) {
+  GlobalTracerScope Scope;
+  obs::Tracer::setEnabled(true);
+  {
+    ServiceOptions Options;
+    Options.Threads = 1;
+    CompileService Service(Options);
+    // Already-expired deadlines: requests are queued (arc begins) and
+    // then shed at dequeue -- the shed path must close the arc. Anchor
+    // the steady epoch first so an early deadline of 1 us is in the past.
+    obs::Tracer::nowMicros();
+    while (obs::Tracer::nowMicros() < 2)
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    std::vector<CompileRequest> Batch;
+    for (int I = 0; I < 4; ++I) {
+      CompileRequest R = graphRequest("doomed" + std::to_string(I));
+      R.DeadlineMicros = 1;
+      Batch.push_back(std::move(R));
+    }
+    std::vector<CompileResponse> Responses =
+        Service.compileBatch(std::move(Batch));
+    for (const CompileResponse &R : Responses)
+      EXPECT_EQ(R.Shed, ShedReason::DeadlineExpired);
+  }
+  obs::Tracer::setEnabled(false);
+
+  FlowTally T = tallyFlows("service.request");
+  EXPECT_FALSE(T.Begins.empty());
+  for (const auto &[Id, N] : T.Begins) {
+    (void)N;
+    EXPECT_EQ(T.Ends.count(Id), 1u)
+        << "shed request left a dangling 's' for flow " << Id;
+  }
+}
+
+TEST(TraceFlow, ResponsesCarrySubmitAssignedTraceIds) {
+  GlobalTracerScope Scope;
+  obs::Tracer::setEnabled(true);
+  ServiceOptions Options;
+  Options.Threads = 1;
+  CompileService Service(Options);
+
+  // A caller-provided id is kept; an absent one is assigned.
+  CompileRequest Pinned = graphRequest("pinned");
+  Pinned.TraceId = 0x1234567;
+  CompileResponse RP = Service.compileNow(Pinned);
+  EXPECT_EQ(RP.TraceId, 0x1234567u);
+
+  CompileResponse RA = Service.compileNow(graphRequest("assigned"));
+  EXPECT_NE(RA.TraceId, 0u);
+  EXPECT_NE(RA.TraceId, RP.TraceId);
+  obs::Tracer::setEnabled(false);
+}

@@ -1,0 +1,202 @@
+//===- TraceMultiProcessTest.cpp - Cross-process causal arc test ----------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The acceptance test for cross-process tracing, end to end through the
+// real artifacts: a parent queues dispatch arcs ('s') and forks a worker
+// that serves the requests against a shared store, both flush real shard
+// files under AQUA_TRACE_DIR, the shards are merged exactly as `aquatrace
+// merge` does it, and the merged JSON is parsed to prove a cache-miss
+// request's flow arc spans two process tracks -- queued in the parent,
+// solved in the worker.
+//
+// fork()-based, so this lives in its own binary that the TSan CI job
+// excludes (TSan's runtime does not survive fork-then-continue children).
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/assays/PaperAssays.h"
+#include "aqua/obs/Trace.h"
+#include "aqua/obs/TraceMerge.h"
+#include "aqua/service/CompileService.h"
+#include "aqua/support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace aqua;
+using namespace aqua::service;
+
+namespace {
+
+constexpr int Slots = 3;
+
+std::string makeTempDir(const char *What) {
+  std::string Template = testing::TempDir() + What + "-XXXXXX";
+  std::vector<char> Buf(Template.begin(), Template.end());
+  Buf.push_back('\0');
+  char *Dir = mkdtemp(Buf.data());
+  return Dir ? Dir : "";
+}
+
+CompileRequest slotRequest(int Slot) {
+  CompileRequest R;
+  R.Name = "slot" + std::to_string(Slot);
+  R.Graph =
+      std::make_shared<const ir::AssayGraph>(assays::buildGlucoseAssay());
+  // Distinct capacity per slot: every request is a genuine cache miss.
+  R.Spec.MaxCapacityNl = 1000.0 - 10.0 * Slot;
+  return R;
+}
+
+bool readFile(const std::string &Path, std::string &Out) {
+  std::ifstream File(Path, std::ios::binary);
+  if (!File)
+    return false;
+  std::stringstream Buffer;
+  Buffer << File.rdbuf();
+  Out = Buffer.str();
+  return true;
+}
+
+} // namespace
+
+TEST(TraceMultiProcess, MissArcSpansQueueInParentAndSolveInWorker) {
+  std::string TraceDir = makeTempDir("aqua-mp-trace");
+  std::string StoreDir = makeTempDir("aqua-mp-store");
+  ASSERT_FALSE(TraceDir.empty());
+  ASSERT_FALSE(StoreDir.empty());
+  ASSERT_EQ(setenv("AQUA_TRACE_DIR", TraceDir.c_str(), 1), 0);
+  obs::Tracer::setEnabled(true);
+  obs::Tracer::global().clear();
+
+  // Both sides derive per-slot arc ids from a seed the child inherits.
+  std::uint64_t Seed = obs::newTraceId();
+
+  // Parent queues: one dispatch span + 's' per slot, before the fork so
+  // the child genuinely starts later on the shared steady clock.
+  for (int S = 0; S < Slots; ++S) {
+    obs::SpanGuard Span("mp.queue", "test");
+    Span.arg("slot", static_cast<std::uint64_t>(S));
+    obs::traceFlowBegin("mp.dispatch", obs::dispatchFlowId(Seed, 0, S));
+  }
+
+  pid_t Pid = fork();
+  ASSERT_GE(Pid, 0);
+  if (Pid == 0) {
+    // Worker: drop the inherited pre-fork events (they belong to the
+    // parent's shard), serve every slot as a cache miss against the
+    // shared store, close the arcs, flush a real shard file, _exit.
+    obs::Tracer::global().clear();
+    int Failures = 0;
+    {
+      ServiceOptions Options;
+      Options.Threads = 1;
+      Options.StoreDir = StoreDir;
+      CompileService Service(Options);
+      for (int S = 0; S < Slots; ++S) {
+        std::uint64_t Flow = obs::dispatchFlowId(Seed, 0, S);
+        CompileRequest Req = slotRequest(S);
+        Req.TraceId = obs::mixId(Flow) | 1;
+        {
+          obs::SpanGuard Span("mp.receive", "test");
+          obs::traceFlowEnd("mp.dispatch", Flow);
+        }
+        CompileResponse R = Service.compileNow(Req);
+        if (!R.Ok || R.CacheHit || R.CacheHitL2)
+          ++Failures;
+      }
+    }
+    if (!obs::flushTraceShard())
+      ++Failures;
+    _exit(Failures ? 1 : 0);
+  }
+
+  int Status = 0;
+  ASSERT_EQ(waitpid(Pid, &Status, 0), Pid);
+  ASSERT_TRUE(WIFEXITED(Status));
+  ASSERT_EQ(WEXITSTATUS(Status), 0) << "worker failed or saw cache hits";
+  ASSERT_TRUE(obs::flushTraceShard());
+  unsetenv("AQUA_TRACE_DIR");
+  obs::Tracer::setEnabled(false);
+  obs::Tracer::global().clear();
+
+  // Merge exactly as `aquatrace merge DIR` does: list, read, stitch.
+  auto Paths = obs::listShardPaths(TraceDir);
+  ASSERT_TRUE(Paths.ok()) << Paths.message();
+  ASSERT_EQ(Paths->size(), 2u) << "expected parent + worker shards";
+  std::vector<std::string> Docs;
+  for (const std::string &Path : *Paths) {
+    std::string Doc;
+    ASSERT_TRUE(readFile(Path, Doc)) << Path;
+    Docs.push_back(std::move(Doc));
+  }
+  auto Merged = obs::mergeShards(Docs);
+  ASSERT_TRUE(Merged.ok()) << Merged.message();
+  EXPECT_EQ(Merged->ShardCount, 2u);
+
+  auto Parsed = json::parse(Merged->Json);
+  ASSERT_TRUE(Parsed.ok()) << Parsed.message();
+  const json::Value *Events = Parsed->find("traceEvents");
+  ASSERT_NE(Events, nullptr);
+
+  // Index the merged stream: dispatch arcs by id, plus which merged pids
+  // hosted the queue span, the solve, and the request span's outcome.
+  std::map<std::string, double> BeginPid, EndPid;
+  std::map<std::string, double> BeginTs, EndTs;
+  double QueuePid = -1, ManagePid = -1, MissPid = -1;
+  for (const json::Value &E : Events->array()) {
+    std::string Ph = E.strOr("ph", "");
+    std::string Name = E.strOr("name", "");
+    if (Name == "mp.dispatch" && Ph == "s") {
+      BeginPid[E.strOr("id", "?")] = E.numberOr("pid", -1);
+      BeginTs[E.strOr("id", "?")] = E.numberOr("ts", -1);
+    }
+    if (Name == "mp.dispatch" && Ph == "f") {
+      EndPid[E.strOr("id", "?")] = E.numberOr("pid", -1);
+      EndTs[E.strOr("id", "?")] = E.numberOr("ts", -1);
+    }
+    if (Name == "mp.queue")
+      QueuePid = E.numberOr("pid", -1);
+    if (Name == "core.manage")
+      ManagePid = E.numberOr("pid", -1);
+    if (Name == "service.request") {
+      const json::Value *Args = E.find("args");
+      if (Args && Args->strOr("outcome", "") == "miss")
+        MissPid = E.numberOr("pid", -1);
+    }
+  }
+
+  // Every arc begins and ends, and the sides sit on different merged
+  // process tracks with causally ordered (re-anchored) timestamps.
+  EXPECT_EQ(BeginPid.size(), static_cast<std::size_t>(Slots));
+  EXPECT_EQ(EndPid.size(), static_cast<std::size_t>(Slots));
+  for (const auto &[Id, PidS] : BeginPid) {
+    ASSERT_EQ(EndPid.count(Id), 1u) << "dangling arc " << Id;
+    EXPECT_NE(PidS, EndPid[Id]) << "arc " << Id << " did not cross processes";
+    EXPECT_LE(BeginTs[Id], EndTs[Id]) << "arc " << Id << " goes backwards";
+  }
+  // Queued in the parent's track; solved (volume management ran, and the
+  // request span reported a miss) in the worker's track.
+  ASSERT_NE(QueuePid, -1);
+  ASSERT_NE(ManagePid, -1);
+  ASSERT_NE(MissPid, -1);
+  EXPECT_NE(QueuePid, ManagePid);
+  EXPECT_EQ(ManagePid, MissPid);
+  for (const auto &[Id, PidS] : BeginPid) {
+    EXPECT_EQ(PidS, QueuePid) << "arc " << Id;
+    EXPECT_EQ(EndPid[Id], MissPid) << "arc " << Id;
+  }
+}
