@@ -114,7 +114,9 @@ int main() {
 
   double Baseline = 0.0;  // 1 thread, cache off.
   double NoCacheAt4 = 0.0; // 4 threads, cache off.
+  double CachedAt1 = 0.0; // 1 thread, cache on.
   double CachedAt4 = 0.0; // 4 threads, cache on.
+  double CachedAt8 = 0.0; // 8 threads, cache on.
   double ReuseAt4 = 0.0;
   std::size_t Failures = 0;
   for (bool CacheOn : {false, true}) {
@@ -143,10 +145,14 @@ int main() {
         Baseline = R.Throughput;
       if (!CacheOn && Threads == 4)
         NoCacheAt4 = R.Throughput;
+      if (CacheOn && Threads == 1)
+        CachedAt1 = R.Throughput;
       if (CacheOn && Threads == 4) {
         CachedAt4 = R.Throughput;
         ReuseAt4 = R.ReuseRate;
       }
+      if (CacheOn && Threads == 8)
+        CachedAt8 = R.Throughput;
     }
   }
 
@@ -167,9 +173,17 @@ int main() {
   std::printf("  no-cache scaling 1 -> 4 threads: %.2fx "
               "(target >= 1.0x): %s\n",
               Scaling, Scaling >= 1.0 ? "PASS" : "FAIL");
+  // Cache-on scaling is the batched hit path end to end (drain handle,
+  // fair dequeue, seqlock L1). It was flat before PR 10 because workers
+  // woke once per response and hits still took the shard mutex; the
+  // dedicated scaling *gate* (hardware-aware) lives in
+  // bench_service_hitpath -- here the ratio is recorded for trend diffs.
+  double CacheScaling = CachedAt1 > 0 ? CachedAt8 / CachedAt1 : 0.0;
+  std::printf("  cache-on scaling 1 -> 8 threads: %.2fx\n", CacheScaling);
   Json.add("summary")
       .metric("speedup_4t_cache_vs_1t", Speedup)
       .metric("nocache_scaling_1t_to_4t", Scaling)
+      .metric("cache_scaling_1t_to_8t", CacheScaling)
       .metric("reuse_rate_4t", ReuseAt4)
       .metric("failures", static_cast<double>(Failures));
   if (Failures) {

@@ -47,6 +47,7 @@
 #include "aqua/service/SolveCache.h"
 #include "aqua/store/SolveStore.h"
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
@@ -171,6 +172,11 @@ struct ServiceStats {
   /// Cache hits satisfied by the persistent L2 store.
   std::uint64_t CacheHitsL2 = 0;
   std::uint64_t SingleFlightJoins = 0;
+  /// Requests whose canonical form was reused from the graph-identity
+  /// memo instead of re-running WL canonicalization (the dominant cost of
+  /// a cache hit). Only shared `CompileRequest::Graph` submissions can
+  /// memo-hit.
+  std::uint64_t CanonMemoHits = 0;
   /// Cache misses that reused a same-structure donor basis (warm-miss).
   std::uint64_t WarmMissHits = 0;
   /// Requests rejected by admission control, by reason.
@@ -184,6 +190,39 @@ struct ServiceStats {
   CacheStats Cache;
 
   std::string str() const;
+};
+
+/// The drain side of a batched submit (see
+/// CompileService::submitBatchDrained): one handle for a whole batch.
+/// Workers deposit responses into pre-sized slots lock-free (each request
+/// owns a distinct slot) and only the *final* completion takes the mutex
+/// and signals -- collecting N responses costs one wakeup instead of N
+/// promise/future handoffs, which is what serialized the hit path at high
+/// request rates.
+class ResponseBatch {
+public:
+  ResponseBatch() = default;
+
+  /// Blocks until every request in the batch has completed (or was shed)
+  /// and returns the responses in request order. Call at most once; a
+  /// default-constructed or already-taken handle returns empty.
+  std::vector<CompileResponse> take();
+
+  /// Number of requests in the batch.
+  std::size_t size() const { return S ? S->Responses.size() : 0; }
+
+private:
+  friend class CompileService;
+  struct State {
+    std::vector<CompileResponse> Responses;
+    /// Requests not yet completed. The last worker to decrement (1 -> 0)
+    /// passes through the mutex and notifies; its acq_rel decrement makes
+    /// every slot write visible to the waiter's acquire load.
+    std::atomic<std::size_t> Remaining{0};
+    std::mutex Mutex;
+    std::condition_variable CV;
+  };
+  std::shared_ptr<State> S;
 };
 
 /// The concurrent assay-compilation service.
@@ -205,8 +244,15 @@ public:
   std::vector<std::future<CompileResponse>>
   submitBatch(std::vector<CompileRequest> Batch);
 
+  /// Enqueues a whole batch and returns one drain handle instead of N
+  /// futures: workers write responses into pre-sized slots and only the
+  /// last completion signals, so the response side costs one wakeup for
+  /// the lot (the submit side already costs one lock + one wakeup).
+  /// Admission control applies per request, exactly as in submitBatch.
+  ResponseBatch submitBatchDrained(std::vector<CompileRequest> Batch);
+
   /// Enqueues a whole batch and blocks until every request is done.
-  /// Responses are in request order.
+  /// Responses are in request order. Implemented on the batched drain.
   std::vector<CompileResponse> compileBatch(std::vector<CompileRequest> Batch);
 
   /// Runs one request synchronously on the calling thread (still goes
@@ -234,6 +280,10 @@ private:
   struct Job {
     CompileRequest Request;
     std::promise<CompileResponse> Promise;
+    /// When set, the response goes into Batch->Responses[BatchIndex] with
+    /// the batched-countdown protocol instead of through Promise.
+    std::shared_ptr<ResponseBatch::State> Batch;
+    std::size_t BatchIndex = 0;
     /// Trace-epoch submit time (obs::Tracer::nowMicros); the worker that
     /// dequeues the job turns it into the queue-wait histogram.
     std::uint64_t EnqueueMicros = 0;
@@ -246,6 +296,15 @@ private:
   };
 
   void workerLoop();
+  /// Delivers \p R for \p J: a slot write + countdown for batched jobs, a
+  /// promise fulfilment otherwise.
+  static void finishJob(Job &J, CompileResponse &&R);
+  /// Returns the canonical form of \p G, reusing the memoized form when
+  /// \p Shared identifies a graph canonicalized before (repeat
+  /// submissions of one shared DAG -- the dominant hit-path cost).
+  std::shared_ptr<const ir::CanonicalForm>
+  canonicalForm(const std::shared_ptr<const ir::AssayGraph> &Shared,
+                const ir::AssayGraph &G);
   /// Runs the pipeline for one admitted request. \p QueueWaitSec feeds the
   /// request digest; \p EndFlow ends the submit-side flow arc inside the
   /// request span (true only when submit began one, i.e. queued paths).
@@ -304,12 +363,27 @@ private:
   std::mutex DonorMutex;
   std::unordered_map<std::string, Donor> Donors;
 
+  /// Canonical-form memo keyed on graph *identity*: a fixed table of
+  /// slots mapping a live `shared_ptr<const AssayGraph>` to its
+  /// CanonicalForm. The weak_ptr guard makes reuse ABA-safe -- a slot is
+  /// only trusted if the guarded graph is still alive *and* is the same
+  /// object the request carries (a recycled address cannot satisfy both).
+  /// Per-slot spin flags: repeat submissions of one graph contend only
+  /// for a pointer-compare + shared_ptr copy.
+  struct CanonSlot {
+    mutable std::atomic_flag Lock = ATOMIC_FLAG_INIT;
+    std::weak_ptr<const ir::AssayGraph> Guard;
+    std::shared_ptr<const ir::CanonicalForm> Canon;
+  };
+  std::array<CanonSlot, 64> CanonMemo;
+
   std::atomic<std::uint64_t> Submitted{0};
   std::atomic<std::uint64_t> Completed{0};
   std::atomic<std::uint64_t> Failed{0};
   std::atomic<std::uint64_t> CacheHits{0};
   std::atomic<std::uint64_t> CacheHitsL2{0};
   std::atomic<std::uint64_t> SingleFlightJoins{0};
+  std::atomic<std::uint64_t> CanonMemoHitCount{0};
   std::atomic<std::uint64_t> WarmMissHits{0};
   std::atomic<std::uint64_t> ShedQueueFull{0};
   std::atomic<std::uint64_t> ShedDeadline{0};

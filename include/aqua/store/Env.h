@@ -63,6 +63,21 @@ public:
   virtual Status tryLockExclusive(bool &Acquired) = 0;
 };
 
+/// An immutable, read-only view of a whole file's bytes, alive for as long
+/// as any shared_ptr to it is. The POSIX Env backs this with mmap(2): a
+/// mapping of an unlinked file stays valid on Linux, so a compactor
+/// deleting a segment under a reader never invalidates a held view. Other
+/// Envs may back it with an owned heap copy; the contract is the same.
+class MappedRegion {
+public:
+  virtual ~MappedRegion() = default;
+  std::string_view bytes() const { return {Data, Size}; }
+
+protected:
+  const char *Data = nullptr;
+  std::size_t Size = 0;
+};
+
 /// The file-system interface.
 class Env {
 public:
@@ -97,6 +112,24 @@ public:
   /// directory; used to name segment files without coordination.
   virtual std::string uniqueToken() = 0;
 
+  /// Maps the whole of \p Path read-only. The region snapshots the file
+  /// size at the call; bytes appended later are not visible through it
+  /// (the store only maps sealed files). The default implementation reads
+  /// the file into an owned heap copy; PosixEnv overrides it with mmap.
+  virtual Expected<std::shared_ptr<const MappedRegion>>
+  mapRead(const std::string &Path);
+
+  /// A cheap change marker for the directory \p Path: unequal values mean
+  /// the directory's entry list (names/sizes) may have changed; an equal
+  /// value means no file was added, removed, renamed, or resized through
+  /// an observable directory mutation. POSIX approximates this with the
+  /// directory inode's (mtime, size, ino) signature -- which does *not*
+  /// tick when an existing file is appended to, so callers must still
+  /// re-stat files a live foreign writer could be growing. MemEnv counts
+  /// every mutation exactly. The default implementation reports "unknown"
+  /// (an error), which callers must treat as always-changed.
+  virtual Expected<std::uint64_t> dirGeneration(const std::string &Path);
+
   /// The process-wide POSIX environment.
   static Env &real();
 };
@@ -118,6 +151,10 @@ public:
   Status removeFile(const std::string &Path) override;
   bool exists(const std::string &Path) override;
   std::string uniqueToken() override;
+  /// Exact: a monotone counter bumped by every mutation (append, rename,
+  /// remove, corrupt) anywhere in the environment. Coarser than per-dir
+  /// but exact: an unchanged value proves nothing changed at all.
+  Expected<std::uint64_t> dirGeneration(const std::string &Path) override;
 
   /// Test access: the raw bytes of \p Path (empty if absent).
   std::string snapshot(const std::string &Path);
@@ -134,6 +171,7 @@ private:
   std::set<std::string> Dirs;
   std::set<std::string> Locked;
   std::uint64_t NextToken = 1;
+  std::uint64_t Generation = 0;
 };
 
 } // namespace aqua::store

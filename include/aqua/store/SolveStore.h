@@ -25,6 +25,29 @@
 /// racing on the same miss) is resolved last-writer-wins at index time --
 /// the pipeline is deterministic, so duplicate payloads are identical.
 ///
+/// ## Side-car indexes and the zero-copy read path
+///
+/// A segment with no live writer is *sealed*: by the locking protocol
+/// below, a segment whose writer lock can be taken by anyone else will
+/// never grow again (writers only ever append to segments they created).
+/// Sealing a segment persists a side-car hash index (`seg-<token>.idx`):
+/// a versioned, CRC-protected open-addressing table of
+/// fingerprint -> (record offset, payload length) built at seal or
+/// compaction time and renamed into place atomically. On open, a sealed
+/// segment and its index are memory-mapped read-only, so a cross-process
+/// hit costs one open-addressing probe plus a checksum pass over the
+/// mapped record -- no directory scan, no per-read open/pread, and no
+/// heap copy of the payload (`getView` hands out an `ArtifactView` that
+/// aliases the mapping).
+///
+/// The index is an *accelerator, never an authority*: a missing, torn,
+/// truncated, bit-flipped, or version-skewed `.idx` fails validation
+/// (size/magic/version/CRC) and the store falls back to today's full
+/// segment scan, serving bit-identical payloads, then rebuilds the index
+/// if the segment is quiescent. Mappings of deleted files stay valid on
+/// POSIX, so a compactor removing a sealed segment never invalidates a
+/// view a reader still holds.
+///
 /// ## Recovery invariants
 ///
 /// * Appends are crash-safe by construction: a record is visible iff its
@@ -63,6 +86,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -81,6 +105,13 @@ struct StoreOptions {
   /// Records larger than this are rejected on put and treated as corrupt
   /// on scan (a sanity bound, not a tuning knob).
   std::uint32_t MaxPayloadBytes = 256u << 20;
+  /// Consult side-car `.idx` files and serve sealed segments through their
+  /// memory-mapped index. Off forces the scan path everywhere (the
+  /// fallback the fault tests compare against).
+  bool UseIndexes = true;
+  /// Build (and persist) side-car indexes when sealing or compacting
+  /// segments. Off leaves existing indexes untouched but writes none.
+  bool BuildIndexes = true;
 };
 
 /// Monotone counters plus a snapshot of index size.
@@ -95,12 +126,37 @@ struct StoreStats {
   /// Scans that stopped at an incomplete tail record.
   std::uint64_t TornTails = 0;
   std::uint64_t Refreshes = 0;
+  /// RefreshOnMiss passes short-circuited by an unchanged directory
+  /// generation (no listDir, no per-segment stat).
+  std::uint64_t RefreshSkips = 0;
   std::uint64_t Compactions = 0;
   std::uint64_t SegmentsCompacted = 0;
+  /// Reads served through a sealed segment's mmap'd side-car index.
+  std::uint64_t IndexProbes = 0;
+  /// Invalid side-car indexes (truncated/corrupt/version-skewed) that
+  /// demoted the segment to the full-scan path.
+  std::uint64_t IndexFallbackScans = 0;
+  /// Side-car indexes written (at seal or compaction).
+  std::uint64_t IndexBuilds = 0;
+  /// Valid side-car indexes adopted (mapped) from disk.
+  std::uint64_t IndexLoads = 0;
   /// Distinct keys currently indexed.
   std::size_t Keys = 0;
   /// Segment files currently known.
   std::size_t Segments = 0;
+  /// Segments currently served through a mapped side-car index.
+  std::size_t SealedSegments = 0;
+};
+
+/// A zero-copy handle to one record's payload: a string_view aliasing
+/// either a memory-mapped sealed segment or a heap buffer, kept alive by
+/// \c Keep. Valid for as long as the view object (or a copy of its
+/// keepalive) lives, even across compaction deleting the segment file.
+struct ArtifactView {
+  std::string_view Payload;
+  std::shared_ptr<const void> Keep;
+
+  explicit operator bool() const { return Keep != nullptr; }
 };
 
 /// The persistent fingerprint -> payload store. Thread-safe; every public
@@ -126,6 +182,12 @@ public:
   /// checksum. Returns false on miss *and* on verification failure (a
   /// corrupt record is never served).
   bool get(const ir::Fingerprint &Key, std::string &Payload);
+
+  /// Zero-copy variant of get(): on a hit \p View aliases the payload
+  /// bytes (a sealed segment's mapping when possible, a heap buffer
+  /// otherwise) without copying them out. Same verification contract as
+  /// get().
+  bool getView(const ir::Fingerprint &Key, ArtifactView &View);
 
   bool contains(const ir::Fingerprint &Key);
 
@@ -160,6 +222,22 @@ private:
     bool Frozen = false;
     /// Our own active segment's append handle (holds its writer lock).
     std::unique_ptr<WritableFile> Handle;
+    /// Sealed: served through the mapped side-car index below instead of
+    /// the in-memory Index. A sealed segment never grows (its writer lock
+    /// was taken, and writers only append to segments they created).
+    bool Sealed = false;
+    /// Mapped segment bytes (sealed segments only).
+    std::shared_ptr<const MappedRegion> Data;
+    /// Mapped side-car index file (sealed segments only).
+    std::shared_ptr<const MappedRegion> IdxMap;
+    /// Parsed from the index header: slot table geometry.
+    std::uint64_t IdxSlotCount = 0;
+    const char *IdxSlots = nullptr;
+  };
+  /// One side-car index entry (also the build-time carrier).
+  struct IdxEntry {
+    std::uint64_t Hi = 0, Lo = 0, Offset = 0;
+    std::uint32_t PayloadLen = 0;
   };
   struct KeyHash {
     std::size_t operator()(const ir::Fingerprint &F) const {
@@ -175,7 +253,43 @@ private:
   /// whose checksum verifies. Returns records indexed.
   std::uint64_t scanSegmentLocked(int SegIndex);
   std::uint64_t refreshLocked();
+  /// The RefreshOnMiss entry: short-circuits to re-scanning only unsealed
+  /// foreign segments when the directory generation is unchanged.
+  std::uint64_t refreshOnMissLocked();
   Status ensureWriterLocked();
+
+  /// Tries to adopt an on-disk side-car index for \p SegIndex (validate,
+  /// mmap, mark sealed). Returns false when there is none or it fails
+  /// validation (the caller falls back to scanning).
+  bool loadIndexLocked(int SegIndex);
+  /// Writes + maps the side-car index for fully scanned, quiescent
+  /// segment \p SegIndex, then drops its entries from the in-memory
+  /// Index (the mapped table supersedes them).
+  void buildIndexLocked(int SegIndex);
+  /// Seals \p SegIndex with a prebuilt entry list (compaction output).
+  void sealWithEntriesLocked(int SegIndex, const std::vector<IdxEntry> &Entries);
+  /// Probes sealed segments' mapped indexes for \p Key; fills \p View on
+  /// a verified hit.
+  bool probeSealedLocked(const ir::Fingerprint &Key, ArtifactView &View);
+  /// Enumerates every valid record of a sealed segment (for keys() and
+  /// compaction).
+  void sealedEntriesLocked(int SegIndex, std::vector<IdxEntry> &Out) const;
+  /// Shared get/getView body; Mutex must be held.
+  bool getLocked(const ir::Fingerprint &Key, ArtifactView &View);
+  /// Writes the side-car file for \p SegIndex from \p Entries (temp +
+  /// rename) and adopts it (maps, marks sealed, drops superseded
+  /// in-memory entries).
+  void writeAndAdoptIndexLocked(int SegIndex,
+                                const std::vector<IdxEntry> &Entries);
+  /// Serializes the side-car bytes for \p Entries covering \p Covered
+  /// segment bytes.
+  static std::string encodeIndexBytes(const std::vector<IdxEntry> &Entries,
+                                      std::uint64_t Covered);
+  /// Walks a complete segment image, verifying every record; false when
+  /// any byte fails validation (such a segment is never sealed).
+  static bool parseSegmentRecords(std::string_view Bytes,
+                                  std::uint32_t MaxPayloadBytes,
+                                  std::vector<IdxEntry> &Out);
 
   const std::string Dir;
   const StoreOptions Opts;
@@ -186,10 +300,17 @@ private:
   std::unordered_map<ir::Fingerprint, RecordLoc, KeyHash> Index;
   /// Index into Segments of our active writer segment; -1 until first put.
   int WriterSegment = -1;
+  /// Directory generation observed before the last full refresh; nullopt
+  /// until a refresh ran (or when the Env cannot track generations).
+  bool HaveDirGeneration = false;
+  std::uint64_t LastDirGeneration = 0;
 
   std::uint64_t Appends = 0, AppendedBytes = 0, Gets = 0, Hits = 0;
   std::uint64_t CorruptRecords = 0, TornTails = 0, Refreshes = 0;
+  std::uint64_t RefreshSkips = 0;
   std::uint64_t Compactions = 0, SegmentsCompacted = 0;
+  std::uint64_t IndexProbes = 0, IndexFallbackScans = 0;
+  std::uint64_t IndexBuilds = 0, IndexLoads = 0;
 };
 
 } // namespace aqua::store

@@ -246,9 +246,10 @@ void aqua::obs::preregisterPipelineMetrics(MetricsRegistry &R) {
         "service.requests.failed", "service.cache.hits",
         "service.cache.misses", "service.cache.insertions",
         "service.cache.evictions", "service.cache.hits_l2",
-        "service.singleflight.joins", "service.warm_miss_hits",
-        "service.shed_total", "service.shed.queue_full",
-        "service.shed.deadline"})
+        "service.cache.seqlock_retries", "service.cache.decoded_hits",
+        "service.canon_memo_hits", "service.singleflight.joins",
+        "service.warm_miss_hits", "service.shed_total",
+        "service.shed.queue_full", "service.shed.deadline"})
     R.counter(Name);
   R.gauge("service.queue_depth");
   R.histogram("service.queue_wait_sec");
@@ -259,7 +260,9 @@ void aqua::obs::preregisterPipelineMetrics(MetricsRegistry &R) {
   for (const char *Name :
        {"store.appends", "store.appended_bytes", "store.gets", "store.hits",
         "store.corrupt_records", "store.torn_tails", "store.refreshes",
-        "store.compactions"})
+        "store.refresh_skips", "store.compactions", "store.index_probes",
+        "store.index_fallback_scans", "store.index_builds",
+        "store.index_loads"})
     R.counter(Name);
 
   // Volume-management hierarchy (Manager.cpp, DagSolve.cpp).

@@ -40,6 +40,8 @@ struct ServiceMetrics {
   obs::Counter &CacheHits = obs::metrics().counter("service.cache.hits");
   obs::Counter &CacheMisses = obs::metrics().counter("service.cache.misses");
   obs::Counter &Joins = obs::metrics().counter("service.singleflight.joins");
+  obs::Counter &CanonMemoHits =
+      obs::metrics().counter("service.canon_memo_hits");
   obs::Counter &WarmMissHits =
       obs::metrics().counter("service.warm_miss_hits");
   obs::Counter &ShedTotal = obs::metrics().counter("service.shed_total");
@@ -181,9 +183,31 @@ void CompileService::recordDigest(const CompileRequest &Request,
   obs::FlightRecorder::global().record(std::move(D));
 }
 
+void CompileService::finishJob(Job &J, CompileResponse &&R) {
+  if (J.Batch) {
+    // Each request owns its slot, so the write itself is lock-free; the
+    // last decrement (acq_rel) publishes every slot to the waiter and is
+    // the only completion that touches the mutex.
+    J.Batch->Responses[J.BatchIndex] = std::move(R);
+    if (J.Batch->Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      { std::lock_guard<std::mutex> Lock(J.Batch->Mutex); }
+      J.Batch->CV.notify_all();
+    }
+    return;
+  }
+  J.Promise.set_value(std::move(R));
+}
+
 void CompileService::workerLoop() {
+  // Batched dequeue: on a hot cache the per-job work is microseconds, so
+  // a mutex round-trip per job is what serializes the hit path. A worker
+  // claims up to MaxDrain jobs per lock acquisition, but never hogs work
+  // that a parked sibling could run concurrently.
+  constexpr std::size_t MaxDrain = 8;
+  std::vector<Job> Drained;
+  Drained.reserve(MaxDrain);
   for (;;) {
-    Job J;
+    Drained.clear();
     {
       std::unique_lock<std::mutex> Lock(QueueMutex);
       ++IdleWorkers;
@@ -195,33 +219,40 @@ void CompileService::workerLoop() {
         return; // Shutting down and drained.
       if (Queue.empty() || (Paused && !ShuttingDown))
         continue;
-      J = std::move(Queue.front());
-      Queue.pop_front();
+      std::size_t Fair = Queue.size() / static_cast<std::size_t>(IdleWorkers + 1);
+      std::size_t Take = std::min(MaxDrain, std::max<std::size_t>(1, Fair));
+      Take = std::min(Take, Queue.size());
+      for (std::size_t I = 0; I < Take; ++I) {
+        Drained.push_back(std::move(Queue.front()));
+        Queue.pop_front();
+      }
       met().QueueDepth.set(static_cast<double>(Queue.size()));
     }
-    std::uint64_t Now = obs::Tracer::nowMicros();
-    double QueueWaitSec = (Now - J.EnqueueMicros) * 1e-6;
-    met().QueueWaitSec.observe(QueueWaitSec);
-    // Deadline admission at dequeue: work that expired while it waited is
-    // dead on arrival -- running the pipeline for it only delays the rest
-    // of the queue.
-    if (J.Request.DeadlineMicros != 0 && Now > J.Request.DeadlineMicros) {
-      ShedDeadline.fetch_add(1, std::memory_order_relaxed);
-      met().ShedTotal.add();
-      met().ShedDeadline.add();
-      {
-        // The request's flow arc terminates at the shed decision.
-        obs::SpanGuard Span("service.shed", "service");
-        Span.arg("cause", "deadline");
-        obs::traceFlowEnd("service.request", J.Request.TraceId);
+    for (Job &J : Drained) {
+      std::uint64_t Now = obs::Tracer::nowMicros();
+      double QueueWaitSec = (Now - J.EnqueueMicros) * 1e-6;
+      met().QueueWaitSec.observe(QueueWaitSec);
+      // Deadline admission at dequeue: work that expired while it waited
+      // is dead on arrival -- running the pipeline for it only delays the
+      // rest of the queue.
+      if (J.Request.DeadlineMicros != 0 && Now > J.Request.DeadlineMicros) {
+        ShedDeadline.fetch_add(1, std::memory_order_relaxed);
+        met().ShedTotal.add();
+        met().ShedDeadline.add();
+        {
+          // The request's flow arc terminates at the shed decision.
+          obs::SpanGuard Span("service.shed", "service");
+          Span.arg("cause", "deadline");
+          obs::traceFlowEnd("service.request", J.Request.TraceId);
+        }
+        CompileResponse R =
+            shedResponse(J.Request, ShedReason::DeadlineExpired);
+        recordDigest(J.Request, R, QueueWaitSec, 0.0);
+        finishJob(J, std::move(R));
+        continue;
       }
-      CompileResponse R =
-          shedResponse(J.Request, ShedReason::DeadlineExpired);
-      recordDigest(J.Request, R, QueueWaitSec, 0.0);
-      J.Promise.set_value(std::move(R));
-      continue;
+      finishJob(J, process(J.Request, QueueWaitSec, /*EndFlow=*/true));
     }
-    J.Promise.set_value(process(J.Request, QueueWaitSec, /*EndFlow=*/true));
   }
 }
 
@@ -324,15 +355,87 @@ CompileService::submitBatch(std::vector<CompileRequest> Batch) {
   return Futures;
 }
 
+std::vector<CompileResponse> ResponseBatch::take() {
+  if (!S)
+    return {};
+  std::shared_ptr<State> Mine = std::move(S);
+  std::unique_lock<std::mutex> Lock(Mine->Mutex);
+  Mine->CV.wait(Lock, [&] {
+    return Mine->Remaining.load(std::memory_order_acquire) == 0;
+  });
+  return std::move(Mine->Responses);
+}
+
+ResponseBatch
+CompileService::submitBatchDrained(std::vector<CompileRequest> Batch) {
+  ResponseBatch Result;
+  Result.S = std::make_shared<ResponseBatch::State>();
+  ResponseBatch::State &St = *Result.S;
+  St.Responses.resize(Batch.size());
+  // Seed the countdown before any job can complete, so it never dips
+  // through zero transiently.
+  St.Remaining.store(Batch.size(), std::memory_order_relaxed);
+  if (Batch.empty())
+    return Result;
+  Submitted.fetch_add(Batch.size(), std::memory_order_relaxed);
+  met().Submitted.add(Batch.size());
+  std::uint64_t Now = obs::Tracer::nowMicros();
+  std::size_t Enqueued = 0, Parked = 0, Shed = 0;
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    for (std::size_t I = 0; I < Batch.size(); ++I) {
+      CompileRequest &R = Batch[I];
+      if (R.TraceId == 0)
+        R.TraceId = obs::newTraceId();
+      if (Options.MaxQueueDepth != 0 && !R.HighPriority &&
+          Queue.size() >= Options.MaxQueueDepth) {
+        ShedQueueFull.fetch_add(1, std::memory_order_relaxed);
+        met().ShedTotal.add();
+        met().ShedQueueFull.add();
+        CompileResponse Response = shedResponse(R, ShedReason::QueueFull);
+        recordDigest(R, Response, 0.0, 0.0);
+        St.Responses[I] = std::move(Response);
+        ++Shed;
+        continue;
+      }
+      obs::traceFlowBegin("service.request", R.TraceId);
+      bool Priority = R.HighPriority;
+      Job J;
+      J.EnqueueMicros = Now;
+      J.Batch = Result.S;
+      J.BatchIndex = I;
+      J.Request = std::move(R);
+      if (Priority)
+        Queue.push_front(std::move(J));
+      else
+        Queue.push_back(std::move(J));
+      ++Enqueued;
+    }
+    met().QueueDepth.set(static_cast<double>(Queue.size()));
+    Parked = static_cast<std::size_t>(IdleWorkers);
+  }
+  // Retire the shed slots in one decrement (their responses are already
+  // written; no waiter can be parked yet, so no notify is needed unless
+  // the whole batch shed).
+  if (Shed > 0 &&
+      St.Remaining.fetch_sub(Shed, std::memory_order_acq_rel) == Shed) {
+    { std::lock_guard<std::mutex> Lock(St.Mutex); }
+    St.CV.notify_all();
+  }
+  if (Parked > 0 && Enqueued > 0) {
+    if (Enqueued >= Parked)
+      QueueCV.notify_all();
+    else
+      for (std::size_t I = 0; I < Enqueued; ++I)
+        QueueCV.notify_one();
+  }
+  return Result;
+}
+
 std::vector<CompileResponse>
 CompileService::compileBatch(std::vector<CompileRequest> Batch) {
-  std::vector<std::future<CompileResponse>> Futures =
-      submitBatch(std::move(Batch));
-  std::vector<CompileResponse> Responses;
-  Responses.reserve(Futures.size());
-  for (std::future<CompileResponse> &F : Futures)
-    Responses.push_back(F.get());
-  return Responses;
+  // One wakeup in (submit), one wakeup out (the last completion).
+  return submitBatchDrained(std::move(Batch)).take();
 }
 
 CompileResponse CompileService::compileNow(const CompileRequest &Request) {
@@ -369,6 +472,46 @@ void CompileService::resume() {
 std::size_t CompileService::queueDepth() const {
   std::lock_guard<std::mutex> Lock(QueueMutex);
   return Queue.size();
+}
+
+std::shared_ptr<const ir::CanonicalForm>
+CompileService::canonicalForm(const std::shared_ptr<const ir::AssayGraph> &Shared,
+                              const ir::AssayGraph &G) {
+  if (!Shared) {
+    // Front-end-lowered graph: unique to this request, nothing to reuse.
+    return std::make_shared<const ir::CanonicalForm>(ir::canonicalize(G));
+  }
+  auto P = reinterpret_cast<std::uintptr_t>(Shared.get());
+  CanonSlot &SL =
+      CanonMemo[((P >> 4) * 0x9e3779b97f4a7c15ULL) % CanonMemo.size()];
+  {
+    while (SL.Lock.test_and_set(std::memory_order_acquire)) {
+    }
+    std::shared_ptr<const ir::AssayGraph> Live = SL.Guard.lock();
+    std::shared_ptr<const ir::CanonicalForm> Canon;
+    if (Live.get() == Shared.get() && SL.Canon)
+      Canon = SL.Canon;
+    SL.Lock.clear(std::memory_order_release);
+    if (Canon) {
+      // ABA-safe: the guard resolved to a *live* graph at the same
+      // address as the request's -- shared_ptr liveness means it is the
+      // same immutable object, so its canonical form is still valid.
+      CanonMemoHitCount.fetch_add(1, std::memory_order_relaxed);
+      met().CanonMemoHits.add();
+      return Canon;
+    }
+  }
+  auto Canon = std::make_shared<const ir::CanonicalForm>(ir::canonicalize(G));
+  while (SL.Lock.test_and_set(std::memory_order_acquire)) {
+  }
+  // Displace whatever the slot held (last writer wins); destruction of
+  // the displaced form happens after the flag clears.
+  std::weak_ptr<const ir::AssayGraph> OldGuard = std::move(SL.Guard);
+  std::shared_ptr<const ir::CanonicalForm> OldCanon = std::move(SL.Canon);
+  SL.Guard = Shared;
+  SL.Canon = Canon;
+  SL.Lock.clear(std::memory_order_release);
+  return Canon;
 }
 
 void CompileService::publishDonor(const ir::Fingerprint &StructKey,
@@ -499,11 +642,15 @@ CompileResponse CompileService::process(const CompileRequest &Request,
       ir::Fingerprint StructKey;
       {
         AQUA_TRACE_SPAN("service.fingerprint", "service");
-        ir::CanonicalForm Canon = ir::canonicalize(*Graph);
-        R.Key = requestFingerprint(Canon, Request.Spec, Request.Manage,
+        // WL canonicalization dominates the cost of a cache hit; repeat
+        // submissions of a shared DAG reuse the memoized form and pay
+        // only the (cheap) fingerprint mixes.
+        std::shared_ptr<const ir::CanonicalForm> Canon =
+            canonicalForm(Request.Graph, *Graph);
+        R.Key = requestFingerprint(*Canon, Request.Spec, Request.Manage,
                                    Request.Layout);
         if (Options.WarmMiss)
-          StructKey = structureFingerprint(Canon, Request.Spec,
+          StructKey = structureFingerprint(*Canon, Request.Spec,
                                            Request.Manage, Request.Layout);
       }
       const ir::Fingerprint *SK = Options.WarmMiss ? &StructKey : nullptr;
@@ -604,6 +751,7 @@ ServiceStats CompileService::stats() const {
   S.CacheHits = CacheHits.load(std::memory_order_relaxed);
   S.CacheHitsL2 = CacheHitsL2.load(std::memory_order_relaxed);
   S.SingleFlightJoins = SingleFlightJoins.load(std::memory_order_relaxed);
+  S.CanonMemoHits = CanonMemoHitCount.load(std::memory_order_relaxed);
   S.WarmMissHits = WarmMissHits.load(std::memory_order_relaxed);
   S.ShedQueueFull = ShedQueueFull.load(std::memory_order_relaxed);
   S.ShedDeadline = ShedDeadline.load(std::memory_order_relaxed);

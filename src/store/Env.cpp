@@ -17,6 +17,7 @@
 #include <dirent.h>
 #include <fcntl.h>
 #include <sys/file.h>
+#include <sys/mman.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -83,6 +84,34 @@ public:
 private:
   int Fd;
   std::string Path;
+};
+
+/// mmap-backed region; unmapped when the last shared_ptr drops. Mapping a
+/// file pins its data blocks even if the name is unlinked afterwards
+/// (compaction deletes segments out from under readers by design).
+class PosixMappedRegion : public MappedRegion {
+public:
+  PosixMappedRegion(const char *Base, std::size_t Len) {
+    Data = Base;
+    Size = Len;
+  }
+  ~PosixMappedRegion() override {
+    if (Data && Size)
+      ::munmap(const_cast<char *>(Data), Size);
+  }
+};
+
+/// Heap-copy region for the zero-length-file case and for Envs without a
+/// native mapping primitive (MemEnv uses this via Env::mapRead).
+class HeapRegion : public MappedRegion {
+public:
+  explicit HeapRegion(std::string Bytes) : Owned(std::move(Bytes)) {
+    Data = Owned.data();
+    Size = Owned.size();
+  }
+
+private:
+  std::string Owned;
 };
 
 class PosixEnv : public Env {
@@ -169,6 +198,45 @@ public:
     return ::stat(Path.c_str(), &St) == 0;
   }
 
+  Expected<std::shared_ptr<const MappedRegion>>
+  mapRead(const std::string &Path) override {
+    int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (Fd < 0)
+      return errnoStatus("open for map", Path);
+    struct stat St;
+    if (::fstat(Fd, &St) != 0) {
+      Status S = errnoStatus("stat for map", Path);
+      ::close(Fd);
+      return S;
+    }
+    std::size_t Len = static_cast<std::size_t>(St.st_size);
+    if (Len == 0) {
+      ::close(Fd);
+      return std::shared_ptr<const MappedRegion>(
+          std::make_shared<HeapRegion>(std::string()));
+    }
+    void *Base = ::mmap(nullptr, Len, PROT_READ, MAP_SHARED, Fd, 0);
+    ::close(Fd); // The mapping outlives the descriptor.
+    if (Base == MAP_FAILED)
+      return errnoStatus("map", Path);
+    return std::shared_ptr<const MappedRegion>(
+        std::make_shared<PosixMappedRegion>(static_cast<const char *>(Base),
+                                            Len));
+  }
+
+  Expected<std::uint64_t> dirGeneration(const std::string &Path) override {
+    struct stat St;
+    if (::stat(Path.c_str(), &St) != 0)
+      return errnoStatus("stat", Path);
+    // Mix the fields that tick on entry creation/removal/rename. File
+    // *appends* do not touch the directory inode; see the Env.h contract.
+    std::uint64_t G = static_cast<std::uint64_t>(St.st_mtim.tv_sec);
+    G = G * 1000000007ULL + static_cast<std::uint64_t>(St.st_mtim.tv_nsec);
+    G = G * 1000000007ULL + static_cast<std::uint64_t>(St.st_size);
+    G = G * 1000000007ULL + static_cast<std::uint64_t>(St.st_ino);
+    return G;
+  }
+
   std::string uniqueToken() override {
     static std::atomic<std::uint64_t> Counter{0};
     static const std::uint64_t Salt = [] {
@@ -187,6 +255,28 @@ public:
 Env &Env::real() {
   static PosixEnv E;
   return E;
+}
+
+Expected<std::shared_ptr<const MappedRegion>>
+Env::mapRead(const std::string &Path) {
+  auto Size = fileSize(Path);
+  if (!Size.ok())
+    return Size.takeStatus();
+  std::string Bytes;
+  if (Status S = read(Path, 0, *Size, Bytes); !S.ok())
+    return S;
+  if (Bytes.size() != *Size)
+    return Status::error(
+        format("map '%s': short read (file changed underneath)",
+               Path.c_str()));
+  return std::shared_ptr<const MappedRegion>(
+      std::make_shared<HeapRegion>(std::move(Bytes)));
+}
+
+Expected<std::uint64_t> Env::dirGeneration(const std::string &Path) {
+  return Expected<std::uint64_t>::error(
+      format("dir generation for '%s' is not tracked by this Env",
+             Path.c_str()));
 }
 
 //===----------------------------------------------------------------------===//
@@ -210,6 +300,7 @@ public:
   Status append(std::string_view Data) override {
     std::lock_guard<std::mutex> Lock(Parent.Mutex);
     Parent.Files[Path].append(Data.data(), Data.size());
+    ++Parent.Generation;
     return Status::success();
   }
 
@@ -292,7 +383,8 @@ Expected<std::unique_ptr<WritableFile>>
 MemEnv::openAppend(const std::string &Path) {
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    Files.try_emplace(Path); // Create-if-absent, like O_CREAT.
+    if (Files.try_emplace(Path).second) // Create-if-absent, like O_CREAT.
+      ++Generation;
   }
   return std::unique_ptr<WritableFile>(
       std::make_unique<MemWritableFile>(*this, Path));
@@ -305,12 +397,14 @@ Status MemEnv::rename(const std::string &From, const std::string &To) {
     return Status::error(format("rename '%s': no such file", From.c_str()));
   Files[To] = std::move(It->second);
   Files.erase(It);
+  ++Generation;
   return Status::success();
 }
 
 Status MemEnv::removeFile(const std::string &Path) {
   std::lock_guard<std::mutex> Lock(Mutex);
-  Files.erase(Path);
+  if (Files.erase(Path))
+    ++Generation;
   return Status::success();
 }
 
@@ -333,4 +427,10 @@ std::string MemEnv::snapshot(const std::string &Path) {
 void MemEnv::corrupt(const std::string &Path, std::string Contents) {
   std::lock_guard<std::mutex> Lock(Mutex);
   Files[Path] = std::move(Contents);
+  ++Generation;
+}
+
+Expected<std::uint64_t> MemEnv::dirGeneration(const std::string &) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Generation;
 }

@@ -304,3 +304,86 @@ TEST(CompileService, WarmMissReusesDonorBasisAcrossCapacitySweep) {
   EXPECT_EQ(R2.Artifact->VM.Rounded.NodeUnits, C2.Artifact->VM.Rounded.NodeUnits);
   EXPECT_EQ(R2.Artifact->VM.Rounded.EdgeUnits, C2.Artifact->VM.Rounded.EdgeUnits);
 }
+
+TEST(CompileService, BatchedDrainDeliversEveryResponseInOrder) {
+  // The batched response drain: one handle for the whole batch, slots
+  // written by workers, one wakeup at the end. Order, shed handling, and
+  // per-request outcomes must match the future-based path exactly.
+  ServiceOptions Options;
+  Options.Threads = 4;
+  CompileService Service(Options);
+  std::vector<CompileRequest> Batch;
+  Batch.push_back(graphRequest("glucose", assays::buildGlucoseAssay()));
+  Batch.push_back(sourceRequest("bad", "not an assay"));
+  Batch.push_back(graphRequest("mic", assays::buildMicPanel(6)));
+  ResponseBatch Drain = Service.submitBatchDrained(std::move(Batch));
+  EXPECT_EQ(Drain.size(), 3u);
+  std::vector<CompileResponse> Responses = Drain.take();
+  ASSERT_EQ(Responses.size(), 3u);
+  EXPECT_EQ(Responses[0].Name, "glucose");
+  EXPECT_TRUE(Responses[0].Ok) << Responses[0].Error;
+  EXPECT_EQ(Responses[1].Name, "bad");
+  EXPECT_FALSE(Responses[1].Ok);
+  EXPECT_EQ(Responses[2].Name, "mic");
+  EXPECT_TRUE(Responses[2].Ok) << Responses[2].Error;
+  // A second take() on the same handle is empty, not a hang.
+  EXPECT_TRUE(Drain.take().empty());
+  // An empty batch drains immediately.
+  EXPECT_TRUE(Service.submitBatchDrained({}).take().empty());
+}
+
+TEST(CompileService, BatchedDrainAppliesAdmissionPerRequest) {
+  ServiceOptions Options;
+  Options.Threads = 1;
+  Options.MaxQueueDepth = 1;
+  Options.StartPaused = true;
+  CompileService Service(Options);
+  std::vector<CompileRequest> Batch;
+  for (int I = 0; I < 3; ++I)
+    Batch.push_back(graphRequest("glucose", assays::buildGlucoseAssay()));
+  ResponseBatch Drain = Service.submitBatchDrained(std::move(Batch));
+  Service.resume();
+  std::vector<CompileResponse> Responses = Drain.take();
+  ASSERT_EQ(Responses.size(), 3u);
+  EXPECT_TRUE(Responses[0].Ok) << Responses[0].Error;
+  // The queue had room for one; the rest shed at submit, and their shed
+  // responses arrive through the same drain.
+  EXPECT_EQ(Responses[1].Shed, ShedReason::QueueFull);
+  EXPECT_EQ(Responses[2].Shed, ShedReason::QueueFull);
+  EXPECT_EQ(Service.stats().ShedQueueFull, 2u);
+}
+
+TEST(CompileService, SharedGraphSubmissionsReuseTheCanonicalMemo) {
+  // Repeat submissions of one shared DAG skip WL canonicalization via the
+  // graph-identity memo -- the dominant cost of the cache-hit path.
+  ServiceOptions Options;
+  Options.Threads = 2;
+  CompileService Service(Options);
+  auto Shared =
+      std::make_shared<const ir::AssayGraph>(assays::buildGlucoseAssay());
+  std::vector<CompileRequest> Batch;
+  for (int I = 0; I < 8; ++I) {
+    CompileRequest R;
+    R.Name = "repeat";
+    R.Graph = Shared;
+    Batch.push_back(std::move(R));
+  }
+  std::vector<CompileResponse> Responses =
+      Service.compileBatch(std::move(Batch));
+  for (const CompileResponse &R : Responses) {
+    EXPECT_TRUE(R.Ok) << R.Error;
+    EXPECT_EQ(R.Key, Responses[0].Key) << "memoized form must yield the "
+                                          "same fingerprint";
+  }
+  ServiceStats S = Service.stats();
+  EXPECT_GE(S.CanonMemoHits, 7u)
+      << "all but the first submission reuse the memoized canonical form";
+  // A *different* graph object with identical structure still computes
+  // its own canonical form (identity memo, not structural), and maps to
+  // the same fingerprint.
+  CompileResponse Fresh = Service.compileNow(
+      graphRequest("fresh", assays::buildGlucoseAssay()));
+  EXPECT_TRUE(Fresh.Ok) << Fresh.Error;
+  EXPECT_EQ(Fresh.Key, Responses[0].Key);
+  EXPECT_TRUE(Fresh.CacheHit);
+}

@@ -1,0 +1,344 @@
+//===- IndexFaultTest.cpp - Side-car index corruption and recovery --------------===//
+//
+// Part of AquaVol. MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The side-car index (`seg-*.idx`) is pure acceleration: it may be
+// truncated, bit-flipped, version-skewed, unreadable, or deleted outright,
+// and the store must (a) never serve a byte that differs from what a full
+// segment scan would serve, and (b) quietly rebuild the index so the next
+// open is fast again. Every test here seeds a store, snapshots the
+// expected payloads, injects one fault into the index (never into the
+// segment), and asserts bit-identical service plus the fallback/rebuild
+// counters.
+//
+// Also covered: the index lifecycle around compaction (output sealed with
+// a fresh index, victims' indexes deleted) and the dirGeneration
+// amortization of RefreshOnMiss.
+//
+//===----------------------------------------------------------------------===//
+
+#include "aqua/store/SolveStore.h"
+
+#include "FaultEnv.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <map>
+#include <string>
+
+using namespace aqua;
+using namespace aqua::store;
+
+namespace {
+
+// Mirrors the on-disk index layout in SolveStore.cpp (the tests patch
+// header fields by offset).
+constexpr std::size_t IdxMagicBytes = 8;
+constexpr std::size_t IdxVersionOffset = 8;
+constexpr std::size_t IdxTrailerBytes = 4;
+
+ir::Fingerprint key(std::uint64_t I) {
+  ir::Fingerprint F;
+  F.Hi = I * 2654435761u + 1;
+  F.Lo = ~I;
+  return F;
+}
+
+std::string payload(std::uint64_t I) {
+  return "artifact-" + std::to_string(I) + "-" +
+         std::string(32 + I % 7, static_cast<char>('a' + I % 26));
+}
+
+std::unique_ptr<SolveStore> openOrDie(Env &E, StoreOptions Opts = {}) {
+  auto S = SolveStore::open("db", Opts, E);
+  EXPECT_TRUE(S.ok()) << (S.ok() ? "" : S.message());
+  return std::move(S.get());
+}
+
+std::string segmentName(MemEnv &E) {
+  auto Names = E.listDir("db");
+  EXPECT_TRUE(Names.ok());
+  for (const std::string &N : *Names)
+    if (N.size() > 8 && N.compare(0, 4, "seg-") == 0 &&
+        N.compare(N.size() - 4, 4, ".aqs") == 0)
+      return N;
+  ADD_FAILURE() << "no segment file found";
+  return "";
+}
+
+std::string idxNameFor(const std::string &SegName) {
+  return SegName.substr(0, SegName.size() - 4) + ".idx";
+}
+
+/// Same CRC-32C as the store (reflected 0x82F63B78); the version-skew test
+/// re-trailers a patched index so only the version check can reject it.
+std::uint32_t crc32c(const void *Data, std::size_t Len) {
+  static const auto Table = [] {
+    std::array<std::uint32_t, 256> T{};
+    for (std::uint32_t I = 0; I < 256; ++I) {
+      std::uint32_t C = I;
+      for (int K = 0; K < 8; ++K)
+        C = (C >> 1) ^ (0x82F63B78u & (0u - (C & 1)));
+      T[I] = C;
+    }
+    return T;
+  }();
+  std::uint32_t C = ~0u;
+  const auto *P = static_cast<const unsigned char *>(Data);
+  for (std::size_t I = 0; I < Len; ++I)
+    C = Table[(C ^ P[I]) & 0xff] ^ (C >> 8);
+  return ~C;
+}
+
+/// Seeds \p Keys records through one writer handle, then reopens once so
+/// the quiescent segment is sealed and gains its side-car index. Returns
+/// the expected payloads (the pre-fault truth every test compares against).
+std::map<std::uint64_t, std::string> seedSealedStore(MemEnv &E,
+                                                     std::uint64_t Keys) {
+  std::map<std::uint64_t, std::string> Expected;
+  {
+    auto S = openOrDie(E);
+    for (std::uint64_t I = 0; I < Keys; ++I) {
+      Expected[I] = payload(I);
+      EXPECT_TRUE(S->put(key(I), Expected[I]).ok());
+    }
+  }
+  {
+    auto S = openOrDie(E); // Seals + builds the index.
+    EXPECT_GE(S->stats().IndexBuilds, 1u);
+    EXPECT_EQ(S->stats().SealedSegments, 1u);
+  }
+  EXPECT_TRUE(E.exists("db/" + idxNameFor(segmentName(E))));
+  return Expected;
+}
+
+/// Every key must serve its exact pre-fault bytes through \p S.
+void expectAllServed(SolveStore &S,
+                     const std::map<std::uint64_t, std::string> &Expected,
+                     const char *Ctx) {
+  for (const auto &[I, Want] : Expected) {
+    std::string Out;
+    ASSERT_TRUE(S.get(key(I), Out)) << Ctx << ": key " << I << " lost";
+    EXPECT_EQ(Out, Want) << Ctx << ": key " << I << " served wrong bytes";
+  }
+}
+
+} // namespace
+
+TEST(StoreIndexFaults, ReopenServesThroughMappedIndexZeroCopy) {
+  MemEnv E;
+  auto Expected = seedSealedStore(E, 5);
+  auto S = openOrDie(E);
+  EXPECT_EQ(S->stats().IndexLoads, 1u) << "the sealed index must be adopted";
+  EXPECT_EQ(S->stats().IndexFallbackScans, 0u);
+  for (const auto &[I, Want] : Expected) {
+    ArtifactView View;
+    ASSERT_TRUE(S->getView(key(I), View));
+    EXPECT_EQ(View.Payload, Want);
+    EXPECT_TRUE(View.Keep) << "a sealed view must carry its keepalive";
+  }
+  EXPECT_GE(S->stats().IndexProbes, Expected.size());
+}
+
+TEST(StoreIndexFaultsProperty, EveryTruncationPointFallsBackLossFree) {
+  MemEnv E;
+  auto Expected = seedSealedStore(E, 5);
+  std::string Idx = "db/" + idxNameFor(segmentName(E));
+  std::string Full = E.snapshot(Idx);
+  ASSERT_GT(Full.size(), IdxMagicBytes + IdxTrailerBytes);
+  for (std::size_t Cut = 0; Cut < Full.size(); ++Cut) {
+    E.corrupt(Idx, Full.substr(0, Cut));
+    auto S = openOrDie(E);
+    EXPECT_GE(S->stats().IndexFallbackScans, 1u) << "cut at " << Cut;
+    expectAllServed(*S, Expected, "truncated index");
+    // The invalid side-car was discarded and rebuilt from the scan, so
+    // the next open maps it again.
+    EXPECT_TRUE(E.exists(Idx)) << "cut at " << Cut << ": no rebuild";
+    EXPECT_GE(S->stats().IndexBuilds, 1u) << "cut at " << Cut;
+  }
+}
+
+TEST(StoreIndexFaultsProperty, BitFlipAnywhereFallsBackLossFree) {
+  MemEnv E;
+  auto Expected = seedSealedStore(E, 3);
+  std::string Idx = "db/" + idxNameFor(segmentName(E));
+  std::string Full = E.snapshot(Idx);
+  // Every byte of the index is covered by the magic check or the CRC, so
+  // any single flip must demote the segment to the scan path -- and the
+  // scan serves the exact original payloads.
+  for (std::size_t Byte = 0; Byte < Full.size(); ++Byte) {
+    std::string Flipped = Full;
+    Flipped[Byte] ^= 0x40;
+    E.corrupt(Idx, Flipped);
+    auto S = openOrDie(E);
+    EXPECT_GE(S->stats().IndexFallbackScans, 1u)
+        << "flip at byte " << Byte << " was served as a valid index";
+    expectAllServed(*S, Expected, "bit-flipped index");
+  }
+}
+
+TEST(StoreIndexFaults, VersionSkewFallsBackAndRebuildsCurrent) {
+  MemEnv E;
+  auto Expected = seedSealedStore(E, 4);
+  std::string Idx = "db/" + idxNameFor(segmentName(E));
+  std::string Full = E.snapshot(Idx);
+  // A "future" index version with a *correct* checksum: only the version
+  // gate can reject it.
+  std::string Skewed = Full;
+  Skewed[IdxVersionOffset] = 99;
+  std::uint32_t Crc =
+      crc32c(Skewed.data() + IdxMagicBytes,
+             Skewed.size() - IdxMagicBytes - IdxTrailerBytes);
+  for (int B = 0; B < 4; ++B)
+    Skewed[Skewed.size() - IdxTrailerBytes + B] =
+        static_cast<char>((Crc >> (8 * B)) & 0xff);
+  E.corrupt(Idx, Skewed);
+
+  auto S = openOrDie(E);
+  EXPECT_GE(S->stats().IndexFallbackScans, 1u);
+  expectAllServed(*S, Expected, "version-skewed index");
+  // The rebuilt side-car is the current version again and loads cleanly.
+  std::string Rebuilt = E.snapshot(Idx);
+  ASSERT_GT(Rebuilt.size(), IdxVersionOffset);
+  EXPECT_EQ(Rebuilt[IdxVersionOffset], 1);
+  auto S2 = openOrDie(E);
+  EXPECT_EQ(S2->stats().IndexLoads, 1u);
+  EXPECT_EQ(S2->stats().IndexFallbackScans, 0u);
+}
+
+TEST(StoreIndexFaults, DeletedIndexIsRebuiltOnReopen) {
+  MemEnv E;
+  auto Expected = seedSealedStore(E, 4);
+  std::string Idx = "db/" + idxNameFor(segmentName(E));
+  ASSERT_TRUE(E.removeFile(Idx).ok());
+  auto S = openOrDie(E);
+  // No side-car is not a fault -- just a cold open: scan, serve, rebuild.
+  EXPECT_EQ(S->stats().IndexFallbackScans, 0u);
+  EXPECT_GE(S->stats().IndexBuilds, 1u);
+  EXPECT_TRUE(E.exists(Idx));
+  expectAllServed(*S, Expected, "deleted index");
+}
+
+TEST(StoreIndexFaults, UnreadableIndexDegradesToScan) {
+  MemEnv Base;
+  auto Expected = seedSealedStore(Base, 4);
+  FaultEnv E(Base);
+  E.UnreadablePaths.insert("db/" + idxNameFor(segmentName(Base)));
+  auto S = openOrDie(E);
+  EXPECT_GE(S->stats().IndexFallbackScans, 1u);
+  expectAllServed(*S, Expected, "unreadable index");
+}
+
+TEST(StoreIndexFaults, SegmentGrowthAfterSealInvalidatesCoverage) {
+  MemEnv E;
+  auto Expected = seedSealedStore(E, 3);
+  // A sealed segment must never grow; if bytes appear anyway (operator
+  // error, restored backup), the index's covered-bytes no longer matches
+  // the file and it must not be trusted.
+  std::string Seg = "db/" + segmentName(E);
+  E.corrupt(Seg, E.snapshot(Seg) + "rogue tail bytes");
+  auto S = openOrDie(E);
+  EXPECT_GE(S->stats().IndexFallbackScans, 1u);
+  expectAllServed(*S, Expected, "stale coverage");
+}
+
+TEST(StoreIndexFaults, CompactionSealsOutputAndDropsVictimIndexes) {
+  MemEnv E;
+  std::map<std::uint64_t, std::string> Expected;
+  // Two quiescent segments (two writer generations)...
+  for (int Gen = 0; Gen < 2; ++Gen) {
+    auto S = openOrDie(E);
+    for (std::uint64_t I = 0; I < 3; ++I) {
+      std::uint64_t K = Gen * 3 + I;
+      Expected[K] = payload(K);
+      ASSERT_TRUE(S->put(key(K), Expected[K]).ok());
+    }
+  }
+  // ...sealed with one side-car each on the next open.
+  auto S = openOrDie(E);
+  ASSERT_TRUE(S->compact().ok());
+  auto Names = E.listDir("db");
+  ASSERT_TRUE(Names.ok());
+  std::size_t Segs = 0, Idxs = 0;
+  for (const std::string &N : *Names) {
+    if (N.compare(0, 4, "seg-") != 0)
+      continue;
+    if (N.compare(N.size() - 4, 4, ".aqs") == 0) {
+      ++Segs;
+      EXPECT_TRUE(E.exists("db/" + idxNameFor(N)))
+          << "compaction output '" << N << "' must be sealed with an index";
+    } else if (N.compare(N.size() - 4, 4, ".idx") == 0) {
+      ++Idxs;
+    }
+  }
+  EXPECT_EQ(Segs, 1u) << "victims must be gone";
+  EXPECT_EQ(Idxs, 1u) << "victim side-cars must be gone with them";
+  expectAllServed(*S, Expected, "post-compaction");
+  // A fresh process adopts the compacted index directly: no scans at all.
+  auto S2 = openOrDie(E);
+  EXPECT_EQ(S2->stats().IndexLoads, 1u);
+  EXPECT_EQ(S2->stats().IndexFallbackScans, 0u);
+  expectAllServed(*S2, Expected, "post-compaction reopen");
+}
+
+TEST(StoreIndexFaults, IndexesDisabledStillInteroperates) {
+  MemEnv E;
+  auto Expected = seedSealedStore(E, 4);
+  // A reader with UseIndexes off ignores the side-car and scans; one with
+  // BuildIndexes off never writes one. Both serve identical bytes --
+  // the knobs only trade open cost, never correctness.
+  StoreOptions NoUse;
+  NoUse.UseIndexes = false;
+  {
+    auto S = openOrDie(E, NoUse);
+    EXPECT_EQ(S->stats().IndexLoads, 0u);
+    EXPECT_EQ(S->stats().IndexProbes, 0u);
+    expectAllServed(*S, Expected, "UseIndexes=false");
+  }
+  std::string Idx = "db/" + idxNameFor(segmentName(E));
+  ASSERT_TRUE(E.removeFile(Idx).ok());
+  StoreOptions NoBuild;
+  NoBuild.BuildIndexes = false;
+  {
+    auto S = openOrDie(E, NoBuild);
+    expectAllServed(*S, Expected, "BuildIndexes=false");
+    EXPECT_EQ(S->stats().IndexBuilds, 0u);
+    EXPECT_FALSE(E.exists(Idx));
+  }
+  // Defaults rebuild it on the next open.
+  auto S = openOrDie(E);
+  EXPECT_GE(S->stats().IndexBuilds, 1u);
+  EXPECT_TRUE(E.exists(Idx));
+}
+
+TEST(StoreIndexFaults, RefreshOnMissAmortizedByDirGeneration) {
+  MemEnv E;
+  auto A = openOrDie(E);
+  ASSERT_TRUE(A->put(key(1), "one").ok());
+
+  std::string Out;
+  ir::Fingerprint Missing = key(99);
+  // First miss rescans the directory; repeated misses with an unchanged
+  // generation skip the listDir/stat sweep entirely.
+  EXPECT_FALSE(A->get(Missing, Out));
+  std::uint64_t RefreshesAfterFirst = A->stats().Refreshes;
+  for (int I = 0; I < 5; ++I)
+    EXPECT_FALSE(A->get(Missing, Out));
+  EXPECT_GE(A->stats().RefreshSkips, 5u);
+  EXPECT_EQ(A->stats().Refreshes, RefreshesAfterFirst)
+      << "unchanged generation must not rescan";
+
+  // A foreign writer mutates the directory: the very next miss must do a
+  // real refresh and find the new record -- the skip is an amortization,
+  // never staleness.
+  {
+    auto B = openOrDie(E);
+    ASSERT_TRUE(B->put(key(2), "two").ok());
+  }
+  EXPECT_TRUE(A->get(key(2), Out));
+  EXPECT_EQ(Out, "two");
+  EXPECT_GT(A->stats().Refreshes, RefreshesAfterFirst);
+}
